@@ -1,0 +1,45 @@
+// Shared helpers for the experiment benchmarks (see DESIGN.md §4 and
+// EXPERIMENTS.md for the experiment index).
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/linalg/congruence.h"
+#include "nahsp/qsim/sampler.h"
+
+namespace nahsp::benchutil {
+
+/// Canonical coset-label function for a planted subgroup of an Abelian
+/// product group (enumerates H once; labels are minimal coset indices).
+inline qs::LabelFn abelian_coset_label(const std::vector<std::uint64_t>& mods,
+                                       const std::vector<la::AbVec>& h_gens) {
+  const auto h_elems = la::abelian_enumerate(h_gens, mods);
+  return [mods, h_elems](const la::AbVec& x) -> std::uint64_t {
+    std::uint64_t best = ~std::uint64_t{0};
+    for (const la::AbVec& h : h_elems) {
+      std::uint64_t idx = 0;
+      for (std::size_t i = 0; i < mods.size(); ++i)
+        idx = idx * mods[i] + (x[i] + h[i]) % mods[i];
+      best = std::min(best, idx);
+    }
+    return best;
+  };
+}
+
+/// Publishes the instance's query counters on the benchmark state.
+inline void report_queries(benchmark::State& state,
+                           const bb::QueryCounter& c, double iters) {
+  state.counters["quantum_queries"] =
+      benchmark::Counter(static_cast<double>(c.quantum_queries) / iters);
+  state.counters["classical_queries"] =
+      benchmark::Counter(static_cast<double>(c.classical_queries) / iters);
+  state.counters["group_ops"] =
+      benchmark::Counter(static_cast<double>(c.group_ops) / iters);
+}
+
+}  // namespace nahsp::benchutil

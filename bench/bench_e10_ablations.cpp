@@ -1,0 +1,115 @@
+// E10 — Ablations of the library's design knobs (DESIGN.md §6):
+// sampler backends, Las Vegas stability rounds, and the classical
+// normal-closure substrate.
+#include "bench_common.h"
+
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/hsp/abelian.h"
+
+namespace {
+
+using namespace nahsp;
+
+// Same HSP instance through all three circuit backends.
+void BM_E10_SamplerBackends(benchmark::State& state) {
+  const int backend = static_cast<int>(state.range(0));
+  const std::vector<std::uint64_t> mods{16, 16};
+  const std::vector<la::AbVec> h{{4, 8}};
+  const auto label = benchutil::abelian_coset_label(mods, h);
+  Rng rng(1);
+  std::unique_ptr<qs::CosetSampler> sampler;
+  switch (backend) {
+    case 0:
+      sampler =
+          std::make_unique<qs::MixedRadixCosetSampler>(mods, label, nullptr);
+      break;
+    case 1:
+      sampler =
+          std::make_unique<qs::QubitCosetSampler>(mods, label, nullptr);
+      break;
+    default:
+      sampler = std::make_unique<qs::AnalyticCosetSampler>(mods, h, nullptr);
+      break;
+  }
+  bool ok = true;
+  for (auto _ : state) {
+    const auto res = hsp::solve_abelian_hsp(*sampler, rng);
+    ok &= la::abelian_subgroup_equal(res.generators, h, mods);
+  }
+  state.SetLabel(sampler->backend_name());
+  state.counters["correct"] = ok ? 1 : 0;
+}
+BENCHMARK(BM_E10_SamplerBackends)
+    ->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+// Residual error rate vs the stability_rounds knob (cheap analytic
+// backend, trivial hidden subgroup of Z_2^10, deliberately tiny base).
+void BM_E10_StabilityRounds(benchmark::State& state) {
+  const int rounds = static_cast<int>(state.range(0));
+  const std::vector<std::uint64_t> mods(10, 2);
+  Rng rng(2);
+  qs::AnalyticCosetSampler sampler(mods, {}, nullptr);
+  std::uint64_t wrong = 0, total = 0, samples = 0;
+  for (auto _ : state) {
+    hsp::AbelianHspOptions opts;
+    opts.base_samples = 2;
+    opts.stability_rounds = rounds;
+    const auto res = hsp::solve_abelian_hsp(sampler, rng, opts);
+    wrong += (res.subgroup_order != 1) ? 1 : 0;
+    samples += res.samples_used;
+    ++total;
+  }
+  state.counters["rounds"] = rounds;
+  state.counters["error_rate"] =
+      static_cast<double>(wrong) / static_cast<double>(total);
+  state.counters["avg_samples"] =
+      static_cast<double>(samples) / static_cast<double>(total);
+}
+BENCHMARK(BM_E10_StabilityRounds)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(12)
+    ->Unit(benchmark::kMicrosecond);
+
+// Normal-closure substrate (the Theorem 8 / [1] classical step):
+// closure of a single reflection in D_n as n grows.
+void BM_E10_NormalClosure(benchmark::State& state) {
+  const std::uint64_t n = state.range(0);
+  grp::DihedralGroup d(n);
+  const grp::Code y = d.make(0, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(grp::normal_closure(d, {y}));
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["closure_size"] = static_cast<double>(
+      grp::enumerate_subgroup(d, grp::normal_closure(d, {y})).size());
+}
+BENCHMARK(BM_E10_NormalClosure)
+    ->RangeMultiplier(4)
+    ->Range(8, 2048)
+    ->Unit(benchmark::kMillisecond);
+
+// Memoised hider amortisation: repeated solves on one instance reuse the
+// oracle cache — the first-solve / later-solve gap quantifies it.
+void BM_E10_HiderMemoisation(benchmark::State& state) {
+  const bool fresh_each_time = state.range(0) != 0;
+  const std::vector<std::uint64_t> mods{12, 12};
+  const std::vector<la::AbVec> h{{3, 6}};
+  Rng rng(3);
+  auto label = benchutil::abelian_coset_label(mods, h);
+  auto sampler =
+      std::make_unique<qs::MixedRadixCosetSampler>(mods, label, nullptr);
+  for (auto _ : state) {
+    if (fresh_each_time) {
+      sampler = std::make_unique<qs::MixedRadixCosetSampler>(mods, label,
+                                                             nullptr);
+    }
+    benchmark::DoNotOptimize(hsp::solve_abelian_hsp(*sampler, rng));
+  }
+  state.counters["fresh_oracle_cache"] = fresh_each_time ? 1 : 0;
+}
+BENCHMARK(BM_E10_HiderMemoisation)
+    ->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

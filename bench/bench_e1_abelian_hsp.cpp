@@ -1,0 +1,100 @@
+// E1 — Abelian HSP scaling (paper Theorem 3 / Lemma 9).
+//
+// Claim reproduced: the quantum algorithm solves the Abelian HSP with
+// O(log|A|) circuit runs; a classical algorithm must scan Omega(|A|).
+// Series:
+//   - Statevector: full circuit simulation (cost is simulation-bound,
+//     ~linear in |A| per run — the *query* counter is the algorithmic
+//     cost, O(log|A|) runs of one superposition query each);
+//   - Analytic: distribution-exact sampler, polylog work per run —
+//     shows the algorithm-side scaling without simulator overhead;
+//   - ClassicalBruteForce: |A| classical queries.
+#include "bench_common.h"
+
+#include "nahsp/hsp/abelian.h"
+
+namespace {
+
+using namespace nahsp;
+
+// Domain Z_{2^a} x Z_12 x Z_5 with planted <(2^{a-3}, 3, 0)>, |A| grows
+// with the benchmark argument a.
+std::vector<std::uint64_t> domain_mods(int a) {
+  return {std::uint64_t{1} << a, 12, 5};
+}
+std::vector<la::AbVec> planted(int a) {
+  return {{std::uint64_t{1} << (a - 3), 3, 0}};
+}
+
+void BM_E1_Statevector(benchmark::State& state) {
+  const int a = static_cast<int>(state.range(0));
+  const auto mods = domain_mods(a);
+  const auto h = planted(a);
+  bb::QueryCounter counter;
+  qs::MixedRadixCosetSampler sampler(
+      mods, benchutil::abelian_coset_label(mods, h), &counter);
+  Rng rng(1);
+  bool ok = true;
+  for (auto _ : state) {
+    const auto res = hsp::solve_abelian_hsp(sampler, rng);
+    ok &= la::abelian_subgroup_equal(res.generators, h, mods);
+    state.counters["samples"] = static_cast<double>(res.samples_used);
+  }
+  state.counters["log2_A"] = a + 6;  // |A| = 2^a * 60
+  state.counters["correct"] = ok ? 1 : 0;
+  benchutil::report_queries(state, counter,
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E1_Statevector)->DenseRange(4, 12, 2)->Unit(benchmark::kMillisecond);
+
+void BM_E1_Analytic(benchmark::State& state) {
+  const int a = static_cast<int>(state.range(0));
+  const auto mods = domain_mods(a);
+  const auto h = planted(a);
+  bb::QueryCounter counter;
+  qs::AnalyticCosetSampler sampler(mods, h, &counter);
+  Rng rng(2);
+  bool ok = true;
+  for (auto _ : state) {
+    const auto res = hsp::solve_abelian_hsp(sampler, rng);
+    ok &= la::abelian_subgroup_equal(res.generators, h, mods);
+  }
+  state.counters["log2_A"] = a + 6;
+  state.counters["correct"] = ok ? 1 : 0;
+  benchutil::report_queries(state, counter,
+                            static_cast<double>(state.iterations()));
+}
+// The analytic backend has no statevector, so it scales far past
+// simulator memory: |A| up to 2^46.
+BENCHMARK(BM_E1_Analytic)->DenseRange(4, 40, 6)->Unit(benchmark::kMillisecond);
+
+void BM_E1_ClassicalBruteForce(benchmark::State& state) {
+  const int a = static_cast<int>(state.range(0));
+  const auto mods = domain_mods(a);
+  const auto h = planted(a);
+  const auto label = benchutil::abelian_coset_label(mods, h);
+  const auto id_label = label(la::AbVec(mods.size(), 0));
+  std::uint64_t total = 1;
+  for (const auto m : mods) total *= m;
+  for (auto _ : state) {
+    // Classical scan: query every element, keep those matching f(0).
+    std::uint64_t members = 0;
+    for (std::uint64_t idx = 0; idx < total; ++idx) {
+      la::AbVec x(mods.size());
+      std::uint64_t rest = idx;
+      for (std::size_t i = mods.size(); i-- > 0;) {
+        x[i] = rest % mods[i];
+        rest /= mods[i];
+      }
+      if (label(x) == id_label) ++members;
+    }
+    benchmark::DoNotOptimize(members);
+  }
+  state.counters["log2_A"] = a + 6;
+  state.counters["classical_queries"] = static_cast<double>(total);
+}
+BENCHMARK(BM_E1_ClassicalBruteForce)
+    ->DenseRange(4, 12, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

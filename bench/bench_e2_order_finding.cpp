@@ -1,0 +1,90 @@
+// E2 — Quantum order finding (Shor) scaling and success behaviour.
+//
+// Claim reproduced: order finding runs in poly(log bound) circuit
+// runs; the classical baseline iterates Theta(order) group operations.
+// Also measures the gate-level circuit against the mixed-radix backend
+// and the approximate-QFT variant.
+#include "bench_common.h"
+
+#include "nahsp/groups/cyclic.h"
+#include "nahsp/hsp/order.h"
+
+namespace {
+
+using namespace nahsp;
+
+void BM_E2_ShorMixedRadix(benchmark::State& state) {
+  const std::uint64_t n = state.range(0);
+  auto z = std::make_shared<grp::CyclicGroup>(n);
+  const auto inst = bb::make_instance(z, {});
+  Rng rng(1);
+  bool ok = true;
+  for (auto _ : state) {
+    // Element 1 generates Z_n: order n (worst case for the bound).
+    ok &= (hsp::find_order_shor(*inst.bb, 1, n, rng) == n);
+  }
+  state.counters["order"] = static_cast<double>(n);
+  state.counters["correct"] = ok ? 1 : 0;
+  benchutil::report_queries(state, inst.bb->counter(),
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E2_ShorMixedRadix)
+    ->RangeMultiplier(4)
+    ->Range(8, 256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E2_ShorQubitCircuit(benchmark::State& state) {
+  const std::uint64_t n = state.range(0);
+  auto z = std::make_shared<grp::CyclicGroup>(n);
+  const auto inst = bb::make_instance(z, {});
+  Rng rng(2);
+  hsp::ShorOptions opts;
+  opts.use_qubit_circuit = true;
+  bool ok = true;
+  for (auto _ : state) {
+    ok &= (hsp::find_order_shor(*inst.bb, 1, n, rng, opts) == n);
+  }
+  state.counters["order"] = static_cast<double>(n);
+  state.counters["correct"] = ok ? 1 : 0;
+}
+BENCHMARK(BM_E2_ShorQubitCircuit)
+    ->RangeMultiplier(4)
+    ->Range(8, 128)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E2_ShorApproxQft(benchmark::State& state) {
+  // Cutoff sweep at fixed modulus: how aggressive can the approximate
+  // QFT be before retries climb? (paper: approximate QFT suffices)
+  const int cutoff = static_cast<int>(state.range(0));
+  auto z = std::make_shared<grp::CyclicGroup>(64);
+  const auto inst = bb::make_instance(z, {});
+  Rng rng(3);
+  hsp::ShorOptions opts;
+  opts.use_qubit_circuit = true;
+  opts.approx_cutoff = cutoff;
+  bool ok = true;
+  for (auto _ : state) {
+    ok &= (hsp::find_order_shor(*inst.bb, 1, 64, rng, opts) == 64);
+  }
+  state.counters["cutoff"] = cutoff;
+  state.counters["correct"] = ok ? 1 : 0;
+  benchutil::report_queries(state, inst.bb->counter(),
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E2_ShorApproxQft)->DenseRange(2, 12, 2)->Unit(benchmark::kMillisecond);
+
+void BM_E2_ClassicalIteration(benchmark::State& state) {
+  const std::uint64_t n = state.range(0);
+  auto z = std::make_shared<grp::CyclicGroup>(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z->element_order_bruteforce(1));
+  }
+  state.counters["order"] = static_cast<double>(n);
+  state.counters["group_ops"] = static_cast<double>(n);
+}
+BENCHMARK(BM_E2_ClassicalIteration)
+    ->RangeMultiplier(4)
+    ->Range(8, 1 << 20)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,99 @@
+// E3 — Constructive membership in Abelian subgroups (Theorem 6).
+//
+// Claim reproduced: poly(input) time / O(r log) circuit runs, for r
+// commuting generators; sweeps the generator count and the component
+// orders.
+#include "bench_common.h"
+
+#include "nahsp/groups/cyclic.h"
+#include "nahsp/hsp/membership.h"
+
+namespace {
+
+using namespace nahsp;
+
+void BM_E3_GeneratorCountSweep(benchmark::State& state) {
+  // <2 e_1, ..., 2 e_r> inside Z_4^r; target the all-twos vector.
+  const int r = static_cast<int>(state.range(0));
+  auto p = grp::product_of_cyclics(std::vector<std::uint64_t>(r, 4));
+  const auto inst =
+      bb::make_instance(std::static_pointer_cast<const grp::Group>(p), {});
+  std::vector<grp::Code> hs;
+  std::vector<grp::Code> target_parts(r, 2);
+  for (int i = 0; i < r; ++i) {
+    std::vector<grp::Code> comps(r, 0);
+    comps[i] = 2;
+    hs.push_back(p->pack(comps));
+  }
+  const grp::Code target = p->pack(target_parts);
+  Rng rng(1);
+  hsp::MembershipOptions opts;
+  opts.order_bound = 4;
+  bool ok = true;
+  for (auto _ : state) {
+    const auto res =
+        hsp::constructive_membership(*inst.bb, hs, target, rng, opts);
+    ok &= res.representable;
+  }
+  state.counters["r"] = r;
+  state.counters["correct"] = ok ? 1 : 0;
+  benchutil::report_queries(state, inst.bb->counter(),
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E3_GeneratorCountSweep)
+    ->DenseRange(1, 9, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E3_ComponentOrderSweep(benchmark::State& state) {
+  // <g> inside Z_n x Z_n with g = (2, n/2); positive instance.
+  const std::uint64_t n = state.range(0);
+  auto p = grp::product_of_cyclics({n, n});
+  const auto inst =
+      bb::make_instance(std::static_pointer_cast<const grp::Group>(p), {});
+  const grp::Code h = p->pack({2, n / 2});
+  const grp::Code target = p->mul(h, p->mul(h, h));  // h^3
+  Rng rng(2);
+  hsp::MembershipOptions opts;
+  opts.order_bound = n;
+  bool ok = true;
+  for (auto _ : state) {
+    const auto res =
+        hsp::constructive_membership(*inst.bb, {h}, target, rng, opts);
+    ok &= res.representable;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["correct"] = ok ? 1 : 0;
+  benchutil::report_queries(state, inst.bb->counter(),
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E3_ComponentOrderSweep)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E3_NegativeInstances(benchmark::State& state) {
+  // Rejection cost: target outside the subgroup.
+  const std::uint64_t n = state.range(0);
+  auto p = grp::product_of_cyclics({n, n});
+  const auto inst =
+      bb::make_instance(std::static_pointer_cast<const grp::Group>(p), {});
+  const grp::Code h = p->pack({2, 0});
+  const grp::Code target = p->pack({1, 1});
+  Rng rng(3);
+  hsp::MembershipOptions opts;
+  opts.order_bound = n;
+  bool ok = true;
+  for (auto _ : state) {
+    const auto res =
+        hsp::constructive_membership(*inst.bb, {h}, target, rng, opts);
+    ok &= !res.representable;
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["correct"] = ok ? 1 : 0;
+}
+BENCHMARK(BM_E3_NegativeInstances)
+    ->RangeMultiplier(4)
+    ->Range(8, 128)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,106 @@
+// E4 — Hidden normal subgroup (Theorem 8) across instance families:
+// solvable groups (Heisenberg, dihedral) and permutation groups (S_n),
+// with the classical brute-force baseline for the query gap.
+#include "bench_common.h"
+
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/permutation.h"
+#include "nahsp/hsp/baseline.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/normal.h"
+
+namespace {
+
+using namespace nahsp;
+
+void BM_E4_HeisenbergCentre(benchmark::State& state) {
+  const std::uint64_t p = state.range(0);
+  auto h = std::make_shared<grp::HeisenbergGroup>(p, 1);
+  const auto inst = bb::make_instance(h, {h->central_generator()});
+  Rng rng(1);
+  hsp::NormalHspOptions opts;
+  opts.order_bound = p;
+  bool ok = true;
+  for (auto _ : state) {
+    const auto res =
+        hsp::find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+    ok &= hsp::verify_same_subgroup(*h, res.generators,
+                                    inst.planted_generators);
+  }
+  state.counters["|G|"] = static_cast<double>(p * p * p);
+  state.counters["correct"] = ok ? 1 : 0;
+  benchutil::report_queries(state, inst.bb->counter(),
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E4_HeisenbergCentre)
+    ->Arg(3)->Arg(5)->Arg(7)->Arg(11)->Arg(13)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E4_DihedralRotations(benchmark::State& state) {
+  const std::uint64_t n = state.range(0);
+  auto d = std::make_shared<grp::DihedralGroup>(n);
+  const auto inst = bb::make_instance(d, {d->make(1, false)});
+  Rng rng(2);
+  hsp::NormalHspOptions opts;
+  opts.order_bound = 2 * n;
+  bool ok = true;
+  for (auto _ : state) {
+    const auto res =
+        hsp::find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+    ok &= hsp::verify_same_subgroup(*d, res.generators,
+                                    inst.planted_generators);
+  }
+  state.counters["|G|"] = static_cast<double>(2 * n);
+  state.counters["correct"] = ok ? 1 : 0;
+  benchutil::report_queries(state, inst.bb->counter(),
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E4_DihedralRotations)
+    ->RangeMultiplier(2)
+    ->Range(8, 256)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E4_SymmetricGroupAn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto sn = grp::symmetric_group(n);
+  std::vector<grp::Code> an;
+  for (int i = 2; i < n; ++i)
+    an.push_back(sn->encode(grp::perm_from_cycles(n, {{0, 1, i}})));
+  const auto inst = bb::make_perm_instance(sn, an);
+  Rng rng(3);
+  hsp::NormalHspOptions opts;
+  opts.order_bound = 2 * n;
+  bool ok = true;
+  for (auto _ : state) {
+    const auto res =
+        hsp::find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+    ok &= hsp::verify_same_subgroup(*sn, res.generators,
+                                    inst.planted_generators);
+  }
+  state.counters["degree"] = n;
+  state.counters["correct"] = ok ? 1 : 0;
+  benchutil::report_queries(state, inst.bb->counter(),
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E4_SymmetricGroupAn)
+    ->DenseRange(4, 7, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E4_ClassicalBaselineHeisenberg(benchmark::State& state) {
+  const std::uint64_t p = state.range(0);
+  auto h = std::make_shared<grp::HeisenbergGroup>(p, 1);
+  const auto inst = bb::make_instance(h, {h->central_generator()});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hsp::classical_bruteforce_hsp(*inst.bb, *inst.f));
+  }
+  state.counters["|G|"] = static_cast<double>(p * p * p);
+  benchutil::report_queries(state, inst.bb->counter(),
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E4_ClassicalBaselineHeisenberg)
+    ->Arg(3)->Arg(5)->Arg(7)->Arg(11)->Arg(13)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

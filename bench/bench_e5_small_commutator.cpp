@@ -1,0 +1,88 @@
+// E5 — HSP with small commutator subgroup (Theorem 11 / Corollary 12).
+//
+// Claim reproduced: running time polynomial in input + |G'|. The
+// extra-special sweep varies p (=|G'|) with a non-normal hidden
+// subgroup; the classical baseline pays |G| = p^3.
+#include "bench_common.h"
+
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/hsp/baseline.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/small_commutator.h"
+
+namespace {
+
+using namespace nahsp;
+
+void BM_E5_ExtraspecialSweepP(benchmark::State& state) {
+  const std::uint64_t p = state.range(0);
+  auto h = std::make_shared<grp::HeisenbergGroup>(p, 1);
+  // Non-normal hidden subgroup <(1, 1, 0)> — the hard case for naive
+  // Fourier sampling, routine for Theorem 11.
+  const auto inst = bb::make_instance(h, {h->make({1}, {1}, 0)});
+  Rng rng(1);
+  hsp::SmallCommutatorOptions opts;
+  opts.order_bound = p;
+  bool ok = true;
+  for (auto _ : state) {
+    const auto res =
+        hsp::solve_hsp_small_commutator(*inst.bb, *inst.f, rng, opts);
+    ok &= hsp::verify_same_subgroup(*h, res.generators,
+                                    inst.planted_generators);
+  }
+  state.counters["p=|G'|"] = static_cast<double>(p);
+  state.counters["|G|"] = static_cast<double>(p * p * p);
+  state.counters["correct"] = ok ? 1 : 0;
+  benchutil::report_queries(state, inst.bb->counter(),
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E5_ExtraspecialSweepP)
+    ->Arg(3)->Arg(5)->Arg(7)->Arg(11)->Arg(13)->Arg(17)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E5_HigherRankExtraspecial(benchmark::State& state) {
+  // Heis(2, n): |G| = 2^{2n+1}, |G'| = 2 fixed — runtime should grow
+  // with the input size, not with |G| (until simulation costs bite).
+  const int n = static_cast<int>(state.range(0));
+  auto h = std::make_shared<grp::HeisenbergGroup>(2, n);
+  std::vector<std::uint64_t> a(n, 0), b(n, 0);
+  a[0] = 1;
+  b[n - 1] = 1;
+  const auto inst = bb::make_instance(h, {h->make(a, b, 0)});
+  Rng rng(2);
+  hsp::SmallCommutatorOptions opts;
+  opts.order_bound = 4;
+  bool ok = true;
+  for (auto _ : state) {
+    const auto res =
+        hsp::solve_hsp_small_commutator(*inst.bb, *inst.f, rng, opts);
+    ok &= hsp::verify_same_subgroup(*h, res.generators,
+                                    inst.planted_generators);
+  }
+  state.counters["n"] = n;
+  state.counters["|G|"] = static_cast<double>(1u << (2 * n + 1));
+  state.counters["correct"] = ok ? 1 : 0;
+  benchutil::report_queries(state, inst.bb->counter(),
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E5_HigherRankExtraspecial)
+    ->DenseRange(1, 5, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E5_ClassicalBaseline(benchmark::State& state) {
+  const std::uint64_t p = state.range(0);
+  auto h = std::make_shared<grp::HeisenbergGroup>(p, 1);
+  const auto inst = bb::make_instance(h, {h->make({1}, {1}, 0)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hsp::classical_bruteforce_hsp(*inst.bb, *inst.f));
+  }
+  state.counters["p=|G'|"] = static_cast<double>(p);
+  benchutil::report_queries(state, inst.bb->counter(),
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E5_ClassicalBaseline)
+    ->Arg(3)->Arg(5)->Arg(7)->Arg(11)->Arg(13)->Arg(17)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,93 @@
+// E6 — Theorem 13, general route: elementary Abelian normal 2-subgroup
+// with small factor group. Sweeps |G/N| at fixed N and |N| = 2^k at
+// fixed factor; cost must be linear-ish in |G/N| and polynomial in k.
+#include "bench_common.h"
+
+#include "nahsp/groups/gf2group.h"
+#include "nahsp/hsp/elem_abelian2.h"
+#include "nahsp/hsp/instance.h"
+
+namespace {
+
+using namespace nahsp;
+
+// Z_2^m x| Z_m via the cyclic coordinate shift (order m).
+std::shared_ptr<const grp::GF2SemidirectCyclic> shift_group(int m) {
+  std::vector<int> perm(m);
+  for (int i = 0; i < m; ++i) perm[i] = (i + 1) % m;
+  return std::make_shared<grp::GF2SemidirectCyclic>(
+      m, grp::GF2Mat::permutation(perm), m);
+}
+
+void run_general(benchmark::State& state,
+                 const std::shared_ptr<const grp::GF2SemidirectCyclic>& g,
+                 const std::vector<grp::Code>& hidden) {
+  const auto inst = bb::make_instance(g, hidden);
+  Rng rng(1);
+  hsp::ElemAbelian2Options opts;
+  opts.n_membership = [g](grp::Code c) { return g->rot_of(c) == 0; };
+  bool ok = true;
+  std::size_t reps = 0;
+  for (auto _ : state) {
+    const auto res = hsp::solve_hsp_elem_abelian2(
+        *inst.bb, g->normal_subgroup_generators(), *inst.f, rng, opts);
+    ok &= hsp::verify_same_subgroup(*g, res.generators,
+                                    inst.planted_generators);
+    reps = res.coset_reps_used;
+  }
+  state.counters["|G/N|"] = static_cast<double>(g->m());
+  state.counters["k"] = g->k();
+  state.counters["coset_reps"] = static_cast<double>(reps);
+  state.counters["correct"] = ok ? 1 : 0;
+  benchutil::report_queries(state, inst.bb->counter(),
+                            static_cast<double>(state.iterations()));
+}
+
+void BM_E6_FactorSizeSweep(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  auto g = shift_group(m);
+  // Hidden subgroup mixing N and the complement.
+  run_general(state, g, {g->make(0b11, 0), g->make(0, 2 % g->m())});
+}
+BENCHMARK(BM_E6_FactorSizeSweep)
+    ->DenseRange(2, 12, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E6_SubgroupRankSweep(benchmark::State& state) {
+  // Wreath products Z_2^k wr Z_2: |G/N| = 2 fixed, |N| = 2^{2k} grows.
+  const int k = static_cast<int>(state.range(0));
+  auto w = grp::wreath_z2k_z2(k);
+  // Hidden: shifted swap + one diagonal vector.
+  const std::uint64_t diag = (1ULL << k) | 1ULL;
+  run_general(state, w, {w->make(diag, 1)});
+}
+BENCHMARK(BM_E6_SubgroupRankSweep)
+    ->DenseRange(1, 8, 1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E6_QuantumNMembership(benchmark::State& state) {
+  // Ablation: the generic quantum membership test for N instead of the
+  // structure-aware oracle (costs one constructive-membership HSP per
+  // BFS edge).
+  const int m = static_cast<int>(state.range(0));
+  auto g = shift_group(m);
+  const auto inst = bb::make_instance(g, {g->make(0b11, 0)});
+  Rng rng(2);
+  hsp::ElemAbelian2Options opts;  // no fast oracle
+  bool ok = true;
+  for (auto _ : state) {
+    const auto res = hsp::solve_hsp_elem_abelian2(
+        *inst.bb, g->normal_subgroup_generators(), *inst.f, rng, opts);
+    ok &= hsp::verify_same_subgroup(*g, res.generators,
+                                    inst.planted_generators);
+  }
+  state.counters["|G/N|"] = static_cast<double>(g->m());
+  state.counters["correct"] = ok ? 1 : 0;
+  benchutil::report_queries(state, inst.bb->counter(),
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E6_QuantumNMembership)
+    ->DenseRange(2, 6, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,110 @@
+// E8 — Simulator substrate scaling: gate throughput vs qubit count,
+// OpenMP thread scaling, exact vs approximate QFT, and the mixed-radix
+// FFT fast path.
+#include <benchmark/benchmark.h>
+#include <omp.h>
+
+#include "nahsp/common/rng.h"
+#include "nahsp/qsim/mixedradix.h"
+#include "nahsp/qsim/qft.h"
+#include "nahsp/qsim/statevector.h"
+
+namespace {
+
+using namespace nahsp;
+
+void BM_E8_QftCircuit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qs::StateVector sv = qs::StateVector::uniform(n);
+  for (auto _ : state) {
+    qs::apply_qft(sv, 0, n);
+    benchmark::ClobberMemory();
+  }
+  // QFT ladder = n Hadamards + n(n-1)/2 controlled phases + swaps.
+  state.counters["qubits"] = n;
+  state.counters["amps"] = static_cast<double>(1u << n);
+  state.SetItemsProcessed(state.iterations() *
+                          (std::int64_t{1} << n) * n * (n + 1) / 2);
+}
+BENCHMARK(BM_E8_QftCircuit)->DenseRange(10, 22, 2)->Unit(benchmark::kMillisecond);
+
+void BM_E8_QftThreadScaling(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const int n = 21;
+  omp_set_num_threads(threads);
+  qs::StateVector sv = qs::StateVector::uniform(n);
+  for (auto _ : state) {
+    qs::apply_qft(sv, 0, n);
+    benchmark::ClobberMemory();
+  }
+  omp_set_num_threads(omp_get_num_procs());
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_E8_QftThreadScaling)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_E8_ApproxQftCutoff(benchmark::State& state) {
+  // Gate-count savings of the approximate QFT (paper: approximate QFT
+  // suffices for the HSP) — time per transform vs cutoff at 20 qubits.
+  const int cutoff = static_cast<int>(state.range(0));
+  qs::StateVector sv = qs::StateVector::uniform(20);
+  for (auto _ : state) {
+    qs::apply_qft(sv, 0, 20, cutoff);
+    benchmark::ClobberMemory();
+  }
+  state.counters["cutoff"] = cutoff;
+}
+BENCHMARK(BM_E8_ApproxQftCutoff)
+    ->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(0 /* exact */)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E8_MixedRadixFftPath(benchmark::State& state) {
+  // Power-of-two cells ride the radix-2 FFT (O(D log d)); this measures
+  // the full Abelian QFT over Z_{2^a}.
+  const int a = static_cast<int>(state.range(0));
+  qs::MixedRadixState st =
+      qs::MixedRadixState::uniform({std::uint64_t{1} << a});
+  for (auto _ : state) {
+    st.qft_all();
+    benchmark::ClobberMemory();
+  }
+  state.counters["log2_dim"] = a;
+}
+BENCHMARK(BM_E8_MixedRadixFftPath)
+    ->DenseRange(10, 22, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E8_MixedRadixDensePath(benchmark::State& state) {
+  // Non-power-of-two cells use the dense per-cell DFT (O(D d)).
+  const std::uint64_t d = state.range(0);
+  qs::MixedRadixState st = qs::MixedRadixState::uniform({d, 1024});
+  for (auto _ : state) {
+    st.qft_cell(0);
+    benchmark::ClobberMemory();
+  }
+  state.counters["cell_dim"] = static_cast<double>(d);
+}
+BENCHMARK(BM_E8_MixedRadixDensePath)
+    ->Arg(3)->Arg(7)->Arg(15)->Arg(31)->Arg(63)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E8_OracleCollapse(benchmark::State& state) {
+  // The oracle + ancilla-measurement step of the HSP circuit.
+  const int a = static_cast<int>(state.range(0));
+  const std::size_t dim = std::size_t{1} << a;
+  std::vector<std::uint64_t> labels(dim);
+  for (std::size_t i = 0; i < dim; ++i) labels[i] = i % 64;
+  Rng rng(1);
+  for (auto _ : state) {
+    qs::MixedRadixState st =
+        qs::MixedRadixState::uniform({std::uint64_t{1} << a});
+    benchmark::DoNotOptimize(st.collapse_by_label(labels, rng));
+  }
+  state.counters["log2_dim"] = a;
+}
+BENCHMARK(BM_E8_OracleCollapse)
+    ->DenseRange(10, 22, 4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,125 @@
+// E9 — Query complexity across solvers, and the Ettinger–Høyer shape
+// (few quantum queries, exponential classical post-processing) from the
+// paper's Introduction. Time is secondary here; the counters are the
+// result.
+#include "bench_common.h"
+
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/permutation.h"
+#include "nahsp/hsp/abelian.h"
+#include "nahsp/hsp/baseline.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/normal.h"
+
+namespace {
+
+using namespace nahsp;
+
+void BM_E9_AbelianHspQueries(benchmark::State& state) {
+  // Quantum queries per solve vs log |A| — expected linear in log|A|.
+  const int a = static_cast<int>(state.range(0));
+  const std::vector<std::uint64_t> mods{std::uint64_t{1} << a};
+  const std::vector<la::AbVec> h{{std::uint64_t{1} << (a / 2)}};
+  bb::QueryCounter counter;
+  qs::AnalyticCosetSampler sampler(mods, h, &counter);
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hsp::solve_abelian_hsp(sampler, rng));
+  }
+  state.counters["log2_A"] = a;
+  benchutil::report_queries(state, counter,
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E9_AbelianHspQueries)
+    ->DenseRange(8, 40, 8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E9_EttingerHoyerDihedral(benchmark::State& state) {
+  // O(log n) quantum samples, Theta(n) classical scan: both reported.
+  const std::uint64_t n = state.range(0);
+  auto d = std::make_shared<grp::DihedralGroup>(n);
+  const auto inst = bb::make_instance(d, {d->make(n / 3, true)});
+  Rng rng(2);
+  double samples = 0, scanned = 0;
+  bool ok = true;
+  for (auto _ : state) {
+    const auto res = hsp::dihedral_ettinger_hoyer(*d, *inst.f, rng);
+    samples = res.quantum_samples;
+    scanned = static_cast<double>(res.candidates_scanned);
+    ok &= hsp::verify_same_subgroup(*d, res.generators,
+                                    {d->make(n / 3, true)});
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["quantum_samples"] = samples;
+  state.counters["classical_scan"] = scanned;
+  state.counters["correct"] = ok ? 1 : 0;
+}
+BENCHMARK(BM_E9_EttingerHoyerDihedral)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E9_CosetLabellingStrategies(benchmark::State& state) {
+  // Hiding-oracle realisation cost: enumeration labelling (min over H,
+  // O(|H|) per point) vs Schreier–Sims minimal coset representatives
+  // (poly in the degree) for the same subgroup of S_n.
+  const int degree = static_cast<int>(state.range(0));
+  auto sn = grp::symmetric_group(degree);
+  std::vector<grp::Code> an;
+  for (int i = 2; i < degree; ++i)
+    an.push_back(sn->encode(grp::perm_from_cycles(degree, {{0, 1, i}})));
+  const bool use_bsgs = state.range(1) != 0;
+  const auto inst = use_bsgs
+                        ? bb::make_perm_instance(sn, an)
+                        : bb::make_instance(
+                              std::static_pointer_cast<const grp::Group>(sn),
+                              an);
+  Rng rng(3);
+  std::uint64_t fact = 1;
+  for (int i = 2; i <= degree; ++i) fact *= i;
+  for (auto _ : state) {
+    // Label 64 fresh random elements (memoisation defeated by sampling
+    // across the whole group).
+    std::uint64_t acc = 0;
+    for (int i = 0; i < 64; ++i) {
+      acc ^= inst.f->eval_uncounted(rng.below(fact));
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.counters["degree"] = degree;
+  state.counters["bsgs"] = use_bsgs ? 1 : 0;
+}
+BENCHMARK(BM_E9_CosetLabellingStrategies)
+    ->Args({5, 0})->Args({5, 1})->Args({6, 0})->Args({6, 1})
+    ->Args({7, 0})->Args({7, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E9_NormalHspQuantumVsClassical(benchmark::State& state) {
+  const std::uint64_t p = state.range(0);
+  auto h = std::make_shared<grp::HeisenbergGroup>(p, 1);
+  const bool classical = state.range(1) != 0;
+  const auto inst = bb::make_instance(h, {h->central_generator()});
+  Rng rng(4);
+  hsp::NormalHspOptions opts;
+  opts.order_bound = p;
+  for (auto _ : state) {
+    if (classical) {
+      benchmark::DoNotOptimize(
+          hsp::classical_bruteforce_hsp(*inst.bb, *inst.f));
+    } else {
+      benchmark::DoNotOptimize(
+          hsp::find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts));
+    }
+  }
+  state.counters["p"] = static_cast<double>(p);
+  state.counters["classical_mode"] = classical ? 1 : 0;
+  benchutil::report_queries(state, inst.bb->counter(),
+                            static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_E9_NormalHspQuantumVsClassical)
+    ->Args({5, 0})->Args({5, 1})->Args({11, 0})->Args({11, 1})
+    ->Args({17, 0})->Args({17, 1})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

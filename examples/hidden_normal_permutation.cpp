@@ -1,0 +1,94 @@
+// Hidden normal subgroups of permutation and solvable groups
+// (paper Theorem 8) — no Fourier transform on G required.
+//
+// Walks the normal subgroup lattices of S_4 and D_12 plus the hidden
+// centre of a Heisenberg group, recovering each planted subgroup from
+// its hiding oracle alone, and reports which presentation route the
+// solver took (Abelian relators vs Schreier transversal).
+#include <cstdio>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/permutation.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/normal.h"
+
+int main() {
+  using namespace nahsp;
+  Rng rng(3);
+  bool all_ok = true;
+
+  std::printf("=== S_4 (all four normal subgroups) ===\n");
+  auto s4 = grp::symmetric_group(4);
+  struct PermCase {
+    const char* what;
+    std::vector<grp::Code> gens;
+  };
+  std::vector<PermCase> cases;
+  cases.push_back({"1   ", {}});
+  cases.push_back(
+      {"V_4 ",
+       {s4->encode(grp::perm_from_cycles(4, {{0, 1}, {2, 3}})),
+        s4->encode(grp::perm_from_cycles(4, {{0, 2}, {1, 3}}))}});
+  {
+    std::vector<grp::Code> a4;
+    for (int i = 2; i < 4; ++i)
+      a4.push_back(s4->encode(grp::perm_from_cycles(4, {{0, 1, i}})));
+    cases.push_back({"A_4 ", a4});
+  }
+  cases.push_back({"S_4 ", s4->generators()});
+  for (const auto& c : cases) {
+    const auto inst = bb::make_perm_instance(s4, c.gens);
+    hsp::NormalHspOptions opts;
+    opts.order_bound = 24;
+    const auto res =
+        hsp::find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+    const bool ok = hsp::verify_same_subgroup(*s4, res.generators, c.gens);
+    all_ok &= ok;
+    std::printf("  N = %s |N| = %2zu  route: %-8s  -> %s\n", c.what,
+                grp::enumerate_subgroup(*s4, c.gens).size(),
+                res.abelian_factor ? "abelian" : "schreier",
+                ok ? "OK" : "FAIL");
+  }
+
+  std::printf("\n=== D_12 (hidden rotation subgroups) ===\n");
+  auto d = std::make_shared<grp::DihedralGroup>(12);
+  for (const std::uint64_t k : {1ULL, 2ULL, 3ULL, 4ULL, 6ULL}) {
+    const auto inst = bb::make_instance(d, {d->make(k, false)});
+    hsp::NormalHspOptions opts;
+    opts.order_bound = 24;
+    const auto res =
+        hsp::find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+    const bool ok = hsp::verify_same_subgroup(*d, res.generators,
+                                              {d->make(k, false)});
+    all_ok &= ok;
+    std::printf("  N = <x^%llu> |N| = %2llu  route: %-8s  -> %s\n",
+                static_cast<unsigned long long>(k),
+                static_cast<unsigned long long>(12 / k),
+                res.abelian_factor ? "abelian" : "schreier",
+                ok ? "OK" : "FAIL");
+  }
+
+  std::printf("\n=== Heisenberg p = 7 (hidden centre, solvable) ===\n");
+  auto h = std::make_shared<grp::HeisenbergGroup>(7, 1);
+  const auto inst = bb::make_instance(h, {h->central_generator()});
+  hsp::NormalHspOptions opts;
+  opts.order_bound = 7;
+  const auto res =
+      hsp::find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+  const bool ok = hsp::verify_same_subgroup(*h, res.generators,
+                                            {h->central_generator()});
+  all_ok &= ok;
+  std::printf(
+      "  |G| = 343, recovered Z(G): %s with %llu classical + %llu quantum "
+      "queries\n",
+      ok ? "OK" : "FAIL",
+      static_cast<unsigned long long>(inst.counter->classical_queries),
+      static_cast<unsigned long long>(inst.counter->quantum_queries));
+
+  std::printf("\n%s\n", all_ok ? "all instances recovered" : "FAILURES");
+  return all_ok ? 0 : 1;
+}

@@ -1,0 +1,66 @@
+// Quickstart: solve an Abelian hidden subgroup problem end to end.
+//
+// This is the smallest complete tour of the public API:
+//   1. pick a group and plant a hidden subgroup,
+//   2. wrap it in a black-box instance (oracles + hiding function),
+//   3. run the standard quantum circuit on the statevector simulator,
+//   4. decode the measured characters and print the recovered subgroup.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/cyclic.h"
+#include "nahsp/hsp/abelian.h"
+#include "nahsp/hsp/instance.h"
+
+int main() {
+  using namespace nahsp;
+
+  // 1. The group A = Z_12 x Z_8 with hidden subgroup H = <(3, 2)>.
+  const std::vector<std::uint64_t> moduli{12, 8};
+  const std::vector<la::AbVec> hidden{{3, 2}};
+  std::printf("group      : Z_12 x Z_8  (|A| = 96)\n");
+  std::printf("planted H  : <(3, 2)>  (order %llu)\n",
+              static_cast<unsigned long long>(
+                  la::abelian_subgroup_order(hidden, moduli)));
+
+  // 2. A hiding oracle: canonical labels of the cosets x + H.
+  const auto h_elems = la::abelian_enumerate(hidden, moduli);
+  qs::LabelFn f = [&](const la::AbVec& x) -> std::uint64_t {
+    std::uint64_t best = ~std::uint64_t{0};
+    for (const la::AbVec& h : h_elems) {
+      std::uint64_t idx = 0;
+      for (std::size_t i = 0; i < moduli.size(); ++i)
+        idx = idx * moduli[i] + (x[i] + h[i]) % moduli[i];
+      best = std::min(best, idx);
+    }
+    return best;
+  };
+
+  // 3. The quantum part: the coset-state + QFT circuit, simulated
+  //    exactly on the mixed-radix statevector backend.
+  bb::QueryCounter counter;
+  qs::MixedRadixCosetSampler sampler(moduli, f, &counter);
+  Rng rng(2026);
+  const hsp::AbelianHspResult result =
+      hsp::solve_abelian_hsp(sampler, rng);
+
+  // 4. Report.
+  std::printf("\nrecovered generators:\n");
+  for (const la::AbVec& g : result.generators) {
+    std::printf("  (%llu, %llu)\n", static_cast<unsigned long long>(g[0]),
+                static_cast<unsigned long long>(g[1]));
+  }
+  std::printf("subgroup order : %llu\n",
+              static_cast<unsigned long long>(result.subgroup_order));
+  std::printf("circuit runs   : %d\n", result.samples_used);
+  std::printf("quantum queries: %llu (one oracle call per run)\n",
+              static_cast<unsigned long long>(counter.quantum_queries));
+  const bool ok = la::abelian_subgroup_equal(result.generators, hidden, moduli);
+  std::printf("matches planted subgroup: %s\n", ok ? "YES" : "NO");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,67 @@
+// The black-box access layer the HSP solvers see.
+//
+// Solvers receive a BlackBoxGroup (multiplication/inversion/identity
+// oracles + generators + encoding length — nothing else) and a
+// HidingFunction. Every oracle call is counted so experiments can report
+// query complexity:
+//   - group_ops:        U_G / U_G^{-1} invocations,
+//   - classical_queries: f evaluated on a single (classical) argument,
+//   - quantum_queries:   f applied once to a superposition,
+//   - sim_basis_evals:   per-basis-state evaluations the *simulator*
+//                        performs to realise one superposition query
+//                        (simulation overhead, not algorithm cost).
+//
+// BlackBoxGroup derives from grp::Group so the classical group
+// algorithms (normal closure, enumeration, ...) run against the counted
+// facade — but order() is deliberately unavailable: a black box does not
+// reveal the group order (that is what the quantum algorithms compute).
+#pragma once
+
+#include <memory>
+
+#include "nahsp/groups/group.h"
+
+namespace nahsp::bb {
+
+using grp::Code;
+
+/// Shared oracle-call counters for one problem instance.
+struct QueryCounter {
+  std::uint64_t group_ops = 0;
+  std::uint64_t classical_queries = 0;
+  std::uint64_t quantum_queries = 0;
+  std::uint64_t sim_basis_evals = 0;
+
+  void reset() { *this = QueryCounter{}; }
+};
+
+/// The group oracle facade (counts every U_G / U_G^{-1} call).
+class BlackBoxGroup final : public grp::Group {
+ public:
+  BlackBoxGroup(std::shared_ptr<const grp::Group> g,
+                std::shared_ptr<QueryCounter> counter);
+
+  Code mul(Code a, Code b) const override;
+  Code inv(Code a) const override;
+  Code id() const override { return g_->id(); }
+  bool is_id(Code a) const override { return g_->is_id(a); }
+  std::vector<Code> generators() const override { return g_->generators(); }
+  int encoding_bits() const override { return g_->encoding_bits(); }
+  bool is_element(Code a) const override { return g_->is_element(a); }
+  std::string name() const override;
+
+  /// A black box does not expose the group order; throws internal_error.
+  std::uint64_t order() const override;
+
+  QueryCounter& counter() const { return *counter_; }
+
+  /// Escape hatch for tests and instance builders only (checking results
+  /// against ground truth); solver code must not call this.
+  const grp::Group& underlying_for_verification() const { return *g_; }
+
+ private:
+  std::shared_ptr<const grp::Group> g_;
+  std::shared_ptr<QueryCounter> counter_;
+};
+
+}  // namespace nahsp::bb

@@ -1,0 +1,112 @@
+// Hiding functions: oracles f : G -> labels that are constant on left
+// cosets of a subgroup H and distinct across cosets.
+//
+// Instance builders plant a subgroup H and realise f by canonical coset
+// labelling. Two labelling strategies are provided:
+//   - EnumerationHider: label(x) = min over h in H of code(x*h); general,
+//     costs |H| group operations per fresh query (memoised).
+//   - PermCosetHider: canonical minimal coset representative via a
+//     Schreier–Sims chain; polynomial in the degree even for huge H.
+// Both produce *opaque* labels: solvers may compare labels for equality
+// but must not interpret them.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "nahsp/bbox/blackbox.h"
+#include "nahsp/groups/permutation.h"
+
+namespace nahsp::bb {
+
+/// Oracle f hiding a subgroup. eval() counts one classical query;
+/// eval_uncounted() is used by the simulators, which account a whole
+/// superposition application as one quantum query themselves.
+class HidingFunction {
+ public:
+  virtual ~HidingFunction() = default;
+
+  /// Label of g's coset (classical query).
+  std::uint64_t eval(Code g) const;
+
+  /// Label of g's coset without touching the classical-query counter
+  /// (for simulator-internal batch evaluation).
+  virtual std::uint64_t eval_uncounted(Code g) const = 0;
+
+  QueryCounter& counter() const { return *counter_; }
+
+ protected:
+  explicit HidingFunction(std::shared_ptr<QueryCounter> counter);
+  std::shared_ptr<QueryCounter> counter_;
+};
+
+/// f built by explicit enumeration of the planted subgroup H:
+/// label(x) = min_{h in H} code(x*h). Memoised per element.
+class EnumerationHider final : public HidingFunction {
+ public:
+  EnumerationHider(std::shared_ptr<const grp::Group> g,
+                   std::vector<Code> subgroup_gens,
+                   std::shared_ptr<QueryCounter> counter,
+                   std::size_t cap = 1u << 22);
+
+  std::uint64_t eval_uncounted(Code g) const override;
+
+  const std::vector<Code>& subgroup_elements() const { return h_elems_; }
+
+ private:
+  std::shared_ptr<const grp::Group> g_;
+  std::vector<Code> h_elems_;
+  mutable std::unordered_map<Code, std::uint64_t> memo_;
+};
+
+/// f for permutation groups via Schreier–Sims minimal coset
+/// representatives: label(x) = rank(min of x*H). Polynomial in degree.
+class PermCosetHider final : public HidingFunction {
+ public:
+  PermCosetHider(std::shared_ptr<const grp::PermutationGroup> g,
+                 const std::vector<Code>& subgroup_gens,
+                 std::shared_ptr<QueryCounter> counter);
+
+  std::uint64_t eval_uncounted(Code g) const override;
+
+ private:
+  std::shared_ptr<const grp::PermutationGroup> g_;
+  std::unique_ptr<grp::SchreierSims> h_chain_;
+  mutable std::unordered_map<Code, std::uint64_t> memo_;
+};
+
+/// Arbitrary label function wrapped as a HidingFunction (used for the
+/// derived oracles the theorems construct: F(x) = {f(xg)}, secondary
+/// encodings, etc.).
+class LambdaHider final : public HidingFunction {
+ public:
+  LambdaHider(std::function<std::uint64_t(Code)> fn,
+              std::shared_ptr<QueryCounter> counter);
+
+  std::uint64_t eval_uncounted(Code g) const override { return fn_(g); }
+
+ private:
+  std::function<std::uint64_t(Code)> fn_;
+};
+
+/// A complete HSP problem instance: black-box group, hiding oracle,
+/// shared counters, and (for verification only) the planted truth.
+struct HspInstance {
+  std::shared_ptr<const grp::Group> group;
+  std::shared_ptr<QueryCounter> counter;
+  std::shared_ptr<BlackBoxGroup> bb;
+  std::shared_ptr<HidingFunction> f;
+  std::vector<Code> planted_generators;  // ground truth, tests only
+};
+
+/// Builds an instance with an EnumerationHider (general groups).
+HspInstance make_instance(std::shared_ptr<const grp::Group> g,
+                          std::vector<Code> hidden_subgroup_gens,
+                          std::size_t cap = 1u << 22);
+
+/// Builds an instance with a PermCosetHider (permutation groups).
+HspInstance make_perm_instance(std::shared_ptr<const grp::PermutationGroup> g,
+                               std::vector<Code> hidden_subgroup_gens);
+
+}  // namespace nahsp::bb

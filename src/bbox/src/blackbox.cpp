@@ -1,0 +1,38 @@
+#include "nahsp/bbox/blackbox.h"
+
+#include <sstream>
+
+#include "nahsp/common/check.h"
+
+namespace nahsp::bb {
+
+BlackBoxGroup::BlackBoxGroup(std::shared_ptr<const grp::Group> g,
+                             std::shared_ptr<QueryCounter> counter)
+    : g_(std::move(g)), counter_(std::move(counter)) {
+  NAHSP_REQUIRE(g_ != nullptr, "null group");
+  NAHSP_REQUIRE(counter_ != nullptr, "null counter");
+}
+
+Code BlackBoxGroup::mul(Code a, Code b) const {
+  ++counter_->group_ops;
+  return g_->mul(a, b);
+}
+
+Code BlackBoxGroup::inv(Code a) const {
+  ++counter_->group_ops;
+  return g_->inv(a);
+}
+
+std::string BlackBoxGroup::name() const {
+  std::ostringstream os;
+  os << "blackbox(" << g_->encoding_bits() << " bits)";
+  return os.str();
+}
+
+std::uint64_t BlackBoxGroup::order() const {
+  throw internal_error(
+      "BlackBoxGroup::order(): the black-box model does not expose the "
+      "group order; use the quantum order-finding algorithms instead");
+}
+
+}  // namespace nahsp::bb

@@ -1,0 +1,93 @@
+#include "nahsp/bbox/hiding.h"
+
+#include <algorithm>
+
+#include "nahsp/common/check.h"
+#include "nahsp/groups/algorithms.h"
+
+namespace nahsp::bb {
+
+HidingFunction::HidingFunction(std::shared_ptr<QueryCounter> counter)
+    : counter_(std::move(counter)) {
+  NAHSP_REQUIRE(counter_ != nullptr, "null counter");
+}
+
+std::uint64_t HidingFunction::eval(Code g) const {
+  ++counter_->classical_queries;
+  return eval_uncounted(g);
+}
+
+EnumerationHider::EnumerationHider(std::shared_ptr<const grp::Group> g,
+                                   std::vector<Code> subgroup_gens,
+                                   std::shared_ptr<QueryCounter> counter,
+                                   std::size_t cap)
+    : HidingFunction(std::move(counter)), g_(std::move(g)) {
+  NAHSP_REQUIRE(g_ != nullptr, "null group");
+  h_elems_ = grp::enumerate_subgroup(*g_, subgroup_gens, cap);
+}
+
+std::uint64_t EnumerationHider::eval_uncounted(Code x) const {
+  const auto it = memo_.find(x);
+  if (it != memo_.end()) return it->second;
+  Code best = ~Code{0};
+  for (const Code h : h_elems_) {
+    best = std::min(best, g_->mul(x, h));
+  }
+  memo_.emplace(x, best);
+  return best;
+}
+
+PermCosetHider::PermCosetHider(
+    std::shared_ptr<const grp::PermutationGroup> g,
+    const std::vector<Code>& subgroup_gens,
+    std::shared_ptr<QueryCounter> counter)
+    : HidingFunction(std::move(counter)), g_(std::move(g)) {
+  NAHSP_REQUIRE(g_ != nullptr, "null group");
+  std::vector<grp::Perm> gens;
+  gens.reserve(subgroup_gens.size());
+  for (const Code c : subgroup_gens) gens.push_back(g_->decode(c));
+  h_chain_ = std::make_unique<grp::SchreierSims>(g_->degree(), gens);
+}
+
+std::uint64_t PermCosetHider::eval_uncounted(Code x) const {
+  const auto it = memo_.find(x);
+  if (it != memo_.end()) return it->second;
+  const std::uint64_t label =
+      grp::perm_rank(h_chain_->min_coset_rep(g_->decode(x)));
+  memo_.emplace(x, label);
+  return label;
+}
+
+LambdaHider::LambdaHider(std::function<std::uint64_t(Code)> fn,
+                         std::shared_ptr<QueryCounter> counter)
+    : HidingFunction(std::move(counter)), fn_(std::move(fn)) {
+  NAHSP_REQUIRE(fn_ != nullptr, "null label function");
+}
+
+HspInstance make_instance(std::shared_ptr<const grp::Group> g,
+                          std::vector<Code> hidden_subgroup_gens,
+                          std::size_t cap) {
+  HspInstance inst;
+  inst.group = std::move(g);
+  inst.counter = std::make_shared<QueryCounter>();
+  inst.bb = std::make_shared<BlackBoxGroup>(inst.group, inst.counter);
+  inst.f = std::make_shared<EnumerationHider>(
+      inst.group, hidden_subgroup_gens, inst.counter, cap);
+  inst.planted_generators = std::move(hidden_subgroup_gens);
+  return inst;
+}
+
+HspInstance make_perm_instance(
+    std::shared_ptr<const grp::PermutationGroup> g,
+    std::vector<Code> hidden_subgroup_gens) {
+  HspInstance inst;
+  inst.group = g;
+  inst.counter = std::make_shared<QueryCounter>();
+  inst.bb = std::make_shared<BlackBoxGroup>(inst.group, inst.counter);
+  inst.f = std::make_shared<PermCosetHider>(g, hidden_subgroup_gens,
+                                            inst.counter);
+  inst.planted_generators = std::move(hidden_subgroup_gens);
+  return inst;
+}
+
+}  // namespace nahsp::bb

@@ -1,0 +1,29 @@
+// Small bit-manipulation helpers shared by the simulators and the
+// GF(2) group encodings.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace nahsp {
+
+/// Number of bits needed to represent values in [0, n), i.e. ceil(log2 n);
+/// bits_for(0) == bits_for(1) == 0.
+constexpr int bits_for(std::uint64_t n) {
+  if (n <= 1) return 0;
+  return 64 - std::countl_zero(n - 1);
+}
+
+/// True iff n is a power of two (n >= 1).
+constexpr bool is_pow2(std::uint64_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Parity (0/1) of the number of set bits.
+constexpr int parity64(std::uint64_t x) { return std::popcount(x) & 1; }
+
+/// Extracts bit `i` of `x`.
+constexpr std::uint64_t bit_of(std::uint64_t x, int i) { return (x >> i) & 1u; }
+
+/// GF(2) dot product of two bit-vectors packed in 64-bit words.
+constexpr int dot2(std::uint64_t a, std::uint64_t b) { return parity64(a & b); }
+
+}  // namespace nahsp

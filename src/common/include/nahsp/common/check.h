@@ -1,0 +1,82 @@
+// Error handling for nahsp.
+//
+// Conventions (C++ Core Guidelines I.6/I.8 style):
+//  - NAHSP_REQUIRE  — precondition on public API arguments; throws
+//    std::invalid_argument so callers can distinguish contract violations.
+//  - NAHSP_CHECK    — internal invariant / postcondition; throws
+//    nahsp::internal_error (these indicate a bug in the library).
+//  - NAHSP_ORACLE_CHECK — violation of an oracle promise (e.g. a hiding
+//    function that is not constant on cosets); throws nahsp::oracle_error.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace nahsp {
+
+/// Thrown when an internal invariant fails; indicates a library bug.
+class internal_error : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a user-supplied oracle violates its promise
+/// (e.g. a "hiding" function that is not constant on cosets).
+class oracle_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a randomized (Las Vegas) procedure exceeds its retry budget.
+class retry_exhausted : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_require(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void fail_check(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw internal_error(os.str());
+}
+
+[[noreturn]] inline void fail_oracle(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "oracle promise violated: (" << expr << ") at " << file << ":"
+     << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw oracle_error(os.str());
+}
+}  // namespace detail
+
+}  // namespace nahsp
+
+#define NAHSP_REQUIRE(expr, msg)                                      \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::nahsp::detail::fail_require(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define NAHSP_CHECK(expr, msg)                                      \
+  do {                                                              \
+    if (!(expr))                                                    \
+      ::nahsp::detail::fail_check(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define NAHSP_ORACLE_CHECK(expr, msg)                                \
+  do {                                                               \
+    if (!(expr))                                                     \
+      ::nahsp::detail::fail_oracle(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,30 @@
+// Wall-clock timing helpers for benchmarks and examples.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+namespace nahsp {
+
+/// Monotonic stopwatch.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  /// Elapsed seconds since construction or last reset().
+  double seconds() const;
+
+  /// Elapsed milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+  void reset() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Formats a duration like "12.3 ms" / "1.2 s" for human-readable logs.
+std::string format_duration(double seconds);
+
+}  // namespace nahsp

@@ -1,0 +1,74 @@
+// Cyclic groups, direct products, and elementary Abelian groups.
+//
+// These are both the Abelian substrate of the paper's Theorem 3 solver
+// and the building blocks the non-Abelian constructions hang off
+// (wreath products, semidirect products, Heisenberg groups).
+#pragma once
+
+#include <memory>
+
+#include "nahsp/groups/group.h"
+
+namespace nahsp::grp {
+
+/// Z_n with codes 0..n-1 and addition mod n. Generator: 1.
+class CyclicGroup final : public Group {
+ public:
+  explicit CyclicGroup(std::uint64_t n);
+
+  Code mul(Code a, Code b) const override;
+  Code inv(Code a) const override;
+  Code id() const override { return 0; }
+  std::vector<Code> generators() const override;
+  int encoding_bits() const override { return bits_; }
+  std::uint64_t order() const override { return n_; }
+  bool is_element(Code a) const override { return a < n_; }
+  std::string name() const override;
+
+  std::uint64_t modulus() const { return n_; }
+
+ private:
+  std::uint64_t n_;
+  int bits_;
+};
+
+/// Direct product G_1 x ... x G_k, each factor's code packed into its own
+/// bit field. Generators: the embedded generators of every factor.
+class DirectProduct final : public Group {
+ public:
+  explicit DirectProduct(std::vector<std::shared_ptr<const Group>> factors);
+
+  Code mul(Code a, Code b) const override;
+  Code inv(Code a) const override;
+  Code id() const override;
+  std::vector<Code> generators() const override;
+  int encoding_bits() const override { return total_bits_; }
+  std::uint64_t order() const override { return order_; }
+  bool is_element(Code a) const override;
+  std::string name() const override;
+
+  std::size_t factor_count() const { return factors_.size(); }
+  const Group& factor(std::size_t i) const { return *factors_[i]; }
+
+  /// Extracts factor i's component of a packed code.
+  Code component(Code a, std::size_t i) const;
+  /// Packs per-factor components into a product code.
+  Code pack(const std::vector<Code>& components) const;
+
+ private:
+  std::vector<std::shared_ptr<const Group>> factors_;
+  std::vector<int> shifts_;
+  std::vector<Code> masks_;
+  int total_bits_ = 0;
+  std::uint64_t order_ = 1;
+};
+
+/// Z_{s1} x ... x Z_{sr} as a product of cyclic groups.
+std::shared_ptr<const DirectProduct> product_of_cyclics(
+    const std::vector<std::uint64_t>& orders);
+
+/// Elementary Abelian group Z_p^k.
+std::shared_ptr<const DirectProduct> elementary_abelian(std::uint64_t p,
+                                                        int k);
+
+}  // namespace nahsp::grp

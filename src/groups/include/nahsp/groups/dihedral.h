@@ -1,0 +1,42 @@
+// Dihedral group D_n of order 2n.
+//
+// Appears in the paper's introduction via Ettinger–Høyer: their dihedral
+// HSP algorithm is query-efficient but needs exponential post-processing.
+// We implement D_n both as a worked example of a hidden *normal* subgroup
+// (the rotation subgroup and its subgroups) and as the substrate of the
+// Ettinger–Høyer baseline in hsp/baseline.h.
+#pragma once
+
+#include "nahsp/groups/group.h"
+
+namespace nahsp::grp {
+
+/// D_n = < x, y | x^n = y^2 = 1, y x y = x^{-1} >, order 2n.
+/// Element x^r y^s is encoded as r | (s << bits_for(n)).
+class DihedralGroup final : public Group {
+ public:
+  explicit DihedralGroup(std::uint64_t n);
+
+  Code mul(Code a, Code b) const override;
+  Code inv(Code a) const override;
+  Code id() const override { return 0; }
+  std::vector<Code> generators() const override;
+  int encoding_bits() const override { return rot_bits_ + 1; }
+  std::uint64_t order() const override { return 2 * n_; }
+  bool is_element(Code a) const override;
+  std::string name() const override;
+
+  std::uint64_t n() const { return n_; }
+
+  /// Encodes x^r y^s.
+  Code make(std::uint64_t r, bool s) const;
+  std::uint64_t rotation_of(Code a) const { return a & rot_mask_; }
+  bool reflection_of(Code a) const { return (a >> rot_bits_) & 1; }
+
+ private:
+  std::uint64_t n_;
+  int rot_bits_;
+  Code rot_mask_;
+};
+
+}  // namespace nahsp::grp

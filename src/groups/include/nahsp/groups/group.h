@@ -1,0 +1,78 @@
+// Abstract finite group over 64-bit element codes.
+//
+// This mirrors the paper's black-box group model (Babai–Szemerédi): group
+// elements are opaque bit strings of a fixed encoding length n (here
+// n <= 64), and the group is accessed only through the multiplication /
+// inversion oracles plus a generator list. Concrete groups (cyclic,
+// dihedral, permutation, GF(2)-matrix, ...) implement the interface; the
+// HSP solvers only ever see the `bbox::BlackBoxGroup` facade wrapped
+// around it, which additionally counts oracle calls.
+//
+// Encodings are unique for every concrete group in this library; the
+// non-unique-encoding case of the paper (factor groups G/N) is modelled
+// by grp::QuotientView (see quotient.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nahsp::grp {
+
+/// Element code: an at-most-64-bit string naming one group element.
+using Code = std::uint64_t;
+
+/// Abstract finite group. All operations are total on valid element
+/// codes; behaviour on invalid codes is unspecified (as in the black-box
+/// model, where the box may behave arbitrarily on non-elements).
+class Group {
+ public:
+  virtual ~Group() = default;
+
+  /// Product a*b.
+  virtual Code mul(Code a, Code b) const = 0;
+
+  /// Inverse a^{-1}.
+  virtual Code inv(Code a) const = 0;
+
+  /// The identity element's code.
+  virtual Code id() const = 0;
+
+  /// Identity test. For unique encodings this is code equality; quotient
+  /// views override it (non-unique encodings need an identity oracle).
+  virtual bool is_id(Code a) const { return a == id(); }
+
+  /// The defining generator list (input to every algorithm).
+  virtual std::vector<Code> generators() const = 0;
+
+  /// Encoding length in bits: all valid codes are < 2^encoding_bits().
+  virtual int encoding_bits() const = 0;
+
+  /// Group order. Concrete groups know it; it is used by instance
+  /// builders and tests, never by the HSP solvers themselves.
+  virtual std::uint64_t order() const = 0;
+
+  /// Validity test for a code (used by tests and the simulators).
+  virtual bool is_element(Code a) const = 0;
+
+  /// Short human-readable name, e.g. "D_12" or "Heis(5,1)".
+  virtual std::string name() const = 0;
+
+  // ----- derived operations (implemented on top of the oracles) -----
+
+  /// g^e by square-and-multiply (e >= 0).
+  Code pow(Code g, std::uint64_t e) const;
+
+  /// Conjugate h g h^{-1}.
+  Code conj(Code g, Code h) const;
+
+  /// Commutator [a,b] = a b a^{-1} b^{-1}.
+  Code commutator(Code a, Code b) const;
+
+  /// Order of a single element by brute-force iteration (reference /
+  /// test helper; the quantum algorithms use hsp::find_order instead).
+  std::uint64_t element_order_bruteforce(Code g,
+                                         std::uint64_t cap = 1u << 22) const;
+};
+
+}  // namespace nahsp::grp

@@ -1,0 +1,58 @@
+// Extraspecial-type p-groups: the Heisenberg groups H(p, n) of order
+// p^{2n+1}.
+//
+// Elements are triples (a, b, c) with a, b in Z_p^n and c in Z_p, and
+//   (a1,b1,c1) * (a2,b2,c2) = (a1+a2, b1+b2, c1+c2 + <a1,b2>).
+// For n = 1 and odd p this is the extraspecial group of order p^3 and
+// exponent p: its centre equals its commutator subgroup, both of order p,
+// and G/G' is elementary Abelian — exactly the family of the paper's
+// Corollary 12 (HSP solvable in time poly(input + p) via Theorem 11).
+#pragma once
+
+#include "nahsp/groups/group.h"
+
+namespace nahsp::grp {
+
+/// Heisenberg group H(p, n) with mixed-radix code
+/// (a_0..a_{n-1}, b_0..b_{n-1}, c), each digit < p, packed in bit fields.
+class HeisenbergGroup final : public Group {
+ public:
+  HeisenbergGroup(std::uint64_t p, int n);
+
+  Code mul(Code a, Code b) const override;
+  Code inv(Code a) const override;
+  Code id() const override { return 0; }
+  std::vector<Code> generators() const override;
+  int encoding_bits() const override { return digit_bits_ * (2 * n_ + 1); }
+  std::uint64_t order() const override;
+  bool is_element(Code a) const override;
+  std::string name() const override;
+
+  std::uint64_t p() const { return p_; }
+  int n() const { return n_; }
+
+  /// Packs (a, b, c); a and b must have length n, entries < p.
+  Code make(const std::vector<std::uint64_t>& a,
+            const std::vector<std::uint64_t>& b, std::uint64_t c) const;
+
+  /// The centre generator (0, 0, 1); the centre is its span and equals
+  /// the commutator subgroup.
+  Code central_generator() const;
+
+  std::uint64_t a_digit(Code x, int i) const { return digit(x, i); }
+  std::uint64_t b_digit(Code x, int i) const { return digit(x, n_ + i); }
+  std::uint64_t c_digit(Code x) const { return digit(x, 2 * n_); }
+
+ private:
+  std::uint64_t digit(Code x, int idx) const {
+    return (x >> (idx * digit_bits_)) & digit_mask_;
+  }
+  Code with_digits(const std::vector<std::uint64_t>& digits) const;
+
+  std::uint64_t p_;
+  int n_;
+  int digit_bits_;
+  Code digit_mask_;
+};
+
+}  // namespace nahsp::grp

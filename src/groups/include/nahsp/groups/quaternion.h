@@ -1,0 +1,45 @@
+// Generalized quaternion groups Q_{2^k} (k >= 3), order 2^k.
+//
+//   Q = < a, b | a^{2^{k-1}} = 1, b^2 = a^{2^{k-2}}, b a b^{-1} = a^{-1} >
+//
+// Q_8 is extra-special; every Q_{2^k} has commutator subgroup <a^2> of
+// order 2^{k-2} and centre {1, a^{2^{k-2}}} — so small instances are
+// natural Theorem 11 targets, and they exercise the b^2 != 1 twist that
+// dihedral groups lack.
+#pragma once
+
+#include "nahsp/groups/group.h"
+
+namespace nahsp::grp {
+
+/// Q_{2^k}: element a^i b^j (0 <= i < 2^{k-1}, j in {0,1}) encoded as
+/// i | (j << (k-1)).
+class QuaternionGroup final : public Group {
+ public:
+  /// `order` must be a power of two >= 8.
+  explicit QuaternionGroup(std::uint64_t order);
+
+  Code mul(Code x, Code y) const override;
+  Code inv(Code x) const override;
+  Code id() const override { return 0; }
+  std::vector<Code> generators() const override;
+  int encoding_bits() const override;
+  std::uint64_t order() const override { return 2 * n_; }
+  bool is_element(Code x) const override;
+  std::string name() const override;
+
+  /// Encodes a^i b^j.
+  Code make(std::uint64_t i, bool j) const;
+  std::uint64_t a_exp(Code x) const { return x & amask_; }
+  bool b_exp(Code x) const { return (x >> abits_) & 1; }
+
+  /// The central involution a^{n/2} (= b^2).
+  Code central_involution() const { return make(n_ / 2, false); }
+
+ private:
+  std::uint64_t n_;  // order of <a> = 2^{k-1}
+  int abits_;
+  Code amask_;
+};
+
+}  // namespace nahsp::grp

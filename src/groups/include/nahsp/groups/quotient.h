@@ -1,0 +1,44 @@
+// Non-unique encodings: a view of G/N using G's codes.
+//
+// The paper's black-box model explicitly allows non-unique encodings with
+// an identity-test oracle ("typical examples ... are factor groups G/N of
+// matrix groups"). QuotientView realises exactly that: elements of G/N
+// are represented by arbitrary members of their coset, multiplication is
+// G's multiplication, and is_id consults a membership oracle for N.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "nahsp/groups/group.h"
+
+namespace nahsp::grp {
+
+/// G/N with G's (unique) encoding reused as a non-unique encoding of the
+/// factor group; `in_n` is the membership oracle for the normal subgroup.
+class QuotientView final : public Group {
+ public:
+  QuotientView(std::shared_ptr<const Group> g,
+               std::function<bool(Code)> in_n, std::string display_name = {});
+
+  Code mul(Code a, Code b) const override { return g_->mul(a, b); }
+  Code inv(Code a) const override { return g_->inv(a); }
+  Code id() const override { return g_->id(); }
+  bool is_id(Code a) const override { return in_n_(a); }
+  std::vector<Code> generators() const override { return g_->generators(); }
+  int encoding_bits() const override { return g_->encoding_bits(); }
+  /// Order of the *factor* group; computed lazily by coset counting.
+  std::uint64_t order() const override;
+  bool is_element(Code a) const override { return g_->is_element(a); }
+  std::string name() const override;
+
+  const Group& ambient() const { return *g_; }
+
+ private:
+  std::shared_ptr<const Group> g_;
+  std::function<bool(Code)> in_n_;
+  std::string display_name_;
+  mutable std::uint64_t cached_order_ = 0;
+};
+
+}  // namespace nahsp::grp

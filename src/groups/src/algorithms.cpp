@@ -1,0 +1,183 @@
+#include "nahsp/groups/algorithms.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "nahsp/common/check.h"
+
+namespace nahsp::grp {
+
+std::vector<Code> enumerate_subgroup(const Group& g,
+                                     const std::vector<Code>& gens,
+                                     std::size_t cap) {
+  std::unordered_set<Code> seen;
+  std::deque<Code> frontier;
+  seen.insert(g.id());
+  frontier.push_back(g.id());
+  // Close under right-multiplication by generators and their inverses.
+  std::vector<Code> step = gens;
+  for (const Code x : gens) step.push_back(g.inv(x));
+  while (!frontier.empty()) {
+    const Code cur = frontier.front();
+    frontier.pop_front();
+    for (const Code s : step) {
+      const Code nxt = g.mul(cur, s);
+      if (seen.insert(nxt).second) {
+        NAHSP_REQUIRE(seen.size() <= cap,
+                      "subgroup enumeration exceeded cap");
+        frontier.push_back(nxt);
+      }
+    }
+  }
+  std::vector<Code> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Code> enumerate_group(const Group& g, std::size_t cap) {
+  return enumerate_subgroup(g, g.generators(), cap);
+}
+
+bool subgroup_contains(const Group& g, const std::vector<Code>& gens,
+                       Code x, std::size_t cap) {
+  const std::vector<Code> elems = enumerate_subgroup(g, gens, cap);
+  return std::binary_search(elems.begin(), elems.end(), x);
+}
+
+bool same_subgroup(const Group& g, const std::vector<Code>& a,
+                   const std::vector<Code>& b, std::size_t cap) {
+  return enumerate_subgroup(g, a, cap) == enumerate_subgroup(g, b, cap);
+}
+
+std::vector<Code> normal_closure(const Group& g, const std::vector<Code>& s,
+                                 std::size_t cap) {
+  // Incremental generating set: add conjugates that fall outside the
+  // current closure. Membership is by enumeration, so the routine is
+  // polynomial in the closure size — the regime Theorems 8/11 allow.
+  std::vector<Code> closure_gens;
+  std::unordered_set<Code> have;  // current closure's element set
+  have.insert(g.id());
+  auto add_if_new = [&](Code x) {
+    if (have.contains(x)) return;
+    closure_gens.push_back(x);
+    const std::vector<Code> elems =
+        enumerate_subgroup(g, closure_gens, cap);
+    have = std::unordered_set<Code>(elems.begin(), elems.end());
+  };
+  for (const Code x : s) add_if_new(x);
+
+  const std::vector<Code> group_gens = g.generators();
+  // Fixed-point loop: conjugate everything currently in the generating
+  // set by all group generators until no new element appears.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    const std::vector<Code> snapshot = closure_gens;
+    for (const Code x : snapshot) {
+      for (const Code y : group_gens) {
+        const Code c1 = g.conj(x, y);
+        if (!have.contains(c1)) {
+          add_if_new(c1);
+          changed = true;
+        }
+        const Code c2 = g.conj(x, g.inv(y));
+        if (!have.contains(c2)) {
+          add_if_new(c2);
+          changed = true;
+        }
+      }
+    }
+  }
+  return closure_gens;
+}
+
+std::vector<Code> commutator_subgroup(const Group& g, std::size_t cap) {
+  const std::vector<Code> gens = g.generators();
+  std::vector<Code> comms;
+  for (const Code a : gens)
+    for (const Code b : gens) {
+      const Code c = g.commutator(a, b);
+      if (!g.is_id(c)) comms.push_back(c);
+    }
+  return normal_closure(g, comms, cap);
+}
+
+std::vector<std::vector<Code>> derived_series_elements(const Group& g,
+                                                       std::size_t cap) {
+  std::vector<std::vector<Code>> series;
+  series.push_back(enumerate_group(g, cap));
+  std::vector<Code> current_gens = g.generators();
+  for (int depth = 0; depth < 64; ++depth) {
+    if (series.back().size() == 1) return series;
+    // Commutators of the current term's generators, then normal closure
+    // inside the current term (which is normal in G, so closing under
+    // G-conjugation is also correct and simpler).
+    std::vector<Code> comms;
+    for (const Code a : current_gens)
+      for (const Code b : current_gens) {
+        const Code c = g.commutator(a, b);
+        if (!g.is_id(c)) comms.push_back(c);
+      }
+    if (comms.empty()) {
+      series.push_back({g.id()});
+      return series;
+    }
+    current_gens = normal_closure(g, comms, cap);
+    series.push_back(enumerate_subgroup(g, current_gens, cap));
+  }
+  throw internal_error("derived series did not terminate: non-solvable group?");
+}
+
+bool is_abelian(const Group& g) {
+  const std::vector<Code> gens = g.generators();
+  for (std::size_t i = 0; i < gens.size(); ++i)
+    for (std::size_t j = i + 1; j < gens.size(); ++j) {
+      if (g.mul(gens[i], gens[j]) != g.mul(gens[j], gens[i])) return false;
+    }
+  return true;
+}
+
+bool is_normal_subgroup(const Group& g, const std::vector<Code>& subgroup_gens,
+                        std::size_t cap) {
+  const std::vector<Code> elems = enumerate_subgroup(g, subgroup_gens, cap);
+  for (const Code h : subgroup_gens) {
+    for (const Code y : g.generators()) {
+      if (!std::binary_search(elems.begin(), elems.end(), g.conj(h, y)))
+        return false;
+      if (!std::binary_search(elems.begin(), elems.end(),
+                              g.conj(h, g.inv(y))))
+        return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Code> center_elements(const Group& g, std::size_t cap) {
+  const std::vector<Code> elems = enumerate_group(g, cap);
+  const std::vector<Code> gens = g.generators();
+  std::vector<Code> out;
+  for (const Code x : elems) {
+    bool central = true;
+    for (const Code y : gens) {
+      if (g.mul(x, y) != g.mul(y, x)) {
+        central = false;
+        break;
+      }
+    }
+    if (central) out.push_back(x);
+  }
+  return out;
+}
+
+Code random_word_element(const Group& g, const std::vector<Code>& gens,
+                         Rng& rng, int word_len) {
+  if (gens.empty()) return g.id();
+  Code x = g.id();
+  for (int i = 0; i < word_len; ++i) {
+    const Code s = gens[rng.below(gens.size())];
+    x = rng.coin() ? g.mul(x, s) : g.mul(x, g.inv(s));
+  }
+  return x;
+}
+
+}  // namespace nahsp::grp

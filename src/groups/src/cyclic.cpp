@@ -1,0 +1,131 @@
+#include "nahsp/groups/cyclic.h"
+
+#include <sstream>
+
+#include "nahsp/common/bits.h"
+#include "nahsp/common/check.h"
+
+namespace nahsp::grp {
+
+CyclicGroup::CyclicGroup(std::uint64_t n) : n_(n), bits_(bits_for(n)) {
+  NAHSP_REQUIRE(n >= 1, "cyclic group order must be >= 1");
+}
+
+Code CyclicGroup::mul(Code a, Code b) const {
+  const Code s = a + b;
+  return s >= n_ ? s - n_ : s;
+}
+
+Code CyclicGroup::inv(Code a) const { return a == 0 ? 0 : n_ - a; }
+
+std::vector<Code> CyclicGroup::generators() const {
+  if (n_ == 1) return {};
+  return {1};
+}
+
+std::string CyclicGroup::name() const {
+  std::ostringstream os;
+  os << "Z_" << n_;
+  return os.str();
+}
+
+DirectProduct::DirectProduct(
+    std::vector<std::shared_ptr<const Group>> factors)
+    : factors_(std::move(factors)) {
+  NAHSP_REQUIRE(!factors_.empty(), "direct product needs >= 1 factor");
+  for (const auto& f : factors_) {
+    NAHSP_REQUIRE(f != nullptr, "null factor");
+    shifts_.push_back(total_bits_);
+    const int b = f->encoding_bits();
+    masks_.push_back(b >= 64 ? ~Code{0} : ((Code{1} << b) - 1));
+    total_bits_ += b;
+    NAHSP_REQUIRE(total_bits_ <= 64, "product encoding exceeds 64 bits");
+    order_ *= f->order();  // callers keep |G| < 2^64 by construction
+  }
+}
+
+Code DirectProduct::component(Code a, std::size_t i) const {
+  return (a >> shifts_[i]) & masks_[i];
+}
+
+Code DirectProduct::pack(const std::vector<Code>& components) const {
+  NAHSP_REQUIRE(components.size() == factors_.size(),
+                "component count mismatch");
+  Code a = 0;
+  for (std::size_t i = 0; i < components.size(); ++i) {
+    NAHSP_REQUIRE((components[i] & ~masks_[i]) == 0,
+                  "component exceeds its bit field");
+    a |= components[i] << shifts_[i];
+  }
+  return a;
+}
+
+Code DirectProduct::mul(Code a, Code b) const {
+  Code out = 0;
+  for (std::size_t i = 0; i < factors_.size(); ++i) {
+    out |= factors_[i]->mul(component(a, i), component(b, i)) << shifts_[i];
+  }
+  return out;
+}
+
+Code DirectProduct::inv(Code a) const {
+  Code out = 0;
+  for (std::size_t i = 0; i < factors_.size(); ++i) {
+    out |= factors_[i]->inv(component(a, i)) << shifts_[i];
+  }
+  return out;
+}
+
+Code DirectProduct::id() const {
+  Code out = 0;
+  for (std::size_t i = 0; i < factors_.size(); ++i) {
+    out |= factors_[i]->id() << shifts_[i];
+  }
+  return out;
+}
+
+std::vector<Code> DirectProduct::generators() const {
+  std::vector<Code> gens;
+  const Code e = id();
+  for (std::size_t i = 0; i < factors_.size(); ++i) {
+    const Code base = e & ~(masks_[i] << shifts_[i]);
+    for (const Code g : factors_[i]->generators()) {
+      gens.push_back(base | (g << shifts_[i]));
+    }
+  }
+  return gens;
+}
+
+bool DirectProduct::is_element(Code a) const {
+  if (total_bits_ < 64 && (a >> total_bits_) != 0) return false;
+  for (std::size_t i = 0; i < factors_.size(); ++i) {
+    if (!factors_[i]->is_element(component(a, i))) return false;
+  }
+  return true;
+}
+
+std::string DirectProduct::name() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < factors_.size(); ++i) {
+    if (i != 0) os << " x ";
+    os << factors_[i]->name();
+  }
+  return os.str();
+}
+
+std::shared_ptr<const DirectProduct> product_of_cyclics(
+    const std::vector<std::uint64_t>& orders) {
+  std::vector<std::shared_ptr<const Group>> factors;
+  factors.reserve(orders.size());
+  for (const std::uint64_t n : orders)
+    factors.push_back(std::make_shared<CyclicGroup>(n));
+  return std::make_shared<DirectProduct>(std::move(factors));
+}
+
+std::shared_ptr<const DirectProduct> elementary_abelian(std::uint64_t p,
+                                                        int k) {
+  NAHSP_REQUIRE(k >= 1, "elementary_abelian requires k >= 1");
+  return product_of_cyclics(std::vector<std::uint64_t>(k, p));
+}
+
+}  // namespace nahsp::grp

@@ -1,0 +1,58 @@
+#include "nahsp/groups/dihedral.h"
+
+#include <sstream>
+
+#include "nahsp/common/bits.h"
+#include "nahsp/common/check.h"
+
+namespace nahsp::grp {
+
+DihedralGroup::DihedralGroup(std::uint64_t n)
+    : n_(n),
+      rot_bits_(bits_for(n) == 0 ? 1 : bits_for(n)),
+      rot_mask_((Code{1} << rot_bits_) - 1) {
+  NAHSP_REQUIRE(n >= 1, "dihedral parameter must be >= 1");
+  NAHSP_REQUIRE(rot_bits_ + 1 <= 64, "dihedral encoding exceeds 64 bits");
+}
+
+Code DihedralGroup::make(std::uint64_t r, bool s) const {
+  NAHSP_REQUIRE(r < n_, "rotation exponent out of range");
+  return r | (static_cast<Code>(s) << rot_bits_);
+}
+
+Code DihedralGroup::mul(Code a, Code b) const {
+  const std::uint64_t r1 = rotation_of(a);
+  const std::uint64_t r2 = rotation_of(b);
+  const bool s1 = reflection_of(a);
+  const bool s2 = reflection_of(b);
+  // (x^{r1} y^{s1})(x^{r2} y^{s2}) = x^{r1 + (-1)^{s1} r2} y^{s1 xor s2}
+  const std::uint64_t r =
+      s1 ? (r1 + n_ - r2 % n_) % n_ : (r1 + r2) % n_;
+  return make(r, s1 != s2);
+}
+
+Code DihedralGroup::inv(Code a) const {
+  const std::uint64_t r = rotation_of(a);
+  const bool s = reflection_of(a);
+  // (x^r)^{-1} = x^{n-r}; reflections are involutions.
+  return s ? a : make(r == 0 ? 0 : n_ - r, false);
+}
+
+std::vector<Code> DihedralGroup::generators() const {
+  std::vector<Code> gens;
+  if (n_ > 1) gens.push_back(make(1, false));
+  gens.push_back(make(0, true));
+  return gens;
+}
+
+bool DihedralGroup::is_element(Code a) const {
+  return rotation_of(a) < n_ && (a >> (rot_bits_ + 1)) == 0;
+}
+
+std::string DihedralGroup::name() const {
+  std::ostringstream os;
+  os << "D_" << n_;
+  return os.str();
+}
+
+}  // namespace nahsp::grp

@@ -1,0 +1,234 @@
+#include "nahsp/groups/gf2group.h"
+
+#include <sstream>
+
+#include "nahsp/common/bits.h"
+#include "nahsp/common/check.h"
+
+namespace nahsp::grp {
+
+GF2Mat GF2Mat::identity(int k) {
+  GF2Mat m(k);
+  for (int i = 0; i < k; ++i) m.rows_[i] = 1ULL << i;
+  return m;
+}
+
+GF2Mat GF2Mat::permutation(const std::vector<int>& perm) {
+  GF2Mat m(static_cast<int>(perm.size()));
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    NAHSP_REQUIRE(perm[i] >= 0 && perm[i] < static_cast<int>(perm.size()),
+                  "permutation entry out of range");
+    m.rows_[i] = 1ULL << perm[i];
+  }
+  return m;
+}
+
+GF2Mat GF2Mat::block_swap(int b) {
+  std::vector<int> perm(2 * b);
+  for (int i = 0; i < b; ++i) {
+    perm[i] = b + i;
+    perm[b + i] = i;
+  }
+  return permutation(perm);
+}
+
+GF2Mat GF2Mat::companion(int k, std::uint64_t coeff_mask) {
+  GF2Mat m(k);
+  // Columns shift: e_i -> e_{i+1}; e_{k-1} -> coefficient vector.
+  // With our matvec convention y_i = <row_i, x>:
+  //   row 0 = coeff bit 0 on column k-1
+  // Simpler: build by setting entries. A e_j = e_{j+1} for j<k-1,
+  // A e_{k-1} = sum over set coeff bits of e_i.
+  for (int j = 0; j + 1 < k; ++j) m.set(j + 1, j, true);
+  for (int i = 0; i < k; ++i) {
+    if ((coeff_mask >> i) & 1) m.set(i, k - 1, true);
+  }
+  return m;
+}
+
+void GF2Mat::set(int r, int c, bool v) {
+  NAHSP_REQUIRE(r >= 0 && r < k_ && c >= 0 && c < k_, "index out of range");
+  if (v)
+    rows_[r] |= 1ULL << c;
+  else
+    rows_[r] &= ~(1ULL << c);
+}
+
+std::uint64_t GF2Mat::matvec(std::uint64_t x) const {
+  std::uint64_t y = 0;
+  for (int i = 0; i < k_; ++i) {
+    y |= static_cast<std::uint64_t>(dot2(rows_[i], x)) << i;
+  }
+  return y;
+}
+
+GF2Mat GF2Mat::mul(const GF2Mat& other) const {
+  NAHSP_REQUIRE(k_ == other.k_, "dimension mismatch");
+  GF2Mat out(k_);
+  // (AB)_{ij} = <row_i(A), col_j(B)>; compute row_i(AB) = row_i(A) * B
+  // as an xor of B's rows selected by row_i(A)'s bits.
+  for (int i = 0; i < k_; ++i) {
+    std::uint64_t acc = 0;
+    std::uint64_t bits = rows_[i];
+    while (bits != 0) {
+      const int j = std::countr_zero(bits);
+      bits &= bits - 1;
+      acc ^= other.rows_[j];
+    }
+    out.rows_[i] = acc;
+  }
+  return out;
+}
+
+GF2Mat GF2Mat::pow(std::uint64_t e) const {
+  GF2Mat result = identity(k_);
+  GF2Mat base = *this;
+  while (e != 0) {
+    if (e & 1) result = result.mul(base);
+    base = base.mul(base);
+    e >>= 1;
+  }
+  return result;
+}
+
+bool GF2Mat::invertible() const {
+  std::vector<std::uint64_t> work = rows_;
+  int rank = 0;
+  for (int col = 0; col < k_; ++col) {
+    int piv = rank;
+    while (piv < k_ && !((work[piv] >> col) & 1)) ++piv;
+    if (piv == k_) return false;
+    std::swap(work[rank], work[piv]);
+    for (int r = 0; r < k_; ++r) {
+      if (r != rank && ((work[r] >> col) & 1)) work[r] ^= work[rank];
+    }
+    ++rank;
+  }
+  return rank == k_;
+}
+
+GF2Mat GF2Mat::inverse() const {
+  // Gauss-Jordan on [A | I].
+  std::vector<std::uint64_t> a = rows_;
+  std::vector<std::uint64_t> inv(k_);
+  for (int i = 0; i < k_; ++i) inv[i] = 1ULL << i;
+  int rank = 0;
+  for (int col = 0; col < k_; ++col) {
+    int piv = rank;
+    while (piv < k_ && !((a[piv] >> col) & 1)) ++piv;
+    NAHSP_REQUIRE(piv < k_, "matrix not invertible");
+    std::swap(a[rank], a[piv]);
+    std::swap(inv[rank], inv[piv]);
+    for (int r = 0; r < k_; ++r) {
+      if (r != rank && ((a[r] >> col) & 1)) {
+        a[r] ^= a[rank];
+        inv[r] ^= inv[rank];
+      }
+    }
+    ++rank;
+  }
+  GF2Mat out(k_);
+  out.rows_ = inv;
+  return out;
+}
+
+bool GF2Mat::operator==(const GF2Mat& other) const {
+  return k_ == other.k_ && rows_ == other.rows_;
+}
+
+std::uint64_t GF2Mat::mat_order(std::uint64_t cap) const {
+  NAHSP_REQUIRE(invertible(), "order of a singular matrix");
+  const GF2Mat ident = identity(k_);
+  GF2Mat x = *this;
+  std::uint64_t t = 1;
+  while (!(x == ident)) {
+    x = x.mul(*this);
+    ++t;
+    NAHSP_REQUIRE(t <= cap, "matrix order exceeds cap");
+  }
+  return t;
+}
+
+GF2SemidirectCyclic::GF2SemidirectCyclic(int k, GF2Mat t, std::uint64_t m)
+    : k_(k), m_(m), vmask_((k >= 64 ? ~Code{0} : (Code{1} << k) - 1)) {
+  NAHSP_REQUIRE(k >= 1 && k <= 32, "k must be in [1, 32]");
+  NAHSP_REQUIRE(m >= 1, "m must be >= 1");
+  NAHSP_REQUIRE(t.dim() == k, "action dimension mismatch");
+  NAHSP_REQUIRE(t.invertible(), "action matrix must be invertible");
+  NAHSP_REQUIRE(t.pow(m) == GF2Mat::identity(k),
+                "action matrix order must divide m");
+  NAHSP_REQUIRE(k + bits_for(m) <= 64, "encoding exceeds 64 bits");
+  pow_.reserve(m);
+  GF2Mat acc = GF2Mat::identity(k);
+  for (std::uint64_t j = 0; j < m; ++j) {
+    pow_.push_back(acc);
+    acc = acc.mul(t);
+  }
+}
+
+Code GF2SemidirectCyclic::make(std::uint64_t v, std::uint64_t j) const {
+  NAHSP_REQUIRE((v & ~vmask_) == 0, "vector part out of range");
+  NAHSP_REQUIRE(j < m_, "cyclic part out of range");
+  return v | (j << k_);
+}
+
+Code GF2SemidirectCyclic::mul(Code a, Code b) const {
+  const std::uint64_t j1 = rot_of(a);
+  const std::uint64_t j2 = rot_of(b);
+  const std::uint64_t v = vec_of(a) ^ pow_[j1].matvec(vec_of(b));
+  std::uint64_t j = j1 + j2;
+  if (j >= m_) j -= m_;
+  return v | (j << k_);
+}
+
+Code GF2SemidirectCyclic::inv(Code a) const {
+  const std::uint64_t j = rot_of(a);
+  const std::uint64_t jinv = j == 0 ? 0 : m_ - j;
+  // (v, j)^{-1} = (T^{-j} v, -j); T^{-j} = T^{m-j}.
+  return pow_[jinv].matvec(vec_of(a)) | (jinv << k_);
+}
+
+std::vector<Code> GF2SemidirectCyclic::generators() const {
+  std::vector<Code> gens;
+  if (m_ > 1) gens.push_back(make(0, 1));
+  for (int i = 0; i < k_; ++i) gens.push_back(make(1ULL << i, 0));
+  return gens;
+}
+
+int GF2SemidirectCyclic::encoding_bits() const {
+  return k_ + (bits_for(m_) == 0 ? 1 : bits_for(m_));
+}
+
+std::uint64_t GF2SemidirectCyclic::order() const {
+  return (std::uint64_t{1} << k_) * m_;
+}
+
+bool GF2SemidirectCyclic::is_element(Code a) const {
+  return rot_of(a) < m_;
+}
+
+std::string GF2SemidirectCyclic::name() const {
+  std::ostringstream os;
+  os << "Z2^" << k_ << " x| Z_" << m_;
+  return os.str();
+}
+
+std::vector<Code> GF2SemidirectCyclic::normal_subgroup_generators() const {
+  std::vector<Code> gens;
+  for (int i = 0; i < k_; ++i) gens.push_back(make(1ULL << i, 0));
+  return gens;
+}
+
+std::shared_ptr<const GF2SemidirectCyclic> wreath_z2k_z2(int k) {
+  NAHSP_REQUIRE(k >= 1 && 2 * k <= 32, "wreath block size out of range");
+  return std::make_shared<GF2SemidirectCyclic>(2 * k, GF2Mat::block_swap(k),
+                                               2);
+}
+
+std::shared_ptr<const GF2SemidirectCyclic> paper_matrix_group(
+    const GF2Mat& m_block) {
+  const std::uint64_t m = m_block.mat_order();
+  return std::make_shared<GF2SemidirectCyclic>(m_block.dim(), m_block, m);
+}
+
+}  // namespace nahsp::grp

@@ -1,0 +1,36 @@
+#include "nahsp/groups/group.h"
+
+#include "nahsp/common/check.h"
+
+namespace nahsp::grp {
+
+Code Group::pow(Code g, std::uint64_t e) const {
+  Code result = id();
+  Code base = g;
+  while (e != 0) {
+    if (e & 1) result = mul(result, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+Code Group::conj(Code g, Code h) const { return mul(mul(h, g), inv(h)); }
+
+Code Group::commutator(Code a, Code b) const {
+  return mul(mul(a, b), mul(inv(a), inv(b)));
+}
+
+std::uint64_t Group::element_order_bruteforce(Code g,
+                                              std::uint64_t cap) const {
+  Code x = g;
+  std::uint64_t k = 1;
+  while (!is_id(x)) {
+    x = mul(x, g);
+    ++k;
+    NAHSP_REQUIRE(k <= cap, "element order exceeds brute-force cap");
+  }
+  return k;
+}
+
+}  // namespace nahsp::grp

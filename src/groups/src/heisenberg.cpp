@@ -1,0 +1,114 @@
+#include "nahsp/groups/heisenberg.h"
+
+#include <sstream>
+
+#include "nahsp/common/bits.h"
+#include "nahsp/common/check.h"
+
+namespace nahsp::grp {
+
+HeisenbergGroup::HeisenbergGroup(std::uint64_t p, int n)
+    : p_(p),
+      n_(n),
+      digit_bits_(bits_for(p) == 0 ? 1 : bits_for(p)),
+      digit_mask_((Code{1} << digit_bits_) - 1) {
+  NAHSP_REQUIRE(p >= 2, "Heisenberg requires p >= 2");
+  NAHSP_REQUIRE(n >= 1, "Heisenberg requires n >= 1");
+  NAHSP_REQUIRE(digit_bits_ * (2 * n + 1) <= 64,
+                "Heisenberg encoding exceeds 64 bits");
+}
+
+std::uint64_t HeisenbergGroup::order() const {
+  std::uint64_t o = 1;
+  for (int i = 0; i < 2 * n_ + 1; ++i) o *= p_;
+  return o;
+}
+
+Code HeisenbergGroup::with_digits(
+    const std::vector<std::uint64_t>& digits) const {
+  Code x = 0;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    x |= digits[i] << (static_cast<int>(i) * digit_bits_);
+  }
+  return x;
+}
+
+Code HeisenbergGroup::make(const std::vector<std::uint64_t>& a,
+                           const std::vector<std::uint64_t>& b,
+                           std::uint64_t c) const {
+  NAHSP_REQUIRE(a.size() == static_cast<std::size_t>(n_) &&
+                    b.size() == static_cast<std::size_t>(n_),
+                "vector length mismatch");
+  std::vector<std::uint64_t> digits;
+  digits.reserve(2 * n_ + 1);
+  for (const auto v : a) {
+    NAHSP_REQUIRE(v < p_, "digit out of range");
+    digits.push_back(v);
+  }
+  for (const auto v : b) {
+    NAHSP_REQUIRE(v < p_, "digit out of range");
+    digits.push_back(v);
+  }
+  NAHSP_REQUIRE(c < p_, "digit out of range");
+  digits.push_back(c);
+  return with_digits(digits);
+}
+
+Code HeisenbergGroup::mul(Code x, Code y) const {
+  std::vector<std::uint64_t> digits(2 * n_ + 1);
+  std::uint64_t dot = 0;  // <a1, b2> mod p
+  for (int i = 0; i < n_; ++i) {
+    digits[i] = (a_digit(x, i) + a_digit(y, i)) % p_;
+    digits[n_ + i] = (b_digit(x, i) + b_digit(y, i)) % p_;
+    dot = (dot + a_digit(x, i) * b_digit(y, i)) % p_;
+  }
+  digits[2 * n_] = (c_digit(x) + c_digit(y) + dot) % p_;
+  return with_digits(digits);
+}
+
+Code HeisenbergGroup::inv(Code x) const {
+  // (a,b,c)^{-1} = (-a, -b, -c + <a,b>).
+  std::vector<std::uint64_t> digits(2 * n_ + 1);
+  std::uint64_t dot = 0;
+  for (int i = 0; i < n_; ++i) {
+    const std::uint64_t a = a_digit(x, i);
+    const std::uint64_t b = b_digit(x, i);
+    digits[i] = (p_ - a) % p_;
+    digits[n_ + i] = (p_ - b) % p_;
+    dot = (dot + a * b) % p_;
+  }
+  digits[2 * n_] = (p_ - c_digit(x) + dot) % p_;
+  return with_digits(digits);
+}
+
+std::vector<Code> HeisenbergGroup::generators() const {
+  // The a_i and b_i axis elements generate everything (their commutators
+  // produce the centre).
+  std::vector<Code> gens;
+  for (int i = 0; i < 2 * n_; ++i) {
+    gens.push_back(Code{1} << (i * digit_bits_));
+  }
+  return gens;
+}
+
+Code HeisenbergGroup::central_generator() const {
+  return Code{1} << (2 * n_ * digit_bits_);
+}
+
+bool HeisenbergGroup::is_element(Code x) const {
+  if ((x >> (digit_bits_ * (2 * n_ + 1))) != 0 &&
+      digit_bits_ * (2 * n_ + 1) < 64)
+    return false;
+  for (int i = 0; i < 2 * n_ + 1; ++i) {
+    if (digit(x, i) >= p_) return false;
+  }
+  return true;
+}
+
+std::string HeisenbergGroup::name() const {
+  std::ostringstream os;
+  os << "Heis(" << p_ << "," << n_ << ")";
+  return os.str();
+}
+
+}  // namespace nahsp::grp

@@ -1,0 +1,332 @@
+#include "nahsp/groups/permutation.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "nahsp/common/bits.h"
+#include "nahsp/common/check.h"
+
+namespace nahsp::grp {
+
+Perm perm_identity(int degree) {
+  Perm p(degree);
+  for (int i = 0; i < degree; ++i) p[i] = i;
+  return p;
+}
+
+Perm perm_compose(const Perm& a, const Perm& b) {
+  NAHSP_REQUIRE(a.size() == b.size(), "degree mismatch");
+  Perm c(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c[i] = a[b[i]];
+  return c;
+}
+
+Perm perm_inverse(const Perm& a) {
+  Perm inv(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) inv[a[i]] = static_cast<int>(i);
+  return inv;
+}
+
+bool perm_is_identity(const Perm& a) {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] != static_cast<int>(i)) return false;
+  return true;
+}
+
+std::string perm_to_string(const Perm& a) {
+  std::ostringstream os;
+  std::vector<bool> seen(a.size(), false);
+  bool any = false;
+  for (std::size_t start = 0; start < a.size(); ++start) {
+    if (seen[start] || a[start] == static_cast<int>(start)) continue;
+    any = true;
+    os << '(';
+    int x = static_cast<int>(start);
+    bool first = true;
+    do {
+      if (!first) os << ' ';
+      os << x;
+      first = false;
+      seen[x] = true;
+      x = a[x];
+    } while (x != static_cast<int>(start));
+    os << ')';
+  }
+  if (!any) return "()";
+  return os.str();
+}
+
+Perm perm_from_cycles(int degree,
+                      const std::vector<std::vector<int>>& cycles) {
+  Perm p = perm_identity(degree);
+  for (const auto& cyc : cycles) {
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      const int from = cyc[i];
+      const int to = cyc[(i + 1) % cyc.size()];
+      NAHSP_REQUIRE(from >= 0 && from < degree && to >= 0 && to < degree,
+                    "cycle point out of range");
+      p[from] = to;
+    }
+  }
+  return p;
+}
+
+std::uint64_t perm_rank(const Perm& a) {
+  const int d = static_cast<int>(a.size());
+  NAHSP_REQUIRE(d <= 20, "perm_rank supports degree <= 20");
+  // Lehmer code: count smaller elements to the right, weight by factorial.
+  std::uint64_t rank = 0;
+  std::uint64_t fact = 1;
+  for (int i = d - 2; i >= 0; --i) {
+    std::uint64_t smaller = 0;
+    for (int j = i + 1; j < d; ++j)
+      if (a[j] < a[i]) ++smaller;
+    fact *= static_cast<std::uint64_t>(d - 1 - i);
+    // fact now equals (d-1-i)!
+    rank += smaller * fact;
+  }
+  return rank;
+}
+
+Perm perm_unrank(int degree, std::uint64_t rank) {
+  NAHSP_REQUIRE(degree >= 0 && degree <= 20,
+                "perm_unrank supports degree <= 20");
+  std::vector<std::uint64_t> fact(degree + 1, 1);
+  for (int i = 1; i <= degree; ++i)
+    fact[i] = fact[i - 1] * static_cast<std::uint64_t>(i);
+  NAHSP_REQUIRE(degree == 0 || rank < fact[degree], "rank out of range");
+  std::vector<int> pool(degree);
+  for (int i = 0; i < degree; ++i) pool[i] = i;
+  Perm p(degree);
+  for (int i = 0; i < degree; ++i) {
+    const std::uint64_t f = fact[degree - 1 - i];
+    const std::uint64_t idx = rank / f;
+    rank %= f;
+    p[i] = pool[idx];
+    pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+  }
+  return p;
+}
+
+SchreierSims::SchreierSims(int degree, const std::vector<Perm>& generators)
+    : degree_(degree) {
+  NAHSP_REQUIRE(degree >= 1, "degree must be >= 1");
+  const std::size_t levels = degree == 1 ? 1 : degree - 1;
+  transversal_.assign(levels, {});
+  level_gens_.assign(levels, {});
+  for (std::size_t lvl = 0; lvl < levels; ++lvl) {
+    transversal_[lvl].assign(degree, std::nullopt);
+    transversal_[lvl][lvl] = perm_identity(degree);  // base point fixed
+  }
+  for (const Perm& g : generators) {
+    NAHSP_REQUIRE(static_cast<int>(g.size()) == degree,
+                  "generator degree mismatch");
+    extend(g, 0);
+  }
+}
+
+bool SchreierSims::orbit_add(std::size_t level, int point,
+                             const Perm& witness) {
+  if (transversal_[level][point].has_value()) return false;
+  transversal_[level][point] = witness;
+  return true;
+}
+
+bool SchreierSims::extend(const Perm& g, std::size_t level) {
+  if (perm_is_identity(g)) return false;
+  NAHSP_CHECK(level < transversal_.size(), "sift fell off the chain");
+  // Strip g against the existing chain starting at `level`.
+  Perm h = g;
+  std::size_t lvl = level;
+  while (lvl < transversal_.size()) {
+    const int img = h[static_cast<int>(lvl)];
+    if (img == static_cast<int>(lvl)) {
+      ++lvl;
+      continue;
+    }
+    if (!transversal_[lvl][img].has_value()) break;  // enlarges orbit
+    h = perm_compose(perm_inverse(*transversal_[lvl][img]), h);
+  }
+  if (perm_is_identity(h)) return false;
+  // h's home level is its first moved base point. It joins S^(j) for
+  // every j <= home (it fixes the base prefix), so orbits at all those
+  // levels must be re-closed.
+  std::size_t home = lvl;
+  while (home < transversal_.size() &&
+         h[static_cast<int>(home)] == static_cast<int>(home))
+    ++home;
+  NAHSP_CHECK(home < transversal_.size(), "non-identity fixes all points");
+  level_gens_[home].push_back(h);
+  for (std::size_t l = home + 1; l-- > 0;) close_orbit(l);
+  return true;
+}
+
+void SchreierSims::close_orbit(std::size_t lvl) {
+  // The level-`lvl` stabilizer is generated by every strong generator
+  // stored at level >= lvl (those fix the base prefix 0..lvl-1).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Re-gather each sweep, by value: recursive extend() calls may add
+    // generators and reallocate the per-level vectors.
+    std::vector<Perm> gens;
+    for (std::size_t j = lvl; j < level_gens_.size(); ++j)
+      for (const Perm& s : level_gens_[j]) gens.push_back(s);
+    for (int p = 0; p < degree_; ++p) {
+      if (!transversal_[lvl][p].has_value()) continue;
+      for (const Perm& s : gens) {
+        const int q = s[p];
+        const Perm witness = perm_compose(s, *transversal_[lvl][p]);
+        if (orbit_add(lvl, q, witness)) {
+          changed = true;
+        } else {
+          // Schreier generator u_q^{-1} * s * u_p fixes base point lvl.
+          const Perm schreier =
+              perm_compose(perm_inverse(*transversal_[lvl][q]), witness);
+          if (extend(schreier, lvl + 1)) changed = true;
+        }
+      }
+    }
+  }
+}
+
+std::uint64_t SchreierSims::order() const {
+  std::uint64_t o = 1;
+  for (const auto& tv : transversal_) {
+    std::uint64_t orbit_size = 0;
+    for (const auto& t : tv)
+      if (t.has_value()) ++orbit_size;
+    o *= orbit_size;
+  }
+  return o;
+}
+
+Perm SchreierSims::sift(const Perm& p) const {
+  Perm h = p;
+  for (std::size_t lvl = 0; lvl < transversal_.size(); ++lvl) {
+    const int img = h[static_cast<int>(lvl)];
+    if (img == static_cast<int>(lvl)) continue;
+    if (!transversal_[lvl][img].has_value()) return h;
+    h = perm_compose(perm_inverse(*transversal_[lvl][img]), h);
+  }
+  return h;
+}
+
+bool SchreierSims::contains(const Perm& p) const {
+  NAHSP_REQUIRE(static_cast<int>(p.size()) == degree_, "degree mismatch");
+  return perm_is_identity(sift(p));
+}
+
+std::vector<int> SchreierSims::orbit(int level) const {
+  NAHSP_REQUIRE(level >= 0 &&
+                    level < static_cast<int>(transversal_.size()),
+                "level out of range");
+  std::vector<int> pts;
+  for (int p = 0; p < degree_; ++p)
+    if (transversal_[level][p].has_value()) pts.push_back(p);
+  return pts;
+}
+
+Perm SchreierSims::min_coset_rep(const Perm& x) const {
+  // Greedy lexicographic minimisation of (x*u)(0), (x*u)(1), ... over
+  // u in H, descending the point stabilizer chain: at level l the
+  // remaining freedom is u = t * s with t the accumulated transversal
+  // product and s in the level-l stabilizer, so (x*t*s)(l) ranges over
+  // x(t(orbit_l)).
+  Perm acc = perm_identity(degree_);
+  Perm x_acc = x;
+  for (std::size_t lvl = 0; lvl < transversal_.size(); ++lvl) {
+    int best_point = -1;
+    int best_image = degree_;
+    for (int p = 0; p < degree_; ++p) {
+      if (!transversal_[lvl][p].has_value()) continue;
+      const int img = x_acc[p];
+      if (img < best_image) {
+        best_image = img;
+        best_point = p;
+      }
+    }
+    NAHSP_CHECK(best_point >= 0, "empty orbit in stabilizer chain");
+    const Perm& t = *transversal_[lvl][best_point];
+    acc = perm_compose(acc, t);
+    x_acc = perm_compose(x_acc, t);
+  }
+  return x_acc;
+}
+
+PermutationGroup::PermutationGroup(int degree, std::vector<Perm> generators,
+                                   std::string display_name)
+    : degree_(degree),
+      gen_perms_(std::move(generators)),
+      bsgs_(degree, gen_perms_),
+      display_name_(std::move(display_name)) {
+  NAHSP_REQUIRE(degree >= 1 && degree <= 20, "degree must be in [1, 20]");
+  std::uint64_t fact = 1;
+  for (int i = 2; i <= degree; ++i) fact *= static_cast<std::uint64_t>(i);
+  bits_ = bits_for(fact);
+  if (bits_ == 0) bits_ = 1;
+}
+
+Code PermutationGroup::mul(Code a, Code b) const {
+  return perm_rank(perm_compose(decode(a), decode(b)));
+}
+
+Code PermutationGroup::inv(Code a) const {
+  return perm_rank(perm_inverse(decode(a)));
+}
+
+Code PermutationGroup::id() const {
+  return perm_rank(perm_identity(degree_));
+}
+
+std::vector<Code> PermutationGroup::generators() const {
+  std::vector<Code> gens;
+  gens.reserve(gen_perms_.size());
+  for (const Perm& p : gen_perms_) gens.push_back(perm_rank(p));
+  return gens;
+}
+
+std::uint64_t PermutationGroup::order() const { return bsgs_.order(); }
+
+bool PermutationGroup::is_element(Code a) const {
+  std::uint64_t fact = 1;
+  for (int i = 2; i <= degree_; ++i) fact *= static_cast<std::uint64_t>(i);
+  if (a >= fact) return false;
+  return bsgs_.contains(decode(a));
+}
+
+std::string PermutationGroup::name() const {
+  if (!display_name_.empty()) return display_name_;
+  std::ostringstream os;
+  os << "PermGroup(deg=" << degree_ << ", |G|=" << order() << ")";
+  return os.str();
+}
+
+std::shared_ptr<const PermutationGroup> symmetric_group(int degree) {
+  NAHSP_REQUIRE(degree >= 1, "degree must be >= 1");
+  std::vector<Perm> gens;
+  if (degree >= 2) {
+    gens.push_back(perm_from_cycles(degree, {{0, 1}}));
+    if (degree >= 3) {
+      std::vector<int> full(degree);
+      for (int i = 0; i < degree; ++i) full[i] = i;
+      gens.push_back(perm_from_cycles(degree, {full}));
+    }
+  }
+  std::ostringstream os;
+  os << "S_" << degree;
+  return std::make_shared<PermutationGroup>(degree, gens, os.str());
+}
+
+std::shared_ptr<const PermutationGroup> alternating_group(int degree) {
+  NAHSP_REQUIRE(degree >= 3, "alternating group needs degree >= 3");
+  std::vector<Perm> gens;
+  // 3-cycles (0 1 2), (0 1 3), ..., (0 1 d-1) generate A_d.
+  for (int i = 2; i < degree; ++i)
+    gens.push_back(perm_from_cycles(degree, {{0, 1, i}}));
+  std::ostringstream os;
+  os << "A_" << degree;
+  return std::make_shared<PermutationGroup>(degree, gens, os.str());
+}
+
+}  // namespace nahsp::grp

@@ -1,0 +1,57 @@
+#include "nahsp/groups/quaternion.h"
+
+#include <sstream>
+
+#include "nahsp/common/bits.h"
+#include "nahsp/common/check.h"
+
+namespace nahsp::grp {
+
+QuaternionGroup::QuaternionGroup(std::uint64_t order) : n_(order / 2) {
+  NAHSP_REQUIRE(order >= 8 && is_pow2(order),
+                "generalized quaternion order must be a power of two >= 8");
+  abits_ = bits_for(n_);
+  amask_ = (Code{1} << abits_) - 1;
+}
+
+Code QuaternionGroup::make(std::uint64_t i, bool j) const {
+  NAHSP_REQUIRE(i < n_, "a-exponent out of range");
+  return i | (static_cast<Code>(j) << abits_);
+}
+
+Code QuaternionGroup::mul(Code x, Code y) const {
+  const std::uint64_t i1 = a_exp(x);
+  const std::uint64_t i2 = a_exp(y);
+  const bool j1 = b_exp(x);
+  const bool j2 = b_exp(y);
+  // (a^{i1} b^{j1})(a^{i2} b^{j2}):
+  //   b a^i = a^{-i} b, and b^2 = a^{n/2}.
+  std::uint64_t i = j1 ? (i1 + n_ - i2 % n_) % n_ : (i1 + i2) % n_;
+  if (j1 && j2) i = (i + n_ / 2) % n_;  // fold b^2 into <a>
+  return make(i, j1 != j2);
+}
+
+Code QuaternionGroup::inv(Code x) const {
+  const std::uint64_t i = a_exp(x);
+  if (!b_exp(x)) return make(i == 0 ? 0 : n_ - i, false);
+  // (a^i b)^{-1} = b^{-1} a^{-i} = a^{n/2} b a^{-i} = a^{i + n/2} b.
+  return make((i + n_ / 2) % n_, true);
+}
+
+std::vector<Code> QuaternionGroup::generators() const {
+  return {make(1, false), make(0, true)};
+}
+
+int QuaternionGroup::encoding_bits() const { return abits_ + 1; }
+
+bool QuaternionGroup::is_element(Code x) const {
+  return a_exp(x) < n_ && (x >> (abits_ + 1)) == 0;
+}
+
+std::string QuaternionGroup::name() const {
+  std::ostringstream os;
+  os << "Q_" << 2 * n_;
+  return os.str();
+}
+
+}  // namespace nahsp::grp

@@ -1,0 +1,41 @@
+#include "nahsp/groups/quotient.h"
+
+#include <sstream>
+
+#include "nahsp/common/check.h"
+#include "nahsp/groups/algorithms.h"
+
+namespace nahsp::grp {
+
+QuotientView::QuotientView(std::shared_ptr<const Group> g,
+                           std::function<bool(Code)> in_n,
+                           std::string display_name)
+    : g_(std::move(g)),
+      in_n_(std::move(in_n)),
+      display_name_(std::move(display_name)) {
+  NAHSP_REQUIRE(g_ != nullptr, "null ambient group");
+  NAHSP_REQUIRE(in_n_ != nullptr, "null membership oracle");
+  NAHSP_CHECK(in_n_(g_->id()), "N must contain the identity");
+}
+
+std::uint64_t QuotientView::order() const {
+  if (cached_order_ != 0) return cached_order_;
+  // Count cosets by enumerating G and counting members of N.
+  const std::vector<Code> elems = enumerate_group(*g_);
+  std::uint64_t n_size = 0;
+  for (const Code x : elems)
+    if (in_n_(x)) ++n_size;
+  NAHSP_CHECK(n_size > 0 && elems.size() % n_size == 0,
+              "|N| must divide |G|");
+  cached_order_ = elems.size() / n_size;
+  return cached_order_;
+}
+
+std::string QuotientView::name() const {
+  if (!display_name_.empty()) return display_name_;
+  std::ostringstream os;
+  os << g_->name() << "/N";
+  return os.str();
+}
+
+}  // namespace nahsp::grp

@@ -1,0 +1,46 @@
+// The Abelian hidden subgroup solver (paper Theorem 3 / Lemma 9).
+//
+// Repeatedly runs the standard circuit through a CosetSampler to collect
+// characters y uniform over H^perp, and decodes the joint annihilator
+// H_Y via the congruence-kernel solver. H_Y always *contains* H and
+// shrinks monotonically; sampling stops once the candidate has been
+// stable for `stability_rounds` consecutive extra samples (plus an
+// optional exact membership verification, making the procedure
+// Las Vegas).
+#pragma once
+
+#include <functional>
+
+#include "nahsp/linalg/congruence.h"
+#include "nahsp/qsim/sampler.h"
+
+namespace nahsp::hsp {
+
+using la::AbVec;
+using u64 = std::uint64_t;
+
+struct AbelianHspOptions {
+  /// Samples taken before the first decode; 0 = auto
+  /// (sum of bits of the moduli + 8).
+  int base_samples = 0;
+  /// Consecutive non-shrinking extra samples required to accept.
+  int stability_rounds = 6;
+  /// Hard budget; exceeded => retry_exhausted.
+  int max_samples = 4096;
+  /// Optional exact membership oracle for candidate generators (e.g.
+  /// "f(g) == f(0)"); when provided, acceptance additionally requires
+  /// all candidate generators to pass, making the result certified.
+  std::function<bool(const AbVec&)> membership_check;
+};
+
+struct AbelianHspResult {
+  std::vector<AbVec> generators;  // of the hidden subgroup, componentwise
+  int samples_used = 0;
+  u64 subgroup_order = 0;
+};
+
+/// Solves the HSP over A = Z_{moduli[0]} x ... given a character source.
+AbelianHspResult solve_abelian_hsp(qs::CosetSampler& sampler, Rng& rng,
+                                   const AbelianHspOptions& opts = {});
+
+}  // namespace nahsp::hsp

@@ -1,0 +1,58 @@
+// HSP in groups with an elementary Abelian normal 2-subgroup
+// (paper Theorem 13, covering the Rötteler–Beth wreath products).
+//
+// Input: G black-box with unique encoding, generators n_1..n_m of a
+// normal subgroup N ~= Z_2^k, and f hiding H <= G. Two regimes:
+//   - general: polynomial in input + |G/N| (BFS coset representatives);
+//   - cyclic G/N: fully polynomial (coset representatives come from
+//     Sylow generators of the cyclic factor, |V| = O(log |G/N|)).
+//
+// Core loop (both regimes): for every representative z != 1, the
+// function F(i, x) = f(x z^i) on Z_2 x N hides either
+// {0} x (H ∩ N) or its extension by (1, u) with u z in H; an Abelian HSP
+// over Z_2^{m+1} recovers it and contributes the H-element u z for the
+// coset zN. Together with H ∩ N (an Abelian HSP over N) these generate H.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/hsp/order.h"
+
+namespace nahsp::hsp {
+
+struct ElemAbelian2Options {
+  /// Force the cyclic-factor route (otherwise chosen automatically when
+  /// a coset-label function is available and the factor looks cyclic).
+  bool assume_cyclic_factor = false;
+  /// Optional fast membership oracle for N. When absent, membership is
+  /// decided by the quantum constructive-membership test in the Abelian
+  /// group N (elements of N have order <= 2, so the test is cheap).
+  std::function<bool(grp::Code)> n_membership;
+  /// Optional canonical label of the coset xN (needed by the cyclic
+  /// route's order finding mod N; defaults to min-over-N enumeration,
+  /// which is exponential in k — fine for tests, overridden in benches).
+  std::function<u64(grp::Code)> coset_label;
+  /// Cap on |G/N| for the general route.
+  std::size_t factor_cap = 1u << 12;
+  /// Cap for enumerating N when building the default coset label.
+  std::size_t n_enum_cap = 1u << 20;
+  /// Upper bound on |G/N| for order finding mod N (0 = 2^encoding_bits).
+  u64 factor_order_bound = 0;
+};
+
+struct ElemAbelian2Result {
+  std::vector<grp::Code> generators;  // of H
+  std::size_t coset_reps_used = 0;    // |V|
+  bool cyclic_route = false;
+};
+
+/// Solves the HSP in G given generators of the elementary Abelian normal
+/// 2-subgroup N.
+ElemAbelian2Result solve_hsp_elem_abelian2(
+    const bb::BlackBoxGroup& g, const std::vector<grp::Code>& n_gens,
+    const bb::HidingFunction& f, Rng& rng,
+    const ElemAbelian2Options& opts = {});
+
+}  // namespace nahsp::hsp

@@ -1,0 +1,23 @@
+// Result verification and instance utilities shared by tests, examples
+// and benchmarks.
+#pragma once
+
+#include "nahsp/bbox/hiding.h"
+
+namespace nahsp::hsp {
+
+/// True iff <found> and <planted> generate the same subgroup of g
+/// (mutual enumeration; cap-bounded).
+bool verify_same_subgroup(const grp::Group& g,
+                          const std::vector<grp::Code>& found,
+                          const std::vector<grp::Code>& planted,
+                          std::size_t cap = 1u << 22);
+
+/// Validates the hiding promise on the full group (test-sized groups
+/// only): f is constant exactly on the left cosets of <planted>.
+bool validate_hiding_promise(const grp::Group& g,
+                             const bb::HidingFunction& f,
+                             const std::vector<grp::Code>& planted,
+                             std::size_t cap = 1u << 18);
+
+}  // namespace nahsp::hsp

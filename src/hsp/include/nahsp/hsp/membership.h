@@ -1,0 +1,62 @@
+// Constructive membership testing in Abelian subgroups (paper Theorems
+// 6, 7 and 10).
+//
+// Given pairwise-commuting (modulo the encoding) elements h_1, ..., h_r
+// and a target g, either express g as a product of powers of the h_i or
+// report that no such expression exists. The reduction (proof of
+// Theorem 6) forms the homomorphism
+//   phi(a_1, .., a_r, a) = h_1^{a_1} ... h_r^{a_r} g^{-a}
+// from Z_{s1} x ... x Z_{sr} x Z_s into G and finds its kernel with the
+// Abelian HSP solver; g is representable iff the kernel contains an
+// element whose last coordinate is a unit mod s, and the Bezout
+// combination of kernel generators produces the exponents.
+//
+// The label function parameterises the encoding: element codes (unique
+// encoding, Theorem 6), f-values (hidden normal subgroup, Theorem 7), or
+// coset labels of a solvable normal subgroup (Theorem 10).
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "nahsp/bbox/blackbox.h"
+#include "nahsp/qsim/sampler.h"
+
+namespace nahsp::hsp {
+
+using u64 = std::uint64_t;
+
+struct MembershipOptions {
+  /// Retries of the whole procedure (each re-runs the HSP solve).
+  int max_attempts = 8;
+  /// Upper bound used by order finding on the h_i and g; 0 = use
+  /// 2^encoding_bits (may be simulator-infeasible for wide encodings —
+  /// prefer passing the instance's known bound).
+  u64 order_bound = 0;
+};
+
+struct MembershipResult {
+  bool representable = false;
+  /// Exponents e_i with g == prod_i h_i^{e_i} (mod the encoding) when
+  /// representable.
+  std::vector<u64> exponents;
+  /// Orders of h_1..h_r and g (in the encoded group) as computed.
+  std::vector<u64> orders;
+};
+
+/// Constructive membership of `g` in <h_1, ..., h_r>, all commuting in
+/// the encoding defined by `label` (label(x) == label(y) iff x and y
+/// encode the same element). Orders are found with find_order_shor over
+/// the same label function.
+MembershipResult constructive_membership(
+    const bb::BlackBoxGroup& g_oracle, const std::vector<grp::Code>& hs,
+    grp::Code g, const std::function<u64(grp::Code)>& label, Rng& rng,
+    const MembershipOptions& opts = {});
+
+/// Unique-encoding convenience overload (labels = codes), Theorem 6.
+MembershipResult constructive_membership(const bb::BlackBoxGroup& g_oracle,
+                                         const std::vector<grp::Code>& hs,
+                                         grp::Code g, Rng& rng,
+                                         const MembershipOptions& opts = {});
+
+}  // namespace nahsp::hsp

@@ -1,0 +1,45 @@
+// Hidden normal subgroup (paper Theorem 8).
+//
+// Given a black-box group G and a function f hiding a *normal* subgroup
+// N, find generators for N — with no Fourier transform on G required.
+// Strategy, following the paper:
+//   1. f's labels are a secondary encoding of G/N (Theorem 7): orders and
+//      constructive membership in G/N come from the quantum subroutines
+//      parameterised by label = f.
+//   2. Build a presentation of G/N and substitute the relators:
+//      - Abelian factor: relation-lattice + commutator relators, then
+//        the normal closure of the substituted relators is N;
+//      - general factor of feasible size: Schreier generators from a BFS
+//        coset transversal generate N directly (poly in |G/N|, matching
+//        nu(G/N)-style bounds for our instance families).
+//   3. Las Vegas verification: every produced generator must satisfy
+//      f(n) == f(1).
+#pragma once
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/hsp/presentation.h"
+
+namespace nahsp::hsp {
+
+struct NormalHspOptions {
+  /// Upper bound for element orders in G/N (0 = 2^encoding_bits).
+  u64 order_bound = 0;
+  /// Cap on |G/N| for the Schreier (non-Abelian-factor) route.
+  std::size_t factor_cap = 1u << 14;
+  /// Cap used by the normal-closure enumeration.
+  std::size_t closure_cap = 1u << 22;
+  int max_attempts = 8;
+};
+
+struct NormalHspResult {
+  std::vector<grp::Code> generators;  // of N
+  bool abelian_factor = false;        // which route was taken
+};
+
+/// Finds generators of the hidden normal subgroup N defined by f.
+NormalHspResult find_hidden_normal_subgroup(const bb::BlackBoxGroup& g,
+                                            const bb::HidingFunction& f,
+                                            Rng& rng,
+                                            const NormalHspOptions& opts = {});
+
+}  // namespace nahsp::hsp

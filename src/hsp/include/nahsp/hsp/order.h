@@ -1,0 +1,85 @@
+// Quantum order finding.
+//
+// Two paper-relevant variants, both parameterised by a label function so
+// they work with the primary encoding (labels = element codes; Theorem 6)
+// or a secondary encoding (labels = f-values / coset labels; Theorems 7
+// and 10):
+//
+//  - find_order_shor: Shor's algorithm proper. Domain Z_{2^t} with
+//    2^t >= bound^2, gate-level or mixed-radix circuit, continued-fraction
+//    post-processing, lcm-combination across rounds, then minimisation to
+//    the exact order. Needs only an upper bound on the order.
+//  - find_order_via_multiple: when a multiple m of the order is known
+//    (paper Theorem 10: "we can take m as the order of g in G"), period
+//    finding over Z_m via the Abelian HSP machinery directly.
+#pragma once
+
+#include <functional>
+
+#include "nahsp/bbox/blackbox.h"
+#include "nahsp/qsim/sampler.h"
+
+namespace nahsp::hsp {
+
+using u64 = std::uint64_t;
+
+/// Which circuit realises the sampling step.
+enum class Backend {
+  kMixedRadix,  // exact mixed-radix statevector
+  kQubit,       // gate-level qubit circuit (power-of-two domains only)
+  kAnalytic,    // distribution-exact shortcut (requires planted knowledge)
+};
+
+struct ShorOptions {
+  /// Domain bits; 0 = auto from the order bound (2^t >= bound^2).
+  int t_bits = 0;
+  /// Retry budget (each round is one circuit run).
+  int max_rounds = 64;
+  /// Gate-level qubit circuit instead of mixed-radix (small t only).
+  bool use_qubit_circuit = false;
+  /// Approximate-QFT cutoff for the qubit circuit (0 = exact).
+  int approx_cutoff = 0;
+};
+
+/// Order of the element whose powers are labelled by `power_label`
+/// (power_label(k) must equal label(g^k); labels collide exactly for
+/// equal cosets). `order_bound` is any upper bound on the order.
+/// `verify(r)` must return true iff g^r is the (encoded) identity.
+u64 find_order_shor(const std::function<u64(u64)>& power_label,
+                    const std::function<bool(u64)>& verify, u64 order_bound,
+                    Rng& rng, bb::QueryCounter* counter,
+                    const ShorOptions& opts = {});
+
+/// Convenience wrapper for unique encodings: order of x in G, labels are
+/// the element codes themselves.
+u64 find_order_shor(const bb::BlackBoxGroup& g, grp::Code x, u64 order_bound,
+                    Rng& rng, const ShorOptions& opts = {});
+
+/// Period finding over Z_m when m is a known multiple of the order
+/// (Theorem 10 route). Requires only O(log m) circuit runs; the hidden
+/// subgroup of Z_m is <order>, recovered by the Abelian HSP solver.
+u64 find_order_via_multiple(u64 m, const std::function<u64(u64)>& power_label,
+                            Rng& rng, bb::QueryCounter* counter);
+
+struct FactorOrderOptions {
+  /// Upper bound on the order of x modulo N (0 = 2^encoding_bits).
+  u64 order_bound = 0;
+  /// Enumeration cap for N (the default coset labelling enumerates N).
+  std::size_t n_enum_cap = 1u << 20;
+  /// Optional fast coset-label oracle (label(a) == label(b) iff aN == bN);
+  /// replaces the enumeration-based default.
+  std::function<u64(grp::Code)> coset_label;
+};
+
+/// Theorem 10: the order of x in G/N, where the normal subgroup N is
+/// given by generators and the encoding of G is unique. The paper runs
+/// period finding against the quantum states |x^k N> (Watrous's uniform
+/// subgroup superpositions); distinct cosets give exactly orthogonal
+/// states, so the simulator realises them as canonical coset labels —
+/// a unitary relabelling of the ancilla with identical measurement
+/// statistics (see DESIGN.md substitutions).
+u64 find_factor_order(const bb::BlackBoxGroup& g,
+                      const std::vector<grp::Code>& n_gens, grp::Code x,
+                      Rng& rng, const FactorOrderOptions& opts = {});
+
+}  // namespace nahsp::hsp

@@ -1,0 +1,60 @@
+// Factor-group presentations realised through a label function — the
+// slice of the Beals–Babai machinery (paper Theorem 4 / Corollary 5)
+// that the paper's applications actually exercise.
+//
+// Both routines see G/N only through labels (label(x) == label(y) iff
+// xN == yN) and return *substituted relators*: elements of G that lie in
+// N and, together (via normal closure or Schreier's lemma), generate N.
+//
+//  - abelian_factor_relators: when G/N is Abelian, the relation lattice
+//    of the generator images (kernel of phi(a) = label(prod g_i^{a_i}),
+//    an Abelian HSP) plus the pairwise commutators give a presentation
+//    of G/N on the original generators; substituting yields elements of
+//    N whose normal closure is N (Theorem 8's argument with T = S, so
+//    the S_0 correction set is empty).
+//  - schreier_generators: for small G/N, BFS over the cosets builds a
+//    transversal; Schreier's lemma turns (transversal, generator) pairs
+//    into generators of N directly. Cost is polynomial in |G/N| — the
+//    regime of Theorems 11 and 13.
+#pragma once
+
+#include <functional>
+
+#include "nahsp/bbox/blackbox.h"
+#include "nahsp/qsim/sampler.h"
+
+namespace nahsp::hsp {
+
+using u64 = std::uint64_t;
+
+struct AbelianFactorOptions {
+  /// Upper bound for element orders in G/N (0 = 2^encoding_bits).
+  u64 order_bound = 0;
+  /// Retries when a relator fails verification against the labels.
+  int max_attempts = 8;
+};
+
+/// True iff all generator pairs commute according to the labels
+/// (i.e. G/N is Abelian as far as the generators show — which is exactly
+/// Abelian, as the generators generate).
+bool factor_group_is_abelian(const bb::BlackBoxGroup& g,
+                             const std::function<u64(grp::Code)>& label);
+
+/// Substituted relators for Abelian G/N. Every returned element lies in
+/// N (label-verified) and their normal closure is N.
+std::vector<grp::Code> abelian_factor_relators(
+    const bb::BlackBoxGroup& g, const std::function<u64(grp::Code)>& label,
+    Rng& rng, const AbelianFactorOptions& opts = {});
+
+struct SchreierOptions {
+  /// Cap on the number of cosets (|G/N|); exceeding it throws.
+  std::size_t factor_cap = 1u << 14;
+};
+
+/// Schreier generators of N from a BFS coset transversal of G/N.
+/// Polynomial in |G/N|; generates N itself (no closure step needed).
+std::vector<grp::Code> schreier_generators(
+    const bb::BlackBoxGroup& g, const std::function<u64(grp::Code)>& label,
+    const SchreierOptions& opts = {});
+
+}  // namespace nahsp::hsp

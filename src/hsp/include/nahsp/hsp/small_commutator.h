@@ -1,0 +1,42 @@
+// HSP in groups with small commutator subgroup (paper Theorem 11) and
+// its corollary for extra-special p-groups (Corollary 12).
+//
+// Algorithm (Theorem 11's proof):
+//   1. Enumerate G' (polynomial in |G'|) and H ∩ G' = {x in G' :
+//      f(x) = f(1)}.
+//   2. The set-valued function F(x) = {f(xg) : g in G'} hides HG',
+//      which is normal (G/G' Abelian); realise F with canonical
+//      multiset labels.
+//   3. Find generators of HG' via the hidden-normal-subgroup algorithm
+//      (Abelian-factor route, since G/HG' is Abelian).
+//   4. For each generator x of HG', scan the coset xG' for an element of
+//      H (f-value equals f(1)); collect them.
+//   5. H = < collected elements, H ∩ G' >.
+#pragma once
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/hsp/normal.h"
+
+namespace nahsp::hsp {
+
+struct SmallCommutatorOptions {
+  /// Cap on |G'| (the theorem's running-time parameter).
+  std::size_t gprime_cap = 1u << 18;
+  u64 order_bound = 0;  // order bound in G/HG' (0 = 2^encoding_bits)
+  int max_attempts = 8;
+  std::size_t closure_cap = 1u << 22;
+};
+
+struct SmallCommutatorResult {
+  std::vector<grp::Code> generators;     // of H
+  std::size_t gprime_order = 0;          // |G'| (enumerated)
+  std::size_t h_cap_gprime_order = 0;    // |H ∩ G'|
+};
+
+/// Solves the HSP in G given f hiding an arbitrary subgroup H, in time
+/// polynomial in input size + |G'|.
+SmallCommutatorResult solve_hsp_small_commutator(
+    const bb::BlackBoxGroup& g, const bb::HidingFunction& f, Rng& rng,
+    const SmallCommutatorOptions& opts = {});
+
+}  // namespace nahsp::hsp

@@ -1,0 +1,52 @@
+// One-call front door: picks the applicable algorithm from the paper's
+// toolbox based on cheap structural probes.
+//
+// Dispatch order (first applicable wins):
+//   1. A known elementary Abelian normal 2-subgroup (generators supplied)
+//      -> Theorem 13 (cyclic-factor route when the factor proves cyclic).
+//   2. Commutator subgroup enumerable within `gprime_cap`
+//      -> Theorem 11 (handles arbitrary hidden subgroups).
+//   3. Otherwise assume the hidden subgroup is normal -> Theorem 8
+//      (generators are label-verified; a non-normal hidden subgroup
+//      surfaces as oracle_error / retry_exhausted, never a wrong answer).
+#pragma once
+
+#include <optional>
+
+#include "nahsp/hsp/elem_abelian2.h"
+#include "nahsp/hsp/normal.h"
+#include "nahsp/hsp/small_commutator.h"
+
+namespace nahsp::hsp {
+
+enum class Method {
+  kElemAbelian2,      // Theorem 13
+  kSmallCommutator,   // Theorem 11
+  kHiddenNormal,      // Theorem 8
+};
+
+const char* method_name(Method m);
+
+struct AutoOptions {
+  /// Generators of an elementary Abelian normal 2-subgroup, if known.
+  std::optional<std::vector<grp::Code>> elem_abelian_2_subgroup;
+  /// Enumeration budget for G' before Theorem 11 is abandoned.
+  std::size_t gprime_cap = 1u << 12;
+  /// Order bound forwarded to the quantum subroutines
+  /// (0 = 2^encoding_bits).
+  u64 order_bound = 0;
+  /// Forwarded to the Theorem 13 options when route 1 is taken.
+  ElemAbelian2Options elem_abelian_2_options;
+};
+
+struct HspSolution {
+  std::vector<grp::Code> generators;
+  Method method;
+};
+
+/// Solves the HSP for f on g with the first applicable paper algorithm.
+HspSolution solve_hsp(const bb::BlackBoxGroup& g,
+                      const bb::HidingFunction& f, Rng& rng,
+                      const AutoOptions& opts = {});
+
+}  // namespace nahsp::hsp

@@ -1,0 +1,94 @@
+#include "nahsp/hsp/decompose.h"
+
+#include <algorithm>
+
+#include "nahsp/common/check.h"
+#include "nahsp/hsp/abelian.h"
+#include "nahsp/hsp/order.h"
+#include "nahsp/linalg/smith.h"
+#include "nahsp/numtheory/factor.h"
+
+namespace nahsp::hsp {
+
+namespace {
+using grp::Code;
+}
+
+AbelianDecomposition decompose_abelian(const bb::BlackBoxGroup& g, Rng& rng,
+                                       const DecomposeOptions& opts) {
+  const std::vector<Code> gens = g.generators();
+  NAHSP_REQUIRE(!gens.empty(), "group has no generators");
+  u64 order_bound = opts.order_bound;
+  if (order_bound == 0) {
+    NAHSP_REQUIRE(g.encoding_bits() <= 20,
+                  "pass an explicit order bound for wide encodings");
+    order_bound = u64{1} << g.encoding_bits();
+  }
+
+  // Orders of the generators (quantum order finding, unique encoding).
+  const std::size_t r = gens.size();
+  std::vector<u64> orders(r);
+  for (std::size_t i = 0; i < r; ++i)
+    orders[i] = find_order_shor(g, gens[i], order_bound, rng);
+
+  // Relation lattice: kernel of phi(a) = prod g_i^{a_i} over
+  // Z_{s1} x ... x Z_{sr} (an instance of the Abelian HSP with the
+  // element codes as labels; unique encoding).
+  std::vector<std::vector<Code>> tables(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    Code acc = g.id();
+    for (u64 a = 0; a < orders[i]; ++a) {
+      tables[i].push_back(acc);
+      acc = g.mul(acc, gens[i]);
+    }
+  }
+  auto product_of = [&](const la::AbVec& digits) -> Code {
+    Code acc = tables[0][digits[0]];
+    for (std::size_t i = 1; i < r; ++i)
+      acc = g.mul(acc, tables[i][digits[i]]);
+    return acc;
+  };
+  qs::LabelFn label = [&](const la::AbVec& digits) {
+    return static_cast<u64>(product_of(digits));
+  };
+  AbelianHspOptions hsp_opts;
+  hsp_opts.membership_check = [&](const la::AbVec& digits) {
+    return g.is_id(product_of(digits));
+  };
+  qs::MixedRadixCosetSampler sampler(orders, label, &g.counter());
+  const AbelianHspResult kernel = solve_abelian_hsp(sampler, rng, hsp_opts);
+
+  // G ~= Z^r / L where L is spanned by the kernel generators and
+  // diag(orders); the Smith form of L's basis gives the invariant
+  // factors.
+  std::vector<std::vector<la::i64>> rows;
+  for (const la::AbVec& k : kernel.generators) {
+    rows.emplace_back(k.begin(), k.end());
+  }
+  for (std::size_t i = 0; i < r; ++i) {
+    std::vector<la::i64> row(r, 0);
+    row[i] = static_cast<la::i64>(orders[i]);
+    rows.push_back(std::move(row));
+  }
+  const la::IMat basis = la::IMat::from_rows(rows);
+  const std::vector<la::i128> inv = la::invariant_factors(basis);
+
+  AbelianDecomposition out;
+  for (const la::i128 d : inv) {
+    NAHSP_CHECK(d > 0, "invariant factor must be positive");
+    const u64 dv = static_cast<u64>(d);
+    if (dv == 1) continue;
+    out.invariant_factors.push_back(dv);
+    out.order *= dv;
+    for (const auto& [p, e] : nt::factorize(dv)) {
+      u64 pe = 1;
+      for (int t = 0; t < e; ++t) pe *= p;
+      out.primary_orders.push_back(pe);
+    }
+  }
+  std::sort(out.invariant_factors.begin(), out.invariant_factors.end());
+  std::sort(out.primary_orders.begin(), out.primary_orders.end());
+  return out;
+}
+
+}  // namespace nahsp::hsp

@@ -1,0 +1,199 @@
+#include "nahsp/hsp/elem_abelian2.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "nahsp/common/bits.h"
+#include "nahsp/common/check.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/hsp/abelian.h"
+#include "nahsp/hsp/membership.h"
+#include "nahsp/numtheory/arith.h"
+#include "nahsp/numtheory/factor.h"
+
+namespace nahsp::hsp {
+
+namespace {
+
+using grp::Code;
+
+// prod_i n_i^{eps_i}; a homomorphism Z_2^m -> N because N is elementary
+// Abelian of exponent 2.
+Code product_of_n(const bb::BlackBoxGroup& g, const std::vector<Code>& n_gens,
+                  const la::AbVec& eps, std::size_t offset) {
+  Code acc = g.id();
+  for (std::size_t i = 0; i < n_gens.size(); ++i) {
+    if (eps[offset + i] != 0) acc = g.mul(acc, n_gens[i]);
+  }
+  return acc;
+}
+
+}  // namespace
+
+ElemAbelian2Result solve_hsp_elem_abelian2(
+    const bb::BlackBoxGroup& g, const std::vector<Code>& n_gens,
+    const bb::HidingFunction& f, Rng& rng,
+    const ElemAbelian2Options& opts) {
+  NAHSP_REQUIRE(!n_gens.empty(), "N needs at least one generator");
+  const std::size_t m = n_gens.size();
+  const u64 id_label = f.eval(g.id());
+  ElemAbelian2Result res;
+
+  // ---- 1. H ∩ N via the Abelian HSP over Z_2^m (paper: Theorem 3). ----
+  std::vector<Code> h_cap_n_gens;
+  {
+    const std::vector<u64> dims(m, 2);
+    qs::LabelFn label = [&](const la::AbVec& eps) {
+      return f.eval_uncounted(product_of_n(g, n_gens, eps, 0));
+    };
+    AbelianHspOptions hsp_opts;
+    hsp_opts.membership_check = [&](const la::AbVec& eps) {
+      return f.eval(product_of_n(g, n_gens, eps, 0)) == id_label;
+    };
+    qs::MixedRadixCosetSampler sampler(dims, label, &f.counter());
+    const AbelianHspResult r = solve_abelian_hsp(sampler, rng, hsp_opts);
+    for (const la::AbVec& eps : r.generators) {
+      const Code x = product_of_n(g, n_gens, eps, 0);
+      if (!g.is_id(x)) h_cap_n_gens.push_back(x);
+    }
+  }
+
+  // ---- Membership oracle for N. ----
+  auto in_n = [&](Code x) -> bool {
+    if (opts.n_membership) return opts.n_membership(x);
+    if (g.is_id(x)) return true;
+    // N has exponent 2 and is Abelian: cheap necessary filters first.
+    if (!g.is_id(g.mul(x, x))) return false;
+    for (const Code n : n_gens) {
+      if (!g.is_id(g.commutator(x, n))) return false;
+    }
+    // Constructive membership in <n_1..n_m> (orders all <= 2).
+    MembershipOptions mo;
+    mo.order_bound = 2;
+    return constructive_membership(g, n_gens, x, rng, mo).representable;
+  };
+
+  // ---- 2. Coset representatives V for G/N. ----
+  std::vector<Code> v_reps;  // excludes the identity coset
+  const std::vector<Code> gens = g.generators();
+  if (opts.assume_cyclic_factor) {
+    res.cyclic_route = true;
+    // Coset label of xN: supplied, or min-over-N enumeration fallback.
+    std::function<u64(Code)> coset_label = opts.coset_label;
+    std::vector<Code> n_elems;
+    if (!coset_label) {
+      n_elems = grp::enumerate_subgroup(g, n_gens, opts.n_enum_cap);
+      coset_label = [&g, n_elems](Code x) -> u64 {
+        Code best = ~Code{0};
+        for (const Code n : n_elems) best = std::min(best, g.mul(x, n));
+        return best;
+      };
+    }
+    const u64 id_coset = coset_label(g.id());
+    u64 bound = opts.factor_order_bound;
+    if (bound == 0) {
+      NAHSP_REQUIRE(g.encoding_bits() <= 20,
+                    "pass factor_order_bound for wide encodings");
+      bound = u64{1} << g.encoding_bits();
+    }
+    // Orders of the generators mod N (Theorem 10 machinery: Shor-style
+    // period finding over the coset labels).
+    std::vector<u64> orders(gens.size());
+    for (std::size_t j = 0; j < gens.size(); ++j) {
+      const Code x = gens[j];
+      std::vector<Code> powers{g.id()};
+      auto power_label = [&](u64 k) -> u64 {
+        while (powers.size() <= k) powers.push_back(g.mul(powers.back(), x));
+        return coset_label(powers[k]);
+      };
+      auto verify = [&](u64 t) { return coset_label(g.pow(x, t)) == id_coset; };
+      orders[j] = find_order_shor(power_label, verify, bound, rng,
+                                  &g.counter());
+    }
+    u64 factor_order = 1;
+    for (const u64 r : orders) factor_order = nt::lcm(factor_order, r);
+    // Sylow generators of the cyclic factor and all their p-power layers.
+    for (const auto& [p, h] : nt::factorize(factor_order)) {
+      u64 ph = 1;
+      for (int i = 0; i < h; ++i) ph *= p;
+      // Find a generator whose order mod N carries the full p-part.
+      std::size_t j = gens.size();
+      for (std::size_t cand = 0; cand < gens.size(); ++cand) {
+        if (orders[cand] % ph == 0) {
+          j = cand;
+          break;
+        }
+      }
+      NAHSP_CHECK(j < gens.size(), "no generator carries the Sylow p-part");
+      const Code xp = g.pow(gens[j], orders[j] / ph);
+      // Layers x_p^{p^l}, l = 0..h-1, generate every p-subgroup of the
+      // cyclic Sylow; x_p^{p^h} is in N already.
+      u64 e = 1;
+      for (int l = 0; l < h; ++l) {
+        v_reps.push_back(g.pow(xp, e));
+        e *= p;
+      }
+    }
+    res.coset_reps_used = v_reps.size();
+  } else {
+    // General route: BFS transversal of G/N via the membership oracle.
+    std::vector<Code> v{g.id()};
+    std::size_t head = 0;
+    while (head < v.size()) {
+      const Code cur = v[head++];
+      for (const Code s : gens) {
+        const Code c = g.mul(cur, s);
+        bool fresh = true;
+        for (const Code w : v) {
+          if (in_n(g.mul(g.inv(w), c))) {
+            fresh = false;
+            break;
+          }
+        }
+        if (fresh) {
+          NAHSP_REQUIRE(v.size() < opts.factor_cap,
+                        "G/N exceeds the coset cap");
+          v.push_back(c);
+        }
+      }
+    }
+    v_reps.assign(v.begin() + 1, v.end());
+    res.coset_reps_used = v.size();
+  }
+
+  // ---- 3. Per representative: Abelian HSP on Z_2 x Z_2^m. ----
+  std::vector<Code> collected = h_cap_n_gens;
+  std::vector<u64> dims(m + 1, 2);
+  for (const Code z : v_reps) {
+    qs::LabelFn label = [&](const la::AbVec& digits) {
+      Code x = product_of_n(g, n_gens, digits, 1);
+      if (digits[0] != 0) x = g.mul(x, z);
+      return f.eval_uncounted(x);
+    };
+    AbelianHspOptions hsp_opts;
+    hsp_opts.membership_check = [&](const la::AbVec& digits) {
+      Code x = product_of_n(g, n_gens, digits, 1);
+      if (digits[0] != 0) x = g.mul(x, z);
+      return f.eval(x) == id_label;
+    };
+    qs::MixedRadixCosetSampler sampler(dims, label, &f.counter());
+    const AbelianHspResult r = solve_abelian_hsp(sampler, rng, hsp_opts);
+    for (const la::AbVec& gen : r.generators) {
+      if (gen[0] == 0) continue;
+      // (1, w) in the hidden subgroup means f(w z) = f(1): w z in H.
+      const Code t = g.mul(product_of_n(g, n_gens, gen, 1), z);
+      NAHSP_ORACLE_CHECK(f.eval(t) == id_label,
+                         "certified kernel element escaped H");
+      collected.push_back(t);
+    }
+  }
+
+  std::sort(collected.begin(), collected.end());
+  collected.erase(std::unique(collected.begin(), collected.end()),
+                  collected.end());
+  std::erase_if(collected, [&g](Code c) { return g.is_id(c); });
+  res.generators = std::move(collected);
+  return res;
+}
+
+}  // namespace nahsp::hsp

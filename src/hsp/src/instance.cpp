@@ -1,0 +1,37 @@
+#include "nahsp/hsp/instance.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "nahsp/groups/algorithms.h"
+
+namespace nahsp::hsp {
+
+bool verify_same_subgroup(const grp::Group& g,
+                          const std::vector<grp::Code>& found,
+                          const std::vector<grp::Code>& planted,
+                          std::size_t cap) {
+  return grp::same_subgroup(g, found, planted, cap);
+}
+
+bool validate_hiding_promise(const grp::Group& g,
+                             const bb::HidingFunction& f,
+                             const std::vector<grp::Code>& planted,
+                             std::size_t cap) {
+  const std::vector<grp::Code> elems = grp::enumerate_group(g, cap);
+  const std::vector<grp::Code> h = grp::enumerate_subgroup(g, planted, cap);
+  // Two elements share a label iff they share a left coset of H.
+  std::unordered_map<std::uint64_t, grp::Code> label_rep;
+  for (const grp::Code x : elems) {
+    const std::uint64_t lab = f.eval_uncounted(x);
+    const auto [it, fresh] = label_rep.emplace(lab, x);
+    if (fresh) continue;
+    // Same label: require x^{-1} * rep in H.
+    const grp::Code q = g.mul(g.inv(x), it->second);
+    if (!std::binary_search(h.begin(), h.end(), q)) return false;
+  }
+  // Count cosets: |labels| * |H| must equal |G|.
+  return label_rep.size() * h.size() == elems.size();
+}
+
+}  // namespace nahsp::hsp

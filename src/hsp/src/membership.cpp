@@ -1,0 +1,160 @@
+#include "nahsp/hsp/membership.h"
+
+#include "nahsp/common/check.h"
+#include "nahsp/hsp/abelian.h"
+#include "nahsp/hsp/order.h"
+#include "nahsp/numtheory/arith.h"
+
+namespace nahsp::hsp {
+
+namespace {
+
+using grp::Code;
+
+// Power tables h_i^a for a in [0, s_i) so a basis-state evaluation costs
+// r multiplications instead of r exponentiations.
+std::vector<std::vector<Code>> build_power_tables(
+    const bb::BlackBoxGroup& g_oracle, const std::vector<Code>& elems,
+    const std::vector<u64>& orders) {
+  std::vector<std::vector<Code>> tables(elems.size());
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    tables[i].reserve(orders[i]);
+    Code acc = g_oracle.id();
+    for (u64 a = 0; a < orders[i]; ++a) {
+      tables[i].push_back(acc);
+      acc = g_oracle.mul(acc, elems[i]);
+    }
+  }
+  return tables;
+}
+
+}  // namespace
+
+MembershipResult constructive_membership(
+    const bb::BlackBoxGroup& g_oracle, const std::vector<Code>& hs,
+    Code g, const std::function<u64(Code)>& label, Rng& rng,
+    const MembershipOptions& opts) {
+  NAHSP_REQUIRE(!hs.empty(), "need at least one subgroup generator");
+  u64 order_bound = opts.order_bound;
+  if (order_bound == 0) {
+    NAHSP_REQUIRE(g_oracle.encoding_bits() <= 20,
+                  "pass an explicit order bound for wide encodings");
+    order_bound = u64{1} << g_oracle.encoding_bits();
+  }
+  const u64 id_label = label(g_oracle.id());
+
+  // Orders in the encoded group via Shor order finding on the labels.
+  const std::size_t r = hs.size();
+  std::vector<u64> orders(r + 1);
+  std::vector<Code> elems = hs;
+  elems.push_back(g);
+  for (std::size_t i = 0; i <= r; ++i) {
+    const Code x = elems[i];
+    std::vector<Code> powers{g_oracle.id()};
+    auto power_label = [&](u64 k) -> u64 {
+      while (powers.size() <= k)
+        powers.push_back(g_oracle.mul(powers.back(), x));
+      return label(powers[k]);
+    };
+    auto verify = [&](u64 t) {
+      return label(g_oracle.pow(x, t)) == id_label;
+    };
+    orders[i] = find_order_shor(power_label, verify, order_bound, rng,
+                                &g_oracle.counter());
+  }
+  const u64 s = orders[r];  // order of g
+
+  // phi(a_1..a_r, a) = h_1^{a_1} ... h_r^{a_r} g^{-a}; the g-powers table
+  // stores inverse powers directly.
+  std::vector<Code> inv_elems = hs;
+  inv_elems.push_back(g_oracle.inv(g));
+  const auto tables = build_power_tables(g_oracle, inv_elems, orders);
+
+  auto product_of = [&](const la::AbVec& digits) -> Code {
+    Code acc = tables[0][digits[0]];
+    for (std::size_t i = 1; i <= r; ++i)
+      acc = g_oracle.mul(acc, tables[i][digits[i]]);
+    return acc;
+  };
+
+  qs::LabelFn domain_label = [&](const la::AbVec& digits) {
+    return label(product_of(digits));
+  };
+
+  AbelianHspOptions hsp_opts;
+  hsp_opts.membership_check = [&](const la::AbVec& digits) {
+    return label(product_of(digits)) == id_label;
+  };
+
+  for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
+    qs::MixedRadixCosetSampler sampler(orders, domain_label,
+                                       &g_oracle.counter());
+    const AbelianHspResult kernel = solve_abelian_hsp(sampler, rng, hsp_opts);
+
+    // Fold the kernel generators with Bezout coefficients to reach the
+    // gcd of the last coordinates.
+    la::AbVec comb(r + 1, 0);
+    u64 t = 0;
+    for (const la::AbVec& gen : kernel.generators) {
+      const u64 c = gen[r] % s == 0 ? (s == 1 ? 0 : gen[r] % s) : gen[r] % s;
+      if (c == 0) continue;
+      const nt::ExtGcd e = nt::ext_gcd(t, c);
+      // new comb = x*comb + y*gen (componentwise, mod the moduli).
+      la::AbVec next(r + 1);
+      for (std::size_t i = 0; i <= r; ++i) {
+        const u64 m = orders[i];
+        const u64 xi =
+            static_cast<u64>(((e.x % static_cast<nt::i128>(m)) + m) %
+                             static_cast<nt::i128>(m));
+        const u64 yi =
+            static_cast<u64>(((e.y % static_cast<nt::i128>(m)) + m) %
+                             static_cast<nt::i128>(m));
+        next[i] = (nt::mulmod(xi, comb[i], m) + nt::mulmod(yi, gen[i], m)) % m;
+      }
+      comb = next;
+      t = e.g;
+    }
+
+    MembershipResult res;
+    res.orders = orders;
+    if (s == 1) {
+      // g has order 1 in the encoding: it is the encoded identity, the
+      // empty product represents it.
+      res.representable = true;
+      res.exponents.assign(r, 0);
+      return res;
+    }
+    if (t == 0 || nt::gcd(t, s) != 1) {
+      // No kernel element with unit last coordinate: not representable.
+      // (If the sampled kernel were too small we could wrongly reject,
+      // but the kernel only ever *shrinks toward* the true kernel from
+      // above, so rejection is reliable once stable.)
+      res.representable = false;
+      return res;
+    }
+    const u64 beta = *nt::invmod(comb[r] % s, s);
+    res.exponents.resize(r);
+    for (std::size_t i = 0; i < r; ++i)
+      res.exponents[i] = nt::mulmod(beta, comb[i], orders[i]);
+    // Verify the expression end to end.
+    Code check = g_oracle.id();
+    for (std::size_t i = 0; i < r; ++i)
+      check = g_oracle.mul(check, g_oracle.pow(hs[i], res.exponents[i]));
+    if (label(check) == label(g)) {
+      res.representable = true;
+      return res;
+    }
+    // Unlucky sampling produced a too-large kernel; try again.
+  }
+  throw retry_exhausted("constructive membership exhausted its attempts");
+}
+
+MembershipResult constructive_membership(const bb::BlackBoxGroup& g_oracle,
+                                         const std::vector<Code>& hs,
+                                         Code g, Rng& rng,
+                                         const MembershipOptions& opts) {
+  return constructive_membership(
+      g_oracle, hs, g, [](Code c) { return c; }, rng, opts);
+}
+
+}  // namespace nahsp::hsp

@@ -1,0 +1,50 @@
+#include "nahsp/hsp/normal.h"
+
+#include "nahsp/common/check.h"
+#include "nahsp/groups/algorithms.h"
+
+namespace nahsp::hsp {
+
+namespace {
+using grp::Code;
+}
+
+NormalHspResult find_hidden_normal_subgroup(const bb::BlackBoxGroup& g,
+                                            const bb::HidingFunction& f,
+                                            Rng& rng,
+                                            const NormalHspOptions& opts) {
+  // Classical single-point probes are counted; the label function handed
+  // to the quantum subroutines is uncounted — their bulk evaluations
+  // realise superposition queries, which the samplers account as
+  // quantum_queries + sim_basis_evals.
+  auto label_classical = [&f](Code x) { return f.eval(x); };
+  auto label_uncounted = [&f](Code x) { return f.eval_uncounted(x); };
+  const u64 id_label = f.eval(g.id());
+
+  NormalHspResult res;
+  std::vector<Code> seed;  // elements of N whose normal closure is N
+  if (factor_group_is_abelian(g, label_classical)) {
+    res.abelian_factor = true;
+    AbelianFactorOptions afo;
+    afo.order_bound = opts.order_bound;
+    afo.max_attempts = opts.max_attempts;
+    seed = abelian_factor_relators(g, label_uncounted, rng, afo);
+    // Relators generate N only up to normal closure.
+    res.generators = grp::normal_closure(g, seed, opts.closure_cap);
+  } else {
+    res.abelian_factor = false;
+    SchreierOptions so;
+    so.factor_cap = opts.factor_cap;
+    // The Schreier BFS genuinely queries f once per (coset, generator)
+    // pair — poly(|G/N|) classical queries, as Theorems 11/13 allow.
+    res.generators = schreier_generators(g, label_classical, so);
+  }
+
+  for (const Code n : res.generators) {
+    NAHSP_ORACLE_CHECK(f.eval(n) == id_label,
+                       "produced generator outside the hidden subgroup");
+  }
+  return res;
+}
+
+}  // namespace nahsp::hsp

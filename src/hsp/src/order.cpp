@@ -1,0 +1,138 @@
+#include "nahsp/hsp/order.h"
+
+#include <unordered_map>
+
+#include "nahsp/common/bits.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/common/check.h"
+#include "nahsp/hsp/abelian.h"
+#include "nahsp/numtheory/arith.h"
+#include "nahsp/numtheory/contfrac.h"
+#include "nahsp/numtheory/factor.h"
+#include "nahsp/qsim/qft.h"
+
+namespace nahsp::hsp {
+
+u64 find_order_shor(const std::function<u64(u64)>& power_label,
+                    const std::function<bool(u64)>& verify, u64 order_bound,
+                    Rng& rng, bb::QueryCounter* counter,
+                    const ShorOptions& opts) {
+  NAHSP_REQUIRE(order_bound >= 1, "order bound must be >= 1");
+  if (order_bound == 1 || verify(1)) return 1;
+
+  int t = opts.t_bits;
+  if (t <= 0) t = 2 * bits_for(order_bound + 1) + 1;
+  NAHSP_REQUIRE(t >= 2 && t <= 24, "Shor domain exceeds simulator budget");
+  const u64 big_q = u64{1} << t;
+
+  // Cache the power labels once; every circuit round reuses them (each
+  // round still counts one superposition query).
+  std::vector<u64> labels(big_q);
+  for (u64 k = 0; k < big_q; ++k) labels[k] = power_label(k);
+  if (counter != nullptr) counter->sim_basis_evals += big_q;
+
+  qs::LabelFn domain_label = [&labels](const la::AbVec& digits) {
+    return labels[digits[0]];
+  };
+
+  u64 combined = 1;  // lcm of the measured candidate denominators
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    u64 y;
+    if (opts.use_qubit_circuit) {
+      qs::QubitCosetSampler sampler({big_q}, domain_label, counter,
+                                    opts.approx_cutoff);
+      y = sampler.sample_character(rng)[0];
+    } else {
+      qs::MixedRadixCosetSampler sampler({big_q}, domain_label, counter);
+      y = sampler.sample_character(rng)[0];
+    }
+    if (y == 0) continue;
+    // y/Q ~ c/r: every convergent with denominator <= bound is a
+    // candidate r/gcd(c, r).
+    const auto convs = nt::convergents(y, big_q, order_bound);
+    for (const auto& cv : convs) {
+      if (cv.q == 0) continue;
+      combined = nt::lcm(combined, cv.q);
+      if (combined > order_bound) {
+        // Overshoot can only come from a spurious convergent; restart
+        // the combination from this round's best candidate.
+        combined = cv.q <= order_bound ? cv.q : 1;
+      }
+    }
+    if (combined > 1 && verify(combined)) {
+      // Minimise: strip prime factors while the verification still holds.
+      u64 r = combined;
+      for (const auto& [p, e] : nt::factorize(r)) {
+        (void)e;
+        while (r % p == 0 && verify(r / p)) r /= p;
+      }
+      return r;
+    }
+  }
+  throw retry_exhausted("Shor order finding exhausted its round budget");
+}
+
+u64 find_order_shor(const bb::BlackBoxGroup& g, grp::Code x, u64 order_bound,
+                    Rng& rng, const ShorOptions& opts) {
+  // Incremental power table avoids O(Q log Q) pow calls: label(k) = code
+  // of x^k. Built lazily inside power_label via memo.
+  std::vector<grp::Code> powers{g.id()};
+  auto power_label = [&g, x, &powers](u64 k) -> u64 {
+    while (powers.size() <= k) powers.push_back(g.mul(powers.back(), x));
+    return powers[k];
+  };
+  auto verify = [&g, x](u64 r) { return g.is_id(g.pow(x, r)); };
+  return find_order_shor(power_label, verify, order_bound, rng,
+                         &g.counter(), opts);
+}
+
+u64 find_order_via_multiple(u64 m, const std::function<u64(u64)>& power_label,
+                            Rng& rng, bb::QueryCounter* counter) {
+  NAHSP_REQUIRE(m >= 1, "multiple must be >= 1");
+  if (m == 1) return 1;
+  // The function k -> label(g^k) on Z_m hides <r> where r is the order
+  // (r divides m, so the function is well defined and exactly hiding).
+  qs::LabelFn domain_label = [&power_label](const la::AbVec& digits) {
+    return power_label(digits[0]);
+  };
+  qs::MixedRadixCosetSampler sampler({m}, domain_label, counter);
+  const AbelianHspResult res = solve_abelian_hsp(sampler, rng);
+  // <r> has order m / r; equivalently r = m / |H| = gcd of the
+  // generators with m.
+  u64 r = m;
+  for (const la::AbVec& gen : res.generators) r = nt::gcd(r, gen[0]);
+  NAHSP_CHECK(r >= 1 && m % r == 0, "period must divide the multiple");
+  return r == 0 ? m : r;
+}
+
+u64 find_factor_order(const bb::BlackBoxGroup& g,
+                      const std::vector<grp::Code>& n_gens, grp::Code x,
+                      Rng& rng, const FactorOrderOptions& opts) {
+  u64 bound = opts.order_bound;
+  if (bound == 0) {
+    NAHSP_REQUIRE(g.encoding_bits() <= 20,
+                  "pass an explicit order bound for wide encodings");
+    bound = u64{1} << g.encoding_bits();
+  }
+  // Canonical coset labels stand in for the |x^k N> states.
+  std::function<u64(grp::Code)> coset_label = opts.coset_label;
+  std::vector<grp::Code> n_elems;
+  if (!coset_label) {
+    n_elems = grp::enumerate_subgroup(g, n_gens, opts.n_enum_cap);
+    coset_label = [&g, &n_elems](grp::Code a) -> u64 {
+      grp::Code best = ~grp::Code{0};
+      for (const grp::Code n : n_elems) best = std::min(best, g.mul(a, n));
+      return best;
+    };
+  }
+  const u64 id_coset = coset_label(g.id());
+  std::vector<grp::Code> powers{g.id()};
+  auto power_label = [&](u64 k) -> u64 {
+    while (powers.size() <= k) powers.push_back(g.mul(powers.back(), x));
+    return coset_label(powers[k]);
+  };
+  auto verify = [&](u64 t) { return coset_label(g.pow(x, t)) == id_coset; };
+  return find_order_shor(power_label, verify, bound, rng, &g.counter());
+}
+
+}  // namespace nahsp::hsp

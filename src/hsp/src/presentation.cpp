@@ -1,0 +1,163 @@
+#include "nahsp/hsp/presentation.h"
+
+#include <deque>
+#include <unordered_map>
+
+#include "nahsp/common/check.h"
+#include "nahsp/hsp/abelian.h"
+#include "nahsp/hsp/order.h"
+
+namespace nahsp::hsp {
+
+namespace {
+using grp::Code;
+}
+
+bool factor_group_is_abelian(const bb::BlackBoxGroup& g,
+                             const std::function<u64(Code)>& label) {
+  const u64 id_label = label(g.id());
+  const std::vector<Code> gens = g.generators();
+  for (std::size_t i = 0; i < gens.size(); ++i)
+    for (std::size_t j = i + 1; j < gens.size(); ++j) {
+      if (label(g.commutator(gens[i], gens[j])) != id_label) return false;
+    }
+  return true;
+}
+
+std::vector<Code> abelian_factor_relators(
+    const bb::BlackBoxGroup& g, const std::function<u64(Code)>& label,
+    Rng& rng, const AbelianFactorOptions& opts) {
+  const std::vector<Code> gens = g.generators();
+  NAHSP_REQUIRE(!gens.empty(), "group has no generators");
+  const u64 id_label = label(g.id());
+
+  u64 order_bound = opts.order_bound;
+  if (order_bound == 0) {
+    NAHSP_REQUIRE(g.encoding_bits() <= 20,
+                  "pass an explicit order bound for wide encodings");
+    order_bound = u64{1} << g.encoding_bits();
+  }
+
+  // Orders of the generator images in G/N.
+  const std::size_t r = gens.size();
+  std::vector<u64> orders(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    const Code x = gens[i];
+    std::vector<Code> powers{g.id()};
+    auto power_label = [&](u64 k) -> u64 {
+      while (powers.size() <= k) powers.push_back(g.mul(powers.back(), x));
+      return label(powers[k]);
+    };
+    auto verify = [&](u64 t) { return label(g.pow(x, t)) == id_label; };
+    orders[i] =
+        find_order_shor(power_label, verify, order_bound, rng, &g.counter());
+  }
+
+  // Power tables for fast evaluation of phi over the domain.
+  std::vector<std::vector<Code>> tables(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    Code acc = g.id();
+    tables[i].reserve(orders[i]);
+    for (u64 a = 0; a < orders[i]; ++a) {
+      tables[i].push_back(acc);
+      acc = g.mul(acc, gens[i]);
+    }
+  }
+  auto product_of = [&](const la::AbVec& digits) -> Code {
+    Code acc = tables[0][digits[0]];
+    for (std::size_t i = 1; i < r; ++i)
+      acc = g.mul(acc, tables[i][digits[i]]);
+    return acc;
+  };
+
+  qs::LabelFn domain_label = [&](const la::AbVec& digits) {
+    return label(product_of(digits));
+  };
+  AbelianHspOptions hsp_opts;
+  hsp_opts.membership_check = [&](const la::AbVec& digits) {
+    return label(product_of(digits)) == id_label;
+  };
+
+  for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
+    qs::MixedRadixCosetSampler sampler(orders, domain_label, &g.counter());
+    const AbelianHspResult kernel = solve_abelian_hsp(sampler, rng, hsp_opts);
+
+    std::vector<Code> relators;
+    bool all_in_n = true;
+    // Kernel basis vectors: w = prod g_i^{a_i} lies in N.
+    for (const la::AbVec& a : kernel.generators) {
+      const Code w = product_of(a);
+      if (label(w) != id_label) {
+        all_in_n = false;
+        break;
+      }
+      if (!g.is_id(w)) relators.push_back(w);
+    }
+    if (!all_in_n) continue;  // too-large sampled kernel; retry
+    // Power relators g_i^{s_i} (s_i is the order in G/N, so these lie in
+    // N as well; they may be absent from the sampled basis reduced mod
+    // the moduli, so add them explicitly).
+    for (std::size_t i = 0; i < r; ++i) {
+      const Code w = g.mul(tables[i][orders[i] - 1], gens[i]);  // g_i^{s_i}
+      NAHSP_ORACLE_CHECK(label(w) == id_label,
+                         "computed order is not an order in G/N");
+      if (!g.is_id(w)) relators.push_back(w);
+    }
+    // Commutator relators (G/N Abelian).
+    for (std::size_t i = 0; i < r; ++i)
+      for (std::size_t j = i + 1; j < r; ++j) {
+        const Code w = g.commutator(gens[i], gens[j]);
+        NAHSP_ORACLE_CHECK(label(w) == id_label,
+                           "factor group is not Abelian");
+        if (!g.is_id(w)) relators.push_back(w);
+      }
+    return relators;
+  }
+  throw retry_exhausted("abelian_factor_relators exhausted its attempts");
+}
+
+std::vector<Code> schreier_generators(const bb::BlackBoxGroup& g,
+                                      const std::function<u64(Code)>& label,
+                                      const SchreierOptions& opts) {
+  const std::vector<Code> gens = g.generators();
+  const u64 id_label = label(g.id());
+
+  // BFS transversal of the left cosets of N keyed by label. The walk
+  // multiplies on the LEFT: left multiplication acts on left cosets
+  // (s * (gN) = (sg)N is well defined), which is what makes the Schreier
+  // elements generate N directly — any n in N written as a generator
+  // word s_k ... s_1 telescopes into a product of the collected
+  // elements. (A right-multiplication walk would only generate N up to
+  // normal closure.)
+  std::unordered_map<u64, Code> rep;
+  std::deque<Code> frontier;
+  rep.emplace(id_label, g.id());
+  frontier.push_back(g.id());
+  std::vector<Code> subgroup_gens;
+  std::vector<Code> step = gens;
+  for (const Code s : gens) step.push_back(g.inv(s));
+  while (!frontier.empty()) {
+    const Code v = frontier.front();
+    frontier.pop_front();
+    for (const Code s : step) {
+      const Code x = g.mul(s, v);
+      const u64 lab = label(x);
+      const auto it = rep.find(lab);
+      if (it == rep.end()) {
+        NAHSP_REQUIRE(rep.size() < opts.factor_cap,
+                      "factor group exceeds the Schreier coset cap");
+        rep.emplace(lab, x);
+        frontier.push_back(x);
+      } else {
+        // Schreier element rep(sv)^{-1} * (s v) lies in N.
+        const Code n = g.mul(g.inv(it->second), x);
+        NAHSP_ORACLE_CHECK(label(n) == id_label,
+                           "labels are not constant on cosets");
+        if (!g.is_id(n)) subgroup_gens.push_back(n);
+      }
+    }
+  }
+  return subgroup_gens;
+}
+
+}  // namespace nahsp::hsp

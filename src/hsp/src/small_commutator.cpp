@@ -1,0 +1,95 @@
+#include "nahsp/hsp/small_commutator.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "nahsp/common/check.h"
+#include "nahsp/groups/algorithms.h"
+
+namespace nahsp::hsp {
+
+namespace {
+using grp::Code;
+}
+
+SmallCommutatorResult solve_hsp_small_commutator(
+    const bb::BlackBoxGroup& g, const bb::HidingFunction& f, Rng& rng,
+    const SmallCommutatorOptions& opts) {
+  SmallCommutatorResult res;
+  const u64 id_label = f.eval(g.id());
+
+  // 1. Enumerate G' and H ∩ G'.
+  const std::vector<Code> gprime_gens =
+      grp::commutator_subgroup(g, opts.gprime_cap);
+  const std::vector<Code> gprime =
+      grp::enumerate_subgroup(g, gprime_gens, opts.gprime_cap);
+  res.gprime_order = gprime.size();
+
+  std::vector<Code> h_cap_gprime;
+  for (const Code x : gprime) {
+    if (f.eval(x) == id_label) h_cap_gprime.push_back(x);
+  }
+  res.h_cap_gprime_order = h_cap_gprime.size();
+
+  // 2. F(x) = multiset {f(xg) : g in G'}, canonicalised to a dense label.
+  // F costs |G'| f-queries per fresh point and hides HG'.
+  auto canonical = std::make_shared<std::map<std::vector<u64>, u64>>();
+  auto memo = std::make_shared<std::unordered_map<Code, u64>>();
+  auto f_big = [&g, &f, gprime, canonical, memo](Code x) -> u64 {
+    const auto it = memo->find(x);
+    if (it != memo->end()) return it->second;
+    std::vector<u64> values;
+    values.reserve(gprime.size());
+    // Uncounted: bulk evaluations of F realise superposition queries;
+    // classical F-queries are counted by the LambdaHider wrapper.
+    for (const Code c : gprime)
+      values.push_back(f.eval_uncounted(g.mul(x, c)));
+    std::sort(values.begin(), values.end());
+    values.erase(std::unique(values.begin(), values.end()), values.end());
+    const auto [cit, fresh] =
+        canonical->emplace(std::move(values), canonical->size());
+    (void)fresh;
+    memo->emplace(x, cit->second);
+    return cit->second;
+  };
+  bb::LambdaHider big_hider(f_big,
+                            std::shared_ptr<bb::QueryCounter>(
+                                std::shared_ptr<void>{}, &g.counter()));
+
+  // 3. Generators of HG' (normal; G/HG' Abelian).
+  NormalHspOptions nopts;
+  nopts.order_bound = opts.order_bound;
+  nopts.max_attempts = opts.max_attempts;
+  nopts.closure_cap = opts.closure_cap;
+  const NormalHspResult hgp =
+      find_hidden_normal_subgroup(g, big_hider, rng, nopts);
+  NAHSP_CHECK(hgp.abelian_factor,
+              "G/HG' must be Abelian when G' <= HG'");
+
+  // 4. For each generator x of HG', pick an element of xG' ∩ H.
+  std::vector<Code> collected = h_cap_gprime;
+  for (const Code x : hgp.generators) {
+    bool found = false;
+    for (const Code c : gprime) {
+      const Code cand = g.mul(x, c);
+      if (f.eval(cand) == id_label) {
+        collected.push_back(cand);
+        found = true;
+        break;
+      }
+    }
+    NAHSP_ORACLE_CHECK(found,
+                       "coset of a HG' generator contains no H element");
+  }
+
+  // 5. H = <collected>; drop identity duplicates for tidiness.
+  std::sort(collected.begin(), collected.end());
+  collected.erase(std::unique(collected.begin(), collected.end()),
+                  collected.end());
+  std::erase_if(collected, [&g](Code c) { return g.is_id(c); });
+  res.generators = std::move(collected);
+  return res;
+}
+
+}  // namespace nahsp::hsp

@@ -1,0 +1,55 @@
+#include "nahsp/hsp/solve.h"
+
+#include "nahsp/common/check.h"
+#include "nahsp/groups/algorithms.h"
+
+namespace nahsp::hsp {
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::kElemAbelian2:
+      return "theorem-13 (elementary Abelian normal 2-subgroup)";
+    case Method::kSmallCommutator:
+      return "theorem-11 (small commutator subgroup)";
+    case Method::kHiddenNormal:
+      return "theorem-8 (hidden normal subgroup)";
+  }
+  return "unknown";
+}
+
+HspSolution solve_hsp(const bb::BlackBoxGroup& g,
+                      const bb::HidingFunction& f, Rng& rng,
+                      const AutoOptions& opts) {
+  // Route 1: Theorem 13 when N = Z_2^k is known.
+  if (opts.elem_abelian_2_subgroup.has_value()) {
+    ElemAbelian2Options ea = opts.elem_abelian_2_options;
+    if (ea.factor_order_bound == 0) ea.factor_order_bound = opts.order_bound;
+    const auto res = solve_hsp_elem_abelian2(
+        g, *opts.elem_abelian_2_subgroup, f, rng, ea);
+    return {res.generators, Method::kElemAbelian2};
+  }
+
+  // Route 2: Theorem 11 when G' is small enough to enumerate.
+  bool gprime_small = true;
+  try {
+    (void)grp::commutator_subgroup(g, opts.gprime_cap);
+  } catch (const std::invalid_argument&) {
+    gprime_small = false;  // closure blew the cap
+  }
+  if (gprime_small) {
+    SmallCommutatorOptions sc;
+    sc.gprime_cap = opts.gprime_cap;
+    sc.order_bound = opts.order_bound;
+    const auto res = solve_hsp_small_commutator(g, f, rng, sc);
+    return {res.generators, Method::kSmallCommutator};
+  }
+
+  // Route 3: assume normal (Theorem 8) — verified, so a violated
+  // assumption cannot produce a wrong answer.
+  NormalHspOptions no;
+  no.order_bound = opts.order_bound;
+  const auto res = find_hidden_normal_subgroup(g, f, rng, no);
+  return {res.generators, Method::kHiddenNormal};
+}
+
+}  // namespace nahsp::hsp

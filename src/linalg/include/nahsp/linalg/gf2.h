@@ -1,0 +1,57 @@
+// Linear algebra over GF(2) with rows packed into 64-bit words.
+//
+// Used by the elementary-Abelian-2-subgroup algorithms (paper Section 6):
+// subgroups of Z_2^k are GF(2) subspaces, so membership / intersection /
+// span computations reduce to word-parallel row reduction. Restricted to
+// dimension <= 64, which covers every instance in scope (and matches the
+// 64-bit element codes used by the black-box layer).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace nahsp::la {
+
+/// A GF(2) matrix; each row is a bit-vector packed in a std::uint64_t,
+/// bit i = column i. Number of columns tracked explicitly (<= 64).
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  explicit BitMatrix(int cols) : cols_(cols) {}
+  BitMatrix(int cols, std::vector<std::uint64_t> rows);
+
+  int cols() const { return cols_; }
+  std::size_t rows() const { return rows_.size(); }
+  std::uint64_t row(std::size_t i) const { return rows_[i]; }
+  const std::vector<std::uint64_t>& raw_rows() const { return rows_; }
+
+  void append_row(std::uint64_t r);
+
+  /// Row-reduces in place to reduced row echelon form; returns rank.
+  int rref();
+
+  /// Rank without mutating (copies).
+  int rank() const;
+
+  /// True iff v is in the row space.
+  bool in_row_space(std::uint64_t v) const;
+
+  /// Appends v if it enlarges the row space; returns true if it did.
+  /// Keeps the matrix in echelon form (used as an incremental basis).
+  bool extend_basis(std::uint64_t v);
+
+  /// Basis of the null space {x : for every row r, <r, x> == 0},
+  /// one packed vector per basis element.
+  std::vector<std::uint64_t> null_space() const;
+
+  /// Solves x * A^T = b, i.e. finds x with sum of chosen rows == b.
+  /// Returns the coefficient mask over the *current* rows, or nullopt.
+  std::optional<std::uint64_t> solve_combination(std::uint64_t b) const;
+
+ private:
+  int cols_ = 0;
+  std::vector<std::uint64_t> rows_;
+};
+
+}  // namespace nahsp::la

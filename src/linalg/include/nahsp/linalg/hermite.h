@@ -1,0 +1,33 @@
+// Row Hermite normal form with transformation matrix, and integer kernel
+// bases derived from it.
+//
+// This is the workhorse of the Abelian-HSP post-processing: measured
+// characters become rows of an integer matrix, and the hidden subgroup is
+// the integer kernel of a related system (see congruence.h).
+#pragma once
+
+#include "nahsp/linalg/imat.h"
+
+namespace nahsp::la {
+
+/// Result of row-HNF reduction: U * A == H, U unimodular, H in row
+/// echelon form with nonnegative pivots and reduced entries above pivots.
+/// Zero rows of H are collected at the bottom.
+struct RowHnf {
+  IMat h;
+  IMat u;
+  std::size_t rank = 0;
+};
+
+/// Computes the row Hermite normal form of `a`.
+RowHnf row_hnf(const IMat& a);
+
+/// Basis of the left kernel {x : x * A == 0}, one basis vector per row.
+/// Returns a matrix with (rows(A) - rank) rows.
+IMat left_kernel(const IMat& a);
+
+/// Basis of the (right) kernel {x : A * x == 0}, one basis vector per row
+/// of the returned matrix (i.e. rows are kernel vectors of length cols(A)).
+IMat kernel(const IMat& a);
+
+}  // namespace nahsp::la

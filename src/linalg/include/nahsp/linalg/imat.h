@@ -1,0 +1,70 @@
+// Dense integer matrices with 128-bit entries.
+//
+// The matrices in this library are tiny (dozens of rows/columns — one row
+// per QFT sample, one column per group generator), but the intermediate
+// entries of Hermite/Smith reductions can grow well past 64 bits, so we
+// store __int128 throughout and check for overflow at the boundaries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nahsp::la {
+
+using i128 = __int128;
+using i64 = std::int64_t;
+using u64 = std::uint64_t;
+
+/// Dense row-major integer matrix over Z with __int128 entries.
+class IMat {
+ public:
+  IMat() = default;
+  IMat(std::size_t rows, std::size_t cols);
+
+  static IMat identity(std::size_t n);
+  static IMat from_rows(const std::vector<std::vector<i64>>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  i128& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const i128& at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  void swap_rows(std::size_t a, std::size_t b);
+  void swap_cols(std::size_t a, std::size_t b);
+
+  /// row[a] += k * row[b]
+  void add_row(std::size_t a, std::size_t b, i128 k);
+  /// col[a] += k * col[b]
+  void add_col(std::size_t a, std::size_t b, i128 k);
+
+  void negate_row(std::size_t r);
+  void negate_col(std::size_t c);
+
+  bool row_is_zero(std::size_t r) const;
+
+  IMat transposed() const;
+  IMat mul(const IMat& other) const;
+
+  bool operator==(const IMat& other) const;
+
+  /// Human-readable rendering for diagnostics.
+  std::string to_string() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<i128> data_;
+};
+
+/// Absolute value for __int128.
+inline i128 iabs(i128 x) { return x < 0 ? -x : x; }
+
+/// |det| == 1 check via fraction-free Gaussian elimination (Bareiss).
+/// Used in tests to validate that reduction transforms are unimodular.
+bool is_unimodular(const IMat& m);
+
+}  // namespace nahsp::la

@@ -1,0 +1,29 @@
+// Smith normal form over Z.
+//
+// Used for the Cheung–Mosca style decomposition of Abelian groups
+// (paper Theorem 1): the relation lattice of a generating set, put in
+// Smith form, reads off the cyclic invariant factors of the group.
+#pragma once
+
+#include <vector>
+
+#include "nahsp/linalg/imat.h"
+
+namespace nahsp::la {
+
+/// U * A * V == D with U, V unimodular and D diagonal with
+/// d1 | d2 | ... | dk >= 0.
+struct Snf {
+  IMat d;
+  IMat u;
+  IMat v;
+};
+
+/// Computes the Smith normal form of `a`.
+Snf smith_normal_form(const IMat& a);
+
+/// The diagonal invariant factors of `a` (excluding trailing zeros if
+/// `drop_zeros`), each dividing the next.
+std::vector<i128> invariant_factors(const IMat& a, bool drop_zeros = true);
+
+}  // namespace nahsp::la

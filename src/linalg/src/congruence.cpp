@@ -1,0 +1,174 @@
+#include "nahsp/linalg/congruence.h"
+
+#include <algorithm>
+#include <set>
+
+#include "nahsp/common/check.h"
+#include "nahsp/linalg/hermite.h"
+#include "nahsp/numtheory/arith.h"
+
+namespace nahsp::la {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+u64 lcm_of(const std::vector<u64>& moduli) {
+  u64 l = 1;
+  for (const u64 s : moduli) {
+    NAHSP_REQUIRE(s >= 1, "moduli must be positive");
+    l = nt::lcm(l, s);
+  }
+  return l;
+}
+
+// Lattice basis (rows) spanned by gens plus diag(moduli).
+IMat lattice_rows(const std::vector<AbVec>& gens,
+                  const std::vector<u64>& moduli) {
+  const std::size_t r = moduli.size();
+  IMat m(gens.size() + r, r);
+  for (std::size_t i = 0; i < gens.size(); ++i) {
+    NAHSP_REQUIRE(gens[i].size() == r, "generator length mismatch");
+    for (std::size_t j = 0; j < r; ++j) m.at(i, j) = gens[i][j];
+  }
+  for (std::size_t j = 0; j < r; ++j)
+    m.at(gens.size() + j, j) = static_cast<i128>(moduli[j]);
+  return m;
+}
+
+}  // namespace
+
+std::vector<AbVec> congruence_kernel(const std::vector<AbVec>& samples,
+                                     const std::vector<u64>& moduli) {
+  const std::size_t r = moduli.size();
+  const std::size_t m = samples.size();
+  const u64 big_l = lcm_of(moduli);
+
+  // B = [M | L*I_m], kernel rows projected onto the first r coordinates.
+  IMat b(m, r + m);
+  for (std::size_t j = 0; j < m; ++j) {
+    NAHSP_REQUIRE(samples[j].size() == r, "sample length mismatch");
+    for (std::size_t i = 0; i < r; ++i) {
+      const u64 w = nt::mulmod(samples[j][i] % moduli[i], big_l / moduli[i],
+                               big_l);
+      b.at(j, i) = static_cast<i128>(w);
+    }
+    b.at(j, r + j) = static_cast<i128>(big_l);
+  }
+
+  const IMat k = kernel(b);
+  std::set<AbVec> uniq;
+  for (std::size_t row = 0; row < k.rows(); ++row) {
+    AbVec x(r);
+    bool nonzero = false;
+    for (std::size_t i = 0; i < r; ++i) {
+      i128 v = k.at(row, i) % static_cast<i128>(moduli[i]);
+      if (v < 0) v += static_cast<i128>(moduli[i]);
+      x[i] = static_cast<u64>(v);
+      nonzero |= (x[i] != 0);
+    }
+    if (nonzero) uniq.insert(std::move(x));
+  }
+  return {uniq.begin(), uniq.end()};
+}
+
+bool character_annihilates(const AbVec& y, const AbVec& x,
+                           const std::vector<u64>& moduli) {
+  NAHSP_REQUIRE(y.size() == moduli.size() && x.size() == moduli.size(),
+                "vector length mismatch");
+  const u64 big_l = lcm_of(moduli);
+  u64 acc = 0;
+  for (std::size_t i = 0; i < moduli.size(); ++i) {
+    const u64 term = nt::mulmod(nt::mulmod(y[i] % moduli[i], x[i] % moduli[i],
+                                           big_l),
+                                big_l / moduli[i], big_l);
+    acc = (acc + term) % big_l;
+  }
+  return acc == 0;
+}
+
+IMat abelian_canonical_basis(const std::vector<AbVec>& gens,
+                             const std::vector<u64>& moduli) {
+  const RowHnf h = row_hnf(lattice_rows(gens, moduli));
+  // The lattice contains diag(moduli), hence has full rank r.
+  NAHSP_CHECK(h.rank == moduli.size(), "subgroup lattice must be full rank");
+  IMat basis(h.rank, moduli.size());
+  for (std::size_t i = 0; i < h.rank; ++i)
+    for (std::size_t j = 0; j < moduli.size(); ++j)
+      basis.at(i, j) = h.h.at(i, j);
+  return basis;
+}
+
+bool abelian_contains(const std::vector<AbVec>& gens,
+                      const std::vector<u64>& moduli, const AbVec& x) {
+  NAHSP_REQUIRE(x.size() == moduli.size(), "element length mismatch");
+  const IMat basis = abelian_canonical_basis(gens, moduli);
+  // Reduce x against the upper-triangular Hermite basis.
+  std::vector<i128> v(x.begin(), x.end());
+  std::size_t row = 0;
+  for (std::size_t col = 0; col < moduli.size(); ++col) {
+    // Find the pivot row for this column (basis is in echelon form).
+    if (row < basis.rows() && basis.at(row, col) != 0) {
+      const i128 p = basis.at(row, col);
+      i128 q = v[col] / p;
+      if (v[col] % p != 0 && v[col] < 0) --q;
+      for (std::size_t j = col; j < moduli.size(); ++j)
+        v[j] -= q * basis.at(row, j);
+      ++row;
+    }
+    if (v[col] != 0) return false;
+  }
+  return true;
+}
+
+u64 abelian_subgroup_order(const std::vector<AbVec>& gens,
+                           const std::vector<u64>& moduli) {
+  const IMat basis = abelian_canonical_basis(gens, moduli);
+  // |H| = |A| / [Z^r : L] with [Z^r : L] = product of HNF pivots.
+  u128 ambient = 1;
+  for (const u64 s : moduli) ambient *= s;
+  u128 index = 1;
+  for (std::size_t i = 0; i < basis.rows(); ++i)
+    index *= static_cast<u128>(static_cast<u64>(basis.at(i, i)));
+  NAHSP_CHECK(index != 0 && ambient % index == 0,
+              "lattice index must divide |A|");
+  const u128 order = ambient / index;
+  NAHSP_CHECK(order <= ~static_cast<u64>(0), "subgroup order overflows");
+  return static_cast<u64>(order);
+}
+
+bool abelian_subgroup_equal(const std::vector<AbVec>& a,
+                            const std::vector<AbVec>& b,
+                            const std::vector<u64>& moduli) {
+  return abelian_canonical_basis(a, moduli) ==
+         abelian_canonical_basis(b, moduli);
+}
+
+std::vector<AbVec> abelian_enumerate(const std::vector<AbVec>& gens,
+                                     const std::vector<u64>& moduli,
+                                     std::size_t limit) {
+  const std::size_t r = moduli.size();
+  std::set<AbVec> seen;
+  std::vector<AbVec> frontier;
+  AbVec zero(r, 0);
+  seen.insert(zero);
+  frontier.push_back(zero);
+  while (!frontier.empty()) {
+    const AbVec cur = frontier.back();
+    frontier.pop_back();
+    for (const AbVec& g : gens) {
+      NAHSP_REQUIRE(g.size() == r, "generator length mismatch");
+      AbVec nxt(r);
+      for (std::size_t i = 0; i < r; ++i)
+        nxt[i] = (cur[i] + g[i]) % moduli[i];
+      if (seen.insert(nxt).second) {
+        NAHSP_REQUIRE(seen.size() <= limit,
+                      "abelian_enumerate exceeded its element limit");
+        frontier.push_back(std::move(nxt));
+      }
+    }
+  }
+  return {seen.begin(), seen.end()};
+}
+
+}  // namespace nahsp::la

@@ -1,0 +1,127 @@
+#include "nahsp/linalg/gf2.h"
+
+#include <algorithm>
+
+#include "nahsp/common/bits.h"
+#include "nahsp/common/check.h"
+
+namespace nahsp::la {
+
+BitMatrix::BitMatrix(int cols, std::vector<std::uint64_t> rows)
+    : cols_(cols), rows_(std::move(rows)) {
+  NAHSP_REQUIRE(cols >= 0 && cols <= 64, "BitMatrix supports <= 64 columns");
+}
+
+void BitMatrix::append_row(std::uint64_t r) {
+  if (cols_ < 64) {
+    NAHSP_REQUIRE((r >> cols_) == 0, "row has bits beyond column count");
+  }
+  rows_.push_back(r);
+}
+
+int BitMatrix::rref() {
+  int rank = 0;
+  for (int col = 0; col < cols_ && rank < static_cast<int>(rows_.size());
+       ++col) {
+    const std::uint64_t mask = 1ULL << col;
+    // Find a pivot row at or below `rank` with this column set.
+    std::size_t piv = rank;
+    while (piv < rows_.size() && !(rows_[piv] & mask)) ++piv;
+    if (piv == rows_.size()) continue;
+    std::swap(rows_[rank], rows_[piv]);
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      if (r != static_cast<std::size_t>(rank) && (rows_[r] & mask))
+        rows_[r] ^= rows_[rank];
+    }
+    ++rank;
+  }
+  rows_.resize(rank);  // drop zero rows
+  return rank;
+}
+
+int BitMatrix::rank() const {
+  BitMatrix copy = *this;
+  return copy.rref();
+}
+
+bool BitMatrix::in_row_space(std::uint64_t v) const {
+  BitMatrix copy = *this;
+  copy.rref();
+  for (const std::uint64_t r : copy.rows_) {
+    if (r == 0) continue;
+    const int pivot = std::countr_zero(r);
+    if (v & (1ULL << pivot)) v ^= r;
+  }
+  return v == 0;
+}
+
+bool BitMatrix::extend_basis(std::uint64_t v) {
+  // Reduce v against current echelon rows; insert if a residue remains.
+  for (const std::uint64_t r : rows_) {
+    const int pivot = std::countr_zero(r);
+    if (v & (1ULL << pivot)) v ^= r;
+  }
+  if (v == 0) return false;
+  rows_.push_back(v);
+  // Re-echelonise to keep the invariant cheap for the next call.
+  rref();
+  return true;
+}
+
+std::vector<std::uint64_t> BitMatrix::null_space() const {
+  BitMatrix copy = *this;
+  copy.rref();
+  // Record pivot columns.
+  std::vector<int> pivot_col(copy.rows_.size());
+  std::uint64_t pivot_mask = 0;
+  for (std::size_t i = 0; i < copy.rows_.size(); ++i) {
+    pivot_col[i] = std::countr_zero(copy.rows_[i]);
+    pivot_mask |= 1ULL << pivot_col[i];
+  }
+  std::vector<std::uint64_t> basis;
+  for (int free_col = 0; free_col < cols_; ++free_col) {
+    if (pivot_mask & (1ULL << free_col)) continue;
+    std::uint64_t v = 1ULL << free_col;
+    // Back-substitute: pivot variable i takes <row_i restricted to free
+    // columns> dotted with v.
+    for (std::size_t i = 0; i < copy.rows_.size(); ++i) {
+      if (copy.rows_[i] & (1ULL << free_col)) v |= 1ULL << pivot_col[i];
+    }
+    basis.push_back(v);
+  }
+  return basis;
+}
+
+std::optional<std::uint64_t> BitMatrix::solve_combination(
+    std::uint64_t b) const {
+  // Gaussian elimination on [rows | coefficient tags].
+  NAHSP_REQUIRE(rows_.size() <= 64, "too many rows for coefficient mask");
+  std::vector<std::uint64_t> work = rows_;
+  std::vector<std::uint64_t> tag(rows_.size());
+  for (std::size_t i = 0; i < tag.size(); ++i) tag[i] = 1ULL << i;
+  std::uint64_t bt = 0;  // coefficients accumulated into b
+  std::size_t rank = 0;
+  for (int col = 0; col < cols_ && rank < work.size(); ++col) {
+    const std::uint64_t mask = 1ULL << col;
+    std::size_t piv = rank;
+    while (piv < work.size() && !(work[piv] & mask)) ++piv;
+    if (piv == work.size()) continue;
+    std::swap(work[rank], work[piv]);
+    std::swap(tag[rank], tag[piv]);
+    for (std::size_t r = 0; r < work.size(); ++r) {
+      if (r != rank && (work[r] & mask)) {
+        work[r] ^= work[rank];
+        tag[r] ^= tag[rank];
+      }
+    }
+    if (b & mask) {
+      b ^= work[rank];
+      bt ^= tag[rank];
+    }
+    ++rank;
+  }
+  if (b != 0) return std::nullopt;
+  return bt;
+}
+
+}  // namespace nahsp::la

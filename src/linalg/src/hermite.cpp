@@ -1,0 +1,71 @@
+#include "nahsp/linalg/hermite.h"
+
+#include "nahsp/common/check.h"
+
+namespace nahsp::la {
+
+RowHnf row_hnf(const IMat& a) {
+  RowHnf res{a, IMat::identity(a.rows()), 0};
+  IMat& h = res.h;
+  IMat& u = res.u;
+  const std::size_t m = h.rows();
+  const std::size_t n = h.cols();
+
+  std::size_t pivot_row = 0;
+  for (std::size_t col = 0; col < n && pivot_row < m; ++col) {
+    // Euclid out every entry below the pivot candidate in this column.
+    for (std::size_t r = pivot_row + 1; r < m; ++r) {
+      while (h.at(r, col) != 0) {
+        if (h.at(pivot_row, col) == 0) {
+          h.swap_rows(pivot_row, r);
+          u.swap_rows(pivot_row, r);
+          break;
+        }
+        const i128 q = h.at(r, col) / h.at(pivot_row, col);
+        if (q != 0) {
+          h.add_row(r, pivot_row, -q);
+          u.add_row(r, pivot_row, -q);
+        }
+        if (h.at(r, col) != 0) {
+          h.swap_rows(pivot_row, r);
+          u.swap_rows(pivot_row, r);
+        }
+      }
+    }
+    if (h.at(pivot_row, col) == 0) continue;  // column already clear
+    if (h.at(pivot_row, col) < 0) {
+      h.negate_row(pivot_row);
+      u.negate_row(pivot_row);
+    }
+    // Reduce the entries above the pivot into [0, pivot).
+    const i128 p = h.at(pivot_row, col);
+    for (std::size_t r = 0; r < pivot_row; ++r) {
+      i128 q = h.at(r, col) / p;
+      // Floor division for negatives so the remainder lands in [0, p).
+      if (h.at(r, col) % p != 0 && h.at(r, col) < 0) --q;
+      if (q != 0) {
+        h.add_row(r, pivot_row, -q);
+        u.add_row(r, pivot_row, -q);
+      }
+    }
+    ++pivot_row;
+  }
+  res.rank = pivot_row;
+  return res;
+}
+
+IMat left_kernel(const IMat& a) {
+  const RowHnf r = row_hnf(a);
+  const std::size_t null_dim = a.rows() - r.rank;
+  IMat basis(null_dim, a.rows());
+  for (std::size_t i = 0; i < null_dim; ++i) {
+    NAHSP_CHECK(r.h.row_is_zero(r.rank + i), "non-zero row below HNF rank");
+    for (std::size_t j = 0; j < a.rows(); ++j)
+      basis.at(i, j) = r.u.at(r.rank + i, j);
+  }
+  return basis;
+}
+
+IMat kernel(const IMat& a) { return left_kernel(a.transposed()); }
+
+}  // namespace nahsp::la

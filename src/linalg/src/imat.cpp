@@ -1,0 +1,194 @@
+#include "nahsp/linalg/imat.h"
+
+#include <sstream>
+
+#include "nahsp/common/check.h"
+
+namespace nahsp::la {
+
+namespace {
+std::string i128_to_string(i128 v) {
+  if (v == 0) return "0";
+  const bool neg = v < 0;
+  unsigned __int128 u = neg ? static_cast<unsigned __int128>(-v)
+                            : static_cast<unsigned __int128>(v);
+  std::string s;
+  while (u != 0) {
+    s.push_back(static_cast<char>('0' + static_cast<int>(u % 10)));
+    u /= 10;
+  }
+  if (neg) s.push_back('-');
+  return {s.rbegin(), s.rend()};
+}
+}  // namespace
+
+IMat::IMat(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0) {}
+
+IMat IMat::identity(std::size_t n) {
+  IMat m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1;
+  return m;
+}
+
+IMat IMat::from_rows(const std::vector<std::vector<i64>>& rows) {
+  if (rows.empty()) return IMat(0, 0);
+  IMat m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    NAHSP_REQUIRE(rows[r].size() == rows[0].size(),
+                  "all rows must have equal length");
+    for (std::size_t c = 0; c < rows[r].size(); ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+void IMat::swap_rows(std::size_t a, std::size_t b) {
+  if (a == b) return;
+  for (std::size_t c = 0; c < cols_; ++c) std::swap(at(a, c), at(b, c));
+}
+
+void IMat::swap_cols(std::size_t a, std::size_t b) {
+  if (a == b) return;
+  for (std::size_t r = 0; r < rows_; ++r) std::swap(at(r, a), at(r, b));
+}
+
+void IMat::add_row(std::size_t a, std::size_t b, i128 k) {
+  for (std::size_t c = 0; c < cols_; ++c) at(a, c) += k * at(b, c);
+}
+
+void IMat::add_col(std::size_t a, std::size_t b, i128 k) {
+  for (std::size_t r = 0; r < rows_; ++r) at(r, a) += k * at(r, b);
+}
+
+void IMat::negate_row(std::size_t r) {
+  for (std::size_t c = 0; c < cols_; ++c) at(r, c) = -at(r, c);
+}
+
+void IMat::negate_col(std::size_t c) {
+  for (std::size_t r = 0; r < rows_; ++r) at(r, c) = -at(r, c);
+}
+
+bool IMat::row_is_zero(std::size_t r) const {
+  for (std::size_t c = 0; c < cols_; ++c)
+    if (at(r, c) != 0) return false;
+  return true;
+}
+
+IMat IMat::transposed() const {
+  IMat t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+IMat IMat::mul(const IMat& other) const {
+  NAHSP_REQUIRE(cols_ == other.rows(), "dimension mismatch in IMat::mul");
+  IMat out(rows_, other.cols());
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const i128 a = at(r, k);
+      if (a == 0) continue;
+      for (std::size_t c = 0; c < other.cols(); ++c)
+        out.at(r, c) += a * other.at(k, c);
+    }
+  return out;
+}
+
+bool IMat::operator==(const IMat& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ && data_ == other.data_;
+}
+
+std::string IMat::to_string() const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    os << '[';
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c != 0) os << ' ';
+      os << i128_to_string(at(r, c));
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+// Determinant modulo a prime via Gaussian elimination in Z_p.
+// (Fraction-free Bareiss overflows __int128 on the huge-entry
+// transformation matrices Hermite reduction can produce, so
+// unimodularity is checked modulo several large primes instead.)
+std::uint64_t det_mod_prime(const IMat& m, std::uint64_t p) {
+  const std::size_t n = m.rows();
+  std::vector<std::vector<std::uint64_t>> a(
+      n, std::vector<std::uint64_t>(n));
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) {
+      i128 v = m.at(r, c) % static_cast<i128>(p);
+      if (v < 0) v += static_cast<i128>(p);
+      a[r][c] = static_cast<std::uint64_t>(v);
+    }
+  auto mulp = [p](std::uint64_t x, std::uint64_t y) {
+    return static_cast<std::uint64_t>(
+        static_cast<unsigned __int128>(x) * y % p);
+  };
+  auto powp = [&](std::uint64_t b, std::uint64_t e) {
+    std::uint64_t r = 1;
+    while (e) {
+      if (e & 1) r = mulp(r, b);
+      b = mulp(b, b);
+      e >>= 1;
+    }
+    return r;
+  };
+  std::uint64_t det = 1;
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    while (piv < n && a[piv][k] == 0) ++piv;
+    if (piv == n) return 0;
+    if (piv != k) {
+      std::swap(a[piv], a[k]);
+      det = p - det;  // sign flip
+    }
+    det = mulp(det, a[k][k]);
+    const std::uint64_t inv = powp(a[k][k], p - 2);  // Fermat
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (a[i][k] == 0) continue;
+      const std::uint64_t f = mulp(a[i][k], inv);
+      for (std::size_t j = k; j < n; ++j) {
+        const std::uint64_t sub = mulp(f, a[k][j]);
+        a[i][j] = a[i][j] >= sub ? a[i][j] - sub : a[i][j] + p - sub;
+      }
+    }
+  }
+  return det % p;
+}
+
+}  // namespace
+
+bool is_unimodular(const IMat& m) {
+  if (m.rows() != m.cols()) return false;
+  if (m.rows() == 0) return true;  // det of the empty matrix is 1
+  // |det| == 1 iff det ≡ ±1 (consistently) modulo several large primes;
+  // a non-unit determinant survives all three checks with probability
+  // ~2^-180 over the fixed prime set.
+  constexpr std::uint64_t primes[] = {2305843009213693951ULL,  // 2^61 - 1
+                                      1000000000000000003ULL,
+                                      999999999999999989ULL};
+  int sign = 0;  // +1 or -1 once fixed
+  for (const std::uint64_t p : primes) {
+    const std::uint64_t d = det_mod_prime(m, p);
+    int s;
+    if (d == 1) {
+      s = 1;
+    } else if (d == p - 1) {
+      s = -1;
+    } else {
+      return false;
+    }
+    if (sign == 0) sign = s;
+    if (s != sign) return false;
+  }
+  return true;
+}
+
+}  // namespace nahsp::la

@@ -1,0 +1,136 @@
+#include "nahsp/linalg/smith.h"
+
+#include "nahsp/common/check.h"
+
+namespace nahsp::la {
+
+namespace {
+
+// Finds the position of a nonzero entry with minimal absolute value in
+// the trailing submatrix starting at (k, k); returns false if all zero.
+bool find_pivot(const IMat& d, std::size_t k, std::size_t& pr,
+                std::size_t& pc) {
+  bool found = false;
+  i128 best = 0;
+  for (std::size_t r = k; r < d.rows(); ++r)
+    for (std::size_t c = k; c < d.cols(); ++c) {
+      const i128 v = iabs(d.at(r, c));
+      if (v != 0 && (!found || v < best)) {
+        found = true;
+        best = v;
+        pr = r;
+        pc = c;
+      }
+    }
+  return found;
+}
+
+}  // namespace
+
+Snf smith_normal_form(const IMat& a) {
+  Snf res{a, IMat::identity(a.rows()), IMat::identity(a.cols())};
+  IMat& d = res.d;
+  IMat& u = res.u;
+  IMat& v = res.v;
+  const std::size_t k_max = std::min(a.rows(), a.cols());
+
+  for (std::size_t k = 0; k < k_max; ++k) {
+    std::size_t pr = k, pc = k;
+    if (!find_pivot(d, k, pr, pc)) break;
+    d.swap_rows(k, pr);
+    u.swap_rows(k, pr);
+    d.swap_cols(k, pc);
+    v.swap_cols(k, pc);
+
+    // Clear row and column k; restart whenever a reduction leaves a
+    // remainder (the classic SNF inner loop).
+    bool dirty = true;
+    while (dirty) {
+      dirty = false;
+      for (std::size_t r = k + 1; r < d.rows(); ++r) {
+        if (d.at(r, k) == 0) continue;
+        const i128 q = d.at(r, k) / d.at(k, k);
+        d.add_row(r, k, -q);
+        u.add_row(r, k, -q);
+        if (d.at(r, k) != 0) {
+          d.swap_rows(k, r);
+          u.swap_rows(k, r);
+          dirty = true;
+        }
+      }
+      for (std::size_t c = k + 1; c < d.cols(); ++c) {
+        if (d.at(k, c) == 0) continue;
+        const i128 q = d.at(k, c) / d.at(k, k);
+        d.add_col(c, k, -q);
+        v.add_col(c, k, -q);
+        if (d.at(k, c) != 0) {
+          d.swap_cols(k, c);
+          v.swap_cols(k, c);
+          dirty = true;
+        }
+      }
+    }
+
+    // Enforce the divisibility chain: if some trailing entry is not a
+    // multiple of the pivot, fold its column into column k and redo.
+    bool chain_ok = false;
+    while (!chain_ok) {
+      chain_ok = true;
+      for (std::size_t r = k + 1; r < d.rows() && chain_ok; ++r)
+        for (std::size_t c = k + 1; c < d.cols() && chain_ok; ++c) {
+          if (d.at(r, c) % d.at(k, k) != 0) {
+            d.add_col(k, c, 1);
+            v.add_col(k, c, 1);
+            // Re-clear row/column k after the fold.
+            bool inner = true;
+            while (inner) {
+              inner = false;
+              for (std::size_t rr = k + 1; rr < d.rows(); ++rr) {
+                if (d.at(rr, k) == 0) continue;
+                const i128 q = d.at(rr, k) / d.at(k, k);
+                d.add_row(rr, k, -q);
+                u.add_row(rr, k, -q);
+                if (d.at(rr, k) != 0) {
+                  d.swap_rows(k, rr);
+                  u.swap_rows(k, rr);
+                  inner = true;
+                }
+              }
+              for (std::size_t cc = k + 1; cc < d.cols(); ++cc) {
+                if (d.at(k, cc) == 0) continue;
+                const i128 q = d.at(k, cc) / d.at(k, k);
+                d.add_col(cc, k, -q);
+                v.add_col(cc, k, -q);
+                if (d.at(k, cc) != 0) {
+                  d.swap_cols(k, cc);
+                  v.swap_cols(k, cc);
+                  inner = true;
+                }
+              }
+            }
+            chain_ok = false;
+          }
+        }
+    }
+
+    if (d.at(k, k) < 0) {
+      d.negate_row(k);
+      u.negate_row(k);
+    }
+  }
+  return res;
+}
+
+std::vector<i128> invariant_factors(const IMat& a, bool drop_zeros) {
+  const Snf s = smith_normal_form(a);
+  std::vector<i128> out;
+  const std::size_t k = std::min(a.rows(), a.cols());
+  for (std::size_t i = 0; i < k; ++i) {
+    const i128 v = s.d.at(i, i);
+    if (v == 0 && drop_zeros) continue;
+    out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace nahsp::la

@@ -1,0 +1,62 @@
+// Elementary modular arithmetic used throughout the HSP algorithms:
+// gcd/lcm, extended gcd, modular exponentiation and inverse, CRT,
+// Miller–Rabin primality, and multiplicative order.
+//
+// All routines are exact on 64-bit inputs; products are carried out in
+// __int128 / unsigned __int128 where overflow would otherwise occur.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace nahsp::nt {
+
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using u128 = unsigned __int128;
+using i128 = __int128;
+
+/// Greatest common divisor; gcd(0,0) == 0.
+u64 gcd(u64 a, u64 b);
+
+/// Least common multiple. Requires the result to fit in 64 bits.
+u64 lcm(u64 a, u64 b);
+
+/// Extended gcd: returns g = gcd(a,b) and Bezout coefficients (x, y)
+/// with a*x + b*y == g (as signed 128-bit to avoid overflow).
+struct ExtGcd {
+  u64 g;
+  i128 x;
+  i128 y;
+};
+ExtGcd ext_gcd(u64 a, u64 b);
+
+/// (a * b) mod m without overflow.
+u64 mulmod(u64 a, u64 b, u64 m);
+
+/// (a ^ e) mod m. Requires m > 0. pow(0,0) convention: returns 1 mod m.
+u64 powmod(u64 a, u64 e, u64 m);
+
+/// Modular inverse of a modulo m, if gcd(a, m) == 1.
+std::optional<u64> invmod(u64 a, u64 m);
+
+/// Chinese remainder theorem for two congruences x ≡ r1 (mod m1),
+/// x ≡ r2 (mod m2). Returns (x, lcm(m1,m2)) or nullopt if inconsistent.
+std::optional<std::pair<u64, u64>> crt(u64 r1, u64 m1, u64 r2, u64 m2);
+
+/// Deterministic Miller–Rabin for 64-bit integers.
+bool is_prime(u64 n);
+
+/// Multiplicative order of a modulo m (requires gcd(a,m)==1), computed
+/// classically from the factorisation of the group exponent. Used as the
+/// exact reference against the quantum order-finding circuit.
+u64 multiplicative_order(u64 a, u64 m);
+
+/// Euler totient via factorisation.
+u64 euler_phi(u64 n);
+
+/// All divisors of n, sorted ascending.
+std::vector<u64> divisors(u64 n);
+
+}  // namespace nahsp::nt

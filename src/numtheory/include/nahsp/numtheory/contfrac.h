@@ -1,0 +1,28 @@
+// Continued-fraction expansion and convergents, used by the classical
+// post-processing of Shor's order-finding algorithm: a measurement y out
+// of Q = 2^t is expanded as y/Q and the convergents p/q are candidate
+// (multiples of) 1/order.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nahsp::nt {
+
+using u64 = std::uint64_t;
+
+/// One convergent p/q of a continued fraction expansion.
+struct Convergent {
+  u64 p;
+  u64 q;
+};
+
+/// Continued-fraction expansion of num/den (den > 0): the quotient
+/// sequence [a0; a1, a2, ...].
+std::vector<u64> cf_expansion(u64 num, u64 den);
+
+/// All convergents of num/den in order of increasing denominator.
+/// Convergents with denominator exceeding `max_den` are omitted.
+std::vector<Convergent> convergents(u64 num, u64 den, u64 max_den);
+
+}  // namespace nahsp::nt

@@ -1,0 +1,35 @@
+// Integer factorisation: trial division for small factors plus Brent's
+// variant of Pollard rho for the rest.
+//
+// Role in the reproduction: the paper assumes Shor's factoring /
+// discrete-log algorithms as available oracles (Theorem 4 hypotheses).
+// At simulator-friendly sizes we actually run quantum order finding
+// (see hsp/order.h); for everything larger these classical routines are
+// the exact stand-in — they produce the same outputs the quantum oracle
+// would, which is all downstream code observes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "nahsp/common/rng.h"
+
+namespace nahsp::nt {
+
+using u64 = std::uint64_t;
+
+/// Prime factorisation of n >= 1 as {prime -> exponent}. factorize(1) = {}.
+std::map<u64, int> factorize(u64 n, Rng& rng);
+
+/// Convenience overload with a fixed internal seed (factorisation is
+/// deterministic in output regardless of seed).
+std::map<u64, int> factorize(u64 n);
+
+/// Distinct prime divisors, ascending.
+std::vector<u64> prime_divisors(u64 n);
+
+/// Smallest prime factor of n >= 2.
+u64 smallest_prime_factor(u64 n);
+
+}  // namespace nahsp::nt

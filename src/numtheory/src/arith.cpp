@@ -1,0 +1,160 @@
+#include "nahsp/numtheory/arith.h"
+
+#include <algorithm>
+
+#include "nahsp/common/check.h"
+#include "nahsp/numtheory/factor.h"
+
+namespace nahsp::nt {
+
+u64 gcd(u64 a, u64 b) {
+  while (b != 0) {
+    a %= b;
+    std::swap(a, b);
+  }
+  return a;
+}
+
+u64 lcm(u64 a, u64 b) {
+  if (a == 0 || b == 0) return 0;
+  const u64 g = gcd(a, b);
+  const u128 r = static_cast<u128>(a / g) * b;
+  NAHSP_REQUIRE(r <= ~static_cast<u64>(0), "lcm overflows 64 bits");
+  return static_cast<u64>(r);
+}
+
+ExtGcd ext_gcd(u64 a, u64 b) {
+  // Iterative extended Euclid with signed 128-bit coefficients.
+  i128 x0 = 1, x1 = 0, y0 = 0, y1 = 1;
+  u64 r0 = a, r1 = b;
+  while (r1 != 0) {
+    const u64 q = r0 / r1;
+    const u64 r2 = r0 % r1;
+    r0 = r1;
+    r1 = r2;
+    const i128 x2 = x0 - static_cast<i128>(q) * x1;
+    x0 = x1;
+    x1 = x2;
+    const i128 y2 = y0 - static_cast<i128>(q) * y1;
+    y0 = y1;
+    y1 = y2;
+  }
+  return ExtGcd{r0, x0, y0};
+}
+
+u64 mulmod(u64 a, u64 b, u64 m) {
+  NAHSP_REQUIRE(m > 0, "mulmod requires positive modulus");
+  return static_cast<u64>(static_cast<u128>(a % m) * (b % m) % m);
+}
+
+u64 powmod(u64 a, u64 e, u64 m) {
+  NAHSP_REQUIRE(m > 0, "powmod requires positive modulus");
+  if (m == 1) return 0;
+  u64 base = a % m;
+  u64 result = 1;
+  while (e != 0) {
+    if (e & 1) result = mulmod(result, base, m);
+    base = mulmod(base, base, m);
+    e >>= 1;
+  }
+  return result;
+}
+
+std::optional<u64> invmod(u64 a, u64 m) {
+  NAHSP_REQUIRE(m > 0, "invmod requires positive modulus");
+  const ExtGcd e = ext_gcd(a % m, m);
+  if (e.g != 1) return std::nullopt;
+  i128 x = e.x % static_cast<i128>(m);
+  if (x < 0) x += m;
+  return static_cast<u64>(x);
+}
+
+std::optional<std::pair<u64, u64>> crt(u64 r1, u64 m1, u64 r2, u64 m2) {
+  NAHSP_REQUIRE(m1 > 0 && m2 > 0, "crt requires positive moduli");
+  // Solve r1 + m1*k ≡ r2 (mod m2).
+  const ExtGcd e = ext_gcd(m1 % m2, m2);
+  const u64 g = e.g == 0 ? m2 : e.g;
+  const u64 diff_mod = ((r2 % m2) + m2 - (r1 % m2)) % m2;
+  if (diff_mod % g != 0) return std::nullopt;
+  const u64 m2g = m2 / g;
+  i128 k = (e.x % static_cast<i128>(m2g)) * static_cast<i128>((diff_mod / g) % m2g) %
+           static_cast<i128>(m2g);
+  if (k < 0) k += m2g;
+  const u64 l = lcm(m1, m2);
+  const u64 x = (r1 % l + mulmod(m1 % l, static_cast<u64>(k), l)) % l;
+  return std::make_pair(x, l);
+}
+
+namespace {
+bool miller_rabin_witness(u64 n, u64 a, u64 d, int r) {
+  u64 x = powmod(a % n, d, n);
+  if (x == 1 || x == n - 1) return false;
+  for (int i = 1; i < r; ++i) {
+    x = mulmod(x, x, n);
+    if (x == n - 1) return false;
+  }
+  return true;  // a witnesses compositeness
+}
+}  // namespace
+
+bool is_prime(u64 n) {
+  if (n < 2) return false;
+  for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                29ULL, 31ULL, 37ULL}) {
+    if (n % p == 0) return n == p;
+  }
+  u64 d = n - 1;
+  int r = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++r;
+  }
+  // This witness set is deterministic for all 64-bit integers
+  // (Sinclair / Jaeschke-style bases).
+  for (u64 a :
+       {2ULL, 325ULL, 9375ULL, 28178ULL, 450775ULL, 9780504ULL, 1795265022ULL}) {
+    if (a % n == 0) continue;
+    if (miller_rabin_witness(n, a, d, r)) return false;
+  }
+  return true;
+}
+
+u64 multiplicative_order(u64 a, u64 m) {
+  NAHSP_REQUIRE(m > 1, "multiplicative_order requires modulus > 1");
+  NAHSP_REQUIRE(gcd(a % m, m) == 1, "element must be a unit mod m");
+  // Start from the group order phi(m) and strip primes while the power
+  // still fixes 1.
+  u64 order = euler_phi(m);
+  for (const auto& [p, e] : factorize(order)) {
+    (void)e;
+    while (order % p == 0 && powmod(a, order / p, m) == 1) order /= p;
+  }
+  return order;
+}
+
+u64 euler_phi(u64 n) {
+  NAHSP_REQUIRE(n >= 1, "euler_phi requires n >= 1");
+  u64 result = n;
+  for (const auto& [p, e] : factorize(n)) {
+    (void)e;
+    result -= result / p;
+  }
+  return result;
+}
+
+std::vector<u64> divisors(u64 n) {
+  NAHSP_REQUIRE(n >= 1, "divisors requires n >= 1");
+  std::vector<u64> divs{1};
+  for (const auto& [p, e] : factorize(n)) {
+    const std::size_t base = divs.size();
+    u64 pe = 1;
+    for (int i = 1; i <= e; ++i) {
+      pe *= p;
+      for (std::size_t j = 0; j < base; ++j) divs.push_back(divs[j] * pe);
+    }
+  }
+  std::sort(divs.begin(), divs.end());
+  return divs;
+}
+
+}  // namespace nahsp::nt

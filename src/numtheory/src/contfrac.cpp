@@ -1,0 +1,45 @@
+#include "nahsp/numtheory/contfrac.h"
+
+#include "nahsp/common/check.h"
+
+namespace nahsp::nt {
+
+namespace {
+using u128 = unsigned __int128;
+}
+
+std::vector<u64> cf_expansion(u64 num, u64 den) {
+  NAHSP_REQUIRE(den > 0, "cf_expansion requires positive denominator");
+  std::vector<u64> quotients;
+  while (den != 0) {
+    quotients.push_back(num / den);
+    const u64 r = num % den;
+    num = den;
+    den = r;
+  }
+  return quotients;
+}
+
+std::vector<Convergent> convergents(u64 num, u64 den, u64 max_den) {
+  const std::vector<u64> a = cf_expansion(num, den);
+  std::vector<Convergent> out;
+  // Standard recurrence: p_k = a_k p_{k-1} + p_{k-2}, same for q.
+  u64 p_prev = 1, p_prev2 = 0;
+  u64 q_prev = 0, q_prev2 = 1;
+  for (const u64 ak : a) {
+    // Guard overflow: convergent denominators grow at least like
+    // Fibonacci, so 64-bit overflow means we are far past any useful
+    // denominator anyway.
+    const u128 p = static_cast<u128>(ak) * p_prev + p_prev2;
+    const u128 q = static_cast<u128>(ak) * q_prev + q_prev2;
+    if (q > max_den || p > ~static_cast<u64>(0)) break;
+    p_prev2 = p_prev;
+    p_prev = static_cast<u64>(p);
+    q_prev2 = q_prev;
+    q_prev = static_cast<u64>(q);
+    out.push_back(Convergent{p_prev, q_prev});
+  }
+  return out;
+}
+
+}  // namespace nahsp::nt

@@ -1,0 +1,103 @@
+#include "nahsp/numtheory/factor.h"
+
+#include <algorithm>
+
+#include "nahsp/common/check.h"
+#include "nahsp/numtheory/arith.h"
+
+namespace nahsp::nt {
+
+namespace {
+
+// Brent's cycle-finding variant of Pollard rho. Returns a nontrivial
+// factor of composite n (n must not be prime).
+u64 pollard_brent(u64 n, Rng& rng) {
+  if ((n & 1) == 0) return 2;
+  for (;;) {
+    const u64 c = rng.between(1, n - 1);
+    u64 x = rng.below(n);
+    u64 y = x;
+    u64 q = 1;
+    u64 g = 1;
+    u64 xs = x;
+    const int m = 128;
+    int r = 1;
+    while (g == 1) {
+      x = y;
+      for (int i = 0; i < r; ++i) y = (mulmod(y, y, n) + c) % n;
+      int k = 0;
+      while (k < r && g == 1) {
+        xs = y;
+        const int lim = std::min(m, r - k);
+        for (int i = 0; i < lim; ++i) {
+          y = (mulmod(y, y, n) + c) % n;
+          q = mulmod(q, x > y ? x - y : y - x, n);
+        }
+        g = gcd(q, n);
+        k += m;
+      }
+      r <<= 1;
+    }
+    if (g == n) {
+      // Backtrack one step at a time.
+      g = 1;
+      u64 ys = xs;
+      while (g == 1) {
+        ys = (mulmod(ys, ys, n) + c) % n;
+        g = gcd(x > ys ? x - ys : ys - x, n);
+      }
+    }
+    if (g != n) return g;
+    // Degenerate cycle: retry with a fresh constant.
+  }
+}
+
+void factor_rec(u64 n, Rng& rng, std::map<u64, int>& out) {
+  if (n == 1) return;
+  if (is_prime(n)) {
+    ++out[n];
+    return;
+  }
+  const u64 d = pollard_brent(n, rng);
+  factor_rec(d, rng, out);
+  factor_rec(n / d, rng, out);
+}
+
+}  // namespace
+
+std::map<u64, int> factorize(u64 n, Rng& rng) {
+  NAHSP_REQUIRE(n >= 1, "factorize requires n >= 1");
+  std::map<u64, int> out;
+  // Strip small primes first; Pollard rho handles the remainder.
+  for (u64 p : {2ULL, 3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL,
+                29ULL, 31ULL, 37ULL, 41ULL, 43ULL, 47ULL}) {
+    while (n % p == 0) {
+      ++out[p];
+      n /= p;
+    }
+  }
+  factor_rec(n, rng, out);
+  return out;
+}
+
+std::map<u64, int> factorize(u64 n) {
+  Rng rng(0xfac70fac70fac701ULL);
+  return factorize(n, rng);
+}
+
+std::vector<u64> prime_divisors(u64 n) {
+  std::vector<u64> out;
+  for (const auto& [p, e] : factorize(n)) {
+    (void)e;
+    out.push_back(p);
+  }
+  return out;
+}
+
+u64 smallest_prime_factor(u64 n) {
+  NAHSP_REQUIRE(n >= 2, "smallest_prime_factor requires n >= 2");
+  const auto f = factorize(n);
+  return f.begin()->first;
+}
+
+}  // namespace nahsp::nt

@@ -1,0 +1,30 @@
+// Quantum Fourier transform circuits on the qubit statevector.
+//
+// Exact QFT uses the standard H + controlled-phase ladder with final
+// qubit reversal. The approximate QFT drops controlled rotations smaller
+// than 2*pi / 2^(cutoff+1); the paper notes the approximate transform
+// suffices for the HSP, and experiment E8 measures how aggressive the
+// cutoff can be before period finding degrades.
+#pragma once
+
+#include "nahsp/qsim/statevector.h"
+
+namespace nahsp::qs {
+
+/// QFT on qubits [lo, lo+bits): |x> -> (1/sqrt(2^bits)) sum_y
+/// exp(2*pi*i*x*y / 2^bits) |y>, with bit lo the least significant.
+/// `approx_cutoff` = 0 applies all rotations (exact QFT); a value c > 0
+/// drops controlled rotations between qubits more than c positions apart.
+void apply_qft(StateVector& sv, int lo, int bits, int approx_cutoff = 0);
+
+/// Inverse of apply_qft with the same cutoff.
+void apply_inverse_qft(StateVector& sv, int lo, int bits,
+                       int approx_cutoff = 0);
+
+/// Dense reference DFT on the same register (O(4^bits); used by tests to
+/// validate the gate ladder and by small experiments). inverse=true
+/// applies the conjugate transform.
+void apply_dft_reference(StateVector& sv, int lo, int bits,
+                         bool inverse = false);
+
+}  // namespace nahsp::qs

@@ -1,0 +1,86 @@
+// Gate-level qubit statevector simulator.
+//
+// This is the "hardware" substitute for the paper's quantum Turing
+// machine: a dense complex statevector with one- and two-qubit gates,
+// classical-function oracles, and projective measurement. Amplitude
+// kernels are OpenMP-parallel above a size threshold (the simulator is
+// the hot loop of every end-to-end experiment).
+//
+// Qubit convention: qubit q corresponds to bit q of the basis index
+// (qubit 0 is the least significant bit).
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nahsp/common/rng.h"
+
+namespace nahsp::qs {
+
+using cplx = std::complex<double>;
+using u64 = std::uint64_t;
+
+/// Dense statevector on n qubits (2^n amplitudes).
+class StateVector {
+ public:
+  /// |0...0>.
+  explicit StateVector(int n_qubits);
+
+  /// Uniform superposition over all basis states.
+  static StateVector uniform(int n_qubits);
+
+  /// Basis state |value>.
+  static StateVector basis(int n_qubits, u64 value);
+
+  int qubits() const { return n_; }
+  std::size_t dim() const { return amps_.size(); }
+
+  cplx amp(u64 basis_state) const { return amps_[basis_state]; }
+  void set_amp(u64 basis_state, cplx a) { amps_[basis_state] = a; }
+
+  // ----- gates -----
+  void apply_h(int q);
+  void apply_x(int q);
+  void apply_z(int q);
+  /// diag(1, e^{i theta}) on qubit q.
+  void apply_phase(int q, double theta);
+  /// Controlled phase: multiplies amplitudes with both bits set.
+  void apply_cphase(int c, int t, double theta);
+  void apply_cnot(int c, int t);
+  void apply_swap(int a, int b);
+
+  /// Reversible classical oracle |s> -> |pi(s)> (pi must be a bijection
+  /// on [0, 2^n)).
+  void apply_permutation(const std::function<u64(u64)>& pi);
+
+  /// XOR oracle: |x>|y> -> |x>|y xor f(x)> where x occupies
+  /// [in_lo, in_lo+in_bits) and y occupies [out_lo, out_lo+out_bits).
+  /// f's value is masked to out_bits.
+  void apply_xor_function(int in_lo, int in_bits, int out_lo, int out_bits,
+                          const std::function<u64(u64)>& f);
+
+  // ----- measurement -----
+  /// Squared norm (should stay 1 up to rounding; tested invariant).
+  double norm2() const;
+
+  /// Samples a full-basis measurement outcome without collapsing.
+  u64 sample(Rng& rng) const;
+
+  /// Measures qubits [lo, lo+bits), collapses the state, returns outcome.
+  u64 measure_range(int lo, int bits, Rng& rng);
+
+  /// Probability of measuring `value` on qubits [lo, lo+bits).
+  double range_probability(int lo, int bits, u64 value) const;
+
+  const std::vector<cplx>& amplitudes() const { return amps_; }
+
+ private:
+  void check_qubit(int q) const;
+
+  int n_;
+  std::vector<cplx> amps_;
+};
+
+}  // namespace nahsp::qs

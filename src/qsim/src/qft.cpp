@@ -1,0 +1,85 @@
+#include "nahsp/qsim/qft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "nahsp/common/check.h"
+
+namespace nahsp::qs {
+
+// Forward gate sequence: for i = bits-1 .. 0: H(i), then CP(j, i) for
+// j = i-1 .. 0 with angle pi / 2^(i-j); finally reverse the qubit order
+// with swaps. The inverse applies the swaps, then the exact reverse gate
+// order with conjugated angles (the CPs are diagonal and commute among
+// themselves, so only the CP-vs-H ordering matters).
+
+void apply_qft(StateVector& sv, int lo, int bits, int approx_cutoff) {
+  NAHSP_REQUIRE(bits >= 1 && lo >= 0 && lo + bits <= sv.qubits(),
+                "register out of range");
+  for (int i = bits - 1; i >= 0; --i) {
+    sv.apply_h(lo + i);
+    for (int j = i - 1; j >= 0; --j) {
+      const int dist = i - j;
+      if (approx_cutoff > 0 && dist > approx_cutoff) continue;
+      const double theta =
+          std::numbers::pi / static_cast<double>(1ULL << dist);
+      sv.apply_cphase(lo + j, lo + i, theta);
+    }
+  }
+  for (int i = 0; i < bits / 2; ++i) {
+    sv.apply_swap(lo + i, lo + bits - 1 - i);
+  }
+}
+
+void apply_inverse_qft(StateVector& sv, int lo, int bits,
+                       int approx_cutoff) {
+  NAHSP_REQUIRE(bits >= 1 && lo >= 0 && lo + bits <= sv.qubits(),
+                "register out of range");
+  for (int i = 0; i < bits / 2; ++i) {
+    sv.apply_swap(lo + i, lo + bits - 1 - i);
+  }
+  for (int i = 0; i < bits; ++i) {
+    for (int j = 0; j < i; ++j) {
+      const int dist = i - j;
+      if (approx_cutoff > 0 && dist > approx_cutoff) continue;
+      const double theta =
+          -std::numbers::pi / static_cast<double>(1ULL << dist);
+      sv.apply_cphase(lo + j, lo + i, theta);
+    }
+    sv.apply_h(lo + i);
+  }
+}
+
+void apply_dft_reference(StateVector& sv, int lo, int bits, bool inverse) {
+  NAHSP_REQUIRE(bits >= 1 && lo >= 0 && lo + bits <= sv.qubits(),
+                "register out of range");
+  const std::size_t n = std::size_t{1} << bits;
+  const std::size_t d = sv.dim();
+  const u64 mask = n - 1;  // x*y mod n == (x*y) & mask since n = 2^bits
+  const double sign = inverse ? -1.0 : 1.0;
+  std::vector<cplx> w(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    w[t] = std::polar(1.0, sign * 2.0 * std::numbers::pi *
+                               static_cast<double>(t) /
+                               static_cast<double>(n));
+  }
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  std::vector<cplx> next(d, cplx{0.0, 0.0});
+  const std::size_t groups = d >> bits;
+#pragma omp parallel for if (groups >= 64)
+  for (std::size_t g = 0; g < groups; ++g) {
+    const u64 low = static_cast<u64>(g) & ((u64{1} << lo) - 1);
+    const u64 high = (static_cast<u64>(g) >> lo) << (lo + bits);
+    const u64 base = high | low;
+    for (std::size_t y = 0; y < n; ++y) {
+      cplx acc{0.0, 0.0};
+      for (std::size_t x = 0; x < n; ++x) {
+        acc += w[(x * y) & mask] * sv.amp(base | (x << lo));
+      }
+      next[base | (y << lo)] = acc * scale;
+    }
+  }
+  for (std::size_t i = 0; i < d; ++i) sv.set_amp(i, next[i]);
+}
+
+}  // namespace nahsp::qs

@@ -1,0 +1,222 @@
+#include "nahsp/qsim/statevector.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "nahsp/common/check.h"
+
+namespace nahsp::qs {
+
+namespace {
+// Below this size OpenMP fork/join overhead dominates; stay serial.
+constexpr std::size_t kParallelThreshold = std::size_t{1} << 14;
+}  // namespace
+
+StateVector::StateVector(int n_qubits) : n_(n_qubits) {
+  NAHSP_REQUIRE(n_qubits >= 1 && n_qubits <= 28,
+                "qubit count must be in [1, 28]");
+  amps_.assign(std::size_t{1} << n_qubits, cplx{0.0, 0.0});
+  amps_[0] = 1.0;
+}
+
+StateVector StateVector::uniform(int n_qubits) {
+  StateVector sv(n_qubits);
+  const double a = 1.0 / std::sqrt(static_cast<double>(sv.dim()));
+  const std::size_t d = sv.dim();
+#pragma omp parallel for if (d >= kParallelThreshold)
+  for (std::size_t i = 0; i < d; ++i) sv.amps_[i] = a;
+  return sv;
+}
+
+StateVector StateVector::basis(int n_qubits, u64 value) {
+  StateVector sv(n_qubits);
+  NAHSP_REQUIRE(value < sv.dim(), "basis value out of range");
+  sv.amps_[0] = 0.0;
+  sv.amps_[value] = 1.0;
+  return sv;
+}
+
+void StateVector::check_qubit(int q) const {
+  NAHSP_REQUIRE(q >= 0 && q < n_, "qubit index out of range");
+}
+
+void StateVector::apply_h(int q) {
+  check_qubit(q);
+  const u64 bit = u64{1} << q;
+  const double inv_sqrt2 = 1.0 / std::numbers::sqrt2;
+  const std::size_t d = dim();
+#pragma omp parallel for if (d >= kParallelThreshold)
+  for (std::size_t i = 0; i < d; ++i) {
+    if (i & bit) continue;
+    const cplx a0 = amps_[i];
+    const cplx a1 = amps_[i | bit];
+    amps_[i] = (a0 + a1) * inv_sqrt2;
+    amps_[i | bit] = (a0 - a1) * inv_sqrt2;
+  }
+}
+
+void StateVector::apply_x(int q) {
+  check_qubit(q);
+  const u64 bit = u64{1} << q;
+  const std::size_t d = dim();
+#pragma omp parallel for if (d >= kParallelThreshold)
+  for (std::size_t i = 0; i < d; ++i) {
+    if (i & bit) continue;
+    std::swap(amps_[i], amps_[i | bit]);
+  }
+}
+
+void StateVector::apply_z(int q) { apply_phase(q, std::numbers::pi); }
+
+void StateVector::apply_phase(int q, double theta) {
+  check_qubit(q);
+  const u64 bit = u64{1} << q;
+  const cplx w = std::polar(1.0, theta);
+  const std::size_t d = dim();
+#pragma omp parallel for if (d >= kParallelThreshold)
+  for (std::size_t i = 0; i < d; ++i) {
+    if (i & bit) amps_[i] *= w;
+  }
+}
+
+void StateVector::apply_cphase(int c, int t, double theta) {
+  check_qubit(c);
+  check_qubit(t);
+  NAHSP_REQUIRE(c != t, "control equals target");
+  const u64 mask = (u64{1} << c) | (u64{1} << t);
+  const cplx w = std::polar(1.0, theta);
+  const std::size_t d = dim();
+#pragma omp parallel for if (d >= kParallelThreshold)
+  for (std::size_t i = 0; i < d; ++i) {
+    if ((i & mask) == mask) amps_[i] *= w;
+  }
+}
+
+void StateVector::apply_cnot(int c, int t) {
+  check_qubit(c);
+  check_qubit(t);
+  NAHSP_REQUIRE(c != t, "control equals target");
+  const u64 cbit = u64{1} << c;
+  const u64 tbit = u64{1} << t;
+  const std::size_t d = dim();
+#pragma omp parallel for if (d >= kParallelThreshold)
+  for (std::size_t i = 0; i < d; ++i) {
+    if ((i & cbit) && !(i & tbit)) std::swap(amps_[i], amps_[i | tbit]);
+  }
+}
+
+void StateVector::apply_swap(int a, int b) {
+  check_qubit(a);
+  check_qubit(b);
+  if (a == b) return;
+  const u64 abit = u64{1} << a;
+  const u64 bbit = u64{1} << b;
+  const std::size_t d = dim();
+#pragma omp parallel for if (d >= kParallelThreshold)
+  for (std::size_t i = 0; i < d; ++i) {
+    // Act once per {01, 10} pair: pick the representative with a=1, b=0.
+    if ((i & abit) && !(i & bbit)) {
+      std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
+    }
+  }
+}
+
+void StateVector::apply_permutation(const std::function<u64(u64)>& pi) {
+  std::vector<cplx> next(dim(), cplx{0.0, 0.0});
+  const std::size_t d = dim();
+#pragma omp parallel for if (d >= kParallelThreshold)
+  for (std::size_t i = 0; i < d; ++i) {
+    const u64 j = pi(i);
+    next[j] = amps_[i];
+  }
+  // A true permutation preserves the norm; verify cheaply in debug terms.
+  amps_ = std::move(next);
+}
+
+void StateVector::apply_xor_function(int in_lo, int in_bits, int out_lo,
+                                     int out_bits,
+                                     const std::function<u64(u64)>& f) {
+  NAHSP_REQUIRE(in_lo >= 0 && in_bits >= 1 && in_lo + in_bits <= n_,
+                "input register out of range");
+  NAHSP_REQUIRE(out_lo >= 0 && out_bits >= 1 && out_lo + out_bits <= n_,
+                "output register out of range");
+  NAHSP_REQUIRE(in_lo + in_bits <= out_lo || out_lo + out_bits <= in_lo,
+                "registers overlap");
+  const u64 in_mask = (in_bits >= 64 ? ~u64{0} : (u64{1} << in_bits) - 1);
+  const u64 out_mask = (out_bits >= 64 ? ~u64{0} : (u64{1} << out_bits) - 1);
+  const std::size_t d = dim();
+#pragma omp parallel for if (d >= kParallelThreshold)
+  for (std::size_t i = 0; i < d; ++i) {
+    const u64 x = (i >> in_lo) & in_mask;
+    const u64 fx = f(x) & out_mask;
+    const u64 j = i ^ (fx << out_lo);
+    if (i < j) std::swap(amps_[i], amps_[j]);  // involution: swap once
+  }
+}
+
+double StateVector::norm2() const {
+  double s = 0.0;
+  const std::size_t d = dim();
+#pragma omp parallel for reduction(+ : s) if (d >= kParallelThreshold)
+  for (std::size_t i = 0; i < d; ++i) s += std::norm(amps_[i]);
+  return s;
+}
+
+u64 StateVector::sample(Rng& rng) const {
+  const double target = rng.uniform01() * norm2();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < dim(); ++i) {
+    acc += std::norm(amps_[i]);
+    if (acc >= target) return i;
+  }
+  return dim() - 1;  // numeric guard
+}
+
+double StateVector::range_probability(int lo, int bits, u64 value) const {
+  NAHSP_REQUIRE(lo >= 0 && bits >= 1 && lo + bits <= n_,
+                "register out of range");
+  const u64 mask = (bits >= 64 ? ~u64{0} : (u64{1} << bits) - 1);
+  double p = 0.0;
+  const std::size_t d = dim();
+#pragma omp parallel for reduction(+ : p) if (d >= kParallelThreshold)
+  for (std::size_t i = 0; i < d; ++i) {
+    if (((i >> lo) & mask) == value) p += std::norm(amps_[i]);
+  }
+  return p;
+}
+
+u64 StateVector::measure_range(int lo, int bits, Rng& rng) {
+  NAHSP_REQUIRE(lo >= 0 && bits >= 1 && lo + bits <= n_,
+                "register out of range");
+  const u64 mask = (bits >= 64 ? ~u64{0} : (u64{1} << bits) - 1);
+  // Sample an outcome from the marginal distribution of the register.
+  const double target = rng.uniform01() * norm2();
+  std::vector<double> outcome_prob(std::size_t{1} << bits, 0.0);
+  for (std::size_t i = 0; i < dim(); ++i) {
+    outcome_prob[(i >> lo) & mask] += std::norm(amps_[i]);
+  }
+  u64 outcome = (u64{1} << bits) - 1;
+  double acc = 0.0;
+  for (std::size_t v = 0; v < outcome_prob.size(); ++v) {
+    acc += outcome_prob[v];
+    if (acc >= target) {
+      outcome = v;
+      break;
+    }
+  }
+  // Collapse and renormalise.
+  const double p = outcome_prob[outcome];
+  NAHSP_CHECK(p > 0.0, "measured a zero-probability outcome");
+  const double scale = 1.0 / std::sqrt(p);
+  const std::size_t d = dim();
+#pragma omp parallel for if (d >= kParallelThreshold)
+  for (std::size_t i = 0; i < d; ++i) {
+    if (((i >> lo) & mask) == outcome)
+      amps_[i] *= scale;
+    else
+      amps_[i] = 0.0;
+  }
+  return outcome;
+}
+
+}  // namespace nahsp::qs

@@ -1,0 +1,75 @@
+// Tests for the classical baselines.
+#include <gtest/gtest.h>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/hsp/baseline.h"
+#include "nahsp/hsp/instance.h"
+
+namespace nahsp::hsp {
+namespace {
+
+using grp::Code;
+
+TEST(BruteForce, RecoversSubgroups) {
+  Rng rng(1);
+  auto d = std::make_shared<grp::DihedralGroup>(10);
+  for (const auto& hidden :
+       std::vector<std::vector<Code>>{{d->make(2, false)},
+                                      {d->make(0, true)},
+                                      {d->make(5, false), d->make(0, true)},
+                                      {}}) {
+    const auto inst = bb::make_instance(d, hidden);
+    const auto found = classical_bruteforce_hsp(*inst.bb, *inst.f);
+    EXPECT_TRUE(
+        verify_same_subgroup(*d, found, inst.planted_generators));
+  }
+}
+
+TEST(BruteForce, UsesLinearlyManyQueries) {
+  Rng rng(2);
+  auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);  // |G| = 27
+  const auto inst = bb::make_instance(h, {h->central_generator()});
+  inst.counter->reset();
+  (void)classical_bruteforce_hsp(*inst.bb, *inst.f);
+  EXPECT_GE(inst.counter->classical_queries, 27u);
+}
+
+TEST(EttingerHoyer, RecoversHiddenReflection) {
+  Rng rng(3);
+  for (const u64 n : {8ULL, 15ULL, 32ULL, 51ULL}) {
+    auto d = std::make_shared<grp::DihedralGroup>(n);
+    for (int trial = 0; trial < 3; ++trial) {
+      const u64 slope = rng.below(n);
+      const auto inst = bb::make_instance(d, {d->make(slope, true)});
+      const auto res = dihedral_ettinger_hoyer(*d, *inst.f, rng);
+      ASSERT_EQ(res.generators.size(), 1u);
+      EXPECT_TRUE(verify_same_subgroup(*d, res.generators,
+                                       inst.planted_generators))
+          << "n=" << n << " slope=" << slope;
+    }
+  }
+}
+
+TEST(EttingerHoyer, QuerySampleShapeMatchesPaper) {
+  // O(log n) samples, Theta(n) candidates scanned.
+  Rng rng(4);
+  auto d = std::make_shared<grp::DihedralGroup>(64);
+  const auto inst = bb::make_instance(d, {d->make(17, true)});
+  const auto res = dihedral_ettinger_hoyer(*d, *inst.f, rng);
+  EXPECT_LE(res.quantum_samples, 8 * 6 + 16);
+  EXPECT_EQ(res.candidates_scanned, 64u);
+}
+
+TEST(EttingerHoyer, RejectsRotationOnlySubgroup) {
+  Rng rng(5);
+  auto d = std::make_shared<grp::DihedralGroup>(8);
+  const auto inst = bb::make_instance(d, {d->make(4, false)});
+  EXPECT_THROW(dihedral_ettinger_hoyer(*d, *inst.f, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

@@ -1,0 +1,142 @@
+// Unit tests for the common substrate: RNG, bit utilities, checks.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nahsp/common/bits.h"
+#include "nahsp/common/check.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/common/timer.h"
+
+namespace nahsp {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.below(bound), bound);
+  }
+}
+
+TEST(Rng, BelowOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 32; ++i) EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, BelowIsRoughlyUniform) {
+  Rng rng(123);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(kBuckets)];
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 7 degrees of freedom; 0.001 quantile ~ 24.3.
+  EXPECT_LT(chi2, 24.3);
+}
+
+TEST(Rng, BetweenInclusive) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.between(10, 13);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 13u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(3);
+  Rng child = a.split();
+  bool differs = false;
+  for (int i = 0; i < 16; ++i)
+    if (a() != child()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Bits, BitsFor) {
+  EXPECT_EQ(bits_for(0), 0);
+  EXPECT_EQ(bits_for(1), 0);
+  EXPECT_EQ(bits_for(2), 1);
+  EXPECT_EQ(bits_for(3), 2);
+  EXPECT_EQ(bits_for(4), 2);
+  EXPECT_EQ(bits_for(5), 3);
+  EXPECT_EQ(bits_for(256), 8);
+  EXPECT_EQ(bits_for(257), 9);
+  EXPECT_EQ(bits_for(std::uint64_t{1} << 63), 63);
+}
+
+TEST(Bits, IsPow2) {
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_TRUE(is_pow2(1ULL << 40));
+  EXPECT_FALSE(is_pow2((1ULL << 40) + 1));
+}
+
+TEST(Bits, ParityAndDot) {
+  EXPECT_EQ(parity64(0), 0);
+  EXPECT_EQ(parity64(1), 1);
+  EXPECT_EQ(parity64(0b1011), 1);
+  EXPECT_EQ(parity64(0b1001), 0);
+  EXPECT_EQ(dot2(0b101, 0b110), 1);  // overlap = bit2 -> parity 1
+  EXPECT_EQ(dot2(0b101, 0b101), 0);  // two overlaps -> parity 0
+}
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(NAHSP_REQUIRE(false, "boom"), std::invalid_argument);
+}
+
+TEST(Check, CheckThrowsInternalError) {
+  EXPECT_THROW(NAHSP_CHECK(false, "bug"), internal_error);
+}
+
+TEST(Check, OracleCheckThrowsOracleError) {
+  EXPECT_THROW(NAHSP_ORACLE_CHECK(false, "promise"), oracle_error);
+}
+
+TEST(Timer, MeasuresNonNegative) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+TEST(Timer, FormatDuration) {
+  EXPECT_NE(format_duration(1e-8).find("ns"), std::string::npos);
+  EXPECT_NE(format_duration(1e-5).find("us"), std::string::npos);
+  EXPECT_NE(format_duration(1e-2).find("ms"), std::string::npos);
+  EXPECT_NE(format_duration(2.0).find("s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nahsp

@@ -1,0 +1,136 @@
+// Tests for the congruence-kernel solver and Abelian subgroup utilities —
+// the decoding half of the Abelian HSP.
+#include <gtest/gtest.h>
+
+#include "nahsp/common/rng.h"
+#include "nahsp/linalg/congruence.h"
+
+namespace nahsp::la {
+namespace {
+
+TEST(CharacterAnnihilates, Definition) {
+  const std::vector<u64> mods{4, 6};
+  // y=(2,3), x=(2,2): 2*2*(12/4) + 3*2*(12/6) = 12 + 12 = 24 ≡ 0 mod 12.
+  EXPECT_TRUE(character_annihilates({2, 3}, {2, 2}, mods));
+  // y=(1,0), x=(1,0): 1*3 = 3 mod 12 != 0.
+  EXPECT_FALSE(character_annihilates({1, 0}, {1, 0}, mods));
+}
+
+TEST(CongruenceKernel, NoSamplesGivesWholeGroup) {
+  const std::vector<u64> mods{4, 3};
+  const auto gens = congruence_kernel({}, mods);
+  EXPECT_EQ(abelian_subgroup_order(gens, mods), 12u);
+}
+
+TEST(CongruenceKernel, SingleCharacterCutsIndex) {
+  const std::vector<u64> mods{8};
+  // y = 4 over Z_8: kernel {x : 4x ≡ 0 mod 8} = {0,2,4,6}.
+  const auto gens = congruence_kernel({{4}}, mods);
+  EXPECT_EQ(abelian_subgroup_order(gens, mods), 4u);
+  EXPECT_TRUE(abelian_contains(gens, mods, {2}));
+  EXPECT_FALSE(abelian_contains(gens, mods, {1}));
+}
+
+TEST(CongruenceKernel, SolutionsAnnihilateAllSamples) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<u64> mods;
+    const int r = 1 + static_cast<int>(rng.below(4));
+    for (int i = 0; i < r; ++i) {
+      const u64 choices[] = {2, 3, 4, 5, 6, 8, 9};
+      mods.push_back(choices[rng.below(7)]);
+    }
+    std::vector<AbVec> samples;
+    const int m = static_cast<int>(rng.below(5));
+    for (int j = 0; j < m; ++j) {
+      AbVec y(mods.size());
+      for (std::size_t i = 0; i < mods.size(); ++i)
+        y[i] = rng.below(mods[i]);
+      samples.push_back(y);
+    }
+    const auto gens = congruence_kernel(samples, mods);
+    for (const AbVec& g : gens)
+      for (const AbVec& y : samples)
+        EXPECT_TRUE(character_annihilates(y, g, mods));
+    // And every annihilated element is generated (completeness):
+    // enumerate the full kernel by brute force and compare orders.
+    u64 brute = 0;
+    u64 total = 1;
+    for (const u64 s : mods) total *= s;
+    for (u64 idx = 0; idx < total; ++idx) {
+      AbVec x(mods.size());
+      u64 rest = idx;
+      for (std::size_t i = mods.size(); i-- > 0;) {
+        x[i] = rest % mods[i];
+        rest /= mods[i];
+      }
+      bool ok = true;
+      for (const AbVec& y : samples)
+        if (!character_annihilates(y, x, mods)) ok = false;
+      if (ok) ++brute;
+    }
+    EXPECT_EQ(abelian_subgroup_order(gens, mods), brute);
+  }
+}
+
+TEST(AbelianSubgroup, OrderAndMembership) {
+  const std::vector<u64> mods{4, 4};
+  const std::vector<AbVec> gens{{2, 0}, {0, 2}};
+  EXPECT_EQ(abelian_subgroup_order(gens, mods), 4u);
+  EXPECT_TRUE(abelian_contains(gens, mods, {2, 2}));
+  EXPECT_TRUE(abelian_contains(gens, mods, {0, 0}));
+  EXPECT_FALSE(abelian_contains(gens, mods, {1, 0}));
+}
+
+TEST(AbelianSubgroup, EqualityCanonical) {
+  const std::vector<u64> mods{6};
+  EXPECT_TRUE(abelian_subgroup_equal({{2}}, {{4}}, mods));
+  EXPECT_FALSE(abelian_subgroup_equal({{2}}, {{3}}, mods));
+  EXPECT_TRUE(abelian_subgroup_equal({{2}, {4}}, {{2}}, mods));
+}
+
+TEST(AbelianSubgroup, EnumerateMatchesOrder) {
+  Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<u64> mods;
+    const int r = 1 + static_cast<int>(rng.below(3));
+    for (int i = 0; i < r; ++i) mods.push_back(2 + rng.below(7));
+    std::vector<AbVec> gens;
+    const int k = static_cast<int>(rng.below(3));
+    for (int j = 0; j < k; ++j) {
+      AbVec g(mods.size());
+      for (std::size_t i = 0; i < mods.size(); ++i) g[i] = rng.below(mods[i]);
+      gens.push_back(g);
+    }
+    const auto elems = abelian_enumerate(gens, mods);
+    EXPECT_EQ(elems.size(), abelian_subgroup_order(gens, mods));
+    for (const AbVec& e : elems)
+      EXPECT_TRUE(abelian_contains(gens, mods, e));
+  }
+}
+
+TEST(AbelianSubgroup, TrivialAndFull) {
+  const std::vector<u64> mods{5, 3};
+  EXPECT_EQ(abelian_subgroup_order({}, mods), 1u);
+  EXPECT_EQ(abelian_subgroup_order({{1, 0}, {0, 1}}, mods), 15u);
+}
+
+TEST(CongruenceKernel, PerpOfPerpRecoversSubgroup) {
+  // H^perp-perp == H for subgroups of a finite Abelian group.
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::vector<u64> mods{4, 6, 5};
+    std::vector<AbVec> gens;
+    for (int j = 0; j < 2; ++j) {
+      AbVec g(mods.size());
+      for (std::size_t i = 0; i < mods.size(); ++i) g[i] = rng.below(mods[i]);
+      gens.push_back(g);
+    }
+    const auto perp = congruence_kernel(gens, mods);
+    const auto perp_perp = congruence_kernel(perp, mods);
+    EXPECT_TRUE(abelian_subgroup_equal(gens, perp_perp, mods));
+  }
+}
+
+}  // namespace
+}  // namespace nahsp::la

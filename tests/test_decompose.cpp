@@ -1,0 +1,67 @@
+// Tests for the Cheung–Mosca Abelian decomposition (paper Theorem 1).
+#include <gtest/gtest.h>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/cyclic.h"
+#include "nahsp/hsp/decompose.h"
+
+namespace nahsp::hsp {
+namespace {
+
+TEST(Decompose, CyclicGroup) {
+  Rng rng(1);
+  auto z = std::make_shared<grp::CyclicGroup>(12);
+  const auto inst = bb::make_instance(z, {});
+  const auto dec = decompose_abelian(*inst.bb, rng);
+  EXPECT_EQ(dec.order, 12u);
+  EXPECT_EQ(dec.invariant_factors, (std::vector<u64>{12}));
+  EXPECT_EQ(dec.primary_orders, (std::vector<u64>{3, 4}));
+}
+
+TEST(Decompose, ProductWithRedundantGenerators) {
+  Rng rng(2);
+  // Z_4 x Z_6 ~= Z_2 x Z_12.
+  auto p = grp::product_of_cyclics({4, 6});
+  const auto inst =
+      bb::make_instance(std::static_pointer_cast<const grp::Group>(p), {});
+  const auto dec = decompose_abelian(*inst.bb, rng);
+  EXPECT_EQ(dec.order, 24u);
+  EXPECT_EQ(dec.invariant_factors, (std::vector<u64>{2, 12}));
+  EXPECT_EQ(dec.primary_orders, (std::vector<u64>{2, 3, 4}));
+}
+
+TEST(Decompose, ElementaryAbelian) {
+  Rng rng(3);
+  auto p = grp::elementary_abelian(2, 4);
+  const auto inst =
+      bb::make_instance(std::static_pointer_cast<const grp::Group>(p), {});
+  const auto dec = decompose_abelian(*inst.bb, rng);
+  EXPECT_EQ(dec.order, 16u);
+  EXPECT_EQ(dec.invariant_factors, (std::vector<u64>{2, 2, 2, 2}));
+}
+
+TEST(Decompose, CoprimeProductIsCyclic) {
+  Rng rng(4);
+  auto p = grp::product_of_cyclics({3, 5});
+  const auto inst =
+      bb::make_instance(std::static_pointer_cast<const grp::Group>(p), {});
+  const auto dec = decompose_abelian(*inst.bb, rng);
+  EXPECT_EQ(dec.invariant_factors, (std::vector<u64>{15}));
+  EXPECT_EQ(dec.primary_orders, (std::vector<u64>{3, 5}));
+}
+
+TEST(Decompose, TrivialGroup) {
+  Rng rng(5);
+  auto z = std::make_shared<grp::CyclicGroup>(1);
+  const auto inst = bb::make_instance(z, {});
+  // Z_1 has no generators; decompose requires at least one — use Z_2
+  // with its generator instead to cover the smallest nontrivial case.
+  auto z2 = std::make_shared<grp::CyclicGroup>(2);
+  const auto inst2 = bb::make_instance(z2, {});
+  const auto dec = decompose_abelian(*inst2.bb, rng);
+  EXPECT_EQ(dec.order, 2u);
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

@@ -1,0 +1,118 @@
+// Edge-case coverage across module boundaries: degenerate inputs that
+// production users hit first (identity generators, duplicate
+// generators, 1-cells in moduli, boundary encodings).
+#include <gtest/gtest.h>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/cyclic.h"
+#include "nahsp/groups/gf2group.h"
+#include "nahsp/groups/permutation.h"
+#include "nahsp/hsp/abelian.h"
+#include "nahsp/hsp/elem_abelian2.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/linalg/congruence.h"
+
+namespace nahsp::hsp {
+namespace {
+
+using grp::Code;
+
+TEST(EdgeCases, ModuliWithOneCells) {
+  // Z_1 factors are legal and must be transparent.
+  const std::vector<u64> mods{1, 6, 1, 4};
+  const std::vector<la::AbVec> h{{0, 3, 0, 2}};
+  Rng rng(1);
+  qs::AnalyticCosetSampler sampler(mods, h, nullptr);
+  const auto res = solve_abelian_hsp(sampler, rng);
+  EXPECT_TRUE(la::abelian_subgroup_equal(res.generators, h, mods));
+}
+
+TEST(EdgeCases, CongruenceKernelAllOnes) {
+  const std::vector<u64> mods{1, 1};
+  const auto gens = la::congruence_kernel({}, mods);
+  EXPECT_EQ(la::abelian_subgroup_order(gens, mods), 1u);
+}
+
+TEST(EdgeCases, DuplicateAndIdentityNGenerators) {
+  // Theorem 13 with a redundant N-generating set: duplicates and the
+  // identity must not break the Z_2^m homomorphism.
+  Rng rng(2);
+  auto w = grp::wreath_z2k_z2(2);
+  std::vector<Code> n_gens = w->normal_subgroup_generators();
+  n_gens.push_back(w->id());        // identity generator
+  n_gens.push_back(n_gens.front()); // duplicate
+  const auto inst = bb::make_instance(w, {w->make(0b0110, 1)});
+  ElemAbelian2Options opts;
+  opts.assume_cyclic_factor = true;
+  opts.factor_order_bound = 2;
+  opts.n_membership = [w](Code c) { return w->rot_of(c) == 0; };
+  opts.coset_label = [w](Code c) { return w->rot_of(c); };
+  const auto res =
+      solve_hsp_elem_abelian2(*inst.bb, n_gens, *inst.f, rng, opts);
+  EXPECT_TRUE(verify_same_subgroup(*w, res.generators,
+                                   inst.planted_generators));
+}
+
+TEST(EdgeCases, TrivialAmbientGroup) {
+  auto z1 = std::make_shared<grp::CyclicGroup>(1);
+  EXPECT_EQ(z1->order(), 1u);
+  EXPECT_TRUE(z1->generators().empty());
+  EXPECT_EQ(grp::enumerate_group(*z1).size(), 1u);
+}
+
+TEST(EdgeCases, PermRankAtHighDegreeBoundary) {
+  // Degree 20 is the documented ceiling (20! < 2^62).
+  grp::Perm p = grp::perm_identity(20);
+  std::reverse(p.begin(), p.end());
+  const std::uint64_t r = grp::perm_rank(p);  // largest rank = 20! - 1
+  EXPECT_EQ(grp::perm_unrank(20, r), p);
+  std::uint64_t fact = 1;
+  for (int i = 2; i <= 20; ++i) fact *= i;
+  EXPECT_EQ(r, fact - 1);
+}
+
+TEST(EdgeCases, GF2MatIdentityActionDegenerates) {
+  // T = I, m = 1: the semidirect product collapses to Z_2^k.
+  auto g = std::make_shared<grp::GF2SemidirectCyclic>(
+      3, grp::GF2Mat::identity(3), 1);
+  EXPECT_EQ(g->order(), 8u);
+  EXPECT_TRUE(grp::is_abelian(*g));
+  Rng rng(3);
+  const auto inst = bb::make_instance(g, {g->make(0b101, 0)});
+  ElemAbelian2Options opts;
+  opts.n_membership = [g](Code c) { return g->rot_of(c) == 0; };
+  const auto res = solve_hsp_elem_abelian2(
+      *inst.bb, g->normal_subgroup_generators(), *inst.f, rng, opts);
+  EXPECT_TRUE(verify_same_subgroup(*g, res.generators,
+                                   inst.planted_generators));
+}
+
+TEST(EdgeCases, HidingFunctionOfWholeGroupIsConstant) {
+  auto z = std::make_shared<grp::CyclicGroup>(12);
+  const auto inst = bb::make_instance(z, z->generators());
+  const auto l0 = inst.f->eval_uncounted(0);
+  for (Code c = 1; c < 12; ++c) {
+    EXPECT_EQ(inst.f->eval_uncounted(c), l0);
+  }
+}
+
+TEST(EdgeCases, SamplerOnSizeOneDomain) {
+  // |A| = 1: the only character is 0.
+  qs::LabelFn label = [](const la::AbVec&) { return 0u; };
+  qs::MixedRadixCosetSampler sampler({1}, label, nullptr);
+  Rng rng(4);
+  EXPECT_EQ(sampler.sample_character(rng), la::AbVec{0});
+}
+
+TEST(EdgeCases, AbelianSolverOnSizeOneDomain) {
+  qs::LabelFn label = [](const la::AbVec&) { return 0u; };
+  qs::MixedRadixCosetSampler sampler({1}, label, nullptr);
+  Rng rng(5);
+  const auto res = solve_abelian_hsp(sampler, rng);
+  EXPECT_EQ(res.subgroup_order, 1u);
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

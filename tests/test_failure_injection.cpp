@@ -1,0 +1,113 @@
+// Failure injection: oracles that break their promises must surface as
+// typed errors (oracle_error / retry_exhausted / invalid_argument),
+// never as silently wrong answers.
+#include <gtest/gtest.h>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/check.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/hsp/abelian.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/normal.h"
+#include "nahsp/hsp/order.h"
+#include "nahsp/hsp/presentation.h"
+
+namespace nahsp::hsp {
+namespace {
+
+using grp::Code;
+
+TEST(FailureInjection, NonHidingOracleFailsPromiseValidation) {
+  auto d = std::make_shared<grp::DihedralGroup>(6);
+  auto counter = std::make_shared<bb::QueryCounter>();
+  // "f" that collides across cosets (parity of the code): not hiding
+  // any subgroup of D_6 with the claimed planted generators.
+  bb::LambdaHider f([](Code c) { return c & 1; }, counter);
+  EXPECT_FALSE(validate_hiding_promise(*d, f, {d->make(2, false)}));
+}
+
+TEST(FailureInjection, SchreierDetectsInconsistentLabels) {
+  auto d = std::make_shared<grp::DihedralGroup>(6);
+  const auto inst = bb::make_instance(d, {});
+  // Labels {identity} vs {everything else} are not a coset partition of
+  // any subgroup of D_6: the Schreier BFS must produce an element that
+  // shares the non-identity label with its transversal representative
+  // while their quotient is labelled non-identity -> oracle_error.
+  auto label = [d](Code c) -> u64 { return d->is_id(c) ? 0 : 1; };
+  EXPECT_THROW((void)schreier_generators(*inst.bb, label), oracle_error);
+}
+
+TEST(FailureInjection, AbelianSolverBudgetIsEnforced) {
+  // A membership check that never accepts forces the Las Vegas loop to
+  // its sample budget.
+  // Hides <(2,0)> so the candidate has a generator for the check to
+  // reject.
+  const std::vector<u64> mods{4, 4};
+  qs::LabelFn label = [&](const la::AbVec& x) { return (x[0] & 1) * 4 + x[1]; };
+  bb::QueryCounter counter;
+  qs::MixedRadixCosetSampler sampler(mods, label, &counter);
+  Rng rng(1);
+  AbelianHspOptions opts;
+  opts.max_samples = 40;
+  opts.membership_check = [](const la::AbVec&) { return false; };
+  EXPECT_THROW(solve_abelian_hsp(sampler, rng, opts), std::invalid_argument);
+}
+
+TEST(FailureInjection, NormalSolverVerifiesItsOutput) {
+  // A function hiding a NON-normal subgroup fed to the normal-subgroup
+  // solver: the label verification must reject (oracle_error) or the
+  // solver must fail loudly — it must not return a wrong subgroup
+  // silently. H = <y> in D_6 is not normal.
+  Rng rng(2);
+  auto d = std::make_shared<grp::DihedralGroup>(6);
+  const auto inst = bb::make_instance(d, {d->make(0, true)});
+  NormalHspOptions opts;
+  opts.order_bound = 12;
+  opts.max_attempts = 4;
+  try {
+    const auto res =
+        find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+    // If it returns, every generator must genuinely lie in H.
+    const u64 id_label = inst.f->eval_uncounted(d->id());
+    for (const Code n : res.generators) {
+      EXPECT_EQ(inst.f->eval_uncounted(n), id_label);
+    }
+  } catch (const std::exception&) {
+    SUCCEED();  // loud failure is acceptable
+  }
+}
+
+TEST(FailureInjection, OracleErrorCarriesContext) {
+  try {
+    NAHSP_ORACLE_CHECK(false, "labels are not constant on cosets");
+    FAIL();
+  } catch (const oracle_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cosets"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("oracle promise"),
+              std::string::npos);
+  }
+}
+
+TEST(FailureInjection, RetryBudgetsSurfaceAsRetryExhausted) {
+  // Order finding with a label function that lies about periodicity
+  // (constant labels make every y == 0; the verify always fails).
+  Rng rng(3);
+  auto power_label = [](u64) -> u64 { return 7; };
+  auto verify = [](u64) { return false; };
+  EXPECT_THROW(
+      (void)find_order_shor(power_label, verify, 8, rng, nullptr),
+      retry_exhausted);
+}
+
+TEST(FailureInjection, SimulatorGuardsStateBudget) {
+  // Oversized domains are refused up front rather than thrashing.
+  qs::LabelFn label = [](const la::AbVec&) { return 0u; };
+  EXPECT_THROW(
+      qs::MixedRadixCosetSampler({1u << 20, 1u << 20}, label, nullptr),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

@@ -1,0 +1,189 @@
+// Randomized cross-validation: random hidden subgroups across the whole
+// group zoo, solved by the applicable paper algorithm and cross-checked
+// against the classical brute-force baseline on every instance.
+#include <gtest/gtest.h>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/gf2group.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/permutation.h"
+#include "nahsp/groups/quaternion.h"
+#include "nahsp/groups/quotient.h"
+#include "nahsp/hsp/baseline.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/solve.h"
+
+namespace nahsp::hsp {
+namespace {
+
+using grp::Code;
+
+std::vector<Code> random_subgroup_gens(const grp::Group& g, Rng& rng,
+                                       int count) {
+  std::vector<Code> gens;
+  for (int i = 0; i < count; ++i)
+    gens.push_back(grp::random_word_element(g, g.generators(), rng));
+  return gens;
+}
+
+struct FuzzCase {
+  std::string label;
+  std::shared_ptr<const grp::Group> group;
+  AutoOptions opts;
+};
+
+std::vector<FuzzCase> fuzz_zoo() {
+  std::vector<FuzzCase> zoo;
+  {
+    FuzzCase c;
+    c.label = "Heis_3_1";
+    c.group = std::make_shared<grp::HeisenbergGroup>(3, 1);
+    c.opts.order_bound = 27;
+    zoo.push_back(std::move(c));
+  }
+  {
+    FuzzCase c;
+    c.label = "Heis_2_2";
+    c.group = std::make_shared<grp::HeisenbergGroup>(2, 2);
+    c.opts.order_bound = 32;
+    zoo.push_back(std::move(c));
+  }
+  {
+    FuzzCase c;
+    c.label = "Q16";
+    c.group = std::make_shared<grp::QuaternionGroup>(16);
+    c.opts.order_bound = 16;
+    zoo.push_back(std::move(c));
+  }
+  {
+    FuzzCase c;
+    c.label = "D8";
+    c.group = std::make_shared<grp::DihedralGroup>(8);
+    c.opts.order_bound = 16;
+    zoo.push_back(std::move(c));
+  }
+  {
+    FuzzCase c;
+    c.label = "Wreath2";
+    auto w = grp::wreath_z2k_z2(2);
+    c.group = w;
+    c.opts.order_bound = 2;
+    c.opts.elem_abelian_2_subgroup = w->normal_subgroup_generators();
+    c.opts.elem_abelian_2_options.n_membership = [w](Code x) {
+      return w->rot_of(x) == 0;
+    };
+    c.opts.elem_abelian_2_options.coset_label = [w](Code x) {
+      return w->rot_of(x);
+    };
+    c.opts.elem_abelian_2_options.assume_cyclic_factor = true;
+    c.opts.elem_abelian_2_options.factor_order_bound = 2;
+    zoo.push_back(std::move(c));
+  }
+  {
+    FuzzCase c;
+    c.label = "PaperMat3";
+    auto g = grp::paper_matrix_group(grp::GF2Mat::companion(3, 0b011));
+    c.group = g;
+    c.opts.elem_abelian_2_subgroup = g->normal_subgroup_generators();
+    c.opts.elem_abelian_2_options.n_membership = [g](Code x) {
+      return g->rot_of(x) == 0;
+    };
+    c.opts.elem_abelian_2_options.coset_label = [g](Code x) {
+      return g->rot_of(x);
+    };
+    c.opts.elem_abelian_2_options.assume_cyclic_factor = true;
+    c.opts.elem_abelian_2_options.factor_order_bound = 7;
+    zoo.push_back(std::move(c));
+  }
+  return zoo;
+}
+
+class Fuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(Fuzz, AutoSolveMatchesBruteForceOnRandomSubgroups) {
+  const FuzzCase& c = GetParam();
+  Rng rng(0xf0022 + std::hash<std::string>{}(c.label));
+  for (int trial = 0; trial < 6; ++trial) {
+    const int ngens = 1 + static_cast<int>(rng.below(2));
+    const auto planted = random_subgroup_gens(*c.group, rng, ngens);
+    const auto inst = bb::make_instance(c.group, planted);
+    ASSERT_TRUE(validate_hiding_promise(*c.group, *inst.f, planted))
+        << c.label;
+    const auto quantum = solve_hsp(*inst.bb, *inst.f, rng, c.opts);
+    const auto brute = classical_bruteforce_hsp(*inst.bb, *inst.f);
+    EXPECT_TRUE(verify_same_subgroup(*c.group, quantum.generators, brute))
+        << c.label << " trial " << trial << " via "
+        << method_name(quantum.method);
+    EXPECT_TRUE(
+        verify_same_subgroup(*c.group, quantum.generators, planted))
+        << c.label << " trial " << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, Fuzz, ::testing::ValuesIn(fuzz_zoo()),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return info.param.label;
+    });
+
+TEST(FuzzFactorOrder, MatchesQuotientBruteForce) {
+  // Theorem 10 order finding vs direct factor-group iteration, across
+  // random elements and several (group, N) pairs.
+  Rng rng(99);
+  // D_24 mod <x^8> (order-3 normal subgroup; factor D_8-like of order 16).
+  auto d = std::make_shared<grp::DihedralGroup>(24);
+  const auto inst = bb::make_instance(d, {});
+  const std::vector<Code> n_gens{d->make(8, false)};
+  auto in_n = [d](Code c) {
+    return !d->reflection_of(c) && d->rotation_of(c) % 8 == 0;
+  };
+  auto view = std::make_shared<grp::QuotientView>(d, in_n);
+  FactorOrderOptions opts;
+  opts.order_bound = 48;
+  for (int trial = 0; trial < 12; ++trial) {
+    const Code x = grp::random_word_element(*d, d->generators(), rng);
+    const u64 expect = view->element_order_bruteforce(x);
+    EXPECT_EQ(find_factor_order(*inst.bb, n_gens, x, rng, opts), expect)
+        << grp::perm_to_string({});  // context string unused; keep x info
+  }
+}
+
+TEST(FuzzFactorOrder, HeisenbergModCentre) {
+  Rng rng(100);
+  auto h = std::make_shared<grp::HeisenbergGroup>(5, 1);
+  const auto inst = bb::make_instance(h, {});
+  const std::vector<Code> n_gens{h->central_generator()};
+  FactorOrderOptions opts;
+  opts.order_bound = 5;
+  for (int trial = 0; trial < 8; ++trial) {
+    const Code x = grp::random_word_element(*h, h->generators(), rng);
+    // G/Z is elementary Abelian of exponent 5: order is 1 or 5.
+    const bool central = h->a_digit(x, 0) == 0 && h->b_digit(x, 0) == 0;
+    EXPECT_EQ(find_factor_order(*inst.bb, n_gens, x, rng, opts),
+              central ? 1u : 5u);
+  }
+}
+
+TEST(FuzzFactorOrder, FastCosetLabelOverrideAgrees) {
+  Rng rng(101);
+  auto w = grp::wreath_z2k_z2(3);
+  const auto inst = bb::make_instance(w, {});
+  FactorOrderOptions slow;
+  slow.order_bound = 2;
+  FactorOrderOptions fast = slow;
+  fast.coset_label = [w](Code c) { return w->rot_of(c); };
+  for (int trial = 0; trial < 6; ++trial) {
+    const Code x = grp::random_word_element(*w, w->generators(), rng);
+    EXPECT_EQ(
+        find_factor_order(*inst.bb, w->normal_subgroup_generators(), x, rng,
+                          slow),
+        find_factor_order(*inst.bb, w->normal_subgroup_generators(), x, rng,
+                          fast));
+  }
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

@@ -1,0 +1,99 @@
+// Tests for GF(2) linear algebra.
+#include <gtest/gtest.h>
+
+#include "nahsp/common/bits.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/linalg/gf2.h"
+
+namespace nahsp::la {
+namespace {
+
+TEST(BitMatrix, RankBasics) {
+  BitMatrix m(3, {0b001, 0b010, 0b100});
+  EXPECT_EQ(m.rank(), 3);
+  BitMatrix dep(3, {0b011, 0b101, 0b110});  // r3 = r1 ^ r2
+  EXPECT_EQ(dep.rank(), 2);
+  BitMatrix zero(4, {0, 0});
+  EXPECT_EQ(zero.rank(), 0);
+}
+
+TEST(BitMatrix, RowSpaceMembership) {
+  BitMatrix m(4, {0b0011, 0b0101});
+  EXPECT_TRUE(m.in_row_space(0b0110));
+  EXPECT_TRUE(m.in_row_space(0));
+  EXPECT_FALSE(m.in_row_space(0b1000));
+}
+
+TEST(BitMatrix, ExtendBasis) {
+  BitMatrix m(4);
+  EXPECT_TRUE(m.extend_basis(0b0011));
+  EXPECT_TRUE(m.extend_basis(0b0101));
+  EXPECT_FALSE(m.extend_basis(0b0110));  // dependent
+  EXPECT_TRUE(m.extend_basis(0b1000));
+  EXPECT_EQ(m.rank(), 3);
+  EXPECT_FALSE(m.extend_basis(0));
+}
+
+TEST(BitMatrix, NullSpaceOrthogonality) {
+  Rng rng(17);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int cols = 1 + static_cast<int>(rng.below(16));
+    BitMatrix m(cols);
+    const int rows = static_cast<int>(rng.below(6));
+    const std::uint64_t mask = cols >= 64 ? ~0ULL : (1ULL << cols) - 1;
+    for (int r = 0; r < rows; ++r) m.append_row(rng() & mask);
+    const auto ns = m.null_space();
+    // rank-nullity
+    EXPECT_EQ(static_cast<int>(ns.size()), cols - m.rank());
+    for (const auto v : ns) {
+      for (std::size_t r = 0; r < m.rows(); ++r) {
+        EXPECT_EQ(dot2(m.row(r), v), 0);
+      }
+    }
+    // Null-space vectors are independent.
+    BitMatrix nb(cols, ns);
+    EXPECT_EQ(nb.rank(), static_cast<int>(ns.size()));
+  }
+}
+
+TEST(BitMatrix, SolveCombination) {
+  BitMatrix m(4, {0b0011, 0b0101, 0b1001});
+  const auto sol = m.solve_combination(0b0110);
+  ASSERT_TRUE(sol.has_value());
+  std::uint64_t acc = 0;
+  for (int i = 0; i < 3; ++i)
+    if ((*sol >> i) & 1) acc ^= m.row(i);
+  EXPECT_EQ(acc, 0b0110u);
+  // 0b0111 is outside the row space {0000,0011,0101,1001,0110,1010,1100,1111}.
+  EXPECT_FALSE(m.solve_combination(0b0111).has_value());
+}
+
+TEST(BitMatrix, SolveCombinationRandomised) {
+  Rng rng(23);
+  for (int trial = 0; trial < 80; ++trial) {
+    const int cols = 2 + static_cast<int>(rng.below(20));
+    const std::uint64_t mask = (1ULL << cols) - 1;
+    BitMatrix m(cols);
+    const int rows = 1 + static_cast<int>(rng.below(8));
+    for (int r = 0; r < rows; ++r) m.append_row(rng() & mask);
+    // A combination of the rows must always be solvable and verify.
+    std::uint64_t target = 0;
+    const std::uint64_t coeffs = rng() & ((1ULL << rows) - 1);
+    for (int i = 0; i < rows; ++i)
+      if ((coeffs >> i) & 1) target ^= m.row(i);
+    const auto sol = m.solve_combination(target);
+    ASSERT_TRUE(sol.has_value());
+    std::uint64_t acc = 0;
+    for (int i = 0; i < rows; ++i)
+      if ((*sol >> i) & 1) acc ^= m.row(i);
+    EXPECT_EQ(acc, target);
+    // Anything outside the row space must be rejected.
+    const std::uint64_t probe = rng() & mask;
+    if (!m.in_row_space(probe)) {
+      EXPECT_FALSE(m.solve_combination(probe).has_value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nahsp::la

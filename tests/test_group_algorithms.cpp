@@ -1,0 +1,156 @@
+// Tests for enumeration, normal closure, commutator subgroup, derived
+// series and centre.
+#include <gtest/gtest.h>
+
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/cyclic.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/gf2group.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/permutation.h"
+
+namespace nahsp::grp {
+namespace {
+
+TEST(Enumerate, SubgroupOfCyclic) {
+  CyclicGroup z12(12);
+  const auto sub = enumerate_subgroup(z12, {4});
+  EXPECT_EQ(sub, (std::vector<Code>{0, 4, 8}));
+  EXPECT_TRUE(subgroup_contains(z12, {4}, 8));
+  EXPECT_FALSE(subgroup_contains(z12, {4}, 2));
+}
+
+TEST(Enumerate, CapEnforced) {
+  CyclicGroup big(1 << 20);
+  EXPECT_THROW(enumerate_group(big, 1024), std::invalid_argument);
+}
+
+TEST(Enumerate, EmptyGeneratorsGiveTrivial) {
+  DihedralGroup d(6);
+  EXPECT_EQ(enumerate_subgroup(d, {}).size(), 1u);
+}
+
+TEST(SameSubgroup, DifferentGeneratorsSameGroup) {
+  CyclicGroup z12(12);
+  EXPECT_TRUE(same_subgroup(z12, {4}, {8}));
+  EXPECT_FALSE(same_subgroup(z12, {4}, {6}));
+  EXPECT_TRUE(same_subgroup(z12, {2, 3}, {1}));
+}
+
+TEST(NormalClosure, ReflectionInDihedral) {
+  // <y>^D_n contains all reflections with slopes in <1>... precisely:
+  // conjugates x^k y x^-k = x^{2k} y, so closure = <x^2, y>.
+  DihedralGroup d(6);
+  const Code y = d.make(0, true);
+  const auto closure = normal_closure(d, {y});
+  const auto elems = enumerate_subgroup(d, closure);
+  EXPECT_EQ(elems.size(), 6u);  // {1, x^2, x^4} + three reflections
+  EXPECT_TRUE(subgroup_contains(d, closure, d.make(2, false)));
+  EXPECT_FALSE(subgroup_contains(d, closure, d.make(1, false)));
+}
+
+TEST(NormalClosure, AlreadyNormalIsNoop) {
+  DihedralGroup d(8);
+  const Code x2 = d.make(2, false);
+  const auto closure = normal_closure(d, {x2});
+  EXPECT_TRUE(same_subgroup(d, closure, {x2}));
+}
+
+TEST(CommutatorSubgroup, Dihedral) {
+  // D_n' = <x^2>: order n/2 for even n, n for odd n.
+  {
+    DihedralGroup d(8);
+    const auto gp = enumerate_subgroup(d, commutator_subgroup(d));
+    EXPECT_EQ(gp.size(), 4u);
+  }
+  {
+    DihedralGroup d(9);
+    const auto gp = enumerate_subgroup(d, commutator_subgroup(d));
+    EXPECT_EQ(gp.size(), 9u);
+  }
+}
+
+TEST(CommutatorSubgroup, HeisenbergIsCentre) {
+  HeisenbergGroup h(7, 1);
+  const auto gp = enumerate_subgroup(h, commutator_subgroup(h));
+  EXPECT_EQ(gp.size(), 7u);
+  EXPECT_TRUE(subgroup_contains(h, commutator_subgroup(h),
+                                h.central_generator()));
+}
+
+TEST(CommutatorSubgroup, AbelianIsTrivial) {
+  auto p = product_of_cyclics({4, 9});
+  const auto gp = commutator_subgroup(*p);
+  EXPECT_TRUE(gp.empty());
+}
+
+TEST(CommutatorSubgroup, S4IsA4) {
+  auto s4 = symmetric_group(4);
+  const auto gp = enumerate_subgroup(*s4, commutator_subgroup(*s4));
+  EXPECT_EQ(gp.size(), 12u);
+}
+
+TEST(DerivedSeries, HeisenbergLengthTwo) {
+  HeisenbergGroup h(3, 1);
+  const auto series = derived_series_elements(h);
+  ASSERT_EQ(series.size(), 3u);  // G > Z(G) > 1
+  EXPECT_EQ(series[0].size(), 27u);
+  EXPECT_EQ(series[1].size(), 3u);
+  EXPECT_EQ(series[2].size(), 1u);
+}
+
+TEST(DerivedSeries, S4Solvable) {
+  auto s4 = symmetric_group(4);
+  const auto series = derived_series_elements(*s4);
+  // S4 > A4 > V4 > 1
+  ASSERT_EQ(series.size(), 4u);
+  EXPECT_EQ(series[1].size(), 12u);
+  EXPECT_EQ(series[2].size(), 4u);
+  EXPECT_EQ(series[3].size(), 1u);
+}
+
+TEST(IsAbelian, Families) {
+  EXPECT_TRUE(is_abelian(*product_of_cyclics({3, 5})));
+  EXPECT_FALSE(is_abelian(DihedralGroup(5)));
+  EXPECT_FALSE(is_abelian(HeisenbergGroup(3, 1)));
+  EXPECT_TRUE(is_abelian(CyclicGroup(17)));
+}
+
+TEST(IsNormal, Cases) {
+  DihedralGroup d(6);
+  EXPECT_TRUE(is_normal_subgroup(d, {d.make(1, false)}));   // rotations
+  EXPECT_FALSE(is_normal_subgroup(d, {d.make(0, true)}));   // a reflection
+  auto s4 = symmetric_group(4);
+  const Code v1 = s4->encode(perm_from_cycles(4, {{0, 1}, {2, 3}}));
+  const Code v2 = s4->encode(perm_from_cycles(4, {{0, 2}, {1, 3}}));
+  EXPECT_TRUE(is_normal_subgroup(*s4, {v1, v2}));  // V_4
+  EXPECT_FALSE(is_normal_subgroup(*s4, {v1}));
+}
+
+TEST(Center, KnownCentres) {
+  EXPECT_EQ(center_elements(HeisenbergGroup(5, 1)).size(), 5u);
+  EXPECT_EQ(center_elements(DihedralGroup(5)).size(), 1u);
+  EXPECT_EQ(center_elements(DihedralGroup(6)).size(), 2u);  // {1, x^3}
+  EXPECT_EQ(center_elements(*symmetric_group(4)).size(), 1u);
+  EXPECT_EQ(center_elements(CyclicGroup(9)).size(), 9u);
+}
+
+TEST(RandomWordElement, StaysInGroup) {
+  auto w = wreath_z2k_z2(2);
+  Rng rng(5);
+  const auto elems = enumerate_group(*w);
+  for (int i = 0; i < 50; ++i) {
+    const Code x = random_word_element(*w, w->generators(), rng);
+    EXPECT_TRUE(std::binary_search(elems.begin(), elems.end(), x));
+  }
+}
+
+TEST(RandomWordElement, EmptyGensGiveIdentity) {
+  CyclicGroup z5(5);
+  Rng rng(6);
+  EXPECT_EQ(random_word_element(z5, {}, rng), z5.id());
+}
+
+}  // namespace
+}  // namespace nahsp::grp

@@ -1,0 +1,237 @@
+// Group-axiom property tests across every concrete group family, plus
+// family-specific structure checks.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/cyclic.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/gf2group.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/permutation.h"
+
+namespace nahsp::grp {
+namespace {
+
+struct GroupCase {
+  std::string label;
+  std::shared_ptr<const Group> group;
+};
+
+std::vector<GroupCase> group_zoo() {
+  std::vector<GroupCase> zoo;
+  zoo.push_back({"Z_12", std::make_shared<CyclicGroup>(12)});
+  zoo.push_back({"Z_1", std::make_shared<CyclicGroup>(1)});
+  zoo.push_back({"Z4xZ6", product_of_cyclics({4, 6})});
+  zoo.push_back({"Z2^5", elementary_abelian(2, 5)});
+  zoo.push_back({"Z3^3", elementary_abelian(3, 3)});
+  zoo.push_back({"D_8", std::make_shared<DihedralGroup>(8)});
+  zoo.push_back({"D_15", std::make_shared<DihedralGroup>(15)});
+  zoo.push_back({"Heis(3,1)", std::make_shared<HeisenbergGroup>(3, 1)});
+  zoo.push_back({"Heis(5,1)", std::make_shared<HeisenbergGroup>(5, 1)});
+  zoo.push_back({"Heis(2,2)", std::make_shared<HeisenbergGroup>(2, 2)});
+  zoo.push_back({"Wreath(2)", wreath_z2k_z2(2)});
+  zoo.push_back({"Wreath(3)", wreath_z2k_z2(3)});
+  zoo.push_back({"S_4", symmetric_group(4)});
+  zoo.push_back({"S_5", symmetric_group(5)});
+  zoo.push_back({"A_4", alternating_group(4)});
+  {
+    // Paper Section 6 family: companion-matrix action of order > 2.
+    const GF2Mat m = GF2Mat::companion(3, 0b011);  // x^3 + x + 1, order 7
+    zoo.push_back({"PaperMat(3)", paper_matrix_group(m)});
+  }
+  zoo.push_back({"Semidirect(4,Z2)",
+                 std::make_shared<GF2SemidirectCyclic>(
+                     4, GF2Mat::block_swap(2), 2)});
+  return zoo;
+}
+
+class GroupAxioms : public ::testing::TestWithParam<GroupCase> {};
+
+TEST_P(GroupAxioms, IdentityLaws) {
+  const Group& g = *GetParam().group;
+  Rng rng(1);
+  const auto gens = g.generators();
+  for (int i = 0; i < 50; ++i) {
+    const Code x = random_word_element(g, gens, rng);
+    EXPECT_EQ(g.mul(x, g.id()), x);
+    EXPECT_EQ(g.mul(g.id(), x), x);
+  }
+}
+
+TEST_P(GroupAxioms, InverseLaws) {
+  const Group& g = *GetParam().group;
+  Rng rng(2);
+  const auto gens = g.generators();
+  for (int i = 0; i < 50; ++i) {
+    const Code x = random_word_element(g, gens, rng);
+    EXPECT_TRUE(g.is_id(g.mul(x, g.inv(x))));
+    EXPECT_TRUE(g.is_id(g.mul(g.inv(x), x)));
+    EXPECT_EQ(g.inv(g.inv(x)), x);
+  }
+}
+
+TEST_P(GroupAxioms, Associativity) {
+  const Group& g = *GetParam().group;
+  Rng rng(3);
+  const auto gens = g.generators();
+  for (int i = 0; i < 50; ++i) {
+    const Code a = random_word_element(g, gens, rng);
+    const Code b = random_word_element(g, gens, rng);
+    const Code c = random_word_element(g, gens, rng);
+    EXPECT_EQ(g.mul(g.mul(a, b), c), g.mul(a, g.mul(b, c)));
+  }
+}
+
+TEST_P(GroupAxioms, GeneratorsGenerateClaimedOrder) {
+  const Group& g = *GetParam().group;
+  if (g.order() > (1u << 16)) GTEST_SKIP() << "enumeration too large";
+  const auto elems = enumerate_group(g);
+  EXPECT_EQ(elems.size(), g.order());
+  for (const Code x : elems) EXPECT_TRUE(g.is_element(x));
+}
+
+TEST_P(GroupAxioms, PowConsistency) {
+  const Group& g = *GetParam().group;
+  Rng rng(4);
+  const auto gens = g.generators();
+  for (int i = 0; i < 20; ++i) {
+    const Code x = random_word_element(g, gens, rng);
+    Code acc = g.id();
+    for (int e = 0; e <= 6; ++e) {
+      EXPECT_EQ(g.pow(x, e), acc);
+      acc = g.mul(acc, x);
+    }
+  }
+}
+
+TEST_P(GroupAxioms, EncodingWidthRespected) {
+  const Group& g = *GetParam().group;
+  Rng rng(5);
+  const auto gens = g.generators();
+  const int bits = g.encoding_bits();
+  ASSERT_LE(bits, 64);
+  for (int i = 0; i < 30; ++i) {
+    const Code x = random_word_element(g, gens, rng);
+    if (bits < 64) EXPECT_EQ(x >> bits, 0u) << GetParam().label;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, GroupAxioms, ::testing::ValuesIn(group_zoo()),
+    [](const ::testing::TestParamInfo<GroupCase>& info) {
+      std::string s = info.param.label;
+      for (char& c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return s;
+    });
+
+TEST(Cyclic, OrderAndInverse) {
+  CyclicGroup z10(10);
+  EXPECT_EQ(z10.order(), 10u);
+  EXPECT_EQ(z10.mul(7, 8), 5u);
+  EXPECT_EQ(z10.inv(3), 7u);
+  EXPECT_EQ(z10.inv(0), 0u);
+  EXPECT_EQ(z10.element_order_bruteforce(2), 5u);
+}
+
+TEST(DirectProduct, ComponentsRoundTrip) {
+  auto p = product_of_cyclics({4, 3, 5});
+  EXPECT_EQ(p->order(), 60u);
+  const Code x = p->pack({3, 2, 4});
+  EXPECT_EQ(p->component(x, 0), 3u);
+  EXPECT_EQ(p->component(x, 1), 2u);
+  EXPECT_EQ(p->component(x, 2), 4u);
+  EXPECT_TRUE(p->is_id(p->pow(x, 60)));
+}
+
+TEST(Dihedral, RelationsHold) {
+  DihedralGroup d(7);
+  const Code x = d.make(1, false);
+  const Code y = d.make(0, true);
+  EXPECT_TRUE(d.is_id(d.pow(x, 7)));
+  EXPECT_TRUE(d.is_id(d.mul(y, y)));
+  // y x y = x^{-1}
+  EXPECT_EQ(d.conj(x, y), d.inv(x));
+  EXPECT_EQ(d.order(), 14u);
+}
+
+TEST(Dihedral, NonCommutative) {
+  DihedralGroup d(5);
+  const Code x = d.make(1, false);
+  const Code y = d.make(0, true);
+  EXPECT_NE(d.mul(x, y), d.mul(y, x));
+}
+
+TEST(Heisenberg, CentreEqualsCommutator) {
+  HeisenbergGroup h(5, 1);
+  EXPECT_EQ(h.order(), 125u);
+  const auto centre = center_elements(h);
+  EXPECT_EQ(centre.size(), 5u);
+  const auto gp = commutator_subgroup(h);
+  const auto gp_elems = enumerate_subgroup(h, gp);
+  EXPECT_EQ(gp_elems.size(), 5u);
+  EXPECT_EQ(std::vector<Code>(centre.begin(), centre.end()), gp_elems);
+  // The central generator is central and of order p.
+  const Code z = h.central_generator();
+  EXPECT_EQ(h.element_order_bruteforce(z), 5u);
+  for (const Code g : h.generators()) EXPECT_EQ(h.mul(z, g), h.mul(g, z));
+}
+
+TEST(Heisenberg, ExponentPForOddP) {
+  HeisenbergGroup h(3, 1);
+  for (const Code x : enumerate_group(h)) {
+    EXPECT_TRUE(h.is_id(h.pow(x, 3)));
+  }
+}
+
+TEST(GF2Mat, CompanionOrderAndInverse) {
+  const GF2Mat c = GF2Mat::companion(3, 0b011);  // primitive: order 7
+  EXPECT_TRUE(c.invertible());
+  EXPECT_EQ(c.mat_order(), 7u);
+  EXPECT_TRUE(c.mul(c.inverse()) == GF2Mat::identity(3));
+  EXPECT_TRUE(c.pow(7) == GF2Mat::identity(3));
+  EXPECT_FALSE(c.pow(3) == GF2Mat::identity(3));
+}
+
+TEST(GF2Mat, BlockSwapIsInvolution) {
+  const GF2Mat s = GF2Mat::block_swap(3);
+  EXPECT_TRUE(s.mul(s) == GF2Mat::identity(6));
+  EXPECT_EQ(s.matvec(0b000111), 0b111000u);
+}
+
+TEST(Wreath, StructureMatchesRoettelerBeth) {
+  auto w = wreath_z2k_z2(2);  // Z_2^2 wr Z_2, order 2^5 = 32
+  EXPECT_EQ(w->order(), 32u);
+  // The swap generator conjugates (u, v) to (v, u).
+  const Code swap = w->make(0, 1);
+  const Code uv = w->make(0b0001, 0);  // u = 01, v = 00
+  const Code vu = w->make(0b0100, 0);  // u = 00, v = 01
+  EXPECT_EQ(w->conj(uv, swap), vu);
+  // N is normal and elementary Abelian.
+  EXPECT_TRUE(is_normal_subgroup(*w, w->normal_subgroup_generators()));
+}
+
+TEST(SemidirectCyclic, ActionRelation) {
+  const GF2Mat m = GF2Mat::companion(3, 0b011);
+  auto g = paper_matrix_group(m);
+  EXPECT_EQ(g->m(), 7u);
+  EXPECT_EQ(g->order(), 8u * 7u);
+  // a (v,0) a^{-1} = (M v, 0) for the cyclic generator a = (0,1).
+  const Code a = g->make(0, 1);
+  for (std::uint64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(g->conj(g->make(v, 0), a), g->make(m.matvec(v), 0));
+  }
+  EXPECT_TRUE(is_normal_subgroup(*g, g->normal_subgroup_generators()));
+}
+
+TEST(QuotientOfWreath, FactorIsZ2) {
+  auto w = wreath_z2k_z2(3);
+  // |G/N| = 2 with N = Z_2^{2k}.
+  EXPECT_EQ(w->order() / (1u << 6), 2u);
+}
+
+}  // namespace
+}  // namespace nahsp::grp

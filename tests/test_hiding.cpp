@@ -1,0 +1,100 @@
+// Tests for hiding functions (coset labelling) and query accounting.
+#include <gtest/gtest.h>
+
+#include "nahsp/groups/algorithms.h"
+
+#include "nahsp/common/check.h"
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/permutation.h"
+#include "nahsp/hsp/instance.h"
+
+namespace nahsp::bb {
+namespace {
+
+TEST(EnumerationHider, HidesExactly) {
+  auto d = std::make_shared<grp::DihedralGroup>(6);
+  // H = {1, x^2, x^4}.
+  const auto inst = make_instance(d, {d->make(2, false)});
+  EXPECT_TRUE(hsp::validate_hiding_promise(*d, *inst.f,
+                                           inst.planted_generators));
+}
+
+TEST(EnumerationHider, NonNormalSubgroupStillHidden) {
+  auto d = std::make_shared<grp::DihedralGroup>(6);
+  // H = {1, y}: not normal; f must still separate left cosets.
+  const auto inst = make_instance(d, {d->make(0, true)});
+  EXPECT_TRUE(hsp::validate_hiding_promise(*d, *inst.f,
+                                           inst.planted_generators));
+}
+
+TEST(EnumerationHider, TrivialAndFullSubgroups) {
+  auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+  {
+    const auto inst = make_instance(h, {});
+    EXPECT_TRUE(hsp::validate_hiding_promise(*h, *inst.f, {}));
+  }
+  {
+    const auto inst = make_instance(h, h->generators());
+    EXPECT_TRUE(hsp::validate_hiding_promise(*h, *inst.f, h->generators()));
+  }
+}
+
+TEST(PermCosetHider, MatchesEnumerationHider) {
+  auto s4 = grp::symmetric_group(4);
+  const grp::Code v1 = s4->encode(grp::perm_from_cycles(4, {{0, 1}, {2, 3}}));
+  const grp::Code v2 = s4->encode(grp::perm_from_cycles(4, {{0, 2}, {1, 3}}));
+  const auto inst_bsgs = make_perm_instance(s4, {v1, v2});
+  const auto inst_enum = make_instance(
+      std::static_pointer_cast<const grp::Group>(s4), {v1, v2});
+  EXPECT_TRUE(
+      hsp::validate_hiding_promise(*s4, *inst_bsgs.f, {v1, v2}));
+  // Label partitions agree even if raw label values differ.
+  const auto elems = grp::enumerate_group(*s4);
+  for (const grp::Code x : elems)
+    for (const grp::Code y : elems) {
+      const bool same_a = inst_bsgs.f->eval_uncounted(x) ==
+                          inst_bsgs.f->eval_uncounted(y);
+      const bool same_b = inst_enum.f->eval_uncounted(x) ==
+                          inst_enum.f->eval_uncounted(y);
+      EXPECT_EQ(same_a, same_b);
+    }
+}
+
+TEST(QueryCounter, CountsClassicalQueriesAndGroupOps) {
+  auto d = std::make_shared<grp::DihedralGroup>(5);
+  const auto inst = make_instance(d, {d->make(0, true)});
+  inst.counter->reset();
+  (void)inst.f->eval(d->make(1, false));
+  (void)inst.f->eval(d->make(2, false));
+  EXPECT_EQ(inst.counter->classical_queries, 2u);
+  (void)inst.bb->mul(0, 0);
+  (void)inst.bb->inv(0);
+  EXPECT_EQ(inst.counter->group_ops, 2u);
+}
+
+TEST(QueryCounter, EvalUncountedDoesNotCount) {
+  auto d = std::make_shared<grp::DihedralGroup>(5);
+  const auto inst = make_instance(d, {d->make(0, true)});
+  inst.counter->reset();
+  (void)inst.f->eval_uncounted(d->make(1, false));
+  EXPECT_EQ(inst.counter->classical_queries, 0u);
+}
+
+TEST(BlackBoxGroup, OrderUnavailable) {
+  auto d = std::make_shared<grp::DihedralGroup>(5);
+  const auto inst = make_instance(d, {});
+  EXPECT_THROW(inst.bb->order(), nahsp::internal_error);
+}
+
+TEST(LambdaHider, WrapsArbitraryFunction) {
+  auto counter = std::make_shared<QueryCounter>();
+  LambdaHider f([](Code c) { return c / 3; }, counter);
+  EXPECT_EQ(f.eval(7), 2u);
+  EXPECT_EQ(counter->classical_queries, 1u);
+}
+
+}  // namespace
+}  // namespace nahsp::bb

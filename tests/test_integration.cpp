@@ -1,0 +1,137 @@
+// Cross-module integration tests: full theorem pipelines on the paper's
+// marquee instances, with promise validation and query accounting.
+#include <gtest/gtest.h>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/gf2group.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/permutation.h"
+#include "nahsp/hsp/baseline.h"
+#include "nahsp/hsp/elem_abelian2.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/normal.h"
+#include "nahsp/hsp/small_commutator.h"
+
+namespace nahsp::hsp {
+namespace {
+
+using grp::Code;
+
+TEST(Integration, ExtraspecialPipelineAgreesWithBruteForce) {
+  Rng rng(1);
+  auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Code> gens{
+        grp::random_word_element(*h, h->generators(), rng)};
+    const auto inst = bb::make_instance(h, gens);
+    ASSERT_TRUE(validate_hiding_promise(*h, *inst.f, gens));
+    SmallCommutatorOptions opts;
+    opts.order_bound = 27;
+    const auto quantum =
+        solve_hsp_small_commutator(*inst.bb, *inst.f, rng, opts);
+    const auto brute = classical_bruteforce_hsp(*inst.bb, *inst.f);
+    EXPECT_TRUE(verify_same_subgroup(*h, quantum.generators, brute));
+  }
+}
+
+TEST(Integration, WreathPipelineAgreesWithBruteForce) {
+  Rng rng(2);
+  auto w = grp::wreath_z2k_z2(2);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<Code> gens{
+        grp::random_word_element(*w, w->generators(), rng),
+        grp::random_word_element(*w, w->generators(), rng)};
+    const auto inst = bb::make_instance(w, gens);
+    ElemAbelian2Options opts;
+    opts.assume_cyclic_factor = true;
+    opts.factor_order_bound = 2;
+    opts.n_membership = [w](Code c) { return w->rot_of(c) == 0; };
+    opts.coset_label = [w](Code c) { return w->rot_of(c); };
+    const auto quantum = solve_hsp_elem_abelian2(
+        *inst.bb, w->normal_subgroup_generators(), *inst.f, rng, opts);
+    const auto brute = classical_bruteforce_hsp(*inst.bb, *inst.f);
+    EXPECT_TRUE(verify_same_subgroup(*w, quantum.generators, brute));
+  }
+}
+
+TEST(Integration, NormalHspOnAllNormalSubgroupsOfS4) {
+  Rng rng(3);
+  auto s4 = grp::symmetric_group(4);
+  // The normal subgroups of S4: 1, V4, A4, S4.
+  std::vector<std::vector<Code>> normals;
+  normals.push_back({});
+  normals.push_back({s4->encode(grp::perm_from_cycles(4, {{0, 1}, {2, 3}})),
+                     s4->encode(grp::perm_from_cycles(4, {{0, 2}, {1, 3}}))});
+  {
+    std::vector<Code> a4;
+    for (int i = 2; i < 4; ++i)
+      a4.push_back(s4->encode(grp::perm_from_cycles(4, {{0, 1, i}})));
+    normals.push_back(a4);
+  }
+  normals.push_back(s4->generators());
+  for (const auto& planted : normals) {
+    const auto inst = bb::make_perm_instance(s4, planted);
+    NormalHspOptions opts;
+    opts.order_bound = 24;
+    const auto res =
+        find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+    EXPECT_TRUE(
+        verify_same_subgroup(*s4, res.generators, inst.planted_generators));
+  }
+}
+
+TEST(Integration, QuantumBeatsClassicalOnQueries) {
+  // On the Heisenberg hidden-centre instance the quantum pipeline's
+  // classical queries are sublinear in |G| while brute force pays |G|.
+  Rng rng(4);
+  auto h = std::make_shared<grp::HeisenbergGroup>(7, 1);  // |G| = 343
+  const auto quantum_inst = bb::make_instance(h, {h->central_generator()});
+  NormalHspOptions opts;
+  opts.order_bound = 7;
+  (void)find_hidden_normal_subgroup(*quantum_inst.bb, *quantum_inst.f, rng,
+                                    opts);
+  const auto brute_inst = bb::make_instance(h, {h->central_generator()});
+  (void)classical_bruteforce_hsp(*brute_inst.bb, *brute_inst.f);
+  EXPECT_LT(quantum_inst.counter->classical_queries,
+            brute_inst.counter->classical_queries / 2);
+}
+
+TEST(Integration, PaperSection6MatrixExampleEndToEnd) {
+  // The motivating example of Section 6 verbatim: one type-(a) matrix
+  // (invertible upper-left block) + type-(b) matrices, hidden subgroup
+  // mixing both, solved by the cyclic-factor route.
+  Rng rng(5);
+  const grp::GF2Mat m = grp::GF2Mat::companion(4, 0b0011);  // x^4+x+1
+  ASSERT_EQ(m.mat_order(), 15u);
+  auto g = grp::paper_matrix_group(m);
+  const std::vector<Code> hidden{g->make(0b1001, 5)};  // order-3 coset part
+  const auto inst = bb::make_instance(g, hidden);
+  ElemAbelian2Options opts;
+  opts.assume_cyclic_factor = true;
+  opts.factor_order_bound = 15;
+  opts.n_membership = [g](Code c) { return g->rot_of(c) == 0; };
+  opts.coset_label = [g](Code c) { return g->rot_of(c); };
+  const auto res = solve_hsp_elem_abelian2(
+      *inst.bb, g->normal_subgroup_generators(), *inst.f, rng, opts);
+  EXPECT_TRUE(
+      verify_same_subgroup(*g, res.generators, inst.planted_generators));
+}
+
+TEST(Integration, DeterministicGivenSeed) {
+  auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+  const auto run = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    const auto inst = bb::make_instance(h, {h->central_generator()});
+    NormalHspOptions opts;
+    opts.order_bound = 3;
+    auto res = find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+    std::sort(res.generators.begin(), res.generators.end());
+    return res.generators;
+  };
+  EXPECT_EQ(run(77), run(77));
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

@@ -1,0 +1,167 @@
+// Property tests for integer matrices, Hermite and Smith normal forms.
+#include <gtest/gtest.h>
+
+#include "nahsp/common/rng.h"
+#include "nahsp/linalg/hermite.h"
+#include "nahsp/linalg/imat.h"
+#include "nahsp/linalg/smith.h"
+
+namespace nahsp::la {
+namespace {
+
+IMat random_matrix(Rng& rng, std::size_t rows, std::size_t cols, int span) {
+  IMat m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c)
+      m.at(r, c) = static_cast<i64>(rng.between(0, 2 * span)) - span;
+  return m;
+}
+
+TEST(IMat, IdentityAndMul) {
+  const IMat id = IMat::identity(3);
+  IMat m = IMat::from_rows({{1, 2, 3}, {4, 5, 6}, {7, 8, 9}});
+  EXPECT_EQ(m.mul(id), m);
+  EXPECT_EQ(id.mul(m), m);
+}
+
+TEST(IMat, TransposeInvolution) {
+  Rng rng(1);
+  const IMat m = random_matrix(rng, 4, 6, 10);
+  EXPECT_EQ(m.transposed().transposed(), m);
+}
+
+TEST(IMat, UnimodularDetection) {
+  EXPECT_TRUE(is_unimodular(IMat::identity(4)));
+  IMat shear = IMat::identity(3);
+  shear.at(0, 2) = 5;
+  EXPECT_TRUE(is_unimodular(shear));
+  IMat scaled = IMat::identity(2);
+  scaled.at(1, 1) = 2;
+  EXPECT_FALSE(is_unimodular(scaled));
+  EXPECT_FALSE(is_unimodular(IMat(2, 3)));  // non-square
+  EXPECT_FALSE(is_unimodular(IMat(2, 2)));  // singular (zero)
+  EXPECT_TRUE(is_unimodular(IMat(0, 0)));   // empty
+}
+
+class HnfSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HnfSweep, InvariantsHoldOnRandomMatrices) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t rows = 1 + rng.below(6);
+    const std::size_t cols = 1 + rng.below(6);
+    const IMat a = random_matrix(rng, rows, cols, 12);
+    const RowHnf h = row_hnf(a);
+    // U*A == H and U unimodular.
+    EXPECT_EQ(h.u.mul(a), h.h);
+    EXPECT_TRUE(is_unimodular(h.u));
+    // Echelon shape: pivots strictly to the right, rows below rank zero.
+    std::size_t last_col = 0;
+    bool first = true;
+    for (std::size_t r = 0; r < h.rank; ++r) {
+      std::size_t c = 0;
+      while (c < cols && h.h.at(r, c) == 0) ++c;
+      ASSERT_LT(c, cols);
+      EXPECT_GT(h.h.at(r, c), 0);
+      if (!first) EXPECT_GT(c, last_col);
+      last_col = c;
+      first = false;
+      // Entries above a pivot are reduced into [0, pivot).
+      for (std::size_t rr = 0; rr < r; ++rr) {
+        EXPECT_GE(h.h.at(rr, c), 0);
+        EXPECT_LT(h.h.at(rr, c), h.h.at(r, c));
+      }
+    }
+    for (std::size_t r = h.rank; r < rows; ++r)
+      EXPECT_TRUE(h.h.row_is_zero(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HnfSweep, ::testing::Range(1, 9));
+
+TEST(Kernel, VectorsAnnihilate) {
+  Rng rng(9);
+  for (int trial = 0; trial < 40; ++trial) {
+    const std::size_t rows = 1 + rng.below(5);
+    const std::size_t cols = 1 + rng.below(5);
+    const IMat a = random_matrix(rng, rows, cols, 9);
+    const IMat k = kernel(a);
+    for (std::size_t i = 0; i < k.rows(); ++i) {
+      for (std::size_t r = 0; r < rows; ++r) {
+        i128 dot = 0;
+        for (std::size_t c = 0; c < cols; ++c)
+          dot += a.at(r, c) * k.at(i, c);
+        EXPECT_EQ(dot, 0);
+      }
+    }
+  }
+}
+
+TEST(Kernel, DimensionMatchesRankNullity) {
+  const IMat a = IMat::from_rows({{1, 2, 3}, {2, 4, 6}});  // rank 1
+  EXPECT_EQ(kernel(a).rows(), 2u);
+  const IMat b = IMat::from_rows({{1, 0}, {0, 1}});
+  EXPECT_EQ(kernel(b).rows(), 0u);
+}
+
+TEST(LeftKernel, Annihilates) {
+  const IMat a = IMat::from_rows({{1, 2}, {2, 4}, {0, 1}});
+  const IMat k = left_kernel(a);
+  ASSERT_EQ(k.rows(), 1u);
+  for (std::size_t c = 0; c < 2; ++c) {
+    i128 dot = 0;
+    for (std::size_t r = 0; r < 3; ++r) dot += k.at(0, r) * a.at(r, c);
+    EXPECT_EQ(dot, 0);
+  }
+}
+
+class SnfSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SnfSweep, InvariantsHoldOnRandomMatrices) {
+  Rng rng(100 + GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    const std::size_t rows = 1 + rng.below(5);
+    const std::size_t cols = 1 + rng.below(5);
+    const IMat a = random_matrix(rng, rows, cols, 10);
+    const Snf s = smith_normal_form(a);
+    // U*A*V == D.
+    EXPECT_EQ(s.u.mul(a).mul(s.v), s.d);
+    EXPECT_TRUE(is_unimodular(s.u));
+    EXPECT_TRUE(is_unimodular(s.v));
+    // D diagonal, nonnegative, divisibility chain.
+    for (std::size_t r = 0; r < rows; ++r)
+      for (std::size_t c = 0; c < cols; ++c)
+        if (r != c) EXPECT_EQ(s.d.at(r, c), 0);
+    const std::size_t k = std::min(rows, cols);
+    for (std::size_t i = 0; i < k; ++i) EXPECT_GE(s.d.at(i, i), 0);
+    for (std::size_t i = 0; i + 1 < k; ++i) {
+      if (s.d.at(i + 1, i + 1) != 0) {
+        ASSERT_NE(s.d.at(i, i), 0);
+        EXPECT_EQ(s.d.at(i + 1, i + 1) % s.d.at(i, i), 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnfSweep, ::testing::Range(1, 9));
+
+TEST(Snf, KnownInvariantFactors) {
+  // Z^2 / <(2,0),(0,4)> ~= Z_2 x Z_4.
+  const IMat a = IMat::from_rows({{2, 0}, {0, 4}});
+  const auto inv = invariant_factors(a);
+  ASSERT_EQ(inv.size(), 2u);
+  EXPECT_EQ(inv[0], 2);
+  EXPECT_EQ(inv[1], 4);
+}
+
+TEST(Snf, OffDiagonalExample) {
+  // <(2,4),(6,8)>: det = -8, invariant factors 2, 4.
+  const IMat a = IMat::from_rows({{2, 4}, {6, 8}});
+  const auto inv = invariant_factors(a);
+  ASSERT_EQ(inv.size(), 2u);
+  EXPECT_EQ(inv[0], 2);
+  EXPECT_EQ(inv[1], 4);
+}
+
+}  // namespace
+}  // namespace nahsp::la

@@ -1,0 +1,148 @@
+// Tests for constructive membership in Abelian subgroups (Theorem 6) and
+// its secondary-encoding variant (Theorem 7).
+#include <gtest/gtest.h>
+
+#include "nahsp/groups/algorithms.h"
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/cyclic.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/hsp/membership.h"
+
+namespace nahsp::hsp {
+namespace {
+
+using grp::Code;
+
+void expect_expression_valid(const grp::Group& g,
+                             const std::vector<Code>& hs, Code target,
+                             const MembershipResult& res) {
+  ASSERT_TRUE(res.representable);
+  Code acc = g.id();
+  for (std::size_t i = 0; i < hs.size(); ++i)
+    acc = g.mul(acc, g.pow(hs[i], res.exponents[i]));
+  EXPECT_EQ(acc, target);
+}
+
+TEST(Membership, InsideCyclicGroup) {
+  Rng rng(1);
+  auto z = std::make_shared<grp::CyclicGroup>(36);
+  const auto inst = bb::make_instance(z, {});
+  // 30 in <12, 9>? 12a + 9b ≡ 30 (mod 36): yes (a=1, b=2).
+  const auto res = constructive_membership(*inst.bb, {12, 9}, 30, rng);
+  expect_expression_valid(*z, {12, 9}, 30, res);
+}
+
+TEST(Membership, NegativeCase) {
+  Rng rng(2);
+  auto z = std::make_shared<grp::CyclicGroup>(36);
+  const auto inst = bb::make_instance(z, {});
+  // <12, 9> = <3>; 10 is not a multiple of 3.
+  const auto res = constructive_membership(*inst.bb, {12, 9}, 10, rng);
+  EXPECT_FALSE(res.representable);
+}
+
+TEST(Membership, ProductGroupSweep) {
+  Rng rng(3);
+  auto p = grp::product_of_cyclics({8, 6});
+  const auto inst =
+      bb::make_instance(std::static_pointer_cast<const grp::Group>(p), {});
+  const std::vector<Code> hs{p->pack({2, 0}), p->pack({0, 3})};
+  const auto elems = grp::enumerate_subgroup(*p, hs);
+  int in_count = 0;
+  for (u64 a = 0; a < 8; ++a) {
+    for (u64 b = 0; b < 6; ++b) {
+      const Code target = p->pack({a, b});
+      const bool expected =
+          std::binary_search(elems.begin(), elems.end(), target);
+      const auto res = constructive_membership(*inst.bb, hs, target, rng);
+      EXPECT_EQ(res.representable, expected) << a << "," << b;
+      if (expected) {
+        expect_expression_valid(*p, hs, target, res);
+        ++in_count;
+      }
+    }
+  }
+  EXPECT_EQ(in_count, static_cast<int>(elems.size()));
+}
+
+TEST(Membership, CommutingElementsInsideNonAbelianGroup) {
+  Rng rng(4);
+  // Rotations inside a dihedral group commute.
+  auto d = std::make_shared<grp::DihedralGroup>(16);
+  const auto inst = bb::make_instance(d, {});
+  const std::vector<Code> hs{d->make(4, false)};
+  {
+    const auto res =
+        constructive_membership(*inst.bb, hs, d->make(12, false), rng);
+    expect_expression_valid(*d, hs, d->make(12, false), res);
+  }
+  {
+    const auto res =
+        constructive_membership(*inst.bb, hs, d->make(2, false), rng);
+    EXPECT_FALSE(res.representable);
+  }
+}
+
+TEST(Membership, CentreOfHeisenberg) {
+  Rng rng(5);
+  auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+  const auto inst = bb::make_instance(h, {});
+  const Code z = h->central_generator();
+  const auto res =
+      constructive_membership(*inst.bb, {z}, h->pow(z, 2), rng);
+  expect_expression_valid(*h, {z}, h->pow(z, 2), res);
+  // A non-central element is not in <z>.
+  const auto neg =
+      constructive_membership(*inst.bb, {z}, h->make({1}, {0}, 0), rng);
+  EXPECT_FALSE(neg.representable);
+}
+
+TEST(Membership, IdentityAlwaysRepresentable) {
+  Rng rng(6);
+  auto z = std::make_shared<grp::CyclicGroup>(20);
+  const auto inst = bb::make_instance(z, {});
+  const auto res = constructive_membership(*inst.bb, {4}, 0, rng);
+  EXPECT_TRUE(res.representable);
+}
+
+TEST(Membership, SecondaryEncodingModuloSubgroup) {
+  Rng rng(7);
+  // Work in Z_24 / <8> ~= Z_8: labels are cosets of <8>.
+  auto z = std::make_shared<grp::CyclicGroup>(24);
+  const auto inst = bb::make_instance(z, {});
+  auto label = [](Code c) -> u64 { return c % 8; };
+  // In the factor group, 6 in <4>? 4a ≡ 6 mod 8: no.
+  MembershipOptions opts;
+  opts.order_bound = 24;
+  {
+    const auto res =
+        constructive_membership(*inst.bb, {4}, 6, label, rng, opts);
+    EXPECT_FALSE(res.representable);
+  }
+  // 6 in <2> mod 8: yes (a = 3).
+  {
+    const auto res =
+        constructive_membership(*inst.bb, {2}, 6, label, rng, opts);
+    ASSERT_TRUE(res.representable);
+    EXPECT_EQ((2 * res.exponents[0]) % 8, 6u);
+  }
+}
+
+TEST(Membership, OrdersReported) {
+  Rng rng(8);
+  auto p = grp::product_of_cyclics({4, 5});
+  const auto inst =
+      bb::make_instance(std::static_pointer_cast<const grp::Group>(p), {});
+  const auto res = constructive_membership(
+      *inst.bb, {p->pack({1, 0}), p->pack({0, 1})}, p->pack({3, 2}), rng);
+  ASSERT_TRUE(res.representable);
+  ASSERT_EQ(res.orders.size(), 3u);
+  EXPECT_EQ(res.orders[0], 4u);
+  EXPECT_EQ(res.orders[1], 5u);
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

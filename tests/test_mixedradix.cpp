@@ -1,0 +1,166 @@
+// Tests for the mixed-radix register simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "nahsp/common/rng.h"
+#include "nahsp/qsim/mixedradix.h"
+
+namespace nahsp::qs {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+TEST(MixedRadix, IndexDigitsRoundTrip) {
+  MixedRadixState st({3, 4, 5});
+  EXPECT_EQ(st.dim(), 60u);
+  for (std::size_t i = 0; i < 60; ++i) {
+    EXPECT_EQ(st.index_of(st.digits_of(i)), i);
+  }
+  EXPECT_EQ(st.index_of({1, 2, 3}), 1u * 20 + 2u * 5 + 3u);
+}
+
+TEST(MixedRadix, UniformNorm) {
+  MixedRadixState st = MixedRadixState::uniform({4, 9});
+  EXPECT_NEAR(st.norm2(), 1.0, kTol);
+  EXPECT_NEAR(std::abs(st.amp(7)), 1.0 / 6.0, kTol);
+}
+
+TEST(MixedRadix, QftCellMatchesExplicitDft) {
+  // QFT of basis state |x> over Z_n: amp(y) = e^{2 pi i x y / n}/sqrt(n).
+  for (const u64 n : {2ULL, 3ULL, 5ULL, 6ULL, 7ULL, 8ULL, 12ULL, 16ULL,
+                      17ULL, 32ULL}) {
+    for (u64 x = 0; x < std::min<u64>(n, 5); ++x) {
+      MixedRadixState st({n});
+      st.set_amp(0, 0.0);
+      st.set_amp(x, 1.0);
+      st.qft_cell(0);
+      for (u64 y = 0; y < n; ++y) {
+        const double ang = 2.0 * std::numbers::pi * static_cast<double>(x) *
+                           static_cast<double>(y) / static_cast<double>(n);
+        const cplx expect =
+            std::polar(1.0 / std::sqrt(static_cast<double>(n)), ang);
+        EXPECT_NEAR(std::abs(st.amp(y) - expect), 0.0, 1e-8)
+            << "n=" << n << " x=" << x << " y=" << y;
+      }
+    }
+  }
+}
+
+TEST(MixedRadix, QftPow2FastPathMatchesDenseFallback) {
+  // Cross-check the radix-2 FFT path against a dimension just below the
+  // fast-path threshold by embedding Z_4 (dense) x Z_16 (FFT).
+  Rng rng(3);
+  MixedRadixState st({4, 16});
+  for (std::size_t i = 0; i < st.dim(); ++i)
+    st.set_amp(i, cplx{rng.uniform01() - 0.5, rng.uniform01() - 0.5});
+  // Normalise.
+  const double n2 = st.norm2();
+  for (std::size_t i = 0; i < st.dim(); ++i)
+    st.set_amp(i, st.amp(i) / std::sqrt(n2));
+  MixedRadixState ref = st;
+  st.qft_cell(1);  // 16: FFT path
+  // Dense reference for cell 1.
+  for (u64 a = 0; a < 4; ++a) {
+    std::vector<cplx> in(16), out(16);
+    for (u64 x = 0; x < 16; ++x) in[x] = ref.amp(ref.index_of({a, x}));
+    for (u64 y = 0; y < 16; ++y) {
+      cplx acc{0, 0};
+      for (u64 x = 0; x < 16; ++x) {
+        acc += std::polar(1.0, 2.0 * std::numbers::pi * double(x * y % 16) /
+                                   16.0) *
+               in[x];
+      }
+      out[y] = acc / 4.0;
+    }
+    for (u64 y = 0; y < 16; ++y)
+      EXPECT_NEAR(std::abs(st.amp(st.index_of({a, y})) - out[y]), 0.0, 1e-8);
+  }
+}
+
+TEST(MixedRadix, QftUnitary) {
+  MixedRadixState st = MixedRadixState::uniform({3, 8});
+  st.qft_all();
+  EXPECT_NEAR(st.norm2(), 1.0, kTol);
+  // QFT of uniform = |0,...,0>.
+  EXPECT_NEAR(std::abs(st.amp(0)), 1.0, 1e-8);
+}
+
+TEST(MixedRadix, QftInverseRoundTrip) {
+  Rng rng(5);
+  MixedRadixState st({5, 6});
+  for (std::size_t i = 0; i < st.dim(); ++i)
+    st.set_amp(i, cplx{rng.uniform01() - 0.5, rng.uniform01() - 0.5});
+  const double n2 = st.norm2();
+  for (std::size_t i = 0; i < st.dim(); ++i)
+    st.set_amp(i, st.amp(i) / std::sqrt(n2));
+  MixedRadixState before = st;
+  st.qft_all();
+  st.qft_all(/*inverse=*/true);
+  double dist = 0.0;
+  for (std::size_t i = 0; i < st.dim(); ++i)
+    dist += std::norm(st.amp(i) - before.amp(i));
+  EXPECT_LT(std::sqrt(dist), 1e-8);
+}
+
+TEST(MixedRadix, CollapseByLabelProjects) {
+  Rng rng(7);
+  MixedRadixState st = MixedRadixState::uniform({12});
+  std::vector<u64> labels(12);
+  for (u64 i = 0; i < 12; ++i) labels[i] = i % 3;  // cosets of <3>
+  const u64 chosen = st.collapse_by_label(labels, rng);
+  EXPECT_LT(chosen, 3u);
+  EXPECT_NEAR(st.norm2(), 1.0, kTol);
+  for (u64 i = 0; i < 12; ++i) {
+    if (labels[i] == chosen)
+      EXPECT_NEAR(std::abs(st.amp(i)), 0.5, kTol);
+    else
+      EXPECT_NEAR(std::abs(st.amp(i)), 0.0, kTol);
+  }
+}
+
+TEST(MixedRadix, CollapseChoosesLabelsWithCorrectFrequencies) {
+  Rng rng(9);
+  std::vector<u64> labels{0, 0, 0, 1};  // P(0)=3/4
+  int zeros = 0;
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    MixedRadixState st = MixedRadixState::uniform({4});
+    if (st.collapse_by_label(labels, rng) == 0) ++zeros;
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / kTrials, 0.75, 0.02);
+}
+
+TEST(MixedRadix, SampleFollowsDistribution) {
+  Rng rng(11);
+  MixedRadixState st({2});
+  st.set_amp(0, std::sqrt(0.9));
+  st.set_amp(1, std::sqrt(0.1));
+  int ones = 0;
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) ones += static_cast<int>(st.sample(rng)[0]);
+  EXPECT_NEAR(static_cast<double>(ones) / kTrials, 0.1, 0.01);
+}
+
+TEST(MixedRadix, PeriodFindingEndToEnd) {
+  // f(k) = k mod 4 over Z_16: after collapse + QFT, outcomes are
+  // multiples of 4 only.
+  Rng rng(13);
+  for (int t = 0; t < 50; ++t) {
+    MixedRadixState st = MixedRadixState::uniform({16});
+    std::vector<u64> labels(16);
+    for (u64 i = 0; i < 16; ++i) labels[i] = i % 4;
+    st.collapse_by_label(labels, rng);
+    st.qft_all();
+    const u64 y = st.sample(rng)[0];
+    EXPECT_EQ(y % 4, 0u);
+  }
+}
+
+TEST(MixedRadix, BudgetGuard) {
+  EXPECT_THROW(MixedRadixState({1u << 27}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nahsp::qs

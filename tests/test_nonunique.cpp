@@ -1,0 +1,122 @@
+// Non-unique encodings: the paper's Theorems 7/8 explicitly allow
+// black-box groups where an element has many codes (factor groups
+// G/N0). These tests run the hidden-normal-subgroup pipeline on
+// QuotientView groups, where is_id is an oracle rather than code
+// equality.
+#include <gtest/gtest.h>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/quotient.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/normal.h"
+
+namespace nahsp::hsp {
+namespace {
+
+using grp::Code;
+
+// Builds an instance over the quotient view Q = D/N0 where the hidden
+// subgroup of Q is H/N0; the hiding function labels cosets of the
+// pullback H in D (constant exactly on the cosets of H/N0 in Q).
+struct QuotientInstance {
+  std::shared_ptr<const grp::QuotientView> view;
+  std::shared_ptr<bb::QueryCounter> counter;
+  std::shared_ptr<bb::BlackBoxGroup> bbox;
+  std::shared_ptr<bb::EnumerationHider> f;
+};
+
+QuotientInstance make_quotient_instance(
+    std::shared_ptr<const grp::Group> ambient,
+    std::function<bool(Code)> in_n0, std::vector<Code> pullback_gens,
+    std::string name) {
+  QuotientInstance qi;
+  qi.view = std::make_shared<grp::QuotientView>(ambient, std::move(in_n0),
+                                                std::move(name));
+  qi.counter = std::make_shared<bb::QueryCounter>();
+  qi.bbox = std::make_shared<bb::BlackBoxGroup>(qi.view, qi.counter);
+  // The hider enumerates the pullback subgroup of the *ambient* group:
+  // labels are constant exactly on pullback cosets = cosets of H/N0.
+  qi.f = std::make_shared<bb::EnumerationHider>(ambient, pullback_gens,
+                                                qi.counter);
+  return qi;
+}
+
+TEST(NonUnique, HiddenSubgroupOfDihedralQuotient) {
+  Rng rng(1);
+  // Ambient D_12, N0 = <x^6> (order 2, central). Q = D_12/N0 ~= D_6.
+  auto d = std::make_shared<grp::DihedralGroup>(12);
+  auto in_n0 = [d](Code c) {
+    return !d->reflection_of(c) && d->rotation_of(c) % 6 == 0;
+  };
+  // Hidden normal subgroup of Q: <x^2 N0> (rotations of order 3 in Q);
+  // pullback in D_12: <x^2>.
+  const std::vector<Code> pullback{d->make(2, false)};
+  auto qi = make_quotient_instance(d, in_n0, pullback, "D12/<x^6>");
+  EXPECT_EQ(qi.view->order(), 12u);
+
+  NormalHspOptions opts;
+  opts.order_bound = 12;
+  const auto res =
+      find_hidden_normal_subgroup(*qi.bbox, *qi.f, rng, opts);
+  // The found generators (codes in the ambient) together with N0 must
+  // generate the pullback subgroup.
+  std::vector<Code> with_n0 = res.generators;
+  with_n0.push_back(d->make(6, false));
+  EXPECT_TRUE(grp::same_subgroup(*d, with_n0, pullback));
+}
+
+TEST(NonUnique, HiddenCentreModuloCentralSubgroup) {
+  Rng rng(2);
+  // Ambient Heis(3,1) with N0 = trivial-on-view twist: quotient by the
+  // centre itself; hidden subgroup of Q = G/Z is a non-trivial subgroup
+  // <(1,0) Z>. Pullback: <(1,0,0), centre>.
+  auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+  auto in_n0 = [h](Code c) {
+    return h->a_digit(c, 0) == 0 && h->b_digit(c, 0) == 0;
+  };
+  const std::vector<Code> pullback{h->make({1}, {0}, 0),
+                                   h->central_generator()};
+  auto qi = make_quotient_instance(h, in_n0, pullback, "Heis/Z");
+  EXPECT_EQ(qi.view->order(), 9u);
+
+  NormalHspOptions opts;
+  opts.order_bound = 9;
+  const auto res =
+      find_hidden_normal_subgroup(*qi.bbox, *qi.f, rng, opts);
+  std::vector<Code> with_n0 = res.generators;
+  with_n0.push_back(h->central_generator());
+  EXPECT_TRUE(grp::same_subgroup(*h, with_n0, pullback));
+}
+
+TEST(NonUnique, OrderFindingSeesTheFactorOrder) {
+  Rng rng(3);
+  // In D_12/<x^6>, the rotation x has order 6, not 12 — order finding
+  // through the non-unique encoding must report the factor order.
+  auto d = std::make_shared<grp::DihedralGroup>(12);
+  auto in_n0 = [d](Code c) {
+    return !d->reflection_of(c) && d->rotation_of(c) % 6 == 0;
+  };
+  auto view = std::make_shared<grp::QuotientView>(d, in_n0);
+  EXPECT_EQ(view->element_order_bruteforce(d->make(1, false)), 6u);
+  EXPECT_EQ(view->element_order_bruteforce(d->make(2, false)), 3u);
+}
+
+TEST(NonUnique, IdentityTestOracleSemantics) {
+  auto d = std::make_shared<grp::DihedralGroup>(12);
+  auto in_n0 = [d](Code c) {
+    return !d->reflection_of(c) && d->rotation_of(c) % 6 == 0;
+  };
+  auto view = std::make_shared<grp::QuotientView>(d, in_n0);
+  // Distinct codes, equal elements of the factor group.
+  const Code a = d->make(1, false);
+  const Code b = d->make(7, false);
+  EXPECT_NE(a, b);
+  EXPECT_TRUE(view->is_id(view->mul(a, view->inv(b))));
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

@@ -1,0 +1,162 @@
+// End-to-end tests for Theorem 8: hidden normal subgroups in solvable
+// and permutation groups.
+#include <gtest/gtest.h>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/gf2group.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/permutation.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/normal.h"
+
+namespace nahsp::hsp {
+namespace {
+
+using grp::Code;
+
+TEST(NormalHsp, HiddenCentreOfHeisenberg) {
+  Rng rng(1);
+  for (const u64 p : {3ULL, 5ULL, 7ULL}) {
+    auto h = std::make_shared<grp::HeisenbergGroup>(p, 1);
+    const auto inst = bb::make_instance(h, {h->central_generator()});
+    NormalHspOptions opts;
+    opts.order_bound = p;
+    const auto res =
+        find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+    EXPECT_TRUE(res.abelian_factor);
+    EXPECT_TRUE(verify_same_subgroup(*h, res.generators,
+                                     inst.planted_generators))
+        << "p=" << p;
+  }
+}
+
+TEST(NormalHsp, RotationSubgroupsOfDihedral) {
+  Rng rng(2);
+  auto d = std::make_shared<grp::DihedralGroup>(12);
+  // Hidden <x^k> for various k: all normal, factor D_12/<x^k> non-Abelian
+  // for k >= 3 (handled by the Schreier route) and Abelian for k <= 2.
+  for (const u64 k : {1ULL, 2ULL, 3ULL, 4ULL, 6ULL}) {
+    const auto inst = bb::make_instance(d, {d->make(k, false)});
+    NormalHspOptions opts;
+    opts.order_bound = 24;
+    const auto res =
+        find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+    EXPECT_TRUE(verify_same_subgroup(*d, res.generators,
+                                     inst.planted_generators))
+        << "k=" << k;
+    EXPECT_EQ(res.abelian_factor, k <= 2) << "k=" << k;
+  }
+}
+
+TEST(NormalHsp, TrivialHiddenSubgroup) {
+  Rng rng(3);
+  auto d = std::make_shared<grp::DihedralGroup>(5);
+  const auto inst = bb::make_instance(d, {});
+  NormalHspOptions opts;
+  opts.order_bound = 10;
+  const auto res = find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+  EXPECT_TRUE(res.generators.empty());
+}
+
+TEST(NormalHsp, WholeGroupHidden) {
+  Rng rng(4);
+  auto d = std::make_shared<grp::DihedralGroup>(6);
+  const auto inst = bb::make_instance(d, d->generators());
+  NormalHspOptions opts;
+  opts.order_bound = 12;
+  const auto res = find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+  EXPECT_TRUE(
+      verify_same_subgroup(*d, res.generators, inst.planted_generators));
+}
+
+TEST(NormalHsp, PermutationGroupsV4AndA4) {
+  Rng rng(5);
+  auto s4 = grp::symmetric_group(4);
+  {
+    const Code v1 = s4->encode(grp::perm_from_cycles(4, {{0, 1}, {2, 3}}));
+    const Code v2 = s4->encode(grp::perm_from_cycles(4, {{0, 2}, {1, 3}}));
+    const auto inst = bb::make_perm_instance(s4, {v1, v2});
+    NormalHspOptions opts;
+    opts.order_bound = 24;
+    const auto res =
+        find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+    EXPECT_FALSE(res.abelian_factor);  // S4/V4 ~= S3
+    EXPECT_TRUE(
+        verify_same_subgroup(*s4, res.generators, inst.planted_generators));
+  }
+  {
+    std::vector<Code> a4;
+    for (int i = 2; i < 4; ++i)
+      a4.push_back(s4->encode(grp::perm_from_cycles(4, {{0, 1, i}})));
+    const auto inst = bb::make_perm_instance(s4, a4);
+    NormalHspOptions opts;
+    opts.order_bound = 24;
+    const auto res =
+        find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+    EXPECT_TRUE(res.abelian_factor);  // S4/A4 ~= Z2
+    EXPECT_TRUE(
+        verify_same_subgroup(*s4, res.generators, inst.planted_generators));
+  }
+}
+
+TEST(NormalHsp, HiddenAnInSn) {
+  Rng rng(6);
+  for (const int n : {4, 5}) {
+    auto sn = grp::symmetric_group(n);
+    std::vector<Code> an;
+    for (int i = 2; i < n; ++i)
+      an.push_back(sn->encode(grp::perm_from_cycles(n, {{0, 1, i}})));
+    const auto inst = bb::make_perm_instance(sn, an);
+    NormalHspOptions opts;
+    opts.order_bound = 2 * n;
+    const auto res =
+        find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+    EXPECT_TRUE(
+        verify_same_subgroup(*sn, res.generators, inst.planted_generators))
+        << "n=" << n;
+  }
+}
+
+TEST(NormalHsp, WreathProductNormalN) {
+  Rng rng(7);
+  auto w = grp::wreath_z2k_z2(2);
+  const auto inst = bb::make_instance(w, w->normal_subgroup_generators());
+  NormalHspOptions opts;
+  opts.order_bound = 4;
+  const auto res = find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+  EXPECT_TRUE(res.abelian_factor);  // G/N ~= Z_2
+  EXPECT_TRUE(
+      verify_same_subgroup(*w, res.generators, inst.planted_generators));
+}
+
+TEST(NormalHsp, DiagonalSubgroupOfWreath) {
+  Rng rng(8);
+  auto w = grp::wreath_z2k_z2(2);
+  // Diagonal {(u,u)}: normal (swap-invariant, inside Abelian N).
+  std::vector<Code> diag{w->make(0b0101, 0), w->make(0b1010, 0)};
+  const auto inst = bb::make_instance(w, diag);
+  NormalHspOptions opts;
+  opts.order_bound = 8;
+  const auto res = find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+  EXPECT_TRUE(
+      verify_same_subgroup(*w, res.generators, inst.planted_generators));
+}
+
+TEST(NormalHsp, QueryCountsAreLogarithmicNotLinear) {
+  // The quantum algorithm must not classically probe all of G: classical
+  // f-queries stay far below |G| (here |G| = p^3 = 343).
+  Rng rng(9);
+  auto h = std::make_shared<grp::HeisenbergGroup>(7, 1);
+  const auto inst = bb::make_instance(h, {h->central_generator()});
+  inst.counter->reset();
+  NormalHspOptions opts;
+  opts.order_bound = 7;
+  (void)find_hidden_normal_subgroup(*inst.bb, *inst.f, rng, opts);
+  EXPECT_LT(inst.counter->classical_queries, 343u / 2);
+  EXPECT_GT(inst.counter->quantum_queries, 0u);
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

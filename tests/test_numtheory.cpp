@@ -1,0 +1,210 @@
+// Unit and property tests for the number-theory substrate.
+#include <gtest/gtest.h>
+
+#include "nahsp/common/rng.h"
+#include "nahsp/numtheory/arith.h"
+#include "nahsp/numtheory/contfrac.h"
+#include "nahsp/numtheory/factor.h"
+
+namespace nahsp::nt {
+namespace {
+
+TEST(Gcd, Basics) {
+  EXPECT_EQ(gcd(0, 0), 0u);
+  EXPECT_EQ(gcd(0, 7), 7u);
+  EXPECT_EQ(gcd(12, 18), 6u);
+  EXPECT_EQ(gcd(17, 13), 1u);
+  EXPECT_EQ(gcd(1ULL << 40, 1ULL << 20), 1ULL << 20);
+}
+
+TEST(Lcm, BasicsAndOverflowGuard) {
+  EXPECT_EQ(lcm(4, 6), 12u);
+  EXPECT_EQ(lcm(0, 5), 0u);
+  EXPECT_EQ(lcm(7, 7), 7u);
+  EXPECT_THROW(lcm(~0ULL, ~0ULL - 1), std::invalid_argument);
+}
+
+TEST(ExtGcd, BezoutPropertyRandom) {
+  Rng rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const u64 a = rng.below(1ULL << 32);
+    const u64 b = rng.below(1ULL << 32);
+    const ExtGcd e = ext_gcd(a, b);
+    EXPECT_EQ(e.g, gcd(a, b));
+    const i128 lhs = static_cast<i128>(a) * e.x + static_cast<i128>(b) * e.y;
+    EXPECT_EQ(lhs, static_cast<i128>(e.g));
+  }
+}
+
+TEST(MulMod, NoOverflow) {
+  const u64 big = ~0ULL - 58;
+  EXPECT_EQ(mulmod(big - 1, big - 2, big), 2u);
+  EXPECT_EQ(mulmod(0, 123, 7), 0u);
+}
+
+TEST(PowMod, MatchesNaive) {
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const u64 m = 2 + rng.below(1000);
+    const u64 a = rng.below(m);
+    const u64 e = rng.below(30);
+    u64 naive = 1 % m;
+    for (u64 k = 0; k < e; ++k) naive = naive * a % m;
+    EXPECT_EQ(powmod(a, e, m), naive);
+  }
+}
+
+TEST(InvMod, InverseWhenCoprime) {
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    const u64 m = 2 + rng.below(100000);
+    const u64 a = rng.below(m);
+    const auto inv = invmod(a, m);
+    if (gcd(a % m, m) == 1) {
+      ASSERT_TRUE(inv.has_value());
+      EXPECT_EQ(mulmod(a, *inv, m), 1 % m);
+    } else {
+      EXPECT_FALSE(inv.has_value());
+    }
+  }
+}
+
+TEST(Crt, ConsistentSystems) {
+  const auto r = crt(2, 3, 3, 5);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->second, 15u);
+  EXPECT_EQ(r->first % 3, 2u);
+  EXPECT_EQ(r->first % 5, 3u);
+}
+
+TEST(Crt, InconsistentSystems) {
+  EXPECT_FALSE(crt(1, 4, 2, 4).has_value());
+  EXPECT_FALSE(crt(0, 6, 1, 4).has_value());  // both even required
+}
+
+TEST(Crt, NonCoprimeConsistent) {
+  const auto r = crt(2, 6, 8, 10);  // x = 8 mod 30
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->second, 30u);
+  EXPECT_EQ(r->first, 8u);
+}
+
+TEST(IsPrime, SmallTable) {
+  const bool expect[] = {false, false, true,  true,  false, true,
+                         false, true,  false, false, false, true};
+  for (u64 n = 0; n < 12; ++n) EXPECT_EQ(is_prime(n), expect[n]) << n;
+}
+
+TEST(IsPrime, KnownLargePrimesAndComposites) {
+  EXPECT_TRUE(is_prime(2147483647ULL));          // 2^31 - 1
+  EXPECT_TRUE(is_prime(67280421310721ULL));      // factor of 2^64+1
+  EXPECT_FALSE(is_prime(3215031751ULL));         // strong pseudoprime base 2,3,5,7
+  EXPECT_FALSE(is_prime(341550071728321ULL));    // Jaeschke composite
+  EXPECT_TRUE(is_prime(18446744073709551557ULL));  // largest 64-bit prime
+}
+
+TEST(Factorize, RoundTripRandom) {
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const u64 n = 1 + rng.below(1ULL << 40);
+    u64 prod = 1;
+    for (const auto& [p, e] : factorize(n)) {
+      EXPECT_TRUE(is_prime(p)) << p;
+      for (int k = 0; k < e; ++k) prod *= p;
+    }
+    EXPECT_EQ(prod, n);
+  }
+}
+
+TEST(Factorize, SemiPrime) {
+  const u64 p = 1000003, q = 1000033;
+  const auto f = factorize(p * q);
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f.at(p), 1);
+  EXPECT_EQ(f.at(q), 1);
+}
+
+TEST(MultiplicativeOrder, MatchesBruteForce) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const u64 m = 2 + rng.below(2000);
+    const u64 a = rng.below(m);
+    if (gcd(a % m, m) != 1) continue;
+    const u64 r = multiplicative_order(a, m);
+    EXPECT_EQ(powmod(a, r, m), 1 % m);
+    // Minimality via brute force.
+    u64 x = 1 % m;
+    for (u64 k = 1; k < r; ++k) {
+      x = mulmod(x, a, m);
+      EXPECT_NE(x, 1 % m) << "order not minimal for a=" << a << " m=" << m;
+    }
+  }
+}
+
+TEST(EulerPhi, KnownValues) {
+  EXPECT_EQ(euler_phi(1), 1u);
+  EXPECT_EQ(euler_phi(2), 1u);
+  EXPECT_EQ(euler_phi(9), 6u);
+  EXPECT_EQ(euler_phi(10), 4u);
+  EXPECT_EQ(euler_phi(97), 96u);
+  EXPECT_EQ(euler_phi(360), 96u);
+}
+
+TEST(Divisors, Sorted) {
+  const auto d = divisors(60);
+  const std::vector<u64> expect{1, 2, 3, 4, 5, 6, 10, 12, 15, 20, 30, 60};
+  EXPECT_EQ(d, expect);
+  EXPECT_EQ(divisors(1), std::vector<u64>{1});
+  EXPECT_EQ(divisors(49), (std::vector<u64>{1, 7, 49}));
+}
+
+TEST(ContFrac, ExpansionOfKnownRatio) {
+  // 415/93 = [4; 2, 6, 7]
+  const auto a = cf_expansion(415, 93);
+  const std::vector<u64> expect{4, 2, 6, 7};
+  EXPECT_EQ(a, expect);
+}
+
+TEST(ContFrac, ConvergentsRecoverRatio) {
+  const auto cs = convergents(415, 93, 1000);
+  ASSERT_FALSE(cs.empty());
+  EXPECT_EQ(cs.back().p, 415u);
+  EXPECT_EQ(cs.back().q, 93u);
+}
+
+TEST(ContFrac, ShorStyleRecovery) {
+  // y/Q close to c/r should produce r among convergent denominators when
+  // Q >= r^2 — the correctness core of order finding.
+  const u64 r = 21, Q = 1u << 10;
+  for (u64 c = 1; c < r; ++c) {
+    if (gcd(c, r) != 1) continue;
+    const u64 y = (c * Q + r / 2) / r;  // nearest integer to cQ/r
+    const auto cs = convergents(y, Q, r);
+    bool found = false;
+    for (const auto& cv : cs)
+      if (cv.q == r) found = true;
+    EXPECT_TRUE(found) << "c=" << c;
+  }
+}
+
+TEST(ContFrac, MaxDenominatorRespected) {
+  for (const auto& cv : convergents(355, 113, 50)) EXPECT_LE(cv.q, 50u);
+}
+
+class PrimeSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(PrimeSweep, PhiOfPrimeIsPMinus1) {
+  const u64 p = GetParam();
+  ASSERT_TRUE(is_prime(p));
+  EXPECT_EQ(euler_phi(p), p - 1);
+  const auto f = factorize(p);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f.begin()->first, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallPrimes, PrimeSweep,
+                         ::testing::Values(2, 3, 5, 7, 11, 13, 101, 257,
+                                           65537, 1000003));
+
+}  // namespace
+}  // namespace nahsp::nt

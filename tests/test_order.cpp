@@ -1,0 +1,116 @@
+// Tests for quantum order finding (Shor circuit + continued fractions,
+// and the known-multiple period-finding variant).
+#include <gtest/gtest.h>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/cyclic.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/hsp/order.h"
+#include "nahsp/numtheory/arith.h"
+
+namespace nahsp::hsp {
+namespace {
+
+TEST(ShorOrder, CyclicGroupElements) {
+  Rng rng(1);
+  auto z = std::make_shared<grp::CyclicGroup>(60);
+  const auto inst = bb::make_instance(z, {});
+  for (const u64 g : {1ULL, 2ULL, 5ULL, 6ULL, 12ULL, 30ULL, 59ULL}) {
+    const u64 expect = 60 / nt::gcd(60, g);
+    EXPECT_EQ(find_order_shor(*inst.bb, g, 60, rng), expect) << g;
+  }
+}
+
+TEST(ShorOrder, IdentityHasOrderOne) {
+  Rng rng(2);
+  auto z = std::make_shared<grp::CyclicGroup>(15);
+  const auto inst = bb::make_instance(z, {});
+  EXPECT_EQ(find_order_shor(*inst.bb, 0, 15, rng), 1u);
+}
+
+TEST(ShorOrder, DihedralElements) {
+  Rng rng(3);
+  auto d = std::make_shared<grp::DihedralGroup>(21);
+  const auto inst = bb::make_instance(d, {});
+  EXPECT_EQ(find_order_shor(*inst.bb, d->make(1, false), 42, rng), 21u);
+  EXPECT_EQ(find_order_shor(*inst.bb, d->make(3, false), 42, rng), 7u);
+  EXPECT_EQ(find_order_shor(*inst.bb, d->make(5, true), 42, rng), 2u);
+}
+
+TEST(ShorOrder, HeisenbergElements) {
+  Rng rng(4);
+  auto h = std::make_shared<grp::HeisenbergGroup>(5, 1);
+  const auto inst = bb::make_instance(h, {});
+  // Exponent-p group: every non-identity element has order 5.
+  EXPECT_EQ(find_order_shor(*inst.bb, h->central_generator(), 125, rng), 5u);
+  EXPECT_EQ(find_order_shor(*inst.bb, h->make({1}, {1}, 2), 125, rng), 5u);
+}
+
+TEST(ShorOrder, QubitCircuitBackend) {
+  Rng rng(5);
+  auto z = std::make_shared<grp::CyclicGroup>(15);
+  const auto inst = bb::make_instance(z, {});
+  ShorOptions opts;
+  opts.use_qubit_circuit = true;
+  EXPECT_EQ(find_order_shor(*inst.bb, 1, 15, rng, opts), 15u);
+  EXPECT_EQ(find_order_shor(*inst.bb, 5, 15, rng, opts), 3u);
+}
+
+TEST(ShorOrder, ApproximateQftStillWorks) {
+  Rng rng(6);
+  auto z = std::make_shared<grp::CyclicGroup>(12);
+  const auto inst = bb::make_instance(z, {});
+  ShorOptions opts;
+  opts.use_qubit_circuit = true;
+  opts.approx_cutoff = 4;  // drop distant rotations
+  EXPECT_EQ(find_order_shor(*inst.bb, 1, 12, rng, opts), 12u);
+}
+
+TEST(ShorOrder, SweepAgainstBruteForce) {
+  Rng rng(7);
+  auto z = std::make_shared<grp::CyclicGroup>(100);
+  const auto inst = bb::make_instance(z, {});
+  for (u64 g = 1; g < 100; g += 7) {
+    const u64 brute = z->element_order_bruteforce(g);
+    EXPECT_EQ(find_order_shor(*inst.bb, g, 100, rng), brute) << g;
+  }
+}
+
+TEST(ShorOrder, CountsQuantumQueries) {
+  Rng rng(8);
+  auto z = std::make_shared<grp::CyclicGroup>(16);
+  const auto inst = bb::make_instance(z, {});
+  inst.counter->reset();
+  (void)find_order_shor(*inst.bb, 1, 16, rng);
+  EXPECT_GT(inst.counter->quantum_queries, 0u);
+}
+
+TEST(OrderViaMultiple, RecoversDivisors) {
+  Rng rng(9);
+  // Element of order 6 inside Z_24 (element 4).
+  auto z = std::make_shared<grp::CyclicGroup>(24);
+  auto power_label = [&z](u64 k) -> u64 { return z->pow(4, k); };
+  EXPECT_EQ(find_order_via_multiple(24, power_label, rng, nullptr), 6u);
+}
+
+TEST(OrderViaMultiple, OrderOneAndFull) {
+  Rng rng(10);
+  auto z = std::make_shared<grp::CyclicGroup>(12);
+  auto id_label = [&z](u64 k) -> u64 { return z->pow(0, k); };
+  EXPECT_EQ(find_order_via_multiple(12, id_label, rng, nullptr), 1u);
+  auto gen_label = [&z](u64 k) -> u64 { return z->pow(1, k); };
+  EXPECT_EQ(find_order_via_multiple(12, gen_label, rng, nullptr), 12u);
+}
+
+TEST(OrderViaMultiple, SecondaryEncoding) {
+  Rng rng(11);
+  // Order of x modulo <x^4> in Z_12: labels identify cosets of <4>...
+  // i.e. k -> (k mod 4) as the coset label of x^k.
+  auto power_label = [](u64 k) -> u64 { return k % 4; };
+  EXPECT_EQ(find_order_via_multiple(12, power_label, rng, nullptr), 4u);
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

@@ -1,0 +1,155 @@
+// Tests for permutations, Lehmer ranking, and Schreier–Sims.
+#include <gtest/gtest.h>
+
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/permutation.h"
+
+namespace nahsp::grp {
+namespace {
+
+TEST(Perm, ComposeAndInverse) {
+  const Perm a = perm_from_cycles(4, {{0, 1, 2}});
+  const Perm b = perm_from_cycles(4, {{2, 3}});
+  // (a*b)(x) = a(b(x)): b fixes 0 -> a(0)=1.
+  const Perm ab = perm_compose(a, b);
+  EXPECT_EQ(ab[0], 1);
+  EXPECT_EQ(ab[2], 3);
+  EXPECT_TRUE(perm_is_identity(perm_compose(a, perm_inverse(a))));
+  EXPECT_TRUE(perm_is_identity(perm_compose(perm_inverse(b), b)));
+}
+
+TEST(Perm, CycleStringRoundtrip) {
+  const Perm a = perm_from_cycles(5, {{0, 2, 1}, {3, 4}});
+  EXPECT_EQ(perm_to_string(a), "(0 2 1)(3 4)");
+  EXPECT_EQ(perm_to_string(perm_identity(5)), "()");
+}
+
+TEST(Perm, RankUnrankBijective) {
+  for (int d = 1; d <= 5; ++d) {
+    std::uint64_t fact = 1;
+    for (int i = 2; i <= d; ++i) fact *= i;
+    std::vector<bool> seen(fact, false);
+    for (std::uint64_t r = 0; r < fact; ++r) {
+      const Perm p = perm_unrank(d, r);
+      const std::uint64_t back = perm_rank(p);
+      EXPECT_EQ(back, r);
+      EXPECT_FALSE(seen[r]);
+      seen[r] = true;
+    }
+  }
+}
+
+TEST(Perm, RankIdentityIsZero) {
+  EXPECT_EQ(perm_rank(perm_identity(7)), 0u);
+}
+
+TEST(SchreierSims, SymmetricGroupOrders) {
+  for (int d = 2; d <= 7; ++d) {
+    std::vector<Perm> gens{perm_from_cycles(d, {{0, 1}})};
+    if (d >= 3) {
+      std::vector<int> full(d);
+      for (int i = 0; i < d; ++i) full[i] = i;
+      gens.push_back(perm_from_cycles(d, {full}));
+    }
+    SchreierSims ss(d, gens);
+    std::uint64_t fact = 1;
+    for (int i = 2; i <= d; ++i) fact *= i;
+    EXPECT_EQ(ss.order(), fact) << "S_" << d;
+  }
+}
+
+TEST(SchreierSims, AlternatingGroupOrders) {
+  for (int d = 3; d <= 7; ++d) {
+    std::vector<Perm> gens;
+    for (int i = 2; i < d; ++i)
+      gens.push_back(perm_from_cycles(d, {{0, 1, i}}));
+    SchreierSims ss(d, gens);
+    std::uint64_t fact = 1;
+    for (int i = 2; i <= d; ++i) fact *= i;
+    EXPECT_EQ(ss.order(), fact / 2) << "A_" << d;
+  }
+}
+
+TEST(SchreierSims, KleinFourInS4) {
+  const std::vector<Perm> gens{perm_from_cycles(4, {{0, 1}, {2, 3}}),
+                               perm_from_cycles(4, {{0, 2}, {1, 3}})};
+  SchreierSims ss(4, gens);
+  EXPECT_EQ(ss.order(), 4u);
+  EXPECT_TRUE(ss.contains(perm_from_cycles(4, {{0, 3}, {1, 2}})));
+  EXPECT_FALSE(ss.contains(perm_from_cycles(4, {{0, 1}})));
+}
+
+TEST(SchreierSims, MembershipMatchesEnumeration) {
+  Rng rng(31);
+  // Dihedral-in-S_5: rotation (0..4), reflection.
+  const std::vector<Perm> gens{
+      perm_from_cycles(5, {{0, 1, 2, 3, 4}}),
+      perm_from_cycles(5, {{1, 4}, {2, 3}}),
+  };
+  SchreierSims ss(5, gens);
+  EXPECT_EQ(ss.order(), 10u);
+  auto pg = std::make_shared<PermutationGroup>(5, gens);
+  const auto elems = enumerate_group(*pg);
+  EXPECT_EQ(elems.size(), 10u);
+  int members = 0;
+  for (std::uint64_t r = 0; r < 120; ++r) {
+    const Perm p = perm_unrank(5, r);
+    if (ss.contains(p)) ++members;
+  }
+  EXPECT_EQ(members, 10);
+}
+
+TEST(SchreierSims, MinCosetRepIsCanonicalAndInCoset) {
+  Rng rng(37);
+  // H = A_4 inside S_4.
+  std::vector<Perm> gens;
+  for (int i = 2; i < 4; ++i) gens.push_back(perm_from_cycles(4, {{0, 1, i}}));
+  SchreierSims h(4, gens);
+  // Canonicality: same coset -> same rep; different coset -> different.
+  for (std::uint64_t r1 = 0; r1 < 24; ++r1) {
+    for (std::uint64_t r2 = 0; r2 < 24; ++r2) {
+      const Perm x = perm_unrank(4, r1);
+      const Perm y = perm_unrank(4, r2);
+      const bool same_coset = h.contains(
+          perm_compose(perm_inverse(x), y));
+      const bool same_rep =
+          perm_rank(h.min_coset_rep(x)) == perm_rank(h.min_coset_rep(y));
+      EXPECT_EQ(same_coset, same_rep);
+    }
+  }
+}
+
+TEST(SchreierSims, MinCosetRepStaysInCoset) {
+  const std::vector<Perm> gens{perm_from_cycles(6, {{0, 1, 2}}),
+                               perm_from_cycles(6, {{3, 4}})};
+  SchreierSims h(6, gens);
+  Rng rng(41);
+  for (int t = 0; t < 100; ++t) {
+    const Perm x = perm_unrank(6, rng.below(720));
+    const Perm rep = h.min_coset_rep(x);
+    // rep must lie in x*H.
+    EXPECT_TRUE(h.contains(perm_compose(perm_inverse(x), rep)));
+  }
+}
+
+TEST(PermutationGroup, GroupInterfaceConsistent) {
+  auto s4 = symmetric_group(4);
+  EXPECT_EQ(s4->order(), 24u);
+  EXPECT_EQ(s4->degree(), 4);
+  const Code a = s4->encode(perm_from_cycles(4, {{0, 1}}));
+  const Code b = s4->encode(perm_from_cycles(4, {{1, 2}}));
+  const Perm ab = s4->decode(s4->mul(a, b));
+  EXPECT_EQ(ab, perm_compose(perm_from_cycles(4, {{0, 1}}),
+                             perm_from_cycles(4, {{1, 2}})));
+}
+
+TEST(PermutationGroup, AlternatingFactory) {
+  auto a5 = alternating_group(5);
+  EXPECT_EQ(a5->order(), 60u);
+  EXPECT_FALSE(a5->is_element(a5->encode(perm_from_cycles(5, {{0, 1}}))));
+  EXPECT_TRUE(a5->is_element(a5->encode(perm_from_cycles(5, {{0, 1, 2}}))));
+}
+
+}  // namespace
+}  // namespace nahsp::grp

@@ -1,0 +1,110 @@
+// Tests for factor-group presentation machinery (Abelian relators and
+// Schreier generators).
+#include <gtest/gtest.h>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/permutation.h"
+#include "nahsp/hsp/presentation.h"
+
+namespace nahsp::hsp {
+namespace {
+
+using grp::Code;
+
+TEST(FactorAbelianCheck, DetectsAbelianFactors) {
+  auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+  const auto inst = bb::make_instance(h, {h->central_generator()});
+  auto label = [&inst](Code c) { return inst.f->eval_uncounted(c); };
+  // G/Z(G) is Abelian.
+  EXPECT_TRUE(factor_group_is_abelian(*inst.bb, label));
+  // G itself (trivial hidden subgroup) is not.
+  const auto triv = bb::make_instance(h, {});
+  auto label2 = [&triv](Code c) { return triv.f->eval_uncounted(c); };
+  EXPECT_FALSE(factor_group_is_abelian(*triv.bb, label2));
+}
+
+TEST(AbelianRelators, HeisenbergModCentre) {
+  Rng rng(1);
+  auto h = std::make_shared<grp::HeisenbergGroup>(5, 1);
+  const auto inst = bb::make_instance(h, {h->central_generator()});
+  auto label = [&inst](Code c) { return inst.f->eval_uncounted(c); };
+  AbelianFactorOptions opts;
+  opts.order_bound = 5;
+  const auto relators = abelian_factor_relators(*inst.bb, label, rng, opts);
+  ASSERT_FALSE(relators.empty());
+  // All relators lie in the centre, and their normal closure is it.
+  const auto centre = grp::enumerate_subgroup(*h, {h->central_generator()});
+  for (const Code w : relators)
+    EXPECT_TRUE(std::binary_search(centre.begin(), centre.end(), w));
+  const auto closure = grp::normal_closure(*h, relators);
+  EXPECT_TRUE(grp::same_subgroup(*h, closure, {h->central_generator()}));
+}
+
+TEST(AbelianRelators, DihedralModRotations) {
+  Rng rng(2);
+  auto d = std::make_shared<grp::DihedralGroup>(9);
+  const auto inst = bb::make_instance(d, {d->make(1, false)});
+  auto label = [&inst](Code c) { return inst.f->eval_uncounted(c); };
+  AbelianFactorOptions opts;
+  opts.order_bound = 18;
+  const auto relators = abelian_factor_relators(*inst.bb, label, rng, opts);
+  const auto closure = grp::normal_closure(*d, relators);
+  EXPECT_TRUE(grp::same_subgroup(*d, closure, {d->make(1, false)}));
+}
+
+TEST(SchreierGenerators, S4ModV4) {
+  auto s4 = grp::symmetric_group(4);
+  const Code v1 = s4->encode(grp::perm_from_cycles(4, {{0, 1}, {2, 3}}));
+  const Code v2 = s4->encode(grp::perm_from_cycles(4, {{0, 2}, {1, 3}}));
+  const auto inst = bb::make_perm_instance(s4, {v1, v2});
+  auto label = [&inst](Code c) { return inst.f->eval_uncounted(c); };
+  const auto gens = schreier_generators(*inst.bb, label);
+  EXPECT_TRUE(grp::same_subgroup(*s4, gens, {v1, v2}));
+}
+
+TEST(SchreierGenerators, S4ModA4) {
+  auto s4 = grp::symmetric_group(4);
+  std::vector<Code> a4;
+  for (int i = 2; i < 4; ++i)
+    a4.push_back(s4->encode(grp::perm_from_cycles(4, {{0, 1, i}})));
+  const auto inst = bb::make_perm_instance(s4, a4);
+  auto label = [&inst](Code c) { return inst.f->eval_uncounted(c); };
+  const auto gens = schreier_generators(*inst.bb, label);
+  EXPECT_TRUE(grp::same_subgroup(*s4, gens, a4));
+}
+
+TEST(SchreierGenerators, NonNormalSubgroupAlsoGenerated) {
+  // Schreier's lemma needs only a subgroup, not normality: the
+  // left-multiplication BFS generates any H whose left cosets the labels
+  // separate. H = <y> in D_6 is not normal.
+  auto d = std::make_shared<grp::DihedralGroup>(6);
+  const auto inst = bb::make_instance(d, {d->make(0, true)});
+  auto label = [&inst](Code c) { return inst.f->eval_uncounted(c); };
+  const auto gens = schreier_generators(*inst.bb, label);
+  EXPECT_TRUE(grp::same_subgroup(*d, gens, {d->make(0, true)}));
+}
+
+TEST(SchreierGenerators, RotationSubgroupOfDihedral) {
+  auto d = std::make_shared<grp::DihedralGroup>(6);
+  const auto inst = bb::make_instance(d, {d->make(1, false)});  // index 2
+  auto label = [&inst](Code c) { return inst.f->eval_uncounted(c); };
+  const auto gens = schreier_generators(*inst.bb, label);
+  EXPECT_TRUE(grp::same_subgroup(*d, gens, {d->make(1, false)}));
+}
+
+TEST(SchreierGenerators, CapEnforced) {
+  auto s4 = grp::symmetric_group(4);
+  const auto inst = bb::make_perm_instance(s4, {});  // trivial H: 24 cosets
+  auto label = [&inst](Code c) { return inst.f->eval_uncounted(c); };
+  SchreierOptions opts;
+  opts.factor_cap = 4;
+  EXPECT_THROW(schreier_generators(*inst.bb, label, opts),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

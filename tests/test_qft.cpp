@@ -1,0 +1,124 @@
+// Tests for the QFT circuits: gate ladder vs dense reference DFT,
+// inverse round-trips, approximate QFT behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "nahsp/common/rng.h"
+#include "nahsp/qsim/qft.h"
+
+namespace nahsp::qs {
+namespace {
+
+double state_distance(const StateVector& a, const StateVector& b) {
+  double d = 0.0;
+  for (u64 i = 0; i < a.dim(); ++i) d += std::norm(a.amp(i) - b.amp(i));
+  return std::sqrt(d);
+}
+
+TEST(Qft, MatchesDenseDftOnBasisStates) {
+  for (int bits = 1; bits <= 5; ++bits) {
+    for (u64 x = 0; x < (u64{1} << bits); ++x) {
+      StateVector gate = StateVector::basis(bits, x);
+      StateVector ref = StateVector::basis(bits, x);
+      apply_qft(gate, 0, bits);
+      apply_dft_reference(ref, 0, bits);
+      EXPECT_LT(state_distance(gate, ref), 1e-9)
+          << "bits=" << bits << " x=" << x;
+    }
+  }
+}
+
+TEST(Qft, MatchesDenseDftOnRandomStates) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    StateVector gate(6);
+    // Random-ish state via random gates.
+    for (int q = 0; q < 6; ++q) gate.apply_h(q);
+    for (int q = 0; q < 6; ++q)
+      gate.apply_phase(q, rng.uniform01() * 2 * std::numbers::pi);
+    gate.apply_cnot(0, 3);
+    StateVector ref = gate;
+    apply_qft(gate, 1, 4);  // sub-register
+    apply_dft_reference(ref, 1, 4);
+    EXPECT_LT(state_distance(gate, ref), 1e-9);
+  }
+}
+
+TEST(Qft, InverseRoundTrip) {
+  Rng rng(13);
+  StateVector sv(7);
+  for (int q = 0; q < 7; ++q) sv.apply_h(q);
+  for (int q = 0; q < 7; ++q)
+    sv.apply_phase(q, rng.uniform01() * 2 * std::numbers::pi);
+  const StateVector before = sv;
+  apply_qft(sv, 0, 7);
+  apply_inverse_qft(sv, 0, 7);
+  EXPECT_LT(state_distance(sv, before), 1e-9);
+}
+
+TEST(Qft, InverseRoundTripOnSubRegister) {
+  StateVector sv = StateVector::basis(6, 0b101101);
+  apply_qft(sv, 2, 3);
+  apply_inverse_qft(sv, 2, 3);
+  EXPECT_NEAR(std::abs(sv.amp(0b101101)), 1.0, 1e-9);
+}
+
+TEST(Qft, QftOfZeroIsUniform) {
+  StateVector sv(5);
+  apply_qft(sv, 0, 5);
+  for (u64 i = 0; i < 32; ++i)
+    EXPECT_NEAR(std::abs(sv.amp(i)), 1.0 / std::sqrt(32.0), 1e-9);
+}
+
+TEST(Qft, FrequencyPeak) {
+  // QFT of a period-4 comb over Z_16 concentrates on multiples of 4.
+  StateVector sv(4);
+  for (u64 i = 0; i < 16; ++i) sv.set_amp(i, i % 4 == 0 ? 0.5 : 0.0);
+  apply_qft(sv, 0, 4);
+  for (u64 y = 0; y < 16; ++y) {
+    const double p = std::norm(sv.amp(y));
+    if (y % 4 == 0)
+      EXPECT_NEAR(p, 0.25, 1e-9) << y;
+    else
+      EXPECT_NEAR(p, 0.0, 1e-9) << y;
+  }
+}
+
+TEST(ApproxQft, CutoffConvergesToExact) {
+  StateVector exact = StateVector::basis(8, 137);
+  apply_qft(exact, 0, 8);
+  double prev_dist = 1e9;
+  for (int cutoff : {2, 4, 6, 7}) {
+    StateVector approx = StateVector::basis(8, 137);
+    apply_qft(approx, 0, 8, cutoff);
+    const double d = state_distance(approx, exact);
+    EXPECT_LE(d, prev_dist + 1e-12);
+    prev_dist = d;
+  }
+  // Cutoff >= bits-1 is exact.
+  StateVector full = StateVector::basis(8, 137);
+  apply_qft(full, 0, 8, 7);
+  EXPECT_LT(state_distance(full, exact), 1e-9);
+}
+
+TEST(ApproxQft, LogCutoffIsClose) {
+  // The classic result: O(log n) cutoff gives distance o(1).
+  StateVector exact = StateVector::basis(10, 731);
+  apply_qft(exact, 0, 10);
+  StateVector approx = StateVector::basis(10, 731);
+  apply_qft(approx, 0, 10, 5);
+  // Theory: distance O(n 2^{-cutoff}) ~ 10/32; observed ~0.13.
+  EXPECT_LT(state_distance(approx, exact), 0.2);
+}
+
+TEST(ApproxQft, InverseWithCutoffRoundTripsApproximately) {
+  StateVector sv = StateVector::basis(8, 99);
+  apply_qft(sv, 0, 8, 4);
+  apply_inverse_qft(sv, 0, 8, 4);
+  EXPECT_GT(std::norm(sv.amp(99)), 0.98);
+}
+
+}  // namespace
+}  // namespace nahsp::qs

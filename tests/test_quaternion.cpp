@@ -1,0 +1,126 @@
+// Tests for generalized quaternion groups and their HSP instances.
+#include <gtest/gtest.h>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/quaternion.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/small_commutator.h"
+
+namespace nahsp::grp {
+namespace {
+
+TEST(Quaternion, DefiningRelations) {
+  for (const std::uint64_t order : {8ULL, 16ULL, 32ULL, 64ULL}) {
+    QuaternionGroup q(order);
+    const Code a = q.make(1, false);
+    const Code b = q.make(0, true);
+    const std::uint64_t n = order / 2;
+    EXPECT_TRUE(q.is_id(q.pow(a, n)));
+    EXPECT_FALSE(q.is_id(q.pow(a, n / 2)));
+    // b^2 = a^{n/2}.
+    EXPECT_EQ(q.mul(b, b), q.pow(a, n / 2));
+    // b a b^{-1} = a^{-1}.
+    EXPECT_EQ(q.conj(a, b), q.inv(a));
+    EXPECT_EQ(q.order(), order);
+  }
+}
+
+TEST(Quaternion, GroupAxiomsExhaustive) {
+  QuaternionGroup q(16);
+  const auto elems = enumerate_group(q);
+  ASSERT_EQ(elems.size(), 16u);
+  for (const Code x : elems) {
+    EXPECT_TRUE(q.is_id(q.mul(x, q.inv(x))));
+    for (const Code y : elems) {
+      for (const Code z : elems) {
+        EXPECT_EQ(q.mul(q.mul(x, y), z), q.mul(x, q.mul(y, z)));
+      }
+    }
+  }
+}
+
+TEST(Quaternion, Q8ElementOrders) {
+  QuaternionGroup q(8);
+  // Q_8: one identity, one involution (-1), six elements of order 4.
+  int order2 = 0, order4 = 0;
+  for (const Code x : enumerate_group(q)) {
+    const auto o = q.element_order_bruteforce(x);
+    if (o == 2) ++order2;
+    if (o == 4) ++order4;
+  }
+  EXPECT_EQ(order2, 1);
+  EXPECT_EQ(order4, 6);
+}
+
+TEST(Quaternion, UniqueInvolutionIsCentral) {
+  for (const std::uint64_t order : {8ULL, 16ULL, 32ULL}) {
+    QuaternionGroup q(order);
+    const Code z = q.central_involution();
+    EXPECT_EQ(q.element_order_bruteforce(z), 2u);
+    const auto centre = center_elements(q);
+    EXPECT_EQ(centre.size(), 2u);
+    EXPECT_TRUE(std::find(centre.begin(), centre.end(), z) != centre.end());
+  }
+}
+
+TEST(Quaternion, CommutatorSubgroup) {
+  // Q_{2^k}' = <a^2>, order 2^{k-2}.
+  for (const std::uint64_t order : {8ULL, 16ULL, 32ULL}) {
+    QuaternionGroup q(order);
+    const auto gp = enumerate_subgroup(q, commutator_subgroup(q));
+    EXPECT_EQ(gp.size(), order / 4);
+  }
+}
+
+TEST(Quaternion, HspViaTheorem11) {
+  Rng rng(1);
+  QuaternionGroup* raw = nullptr;
+  auto q = std::make_shared<QuaternionGroup>(8);
+  raw = q.get();
+  // All subgroups of Q_8: 1, <-1>, <a>, <b>, <ab>, Q_8.
+  const std::vector<std::vector<Code>> subgroups = {
+      {},
+      {raw->central_involution()},
+      {raw->make(1, false)},
+      {raw->make(0, true)},
+      {raw->make(1, true)},
+      raw->generators(),
+  };
+  for (const auto& planted : subgroups) {
+    const auto inst = bb::make_instance(q, planted);
+    ASSERT_TRUE(hsp::validate_hiding_promise(*q, *inst.f, planted));
+    hsp::SmallCommutatorOptions opts;
+    opts.order_bound = 8;
+    const auto res =
+        hsp::solve_hsp_small_commutator(*inst.bb, *inst.f, rng, opts);
+    EXPECT_TRUE(hsp::verify_same_subgroup(*q, res.generators, planted));
+  }
+}
+
+TEST(Quaternion, HspOnQ16AndQ32) {
+  Rng rng(2);
+  for (const std::uint64_t order : {16ULL, 32ULL}) {
+    auto q = std::make_shared<QuaternionGroup>(order);
+    for (int trial = 0; trial < 4; ++trial) {
+      std::vector<Code> planted{
+          random_word_element(*q, q->generators(), rng)};
+      const auto inst = bb::make_instance(q, planted);
+      hsp::SmallCommutatorOptions opts;
+      opts.order_bound = order;
+      const auto res =
+          hsp::solve_hsp_small_commutator(*inst.bb, *inst.f, rng, opts);
+      EXPECT_TRUE(hsp::verify_same_subgroup(*q, res.generators, planted));
+    }
+  }
+}
+
+TEST(Quaternion, RejectsInvalidOrders) {
+  EXPECT_THROW(QuaternionGroup(4), std::invalid_argument);
+  EXPECT_THROW(QuaternionGroup(12), std::invalid_argument);
+  EXPECT_THROW(QuaternionGroup(7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nahsp::grp

@@ -1,0 +1,63 @@
+// Tests for the non-unique-encoding quotient view G/N.
+#include <gtest/gtest.h>
+
+#include "nahsp/common/check.h"
+
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/quotient.h"
+
+namespace nahsp::grp {
+namespace {
+
+TEST(QuotientView, DihedralModRotations) {
+  auto d = std::make_shared<DihedralGroup>(6);
+  // N = <x> (all rotations); G/N ~= Z_2.
+  auto in_n = [d](Code c) { return !d->reflection_of(c); };
+  QuotientView q(d, in_n);
+  EXPECT_EQ(q.order(), 2u);
+  // Non-unique encoding: distinct codes, same factor element.
+  EXPECT_TRUE(q.is_id(d->make(3, false)));
+  EXPECT_FALSE(q.is_id(d->make(0, true)));
+  // x*y and y encode the same coset.
+  const Code a = q.mul(d->make(1, false), d->make(0, true));
+  EXPECT_TRUE(q.is_id(q.mul(a, q.inv(d->make(0, true)))));
+}
+
+TEST(QuotientView, HeisenbergModCentre) {
+  auto h = std::make_shared<HeisenbergGroup>(3, 1);
+  auto in_n = [h](Code c) {
+    // Centre: a = b = 0.
+    return h->a_digit(c, 0) == 0 && h->b_digit(c, 0) == 0;
+  };
+  QuotientView q(h, in_n, "Heis/Z");
+  EXPECT_EQ(q.order(), 9u);
+  EXPECT_EQ(q.name(), "Heis/Z");
+  // The factor is Abelian even though G is not: commutators land in N.
+  const auto gens = q.generators();
+  for (const Code x : gens)
+    for (const Code y : gens)
+      EXPECT_TRUE(q.is_id(q.commutator(x, y)));
+}
+
+TEST(QuotientView, RejectsOracleWithoutIdentity) {
+  auto d = std::make_shared<DihedralGroup>(4);
+  auto bad = [](Code) { return false; };
+  EXPECT_THROW(QuotientView(d, bad), internal_error);
+}
+
+TEST(QuotientView, ElementOrderInFactor) {
+  auto d = std::make_shared<DihedralGroup>(8);
+  // N = <x^2>: G/N ~= Z_2 x Z_2.
+  auto in_n = [d](Code c) {
+    return !d->reflection_of(c) && d->rotation_of(c) % 2 == 0;
+  };
+  QuotientView q(d, in_n);
+  EXPECT_EQ(q.order(), 4u);
+  EXPECT_EQ(q.element_order_bruteforce(d->make(1, false)), 2u);
+  EXPECT_EQ(q.element_order_bruteforce(d->make(0, true)), 2u);
+}
+
+}  // namespace
+}  // namespace nahsp::grp

@@ -1,0 +1,157 @@
+// Tests for the three coset-sampler backends: correctness (samples lie
+// in H^perp) and distribution agreement between the statevector circuit
+// and the analytic shortcut.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "nahsp/common/rng.h"
+#include "nahsp/linalg/congruence.h"
+#include "nahsp/qsim/sampler.h"
+
+namespace nahsp::qs {
+namespace {
+
+// A hiding label function for subgroup H of Z_mods: canonical coset id.
+LabelFn coset_label_fn(const std::vector<u64>& mods,
+                       const std::vector<la::AbVec>& h_gens) {
+  const auto h_elems = la::abelian_enumerate(h_gens, mods);
+  return [mods, h_elems](const la::AbVec& x) -> u64 {
+    // Minimal element of x + H in mixed-radix order.
+    u64 best = ~u64{0};
+    for (const la::AbVec& h : h_elems) {
+      u64 idx = 0;
+      for (std::size_t i = 0; i < mods.size(); ++i)
+        idx = idx * mods[i] + (x[i] + h[i]) % mods[i];
+      best = std::min(best, idx);
+    }
+    return best;
+  };
+}
+
+struct SamplerCase {
+  std::string label;
+  std::vector<u64> mods;
+  std::vector<la::AbVec> h_gens;
+};
+
+std::vector<SamplerCase> cases() {
+  return {
+      {"Z8_sub4", {8}, {{4}}},
+      {"Z12_sub3", {12}, {{3}}},
+      {"Z4xZ4_diag", {4, 4}, {{1, 1}}},
+      {"Z2x2x2_plane", {2, 2, 2}, {{1, 1, 0}, {0, 1, 1}}},
+      {"Z6xZ4_mixed", {6, 4}, {{2, 0}, {0, 2}}},
+      {"Z9_trivial", {9}, {}},
+      {"Z5_full", {5}, {{1}}},
+  };
+}
+
+class SamplerBackends : public ::testing::TestWithParam<SamplerCase> {};
+
+TEST_P(SamplerBackends, MixedRadixSamplesAnnihilateH) {
+  const auto& c = GetParam();
+  Rng rng(1);
+  MixedRadixCosetSampler s(c.mods, coset_label_fn(c.mods, c.h_gens),
+                           nullptr);
+  const auto h_elems = la::abelian_enumerate(c.h_gens, c.mods);
+  for (int t = 0; t < 40; ++t) {
+    const la::AbVec y = s.sample_character(rng);
+    for (const la::AbVec& h : h_elems)
+      EXPECT_TRUE(la::character_annihilates(y, h, c.mods));
+  }
+}
+
+TEST_P(SamplerBackends, AnalyticSamplesAnnihilateH) {
+  const auto& c = GetParam();
+  Rng rng(2);
+  AnalyticCosetSampler s(c.mods, c.h_gens, nullptr);
+  const auto h_elems = la::abelian_enumerate(c.h_gens, c.mods);
+  for (int t = 0; t < 40; ++t) {
+    const la::AbVec y = s.sample_character(rng);
+    for (const la::AbVec& h : h_elems)
+      EXPECT_TRUE(la::character_annihilates(y, h, c.mods));
+  }
+}
+
+TEST_P(SamplerBackends, MixedRadixMatchesAnalyticDistribution) {
+  const auto& c = GetParam();
+  Rng rng1(3), rng2(4);
+  MixedRadixCosetSampler sv(c.mods, coset_label_fn(c.mods, c.h_gens),
+                            nullptr);
+  AnalyticCosetSampler an(c.mods, c.h_gens, nullptr);
+  // Both must be uniform over H^perp; compare empirical frequencies.
+  constexpr int kDraws = 3000;
+  std::map<la::AbVec, int> freq_sv, freq_an;
+  for (int t = 0; t < kDraws; ++t) {
+    ++freq_sv[sv.sample_character(rng1)];
+    ++freq_an[an.sample_character(rng2)];
+  }
+  const u64 perp_order = la::abelian_subgroup_order(
+      la::congruence_kernel(c.h_gens, c.mods), c.mods);
+  EXPECT_EQ(freq_sv.size(), perp_order);
+  EXPECT_EQ(freq_an.size(), perp_order);
+  const double expected = static_cast<double>(kDraws) / perp_order;
+  for (const auto& [y, n] : freq_sv) {
+    EXPECT_NEAR(n, expected, 6 * std::sqrt(expected) + 6) << "statevector";
+  }
+  for (const auto& [y, n] : freq_an) {
+    EXPECT_NEAR(n, expected, 6 * std::sqrt(expected) + 6) << "analytic";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SamplerBackends, ::testing::ValuesIn(cases()),
+    [](const ::testing::TestParamInfo<SamplerCase>& info) {
+      return info.param.label;
+    });
+
+TEST(QubitSampler, MatchesMixedRadixOnPow2Domains) {
+  const std::vector<u64> mods{4, 2};
+  const std::vector<la::AbVec> h_gens{{2, 1}};
+  Rng rng1(5), rng2(6);
+  QubitCosetSampler qb(mods, coset_label_fn(mods, h_gens), nullptr);
+  MixedRadixCosetSampler mr(mods, coset_label_fn(mods, h_gens), nullptr);
+  const auto h_elems = la::abelian_enumerate(h_gens, mods);
+  std::map<la::AbVec, int> freq_qb, freq_mr;
+  constexpr int kDraws = 2000;
+  for (int t = 0; t < kDraws; ++t) {
+    const la::AbVec y = qb.sample_character(rng1);
+    for (const la::AbVec& h : h_elems)
+      ASSERT_TRUE(la::character_annihilates(y, h, mods));
+    ++freq_qb[y];
+    ++freq_mr[mr.sample_character(rng2)];
+  }
+  EXPECT_EQ(freq_qb.size(), freq_mr.size());
+  for (const auto& [y, n] : freq_qb) {
+    ASSERT_TRUE(freq_mr.contains(y));
+    EXPECT_NEAR(n, freq_mr[y], 6 * std::sqrt(n) + 10);
+  }
+}
+
+TEST(QubitSampler, RejectsNonPow2) {
+  EXPECT_THROW(QubitCosetSampler({6}, [](const la::AbVec&) { return 0u; },
+                                 nullptr),
+               std::invalid_argument);
+}
+
+TEST(Samplers, QueryAccounting) {
+  bb::QueryCounter counter;
+  const std::vector<u64> mods{8};
+  MixedRadixCosetSampler s(mods, coset_label_fn(mods, {{4}}), &counter);
+  Rng rng(7);
+  (void)s.sample_character(rng);
+  (void)s.sample_character(rng);
+  EXPECT_EQ(counter.quantum_queries, 2u);
+  EXPECT_EQ(counter.sim_basis_evals, 8u);  // label cache built once
+}
+
+TEST(AnalyticSampler, PerpGeneratorsCorrect) {
+  const std::vector<u64> mods{8};
+  AnalyticCosetSampler s(mods, {{2}}, nullptr);
+  // H = <2> (order 4), H^perp = <4> (order 2).
+  EXPECT_EQ(la::abelian_subgroup_order(s.perp_generators(), mods), 2u);
+}
+
+}  // namespace
+}  // namespace nahsp::qs

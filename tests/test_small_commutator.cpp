@@ -1,0 +1,114 @@
+// End-to-end tests for Theorem 11 (small commutator subgroup) and
+// Corollary 12 (extra-special p-groups).
+#include <gtest/gtest.h>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/small_commutator.h"
+
+namespace nahsp::hsp {
+namespace {
+
+using grp::Code;
+
+void run_case(std::shared_ptr<const grp::Group> g,
+              const std::vector<Code>& hidden, u64 order_bound, Rng& rng) {
+  const auto inst = bb::make_instance(g, hidden);
+  SmallCommutatorOptions opts;
+  opts.order_bound = order_bound;
+  const auto res = solve_hsp_small_commutator(*inst.bb, *inst.f, rng, opts);
+  EXPECT_TRUE(verify_same_subgroup(*g, res.generators,
+                                   inst.planted_generators))
+      << g->name();
+}
+
+TEST(SmallCommutator, ExtraspecialHiddenCentre) {
+  Rng rng(1);
+  for (const u64 p : {3ULL, 5ULL}) {
+    auto h = std::make_shared<grp::HeisenbergGroup>(p, 1);
+    run_case(h, {h->central_generator()}, p, rng);
+  }
+}
+
+TEST(SmallCommutator, ExtraspecialNonNormalSubgroups) {
+  Rng rng(2);
+  auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+  // <(1,0,0)>: order 3, not normal.
+  run_case(h, {h->make({1}, {0}, 0)}, 3, rng);
+  // <(0,1,0)> likewise.
+  run_case(h, {h->make({0}, {1}, 0)}, 3, rng);
+  // <(1,1,0)>.
+  run_case(h, {h->make({1}, {1}, 0)}, 3, rng);
+}
+
+TEST(SmallCommutator, ExtraspecialLargerSubgroups) {
+  Rng rng(3);
+  auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+  // <(1,0,0), centre>: order 9, normal.
+  run_case(h, {h->make({1}, {0}, 0), h->central_generator()}, 9, rng);
+  // Trivial and full.
+  run_case(h, {}, 3, rng);
+  run_case(h, h->generators(), 27, rng);
+}
+
+TEST(SmallCommutator, RandomSubgroupsSweep) {
+  Rng rng(4);
+  auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<Code> gens;
+    const int k = 1 + static_cast<int>(rng.below(2));
+    for (int i = 0; i < k; ++i)
+      gens.push_back(grp::random_word_element(*h, h->generators(), rng));
+    run_case(h, gens, 27, rng);
+  }
+}
+
+TEST(SmallCommutator, DihedralSmallN) {
+  // D_4: |G'| = 2; every subgroup is findable.
+  Rng rng(5);
+  auto d = std::make_shared<grp::DihedralGroup>(4);
+  run_case(d, {d->make(0, true)}, 8, rng);              // <y>
+  run_case(d, {d->make(1, true)}, 8, rng);              // <xy>
+  run_case(d, {d->make(2, false)}, 8, rng);             // centre
+  run_case(d, {d->make(1, false)}, 8, rng);             // rotations
+  run_case(d, {d->make(2, false), d->make(0, true)}, 8, rng);
+}
+
+TEST(SmallCommutator, HigherRankExtraspecial) {
+  // Heis(2, 2): order 2^5, |G'| = 2.
+  Rng rng(6);
+  auto h = std::make_shared<grp::HeisenbergGroup>(2, 2);
+  run_case(h, {h->make({1, 0}, {0, 1}, 0)}, 4, rng);
+  run_case(h, {h->make({1, 1}, {0, 0}, 1)}, 4, rng);
+  run_case(h, {h->central_generator()}, 2, rng);
+}
+
+TEST(SmallCommutator, ReportsStructuralSizes) {
+  Rng rng(7);
+  auto h = std::make_shared<grp::HeisenbergGroup>(5, 1);
+  const auto inst = bb::make_instance(h, {h->central_generator()});
+  SmallCommutatorOptions opts;
+  opts.order_bound = 5;
+  const auto res = solve_hsp_small_commutator(*inst.bb, *inst.f, rng, opts);
+  EXPECT_EQ(res.gprime_order, 5u);
+  EXPECT_EQ(res.h_cap_gprime_order, 5u);  // centre hidden: H ∩ G' = G'
+}
+
+TEST(SmallCommutator, ClassicalQueriesScaleWithGPrimeNotG) {
+  Rng rng(8);
+  auto h = std::make_shared<grp::HeisenbergGroup>(5, 1);  // |G| = 125
+  const auto inst = bb::make_instance(h, {h->make({1}, {0}, 0)});
+  inst.counter->reset();
+  SmallCommutatorOptions opts;
+  opts.order_bound = 5;
+  (void)solve_hsp_small_commutator(*inst.bb, *inst.f, rng, opts);
+  // Classical f-queries should be O(|G'| * polylog) << |G| * |G'|.
+  EXPECT_LT(inst.counter->classical_queries, 100u);
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

@@ -1,0 +1,85 @@
+// Tests for the automatic method dispatcher.
+#include <gtest/gtest.h>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/gf2group.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/permutation.h"
+#include "nahsp/groups/quaternion.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/solve.h"
+
+namespace nahsp::hsp {
+namespace {
+
+using grp::Code;
+
+TEST(AutoSolve, PicksTheorem13WhenNIsKnown) {
+  Rng rng(1);
+  auto w = grp::wreath_z2k_z2(2);
+  const auto inst = bb::make_instance(w, {w->make(0b0110, 1)});
+  AutoOptions opts;
+  opts.elem_abelian_2_subgroup = w->normal_subgroup_generators();
+  opts.elem_abelian_2_options.n_membership = [w](Code c) {
+    return w->rot_of(c) == 0;
+  };
+  const auto sol = solve_hsp(*inst.bb, *inst.f, rng, opts);
+  EXPECT_EQ(sol.method, Method::kElemAbelian2);
+  EXPECT_TRUE(verify_same_subgroup(*w, sol.generators,
+                                   inst.planted_generators));
+}
+
+TEST(AutoSolve, PicksTheorem11ForSmallCommutator) {
+  Rng rng(2);
+  auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+  const auto inst = bb::make_instance(h, {h->make({1}, {1}, 0)});
+  AutoOptions opts;
+  opts.order_bound = 27;
+  const auto sol = solve_hsp(*inst.bb, *inst.f, rng, opts);
+  EXPECT_EQ(sol.method, Method::kSmallCommutator);
+  EXPECT_TRUE(verify_same_subgroup(*h, sol.generators,
+                                   inst.planted_generators));
+}
+
+TEST(AutoSolve, FallsBackToTheorem8) {
+  Rng rng(3);
+  // S_5: G' = A_5 (order 60) exceeds a tiny gprime cap, so the
+  // dispatcher falls through to the hidden-normal route.
+  auto s5 = grp::symmetric_group(5);
+  std::vector<Code> a5;
+  for (int i = 2; i < 5; ++i)
+    a5.push_back(s5->encode(grp::perm_from_cycles(5, {{0, 1, i}})));
+  const auto inst = bb::make_perm_instance(s5, a5);
+  AutoOptions opts;
+  opts.gprime_cap = 16;
+  opts.order_bound = 10;
+  const auto sol = solve_hsp(*inst.bb, *inst.f, rng, opts);
+  EXPECT_EQ(sol.method, Method::kHiddenNormal);
+  EXPECT_TRUE(verify_same_subgroup(*s5, sol.generators,
+                                   inst.planted_generators));
+}
+
+TEST(AutoSolve, QuaternionGoesThroughTheorem11) {
+  Rng rng(4);
+  auto q = std::make_shared<grp::QuaternionGroup>(16);
+  const auto inst = bb::make_instance(q, {q->make(0, true)});
+  AutoOptions opts;
+  opts.order_bound = 16;
+  const auto sol = solve_hsp(*inst.bb, *inst.f, rng, opts);
+  EXPECT_EQ(sol.method, Method::kSmallCommutator);
+  EXPECT_TRUE(verify_same_subgroup(*q, sol.generators,
+                                   inst.planted_generators));
+}
+
+TEST(AutoSolve, MethodNamesAreStable) {
+  EXPECT_NE(std::string(method_name(Method::kElemAbelian2)).find("13"),
+            std::string::npos);
+  EXPECT_NE(std::string(method_name(Method::kSmallCommutator)).find("11"),
+            std::string::npos);
+  EXPECT_NE(std::string(method_name(Method::kHiddenNormal)).find("8"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

@@ -1,0 +1,165 @@
+// Tests for the gate-level qubit statevector simulator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nahsp/common/rng.h"
+#include "nahsp/qsim/statevector.h"
+
+namespace nahsp::qs {
+namespace {
+
+constexpr double kTol = 1e-10;
+
+TEST(StateVector, InitialState) {
+  StateVector sv(3);
+  EXPECT_EQ(sv.dim(), 8u);
+  EXPECT_NEAR(std::abs(sv.amp(0)), 1.0, kTol);
+  EXPECT_NEAR(sv.norm2(), 1.0, kTol);
+}
+
+TEST(StateVector, UniformState) {
+  StateVector sv = StateVector::uniform(4);
+  for (u64 i = 0; i < 16; ++i)
+    EXPECT_NEAR(std::abs(sv.amp(i)), 0.25, kTol);
+}
+
+TEST(StateVector, HadamardInvolution) {
+  Rng rng(1);
+  StateVector sv = StateVector::basis(3, 5);
+  sv.apply_h(1);
+  EXPECT_NEAR(sv.norm2(), 1.0, kTol);
+  sv.apply_h(1);
+  EXPECT_NEAR(std::abs(sv.amp(5)), 1.0, kTol);
+}
+
+TEST(StateVector, XFlipsBit) {
+  StateVector sv = StateVector::basis(3, 0b010);
+  sv.apply_x(0);
+  EXPECT_NEAR(std::abs(sv.amp(0b011)), 1.0, kTol);
+  sv.apply_x(1);
+  EXPECT_NEAR(std::abs(sv.amp(0b001)), 1.0, kTol);
+}
+
+TEST(StateVector, PhaseOnlyAffectsSetBit) {
+  StateVector sv = StateVector::uniform(2);
+  sv.apply_phase(0, 1.234);
+  EXPECT_NEAR(std::arg(sv.amp(0b01)), 1.234, kTol);
+  EXPECT_NEAR(std::arg(sv.amp(0b00)), 0.0, kTol);
+}
+
+TEST(StateVector, CPhaseNeedsBothBits) {
+  StateVector sv = StateVector::uniform(2);
+  sv.apply_cphase(0, 1, 0.7);
+  EXPECT_NEAR(std::arg(sv.amp(0b11)), 0.7, kTol);
+  EXPECT_NEAR(std::arg(sv.amp(0b01)), 0.0, kTol);
+  EXPECT_NEAR(std::arg(sv.amp(0b10)), 0.0, kTol);
+}
+
+TEST(StateVector, CnotTruthTable) {
+  for (u64 in = 0; in < 4; ++in) {
+    StateVector sv = StateVector::basis(2, in);
+    sv.apply_cnot(0, 1);  // control qubit 0, target qubit 1
+    const u64 expect = (in & 1) ? in ^ 2 : in;
+    EXPECT_NEAR(std::abs(sv.amp(expect)), 1.0, kTol) << in;
+  }
+}
+
+TEST(StateVector, SwapExchangesQubits) {
+  StateVector sv = StateVector::basis(3, 0b001);
+  sv.apply_swap(0, 2);
+  EXPECT_NEAR(std::abs(sv.amp(0b100)), 1.0, kTol);
+  sv.apply_swap(0, 2);
+  EXPECT_NEAR(std::abs(sv.amp(0b001)), 1.0, kTol);
+}
+
+TEST(StateVector, GatesPreserveNorm) {
+  Rng rng(3);
+  StateVector sv = StateVector::uniform(6);
+  sv.apply_h(2);
+  sv.apply_x(0);
+  sv.apply_phase(4, 0.3);
+  sv.apply_cphase(1, 3, 2.1);
+  sv.apply_cnot(2, 5);
+  sv.apply_swap(1, 4);
+  EXPECT_NEAR(sv.norm2(), 1.0, kTol);
+}
+
+TEST(StateVector, PermutationOracle) {
+  StateVector sv = StateVector::basis(3, 2);
+  sv.apply_permutation([](u64 s) { return (s + 3) % 8; });
+  EXPECT_NEAR(std::abs(sv.amp(5)), 1.0, kTol);
+  EXPECT_NEAR(sv.norm2(), 1.0, kTol);
+}
+
+TEST(StateVector, XorFunctionOracle) {
+  // |x>|0> -> |x>|f(x)> with f(x) = x^2 mod 4 on a 2-bit input.
+  StateVector sv(4);
+  for (int q = 0; q < 2; ++q) sv.apply_h(q);
+  sv.apply_xor_function(0, 2, 2, 2, [](u64 x) { return (x * x) % 4; });
+  EXPECT_NEAR(sv.norm2(), 1.0, kTol);
+  for (u64 x = 0; x < 4; ++x) {
+    const u64 idx = x | (((x * x) % 4) << 2);
+    EXPECT_NEAR(std::abs(sv.amp(idx)), 0.5, kTol);
+  }
+}
+
+TEST(StateVector, XorFunctionIsItsOwnInverse) {
+  StateVector sv(4);
+  for (int q = 0; q < 2; ++q) sv.apply_h(q);
+  auto f = [](u64 x) { return x ^ 1; };
+  sv.apply_xor_function(0, 2, 2, 2, f);
+  sv.apply_xor_function(0, 2, 2, 2, f);
+  for (u64 x = 0; x < 4; ++x) EXPECT_NEAR(std::abs(sv.amp(x)), 0.5, kTol);
+}
+
+TEST(StateVector, MeasureRangeCollapses) {
+  Rng rng(5);
+  StateVector sv(4);
+  for (int q = 0; q < 2; ++q) sv.apply_h(q);
+  sv.apply_xor_function(0, 2, 2, 2, [](u64 x) { return x; });  // copy
+  const u64 out = sv.measure_range(2, 2, rng);
+  // After measuring the copy register, the input collapses to match.
+  EXPECT_NEAR(std::abs(sv.amp(out | (out << 2))), 1.0, kTol);
+  EXPECT_NEAR(sv.norm2(), 1.0, kTol);
+}
+
+TEST(StateVector, MeasurementStatisticsMatchAmplitudes) {
+  Rng rng(7);
+  StateVector sv(2);
+  sv.apply_h(0);  // |0>+|1> on qubit 0
+  int ones = 0;
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t) {
+    StateVector copy = sv;
+    ones += static_cast<int>(copy.measure_range(0, 1, rng));
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / kTrials, 0.5, 0.02);
+}
+
+TEST(StateVector, RangeProbability) {
+  StateVector sv(3);
+  sv.apply_h(0);
+  sv.apply_h(1);
+  EXPECT_NEAR(sv.range_probability(0, 2, 3), 0.25, kTol);
+  EXPECT_NEAR(sv.range_probability(2, 1, 0), 1.0, kTol);
+}
+
+TEST(StateVector, SampleRespectsSupport) {
+  Rng rng(9);
+  StateVector sv = StateVector::basis(4, 11);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sv.sample(rng), 11u);
+}
+
+TEST(StateVector, InvalidArgsRejected) {
+  StateVector sv(3);
+  EXPECT_THROW(sv.apply_h(3), std::invalid_argument);
+  EXPECT_THROW(sv.apply_cnot(1, 1), std::invalid_argument);
+  EXPECT_THROW(sv.apply_xor_function(0, 2, 1, 2, [](u64 x) { return x; }),
+               std::invalid_argument);
+  EXPECT_THROW(StateVector(0), std::invalid_argument);
+  EXPECT_THROW(StateVector(40), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nahsp::qs

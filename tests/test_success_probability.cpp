@@ -1,0 +1,120 @@
+// Statistical properties of the Las Vegas solvers: success rates,
+// sample-count concentration, and the coupon-collector behaviour of
+// character sampling — the quantitative side of "polynomially many
+// repetitions suffice".
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nahsp/common/bits.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/hsp/abelian.h"
+
+namespace nahsp::hsp {
+namespace {
+
+TEST(SuccessProbability, SingleSampleCutsCandidateInHalfOnAverage) {
+  // For H = {0} in Z_2^n, each character halves the candidate subgroup
+  // with probability 1/2 per dimension: after n + t samples the
+  // candidate is {0} except with probability ~2^{-t}.
+  const int n = 8;
+  const std::vector<u64> mods(n, 2);
+  Rng rng(1);
+  qs::AnalyticCosetSampler sampler(mods, {}, nullptr);
+  int exact_at_n_plus_4 = 0;
+  constexpr int kTrials = 200;
+  for (int t = 0; t < kTrials; ++t) {
+    std::vector<la::AbVec> samples;
+    for (int i = 0; i < n + 4; ++i)
+      samples.push_back(sampler.sample_character(rng));
+    const auto cand = la::congruence_kernel(samples, mods);
+    if (la::abelian_subgroup_order(cand, mods) == 1) ++exact_at_n_plus_4;
+  }
+  // P(fail) <= 2^{-4} per trial; allow generous slack.
+  EXPECT_GE(exact_at_n_plus_4, kTrials * 85 / 100);
+}
+
+TEST(SuccessProbability, SampleCountConcentratesNearLogA) {
+  // The solver's sample count should be Theta(log|A| + stability).
+  const std::vector<u64> mods{16, 16, 16};
+  const std::vector<la::AbVec> h{{4, 8, 0}};
+  Rng rng(2);
+  qs::AnalyticCosetSampler sampler(mods, h, nullptr);
+  int total_bits = 0;
+  for (const u64 m : mods) total_bits += bits_for(m);
+  double mean = 0;
+  constexpr int kTrials = 50;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto res = solve_abelian_hsp(sampler, rng);
+    EXPECT_TRUE(la::abelian_subgroup_equal(res.generators, h, mods));
+    mean += res.samples_used;
+  }
+  mean /= kTrials;
+  // Auto base = 8 + total_bits; stability adds 6. Should sit near that,
+  // far below the max budget.
+  EXPECT_LE(mean, 8 + total_bits + 6 + 8);
+  EXPECT_GE(mean, 8 + total_bits);
+}
+
+TEST(SuccessProbability, StabilityRoundsControlResidualError) {
+  // With stability_rounds = 1 (accept as soon as the candidate repeats
+  // once) some runs will stop early with a too-large subgroup; with the
+  // default 6 rounds, errors should be essentially absent. This measures
+  // the Las Vegas knob the solver exposes.
+  const std::vector<u64> mods(10, 2);
+  Rng rng(3);
+  auto run_with = [&](int rounds) {
+    qs::AnalyticCosetSampler sampler(mods, {}, nullptr);
+    int wrong = 0;
+    constexpr int kTrials = 120;
+    for (int t = 0; t < kTrials; ++t) {
+      AbelianHspOptions opts;
+      opts.base_samples = 2;  // pathologically few to expose the knob
+      opts.stability_rounds = rounds;
+      const auto res = solve_abelian_hsp(sampler, rng, opts);
+      if (res.subgroup_order != 1) ++wrong;
+    }
+    return wrong;
+  };
+  const int wrong_loose = run_with(1);
+  const int wrong_tight = run_with(16);
+  EXPECT_GT(wrong_loose, wrong_tight + 2);  // the knob matters
+  EXPECT_LE(wrong_tight, 2);                // and (nearly always) suffices
+}
+
+TEST(SuccessProbability, CharactersCoverPerpUniformly) {
+  // Coupon-collector sanity: for |H^perp| = 16, ~16 H_16 ~= 54 samples
+  // collect every character; 200 samples should essentially always.
+  const std::vector<u64> mods{16};
+  const std::vector<la::AbVec> h{{4}};  // H^perp = <1*4...> order 4
+  Rng rng(4);
+  qs::AnalyticCosetSampler sampler(mods, h, nullptr);
+  std::set<u64> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(sampler.sample_character(rng)[0]);
+  // H = <4> has order 4, so H^perp = {0, 4, 8, 12} has order 4.
+  EXPECT_EQ(seen.size(), 4u);
+  for (const u64 y : seen) EXPECT_EQ(y % 4, 0u);
+}
+
+TEST(SuccessProbability, MembershipCheckEliminatesResidualError) {
+  // Even with stability_rounds = 0ish, the certified mode cannot return
+  // a wrong answer — it keeps sampling until the candidate verifies.
+  const std::vector<u64> mods(8, 2);
+  Rng rng(5);
+  qs::AnalyticCosetSampler sampler(mods, {}, nullptr);
+  for (int t = 0; t < 40; ++t) {
+    AbelianHspOptions opts;
+    opts.base_samples = 1;
+    opts.stability_rounds = 1;
+    opts.membership_check = [](const la::AbVec& x) {
+      for (const u64 v : x)
+        if (v != 0) return false;
+      return true;
+    };
+    const auto res = solve_abelian_hsp(sampler, rng, opts);
+    EXPECT_EQ(res.subgroup_order, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace nahsp::hsp
