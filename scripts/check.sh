@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local verification: the exact tier-1 command, then a
+# Debug + Address/UB-sanitizer build of the same suite.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-$(nproc)}"
+
+echo "== tier-1: Release build + ctest =="
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "== Debug + ASan/UBSan build + ctest =="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DNAHSP_SANITIZE=ON \
+  -DNAHSP_WERROR=ON
+cmake --build build-asan -j "$JOBS"
+(cd build-asan && ctest --output-on-failure -j "$JOBS")
+
+echo "== all checks passed =="

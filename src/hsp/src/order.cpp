@@ -1,5 +1,6 @@
 #include "nahsp/hsp/order.h"
 
+#include <memory>
 #include <unordered_map>
 
 #include "nahsp/common/bits.h"
@@ -35,17 +36,20 @@ u64 find_order_shor(const std::function<u64(u64)>& power_label,
     return labels[digits[0]];
   };
 
+  // One sampler for all rounds: its label cache (the full 2^t sweep) is
+  // built once, instead of once per round.
+  std::unique_ptr<qs::CosetSampler> sampler;
+  if (opts.use_qubit_circuit) {
+    sampler = std::make_unique<qs::QubitCosetSampler>(
+        std::vector<u64>{big_q}, domain_label, counter, opts.approx_cutoff);
+  } else {
+    sampler = std::make_unique<qs::MixedRadixCosetSampler>(
+        std::vector<u64>{big_q}, domain_label, counter);
+  }
+
   u64 combined = 1;  // lcm of the measured candidate denominators
   for (int round = 0; round < opts.max_rounds; ++round) {
-    u64 y;
-    if (opts.use_qubit_circuit) {
-      qs::QubitCosetSampler sampler({big_q}, domain_label, counter,
-                                    opts.approx_cutoff);
-      y = sampler.sample_character(rng)[0];
-    } else {
-      qs::MixedRadixCosetSampler sampler({big_q}, domain_label, counter);
-      y = sampler.sample_character(rng)[0];
-    }
+    const u64 y = sampler->sample_character(rng)[0];
     if (y == 0) continue;
     // y/Q ~ c/r: every convergent with denominator <= bound is a
     // candidate r/gcd(c, r).

@@ -11,11 +11,15 @@ namespace nahsp::qs {
 
 namespace {
 
+// Hard cap on simulated state size: at most 2^kMaxSimQubits amplitudes
+// (1 GiB of complex doubles), for both backends.
+constexpr int kMaxSimQubits = 26;
+
 std::size_t domain_size(const std::vector<u64>& moduli) {
   std::size_t d = 1;
   for (const u64 m : moduli) {
     NAHSP_REQUIRE(m >= 1, "modulus must be >= 1");
-    NAHSP_REQUIRE(d <= (std::size_t{1} << 26) / m,
+    NAHSP_REQUIRE(d <= (std::size_t{1} << kMaxSimQubits) / m,
                   "domain exceeds simulator budget");
     d *= m;
   }
@@ -75,12 +79,18 @@ QubitCosetSampler::QubitCosetSampler(std::vector<u64> moduli, LabelFn f,
     in_bits_ += bits_for(m);
   }
   NAHSP_REQUIRE(in_bits_ >= 1, "empty domain");
-  NAHSP_REQUIRE(2 * in_bits_ <= 26, "qubit budget exceeded");
+  // out_bits_ is only known once the labels are evaluated (it never
+  // exceeds in_bits_); the exact in+out check happens in ensure_labels.
+  NAHSP_REQUIRE(in_bits_ + 1 <= kMaxSimQubits, "qubit budget exceeded");
 }
 
 void QubitCosetSampler::ensure_labels() {
   if (labels_ready_) return;
   const std::size_t d = std::size_t{1} << in_bits_;
+  // Fail as soon as the label count is provably over budget, not after
+  // the full 2^in_bits sweep has filled a multi-GB map.
+  const std::size_t max_labels = std::size_t{1}
+                                 << (kMaxSimQubits - in_bits_);
   dense_labels_.resize(d);
   std::unordered_map<u64, u64> dense;
   for (std::size_t i = 0; i < d; ++i) {
@@ -96,9 +106,12 @@ void QubitCosetSampler::ensure_labels() {
     const auto [it, fresh] = dense.emplace(lab, dense.size());
     dense_labels_[i] = it->second;
     (void)fresh;
+    NAHSP_REQUIRE(dense.size() <= max_labels, "qubit budget exceeded");
   }
   out_bits_ = bits_for(dense.size());
   if (out_bits_ == 0) out_bits_ = 1;
+  NAHSP_REQUIRE(in_bits_ + out_bits_ <= kMaxSimQubits,
+                "qubit budget exceeded");
   if (counter_ != nullptr) counter_->sim_basis_evals += d;
   labels_ready_ = true;
 }

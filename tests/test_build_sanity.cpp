@@ -1,0 +1,65 @@
+// Cross-module build sanity.
+//
+// Two properties are enforced at build time by tests/CMakeLists.txt:
+//   1. every public header under src/*/include/nahsp/** compiles as a
+//      standalone TU (the nahsp_header_sanity object library, whose
+//      objects are linked into this binary), and
+//   2. each module static library links against only its declared
+//      dependencies (the link_check_<module> executables).
+// This file adds the runtime half: one smoke call per module, so a
+// module whose archive linked but is broken at runtime fails here first.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nahsp/bbox/blackbox.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/cyclic.h"
+#include "nahsp/hsp/solve.h"
+#include "nahsp/linalg/imat.h"
+#include "nahsp/numtheory/arith.h"
+#include "nahsp/qsim/mixedradix.h"
+
+namespace nahsp {
+namespace {
+
+TEST(BuildSanity, CommonRngIsDeterministic) {
+  Rng a(42), b(42);
+  EXPECT_EQ(a(), b());
+}
+
+TEST(BuildSanity, NumtheoryLinks) {
+  EXPECT_EQ(nt::gcd(12, 18), 6u);
+  EXPECT_EQ(nt::ext_gcd(12, 18).g, 6u);
+}
+
+TEST(BuildSanity, LinalgLinks) {
+  EXPECT_EQ(la::IMat::identity(3).at(2, 2), 1);
+}
+
+TEST(BuildSanity, GroupsLinks) {
+  grp::CyclicGroup c5(5);
+  EXPECT_EQ(c5.order(), 5u);
+}
+
+TEST(BuildSanity, BboxCountsGroupOps) {
+  auto g = std::make_shared<grp::CyclicGroup>(3);
+  auto counter = std::make_shared<bb::QueryCounter>();
+  bb::BlackBoxGroup bbg(g, counter);
+  EXPECT_TRUE(bbg.is_element(bbg.mul(1, 2)));
+  EXPECT_EQ(counter->group_ops, 1u);
+}
+
+TEST(BuildSanity, QsimLinks) {
+  qs::MixedRadixState st({2, 3});
+  EXPECT_EQ(st.dim(), 6u);
+}
+
+TEST(BuildSanity, HspMethodNames) {
+  EXPECT_STRNE(hsp::method_name(hsp::Method::kHiddenNormal), nullptr);
+  EXPECT_STRNE(hsp::method_name(hsp::Method::kElemAbelian2), nullptr);
+  EXPECT_STRNE(hsp::method_name(hsp::Method::kSmallCommutator), nullptr);
+}
+
+}  // namespace
+}  // namespace nahsp

@@ -115,7 +115,9 @@ TEST_P(GroupAxioms, EncodingWidthRespected) {
   ASSERT_LE(bits, 64);
   for (int i = 0; i < 30; ++i) {
     const Code x = random_word_element(g, gens, rng);
-    if (bits < 64) EXPECT_EQ(x >> bits, 0u) << GetParam().label;
+    if (bits < 64) {
+      EXPECT_EQ(x >> bits, 0u) << GetParam().label;
+    }
   }
 }
 

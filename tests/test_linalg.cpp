@@ -63,7 +63,9 @@ TEST_P(HnfSweep, InvariantsHoldOnRandomMatrices) {
       while (c < cols && h.h.at(r, c) == 0) ++c;
       ASSERT_LT(c, cols);
       EXPECT_GT(h.h.at(r, c), 0);
-      if (!first) EXPECT_GT(c, last_col);
+      if (!first) {
+        EXPECT_GT(c, last_col);
+      }
       last_col = c;
       first = false;
       // Entries above a pivot are reduced into [0, pivot).
@@ -131,7 +133,9 @@ TEST_P(SnfSweep, InvariantsHoldOnRandomMatrices) {
     // D diagonal, nonnegative, divisibility chain.
     for (std::size_t r = 0; r < rows; ++r)
       for (std::size_t c = 0; c < cols; ++c)
-        if (r != c) EXPECT_EQ(s.d.at(r, c), 0);
+        if (r != c) {
+          EXPECT_EQ(s.d.at(r, c), 0);
+        }
     const std::size_t k = std::min(rows, cols);
     for (std::size_t i = 0; i < k; ++i) EXPECT_GE(s.d.at(i, i), 0);
     for (std::size_t i = 0; i + 1 < k; ++i) {
