@@ -32,6 +32,9 @@ inline qs::LabelFn abelian_coset_label(const std::vector<std::uint64_t>& mods,
 }
 
 /// Publishes the instance's query counters on the benchmark state.
+/// sim_basis_evals makes the batched-sampler amortisation visible: the
+/// one-time label sweep divides across every iteration of the run while
+/// quantum_queries stays at one per round.
 inline void report_queries(benchmark::State& state,
                            const bb::QueryCounter& c, double iters) {
   state.counters["quantum_queries"] =
@@ -40,6 +43,8 @@ inline void report_queries(benchmark::State& state,
       benchmark::Counter(static_cast<double>(c.classical_queries) / iters);
   state.counters["group_ops"] =
       benchmark::Counter(static_cast<double>(c.group_ops) / iters);
+  state.counters["sim_basis_evals"] =
+      benchmark::Counter(static_cast<double>(c.sim_basis_evals) / iters);
 }
 
 }  // namespace nahsp::benchutil

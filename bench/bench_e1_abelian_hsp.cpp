@@ -68,6 +68,47 @@ void BM_E1_Analytic(benchmark::State& state) {
 // simulator memory: |A| up to 2^46.
 BENCHMARK(BM_E1_Analytic)->DenseRange(4, 40, 6)->Unit(benchmark::kMillisecond);
 
+// Round throughput of the statevector backend, scalar circuit runs vs
+// the batched cached-distribution engine (the tentpole metric: batched
+// must be >= 2x; in practice it is orders of magnitude once the cache
+// amortises). Items processed = sampling rounds.
+constexpr int kRoundsPerIter = 16;
+
+void BM_E1_StatevectorScalarRounds(benchmark::State& state) {
+  const int a = static_cast<int>(state.range(0));
+  const auto mods = domain_mods(a);
+  const auto h = planted(a);
+  qs::MixedRadixCosetSampler sampler(
+      mods, benchutil::abelian_coset_label(mods, h), nullptr);
+  Rng rng(4);
+  for (auto _ : state) {
+    for (int i = 0; i < kRoundsPerIter; ++i)
+      benchmark::DoNotOptimize(sampler.sample_character(rng));
+  }
+  state.counters["log2_A"] = a + 6;
+  state.SetItemsProcessed(state.iterations() * kRoundsPerIter);
+}
+BENCHMARK(BM_E1_StatevectorScalarRounds)
+    ->DenseRange(4, 12, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E1_StatevectorBatchedRounds(benchmark::State& state) {
+  const int a = static_cast<int>(state.range(0));
+  const auto mods = domain_mods(a);
+  const auto h = planted(a);
+  qs::MixedRadixCosetSampler sampler(
+      mods, benchutil::abelian_coset_label(mods, h), nullptr);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_characters(rng, kRoundsPerIter));
+  }
+  state.counters["log2_A"] = a + 6;
+  state.SetItemsProcessed(state.iterations() * kRoundsPerIter);
+}
+BENCHMARK(BM_E1_StatevectorBatchedRounds)
+    ->DenseRange(4, 12, 4)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_E1_ClassicalBruteForce(benchmark::State& state) {
   const int a = static_cast<int>(state.range(0));
   const auto mods = domain_mods(a);

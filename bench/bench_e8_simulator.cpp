@@ -7,6 +7,7 @@
 #include "nahsp/common/rng.h"
 #include "nahsp/qsim/mixedradix.h"
 #include "nahsp/qsim/qft.h"
+#include "nahsp/qsim/sampler.h"
 #include "nahsp/qsim/statevector.h"
 
 namespace {
@@ -87,6 +88,69 @@ void BM_E8_MixedRadixDensePath(benchmark::State& state) {
 }
 BENCHMARK(BM_E8_MixedRadixDensePath)
     ->Arg(3)->Arg(7)->Arg(15)->Arg(31)->Arg(63)
+    ->Unit(benchmark::kMillisecond);
+
+// Full-circuit round throughput of the coset samplers: one scalar round
+// is prepare + collapse + QFT + sample, one batched round is an alias
+// draw from the cached outcome distribution (built on the first batch).
+// Domain Z_{2^a}, hidden subgroup <2^{a-3}> (order 8) via
+// f(x) = x mod 2^{a-3}: small label classes keep the cache build at
+// about one round's cost.
+constexpr int kSamplerRounds = 16;
+
+void BM_E8_CosetSamplerScalarRounds(benchmark::State& state) {
+  const int a = static_cast<int>(state.range(0));
+  const std::uint64_t s = std::uint64_t{1} << (a - 3);
+  qs::MixedRadixCosetSampler sampler(
+      {std::uint64_t{1} << a},
+      [s](const la::AbVec& x) { return x[0] % s; }, nullptr);
+  Rng rng(1);
+  for (auto _ : state) {
+    for (int i = 0; i < kSamplerRounds; ++i)
+      benchmark::DoNotOptimize(sampler.sample_character(rng));
+  }
+  state.counters["log2_dim"] = a;
+  state.SetItemsProcessed(state.iterations() * kSamplerRounds);
+}
+BENCHMARK(BM_E8_CosetSamplerScalarRounds)
+    ->DenseRange(10, 18, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E8_CosetSamplerBatchedRounds(benchmark::State& state) {
+  const int a = static_cast<int>(state.range(0));
+  const std::uint64_t s = std::uint64_t{1} << (a - 3);
+  qs::MixedRadixCosetSampler sampler(
+      {std::uint64_t{1} << a},
+      [s](const la::AbVec& x) { return x[0] % s; }, nullptr);
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_characters(rng, kSamplerRounds));
+  }
+  state.counters["log2_dim"] = a;
+  state.SetItemsProcessed(state.iterations() * kSamplerRounds);
+}
+BENCHMARK(BM_E8_CosetSamplerBatchedRounds)
+    ->DenseRange(10, 18, 4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E8_QubitSamplerBatchedRounds(benchmark::State& state) {
+  // Gate-level backend: the cache costs one deferred-measurement run,
+  // after which rounds are O(1) (compare BM_E2_ShorQubitCircuit, which
+  // pays the full gate ladder per scalar round).
+  const int a = static_cast<int>(state.range(0));
+  const std::uint64_t s = std::uint64_t{1} << (a - 3);
+  qs::QubitCosetSampler sampler(
+      {std::uint64_t{1} << a},
+      [s](const la::AbVec& x) { return x[0] % s; }, nullptr);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample_characters(rng, kSamplerRounds));
+  }
+  state.counters["log2_dim"] = a;
+  state.SetItemsProcessed(state.iterations() * kSamplerRounds);
+}
+BENCHMARK(BM_E8_QubitSamplerBatchedRounds)
+    ->DenseRange(8, 12, 2)
     ->Unit(benchmark::kMillisecond);
 
 void BM_E8_OracleCollapse(benchmark::State& state) {

@@ -11,6 +11,14 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+echo "== statistical suite (ctest -L stat) under the pinned seed =="
+# The chi-square backend-equivalence tests rerun with an explicit seed so
+# any flake is reproducible: export the printed NAHSP_STAT_SEED to replay.
+NAHSP_STAT_SEED="${NAHSP_STAT_SEED:-20260730}"
+export NAHSP_STAT_SEED
+echo "NAHSP_STAT_SEED=${NAHSP_STAT_SEED}"
+(cd build && ctest -L stat --output-on-failure -j "$JOBS")
+
 echo "== Debug + ASan/UBSan build + ctest =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \

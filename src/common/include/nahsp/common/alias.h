@@ -1,0 +1,43 @@
+// Walker/Vose alias table: O(1) draws from a fixed finite discrete
+// distribution after O(n) setup.
+//
+// This is the answer-side half of the batched coset-sampling engine:
+// the statevector samplers compute their exact post-QFT outcome
+// distribution once per instance and then serve every further round as
+// one alias-table draw (two Rng calls), instead of re-running the
+// prepare -> oracle -> QFT pipeline. It is equally usable for any other
+// fixed categorical distribution.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "nahsp/common/rng.h"
+
+namespace nahsp {
+
+/// Immutable discrete distribution over {0, ..., n-1} with O(1) sampling.
+class AliasTable {
+ public:
+  /// Builds the table from non-negative, finite weights (not necessarily
+  /// normalised). Requires at least one strictly positive weight.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  std::size_t size() const { return prob_.size(); }
+
+  /// Draws an index with probability weights[i] / sum(weights).
+  /// Consumes exactly two Rng values per draw, so sequences are
+  /// reproducible from the seed.
+  std::size_t sample(Rng& rng) const;
+
+  /// Normalised probability of index i, reconstructed from the table
+  /// (O(size); for tests and diagnostics only — the table itself keeps
+  /// no copy of the input, its two arrays are the whole footprint).
+  double probability(std::size_t i) const;
+
+ private:
+  std::vector<double> prob_;        // acceptance threshold per column
+  std::vector<std::size_t> alias_;  // fallback index per column
+};
+
+}  // namespace nahsp

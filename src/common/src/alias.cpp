@@ -1,0 +1,70 @@
+#include "nahsp/common/alias.h"
+
+#include <cmath>
+
+#include "nahsp/common/check.h"
+
+namespace nahsp {
+
+AliasTable::AliasTable(const std::vector<double>& weights) {
+  NAHSP_REQUIRE(!weights.empty(), "alias table needs at least one weight");
+  double total = 0.0;
+  for (const double w : weights) {
+    NAHSP_REQUIRE(std::isfinite(w) && w >= 0.0,
+                  "alias weights must be finite and non-negative");
+    total += w;
+  }
+  NAHSP_REQUIRE(total > 0.0, "alias weights must not all be zero");
+
+  const std::size_t n = weights.size();
+
+  // Vose's method: split the columns into under- and over-full relative
+  // to the uniform height 1/n, then pair each under-full column with an
+  // over-full donor.
+  prob_.assign(n, 1.0);
+  alias_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) alias_[i] = i;
+
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = weights[i] / total * static_cast<double>(n);
+
+  std::vector<std::size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::size_t s = small.back();
+    const std::size_t l = large.back();
+    small.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] -= 1.0 - scaled[s];
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  // Rounding leftovers on either stack are full columns.
+  for (const std::size_t i : small) prob_[i] = 1.0;
+  for (const std::size_t i : large) prob_[i] = 1.0;
+}
+
+double AliasTable::probability(std::size_t i) const {
+  // Column i contributes prob_[i]/n; every column aliased to i
+  // contributes its leftover (1 - prob_[j])/n.
+  double p = prob_[i];
+  for (std::size_t j = 0; j < alias_.size(); ++j) {
+    if (alias_[j] == i && j != i) p += 1.0 - prob_[j];
+  }
+  return p / static_cast<double>(prob_.size());
+}
+
+std::size_t AliasTable::sample(Rng& rng) const {
+  const std::size_t i = rng.below(prob_.size());
+  return rng.uniform01() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace nahsp

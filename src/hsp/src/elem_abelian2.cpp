@@ -162,6 +162,9 @@ ElemAbelian2Result solve_hsp_elem_abelian2(
   }
 
   // ---- 3. Per representative: Abelian HSP on Z_2 x Z_2^m. ----
+  // Each representative hides a different label function, so each gets
+  // its own sampler; within one representative the batched solver still
+  // amortises all rounds over a single cached outcome distribution.
   std::vector<Code> collected = h_cap_n_gens;
   std::vector<u64> dims(m + 1, 2);
   for (const Code z : v_reps) {

@@ -86,9 +86,11 @@ MembershipResult constructive_membership(
     return label(product_of(digits)) == id_label;
   };
 
+  // One sampler across all attempts: its label cache and cached outcome
+  // distribution are properties of the instance, so retries only redraw.
+  qs::MixedRadixCosetSampler sampler(orders, domain_label,
+                                     &g_oracle.counter());
   for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
-    qs::MixedRadixCosetSampler sampler(orders, domain_label,
-                                       &g_oracle.counter());
     const AbelianHspResult kernel = solve_abelian_hsp(sampler, rng, hsp_opts);
 
     // Fold the kernel generators with Bezout coefficients to reach the

@@ -48,30 +48,48 @@ u64 find_order_shor(const std::function<u64(u64)>& power_label,
   }
 
   u64 combined = 1;  // lcm of the measured candidate denominators
-  for (int round = 0; round < opts.max_rounds; ++round) {
-    const u64 y = sampler->sample_character(rng)[0];
-    if (y == 0) continue;
-    // y/Q ~ c/r: every convergent with denominator <= bound is a
-    // candidate r/gcd(c, r).
-    const auto convs = nt::convergents(y, big_q, order_bound);
-    for (const auto& cv : convs) {
-      if (cv.q == 0) continue;
-      combined = nt::lcm(combined, cv.q);
-      if (combined > order_bound) {
-        // Overshoot can only come from a spurious convergent; restart
-        // the combination from this round's best candidate.
-        combined = cv.q <= order_bound ? cv.q : 1;
+  // Rounds are drawn through the batch API in geometrically growing
+  // chunks: the first request is a single round (most instances succeed
+  // immediately, keeping query counts unchanged), and each failure tops
+  // up with a larger batch that the backend serves from its cached
+  // outcome distribution. Success mid-chunk discards the rest of the
+  // chunk, so the cap of 4 bounds the query-count overshoot vs the
+  // one-by-one loop at +3 on the (rare) instances that need many rounds.
+  int rounds_done = 0;
+  std::size_t chunk = 1;
+  bool grow = false;  // chunks 1, 1, 2, 4, 4, ...: most instances finish
+                      // within two rounds, so growth starts one batch late
+  while (rounds_done < opts.max_rounds) {
+    const std::size_t k = std::min<std::size_t>(
+        chunk, static_cast<std::size_t>(opts.max_rounds - rounds_done));
+    for (const la::AbVec& yv : sampler->sample_characters(rng, k)) {
+      ++rounds_done;
+      const u64 y = yv[0];
+      if (y == 0) continue;
+      // y/Q ~ c/r: every convergent with denominator <= bound is a
+      // candidate r/gcd(c, r).
+      const auto convs = nt::convergents(y, big_q, order_bound);
+      for (const auto& cv : convs) {
+        if (cv.q == 0) continue;
+        combined = nt::lcm(combined, cv.q);
+        if (combined > order_bound) {
+          // Overshoot can only come from a spurious convergent; restart
+          // the combination from this round's best candidate.
+          combined = cv.q <= order_bound ? cv.q : 1;
+        }
+      }
+      if (combined > 1 && verify(combined)) {
+        // Minimise: strip prime factors while the verification still holds.
+        u64 r = combined;
+        for (const auto& [p, e] : nt::factorize(r)) {
+          (void)e;
+          while (r % p == 0 && verify(r / p)) r /= p;
+        }
+        return r;
       }
     }
-    if (combined > 1 && verify(combined)) {
-      // Minimise: strip prime factors while the verification still holds.
-      u64 r = combined;
-      for (const auto& [p, e] : nt::factorize(r)) {
-        (void)e;
-        while (r % p == 0 && verify(r / p)) r /= p;
-      }
-      return r;
-    }
+    if (grow) chunk = std::min<std::size_t>(chunk * 2, 4);
+    grow = true;
   }
   throw retry_exhausted("Shor order finding exhausted its round budget");
 }

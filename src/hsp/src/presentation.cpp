@@ -78,8 +78,10 @@ std::vector<Code> abelian_factor_relators(
     return label(product_of(digits)) == id_label;
   };
 
+  // One sampler across all attempts (hidden-normal-subgroup hot path):
+  // the label cache and cached outcome distribution survive retries.
+  qs::MixedRadixCosetSampler sampler(orders, domain_label, &g.counter());
   for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
-    qs::MixedRadixCosetSampler sampler(orders, domain_label, &g.counter());
     const AbelianHspResult kernel = solve_abelian_hsp(sampler, rng, hsp_opts);
 
     std::vector<Code> relators;

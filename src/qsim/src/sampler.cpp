@@ -1,5 +1,6 @@
 #include "nahsp/qsim/sampler.h"
 
+#include <cmath>
 #include <unordered_map>
 
 #include "nahsp/common/bits.h"
@@ -14,6 +15,11 @@ namespace {
 // Hard cap on simulated state size: at most 2^kMaxSimQubits amplitudes
 // (1 GiB of complex doubles), for both backends.
 constexpr int kMaxSimQubits = 26;
+
+// Cached-distribution entries below this total probability are dropped
+// (numerical noise from the transforms; genuine outcome probabilities on
+// a <= 2^26 domain are orders of magnitude above it).
+constexpr double kSupportEps = 1e-12;
 
 std::size_t domain_size(const std::vector<u64>& moduli) {
   std::size_t d = 1;
@@ -35,7 +41,52 @@ la::AbVec digits_of_index(std::size_t idx, const std::vector<u64>& moduli) {
   return digits;
 }
 
+// Shared tail of both backends' distribution builds: clamp rounding
+// noise, check normalisation, compress to the support above kSupportEps,
+// and wrap it in an alias table.
+template <typename Index>
+std::unique_ptr<AliasTable> compress_distribution(std::vector<double>& prob,
+                                                  std::vector<Index>& support) {
+  double total = 0.0;
+  for (double& p : prob) {
+    if (p < 0.0) p = 0.0;  // rounding noise from the transforms
+    total += p;
+  }
+  NAHSP_CHECK(std::abs(total - 1.0) < 1e-6,
+              "cached outcome distribution does not normalise");
+  support.clear();
+  std::vector<double> weights;
+  for (std::size_t y = 0; y < prob.size(); ++y) {
+    if (prob[y] > kSupportEps) {
+      support.push_back(static_cast<Index>(y));
+      weights.push_back(prob[y]);
+    }
+  }
+  return std::make_unique<AliasTable>(weights);
+}
+
+// Per-element cost factor of qft_all on this domain (the radix-2 fast
+// path costs ~log d_c per cell, the dense transform d_c).
+double qft_cost_estimate(const std::vector<u64>& moduli, std::size_t d) {
+  double cost = 0.0;
+  for (const u64 m : moduli) {
+    const double per_cell =
+        (is_pow2(m) && m >= 8) ? static_cast<double>(bits_for(m))
+                               : static_cast<double>(m);
+    cost += static_cast<double>(d) * per_cell;
+  }
+  return cost;
+}
+
 }  // namespace
+
+std::vector<la::AbVec> CosetSampler::sample_characters(Rng& rng,
+                                                       std::size_t k) {
+  std::vector<la::AbVec> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) out.push_back(sample_character(rng));
+  return out;
+}
 
 MixedRadixCosetSampler::MixedRadixCosetSampler(std::vector<u64> moduli,
                                                LabelFn f,
@@ -56,13 +107,132 @@ void MixedRadixCosetSampler::ensure_labels() {
   labels_ready_ = true;
 }
 
-la::AbVec MixedRadixCosetSampler::sample_character(Rng& rng) {
+// Estimated one-time cost of build_distribution, in units of one scalar
+// circuit round — the adaptive threshold for switching to the cache.
+double MixedRadixCosetSampler::setup_rounds_estimate() {
   ensure_labels();
+  const std::size_t d = label_cache_.size();
+  std::unordered_map<u64, std::size_t> class_sizes;
+  for (const u64 lab : label_cache_) ++class_sizes[lab];
+  const double qft_cost = qft_cost_estimate(moduli_, d);
+  const double round_cost = 2.0 * static_cast<double>(d) + qft_cost;
+  double setup = qft_cost;  // the final collision transform
+  for (const auto& [lab, s] : class_sizes) {
+    (void)lab;
+    const double sd = static_cast<double>(s);
+    setup += std::min(sd * sd, qft_cost);
+  }
+  return setup / round_cost;
+}
+
+// Exact outcome distribution of the circuit, for ANY label function:
+//   P(y) = (1/|A|^2) * sum_labels |sum_{x: f(x)=label} chi_y(x)|^2.
+// Each label class contributes either through the collision function
+// c(z) = #{(x, x') in S^2 : x - x' = z} (one character transform of c at
+// the end covers all such classes) or, when |S|^2 would exceed one
+// transform, through the DFT of its normalised indicator directly.
+void MixedRadixCosetSampler::build_distribution() {
+  if (dist_) return;
+  ensure_labels();
+  const std::size_t d = label_cache_.size();
+  const std::size_t r = moduli_.size();
+  std::vector<std::size_t> strides(r, 1);
+  for (std::size_t i = r; i-- > 1;) strides[i - 1] = strides[i] * moduli_[i];
+
+  std::unordered_map<u64, std::size_t> class_of;
+  std::vector<std::vector<std::size_t>> classes;
+  for (std::size_t i = 0; i < d; ++i) {
+    const auto [it, fresh] = class_of.emplace(label_cache_[i], classes.size());
+    if (fresh) classes.emplace_back();
+    classes[it->second].push_back(i);
+  }
+
+  std::vector<double> prob(d, 0.0);
+  std::optional<MixedRadixState> collisions;
+  for (const auto& members : classes) {
+    const std::size_t s = members.size();
+    if (s * s <= d) {
+      // Collision route: cheaper than a transform for small classes.
+      if (!collisions) {
+        collisions.emplace(moduli_);
+        collisions->set_amp(0, 0.0);
+      }
+      std::vector<la::AbVec> digs;
+      digs.reserve(s);
+      for (const std::size_t idx : members)
+        digs.push_back(digits_of_index(idx, moduli_));
+      for (std::size_t a = 0; a < s; ++a) {
+        for (std::size_t b = 0; b < s; ++b) {
+          std::size_t z = 0;
+          for (std::size_t i = 0; i < r; ++i)
+            z += ((digs[a][i] + moduli_[i] - digs[b][i]) % moduli_[i]) *
+                 strides[i];
+          collisions->set_amp(z, collisions->amp(z) + 1.0);
+        }
+      }
+    } else {
+      // Indicator-DFT route: P(y | this class) directly.
+      MixedRadixState st(moduli_);
+      st.set_amp(0, 0.0);
+      const double a = 1.0 / std::sqrt(static_cast<double>(s));
+      for (const std::size_t idx : members) st.set_amp(idx, a);
+      st.qft_all();
+      const double w = static_cast<double>(s) / static_cast<double>(d);
+      for (std::size_t y = 0; y < d; ++y) prob[y] += w * std::norm(st.amp(y));
+    }
+  }
+  if (collisions) {
+    collisions->qft_all();
+    // c is symmetric (c(z) = c(-z)), so its transform is real:
+    // contribution(y) = (1/d^2) sum_z c(z) chi_y(z) = amp(y) * sqrt(d)/d^2.
+    const double scale = std::sqrt(static_cast<double>(d)) /
+                         (static_cast<double>(d) * static_cast<double>(d));
+    for (std::size_t y = 0; y < d; ++y)
+      prob[y] += scale * collisions->amp(y).real();
+  }
+
+  dist_ = compress_distribution(prob, support_);
+}
+
+la::AbVec MixedRadixCosetSampler::draw_cached(Rng& rng) {
+  return digits_of_index(support_[dist_->sample(rng)], moduli_);
+}
+
+la::AbVec MixedRadixCosetSampler::sample_character(Rng& rng) {
   if (counter_ != nullptr) ++counter_->quantum_queries;
+  if (dist_) return draw_cached(rng);
+  ensure_labels();
   MixedRadixState st = MixedRadixState::uniform(moduli_);
   st.collapse_by_label(label_cache_, rng);
   st.qft_all();
   return st.sample(rng);
+}
+
+std::vector<la::AbVec> MixedRadixCosetSampler::sample_characters(
+    Rng& rng, std::size_t k) {
+  std::vector<la::AbVec> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (!dist_) {
+    if (setup_rounds_ < 0.0) setup_rounds_ = setup_rounds_estimate();
+    // Build the cache once the cumulative batched demand has caught up
+    // with its estimated cost; until then the scalar circuit is cheaper.
+    if (static_cast<double>(uncached_batch_draws_) +
+            static_cast<double>(k) >=
+        setup_rounds_) {
+      build_distribution();
+    } else {
+      uncached_batch_draws_ += k;
+    }
+  }
+  if (dist_) {
+    if (counter_ != nullptr) counter_->quantum_queries += k;
+    for (std::size_t i = 0; i < k; ++i) out.push_back(draw_cached(rng));
+  } else {
+    // sample_character counts one quantum query per draw itself.
+    for (std::size_t i = 0; i < k; ++i) out.push_back(sample_character(rng));
+  }
+  return out;
 }
 
 QubitCosetSampler::QubitCosetSampler(std::vector<u64> moduli, LabelFn f,
@@ -116,9 +286,45 @@ void QubitCosetSampler::ensure_labels() {
   labels_ready_ = true;
 }
 
-la::AbVec QubitCosetSampler::sample_character(Rng& rng) {
+la::AbVec QubitCosetSampler::decode_register(u64 y) const {
+  la::AbVec digits(moduli_.size());
+  u64 rest = y;
+  for (std::size_t c = 0; c < moduli_.size(); ++c) {
+    digits[c] = rest & (moduli_[c] - 1);
+    rest >>= cell_bits_[c];
+  }
+  return digits;
+}
+
+// Exact joint outcome distribution from ONE deferred-measurement run:
+// the ancilla measurement commutes with the input-register QFT, so the
+// circuit is simulated without collapsing and the ancilla marginalised
+// out at the end. Faithful to the gate-level circuit for any
+// approx_cutoff, at roughly the cost of a single scalar round.
+void QubitCosetSampler::ensure_distribution() {
+  if (dist_) return;
   ensure_labels();
+  StateVector sv(in_bits_ + out_bits_);
+  for (int q = 0; q < in_bits_; ++q) sv.apply_h(q);
+  sv.apply_xor_function(0, in_bits_, in_bits_, out_bits_,
+                        [this](u64 x) { return dense_labels_[x]; });
+  int lo = 0;
+  for (std::size_t c = 0; c < moduli_.size(); ++c) {
+    apply_qft(sv, lo, cell_bits_[c], approx_cutoff_);
+    lo += cell_bits_[c];
+  }
+  const u64 din = u64{1} << in_bits_;
+  std::vector<double> prob(din, 0.0);
+  const std::size_t dim = sv.dim();
+  for (std::size_t idx = 0; idx < dim; ++idx)
+    prob[idx & (din - 1)] += std::norm(sv.amp(idx));
+  dist_ = compress_distribution(prob, support_);
+}
+
+la::AbVec QubitCosetSampler::sample_character(Rng& rng) {
   if (counter_ != nullptr) ++counter_->quantum_queries;
+  if (dist_) return decode_register(support_[dist_->sample(rng)]);
+  ensure_labels();
   StateVector sv(in_bits_ + out_bits_);
   for (int q = 0; q < in_bits_; ++q) sv.apply_h(q);
   sv.apply_xor_function(0, in_bits_, in_bits_, out_bits_,
@@ -132,13 +338,21 @@ la::AbVec QubitCosetSampler::sample_character(Rng& rng) {
     lo += cell_bits_[c];
   }
   const u64 y = sv.measure_range(0, in_bits_, rng);
-  la::AbVec digits(moduli_.size());
-  u64 rest = y;
-  for (std::size_t c = 0; c < moduli_.size(); ++c) {
-    digits[c] = rest & (moduli_[c] - 1);
-    rest >>= cell_bits_[c];
-  }
-  return digits;
+  return decode_register(y);
+}
+
+std::vector<la::AbVec> QubitCosetSampler::sample_characters(Rng& rng,
+                                                            std::size_t k) {
+  std::vector<la::AbVec> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  // One deferred-measurement run never costs more than one scalar round,
+  // so the qubit backend caches unconditionally on the first batch.
+  ensure_distribution();
+  if (counter_ != nullptr) counter_->quantum_queries += k;
+  for (std::size_t i = 0; i < k; ++i)
+    out.push_back(decode_register(support_[dist_->sample(rng)]));
+  return out;
 }
 
 AnalyticCosetSampler::AnalyticCosetSampler(

@@ -1,8 +1,10 @@
-// Unit tests for the common substrate: RNG, bit utilities, checks.
+// Unit tests for the common substrate: RNG, bit utilities, checks,
+// alias-table sampler.
 #include <gtest/gtest.h>
 
 #include <set>
 
+#include "nahsp/common/alias.h"
 #include "nahsp/common/bits.h"
 #include "nahsp/common/check.h"
 #include "nahsp/common/rng.h"
@@ -122,6 +124,58 @@ TEST(Check, CheckThrowsInternalError) {
 
 TEST(Check, OracleCheckThrowsOracleError) {
   EXPECT_THROW(NAHSP_ORACLE_CHECK(false, "promise"), oracle_error);
+}
+
+TEST(AliasTable, NormalisesWeights) {
+  AliasTable t({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(t.size(), 4u);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) sum += t.probability(i);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_NEAR(t.probability(3), 0.4, 1e-12);
+}
+
+TEST(AliasTable, MatchesWeightsStatistically) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  AliasTable t(w);
+  Rng rng(17);
+  constexpr int kDraws = 100000;
+  int counts[4] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[t.sample(rng)];
+  double chi2 = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const double expected = kDraws * w[i] / 10.0;
+    const double d = counts[i] - expected;
+    chi2 += d * d / expected;
+  }
+  // 3 degrees of freedom; 0.001 quantile ~ 16.3.
+  EXPECT_LT(chi2, 16.3);
+}
+
+TEST(AliasTable, ZeroWeightNeverDrawn) {
+  AliasTable t({0.5, 0.0, 0.5});
+  Rng rng(23);
+  for (int i = 0; i < 2000; ++i) EXPECT_NE(t.sample(rng), 1u);
+}
+
+TEST(AliasTable, SingleCategory) {
+  AliasTable t({5.0});
+  Rng rng(29);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(t.sample(rng), 0u);
+}
+
+TEST(AliasTable, DeterministicFromSeed) {
+  AliasTable t({1.0, 1.0, 2.0});
+  Rng a(31), b(31);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(t.sample(a), t.sample(b));
+}
+
+TEST(AliasTable, RejectsBadWeights) {
+  EXPECT_THROW(AliasTable({}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({1.0, -0.5}), std::invalid_argument);
+  EXPECT_THROW(AliasTable({std::numeric_limits<double>::infinity()}),
+               std::invalid_argument);
 }
 
 TEST(Timer, MeasuresNonNegative) {

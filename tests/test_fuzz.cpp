@@ -15,6 +15,7 @@
 #include "nahsp/hsp/baseline.h"
 #include "nahsp/hsp/instance.h"
 #include "nahsp/hsp/solve.h"
+#include "test_seeds.h"
 
 namespace nahsp::hsp {
 namespace {
@@ -105,7 +106,7 @@ class Fuzz : public ::testing::TestWithParam<FuzzCase> {};
 
 TEST_P(Fuzz, AutoSolveMatchesBruteForceOnRandomSubgroups) {
   const FuzzCase& c = GetParam();
-  Rng rng(0xf0022 + std::hash<std::string>{}(c.label));
+  Rng rng(test_seeds::kFuzzZooBase + std::hash<std::string>{}(c.label));
   for (int trial = 0; trial < 6; ++trial) {
     const int ngens = 1 + static_cast<int>(rng.below(2));
     const auto planted = random_subgroup_gens(*c.group, rng, ngens);
@@ -132,7 +133,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(FuzzFactorOrder, MatchesQuotientBruteForce) {
   // Theorem 10 order finding vs direct factor-group iteration, across
   // random elements and several (group, N) pairs.
-  Rng rng(99);
+  Rng rng(test_seeds::kFuzzFactorOrderQuotient);
   // D_24 mod <x^8> (order-3 normal subgroup; factor D_8-like of order 16).
   auto d = std::make_shared<grp::DihedralGroup>(24);
   const auto inst = bb::make_instance(d, {});
@@ -152,7 +153,7 @@ TEST(FuzzFactorOrder, MatchesQuotientBruteForce) {
 }
 
 TEST(FuzzFactorOrder, HeisenbergModCentre) {
-  Rng rng(100);
+  Rng rng(test_seeds::kFuzzFactorOrderHeisenberg);
   auto h = std::make_shared<grp::HeisenbergGroup>(5, 1);
   const auto inst = bb::make_instance(h, {});
   const std::vector<Code> n_gens{h->central_generator()};
@@ -168,7 +169,7 @@ TEST(FuzzFactorOrder, HeisenbergModCentre) {
 }
 
 TEST(FuzzFactorOrder, FastCosetLabelOverrideAgrees) {
-  Rng rng(101);
+  Rng rng(test_seeds::kFuzzFactorOrderCosetLabel);
   auto w = grp::wreath_z2k_z2(3);
   const auto inst = bb::make_instance(w, {});
   FactorOrderOptions slow;

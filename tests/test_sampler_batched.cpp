@@ -1,0 +1,355 @@
+// Statistical equivalence suite for the batched coset-sampling engine
+// (ctest label: stat — run by a plain `ctest` and re-run by
+// scripts/check.sh under a pinned NAHSP_STAT_SEED).
+//
+// sampler.h claims the cached outcome distribution served by
+// sample_characters is identical to the distribution of the simulated
+// circuit. This file pins that claim with chi-square tests:
+//  - batched draws vs the exact uniform-on-H^perp law, per backend;
+//  - batched vs scalar draws on NON-hiding label functions (where no
+//    closed form exists, the scalar circuit is the reference);
+//  - all three backends against each other on shared instances;
+// plus the accounting regression (a batch of k counts exactly k quantum
+// queries on every backend) and the seed-determinism contract.
+//
+// Seeds come from test_seeds.h; override with NAHSP_STAT_SEED to replay
+// a flake (scripts/check.sh pins the default).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "nahsp/common/rng.h"
+#include "nahsp/linalg/congruence.h"
+#include "nahsp/qsim/sampler.h"
+#include "test_seeds.h"
+
+namespace nahsp::qs {
+namespace {
+
+// A hiding label function for subgroup H of Z_mods: canonical coset id.
+LabelFn coset_label_fn(const std::vector<u64>& mods,
+                       const std::vector<la::AbVec>& h_gens) {
+  const auto h_elems = la::abelian_enumerate(h_gens, mods);
+  return [mods, h_elems](const la::AbVec& x) -> u64 {
+    u64 best = ~u64{0};
+    for (const la::AbVec& h : h_elems) {
+      u64 idx = 0;
+      for (std::size_t i = 0; i < mods.size(); ++i)
+        idx = idx * mods[i] + (x[i] + h[i]) % mods[i];
+      best = std::min(best, idx);
+    }
+    return best;
+  };
+}
+
+// 0.999 quantile of chi-square with df degrees of freedom
+// (Wilson–Hilferty approximation; z = Phi^{-1}(0.999)).
+double chi2_crit_999(int df) {
+  const double z = 3.0902;
+  const double t = 2.0 / (9.0 * static_cast<double>(df));
+  const double c = 1.0 - t + z * std::sqrt(t);
+  return static_cast<double>(df) * c * c * c;
+}
+
+// Draws n characters through the batch API and chi-square-tests them
+// against the exact law: uniform over H^perp.
+void expect_batched_uniform_on_perp(CosetSampler& s, Rng& rng,
+                                    const std::vector<u64>& mods,
+                                    const std::vector<la::AbVec>& h_gens,
+                                    int n, const std::string& what) {
+  const auto perp =
+      la::abelian_enumerate(la::congruence_kernel(h_gens, mods), mods);
+  std::map<la::AbVec, int> counts;
+  for (const la::AbVec& y : perp) counts[y] = 0;
+  const auto batch = s.sample_characters(rng, static_cast<std::size_t>(n));
+  ASSERT_EQ(batch.size(), static_cast<std::size_t>(n)) << what;
+  for (const la::AbVec& y : batch) {
+    const auto it = counts.find(y);
+    ASSERT_NE(it, counts.end()) << what << ": sample outside H^perp";
+    ++it->second;
+  }
+  if (perp.size() < 2) return;  // point mass: membership above is the test
+  const double expected = static_cast<double>(n) / perp.size();
+  double chi2 = 0.0;
+  for (const auto& [y, c] : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, chi2_crit_999(static_cast<int>(perp.size()) - 1)) << what;
+}
+
+// Two-sample chi-square (equal sample sizes): are the two empirical
+// distributions draws from the same law?
+void expect_same_distribution(const std::map<la::AbVec, int>& a,
+                              const std::map<la::AbVec, int>& b,
+                              const std::string& what) {
+  std::map<la::AbVec, std::pair<int, int>> merged;
+  for (const auto& [y, c] : a) merged[y].first = c;
+  for (const auto& [y, c] : b) merged[y].second = c;
+  double chi2 = 0.0;
+  int cats = 0;
+  for (const auto& [y, cs] : merged) {
+    const double n1 = cs.first, n2 = cs.second;
+    if (n1 + n2 == 0) continue;
+    ++cats;
+    const double d = n1 - n2;
+    chi2 += d * d / (n1 + n2);
+  }
+  ASSERT_GE(cats, 2) << what;
+  EXPECT_LT(chi2, chi2_crit_999(cats - 1)) << what;
+}
+
+struct BatchCase {
+  std::string label;
+  std::vector<u64> mods;
+  std::vector<la::AbVec> h_gens;
+  bool pow2;  // qubit backend applicable
+};
+
+std::vector<BatchCase> batch_cases() {
+  return {
+      {"Z8_sub4", {8}, {{4}}, true},
+      {"Z12_sub3", {12}, {{3}}, false},
+      {"Z4xZ4_diag", {4, 4}, {{1, 1}}, true},
+      {"Z2x2x2_plane", {2, 2, 2}, {{1, 1, 0}, {0, 1, 1}}, true},
+      {"Z6xZ4_mixed", {6, 4}, {{2, 0}, {0, 2}}, false},
+      {"Z9_trivial", {9}, {}, false},
+      {"Z4xZ2_sub", {4, 2}, {{2, 1}}, true},
+  };
+}
+
+u64 case_seed(const BatchCase& c, u64 salt) {
+  return test_seeds::stat_seed() + salt * 1000003 +
+         std::hash<std::string>{}(c.label);
+}
+
+constexpr int kDraws = 4000;
+
+class BatchedBackends : public ::testing::TestWithParam<BatchCase> {};
+
+TEST_P(BatchedBackends, MixedRadixBatchedUniformOnPerp) {
+  const auto& c = GetParam();
+  Rng rng(case_seed(c, 1));
+  MixedRadixCosetSampler s(c.mods, coset_label_fn(c.mods, c.h_gens), nullptr);
+  expect_batched_uniform_on_perp(s, rng, c.mods, c.h_gens, kDraws,
+                                 c.label + "/mixed-radix");
+}
+
+TEST_P(BatchedBackends, AnalyticBatchedUniformOnPerp) {
+  const auto& c = GetParam();
+  Rng rng(case_seed(c, 2));
+  AnalyticCosetSampler s(c.mods, c.h_gens, nullptr);
+  expect_batched_uniform_on_perp(s, rng, c.mods, c.h_gens, kDraws,
+                                 c.label + "/analytic");
+}
+
+TEST_P(BatchedBackends, QubitBatchedUniformOnPerp) {
+  const auto& c = GetParam();
+  if (!c.pow2) GTEST_SKIP() << "qubit backend needs power-of-two moduli";
+  Rng rng(case_seed(c, 3));
+  QubitCosetSampler s(c.mods, coset_label_fn(c.mods, c.h_gens), nullptr);
+  expect_batched_uniform_on_perp(s, rng, c.mods, c.h_gens, kDraws,
+                                 c.label + "/qubit");
+}
+
+// Batched vs scalar on the SAME backend, same instance: the cached
+// distribution must reproduce the simulated circuit, not just the ideal
+// uniform law (two independent samplers so the scalar one never caches).
+TEST_P(BatchedBackends, MixedRadixBatchedMatchesScalar) {
+  const auto& c = GetParam();
+  Rng rng1(case_seed(c, 4)), rng2(case_seed(c, 5));
+  MixedRadixCosetSampler scalar(c.mods, coset_label_fn(c.mods, c.h_gens),
+                                nullptr);
+  MixedRadixCosetSampler batched(c.mods, coset_label_fn(c.mods, c.h_gens),
+                                 nullptr);
+  std::map<la::AbVec, int> f_scalar, f_batched;
+  for (int t = 0; t < kDraws; ++t) ++f_scalar[scalar.sample_character(rng1)];
+  for (const la::AbVec& y : batched.sample_characters(rng2, kDraws))
+    ++f_batched[y];
+  EXPECT_TRUE(batched.distribution_cached()) << c.label;
+  expect_same_distribution(f_scalar, f_batched, c.label + "/scalar-vs-batched");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, BatchedBackends, ::testing::ValuesIn(batch_cases()),
+    [](const ::testing::TestParamInfo<BatchCase>& info) {
+      return info.param.label;
+    });
+
+// All three backends on one shared power-of-two instance.
+TEST(BatchedBackendEquivalence, ThreeBackendsAgreeOnSharedInstance) {
+  const std::vector<u64> mods{4, 2};
+  const std::vector<la::AbVec> h{{2, 1}};
+  Rng r1(test_seeds::stat_seed() + 11), r2(test_seeds::stat_seed() + 12),
+      r3(test_seeds::stat_seed() + 13);
+  MixedRadixCosetSampler mr(mods, coset_label_fn(mods, h), nullptr);
+  QubitCosetSampler qb(mods, coset_label_fn(mods, h), nullptr);
+  AnalyticCosetSampler an(mods, h, nullptr);
+  expect_batched_uniform_on_perp(mr, r1, mods, h, kDraws, "shared/mixed");
+  expect_batched_uniform_on_perp(qb, r2, mods, h, kDraws, "shared/qubit");
+  expect_batched_uniform_on_perp(an, r3, mods, h, kDraws, "shared/analytic");
+}
+
+// Non-hiding label functions: no closed-form law exists, so the scalar
+// circuit is the reference. Exercises the collision route (small label
+// classes)...
+TEST(BatchedNonHiding, MixedRadixCollisionRouteMatchesScalar) {
+  const std::vector<u64> mods{8};
+  LabelFn f = [](const la::AbVec& x) { return x[0] % 3; };  // not a coset fn
+  Rng rng1(test_seeds::stat_seed() + 21), rng2(test_seeds::stat_seed() + 22);
+  MixedRadixCosetSampler scalar(mods, f, nullptr);
+  MixedRadixCosetSampler batched(mods, f, nullptr);
+  std::map<la::AbVec, int> fs, fb;
+  for (int t = 0; t < kDraws; ++t) ++fs[scalar.sample_character(rng1)];
+  for (const la::AbVec& y : batched.sample_characters(rng2, kDraws)) ++fb[y];
+  expect_same_distribution(fs, fb, "nonhiding/collision-route");
+}
+
+// ...and the indicator-DFT route (one class with |S|^2 > |A|).
+TEST(BatchedNonHiding, MixedRadixDftRouteMatchesScalar) {
+  const std::vector<u64> mods{16};
+  LabelFn f = [](const la::AbVec& x) {
+    return x[0] < 12 ? u64{0} : x[0];  // class sizes 12, 1, 1, 1, 1
+  };
+  Rng rng1(test_seeds::stat_seed() + 23), rng2(test_seeds::stat_seed() + 24);
+  MixedRadixCosetSampler scalar(mods, f, nullptr);
+  MixedRadixCosetSampler batched(mods, f, nullptr);
+  std::map<la::AbVec, int> fs, fb;
+  for (int t = 0; t < kDraws; ++t) ++fs[scalar.sample_character(rng1)];
+  for (const la::AbVec& y : batched.sample_characters(rng2, kDraws)) ++fb[y];
+  expect_same_distribution(fs, fb, "nonhiding/dft-route");
+}
+
+TEST(BatchedNonHiding, QubitDeferredMeasurementMatchesScalar) {
+  const std::vector<u64> mods{8};
+  LabelFn f = [](const la::AbVec& x) { return x[0] % 3; };
+  Rng rng1(test_seeds::stat_seed() + 25), rng2(test_seeds::stat_seed() + 26);
+  QubitCosetSampler scalar(mods, f, nullptr);
+  QubitCosetSampler batched(mods, f, nullptr);
+  std::map<la::AbVec, int> fs, fb;
+  for (int t = 0; t < kDraws; ++t) ++fs[scalar.sample_character(rng1)];
+  for (const la::AbVec& y : batched.sample_characters(rng2, kDraws)) ++fb[y];
+  expect_same_distribution(fs, fb, "nonhiding/qubit-deferred");
+}
+
+// The cached distribution must track the gate-level circuit including
+// the approximate QFT, not the ideal transform.
+TEST(BatchedApproxQft, CachedDistributionMatchesApproximateCircuit) {
+  const std::vector<u64> mods{16};
+  const std::vector<la::AbVec> h{{4}};
+  Rng rng1(test_seeds::stat_seed() + 31), rng2(test_seeds::stat_seed() + 32);
+  QubitCosetSampler scalar(mods, coset_label_fn(mods, h), nullptr,
+                           /*approx_cutoff=*/2);
+  QubitCosetSampler batched(mods, coset_label_fn(mods, h), nullptr,
+                            /*approx_cutoff=*/2);
+  std::map<la::AbVec, int> fs, fb;
+  for (int t = 0; t < kDraws; ++t) ++fs[scalar.sample_character(rng1)];
+  for (const la::AbVec& y : batched.sample_characters(rng2, kDraws)) ++fb[y];
+  expect_same_distribution(fs, fb, "approx-qft/scalar-vs-batched");
+}
+
+// ---- Query accounting regression -------------------------------------
+// A batch of k draws increments quantum_queries by exactly k on every
+// backend; sim_basis_evals only counts the one-time label sweep (the
+// bug class PR 1 fixed in src/hsp/src/order.cpp).
+
+TEST(BatchedQueryAccounting, MixedRadixCountsKPerBatch) {
+  bb::QueryCounter counter;
+  const std::vector<u64> mods{12};
+  MixedRadixCosetSampler s(mods, coset_label_fn(mods, {{3}}), &counter);
+  Rng rng(test_seeds::stat_seed() + 41);
+  (void)s.sample_characters(rng, 17);
+  EXPECT_EQ(counter.quantum_queries, 17u);
+  EXPECT_EQ(counter.sim_basis_evals, 12u);  // label cache built once
+  (void)s.sample_characters(rng, 5);
+  EXPECT_EQ(counter.quantum_queries, 22u);
+  EXPECT_EQ(counter.sim_basis_evals, 12u);  // no re-evaluation
+  (void)s.sample_character(rng);            // scalar draw still counts one
+  EXPECT_EQ(counter.quantum_queries, 23u);
+}
+
+TEST(BatchedQueryAccounting, QubitCountsKPerBatch) {
+  bb::QueryCounter counter;
+  const std::vector<u64> mods{4, 2};
+  QubitCosetSampler s(mods, coset_label_fn(mods, {{2, 1}}), &counter);
+  Rng rng(test_seeds::stat_seed() + 42);
+  (void)s.sample_characters(rng, 9);
+  EXPECT_EQ(counter.quantum_queries, 9u);
+  EXPECT_EQ(counter.sim_basis_evals, 8u);
+  (void)s.sample_characters(rng, 1);
+  EXPECT_EQ(counter.quantum_queries, 10u);
+  EXPECT_EQ(counter.sim_basis_evals, 8u);
+}
+
+TEST(BatchedQueryAccounting, AnalyticCountsKPerBatch) {
+  bb::QueryCounter counter;
+  AnalyticCosetSampler s({8}, {{4}}, &counter);
+  Rng rng(test_seeds::stat_seed() + 43);
+  (void)s.sample_characters(rng, 13);
+  EXPECT_EQ(counter.quantum_queries, 13u);
+  EXPECT_EQ(counter.sim_basis_evals, 0u);  // no simulator involved
+}
+
+TEST(BatchedQueryAccounting, AdaptiveUncachedBatchesStillCountPerDraw) {
+  // Z_289 with 17 classes of 17: the cache costs more than one round, so
+  // the first 1-draw batch stays on the scalar circuit; the cumulative
+  // demand of the second batch tips the estimate and builds the cache.
+  bb::QueryCounter counter;
+  const std::vector<u64> mods{289};
+  LabelFn f = [](const la::AbVec& x) { return x[0] % 17; };
+  MixedRadixCosetSampler s(mods, f, &counter);
+  Rng rng(test_seeds::stat_seed() + 44);
+  (void)s.sample_characters(rng, 1);
+  EXPECT_FALSE(s.distribution_cached());
+  EXPECT_EQ(counter.quantum_queries, 1u);
+  (void)s.sample_characters(rng, 4);
+  EXPECT_TRUE(s.distribution_cached());
+  EXPECT_EQ(counter.quantum_queries, 5u);
+  EXPECT_EQ(counter.sim_basis_evals, 289u);
+}
+
+TEST(BatchedQueryAccounting, EmptyBatchCountsNothing) {
+  bb::QueryCounter counter;
+  const std::vector<u64> mods{8};
+  MixedRadixCosetSampler s(mods, coset_label_fn(mods, {{4}}), &counter);
+  Rng rng(test_seeds::stat_seed() + 45);
+  EXPECT_TRUE(s.sample_characters(rng, 0).empty());
+  EXPECT_EQ(counter.quantum_queries, 0u);
+}
+
+// ---- Seed determinism -------------------------------------------------
+// Same seed + same call pattern => identical character sequences, so a
+// fuzz/integration failure replays exactly.
+
+TEST(BatchedSeedDeterminism, MixedRadixReplaysExactly) {
+  const std::vector<u64> mods{6, 4};
+  const std::vector<la::AbVec> h{{2, 0}, {0, 2}};
+  MixedRadixCosetSampler a(mods, coset_label_fn(mods, h), nullptr);
+  MixedRadixCosetSampler b(mods, coset_label_fn(mods, h), nullptr);
+  Rng ra(test_seeds::stat_seed() + 51), rb(test_seeds::stat_seed() + 51);
+  EXPECT_EQ(a.sample_characters(ra, 12), b.sample_characters(rb, 12));
+  EXPECT_EQ(a.sample_character(ra), b.sample_character(rb));
+  EXPECT_EQ(a.sample_characters(ra, 5), b.sample_characters(rb, 5));
+}
+
+TEST(BatchedSeedDeterminism, QubitReplaysExactly) {
+  const std::vector<u64> mods{4, 2};
+  const std::vector<la::AbVec> h{{2, 1}};
+  QubitCosetSampler a(mods, coset_label_fn(mods, h), nullptr);
+  QubitCosetSampler b(mods, coset_label_fn(mods, h), nullptr);
+  Rng ra(test_seeds::stat_seed() + 52), rb(test_seeds::stat_seed() + 52);
+  EXPECT_EQ(a.sample_characters(ra, 12), b.sample_characters(rb, 12));
+  EXPECT_EQ(a.sample_characters(ra, 3), b.sample_characters(rb, 3));
+}
+
+TEST(BatchedSeedDeterminism, AnalyticReplaysExactly) {
+  AnalyticCosetSampler a({8}, {{2}}, nullptr);
+  AnalyticCosetSampler b({8}, {{2}}, nullptr);
+  Rng ra(test_seeds::stat_seed() + 53), rb(test_seeds::stat_seed() + 53);
+  EXPECT_EQ(a.sample_characters(ra, 20), b.sample_characters(rb, 20));
+}
+
+}  // namespace
+}  // namespace nahsp::qs
