@@ -1,0 +1,114 @@
+// E11 — Batch-solve throughput: many independent planted HSP instances
+// through solve_hsp_batch, swept over the instance-level fan-out width.
+//
+// This is the multi-tenant workload: per-instance work is untouched (the
+// kernels run serially inside each task via the nested-region guard), so
+// the sweep isolates the cross-instance scaling of the batch driver.
+// Reports are bit-identical at every width (per-instance SplitRng
+// streams); instances_per_sec is the headline number.
+#include "bench_common.h"
+
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/quaternion.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/solve.h"
+
+namespace {
+
+using namespace nahsp;
+
+// A mixed batch: Heisenberg H(p,1) centre instances (Theorem 11 route)
+// and quaternion instances, rebuilt fresh each iteration so hider memos
+// and counters never leak across timed runs.
+struct Workload {
+  std::vector<bb::HspInstance> instances;
+  hsp::BatchOptions opts;
+};
+
+Workload make_workload(int n_instances) {
+  Workload w;
+  for (int i = 0; i < n_instances; ++i) {
+    if (i % 4 == 3) {
+      auto q = std::make_shared<grp::QuaternionGroup>(16);
+      w.instances.push_back(bb::make_instance(q, {q->make(0, true)}));
+      hsp::AutoOptions o;
+      o.order_bound = 16;
+      w.opts.per_instance.push_back(o);
+    } else {
+      const std::uint64_t p = (i % 4 == 0) ? 3 : (i % 4 == 1) ? 5 : 7;
+      auto h = std::make_shared<grp::HeisenbergGroup>(p, 1);
+      w.instances.push_back(bb::make_instance(h, {h->central_generator()}));
+      hsp::AutoOptions o;
+      o.order_bound = p * p * p;
+      w.opts.per_instance.push_back(o);
+    }
+  }
+  w.opts.base_seed = 0xe11;
+  return w;
+}
+
+constexpr int kBatchSize = 24;
+
+void BM_E11_BatchSolveThroughput(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  std::size_t solved = 0, total = 0;
+  std::uint64_t quantum = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Workload w = make_workload(kBatchSize);
+    w.opts.threads = threads;
+    state.ResumeTiming();
+    const auto report = hsp::solve_hsp_batch(w.instances, w.opts);
+    solved += report.solved;
+    total += report.items.size();
+    quantum += report.total_queries.quantum_queries;
+  }
+  state.counters["threads"] = threads;
+  state.counters["batch"] = kBatchSize;
+  state.counters["solved_frac"] =
+      total ? static_cast<double>(solved) / static_cast<double>(total) : 0.0;
+  state.counters["quantum_queries_per_batch"] =
+      state.iterations()
+          ? static_cast<double>(quantum) /
+                static_cast<double>(state.iterations())
+          : 0.0;
+  state.counters["instances_per_sec"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_E11_BatchSolveThroughput)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_E11_BatchVsSequentialLoop(benchmark::State& state) {
+  // The pre-batch-driver baseline: the same workload solved one
+  // instance at a time in a plain loop (what callers had before
+  // solve_hsp_batch existed). threads is irrelevant here; recorded for
+  // easy comparison against BM_E11_BatchSolveThroughput.
+  std::size_t solved = 0, total = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Workload w = make_workload(kBatchSize);
+    SplitRng streams(w.opts.base_seed);
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < w.instances.size(); ++i) {
+      Rng rng = streams.stream(i);
+      try {
+        (void)hsp::solve_hsp(*w.instances[i].bb, *w.instances[i].f, rng,
+                             w.opts.per_instance[i]);
+        ++solved;
+      } catch (const std::exception&) {
+      }
+      ++total;
+    }
+  }
+  state.counters["batch"] = kBatchSize;
+  state.counters["solved_frac"] =
+      total ? static_cast<double>(solved) / static_cast<double>(total) : 0.0;
+  state.counters["instances_per_sec"] = benchmark::Counter(
+      static_cast<double>(total), benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total));
+}
+BENCHMARK(BM_E11_BatchVsSequentialLoop)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,9 +1,9 @@
 // E8 — Simulator substrate scaling: gate throughput vs qubit count,
-// OpenMP thread scaling, exact vs approximate QFT, and the mixed-radix
-// FFT fast path.
+// ThreadPool kernel scaling, exact vs approximate QFT, and the
+// mixed-radix FFT fast path.
 #include <benchmark/benchmark.h>
-#include <omp.h>
 
+#include "nahsp/common/parallel.h"
 #include "nahsp/common/rng.h"
 #include "nahsp/qsim/mixedradix.h"
 #include "nahsp/qsim/qft.h"
@@ -30,19 +30,41 @@ void BM_E8_QftCircuit(benchmark::State& state) {
 BENCHMARK(BM_E8_QftCircuit)->DenseRange(10, 22, 2)->Unit(benchmark::kMillisecond);
 
 void BM_E8_QftThreadScaling(benchmark::State& state) {
+  // Kernel scaling over the ThreadPool: same QFT, pool width swept.
+  // Results are bit-identical at every width (fixed chunk layout); only
+  // the wall clock moves.
   const int threads = static_cast<int>(state.range(0));
   const int n = 21;
-  omp_set_num_threads(threads);
+  const int before = parallelism();
+  set_parallelism(threads);
   qs::StateVector sv = qs::StateVector::uniform(n);
   for (auto _ : state) {
     qs::apply_qft(sv, 0, n);
     benchmark::ClobberMemory();
   }
-  omp_set_num_threads(omp_get_num_procs());
+  set_parallelism(before);
   state.counters["threads"] = threads;
 }
 BENCHMARK(BM_E8_QftThreadScaling)
-    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(24)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_E8_MixedRadixThreadScaling(benchmark::State& state) {
+  // The mixed-radix Abelian QFT over Z_{2^21} under the same sweep.
+  const int threads = static_cast<int>(state.range(0));
+  const int before = parallelism();
+  set_parallelism(threads);
+  qs::MixedRadixState st =
+      qs::MixedRadixState::uniform({std::uint64_t{1} << 21});
+  for (auto _ : state) {
+    st.qft_all();
+    benchmark::ClobberMemory();
+  }
+  set_parallelism(before);
+  state.counters["threads"] = threads;
+}
+BENCHMARK(BM_E8_MixedRadixThreadScaling)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_E8_ApproxQftCutoff(benchmark::State& state) {

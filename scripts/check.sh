@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
 # Full local verification: the exact tier-1 command, then a
-# Debug + Address/UB-sanitizer build of the same suite.
+# Debug + Address/UB-sanitizer build of the same suite, then a TSan
+# build of the threading-relevant tests (unit + parallel labels) with
+# the pool pinned wide.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,5 +28,18 @@ cmake -B build-asan -S . \
   -DNAHSP_WERROR=ON
 cmake --build build-asan -j "$JOBS"
 (cd build-asan && ctest --output-on-failure -j "$JOBS")
+
+echo "== TSan build + unit/parallel tests =="
+# Races only materialise with real workers, so the pool is pinned wider
+# than one thread regardless of the machine's core count.
+NAHSP_TSAN_THREADS="${NAHSP_TSAN_THREADS:-4}"
+echo "pinned NAHSP_THREADS=${NAHSP_TSAN_THREADS} for the TSan run"
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DNAHSP_TSAN=ON
+cmake --build build-tsan -j "$JOBS"
+(cd build-tsan && \
+  NAHSP_THREADS="${NAHSP_TSAN_THREADS}" \
+  ctest -L 'unit|parallel' --output-on-failure -j "$JOBS")
 
 echo "== all checks passed =="

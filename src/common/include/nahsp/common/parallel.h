@@ -1,0 +1,225 @@
+// The parallel execution layer shared by every nahsp kernel.
+//
+// One fixed-size fork-join ThreadPool replaces the former per-kernel
+// OpenMP pragmas, so scheduling policy (grain, nesting, thread count)
+// lives in exactly one place. Design constraints, in order:
+//
+//  1. Determinism. Chunk *layout* depends only on (range, grain), never
+//     on the worker count, and reductions combine per-chunk partials in
+//     chunk-index order — so every result is bitwise identical at any
+//     thread count. At width 1 element-wise loops run as one plain
+//     serial call; chunked reductions keep the same fixed summation
+//     tree at every width (it differs from a single-accumulator serial
+//     sum only in floating-point association, never across widths).
+//     The pinned-seed suite in tests/test_parallel_determinism.cpp
+//     locks the observable outputs of the width-1 path to the
+//     pre-threading serial implementation.
+//  2. No nested oversubscription. A parallel_for issued from inside a
+//     pool task runs inline on the calling worker; the batch solve
+//     driver fans instances out across the pool and each instance's
+//     kernels then run serially within their worker.
+//  3. Exceptions propagate. The first exception thrown by any chunk is
+//     rethrown on the calling thread after the region joins; remaining
+//     chunks are abandoned (best effort).
+//
+// The global pool is sized from the NAHSP_THREADS environment variable
+// at first use (default: hardware concurrency) and can be resized with
+// set_parallelism(n). Resizing is not thread-safe against concurrent
+// parallel regions — call it from the main thread between regions.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "nahsp/common/check.h"
+
+namespace nahsp {
+
+/// \brief Default parallel grain for amplitude-sized work, in elements.
+///
+/// Ranges at or below it run as one serial chunk; every qsim kernel
+/// derives its chunk layout from this single constant so the layouts —
+/// and therefore all reductions — stay aligned and thread-count
+/// independent.
+inline constexpr std::size_t kDefaultGrain = std::size_t{1} << 14;
+
+/// \brief Fixed-size fork-join worker pool with grain-controlled
+/// parallel_for and deterministic reductions.
+///
+/// One loop ("job") runs at a time; concurrent submissions from
+/// different threads serialise on an internal mutex. The submitting
+/// thread participates in chunk execution, so a pool of size n applies
+/// n threads total (n-1 background workers plus the caller).
+class ThreadPool {
+ public:
+  /// \brief Spawns a pool applying `threads` threads to each loop
+  /// (`threads - 1` background workers). Requires threads in [1, 256].
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// \brief Threads applied to each parallel region (workers + caller).
+  int size() const { return n_; }
+
+  /// \brief Runs `body(lo, hi)` over disjoint subranges covering
+  /// [begin, end).
+  ///
+  /// The range is cut into ceil((end-begin)/grain) chunks of `grain`
+  /// elements (last chunk short); the layout depends only on the range
+  /// and grain, never on the worker count. Runs inline — one direct
+  /// body call over the whole range, no allocation, no type erasure —
+  /// when the pool has one thread, the range fits in a single chunk, or
+  /// the caller is itself a pool worker (nested regions never
+  /// oversubscribe).
+  ///
+  /// \param begin  First index of the iteration range.
+  /// \param end    One past the last index.
+  /// \param grain  Target elements per chunk; >= 1.
+  /// \param body   Callback invoked as body(lo, hi) with begin <= lo <
+  ///               hi <= end; must be safe to run concurrently on
+  ///               disjoint subranges.
+  template <typename Body>
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    Body&& body) {
+    NAHSP_REQUIRE(grain >= 1, "grain must be >= 1");
+    if (begin >= end) return;
+    // Serial fast path: one thread, a single chunk, or a nested region.
+    if (n_ == 1 || end - begin <= grain || in_worker()) {
+      body(begin, end);
+      return;
+    }
+    // std::ref keeps the type-erased wrapper allocation-free (a
+    // reference_wrapper always fits the small-buffer optimisation).
+    const std::function<void(std::size_t, std::size_t)> fn = std::ref(body);
+    dispatch(begin, end, grain, fn);
+  }
+
+  /// \brief Deterministic sum-reduction: returns the sum of
+  /// `chunk_sum(lo, hi)` over the same chunk layout as parallel_for.
+  ///
+  /// Partials are combined in chunk-index order, so the floating-point
+  /// result is bitwise identical for every thread count (including 1);
+  /// single-chunk ranges reduce to one plain serial call.
+  template <typename ChunkSum>
+  double reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                ChunkSum&& chunk_sum) {
+    NAHSP_REQUIRE(grain >= 1, "grain must be >= 1");
+    if (begin >= end) return 0.0;
+    const std::size_t range = end - begin;
+    const std::size_t n_chunks = (range + grain - 1) / grain;
+    if (n_chunks == 1) return chunk_sum(begin, end);
+    // The chunk layout (and therefore the summation tree) is fixed by
+    // (range, grain) alone: partials are filled by whichever thread
+    // claims the chunk but always combined in chunk-index order.
+    std::vector<double> partials(n_chunks, 0.0);
+    parallel_for(0, n_chunks, 1, [&](std::size_t clo, std::size_t chi) {
+      for (std::size_t i = clo; i < chi; ++i) {
+        const std::size_t lo = begin + i * grain;
+        const std::size_t hi = std::min(lo + grain, end);
+        partials[i] = chunk_sum(lo, hi);
+      }
+    });
+    double total = 0.0;
+    for (const double p : partials) total += p;
+    return total;
+  }
+
+  /// \brief True while the calling thread is executing a pool task
+  /// (used as the nested-region guard).
+  static bool in_worker();
+
+  /// \brief RAII guard marking the current thread as inside a pool
+  /// task, so parallel regions opened under it run inline.
+  ///
+  /// The pool applies it automatically around every chunk it runs; use
+  /// it directly when a task executes through a serial fast path (one
+  /// thread, or a single chunk) but must still honour the "kernels run
+  /// serially inside tasks" contract — solve_hsp_batch wraps each
+  /// instance in one so a width-1 batch never fans kernels out on the
+  /// global pool.
+  class TaskScope {
+   public:
+    TaskScope();
+    ~TaskScope();
+    TaskScope(const TaskScope&) = delete;
+    TaskScope& operator=(const TaskScope&) = delete;
+
+   private:
+    bool prev_;
+  };
+
+ private:
+  struct Job {
+    std::size_t begin = 0;
+    std::size_t grain = 1;
+    std::size_t n_chunks = 0;
+    std::size_t end = 0;
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> completed{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr error;  // first failure; guarded by error_mutex
+    std::mutex error_mutex;
+  };
+
+  // The multi-chunk submission path behind the template fast path.
+  void dispatch(std::size_t begin, std::size_t end, std::size_t grain,
+                const std::function<void(std::size_t, std::size_t)>& body);
+  void worker_loop();
+  static void run_chunks(Job& job);
+
+  int n_;
+  std::vector<std::thread> workers_;
+
+  std::mutex submit_mutex_;  // one job at a time
+
+  std::mutex job_mutex_;  // guards job_/generation_/stop_ handoff
+  std::condition_variable job_cv_;   // workers wait for a new job
+  std::condition_variable done_cv_;  // submitter waits for completion
+  Job* job_ = nullptr;
+  std::size_t in_flight_ = 0;  // workers currently inside run_chunks
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// \brief The process-wide pool used by the qsim kernels and the batch
+/// solve driver. Sized from NAHSP_THREADS at first use (default:
+/// hardware concurrency).
+ThreadPool& global_pool();
+
+/// \brief Thread count of the global pool.
+int parallelism();
+
+/// \brief Resizes the global pool to n threads (n = 1 runs everything
+/// serially on the calling thread). Not safe against concurrently
+/// running parallel regions.
+void set_parallelism(int n);
+
+/// \brief parallel_for on the global pool (see ThreadPool::parallel_for).
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                  Body&& body) {
+  global_pool().parallel_for(begin, end, grain, std::forward<Body>(body));
+}
+
+/// \brief Deterministic reduction on the global pool (see
+/// ThreadPool::reduce).
+template <typename ChunkSum>
+double parallel_reduce(std::size_t begin, std::size_t end, std::size_t grain,
+                       ChunkSum&& chunk_sum) {
+  return global_pool().reduce(begin, end, grain,
+                              std::forward<ChunkSum>(chunk_sum));
+}
+
+}  // namespace nahsp

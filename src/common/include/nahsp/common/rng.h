@@ -6,18 +6,26 @@
 // of state — more than enough for Las Vegas group algorithms.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace nahsp {
 
-/// xoshiro256** PRNG. Satisfies std::uniform_random_bit_generator.
+/// \brief xoshiro256** PRNG; satisfies
+/// std::uniform_random_bit_generator.
+///
+/// Every randomized algorithm in nahsp takes an explicit Rng& so runs
+/// replay from a seed. For parallel code, derive one stream per task
+/// with SplitRng (never share one Rng between threads).
 class Rng {
  public:
   using result_type = std::uint64_t;
 
-  /// Seeds the four 64-bit state words from `seed` via SplitMix64,
-  /// guaranteeing a non-zero state for any seed.
+  /// \brief Seeds the four 64-bit state words from `seed` via
+  /// SplitMix64, guaranteeing a non-zero state for any seed.
+  /// \param seed Any 64-bit value; equal seeds give equal sequences.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
   static constexpr result_type min() { return 0; }
@@ -25,27 +33,75 @@ class Rng {
     return std::numeric_limits<result_type>::max();
   }
 
-  /// Next 64 random bits.
+  /// \brief Next 64 random bits.
   result_type operator()();
 
-  /// Uniform integer in [0, bound). Requires bound > 0.
-  /// Uses rejection sampling (unbiased).
+  /// \brief Uniform integer in [0, bound) by unbiased rejection
+  /// sampling.
+  /// \param bound Exclusive upper bound; must be positive.
   std::uint64_t below(std::uint64_t bound);
 
-  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  /// \brief Uniform integer in [lo, hi] inclusive; requires lo <= hi.
   std::uint64_t between(std::uint64_t lo, std::uint64_t hi);
 
-  /// Uniform double in [0, 1).
+  /// \brief Uniform double in [0, 1) (53 high bits).
   double uniform01();
 
-  /// Fair coin.
+  /// \brief Fair coin.
   bool coin() { return ((*this)() >> 63) != 0; }
 
-  /// Derives an independent child generator (for parallel streams).
+  /// \brief Derives an independent child generator by drawing four
+  /// words from this one.
+  ///
+  /// The child depends on the parent's current position, so prefer
+  /// SplitRng / jump() when streams must be reproducible independently
+  /// of how much randomness the parent has already consumed.
   Rng split();
+
+  /// \brief Advances the state by 2^128 steps of operator() in O(1)
+  /// (the xoshiro256** jump polynomial).
+  ///
+  /// Partitions one seed's sequence into non-overlapping streams of
+  /// 2^128 values each: jumping k times lands at the start of stream k.
+  /// Unlike split() (whose children depend on how many values the
+  /// parent has already produced), jump() is a pure function of the
+  /// state, which is what makes SplitRng streams reproducible.
+  void jump();
 
  private:
   std::uint64_t s_[4];
+};
+
+/// \brief Deterministic per-task stream derivation for parallel code.
+///
+/// stream(i) is the base generator jumped i+1 times: every stream is
+/// a disjoint 2^128-value window of the same xoshiro256** sequence,
+/// and stream i is a function of (seed, i) only — independent of
+/// thread scheduling, so a parallel run is bit-reproducible and equal
+/// to the serial run task by task. The batch solve driver assigns
+/// stream(i) to instance i; any parallel Las Vegas loop can do the
+/// same with its task index.
+class SplitRng {
+ public:
+  /// \brief Stream factory over the sequence seeded by `seed`.
+  explicit SplitRng(std::uint64_t seed) : next_(seed) {
+    next_.jump();
+    cache_.push_back(next_);
+  }
+
+  /// \brief The i-th independent stream (cached; extending the cache
+  /// costs one jump per new stream).
+  Rng stream(std::size_t i) {
+    while (cache_.size() <= i) {
+      next_.jump();
+      cache_.push_back(next_);
+    }
+    return cache_[i];
+  }
+
+ private:
+  Rng next_;                // the seed generator jumped cache_.size() times
+  std::vector<Rng> cache_;  // cache_[i] = seed generator jumped i+1 times
 };
 
 }  // namespace nahsp

@@ -1,0 +1,158 @@
+#include "nahsp/common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "nahsp/common/check.h"
+
+namespace nahsp {
+
+namespace {
+
+// Set while a thread (worker or submitter) is executing pool chunks;
+// parallel regions opened under it run inline instead of re-entering
+// the pool.
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+bool ThreadPool::in_worker() { return t_in_worker; }
+
+ThreadPool::TaskScope::TaskScope() : prev_(t_in_worker) {
+  t_in_worker = true;
+}
+
+ThreadPool::TaskScope::~TaskScope() { t_in_worker = prev_; }
+
+ThreadPool::ThreadPool(int threads) : n_(threads) {
+  NAHSP_REQUIRE(threads >= 1 && threads <= 256,
+                "thread count must be in [1, 256]");
+  workers_.reserve(static_cast<std::size_t>(threads - 1));
+  for (int i = 0; i < threads - 1; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(job_mutex_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+// Claims and executes chunks of `job` until none remain or a chunk has
+// failed. Exceptions are recorded once; later chunks are abandoned.
+void ThreadPool::run_chunks(Job& job) {
+  TaskScope scope;
+  for (;;) {
+    const std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n_chunks) return;
+    if (!job.failed.load(std::memory_order_relaxed)) {
+      const std::size_t lo = job.begin + i * job.grain;
+      const std::size_t hi = std::min(lo + job.grain, job.end);
+      try {
+        (*job.body)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(job.error_mutex);
+        if (!job.failed.exchange(true, std::memory_order_relaxed)) {
+          job.error = std::current_exception();
+        }
+      }
+    }
+    job.completed.fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lk(job_mutex_);
+      job_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+      if (job != nullptr) ++in_flight_;  // pointer + count move together
+    }
+    if (job == nullptr) continue;  // job already drained
+    run_chunks(*job);
+    {
+      std::lock_guard<std::mutex> lk(job_mutex_);
+      --in_flight_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+// Multi-chunk submission: the template fast paths in the header have
+// already peeled off width-1 / single-chunk / nested execution.
+void ThreadPool::dispatch(
+    std::size_t begin, std::size_t end, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& body) {
+  const std::size_t range = end - begin;
+  std::lock_guard<std::mutex> submit(submit_mutex_);
+  Job job;
+  job.begin = begin;
+  job.end = end;
+  job.grain = grain;
+  job.n_chunks = (range + grain - 1) / grain;
+  job.body = &body;
+  {
+    std::lock_guard<std::mutex> lk(job_mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+  run_chunks(job);  // the submitter is worker number n
+  {
+    // Retract the job so no further worker can pick it up, then wait for
+    // every worker that already holds the pointer to leave run_chunks —
+    // only then is the stack-allocated Job safe to destroy.
+    std::unique_lock<std::mutex> lk(job_mutex_);
+    job_ = nullptr;
+    done_cv_.wait(lk, [&] {
+      return in_flight_ == 0 &&
+             job.completed.load(std::memory_order_acquire) == job.n_chunks;
+    });
+  }
+  if (job.failed.load(std::memory_order_relaxed)) {
+    std::rethrow_exception(job.error);
+  }
+}
+
+namespace {
+
+int default_parallelism() {
+  if (const char* env = std::getenv("NAHSP_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v >= 1 && v <= 256) return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(std::min(hw, 256u)) : 1;
+}
+
+std::unique_ptr<ThreadPool>& global_pool_slot() {
+  static std::unique_ptr<ThreadPool> pool =
+      std::make_unique<ThreadPool>(default_parallelism());
+  return pool;
+}
+
+}  // namespace
+
+ThreadPool& global_pool() { return *global_pool_slot(); }
+
+int parallelism() { return global_pool().size(); }
+
+void set_parallelism(int n) {
+  NAHSP_REQUIRE(n >= 1 && n <= 256, "thread count must be in [1, 256]");
+  auto& slot = global_pool_slot();
+  if (slot->size() == n) return;
+  slot = std::make_unique<ThreadPool>(n);
+}
+
+}  // namespace nahsp

@@ -1,5 +1,6 @@
 // One-call front door: picks the applicable algorithm from the paper's
-// toolbox based on cheap structural probes.
+// toolbox based on cheap structural probes, plus the multi-instance
+// batch driver that fans independent instances across the thread pool.
 //
 // Dispatch order (first applicable wins):
 //   1. A known elementary Abelian normal 2-subgroup (generators supplied)
@@ -12,21 +13,26 @@
 #pragma once
 
 #include <optional>
+#include <string>
 
+#include "nahsp/bbox/hiding.h"
 #include "nahsp/hsp/elem_abelian2.h"
 #include "nahsp/hsp/normal.h"
 #include "nahsp/hsp/small_commutator.h"
 
 namespace nahsp::hsp {
 
+/// \brief Which paper algorithm the dispatcher selected.
 enum class Method {
   kElemAbelian2,      // Theorem 13
   kSmallCommutator,   // Theorem 11
   kHiddenNormal,      // Theorem 8
 };
 
+/// \brief Human-readable name ("theorem-N (...)") of a Method.
 const char* method_name(Method m);
 
+/// \brief Knobs for the automatic dispatcher.
 struct AutoOptions {
   /// Generators of an elementary Abelian normal 2-subgroup, if known.
   std::optional<std::vector<grp::Code>> elem_abelian_2_subgroup;
@@ -39,14 +45,92 @@ struct AutoOptions {
   ElemAbelian2Options elem_abelian_2_options;
 };
 
+/// \brief Generators of the hidden subgroup plus the route that found
+/// them.
 struct HspSolution {
   std::vector<grp::Code> generators;
   Method method;
 };
 
-/// Solves the HSP for f on g with the first applicable paper algorithm.
+/// \brief Solves the HSP for f on g with the first applicable paper
+/// algorithm.
+/// \param g    Black-box group facade (counts every oracle call).
+/// \param f    Function hiding the subgroup to recover.
+/// \param rng  Randomness source; fixing the seed fixes the run.
+/// \param opts Dispatcher knobs (structural hints, budgets).
 HspSolution solve_hsp(const bb::BlackBoxGroup& g,
                       const bb::HidingFunction& f, Rng& rng,
                       const AutoOptions& opts = {});
+
+// ---------------------------------------------------------------------
+// Batch driver: many independent instances, one call.
+// ---------------------------------------------------------------------
+
+/// \brief Options for solve_hsp_batch.
+struct BatchOptions {
+  /// Dispatcher options applied to every instance...
+  AutoOptions solver;
+  /// ...unless this is non-empty, in which case per_instance[i] applies
+  /// to instances[i] (size must then match the instance count).
+  std::vector<AutoOptions> per_instance;
+  /// Base seed for the per-instance RNG streams. Instance i always
+  /// receives SplitRng(base_seed).stream(i), so results are a function
+  /// of (instances, options, base_seed) only — independent of thread
+  /// count and scheduling order.
+  std::uint64_t base_seed = 0x5eed0001ULL;
+  /// Instance-level fan-out width; 0 = the global pool
+  /// (NAHSP_THREADS / set_parallelism). When a dedicated width is
+  /// given, a private pool of that size is used for the fan-out.
+  /// The nesting rule still applies: a batch issued from inside any
+  /// pool task runs serially within that task (the width-1 path), so
+  /// nested batches never oversubscribe the machine.
+  int threads = 0;
+};
+
+/// \brief Outcome of one instance within a batch.
+struct BatchItemReport {
+  /// True iff the solver returned; false records the failure in `error`
+  /// (oracle_error, retry_exhausted, ... — one bad instance never takes
+  /// down the batch).
+  bool success = false;
+  /// Valid iff success.
+  HspSolution solution{};
+  /// Exception text iff !success.
+  std::string error;
+  /// Snapshot of the instance's query counters after its run.
+  bb::QueryCounter queries{};
+  /// Wall-clock seconds this instance's solve took.
+  double seconds = 0.0;
+};
+
+/// \brief Aggregate outcome of solve_hsp_batch.
+struct BatchReport {
+  /// Per-instance reports, in input order.
+  std::vector<BatchItemReport> items;
+  /// Number of items with success == true.
+  std::size_t solved = 0;
+  /// Sum of every instance's query counters (aggregated in input
+  /// order).
+  bb::QueryCounter total_queries{};
+  /// Wall-clock seconds for the whole batch.
+  double seconds = 0.0;
+};
+
+/// \brief Solves many independent HSP instances concurrently — the
+/// multi-tenant entry point.
+///
+/// Instances fan out across the pool (one task per instance); inside a
+/// task the simulator kernels run serially (the pool's nested-region
+/// guard), so the batch applies exactly the configured width. Each
+/// instance draws from its own SplitRng stream and writes only its own
+/// QueryCounter, which makes the whole batch bit-reproducible at any
+/// thread count.
+///
+/// Thread-safety contract: the entries of `instances` must not share
+/// mutable state — each needs its own counter and hiding function
+/// (bb::make_instance / bb::make_perm_instance give exactly that).
+/// Solver failures are captured per item, never thrown.
+BatchReport solve_hsp_batch(const std::vector<bb::HspInstance>& instances,
+                            const BatchOptions& opts = {});
 
 }  // namespace nahsp::hsp

@@ -1,6 +1,10 @@
 #include "nahsp/hsp/solve.h"
 
+#include <memory>
+
 #include "nahsp/common/check.h"
+#include "nahsp/common/parallel.h"
+#include "nahsp/common/timer.h"
 #include "nahsp/groups/algorithms.h"
 
 namespace nahsp::hsp {
@@ -50,6 +54,83 @@ HspSolution solve_hsp(const bb::BlackBoxGroup& g,
   no.order_bound = opts.order_bound;
   const auto res = find_hidden_normal_subgroup(g, f, rng, no);
   return {res.generators, Method::kHiddenNormal};
+}
+
+BatchReport solve_hsp_batch(const std::vector<bb::HspInstance>& instances,
+                            const BatchOptions& opts) {
+  NAHSP_REQUIRE(
+      opts.per_instance.empty() ||
+          opts.per_instance.size() == instances.size(),
+      "per_instance options must be empty or match the instance count");
+  const Timer batch_timer;
+  BatchReport report;
+  report.items.resize(instances.size());
+  if (instances.empty()) return report;
+
+  // Streams are derived up front, in index order, so instance i's
+  // randomness is a pure function of (base_seed, i) no matter which
+  // worker runs it or when.
+  SplitRng streams(opts.base_seed);
+  std::vector<Rng> rngs;
+  rngs.reserve(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i)
+    rngs.push_back(streams.stream(i));
+
+  const auto run_range = [&](std::size_t lo, std::size_t hi) {
+    // Kernels must run serially inside batch tasks at EVERY width —
+    // including the pool's serial fast paths (width 1, single
+    // instance), where no worker guard is active yet. Without this a
+    // width-1 batch would fan each instance's kernels out on the
+    // global pool, breaking the "batch applies exactly the configured
+    // width" contract and any serial-baseline measurement.
+    ThreadPool::TaskScope serial_kernels;
+    for (std::size_t i = lo; i < hi; ++i) {
+      const bb::HspInstance& inst = instances[i];
+      BatchItemReport& item = report.items[i];
+      const AutoOptions& auto_opts =
+          opts.per_instance.empty() ? opts.solver : opts.per_instance[i];
+      const Timer t;
+      try {
+        NAHSP_REQUIRE(inst.bb != nullptr && inst.f != nullptr,
+                      "batch instance missing black box or hiding function");
+        item.solution = solve_hsp(*inst.bb, *inst.f, rngs[i], auto_opts);
+        item.success = true;
+      } catch (const std::exception& e) {
+        item.error = e.what();
+      } catch (...) {
+        // User oracles can throw anything; per-item isolation must
+        // hold even for non-std exceptions.
+        item.error = "non-standard exception from solver or oracle";
+      }
+      item.seconds = t.seconds();
+      if (inst.counter != nullptr) item.queries = *inst.counter;
+    }
+  };
+
+  // Fan out one task per instance. Inside a task the simulator kernels
+  // run serially (nested-region guard), so the batch applies exactly
+  // `threads` threads in total. A dedicated width gets a private pool —
+  // never the global one, whose single job slot a multi-second batch
+  // would otherwise monopolise against unrelated kernel work — but only
+  // when the fan-out can actually use it: a nested batch or a
+  // single-instance batch runs inline either way, so spawning workers
+  // for it would be pure thread churn.
+  if (opts.threads > 0 && !ThreadPool::in_worker() && instances.size() > 1) {
+    ThreadPool pool(opts.threads);
+    pool.parallel_for(0, instances.size(), 1, run_range);
+  } else {
+    parallel_for(0, instances.size(), 1, run_range);
+  }
+
+  for (const BatchItemReport& item : report.items) {
+    if (item.success) ++report.solved;
+    report.total_queries.group_ops += item.queries.group_ops;
+    report.total_queries.classical_queries += item.queries.classical_queries;
+    report.total_queries.quantum_queries += item.queries.quantum_queries;
+    report.total_queries.sim_basis_evals += item.queries.sim_basis_evals;
+  }
+  report.seconds = batch_timer.seconds();
+  return report;
 }
 
 }  // namespace nahsp::hsp

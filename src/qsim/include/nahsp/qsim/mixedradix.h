@@ -5,7 +5,9 @@
 // cyclic factors Z_s; on qubit hardware one approximates it, but a
 // simulator can apply the exact per-cell DFT directly. The state is a
 // dense vector over prod(s_i) mixed-radix digits; cell transforms cost
-// O(D * s_i) and are OpenMP-parallel over the D / s_i independent fibres.
+// O(D * s_i) (O(D log s_i) on power-of-two cells) and schedule over the
+// common ThreadPool across the D / s_i independent fibres — results are
+// bitwise identical at any thread count.
 #pragma once
 
 #include <complex>
@@ -19,7 +21,11 @@ namespace nahsp::qs {
 using cplx = std::complex<double>;
 using u64 = std::uint64_t;
 
-/// Dense state over Z_{d0} x Z_{d1} x ... (row-major, last cell fastest).
+/// \brief Dense state over Z_{d0} x Z_{d1} x ... (row-major, last
+/// cell fastest).
+///
+/// Kernels run over the common ThreadPool; a single state must not be
+/// mutated from two threads.
 class MixedRadixState {
  public:
   /// |0, 0, ..., 0>.
@@ -38,11 +44,14 @@ class MixedRadixState {
   std::size_t index_of(const std::vector<u64>& digits) const;
   std::vector<u64> digits_of(std::size_t index) const;
 
-  /// Exact QFT on one cell: |x_c> -> (1/sqrt(d_c)) sum_y
+  /// \brief Exact QFT on one cell: |x_c> -> (1/sqrt(d_c)) sum_y
   /// exp(+-2 pi i x_c y / d_c)|y>.
+  /// \param cell    Cell index into dims().
+  /// \param inverse Apply the conjugate transform.
   void qft_cell(std::size_t cell, bool inverse = false);
 
-  /// QFT on every cell (the Abelian QFT over the product group).
+  /// \brief QFT on every cell (the Abelian QFT over the product
+  /// group).
   void qft_all(bool inverse = false);
 
   /// Simulates measuring an ancilla register holding `labels[i]` for

@@ -11,19 +11,23 @@
 
 namespace nahsp::qs {
 
-/// QFT on qubits [lo, lo+bits): |x> -> (1/sqrt(2^bits)) sum_y
+/// \brief QFT on qubits [lo, lo+bits): |x> -> (1/sqrt(2^bits)) sum_y
 /// exp(2*pi*i*x*y / 2^bits) |y>, with bit lo the least significant.
-/// `approx_cutoff` = 0 applies all rotations (exact QFT); a value c > 0
-/// drops controlled rotations between qubits more than c positions apart.
+/// \param sv           Target state (gates run over the ThreadPool).
+/// \param lo           First qubit of the register.
+/// \param bits         Register width.
+/// \param approx_cutoff 0 applies all rotations (exact QFT); c > 0
+///        drops controlled rotations between qubits more than c
+///        positions apart (the paper's approximate QFT).
 void apply_qft(StateVector& sv, int lo, int bits, int approx_cutoff = 0);
 
-/// Inverse of apply_qft with the same cutoff.
+/// \brief Inverse of apply_qft with the same cutoff.
 void apply_inverse_qft(StateVector& sv, int lo, int bits,
                        int approx_cutoff = 0);
 
-/// Dense reference DFT on the same register (O(4^bits); used by tests to
-/// validate the gate ladder and by small experiments). inverse=true
-/// applies the conjugate transform.
+/// \brief Dense reference DFT on the same register (O(4^bits); used
+/// by tests to validate the gate ladder and by small experiments).
+/// \param inverse Apply the conjugate transform.
 void apply_dft_reference(StateVector& sv, int lo, int bits,
                          bool inverse = false);
 

@@ -15,38 +15,18 @@
 //    against the statevector backends) while scaling past simulator
 //    memory. It is the documented large-instance substitution.
 //
-// Batched sampling and the cached-distribution contract
-// -----------------------------------------------------
-// The circuit's outcome distribution is a *fixed* property of one
-// problem instance, so re-running the full prepare -> oracle -> QFT
-// pipeline for every round only re-derives the same distribution. The
-// batched entry point `sample_characters(rng, k)` lets the statevector
-// backends compute the exact post-QFT outcome distribution ONCE, cache
-// it, and answer every further round as one AliasTable draw (O(1), two
-// Rng values per character):
-//  - QubitCosetSampler simulates the circuit once with the ancilla
-//    measurement deferred (it commutes with the input-register QFT) and
-//    marginalises the joint state — the cached distribution is exact for
-//    any approx_cutoff, at the cost of about one scalar round.
-//  - MixedRadixCosetSampler derives the distribution from the label
-//    classes: P(y) = (1/|A|^2) sum_labels |sum_{x in class} chi_y(x)|^2,
-//    computed per class either by collision counting (small classes) or
-//    by one indicator-DFT (large classes). Because this setup can cost
-//    several scalar rounds on instances with many cosets, the cache is
-//    built adaptively: batched draws fall back to the scalar circuit
-//    until the cumulative batched demand exceeds the estimated setup
-//    cost, so one-shot instances never regress. Entries below 1e-12
-//    total probability are dropped from the cached support (true
-//    outcome probabilities are never that small on supported domains).
-// Accounting contract: one batched draw counts exactly one quantum
-// query (a batch of k increments QueryCounter::quantum_queries by k);
-// sim_basis_evals only ever counts the one-time label sweep. Determinism
-// contract: for a fixed seed and an identical sequence of sample calls,
-// the returned character sequence is identical run to run (both the
-// scalar circuit and the alias path consume the Rng deterministically).
-// Scalar `sample_character` keeps full-circuit semantics until a cache
-// exists; once built, it serves from the cache too (the distribution is
-// identical by construction, chi-square-tested in test_sampler_batched).
+// Batched sampling: `sample_characters(rng, k)` lets the statevector
+// backends compute the exact post-QFT outcome distribution once, cache
+// it, and answer every further round as one AliasTable draw. The full
+// caching / accounting / determinism contract — what gets cached when,
+// what counts as a quantum query, and why sequences replay exactly —
+// lives in docs/ARCHITECTURE.md ("The coset-sampler contract");
+// tests/test_sampler_batched.cpp is its chi-square equivalence suite.
+//
+// Threading: the distribution builds schedule over the common
+// ThreadPool; the user LabelFn is only ever evaluated serially (the
+// one-time label sweep), so memoising hiding functions need no locks.
+// A sampler instance must not be shared between threads.
 #pragma once
 
 #include <cstddef>
@@ -66,19 +46,22 @@ namespace nahsp::qs {
 /// Label function over the domain A = Z_{d0} x ...: digit tuple -> label.
 using LabelFn = std::function<u64(const la::AbVec&)>;
 
-/// One-run-of-the-circuit character source.
+/// \brief One-run-of-the-circuit character source (abstract base of
+/// the three backends).
 class CosetSampler {
  public:
   virtual ~CosetSampler() = default;
 
-  /// Runs the circuit once; returns the measured character y
-  /// (componentwise, y_i in [0, d_i)).
+  /// \brief Runs the circuit once; returns the measured character y
+  /// (componentwise, y_i in [0, d_i)). Counts one quantum query.
   virtual la::AbVec sample_character(Rng& rng) = 0;
 
-  /// Runs the circuit k times; returns the k measured characters in draw
-  /// order. Counts exactly k quantum queries. The base implementation
-  /// loops the scalar path; the statevector backends serve batches from
-  /// their cached outcome distribution (see the header comment).
+  /// \brief Runs the circuit k times; returns the k measured
+  /// characters in draw order. Counts exactly k quantum queries.
+  ///
+  /// The base implementation loops the scalar path; the statevector
+  /// backends serve batches from their cached outcome distribution
+  /// (contract in docs/ARCHITECTURE.md).
   virtual std::vector<la::AbVec> sample_characters(Rng& rng, std::size_t k);
 
   virtual std::string backend_name() const = 0;
@@ -91,8 +74,11 @@ class CosetSampler {
   std::vector<u64> moduli_;
 };
 
-/// Exact mixed-radix statevector backend. Evaluates f over the whole
-/// domain once (cached; each circuit run still counts one quantum query).
+/// \brief Exact mixed-radix statevector backend (any moduli).
+///
+/// Evaluates f over the whole domain once (cached; each circuit run
+/// still counts one quantum query). Batches build the cached outcome
+/// distribution adaptively.
 class MixedRadixCosetSampler final : public CosetSampler {
  public:
   MixedRadixCosetSampler(std::vector<u64> moduli, LabelFn f,
@@ -124,8 +110,11 @@ class MixedRadixCosetSampler final : public CosetSampler {
   std::size_t uncached_batch_draws_ = 0;
 };
 
-/// Gate-level qubit backend (power-of-two moduli only). approx_cutoff
-/// as in apply_qft: 0 = exact ladder, c > 0 drops far rotations.
+/// \brief Gate-level qubit backend (power-of-two moduli only).
+///
+/// approx_cutoff as in apply_qft: 0 = exact ladder, c > 0 drops far
+/// rotations. Batches cache unconditionally (one deferred-measurement
+/// run).
 class QubitCosetSampler final : public CosetSampler {
  public:
   QubitCosetSampler(std::vector<u64> moduli, LabelFn f,
@@ -156,9 +145,11 @@ class QubitCosetSampler final : public CosetSampler {
   std::unique_ptr<AliasTable> dist_;  // distribution over support_
 };
 
-/// Distribution-exact shortcut: uniform over H^perp computed from the
-/// planted generators. No statevector; scales to any |A|. Already O(1)
-/// per draw, so batches use the base-class loop.
+/// \brief Distribution-exact shortcut: uniform over H^perp computed
+/// from the planted generators.
+///
+/// No statevector; scales to any |A|. Already O(1) per draw, so
+/// batches use the base-class loop.
 class AnalyticCosetSampler final : public CosetSampler {
  public:
   AnalyticCosetSampler(std::vector<u64> moduli,

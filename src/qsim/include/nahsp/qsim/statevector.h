@@ -3,8 +3,10 @@
 // This is the "hardware" substitute for the paper's quantum Turing
 // machine: a dense complex statevector with one- and two-qubit gates,
 // classical-function oracles, and projective measurement. Amplitude
-// kernels are OpenMP-parallel above a size threshold (the simulator is
-// the hot loop of every end-to-end experiment).
+// kernels schedule over the common ThreadPool above a grain of 2^14
+// amplitudes (the simulator is the hot loop of every end-to-end
+// experiment); results are bitwise identical at any thread count, and
+// a single StateVector must not be mutated from two threads.
 //
 // Qubit convention: qubit q corresponds to bit q of the basis index
 // (qubit 0 is the least significant bit).
@@ -22,16 +24,20 @@ namespace nahsp::qs {
 using cplx = std::complex<double>;
 using u64 = std::uint64_t;
 
-/// Dense statevector on n qubits (2^n amplitudes).
+/// \brief Dense statevector on n qubits (2^n amplitudes).
+///
+/// Gate kernels run over the common ThreadPool (serial below 2^14
+/// amplitudes); set_parallelism / NAHSP_THREADS controls the width.
 class StateVector {
  public:
-  /// |0...0>.
+  /// \brief The all-zeros basis state |0...0>.
+  /// \param n_qubits Register width; must be in [1, 28].
   explicit StateVector(int n_qubits);
 
-  /// Uniform superposition over all basis states.
+  /// \brief Uniform superposition over all basis states.
   static StateVector uniform(int n_qubits);
 
-  /// Basis state |value>.
+  /// \brief Basis state |value>.
   static StateVector basis(int n_qubits, u64 value);
 
   int qubits() const { return n_; }
@@ -51,27 +57,34 @@ class StateVector {
   void apply_cnot(int c, int t);
   void apply_swap(int a, int b);
 
-  /// Reversible classical oracle |s> -> |pi(s)> (pi must be a bijection
-  /// on [0, 2^n)).
+  /// \brief Reversible classical oracle |s> -> |pi(s)>.
+  /// \param pi Must be a bijection on [0, 2^n); it is evaluated
+  ///           concurrently by the kernel and must be thread-safe.
   void apply_permutation(const std::function<u64(u64)>& pi);
 
-  /// XOR oracle: |x>|y> -> |x>|y xor f(x)> where x occupies
+  /// \brief XOR oracle: |x>|y> -> |x>|y xor f(x)> where x occupies
   /// [in_lo, in_lo+in_bits) and y occupies [out_lo, out_lo+out_bits).
-  /// f's value is masked to out_bits.
+  /// \param f Classical function; its value is masked to out_bits. It
+  ///          is evaluated concurrently by the kernel and must be
+  ///          thread-safe (the samplers pass a plain array lookup).
   void apply_xor_function(int in_lo, int in_bits, int out_lo, int out_bits,
                           const std::function<u64(u64)>& f);
 
   // ----- measurement -----
-  /// Squared norm (should stay 1 up to rounding; tested invariant).
+  /// \brief Squared norm (should stay 1 up to rounding; tested
+  /// invariant). Deterministic fixed-chunk reduction: the value is
+  /// identical at every thread count.
   double norm2() const;
 
-  /// Samples a full-basis measurement outcome without collapsing.
+  /// \brief Samples a full-basis measurement outcome without
+  /// collapsing.
   u64 sample(Rng& rng) const;
 
-  /// Measures qubits [lo, lo+bits), collapses the state, returns outcome.
+  /// \brief Measures qubits [lo, lo+bits), collapses the state, and
+  /// returns the outcome.
   u64 measure_range(int lo, int bits, Rng& rng);
 
-  /// Probability of measuring `value` on qubits [lo, lo+bits).
+  /// \brief Probability of measuring `value` on qubits [lo, lo+bits).
   double range_probability(int lo, int bits, u64 value) const;
 
   const std::vector<cplx>& amplitudes() const { return amps_; }

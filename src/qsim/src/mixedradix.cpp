@@ -1,15 +1,19 @@
 #include "nahsp/qsim/mixedradix.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <unordered_map>
 
 #include "nahsp/common/check.h"
+#include "nahsp/common/parallel.h"
 
 namespace nahsp::qs {
 
 namespace {
-constexpr std::size_t kParallelThreshold = std::size_t{1} << 14;
+// Parallel grain in amplitudes: ranges at or below it run as one serial
+// chunk, and the chunk layout is the same at every thread count.
+constexpr std::size_t kGrain = kDefaultGrain;
 
 bool is_pow2_size(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
@@ -64,9 +68,9 @@ MixedRadixState::MixedRadixState(std::vector<u64> dims)
 MixedRadixState MixedRadixState::uniform(std::vector<u64> dims) {
   MixedRadixState st(std::move(dims));
   const double a = 1.0 / std::sqrt(static_cast<double>(st.dim()));
-  const std::size_t d = st.dim();
-#pragma omp parallel for if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) st.amps_[i] = a;
+  parallel_for(0, st.dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) st.amps_[i] = a;
+  });
   return st;
 }
 
@@ -98,11 +102,13 @@ void MixedRadixState::qft_cell(std::size_t cell, bool inverse) {
     // Radix-2 fast path: O(D log n) instead of O(D n).
     const double scale = 1.0 / std::sqrt(static_cast<double>(n));
     const std::size_t groups = dim() / n;
-#pragma omp parallel if (dim() >= kParallelThreshold)
-    {
+    // Fibres are disjoint strided slices; the grain is sized so one
+    // chunk covers ~kGrain amplitudes and the scratch buffer is
+    // allocated once per chunk, not once per fibre.
+    const std::size_t grain = std::max<std::size_t>(1, kGrain / n);
+    parallel_for(0, groups, grain, [&](std::size_t glo, std::size_t ghi) {
       std::vector<cplx> buf(n);
-#pragma omp for
-      for (std::size_t g = 0; g < groups; ++g) {
+      for (std::size_t g = glo; g < ghi; ++g) {
         const std::size_t below = g % stride;
         const std::size_t above = g / stride;
         const std::size_t base = above * stride * n + below;
@@ -111,7 +117,7 @@ void MixedRadixState::qft_cell(std::size_t cell, bool inverse) {
         for (std::size_t y = 0; y < n; ++y)
           amps_[base + y * stride] = buf[y] * scale;
       }
-    }
+    });
     return;
   }
   std::vector<cplx> w(n);
@@ -122,11 +128,10 @@ void MixedRadixState::qft_cell(std::size_t cell, bool inverse) {
   }
   const double scale = 1.0 / std::sqrt(static_cast<double>(n));
   const std::size_t groups = dim() / n;
-#pragma omp parallel if (dim() >= kParallelThreshold)
-  {
+  const std::size_t grain = std::max<std::size_t>(1, kGrain / n);
+  parallel_for(0, groups, grain, [&](std::size_t glo, std::size_t ghi) {
     std::vector<cplx> in(n), out(n);
-#pragma omp for
-    for (std::size_t g = 0; g < groups; ++g) {
+    for (std::size_t g = glo; g < ghi; ++g) {
       // Fibre base index: split g into (block above the cell, offset
       // below it).
       const std::size_t below = g % stride;
@@ -140,7 +145,7 @@ void MixedRadixState::qft_cell(std::size_t cell, bool inverse) {
       }
       for (std::size_t y = 0; y < n; ++y) amps_[base + y * stride] = out[y];
     }
-  }
+  });
 }
 
 void MixedRadixState::qft_all(bool inverse) {
@@ -167,14 +172,14 @@ u64 MixedRadixState::collapse_by_label(const std::vector<u64>& labels,
     if (acc >= target) break;
   }
   const double scale = 1.0 / std::sqrt(weight[chosen]);
-  const std::size_t d = dim();
-#pragma omp parallel for if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) {
-    if (labels[i] == chosen)
-      amps_[i] *= scale;
-    else
-      amps_[i] = 0.0;
-  }
+  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (labels[i] == chosen)
+        amps_[i] *= scale;
+      else
+        amps_[i] = 0.0;
+    }
+  });
   return chosen;
 }
 
@@ -189,11 +194,13 @@ std::vector<u64> MixedRadixState::sample(Rng& rng) const {
 }
 
 double MixedRadixState::norm2() const {
-  double s = 0.0;
-  const std::size_t d = dim();
-#pragma omp parallel for reduction(+ : s) if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) s += std::norm(amps_[i]);
-  return s;
+  return parallel_reduce(0, dim(), kGrain,
+                         [&](std::size_t lo, std::size_t hi) {
+                           double s = 0.0;
+                           for (std::size_t i = lo; i < hi; ++i)
+                             s += std::norm(amps_[i]);
+                           return s;
+                         });
 }
 
 }  // namespace nahsp::qs

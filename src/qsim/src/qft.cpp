@@ -1,9 +1,11 @@
 #include "nahsp/qsim/qft.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
 #include "nahsp/common/check.h"
+#include "nahsp/common/parallel.h"
 
 namespace nahsp::qs {
 
@@ -66,19 +68,22 @@ void apply_dft_reference(StateVector& sv, int lo, int bits, bool inverse) {
   const double scale = 1.0 / std::sqrt(static_cast<double>(n));
   std::vector<cplx> next(d, cplx{0.0, 0.0});
   const std::size_t groups = d >> bits;
-#pragma omp parallel for if (groups >= 64)
-  for (std::size_t g = 0; g < groups; ++g) {
-    const u64 low = static_cast<u64>(g) & ((u64{1} << lo) - 1);
-    const u64 high = (static_cast<u64>(g) >> lo) << (lo + bits);
-    const u64 base = high | low;
-    for (std::size_t y = 0; y < n; ++y) {
-      cplx acc{0.0, 0.0};
-      for (std::size_t x = 0; x < n; ++x) {
-        acc += w[(x * y) & mask] * sv.amp(base | (x << lo));
+  // Each group owns a disjoint strided slice of `next`; the grain keeps
+  // one chunk at ~64 groups of O(n^2) work each.
+  parallel_for(0, groups, 64, [&](std::size_t glo, std::size_t ghi) {
+    for (std::size_t g = glo; g < ghi; ++g) {
+      const u64 low = static_cast<u64>(g) & ((u64{1} << lo) - 1);
+      const u64 high = (static_cast<u64>(g) >> lo) << (lo + bits);
+      const u64 base = high | low;
+      for (std::size_t y = 0; y < n; ++y) {
+        cplx acc{0.0, 0.0};
+        for (std::size_t x = 0; x < n; ++x) {
+          acc += w[(x * y) & mask] * sv.amp(base | (x << lo));
+        }
+        next[base | (y << lo)] = acc * scale;
       }
-      next[base | (y << lo)] = acc * scale;
     }
-  }
+  });
   for (std::size_t i = 0; i < d; ++i) sv.set_amp(i, next[i]);
 }
 

@@ -1,10 +1,12 @@
 #include "nahsp/qsim/sampler.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 
 #include "nahsp/common/bits.h"
 #include "nahsp/common/check.h"
+#include "nahsp/common/parallel.h"
 #include "nahsp/numtheory/arith.h"
 #include "nahsp/qsim/qft.h"
 
@@ -20,6 +22,10 @@ constexpr int kMaxSimQubits = 26;
 // (numerical noise from the transforms; genuine outcome probabilities on
 // a <= 2^26 domain are orders of magnitude above it).
 constexpr double kSupportEps = 1e-12;
+
+// Parallel grain for the distribution-build sweeps (the shared kernel
+// grain, so the chunk layout is thread-count independent).
+constexpr std::size_t kGrain = kDefaultGrain;
 
 std::size_t domain_size(const std::vector<u64>& moduli) {
   std::size_t d = 1;
@@ -178,7 +184,10 @@ void MixedRadixCosetSampler::build_distribution() {
       for (const std::size_t idx : members) st.set_amp(idx, a);
       st.qft_all();
       const double w = static_cast<double>(s) / static_cast<double>(d);
-      for (std::size_t y = 0; y < d; ++y) prob[y] += w * std::norm(st.amp(y));
+      parallel_for(0, d, kGrain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t y = lo; y < hi; ++y)
+          prob[y] += w * std::norm(st.amp(y));
+      });
     }
   }
   if (collisions) {
@@ -187,8 +196,10 @@ void MixedRadixCosetSampler::build_distribution() {
     // contribution(y) = (1/d^2) sum_z c(z) chi_y(z) = amp(y) * sqrt(d)/d^2.
     const double scale = std::sqrt(static_cast<double>(d)) /
                          (static_cast<double>(d) * static_cast<double>(d));
-    for (std::size_t y = 0; y < d; ++y)
-      prob[y] += scale * collisions->amp(y).real();
+    parallel_for(0, d, kGrain, [&](std::size_t lo, std::size_t hi) {
+      for (std::size_t y = lo; y < hi; ++y)
+        prob[y] += scale * collisions->amp(y).real();
+    });
   }
 
   dist_ = compress_distribution(prob, support_);
@@ -315,9 +326,22 @@ void QubitCosetSampler::ensure_distribution() {
   }
   const u64 din = u64{1} << in_bits_;
   std::vector<double> prob(din, 0.0);
-  const std::size_t dim = sv.dim();
-  for (std::size_t idx = 0; idx < dim; ++idx)
-    prob[idx & (din - 1)] += std::norm(sv.amp(idx));
+  const std::size_t n_anc = sv.dim() / din;
+  // Marginalise the ancilla out bucket-wise: chunk c owns prob[y] for y
+  // in its subrange, and each bucket sums its ancilla blocks in
+  // ascending index order — the exact per-bucket order of the serial
+  // interleaved sweep, so the cached distribution is bitwise identical
+  // at any thread count.
+  const std::size_t grain =
+      std::max<std::size_t>(1, kGrain / std::max<std::size_t>(1, n_anc));
+  parallel_for(0, din, grain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t y = lo; y < hi; ++y) {
+      double s = 0.0;
+      for (std::size_t a = 0; a < n_anc; ++a)
+        s += std::norm(sv.amp(a * din + y));
+      prob[y] = s;
+    }
+  });
   dist_ = compress_distribution(prob, support_);
 }
 

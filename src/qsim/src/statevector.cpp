@@ -4,12 +4,15 @@
 #include <numbers>
 
 #include "nahsp/common/check.h"
+#include "nahsp/common/parallel.h"
 
 namespace nahsp::qs {
 
 namespace {
-// Below this size OpenMP fork/join overhead dominates; stay serial.
-constexpr std::size_t kParallelThreshold = std::size_t{1} << 14;
+// Below this many amplitudes fork/join overhead dominates; the kernels
+// stay serial (one chunk). Doubles as the parallel_for grain, so the
+// chunk layout — and every reduction — is identical at any thread count.
+constexpr std::size_t kGrain = kDefaultGrain;
 }  // namespace
 
 StateVector::StateVector(int n_qubits) : n_(n_qubits) {
@@ -22,9 +25,9 @@ StateVector::StateVector(int n_qubits) : n_(n_qubits) {
 StateVector StateVector::uniform(int n_qubits) {
   StateVector sv(n_qubits);
   const double a = 1.0 / std::sqrt(static_cast<double>(sv.dim()));
-  const std::size_t d = sv.dim();
-#pragma omp parallel for if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) sv.amps_[i] = a;
+  parallel_for(0, sv.dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) sv.amps_[i] = a;
+  });
   return sv;
 }
 
@@ -40,30 +43,35 @@ void StateVector::check_qubit(int q) const {
   NAHSP_REQUIRE(q >= 0 && q < n_, "qubit index out of range");
 }
 
+// Every pair kernel below iterates the full index range and acts only at
+// the pair representative (the index with the distinguishing bit clear),
+// so a chunk never touches an index another chunk acts on: the partner
+// index is skipped by whichever chunk contains it.
+
 void StateVector::apply_h(int q) {
   check_qubit(q);
   const u64 bit = u64{1} << q;
   const double inv_sqrt2 = 1.0 / std::numbers::sqrt2;
-  const std::size_t d = dim();
-#pragma omp parallel for if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) {
-    if (i & bit) continue;
-    const cplx a0 = amps_[i];
-    const cplx a1 = amps_[i | bit];
-    amps_[i] = (a0 + a1) * inv_sqrt2;
-    amps_[i | bit] = (a0 - a1) * inv_sqrt2;
-  }
+  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (i & bit) continue;
+      const cplx a0 = amps_[i];
+      const cplx a1 = amps_[i | bit];
+      amps_[i] = (a0 + a1) * inv_sqrt2;
+      amps_[i | bit] = (a0 - a1) * inv_sqrt2;
+    }
+  });
 }
 
 void StateVector::apply_x(int q) {
   check_qubit(q);
   const u64 bit = u64{1} << q;
-  const std::size_t d = dim();
-#pragma omp parallel for if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) {
-    if (i & bit) continue;
-    std::swap(amps_[i], amps_[i | bit]);
-  }
+  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (i & bit) continue;
+      std::swap(amps_[i], amps_[i | bit]);
+    }
+  });
 }
 
 void StateVector::apply_z(int q) { apply_phase(q, std::numbers::pi); }
@@ -72,11 +80,11 @@ void StateVector::apply_phase(int q, double theta) {
   check_qubit(q);
   const u64 bit = u64{1} << q;
   const cplx w = std::polar(1.0, theta);
-  const std::size_t d = dim();
-#pragma omp parallel for if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) {
-    if (i & bit) amps_[i] *= w;
-  }
+  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if (i & bit) amps_[i] *= w;
+    }
+  });
 }
 
 void StateVector::apply_cphase(int c, int t, double theta) {
@@ -85,11 +93,11 @@ void StateVector::apply_cphase(int c, int t, double theta) {
   NAHSP_REQUIRE(c != t, "control equals target");
   const u64 mask = (u64{1} << c) | (u64{1} << t);
   const cplx w = std::polar(1.0, theta);
-  const std::size_t d = dim();
-#pragma omp parallel for if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) {
-    if ((i & mask) == mask) amps_[i] *= w;
-  }
+  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if ((i & mask) == mask) amps_[i] *= w;
+    }
+  });
 }
 
 void StateVector::apply_cnot(int c, int t) {
@@ -98,11 +106,11 @@ void StateVector::apply_cnot(int c, int t) {
   NAHSP_REQUIRE(c != t, "control equals target");
   const u64 cbit = u64{1} << c;
   const u64 tbit = u64{1} << t;
-  const std::size_t d = dim();
-#pragma omp parallel for if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) {
-    if ((i & cbit) && !(i & tbit)) std::swap(amps_[i], amps_[i | tbit]);
-  }
+  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      if ((i & cbit) && !(i & tbit)) std::swap(amps_[i], amps_[i | tbit]);
+    }
+  });
 }
 
 void StateVector::apply_swap(int a, int b) {
@@ -111,25 +119,24 @@ void StateVector::apply_swap(int a, int b) {
   if (a == b) return;
   const u64 abit = u64{1} << a;
   const u64 bbit = u64{1} << b;
-  const std::size_t d = dim();
-#pragma omp parallel for if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) {
-    // Act once per {01, 10} pair: pick the representative with a=1, b=0.
-    if ((i & abit) && !(i & bbit)) {
-      std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
+  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      // Act once per {01, 10} pair: pick the representative with a=1, b=0.
+      if ((i & abit) && !(i & bbit)) {
+        std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
+      }
     }
-  }
+  });
 }
 
 void StateVector::apply_permutation(const std::function<u64(u64)>& pi) {
   std::vector<cplx> next(dim(), cplx{0.0, 0.0});
-  const std::size_t d = dim();
-#pragma omp parallel for if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) {
-    const u64 j = pi(i);
-    next[j] = amps_[i];
-  }
-  // A true permutation preserves the norm; verify cheaply in debug terms.
+  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const u64 j = pi(i);
+      next[j] = amps_[i];  // pi is a bijection: writes are disjoint
+    }
+  });
   amps_ = std::move(next);
 }
 
@@ -144,22 +151,24 @@ void StateVector::apply_xor_function(int in_lo, int in_bits, int out_lo,
                 "registers overlap");
   const u64 in_mask = (in_bits >= 64 ? ~u64{0} : (u64{1} << in_bits) - 1);
   const u64 out_mask = (out_bits >= 64 ? ~u64{0} : (u64{1} << out_bits) - 1);
-  const std::size_t d = dim();
-#pragma omp parallel for if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) {
-    const u64 x = (i >> in_lo) & in_mask;
-    const u64 fx = f(x) & out_mask;
-    const u64 j = i ^ (fx << out_lo);
-    if (i < j) std::swap(amps_[i], amps_[j]);  // involution: swap once
-  }
+  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const u64 x = (i >> in_lo) & in_mask;
+      const u64 fx = f(x) & out_mask;
+      const u64 j = i ^ (fx << out_lo);
+      if (i < j) std::swap(amps_[i], amps_[j]);  // involution: swap once
+    }
+  });
 }
 
 double StateVector::norm2() const {
-  double s = 0.0;
-  const std::size_t d = dim();
-#pragma omp parallel for reduction(+ : s) if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) s += std::norm(amps_[i]);
-  return s;
+  return parallel_reduce(0, dim(), kGrain,
+                         [&](std::size_t lo, std::size_t hi) {
+                           double s = 0.0;
+                           for (std::size_t i = lo; i < hi; ++i)
+                             s += std::norm(amps_[i]);
+                           return s;
+                         });
 }
 
 u64 StateVector::sample(Rng& rng) const {
@@ -176,13 +185,15 @@ double StateVector::range_probability(int lo, int bits, u64 value) const {
   NAHSP_REQUIRE(lo >= 0 && bits >= 1 && lo + bits <= n_,
                 "register out of range");
   const u64 mask = (bits >= 64 ? ~u64{0} : (u64{1} << bits) - 1);
-  double p = 0.0;
-  const std::size_t d = dim();
-#pragma omp parallel for reduction(+ : p) if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) {
-    if (((i >> lo) & mask) == value) p += std::norm(amps_[i]);
-  }
-  return p;
+  return parallel_reduce(0, dim(), kGrain,
+                         [&](std::size_t clo, std::size_t chi) {
+                           double p = 0.0;
+                           for (std::size_t i = clo; i < chi; ++i) {
+                             if (((i >> lo) & mask) == value)
+                               p += std::norm(amps_[i]);
+                           }
+                           return p;
+                         });
 }
 
 u64 StateVector::measure_range(int lo, int bits, Rng& rng) {
@@ -208,14 +219,14 @@ u64 StateVector::measure_range(int lo, int bits, Rng& rng) {
   const double p = outcome_prob[outcome];
   NAHSP_CHECK(p > 0.0, "measured a zero-probability outcome");
   const double scale = 1.0 / std::sqrt(p);
-  const std::size_t d = dim();
-#pragma omp parallel for if (d >= kParallelThreshold)
-  for (std::size_t i = 0; i < d; ++i) {
-    if (((i >> lo) & mask) == outcome)
-      amps_[i] *= scale;
-    else
-      amps_[i] = 0.0;
-  }
+  parallel_for(0, dim(), kGrain, [&](std::size_t clo, std::size_t chi) {
+    for (std::size_t i = clo; i < chi; ++i) {
+      if (((i >> lo) & mask) == outcome)
+        amps_[i] *= scale;
+      else
+        amps_[i] = 0.0;
+    }
+  });
   return outcome;
 }
 

@@ -1,0 +1,329 @@
+// Determinism contract of the parallel execution subsystem.
+//
+// Two guarantees are locked here:
+//  1. Serial fidelity: at parallelism 1 every kernel, sampler path, and
+//     end-to-end solve reproduces the observable outputs (sampled
+//     characters, measurement outcomes, recovered generators, query
+//     counts) of the pre-threading serial code path exactly. The
+//     expected values below were captured from the last OpenMP-era
+//     revision running single-threaded, under the pinned seeds in
+//     tests/test_seeds.h. (Chunked floating-point reductions keep a
+//     fixed width-independent summation tree whose association differs
+//     from the old single-accumulator loop in the last ulps — the
+//     integer outputs locked here are unaffected.)
+//  2. Thread-count invariance: the same outputs are produced at
+//     parallelism 4 (chunk layout and reduction trees depend only on
+//     the range and grain, never on the worker count), and
+//     solve_hsp_batch reports are identical at any fan-out width.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "nahsp/bbox/hiding.h"
+#include "nahsp/common/parallel.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/cyclic.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/quaternion.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/solve.h"
+#include "nahsp/qsim/qft.h"
+#include "nahsp/qsim/sampler.h"
+#include "nahsp/qsim/statevector.h"
+#include "test_seeds.h"
+
+namespace nahsp {
+namespace {
+
+using la::AbVec;
+
+// Runs `scenario` at parallelism 1 and 4 and returns both outputs;
+// restores the ambient pool width afterwards.
+template <typename Fn>
+auto at_widths(Fn scenario) {
+  const int before = parallelism();
+  set_parallelism(1);
+  auto serial = scenario();
+  set_parallelism(4);
+  auto threaded = scenario();
+  set_parallelism(before);
+  return std::pair(serial, threaded);
+}
+
+TEST(SerialFidelity, MixedRadixScalarSampler) {
+  const std::vector<AbVec> expected{{0}, {8}, {4}, {20}, {4}, {8}, {0}, {20}};
+  const auto [serial, threaded] = at_widths([] {
+    qs::MixedRadixCosetSampler s(
+        {24}, [](const AbVec& x) { return x[0] % 6; }, nullptr);
+    Rng rng(test_seeds::kParMrScalar);
+    std::vector<AbVec> out;
+    for (int i = 0; i < 8; ++i) out.push_back(s.sample_character(rng));
+    return out;
+  });
+  EXPECT_EQ(serial, expected);
+  EXPECT_EQ(threaded, expected);
+}
+
+TEST(SerialFidelity, MixedRadixBatchedSampler) {
+  const std::vector<AbVec> expected{
+      {0, 2}, {4, 2}, {2, 0}, {4, 0}, {4, 2}, {4, 2}, {2, 2}, {4, 0},
+      {4, 0}, {2, 2}, {2, 2}, {0, 0}, {2, 2}, {2, 2}, {4, 0}, {0, 0}};
+  const auto [serial, threaded] = at_widths([] {
+    qs::MixedRadixCosetSampler s(
+        {6, 4}, [](const AbVec& x) { return (x[0] % 3) * 4 + (x[1] % 2); },
+        nullptr);
+    Rng rng(test_seeds::kParMrBatched);
+    return s.sample_characters(rng, 16);
+  });
+  EXPECT_EQ(serial, expected);
+  EXPECT_EQ(threaded, expected);
+}
+
+TEST(SerialFidelity, QubitScalarSampler) {
+  const std::vector<AbVec> expected{{48}, {0}, {24}, {32}, {24}, {24}};
+  const auto [serial, threaded] = at_widths([] {
+    qs::QubitCosetSampler s(
+        {64}, [](const AbVec& x) { return x[0] % 8; }, nullptr);
+    Rng rng(test_seeds::kParQubitScalar);
+    std::vector<AbVec> out;
+    for (int i = 0; i < 6; ++i) out.push_back(s.sample_character(rng));
+    return out;
+  });
+  EXPECT_EQ(serial, expected);
+  EXPECT_EQ(threaded, expected);
+}
+
+TEST(SerialFidelity, QubitBatchedSampler) {
+  const std::vector<AbVec> expected{{40}, {0},  {0},  {16}, {0},  {32},
+                                    {48}, {48}, {24}, {40}, {56}, {40}};
+  const auto [serial, threaded] = at_widths([] {
+    qs::QubitCosetSampler s(
+        {64}, [](const AbVec& x) { return x[0] % 8; }, nullptr);
+    Rng rng(test_seeds::kParQubitBatched);
+    return s.sample_characters(rng, 12);
+  });
+  EXPECT_EQ(serial, expected);
+  EXPECT_EQ(threaded, expected);
+}
+
+TEST(SerialFidelity, StateVectorCircuitMeasurements) {
+  // 16 qubits = 2^16 amplitudes: four grain-sized chunks, so this
+  // exercises the genuinely chunked kernel and reduction paths.
+  const auto [serial, threaded] = at_widths([] {
+    qs::StateVector sv(16);
+    for (int q = 0; q < 8; ++q) sv.apply_h(q);
+    sv.apply_xor_function(0, 8, 8, 8, [](qs::u64 x) { return x % 12; });
+    Rng rng(test_seeds::kParStateVector);
+    const qs::u64 m1 = sv.measure_range(8, 8, rng);
+    qs::apply_qft(sv, 0, 8, 3);
+    const qs::u64 m2 = sv.measure_range(0, 8, rng);
+    return std::pair(m1, m2);
+  });
+  EXPECT_EQ(serial.first, 8u);
+  EXPECT_EQ(serial.second, 86u);
+  EXPECT_EQ(threaded, serial);
+}
+
+TEST(SerialFidelity, EndToEndSolve) {
+  const auto [serial, threaded] = at_widths([] {
+    auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+    const auto inst = bb::make_instance(h, {h->make({1}, {1}, 0)});
+    Rng rng(test_seeds::kParSolve);
+    hsp::AutoOptions opts;
+    opts.order_bound = 27;
+    const auto sol = hsp::solve_hsp(*inst.bb, *inst.f, rng, opts);
+    return std::tuple(sol.method, sol.generators,
+                      inst.counter->quantum_queries);
+  });
+  EXPECT_EQ(std::get<0>(serial), hsp::Method::kSmallCommutator);
+  EXPECT_EQ(std::get<1>(serial), std::vector<grp::Code>{5});
+  EXPECT_EQ(std::get<2>(serial), 23u);
+  EXPECT_EQ(threaded, serial);
+}
+
+// ---------------------------------------------------------------------
+// solve_hsp_batch: identical reports at every fan-out width.
+// ---------------------------------------------------------------------
+
+struct BatchFixture {
+  std::vector<bb::HspInstance> instances;
+  hsp::BatchOptions opts;
+};
+
+// Instances must be rebuilt per run: hiders memoise and counters
+// accumulate, so reusing them across widths would conflate state.
+BatchFixture make_batch() {
+  BatchFixture fx;
+  for (int i = 0; i < 3; ++i) {
+    auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+    fx.instances.push_back(bb::make_instance(h, {h->make({1}, {1}, 0)}));
+    hsp::AutoOptions o;
+    o.order_bound = 27;
+    fx.opts.per_instance.push_back(o);
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto q = std::make_shared<grp::QuaternionGroup>(16);
+    fx.instances.push_back(bb::make_instance(q, {q->make(0, true)}));
+    hsp::AutoOptions o;
+    o.order_bound = 16;
+    fx.opts.per_instance.push_back(o);
+  }
+  fx.opts.base_seed = test_seeds::kParBatchBase;
+  return fx;
+}
+
+// Strips the timing fields (the only legitimately nondeterministic part
+// of a report) so reports compare exactly.
+struct ComparableItem {
+  bool success;
+  hsp::Method method;
+  std::vector<grp::Code> generators;
+  std::string error;
+  std::uint64_t group_ops, classical_queries, quantum_queries,
+      sim_basis_evals;
+  bool operator==(const ComparableItem&) const = default;
+};
+
+std::vector<ComparableItem> comparable(const hsp::BatchReport& r) {
+  std::vector<ComparableItem> out;
+  for (const auto& item : r.items) {
+    out.push_back({item.success, item.solution.method,
+                   item.solution.generators, item.error,
+                   item.queries.group_ops, item.queries.classical_queries,
+                   item.queries.quantum_queries,
+                   item.queries.sim_basis_evals});
+  }
+  return out;
+}
+
+TEST(BatchSolve, ReportsAreIdenticalAcrossWidths) {
+  std::vector<std::vector<ComparableItem>> runs;
+  for (const int width : {1, 4, 8}) {
+    BatchFixture fx = make_batch();
+    fx.opts.threads = width;
+    const auto report = hsp::solve_hsp_batch(fx.instances, fx.opts);
+    EXPECT_EQ(report.solved, fx.instances.size()) << "width " << width;
+    runs.push_back(comparable(report));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+  EXPECT_EQ(runs[0], runs[2]);
+}
+
+TEST(BatchSolve, AggregatesQueriesAndSolved) {
+  BatchFixture fx = make_batch();
+  fx.opts.threads = 4;
+  const auto report = hsp::solve_hsp_batch(fx.instances, fx.opts);
+  ASSERT_EQ(report.items.size(), fx.instances.size());
+  EXPECT_EQ(report.solved, fx.instances.size());
+  bb::QueryCounter sum;
+  for (const auto& item : report.items) {
+    EXPECT_TRUE(item.success);
+    EXPECT_TRUE(item.error.empty());
+    EXPECT_GE(item.seconds, 0.0);
+    sum.group_ops += item.queries.group_ops;
+    sum.classical_queries += item.queries.classical_queries;
+    sum.quantum_queries += item.queries.quantum_queries;
+    sum.sim_basis_evals += item.queries.sim_basis_evals;
+  }
+  EXPECT_EQ(report.total_queries.group_ops, sum.group_ops);
+  EXPECT_EQ(report.total_queries.quantum_queries, sum.quantum_queries);
+  EXPECT_GT(report.total_queries.quantum_queries, 0u);
+}
+
+TEST(BatchSolve, FailureIsolatesToTheBadInstance) {
+  BatchFixture fx = make_batch();
+  fx.instances.insert(fx.instances.begin() + 2, bb::HspInstance{});
+  fx.opts.per_instance.insert(fx.opts.per_instance.begin() + 2,
+                              hsp::AutoOptions{});
+  fx.opts.threads = 4;
+  const auto report = hsp::solve_hsp_batch(fx.instances, fx.opts);
+  ASSERT_EQ(report.items.size(), fx.instances.size());
+  EXPECT_EQ(report.solved, fx.instances.size() - 1);
+  EXPECT_FALSE(report.items[2].success);
+  EXPECT_FALSE(report.items[2].error.empty());
+  for (std::size_t i = 0; i < report.items.size(); ++i) {
+    if (i != 2) {
+      EXPECT_TRUE(report.items[i].success) << i;
+    }
+  }
+}
+
+TEST(BatchSolve, KernelsStayInsideTheTaskAtEveryWidth) {
+  // The contract: inside a batch task the simulator kernels run
+  // serially, at EVERY fan-out width — including the pool's serial
+  // fast paths (width 1, single instance), where no worker guard would
+  // otherwise be active. Observable through the hiding function, which
+  // the sampler's label sweep evaluates from within the solve: it must
+  // always see ThreadPool::in_worker() == true.
+  const int before = parallelism();
+  set_parallelism(4);  // a wide global pool kernels could escape onto
+  for (const int width : {1, 4}) {
+    for (const std::size_t n_instances : {std::size_t{1}, std::size_t{3}}) {
+      std::atomic<bool> escaped{false};
+      std::vector<bb::HspInstance> instances;
+      for (std::size_t k = 0; k < n_instances; ++k) {
+        bb::HspInstance inst;
+        inst.group = std::make_shared<grp::CyclicGroup>(8);
+        inst.counter = std::make_shared<bb::QueryCounter>();
+        inst.bb = std::make_shared<bb::BlackBoxGroup>(inst.group,
+                                                      inst.counter);
+        // f(x) = x mod 4 hides <4> = {0, 4} in Z_8.
+        inst.f = std::make_shared<bb::LambdaHider>(
+            [&escaped](grp::Code c) {
+              if (!ThreadPool::in_worker()) escaped.store(true);
+              return c % 4;
+            },
+            inst.counter);
+        instances.push_back(std::move(inst));
+      }
+      hsp::BatchOptions opts;
+      opts.base_seed = test_seeds::kParBatchBase;
+      opts.threads = width;
+      const auto report = hsp::solve_hsp_batch(instances, opts);
+      EXPECT_EQ(report.solved, n_instances)
+          << "width " << width << " n " << n_instances;
+      EXPECT_FALSE(escaped.load())
+          << "kernels escaped the batch task at width " << width
+          << " with " << n_instances << " instance(s)";
+    }
+  }
+  set_parallelism(before);
+}
+
+TEST(BatchSolve, NonStdExceptionIsIsolatedToo) {
+  // User oracles can throw anything; "captured per item, never thrown"
+  // must hold even for non-std exceptions.
+  BatchFixture fx = make_batch();
+  bb::HspInstance bomb;
+  bomb.group = std::make_shared<grp::CyclicGroup>(8);
+  bomb.counter = std::make_shared<bb::QueryCounter>();
+  bomb.bb = std::make_shared<bb::BlackBoxGroup>(bomb.group, bomb.counter);
+  bomb.f = std::make_shared<bb::LambdaHider>(
+      [](grp::Code) -> std::uint64_t { throw 42; }, bomb.counter);
+  fx.instances.push_back(std::move(bomb));
+  fx.opts.per_instance.push_back(hsp::AutoOptions{});
+  fx.opts.threads = 4;
+  const auto report = hsp::solve_hsp_batch(fx.instances, fx.opts);
+  EXPECT_EQ(report.solved, fx.instances.size() - 1);
+  EXPECT_FALSE(report.items.back().success);
+  EXPECT_FALSE(report.items.back().error.empty());
+}
+
+TEST(BatchSolve, PerInstanceOptionSizeMismatchThrows) {
+  BatchFixture fx = make_batch();
+  fx.opts.per_instance.pop_back();
+  EXPECT_THROW(hsp::solve_hsp_batch(fx.instances, fx.opts),
+               std::invalid_argument);
+}
+
+TEST(BatchSolve, EmptyBatchReturnsEmptyReport) {
+  const auto report = hsp::solve_hsp_batch({}, {});
+  EXPECT_TRUE(report.items.empty());
+  EXPECT_EQ(report.solved, 0u);
+  EXPECT_EQ(report.total_queries.quantum_queries, 0u);
+}
+
+}  // namespace
+}  // namespace nahsp

@@ -24,6 +24,21 @@ inline constexpr std::uint64_t kFuzzFactorOrderCosetLabel = 101;
 // backend-equivalence suite (ctest label `stat`).
 inline constexpr std::uint64_t kStatDefault = 20260730;
 
+// test_parallel_determinism.cpp — pinned seeds of the serial-reference
+// scenarios. The expected outputs hardcoded in that test were captured
+// from the pre-threading serial code path under exactly these seeds; a
+// changed value there means the n=1 path no longer reproduces the
+// historical serial semantics.
+inline constexpr std::uint64_t kParMrScalar = 11;
+inline constexpr std::uint64_t kParMrBatched = 12;
+inline constexpr std::uint64_t kParQubitScalar = 13;
+inline constexpr std::uint64_t kParQubitBatched = 14;
+inline constexpr std::uint64_t kParStateVector = 15;
+inline constexpr std::uint64_t kParSolve = 16;
+// Base seed for the solve_hsp_batch thread-count-invariance checks
+// (each instance receives SplitRng(kParBatchBase).stream(i)).
+inline constexpr std::uint64_t kParBatchBase = 0x5eed0001;
+
 /// Seed for the statistical tests: NAHSP_STAT_SEED when set (decimal),
 /// otherwise kStatDefault.
 inline std::uint64_t stat_seed() {

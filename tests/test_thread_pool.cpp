@@ -1,0 +1,273 @@
+// Unit tests for the common parallel execution layer: chunk coverage,
+// grain edge cases, exception propagation, the nested-region guard, and
+// deterministic reductions across thread counts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "nahsp/common/parallel.h"
+#include "nahsp/common/rng.h"
+
+namespace nahsp {
+namespace {
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{1000}}) {
+    std::vector<std::atomic<int>> hits(1000);
+    pool.parallel_for(0, hits.size(), grain,
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i)
+                          hits[i].fetch_add(1, std::memory_order_relaxed);
+                      });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "index " << i << " grain " << grain;
+    }
+  }
+}
+
+TEST(ThreadPool, RespectsNonZeroBegin) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(40, 90, 8, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), (i >= 40 && i < 90) ? 1 : 0) << i;
+  }
+}
+
+TEST(ThreadPool, EmptyRangeIsANoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.parallel_for(5, 5, 1, [&](std::size_t, std::size_t) { ++calls; });
+  pool.parallel_for(7, 3, 1, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeRunsInlineAsOneChunk) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  pool.parallel_for(0, 10, 100, [&](std::size_t lo, std::size_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0u);
+    EXPECT_EQ(hi, 10u);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ZeroGrainIsAContractViolation) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(0, 10, 0, [](std::size_t, std::size_t) {}),
+               std::invalid_argument);
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+  EXPECT_THROW(ThreadPool(-3), std::invalid_argument);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsOnTheCallingThread) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen;
+  pool.parallel_for(0, 100000, 64, [&](std::size_t, std::size_t) {
+    seen.push_back(std::this_thread::get_id());
+  });
+  ASSERT_FALSE(seen.empty());
+  for (const auto id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(0, 1000, 10,
+                        [&](std::size_t lo, std::size_t) {
+                          if (lo >= 500) throw std::runtime_error("chunk boom");
+                        }),
+      std::runtime_error);
+  // The pool must stay fully usable after a failed region.
+  std::atomic<int> count{0};
+  pool.parallel_for(0, 1000, 10, [&](std::size_t lo, std::size_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, ExceptionMessageIsPreserved) {
+  ThreadPool pool(2);
+  try {
+    pool.parallel_for(0, 100, 1, [](std::size_t lo, std::size_t) {
+      if (lo == 42) throw std::runtime_error("index 42 refused");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "index 42 refused");
+  }
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineOnTheWorker) {
+  ThreadPool pool(4);
+  std::atomic<int> outer_chunks{0};
+  std::atomic<int> total{0};
+  EXPECT_FALSE(ThreadPool::in_worker());
+  pool.parallel_for(0, 16, 1, [&](std::size_t, std::size_t) {
+    outer_chunks.fetch_add(1);
+    EXPECT_TRUE(ThreadPool::in_worker());
+    const std::thread::id me = std::this_thread::get_id();
+    // The inner region must not re-enter the pool: every inner chunk
+    // runs on the same thread as its outer task, as one inline call.
+    int inner_calls = 0;
+    pool.parallel_for(0, 1000, 10, [&](std::size_t lo, std::size_t hi) {
+      ++inner_calls;
+      EXPECT_EQ(std::this_thread::get_id(), me);
+      total.fetch_add(static_cast<int>(hi - lo));
+    });
+    EXPECT_EQ(inner_calls, 1);
+  });
+  EXPECT_FALSE(ThreadPool::in_worker());
+  EXPECT_EQ(outer_chunks.load(), 16);
+  EXPECT_EQ(total.load(), 16000);
+}
+
+TEST(ThreadPool, NestedExceptionStillPropagates) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(0, 8, 1,
+                                 [&](std::size_t lo, std::size_t) {
+                                   pool.parallel_for(
+                                       0, 10, 1,
+                                       [&](std::size_t ilo, std::size_t) {
+                                         if (lo == 3 && ilo == 0)
+                                           throw std::logic_error("inner");
+                                       });
+                                 }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, ReduceIsBitIdenticalAcrossThreadCounts) {
+  // The chunk layout depends only on (range, grain), so the summation
+  // tree — and the floating-point result — is identical at any width.
+  std::vector<double> values(100000);
+  Rng rng(7);
+  for (double& v : values) v = rng.uniform01() - 0.5;
+  const auto chunk_sum = [&](std::size_t lo, std::size_t hi) {
+    double s = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) s += values[i];
+    return s;
+  };
+  ThreadPool p1(1), p2(2), p4(4), p8(8);
+  const double r1 = p1.reduce(0, values.size(), 4096, chunk_sum);
+  const double r2 = p2.reduce(0, values.size(), 4096, chunk_sum);
+  const double r4 = p4.reduce(0, values.size(), 4096, chunk_sum);
+  const double r8 = p8.reduce(0, values.size(), 4096, chunk_sum);
+  EXPECT_EQ(r1, r2);
+  EXPECT_EQ(r1, r4);
+  EXPECT_EQ(r1, r8);
+}
+
+TEST(ThreadPool, ReduceSingleChunkEqualsPlainLoop) {
+  ThreadPool pool(4);
+  std::vector<double> values(1000);
+  Rng rng(8);
+  for (double& v : values) v = rng.uniform01();
+  double plain = 0.0;
+  for (const double v : values) plain += v;
+  // grain >= range: one chunk, summed exactly like the plain serial loop.
+  const double pooled =
+      pool.reduce(0, values.size(), values.size(),
+                  [&](std::size_t lo, std::size_t hi) {
+                    double s = 0.0;
+                    for (std::size_t i = lo; i < hi; ++i) s += values[i];
+                    return s;
+                  });
+  EXPECT_EQ(plain, pooled);
+}
+
+TEST(ThreadPool, TaskScopeForcesInlineExecution) {
+  EXPECT_FALSE(ThreadPool::in_worker());
+  {
+    ThreadPool::TaskScope scope;
+    EXPECT_TRUE(ThreadPool::in_worker());
+    // Any parallel region opened under the scope runs inline, as one
+    // chunk on this thread — even on a multi-worker pool.
+    ThreadPool pool(4);
+    const std::thread::id me = std::this_thread::get_id();
+    int calls = 0;
+    pool.parallel_for(0, 100000, 16, [&](std::size_t lo, std::size_t hi) {
+      ++calls;
+      EXPECT_EQ(lo, 0u);
+      EXPECT_EQ(hi, 100000u);
+      EXPECT_EQ(std::this_thread::get_id(), me);
+    });
+    EXPECT_EQ(calls, 1);
+  }
+  EXPECT_FALSE(ThreadPool::in_worker());
+}
+
+TEST(ThreadPool, ManySmallRegionsBackToBack) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.parallel_for(0, 64, 4, [&](std::size_t lo, std::size_t hi) {
+      total.fetch_add(static_cast<long>(hi - lo));
+    });
+  }
+  EXPECT_EQ(total.load(), 200 * 64);
+}
+
+TEST(GlobalPool, SetParallelismResizesAndValidates) {
+  const int before = parallelism();
+  set_parallelism(3);
+  EXPECT_EQ(parallelism(), 3);
+  set_parallelism(1);
+  EXPECT_EQ(parallelism(), 1);
+  EXPECT_THROW(set_parallelism(0), std::invalid_argument);
+  EXPECT_THROW(set_parallelism(100000), std::invalid_argument);
+  std::atomic<int> count{0};
+  set_parallelism(4);
+  parallel_for(0, 256, 16, [&](std::size_t lo, std::size_t hi) {
+    count.fetch_add(static_cast<int>(hi - lo));
+  });
+  EXPECT_EQ(count.load(), 256);
+  set_parallelism(before);
+}
+
+TEST(SplitRng, StreamsAreDeterministicAndOrderIndependent) {
+  SplitRng a(123);
+  SplitRng b(123);
+  // Access in different orders; stream i must be a function of (seed, i).
+  Rng a2 = a.stream(2);
+  Rng a0 = a.stream(0);
+  Rng b0 = b.stream(0);
+  Rng b2 = b.stream(2);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a0(), b0());
+    EXPECT_EQ(a2(), b2());
+  }
+  // Distinct streams differ (2^128 steps apart).
+  Rng c0 = SplitRng(123).stream(0);
+  Rng c1 = SplitRng(123).stream(1);
+  bool any_diff = false;
+  for (int i = 0; i < 16; ++i) any_diff |= (c0() != c1());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SplitRng, JumpMatchesManualAdvanceStructure) {
+  // jump() is a pure function of state: two equal generators jump to
+  // equal states regardless of prior stream access patterns.
+  Rng x(42), y(42);
+  x.jump();
+  y.jump();
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(x(), y());
+  // Jumping differs from not jumping.
+  Rng z(42);
+  bool any_diff = false;
+  for (int i = 0; i < 8; ++i) any_diff |= (x() != z());
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace nahsp
