@@ -8,40 +8,30 @@
 // streams); instances_per_sec is the headline number.
 #include "bench_common.h"
 
-#include "nahsp/groups/heisenberg.h"
-#include "nahsp/groups/quaternion.h"
-#include "nahsp/hsp/instance.h"
-#include "nahsp/hsp/solve.h"
+#include "nahsp/hsp/scenario.h"
 
 namespace {
 
 using namespace nahsp;
 
 // A mixed batch: Heisenberg H(p,1) centre instances (Theorem 11 route)
-// and quaternion instances, rebuilt fresh each iteration so hider memos
-// and counters never leak across timed runs.
+// and quaternion instances, declared as scenario specs and built by the
+// registry — rebuilt fresh each iteration so hider memos and counters
+// never leak across timed runs.
 struct Workload {
   std::vector<bb::HspInstance> instances;
   hsp::BatchOptions opts;
 };
 
 Workload make_workload(int n_instances) {
+  static const char* const kSpecs[4] = {
+      "heisenberg p=3", "heisenberg p=5", "heisenberg p=7",
+      "quaternion order=16"};
   Workload w;
   for (int i = 0; i < n_instances; ++i) {
-    if (i % 4 == 3) {
-      auto q = std::make_shared<grp::QuaternionGroup>(16);
-      w.instances.push_back(bb::make_instance(q, {q->make(0, true)}));
-      hsp::AutoOptions o;
-      o.order_bound = 16;
-      w.opts.per_instance.push_back(o);
-    } else {
-      const std::uint64_t p = (i % 4 == 0) ? 3 : (i % 4 == 1) ? 5 : 7;
-      auto h = std::make_shared<grp::HeisenbergGroup>(p, 1);
-      w.instances.push_back(bb::make_instance(h, {h->central_generator()}));
-      hsp::AutoOptions o;
-      o.order_bound = p * p * p;
-      w.opts.per_instance.push_back(o);
-    }
+    hsp::BuiltScenario built = hsp::build_scenario(kSpecs[i % 4]);
+    w.instances.push_back(std::move(built.instance));
+    w.opts.per_instance.push_back(std::move(built.options));
   }
   w.opts.base_seed = 0xe11;
   return w;

@@ -8,39 +8,35 @@
 // the report is bit-identical at every fan-out width — this example
 // runs the same batch at widths 1 and 4 and checks exactly that.
 //
+// The fleet itself is declared as scenario specs and constructed by the
+// scenario registry (hsp/scenario.h) — the same specs work verbatim
+// with `nahsp batch` (see examples/fleet.scn) — plus one deliberately
+// broken entry (no oracles) to show per-instance failure isolation.
+//
 // Build & run:
 //   cmake -B build -S . -DNAHSP_BUILD_EXAMPLES=ON && cmake --build build
 //   ./build/examples/batch_solve
 #include <cstdio>
-#include <memory>
+#include <utility>
+#include <vector>
 
-#include "nahsp/groups/heisenberg.h"
-#include "nahsp/groups/quaternion.h"
-#include "nahsp/hsp/instance.h"
-#include "nahsp/hsp/solve.h"
+#include "nahsp/hsp/scenario.h"
 
 int main() {
   using namespace nahsp;
 
-  // A mixed fleet: three Heisenberg centre instances (Theorem 11
-  // route), two quaternion instances, and one deliberately broken
-  // entry (no oracles) to show per-instance failure isolation.
-  const auto make_batch = [] {
+  const std::vector<const char*> fleet = {
+      "heisenberg p=3", "heisenberg p=5", "heisenberg p=7",
+      "quaternion order=16", "quaternion order=16 hidden=1",
+  };
+
+  const auto make_batch = [&fleet] {
     std::pair<std::vector<bb::HspInstance>, hsp::BatchOptions> batch;
     auto& [instances, opts] = batch;
-    for (const std::uint64_t p : {3ULL, 5ULL, 7ULL}) {
-      auto h = std::make_shared<grp::HeisenbergGroup>(p, 1);
-      instances.push_back(bb::make_instance(h, {h->central_generator()}));
-      hsp::AutoOptions o;
-      o.order_bound = p * p * p;
-      opts.per_instance.push_back(o);
-    }
-    for (int i = 0; i < 2; ++i) {
-      auto q = std::make_shared<grp::QuaternionGroup>(16);
-      instances.push_back(bb::make_instance(q, {q->make(0, true)}));
-      hsp::AutoOptions o;
-      o.order_bound = 16;
-      opts.per_instance.push_back(o);
+    for (const char* spec : fleet) {
+      hsp::BuiltScenario built = hsp::build_scenario(spec);
+      instances.push_back(std::move(built.instance));
+      opts.per_instance.push_back(std::move(built.options));
     }
     instances.push_back(bb::HspInstance{});  // the broken tenant
     opts.per_instance.push_back(hsp::AutoOptions{});
@@ -62,13 +58,14 @@ int main() {
               r.items.size(), r.solved, r.seconds * 1e3);
   for (std::size_t i = 0; i < r.items.size(); ++i) {
     const auto& item = r.items[i];
+    const char* what = i < fleet.size() ? fleet[i] : "(broken tenant)";
     if (item.success) {
-      std::printf("  [%zu] ok    %-45s %llu quantum queries\n", i,
-                  hsp::method_name(item.solution.method),
+      std::printf("  [%zu] ok    %-28s %-45s %llu quantum queries\n", i,
+                  what, hsp::method_name(item.solution.method),
                   static_cast<unsigned long long>(
                       item.queries.quantum_queries));
     } else {
-      std::printf("  [%zu] FAIL  %s\n", i, item.error.c_str());
+      std::printf("  [%zu] FAIL  %-28s %s\n", i, what, item.error.c_str());
     }
   }
   std::printf("\naggregate: %llu quantum / %llu classical queries, %llu group ops\n",

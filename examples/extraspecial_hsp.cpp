@@ -3,68 +3,69 @@
 //
 // The Heisenberg group Heis(p) = p^{1+2} is the paper's flagship
 // small-commutator instance: G' = Z(G) has order p, so the HSP is
-// solvable in time polynomial in input + p. This example plants several
-// hidden subgroups — central, non-normal, and mixed — and recovers each
-// with the Theorem 11 pipeline, printing the query accounting that
+// solvable in time polynomial in input + p. This example runs several
+// planted subgroups — central, non-normal, and mixed — each declared as
+// a scenario spec and constructed by the scenario registry
+// (hsp/scenario.h): the same specs run from the command line as
+// `nahsp solve "<spec>"`. It finishes with the query accounting that
 // separates the quantum algorithm from the |G|-query classical scan.
 #include <cstdio>
 
-#include "nahsp/bbox/hiding.h"
 #include "nahsp/common/rng.h"
 #include "nahsp/groups/algorithms.h"
-#include "nahsp/groups/heisenberg.h"
 #include "nahsp/hsp/baseline.h"
 #include "nahsp/hsp/instance.h"
-#include "nahsp/hsp/small_commutator.h"
+#include "nahsp/hsp/scenario.h"
 
 int main() {
   using namespace nahsp;
   Rng rng(7);
-  const std::uint64_t p = 5;
-  auto g = std::make_shared<grp::HeisenbergGroup>(p, 1);
-  std::printf("group: %s, |G| = %llu, |G'| = |Z(G)| = %llu\n\n",
-              g->name().c_str(),
-              static_cast<unsigned long long>(g->order()),
-              static_cast<unsigned long long>(p));
 
-  struct Case {
+  // All five instances live in Heis(5); the centre is its own family
+  // ("heisenberg") because the planted subgroup is normal there.
+  const struct {
     const char* what;
-    std::vector<grp::Code> gens;
-  };
-  const Case cases[] = {
-      {"centre Z(G)            ", {g->central_generator()}},
-      {"non-normal <(1,0,0)>   ", {g->make({1}, {0}, 0)}},
-      {"non-normal <(2,3,0)>   ", {g->make({2}, {3}, 0)}},
-      {"normal <(1,0,0), Z(G)> ",
-       {g->make({1}, {0}, 0), g->central_generator()}},
-      {"trivial {1}            ", {}},
+    const char* spec;
+  } cases[] = {
+      {"centre Z(G)            ", "heisenberg p=5"},
+      {"non-normal <(1,0,0)>   ", "extraspecial p=5 ha=1 hb=0"},
+      {"non-normal <(2,3,0)>   ", "extraspecial p=5 ha=2 hb=3"},
+      {"normal <(1,0,0), Z(G)> ", "extraspecial p=5 ha=1 hb=0 with_centre=1"},
+      {"trivial {1}            ", "extraspecial p=5 ha=0 hb=0"},
   };
 
+  std::printf("group: Heis(5), |G| = 125, |G'| = |Z(G)| = 5\n\n");
   bool all_ok = true;
-  for (const Case& c : cases) {
-    const auto inst = bb::make_instance(g, c.gens);
-    hsp::SmallCommutatorOptions opts;
-    opts.order_bound = g->order();
-    const auto res =
-        hsp::solve_hsp_small_commutator(*inst.bb, *inst.f, rng, opts);
-    const bool ok =
-        hsp::verify_same_subgroup(*g, res.generators, c.gens);
+  for (const auto& c : cases) {
+    const auto built = hsp::build_scenario(c.spec);
+    const auto sol =
+        hsp::solve_hsp(*built.instance.bb, *built.instance.f, rng,
+                       built.options);
+    const bool ok = hsp::verify_same_subgroup(
+        *built.instance.group, sol.generators,
+        built.instance.planted_generators);
     all_ok &= ok;
-    const auto h_size = grp::enumerate_subgroup(*g, c.gens).size();
+    const auto h_size =
+        grp::enumerate_subgroup(*built.instance.group,
+                                built.instance.planted_generators)
+            .size();
     std::printf(
         "H = %s |H| = %3zu  -> recovered %s  "
         "(classical f-queries: %llu, quantum queries: %llu)\n",
         c.what, h_size, ok ? "OK " : "FAIL",
-        static_cast<unsigned long long>(inst.counter->classical_queries),
-        static_cast<unsigned long long>(inst.counter->quantum_queries));
+        static_cast<unsigned long long>(
+            built.instance.counter->classical_queries),
+        static_cast<unsigned long long>(
+            built.instance.counter->quantum_queries));
   }
 
   // Contrast with the classical baseline on one instance.
-  const auto inst = bb::make_instance(g, {g->make({1}, {2}, 3)});
-  (void)hsp::classical_bruteforce_hsp(*inst.bb, *inst.f);
+  const auto built = hsp::build_scenario("extraspecial p=5 ha=1 hb=2");
+  (void)hsp::classical_bruteforce_hsp(*built.instance.bb, *built.instance.f);
   std::printf(
       "\nclassical brute force on the same group: %llu f-queries "
       "(= |G|)\n",
-      static_cast<unsigned long long>(inst.counter->classical_queries));
+      static_cast<unsigned long long>(
+          built.instance.counter->classical_queries));
   return all_ok ? 0 : 1;
 }

@@ -6,38 +6,38 @@
 // family the paper generalises; the matrix groups are the motivating
 // example drawn in Section 6 (one type-(a) generator with invertible
 // upper-left block M, plus type-(b) translations).
+//
+// Each instance is declared as a scenario spec and constructed by the
+// scenario registry (hsp/scenario.h), which attaches the
+// structure-aware N-membership and coset-label oracles the cyclic
+// route needs (see DESIGN.md: substitution for the Watrous |N>-state
+// machinery). The same specs run as `nahsp solve "<spec>"`.
 #include <cstdio>
 
-#include "nahsp/bbox/hiding.h"
 #include "nahsp/common/rng.h"
 #include "nahsp/groups/algorithms.h"
-#include "nahsp/groups/gf2group.h"
-#include "nahsp/hsp/elem_abelian2.h"
 #include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/scenario.h"
 
 namespace {
 
 using namespace nahsp;
 
-bool run(const std::shared_ptr<const grp::GF2SemidirectCyclic>& g,
-         const std::vector<grp::Code>& hidden, Rng& rng) {
-  const auto inst = bb::make_instance(g, hidden);
-  hsp::ElemAbelian2Options opts;
-  opts.assume_cyclic_factor = true;
-  opts.factor_order_bound = g->m();
-  // Structure-aware oracles for N (see DESIGN.md: substitution for the
-  // Watrous |N>-state machinery; the generic quantum fallback is also
-  // implemented and exercised in the tests).
-  opts.n_membership = [g](grp::Code c) { return g->rot_of(c) == 0; };
-  opts.coset_label = [g](grp::Code c) { return g->rot_of(c); };
-  const auto res = hsp::solve_hsp_elem_abelian2(
-      *inst.bb, g->normal_subgroup_generators(), *inst.f, rng, opts);
-  const bool ok = hsp::verify_same_subgroup(*g, res.generators, hidden);
+bool run(const char* spec, Rng& rng) {
+  const auto built = hsp::build_scenario(spec);
+  const auto sol = hsp::solve_hsp(*built.instance.bb, *built.instance.f,
+                                  rng, built.options);
+  const bool ok = hsp::verify_same_subgroup(
+      *built.instance.group, sol.generators,
+      built.instance.planted_generators);
   std::printf(
-      "  |H| = %3zu  -> %s  (coset reps |V| = %zu, quantum queries %llu)\n",
-      grp::enumerate_subgroup(*g, hidden).size(), ok ? "OK " : "FAIL",
-      res.coset_reps_used,
-      static_cast<unsigned long long>(inst.counter->quantum_queries));
+      "  %-28s |H| = %3zu  -> %s  (%s, quantum queries %llu)\n", spec,
+      grp::enumerate_subgroup(*built.instance.group,
+                              built.instance.planted_generators)
+          .size(),
+      ok ? "OK " : "FAIL", hsp::method_name(sol.method),
+      static_cast<unsigned long long>(
+          built.instance.counter->quantum_queries));
   return ok;
 }
 
@@ -48,19 +48,17 @@ int main() {
   bool all_ok = true;
 
   std::printf("Wreath product Z_2^3 wr Z_2 (order %u):\n", 1u << 7);
-  auto w = grp::wreath_z2k_z2(3);
-  all_ok &= run(w, {w->make(0b000111, 0)}, rng);       // inside N
-  all_ok &= run(w, {w->make(0, 1)}, rng);              // the swap
-  all_ok &= run(w, {w->make(0b011011, 1)}, rng);       // shifted swap
-  all_ok &= run(w, {w->make(0b101101, 1), w->make(0b111111, 0)}, rng);
+  all_ok &= run("wreath k=3 hidden=0", rng);  // inside N
+  all_ok &= run("wreath k=3 hidden=1", rng);  // the swap
+  all_ok &= run("wreath k=3 hidden=2", rng);  // shifted swap
+  all_ok &= run("wreath k=3 hidden=3", rng);  // rank-2 mixed
 
   std::printf(
       "\nPaper Section 6 matrix group: N = Z_2^4, G/N = <M> ~= Z_15\n");
-  auto g = grp::paper_matrix_group(grp::GF2Mat::companion(4, 0b0011));
-  all_ok &= run(g, {g->make(0b1010, 0)}, rng);
-  all_ok &= run(g, {g->make(0, 5)}, rng);   // order-3 complement part
-  all_ok &= run(g, {g->make(0, 3)}, rng);   // order-5 complement part
-  all_ok &= run(g, {g->make(0b1111, 5), g->make(0b0110, 0)}, rng);
+  all_ok &= run("gf2affine k=4 coeffs=3 hidden=0", rng);  // inside N
+  all_ok &= run("gf2affine k=4 coeffs=3 hidden=1", rng);  // full complement
+  all_ok &= run("gf2affine k=4 coeffs=3 hidden=2", rng);  // proper complement
+  all_ok &= run("gf2affine k=4 coeffs=3 hidden=3", rng);  // rank-2 mixed
 
   std::printf("\n%s\n", all_ok ? "all instances recovered" : "FAILURES");
   return all_ok ? 0 : 1;

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Full local verification: the exact tier-1 command, then a
-# Debug + Address/UB-sanitizer build of the same suite, then a TSan
-# build of the threading-relevant tests (unit + parallel labels) with
-# the pool pinned wide.
+# Full local verification: the exact tier-1 command, the CLI smoke
+# suite (nahsp selftest + golden solve reports + markdown link check),
+# then a Debug + Address/UB-sanitizer build of the same suite, then a
+# TSan build of the threading-relevant tests (unit + parallel labels)
+# with the pool pinned wide.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,6 +21,10 @@ NAHSP_STAT_SEED="${NAHSP_STAT_SEED:-20260730}"
 export NAHSP_STAT_SEED
 echo "NAHSP_STAT_SEED=${NAHSP_STAT_SEED}"
 (cd build && ctest -L stat --output-on-failure -j "$JOBS")
+
+echo "== CLI smoke: selftest + golden solve reports + doc links =="
+./scripts/cli_smoke.sh build
+python3 scripts/check_links.py
 
 echo "== Debug + ASan/UBSan build + ctest =="
 cmake -B build-asan -S . \

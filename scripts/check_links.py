@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Markdown link checker for the repo's documentation.
+
+Scans the given markdown files (default: README.md, docs/*.md,
+examples/README.md) for inline links/images `[text](target)` and
+reference definitions `[id]: target`, and verifies that every relative
+target exists on disk (anchors are stripped; http/https/mailto links
+are not fetched). Exit 0 when every link resolves, 1 otherwise.
+"""
+import glob
+import os
+import re
+import sys
+
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def targets_in(path):
+    with open(path, encoding="utf-8") as f:
+        text = f.read()
+    # Fenced code blocks routinely contain bracketed shell/CMake text
+    # that is not a link.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    text = re.sub(r"`[^`\n]*`", "", text)
+    for match in INLINE_LINK.finditer(text):
+        yield match.group(1)
+    for match in REF_DEF.finditer(text):
+        yield match.group(1)
+
+
+def main():
+    files = sys.argv[1:] or (
+        ["README.md"]
+        + sorted(glob.glob("docs/*.md"))
+        + ["examples/README.md"]
+    )
+    broken = []
+    checked = 0
+    for md in files:
+        base = os.path.dirname(md)
+        for target in targets_in(md):
+            if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                continue
+            checked += 1
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            resolved = os.path.normpath(os.path.join(base, rel))
+            if not os.path.exists(resolved):
+                broken.append(f"{md}: broken link '{target}' "
+                              f"(resolved to {resolved})")
+    for line in broken:
+        print(line)
+    print(f"checked {checked} relative links in {len(files)} files, "
+          f"{len(broken)} broken")
+    sys.exit(1 if broken else 0)
+
+
+if __name__ == "__main__":
+    main()

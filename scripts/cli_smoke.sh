@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# CLI smoke suite: `nahsp selftest`, then one pinned-seed
+# `solve --json` per registered scenario diffed (schema-checked,
+# volatile fields stripped) against the golden reports in tests/golden/,
+# then a `batch` run over the example fleet.
+#
+# Usage: scripts/cli_smoke.sh [build-dir]        (default: build)
+# Regenerating goldens after an intentional report change:
+#   scripts/cli_smoke.sh --regen [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+REGEN=0
+if [[ "${1:-}" == "--regen" ]]; then REGEN=1; shift; fi
+BUILD_DIR="${1:-build}"
+NAHSP="$BUILD_DIR/src/cli/nahsp"
+GOLDEN_DIR="tests/golden"
+OUT_DIR="$BUILD_DIR/cli_smoke"
+# The pinned seed of every golden report; threads=1 pins the reported
+# pool width (results are width-invariant, the report field is not).
+SEED=1
+
+if [[ ! -x "$NAHSP" ]]; then
+  echo "error: $NAHSP not built (configure with -DNAHSP_BUILD_CLI=ON)" >&2
+  exit 1
+fi
+mkdir -p "$OUT_DIR" "$GOLDEN_DIR"
+
+echo "== nahsp selftest (seed $SEED) =="
+"$NAHSP" selftest seed="$SEED" threads=1
+
+echo
+echo "== per-scenario solve --json vs golden reports =="
+status=0
+for scenario in $("$NAHSP" list --names); do
+  out="$OUT_DIR/solve_${scenario}.json"
+  golden="$GOLDEN_DIR/solve_${scenario}.json"
+  "$NAHSP" solve "$scenario" seed="$SEED" threads=1 --json > "$out"
+  if [[ "$REGEN" == 1 ]]; then
+    cp "$out" "$golden"
+    echo "regenerated $golden"
+  elif [[ ! -f "$golden" ]]; then
+    echo "MISSING golden $golden (run scripts/cli_smoke.sh --regen)" >&2
+    status=1
+  else
+    python3 scripts/diff_report.py "$golden" "$out" || status=1
+  fi
+done
+
+echo
+echo "== nahsp batch over examples/fleet.scn =="
+"$NAHSP" batch examples/fleet.scn seed="$SEED" threads=1 > /dev/null
+echo "batch ok"
+
+if [[ "$status" != 0 ]]; then
+  echo "cli smoke FAILED" >&2
+  exit "$status"
+fi
+echo
+echo "== cli smoke passed =="

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Schema-check and diff a `nahsp solve --json` report against a golden.
+
+Usage: diff_report.py GOLDEN.json ACTUAL.json
+
+Both files must satisfy the nahsp-report/v1 solve schema; then they are
+compared field by field with the volatile fields (wall-clock `seconds`)
+stripped. Exit 0 on match, 1 on schema violation or mismatch, printing
+what differs.
+"""
+import json
+import sys
+
+# field name -> required type(s); nested objects listed separately.
+SOLVE_SCHEMA = {
+    "schema": str,
+    "command": str,
+    "scenario": str,
+    "group": str,
+    "group_order": int,
+    "params": dict,
+    "seed": int,
+    "threads": int,
+    "success": bool,
+    "method": str,
+    "error": str,
+    "generators": list,
+    "planted": list,
+    "verified": bool,
+    "queries": dict,
+    "seconds": (int, float),
+}
+QUERIES_SCHEMA = {
+    "group_ops": int,
+    "classical_queries": int,
+    "quantum_queries": int,
+    "sim_basis_evals": int,
+}
+# Fields legitimately different between two runs of the same scenario.
+VOLATILE = {"seconds"}
+
+
+def check_schema(report, path):
+    errors = []
+    for key, types in SOLVE_SCHEMA.items():
+        if key not in report:
+            errors.append(f"{path}: missing required field '{key}'")
+        elif not isinstance(report[key], types):
+            errors.append(
+                f"{path}: field '{key}' has type "
+                f"{type(report[key]).__name__}, expected {types}")
+    for key in report:
+        if key not in SOLVE_SCHEMA:
+            errors.append(f"{path}: unexpected field '{key}'")
+    if report.get("schema") != "nahsp-report/v1":
+        errors.append(f"{path}: schema tag is {report.get('schema')!r}, "
+                      "expected 'nahsp-report/v1'")
+    if report.get("command") != "solve":
+        errors.append(f"{path}: command is {report.get('command')!r}, "
+                      "expected 'solve'")
+    queries = report.get("queries")
+    if isinstance(queries, dict):
+        for key, types in QUERIES_SCHEMA.items():
+            if not isinstance(queries.get(key), types):
+                errors.append(f"{path}: queries.{key} missing or non-integer")
+    for key in ("generators", "planted"):
+        if isinstance(report.get(key), list):
+            bad = [v for v in report[key] if not isinstance(v, int)]
+            if bad:
+                errors.append(f"{path}: {key} contains non-integers: {bad}")
+    return errors
+
+
+def strip_volatile(report):
+    return {k: v for k, v in report.items() if k not in VOLATILE}
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    golden_path, actual_path = sys.argv[1], sys.argv[2]
+    with open(golden_path) as f:
+        golden = json.load(f)
+    with open(actual_path) as f:
+        actual = json.load(f)
+
+    errors = check_schema(golden, golden_path) + check_schema(
+        actual, actual_path)
+    if errors:
+        print("\n".join(errors))
+        sys.exit(1)
+
+    golden_cmp, actual_cmp = strip_volatile(golden), strip_volatile(actual)
+    if golden_cmp == actual_cmp:
+        print(f"ok: {actual_path} matches {golden_path}")
+        return
+    for key in sorted(set(golden_cmp) | set(actual_cmp)):
+        g, a = golden_cmp.get(key), actual_cmp.get(key)
+        if g != a:
+            print(f"mismatch in '{key}':\n  golden: {g!r}\n  actual: {a!r}")
+    sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -21,17 +21,24 @@
 
 #include "nahsp/groups/group.h"
 
+/// \file
+/// \brief The counted black-box access layer the HSP solvers see:
+/// oracle facade + per-instance query accounting.
+
 namespace nahsp::bb {
 
 using grp::Code;
 
 /// Shared oracle-call counters for one problem instance.
 struct QueryCounter {
-  std::uint64_t group_ops = 0;
-  std::uint64_t classical_queries = 0;
-  std::uint64_t quantum_queries = 0;
+  std::uint64_t group_ops = 0;          ///< U_G / U_G^{-1} invocations
+  std::uint64_t classical_queries = 0;  ///< single-argument f evaluations
+  std::uint64_t quantum_queries = 0;    ///< superposition applications of f
+  /// Per-basis-state evaluations the simulator performs to realise one
+  /// superposition query (simulation overhead, not algorithm cost).
   std::uint64_t sim_basis_evals = 0;
 
+  /// \brief Zeroes every counter.
   void reset() { *this = QueryCounter{}; }
 };
 
@@ -53,10 +60,11 @@ class BlackBoxGroup final : public grp::Group {
   /// A black box does not expose the group order; throws internal_error.
   std::uint64_t order() const override;
 
+  /// \brief The instance's shared oracle-call counters.
   QueryCounter& counter() const { return *counter_; }
 
-  /// Escape hatch for tests and instance builders only (checking results
-  /// against ground truth); solver code must not call this.
+  /// \brief Escape hatch for tests and instance builders only (checking
+  /// results against ground truth); solver code must not call this.
   const grp::Group& underlying_for_verification() const { return *g_; }
 
  private:

@@ -18,6 +18,11 @@
 #include "nahsp/bbox/blackbox.h"
 #include "nahsp/groups/permutation.h"
 
+/// \file
+/// \brief Hiding functions (coset-labelling oracles) and the planted
+/// problem-instance builders shared by tests, examples, the scenario
+/// registry, and benchmarks.
+
 namespace nahsp::bb {
 
 /// Oracle f hiding a subgroup. eval() counts one classical query;
@@ -34,6 +39,7 @@ class HidingFunction {
   /// (for simulator-internal batch evaluation).
   virtual std::uint64_t eval_uncounted(Code g) const = 0;
 
+  /// \brief The instance's shared oracle-call counters.
   QueryCounter& counter() const { return *counter_; }
 
  protected:
@@ -52,6 +58,8 @@ class EnumerationHider final : public HidingFunction {
 
   std::uint64_t eval_uncounted(Code g) const override;
 
+  /// \brief All elements of the planted subgroup H (enumerated once at
+  /// construction).
   const std::vector<Code>& subgroup_elements() const { return h_elems_; }
 
  private:

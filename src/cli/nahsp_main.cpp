@@ -1,0 +1,545 @@
+// The `nahsp` command-line driver: run any registered scenario without
+// writing C++.
+//
+// Subcommands (see docs/MANUAL.md for the full walkthrough):
+//   nahsp list [--json | --names]        scenario catalogue
+//   nahsp describe <scenario> [--json]   parameters, ranges, theorem
+//   nahsp solve <scenario> [key=value ...] [--json]
+//   nahsp batch <file.scn> [key=value ...] [--json]
+//   nahsp selftest [key=value ...] [--json]
+//
+// Reserved spec keys consumed by the driver itself (everything else
+// goes to the scenario registry): `seed` (default 1) pins the solver
+// Rng / batch base seed; `threads` resizes the global pool (solve,
+// selftest) or sets the batch fan-out width.
+//
+// Exit codes: 0 = solved and verified; 1 = a solve failed or a result
+// did not match the planted subgroup; 2 = usage or spec error.
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "nahsp/common/parallel.h"
+#include "nahsp/common/spec.h"
+#include "nahsp/common/timer.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/scenario.h"
+#include "report.h"
+
+namespace nahsp::cli {
+namespace {
+
+constexpr std::uint64_t kDefaultSeed = 1;
+
+constexpr const char* kUsage = R"(usage: nahsp <command> [args] [--json]
+
+commands:
+  list                      all registered scenario families
+                            (--names: bare names only, one per line)
+  describe <scenario>       parameters, ranges, and defaults of one family
+  solve <scenario> [k=v..]  build + solve one scenario, verify the result
+  batch <file.scn> [k=v..]  fan a spec file through solve_hsp_batch
+  selftest [k=v..]          solve every family at defaults, verify each
+
+reserved keys: seed=<u64> (default 1), threads=<n> (0 = global pool)
+every other key=value is a scenario parameter (see `nahsp describe`).
+exit codes: 0 solved+verified, 1 solve/verify failure, 2 usage error
+)";
+
+void write_queries(JsonWriter& w, const bb::QueryCounter& q) {
+  w.begin_object();
+  w.field("group_ops", q.group_ops);
+  w.field("classical_queries", q.classical_queries);
+  w.field("quantum_queries", q.quantum_queries);
+  w.field("sim_basis_evals", q.sim_basis_evals);
+  w.end_object();
+}
+
+void write_codes(JsonWriter& w, const std::vector<grp::Code>& codes) {
+  w.begin_array();
+  for (const grp::Code c : codes) w.value(static_cast<std::uint64_t>(c));
+  w.end_array();
+}
+
+std::string codes_to_text(const std::vector<grp::Code>& codes) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += std::to_string(codes[i]);
+  }
+  return out + "]";
+}
+
+// Reserved driver-level options shared by `batch` and `selftest`:
+// key=value tokens restricted to the reserved keys.
+struct ReservedOptions {
+  std::uint64_t seed = kDefaultSeed;
+  std::uint64_t threads = 0;
+};
+
+ReservedOptions parse_reserved_options(const std::vector<std::string>& tokens,
+                                       const std::string& context) {
+  SpecMap cli;
+  for (const std::string& tok : tokens) {
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("spec error: " + context + " option '" +
+                                  tok + "' is not of the form key=value");
+    cli.set(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  ReservedOptions opts;
+  opts.seed = cli.get_u64("seed", kDefaultSeed);
+  opts.threads = cli.get_u64("threads", 0, 0, 256);
+  cli.require_all_consumed(context, {"seed", "threads"});
+  return opts;
+}
+
+// One solved scenario, ready for reporting.
+struct SolveOutcome {
+  hsp::BuiltScenario scenario;
+  bool success = false;
+  bool verified = false;
+  std::string method;
+  std::string error;
+  std::vector<grp::Code> generators;
+  bb::QueryCounter queries;
+  double seconds = 0.0;
+};
+
+SolveOutcome run_scenario(hsp::BuiltScenario&& built, Rng& rng) {
+  SolveOutcome out;
+  out.scenario = std::move(built);
+  const Timer t;
+  try {
+    const hsp::HspSolution sol = hsp::solve_hsp(
+        *out.scenario.instance.bb, *out.scenario.instance.f, rng,
+        out.scenario.options);
+    out.success = true;
+    out.method = hsp::method_name(sol.method);
+    out.generators = sol.generators;
+    out.verified = hsp::verify_same_subgroup(
+        *out.scenario.instance.group, sol.generators,
+        out.scenario.instance.planted_generators);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  out.seconds = t.seconds();
+  out.queries = *out.scenario.instance.counter;
+  return out;
+}
+
+void write_solve_report(JsonWriter& w, const SolveOutcome& out,
+                        std::uint64_t seed, std::uint64_t threads) {
+  w.begin_object();
+  w.field("schema", "nahsp-report/v1");
+  w.field("command", "solve");
+  w.field("scenario", out.scenario.family);
+  w.field("group", out.scenario.group_name);
+  w.field("group_order", out.scenario.group_order);
+  w.key("params");
+  w.begin_object();
+  for (const auto& [key, value] : out.scenario.params) w.field(key, value);
+  w.end_object();
+  w.field("seed", seed);
+  w.field("threads", threads);
+  w.field("success", out.success);
+  w.field("method", out.method);
+  w.field("error", out.error);
+  w.key("generators");
+  write_codes(w, out.generators);
+  w.key("planted");
+  write_codes(w, out.scenario.instance.planted_generators);
+  w.field("verified", out.verified);
+  w.key("queries");
+  write_queries(w, out.queries);
+  w.field("seconds", out.seconds);
+  w.end_object();
+}
+
+void print_solve_text(const SolveOutcome& out, std::uint64_t seed) {
+  std::printf("scenario   : %s (%s, |G| = %llu)\n",
+              out.scenario.family.c_str(), out.scenario.group_name.c_str(),
+              static_cast<unsigned long long>(out.scenario.group_order));
+  std::printf("params     :");
+  for (const auto& [key, value] : out.scenario.params)
+    std::printf(" %s=%llu", key.c_str(),
+                static_cast<unsigned long long>(value));
+  std::printf("\nseed       : %llu\n",
+              static_cast<unsigned long long>(seed));
+  if (out.success) {
+    std::printf("method     : %s\n", out.method.c_str());
+    std::printf("generators : %s\n", codes_to_text(out.generators).c_str());
+    std::printf("planted    : %s\n",
+                codes_to_text(out.scenario.instance.planted_generators)
+                    .c_str());
+    std::printf("verified   : %s\n", out.verified ? "YES" : "NO");
+  } else {
+    std::printf("FAILED     : %s\n", out.error.c_str());
+  }
+  const bb::QueryCounter& q = out.queries;
+  std::printf(
+      "queries    : %llu quantum, %llu classical, %llu group ops, "
+      "%llu sim basis evals\n",
+      static_cast<unsigned long long>(q.quantum_queries),
+      static_cast<unsigned long long>(q.classical_queries),
+      static_cast<unsigned long long>(q.group_ops),
+      static_cast<unsigned long long>(q.sim_basis_evals));
+  std::printf("time       : %s\n", format_duration(out.seconds).c_str());
+}
+
+// ------------------------------------------------------------------- list
+
+int cmd_list(bool json, bool names_only) {
+  const auto& registry = hsp::scenario_registry();
+  if (names_only) {
+    for (const auto& fam : registry) std::printf("%s\n", fam.name.c_str());
+    return 0;
+  }
+  if (json) {
+    JsonWriter w(std::cout);
+    w.begin_object();
+    w.field("schema", "nahsp-report/v1");
+    w.field("command", "list");
+    w.field("count", static_cast<std::uint64_t>(registry.size()));
+    w.key("scenarios");
+    w.begin_array();
+    for (const auto& fam : registry) {
+      w.begin_object();
+      w.field("name", fam.name);
+      w.field("theorem", fam.theorem);
+      w.field("summary", fam.summary);
+      w.key("params");
+      w.begin_array();
+      for (const auto& p : fam.params) w.value(p.key);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish();
+    return 0;
+  }
+  std::printf("%zu registered scenario families:\n\n", registry.size());
+  for (const auto& fam : registry) {
+    std::printf("  %-14s %s\n", fam.name.c_str(), fam.theorem.c_str());
+    std::printf("  %-14s %s\n", "", fam.summary.c_str());
+    std::printf("  %-14s params:", "");
+    for (const auto& p : fam.params)
+      std::printf(" %s=%llu", p.key.c_str(),
+                  static_cast<unsigned long long>(p.def));
+    std::printf("\n\n");
+  }
+  std::printf("run `nahsp describe <name>` for parameter ranges and docs.\n");
+  return 0;
+}
+
+// --------------------------------------------------------------- describe
+
+int cmd_describe(const std::string& name, bool json) {
+  const hsp::ScenarioFamily& fam = hsp::scenario_family_or_throw(name);
+  if (json) {
+    JsonWriter w(std::cout);
+    w.begin_object();
+    w.field("schema", "nahsp-report/v1");
+    w.field("command", "describe");
+    w.field("name", fam.name);
+    w.field("theorem", fam.theorem);
+    w.field("summary", fam.summary);
+    w.key("params");
+    w.begin_array();
+    for (const auto& p : fam.params) {
+      w.begin_object();
+      w.field("key", p.key);
+      w.field("default", p.def);
+      w.field("min", p.min);
+      w.field("max", p.max);
+      w.field("doc", p.doc);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("reserved");
+    w.begin_array();
+    w.value("seed");
+    w.value("threads");
+    w.value("gprime_cap");
+    w.value("order_bound");
+    w.end_array();
+    w.end_object();
+    w.finish();
+    return 0;
+  }
+  std::printf("%s — %s\n", fam.name.c_str(), fam.summary.c_str());
+  std::printf("exercises  : %s\n\n", fam.theorem.c_str());
+  std::printf("parameters (key=default, range):\n");
+  for (const auto& p : fam.params)
+    std::printf("  %-12s = %-8llu [%llu, %llu]  %s\n", p.key.c_str(),
+                static_cast<unsigned long long>(p.def),
+                static_cast<unsigned long long>(p.min),
+                static_cast<unsigned long long>(p.max), p.doc.c_str());
+  std::printf(
+      "\nreserved keys: seed (Rng seed, default 1), threads (pool width),\n"
+      "               gprime_cap, order_bound (dispatcher knobs)\n");
+  std::printf("example    : nahsp solve %s seed=7 --json\n", fam.name.c_str());
+  return 0;
+}
+
+// ------------------------------------------------------------------ solve
+
+int cmd_solve(const std::vector<std::string>& tokens, bool json) {
+  ScenarioSpec spec = parse_scenario_spec(tokens);
+  const std::uint64_t seed = spec.params.get_u64("seed", kDefaultSeed);
+  const std::uint64_t threads = spec.params.get_u64("threads", 0, 0, 256);
+  if (threads != 0) set_parallelism(static_cast<int>(threads));
+
+  hsp::BuiltScenario built = hsp::build_scenario(spec);
+  Rng rng(seed);
+  const SolveOutcome out = run_scenario(std::move(built), rng);
+
+  if (json) {
+    JsonWriter w(std::cout);
+    write_solve_report(w, out, seed,
+                       threads != 0 ? threads
+                                    : static_cast<std::uint64_t>(
+                                          parallelism()));
+    w.finish();
+  } else {
+    print_solve_text(out, seed);
+  }
+  return out.success && out.verified ? 0 : 1;
+}
+
+// ------------------------------------------------------------------ batch
+
+int cmd_batch(const std::string& path,
+              const std::vector<std::string>& extra_tokens, bool json) {
+  const auto [seed, threads] =
+      parse_reserved_options(extra_tokens, "nahsp batch");
+
+  const std::vector<ScenarioSpec> specs = parse_scenario_file(path);
+  if (specs.empty())
+    throw std::invalid_argument("spec error: '" + path +
+                                "' contains no scenario specs");
+
+  std::vector<hsp::BuiltScenario> built;
+  std::vector<bb::HspInstance> instances;
+  hsp::BatchOptions opts;
+  opts.base_seed = seed;
+  opts.threads = static_cast<int>(threads);
+  for (const ScenarioSpec& spec : specs) {
+    built.push_back(hsp::build_scenario(spec));
+    instances.push_back(built.back().instance);
+    opts.per_instance.push_back(built.back().options);
+  }
+
+  const hsp::BatchReport report = hsp::solve_hsp_batch(instances, opts);
+
+  std::size_t verified_count = 0;
+  std::vector<bool> verified(report.items.size(), false);
+  for (std::size_t i = 0; i < report.items.size(); ++i) {
+    if (!report.items[i].success) continue;
+    verified[i] = hsp::verify_same_subgroup(
+        *built[i].instance.group, report.items[i].solution.generators,
+        built[i].instance.planted_generators);
+    if (verified[i]) ++verified_count;
+  }
+
+  if (json) {
+    JsonWriter w(std::cout);
+    w.begin_object();
+    w.field("schema", "nahsp-report/v1");
+    w.field("command", "batch");
+    w.field("file", path);
+    w.field("seed", seed);
+    w.field("threads", threads);
+    w.field("count", static_cast<std::uint64_t>(report.items.size()));
+    w.field("solved", static_cast<std::uint64_t>(report.solved));
+    w.field("verified", static_cast<std::uint64_t>(verified_count));
+    w.key("items");
+    w.begin_array();
+    for (std::size_t i = 0; i < report.items.size(); ++i) {
+      const hsp::BatchItemReport& item = report.items[i];
+      w.begin_object();
+      w.field("index", static_cast<std::uint64_t>(i));
+      w.field("scenario", built[i].family);
+      w.field("group", built[i].group_name);
+      w.field("success", item.success);
+      w.field("method", item.success
+                            ? hsp::method_name(item.solution.method)
+                            : "");
+      w.field("error", item.error);
+      w.field("verified", static_cast<bool>(verified[i]));
+      w.key("generators");
+      write_codes(w, item.success ? item.solution.generators
+                                  : std::vector<grp::Code>{});
+      w.key("queries");
+      write_queries(w, item.queries);
+      w.field("seconds", item.seconds);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("total_queries");
+    write_queries(w, report.total_queries);
+    w.field("seconds", report.seconds);
+    w.end_object();
+    w.finish();
+  } else {
+    std::printf("batch %s: %zu instances, %zu solved, %zu verified (%s)\n\n",
+                path.c_str(), report.items.size(), report.solved,
+                verified_count, format_duration(report.seconds).c_str());
+    for (std::size_t i = 0; i < report.items.size(); ++i) {
+      const hsp::BatchItemReport& item = report.items[i];
+      if (item.success) {
+        std::printf("  [%zu] %-5s %-13s %-48s %llu quantum queries\n", i,
+                    verified[i] ? "ok" : "WRONG", built[i].family.c_str(),
+                    hsp::method_name(item.solution.method),
+                    static_cast<unsigned long long>(
+                        item.queries.quantum_queries));
+      } else {
+        std::printf("  [%zu] FAIL  %-13s %s\n", i, built[i].family.c_str(),
+                    item.error.c_str());
+      }
+    }
+    const bb::QueryCounter& q = report.total_queries;
+    std::printf(
+        "\naggregate: %llu quantum / %llu classical queries, %llu group "
+        "ops\n",
+        static_cast<unsigned long long>(q.quantum_queries),
+        static_cast<unsigned long long>(q.classical_queries),
+        static_cast<unsigned long long>(q.group_ops));
+  }
+  return verified_count == report.items.size() ? 0 : 1;
+}
+
+// --------------------------------------------------------------- selftest
+
+int cmd_selftest(const std::vector<std::string>& tokens, bool json) {
+  const auto [seed, threads] =
+      parse_reserved_options(tokens, "nahsp selftest");
+  if (threads != 0) set_parallelism(static_cast<int>(threads));
+
+  const Timer total;
+  std::vector<SolveOutcome> outcomes;
+  for (const hsp::ScenarioFamily& fam : hsp::scenario_registry()) {
+    ScenarioSpec spec;
+    spec.scenario = fam.name;
+    Rng rng(seed);
+    outcomes.push_back(run_scenario(hsp::build_scenario(spec), rng));
+  }
+  bool all_ok = true;
+  for (const SolveOutcome& out : outcomes)
+    all_ok = all_ok && out.success && out.verified;
+
+  if (json) {
+    JsonWriter w(std::cout);
+    w.begin_object();
+    w.field("schema", "nahsp-report/v1");
+    w.field("command", "selftest");
+    w.field("seed", seed);
+    w.field("count", static_cast<std::uint64_t>(outcomes.size()));
+    w.field("all_verified", all_ok);
+    w.key("results");
+    w.begin_array();
+    for (const SolveOutcome& out : outcomes) {
+      w.begin_object();
+      w.field("scenario", out.scenario.family);
+      w.field("group", out.scenario.group_name);
+      w.field("success", out.success);
+      w.field("method", out.method);
+      w.field("error", out.error);
+      w.field("verified", out.verified);
+      w.key("queries");
+      write_queries(w, out.queries);
+      w.field("seconds", out.seconds);
+      w.end_object();
+    }
+    w.end_array();
+    w.field("seconds", total.seconds());
+    w.end_object();
+    w.finish();
+  } else {
+    std::printf("selftest: %zu scenarios at defaults, seed %llu\n\n",
+                outcomes.size(), static_cast<unsigned long long>(seed));
+    for (const SolveOutcome& out : outcomes) {
+      if (out.success) {
+        std::printf("  %-5s %-14s %-48s %llu quantum queries, %s\n",
+                    out.verified ? "ok" : "WRONG",
+                    out.scenario.family.c_str(), out.method.c_str(),
+                    static_cast<unsigned long long>(
+                        out.queries.quantum_queries),
+                    format_duration(out.seconds).c_str());
+      } else {
+        std::printf("  FAIL  %-14s %s\n", out.scenario.family.c_str(),
+                    out.error.c_str());
+      }
+    }
+    std::printf("\n%s (%s)\n",
+                all_ok ? "all scenarios verified" : "FAILURES detected",
+                format_duration(total.seconds()).c_str());
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace nahsp::cli
+
+int main(int argc, char** argv) {
+  using namespace nahsp::cli;
+  bool json = false;
+  bool names_only = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--names") {
+      names_only = true;
+    } else if (arg == "--help" || arg == "-h" ||
+               (arg == "help" && i == 1)) {
+      // Bare "help" counts only as the command word — `nahsp describe
+      // help` must reach the normal unknown-scenario diagnostics.
+      std::printf("%s", kUsage);
+      return 0;
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (args.empty()) {
+    std::fprintf(stderr, "%s", kUsage);
+    return 2;
+  }
+  const std::string command = args.front();
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+
+  try {
+    if (command == "list") return cmd_list(json, names_only);
+    if (command == "describe") {
+      if (rest.size() != 1)
+        throw std::invalid_argument("describe takes exactly one scenario name");
+      return cmd_describe(rest.front(), json);
+    }
+    if (command == "solve") {
+      if (rest.empty())
+        throw std::invalid_argument(
+            "solve needs a scenario name (see `nahsp list`)");
+      return cmd_solve(rest, json);
+    }
+    if (command == "batch") {
+      if (rest.empty())
+        throw std::invalid_argument("batch needs a .scn spec file");
+      return cmd_batch(rest.front(),
+                       {rest.begin() + 1, rest.end()}, json);
+    }
+    if (command == "selftest") return cmd_selftest(rest, json);
+    std::fprintf(stderr, "nahsp: unknown command '%s'\n\n%s",
+                 command.c_str(), kUsage);
+    return 2;
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "nahsp: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nahsp: unexpected error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,67 @@
+// Minimal streaming JSON writer for the `nahsp` driver's machine-
+// readable reports.
+//
+// Keys are emitted in call order and the formatting (2-space indent,
+// "\n" line ends, %.9g doubles) is fixed, so two runs that compute the
+// same report produce byte-identical output — the property the CI
+// golden-report diff relies on. No external JSON dependency.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nahsp::cli {
+
+/// \brief Streaming JSON writer with explicit begin/end nesting and
+/// full string escaping. Misuse (value without key inside an object,
+/// unbalanced end) is a programming error and asserted via exceptions.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// \brief Emits the key of the next value inside an object.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(std::uint64_t v);
+  void value(bool v);
+  /// \brief Doubles print as %.9g (shortest stable round-trip for the
+  /// report's wall-clock fields).
+  void value(double v);
+
+  /// \brief key + value in one call.
+  template <typename T>
+  void field(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// \brief Terminates the document with a trailing newline.
+  void finish();
+
+ private:
+  void prefix();
+  void indent(std::size_t depth);
+
+  struct Level {
+    bool is_array = false;
+    std::size_t count = 0;
+  };
+  std::ostream& os_;
+  std::vector<Level> stack_;
+  bool pending_key_ = false;
+};
+
+/// \brief JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+}  // namespace nahsp::cli

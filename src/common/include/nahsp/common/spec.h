@@ -1,0 +1,105 @@
+// Declarative scenario specs: "name key=value key=value ...".
+//
+// A spec names a registered scenario family plus parameter overrides,
+// e.g. "wreath k=4 hidden=2 seed=7". Specs come from CLI argv tokens or
+// from a `.scn` file (one spec per line, `#` comments). The parser is
+// deliberately strict — malformed tokens, duplicate keys, bad numbers,
+// and out-of-range values all fail with a diagnostic naming the
+// offending token — because specs are the one user-facing input surface
+// of the `nahsp` driver and silent defaulting would hide typos.
+//
+// Consumption protocol: every typed getter marks its key consumed, and
+// `require_all_consumed` turns leftovers into an "unknown key" error
+// listing what *would* have been accepted. The CLI consumes its
+// reserved keys (seed, threads), the scenario registry consumes the
+// family parameters, and anything still unclaimed is a user error.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nahsp {
+
+/// \brief Ordered key=value map with typed, range-checked, consumption-
+/// tracked getters. All failures throw std::invalid_argument with a
+/// message naming the key.
+class SpecMap {
+ public:
+  /// \brief Inserts a key=value pair. Keys must match
+  /// [A-Za-z_][A-Za-z0-9_]*; duplicates are rejected.
+  void set(std::string key, std::string value);
+
+  bool has(std::string_view key) const;
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// \brief Value of `key` as a u64 (decimal or 0x-hex), or `def` when
+  /// absent. The value must lie in [min, max]; the key is marked
+  /// consumed either way.
+  std::uint64_t get_u64(
+      std::string_view key, std::uint64_t def, std::uint64_t min = 0,
+      std::uint64_t max = std::numeric_limits<std::uint64_t>::max());
+
+  /// \brief Raw string value of `key`, or `def` when absent; marks the
+  /// key consumed.
+  std::string get_string(std::string_view key, std::string def);
+
+  /// \brief Keys set but never fetched by a getter, in insertion order.
+  std::vector<std::string> unconsumed_keys() const;
+
+  /// \brief Throws std::invalid_argument if any key is unconsumed,
+  /// naming the stray keys, the `context` (e.g. "scenario 'wreath'"),
+  /// and the keys that would have been accepted.
+  void require_all_consumed(std::string_view context,
+                            const std::vector<std::string>& known_keys) const;
+
+  /// \brief All entries as (key, value) pairs in insertion order
+  /// (rendering / round-trip support).
+  std::vector<std::pair<std::string, std::string>> entries() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+    mutable bool consumed = false;
+  };
+  const Entry* find(std::string_view key) const;
+
+  std::vector<Entry> entries_;
+};
+
+/// \brief One parsed scenario spec: a family name plus overrides.
+struct ScenarioSpec {
+  std::string scenario;
+  SpecMap params;
+};
+
+/// \brief Parses a u64 literal (decimal or 0x-hex); rejects sign
+/// characters, trailing junk, and overflow.
+std::uint64_t parse_spec_u64(std::string_view text);
+
+/// \brief Parses one spec from pre-split tokens: the first token is the
+/// scenario name (must not contain '='), the rest are key=value pairs.
+ScenarioSpec parse_scenario_spec(const std::vector<std::string>& tokens);
+
+/// \brief Parses one spec from a whitespace-separated line; `#` starts
+/// a comment running to the end of the line.
+ScenarioSpec parse_scenario_line(std::string_view line);
+
+/// \brief Parses a `.scn` stream: one spec per non-empty, non-comment
+/// line. `source_name` labels diagnostics ("fleet.scn:3: ...").
+std::vector<ScenarioSpec> parse_scenario_stream(
+    std::istream& in, std::string_view source_name = "<spec>");
+
+/// \brief Parses a `.scn` file from disk (see parse_scenario_stream).
+std::vector<ScenarioSpec> parse_scenario_file(const std::string& path);
+
+/// \brief Canonical one-line rendering "name k1=v1 k2=v2" (insertion
+/// order); parse_scenario_line(to_string(s)) round-trips.
+std::string to_string(const ScenarioSpec& spec);
+
+}  // namespace nahsp

@@ -1,0 +1,196 @@
+#include "nahsp/common/spec.h"
+
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nahsp {
+
+namespace {
+
+[[noreturn]] void spec_fail(const std::string& msg) {
+  throw std::invalid_argument("spec error: " + msg);
+}
+
+bool valid_key(std::string_view key) {
+  if (key.empty()) return false;
+  const auto head = static_cast<unsigned char>(key[0]);
+  if (!std::isalpha(head) && key[0] != '_') return false;
+  for (const char c : key.substr(1)) {
+    const auto u = static_cast<unsigned char>(c);
+    if (!std::isalnum(u) && c != '_') return false;
+  }
+  return true;
+}
+
+std::vector<std::string> split_tokens(std::string_view line) {
+  // `#` comments run to the end of the line.
+  if (const auto hash = line.find('#'); hash != std::string_view::npos)
+    line = line.substr(0, hash);
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char c : line) {
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!current.empty()) tokens.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+}  // namespace
+
+void SpecMap::set(std::string key, std::string value) {
+  if (!valid_key(key))
+    spec_fail("invalid key '" + key +
+              "' (keys match [A-Za-z_][A-Za-z0-9_]*)");
+  if (find(key) != nullptr) spec_fail("duplicate key '" + key + "'");
+  if (value.empty()) spec_fail("key '" + key + "' has an empty value");
+  entries_.push_back(Entry{std::move(key), std::move(value), false});
+}
+
+const SpecMap::Entry* SpecMap::find(std::string_view key) const {
+  for (const Entry& e : entries_)
+    if (e.key == key) return &e;
+  return nullptr;
+}
+
+bool SpecMap::has(std::string_view key) const { return find(key) != nullptr; }
+
+std::uint64_t SpecMap::get_u64(std::string_view key, std::uint64_t def,
+                               std::uint64_t min, std::uint64_t max) {
+  std::uint64_t value = def;
+  if (const Entry* e = find(key); e != nullptr) {
+    e->consumed = true;
+    try {
+      value = parse_spec_u64(e->value);
+    } catch (const std::invalid_argument&) {
+      spec_fail("key '" + std::string(key) + "': '" + e->value +
+                "' is not an unsigned integer (decimal or 0x-hex)");
+    }
+  }
+  if (value < min || value > max) {
+    std::ostringstream os;
+    os << "key '" << key << "': value " << value << " out of range ["
+       << min << ", " << max << "]";
+    spec_fail(os.str());
+  }
+  return value;
+}
+
+std::string SpecMap::get_string(std::string_view key, std::string def) {
+  if (const Entry* e = find(key); e != nullptr) {
+    e->consumed = true;
+    return e->value;
+  }
+  return def;
+}
+
+std::vector<std::string> SpecMap::unconsumed_keys() const {
+  std::vector<std::string> keys;
+  for (const Entry& e : entries_)
+    if (!e.consumed) keys.push_back(e.key);
+  return keys;
+}
+
+void SpecMap::require_all_consumed(
+    std::string_view context,
+    const std::vector<std::string>& known_keys) const {
+  const auto stray = unconsumed_keys();
+  if (stray.empty()) return;
+  std::ostringstream os;
+  os << "unknown key" << (stray.size() > 1 ? "s" : "") << " for " << context
+     << ":";
+  for (const std::string& k : stray) os << " '" << k << "'";
+  os << "; accepted keys:";
+  if (known_keys.empty()) os << " (none)";
+  for (const std::string& k : known_keys) os << " " << k;
+  spec_fail(os.str());
+}
+
+std::vector<std::pair<std::string, std::string>> SpecMap::entries() const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(entries_.size());
+  for (const Entry& e : entries_) out.emplace_back(e.key, e.value);
+  return out;
+}
+
+std::uint64_t parse_spec_u64(std::string_view text) {
+  int base = 10;
+  std::string_view digits = text;
+  if (digits.size() > 2 && digits[0] == '0' &&
+      (digits[1] == 'x' || digits[1] == 'X')) {
+    base = 16;
+    digits = digits.substr(2);
+  }
+  std::uint64_t value = 0;
+  const auto* end = digits.data() + digits.size();
+  const auto [ptr, ec] = std::from_chars(digits.data(), end, value, base);
+  if (ec != std::errc{} || ptr != end || digits.empty())
+    throw std::invalid_argument("not an unsigned integer: '" +
+                                std::string(text) + "'");
+  return value;
+}
+
+ScenarioSpec parse_scenario_spec(const std::vector<std::string>& tokens) {
+  if (tokens.empty()) spec_fail("empty spec (expected: <scenario> [key=value ...])");
+  ScenarioSpec spec;
+  spec.scenario = tokens.front();
+  if (spec.scenario.find('=') != std::string::npos)
+    spec_fail("first token '" + spec.scenario +
+              "' looks like key=value; a spec starts with the scenario name");
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos)
+      spec_fail("token '" + tok + "' is not of the form key=value");
+    spec.params.set(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  return spec;
+}
+
+ScenarioSpec parse_scenario_line(std::string_view line) {
+  return parse_scenario_spec(split_tokens(line));
+}
+
+std::vector<ScenarioSpec> parse_scenario_stream(std::istream& in,
+                                                std::string_view source_name) {
+  std::vector<ScenarioSpec> specs;
+  std::string line;
+  for (int line_no = 1; std::getline(in, line); ++line_no) {
+    const auto tokens = split_tokens(line);
+    if (tokens.empty()) continue;  // blank or comment-only line
+    try {
+      specs.push_back(parse_scenario_spec(tokens));
+    } catch (const std::invalid_argument& e) {
+      std::ostringstream os;
+      os << source_name << ":" << line_no << ": " << e.what();
+      throw std::invalid_argument(os.str());
+    }
+  }
+  return specs;
+}
+
+std::vector<ScenarioSpec> parse_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) spec_fail("cannot open scenario file '" + path + "'");
+  return parse_scenario_stream(in, path);
+}
+
+std::string to_string(const ScenarioSpec& spec) {
+  std::string out = spec.scenario;
+  for (const auto& [key, value] : spec.params.entries()) {
+    out += ' ';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+}  // namespace nahsp

@@ -9,6 +9,11 @@
 
 #include "nahsp/groups/group.h"
 
+/// \file
+/// \brief Cyclic groups, direct products, and elementary Abelian
+/// groups — the Abelian substrate of Theorem 3 and the building blocks
+/// of the non-Abelian constructions.
+
 namespace nahsp::grp {
 
 /// Z_n with codes 0..n-1 and addition mod n. Generator: 1.
@@ -25,6 +30,7 @@ class CyclicGroup final : public Group {
   bool is_element(Code a) const override { return a < n_; }
   std::string name() const override;
 
+  /// \brief The modulus n.
   std::uint64_t modulus() const { return n_; }
 
  private:
@@ -47,7 +53,9 @@ class DirectProduct final : public Group {
   bool is_element(Code a) const override;
   std::string name() const override;
 
+  /// \brief Number of direct factors.
   std::size_t factor_count() const { return factors_.size(); }
+  /// \brief The i-th direct factor.
   const Group& factor(std::size_t i) const { return *factors_[i]; }
 
   /// Extracts factor i's component of a packed code.

@@ -9,6 +9,10 @@
 
 #include "nahsp/groups/group.h"
 
+/// \file
+/// \brief Dihedral group D_n of order 2n — the hidden-normal-subgroup
+/// worked example and the substrate of the Ettinger–Høyer baseline.
+
 namespace nahsp::grp {
 
 /// D_n = < x, y | x^n = y^2 = 1, y x y = x^{-1} >, order 2n.
@@ -26,11 +30,14 @@ class DihedralGroup final : public Group {
   bool is_element(Code a) const override;
   std::string name() const override;
 
+  /// \brief The rotation order n (|D_n| = 2n).
   std::uint64_t n() const { return n_; }
 
-  /// Encodes x^r y^s.
+  /// \brief Encodes x^r y^s.
   Code make(std::uint64_t r, bool s) const;
+  /// \brief Rotation exponent r of a = x^r y^s.
   std::uint64_t rotation_of(Code a) const { return a & rot_mask_; }
+  /// \brief Reflection bit s of a = x^r y^s.
   bool reflection_of(Code a) const { return (a >> rot_bits_) & 1; }
 
  private:

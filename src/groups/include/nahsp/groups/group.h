@@ -17,6 +17,10 @@
 #include <string>
 #include <vector>
 
+/// \file
+/// \brief The abstract finite-group interface over 64-bit element
+/// codes, mirroring the Babai–Szemerédi black-box group model.
+
 namespace nahsp::grp {
 
 /// Element code: an at-most-64-bit string naming one group element.

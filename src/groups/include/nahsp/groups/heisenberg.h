@@ -11,6 +11,10 @@
 
 #include "nahsp/groups/group.h"
 
+/// \file
+/// \brief Heisenberg groups H(p, n) of order p^{2n+1} — the
+/// extraspecial family of the paper's Corollary 12 (n = 1, odd p).
+
 namespace nahsp::grp {
 
 /// Heisenberg group H(p, n) with mixed-radix code
@@ -28,19 +32,24 @@ class HeisenbergGroup final : public Group {
   bool is_element(Code a) const override;
   std::string name() const override;
 
+  /// \brief The prime modulus p.
   std::uint64_t p() const { return p_; }
+  /// \brief The rank n (a and b have n digits each).
   int n() const { return n_; }
 
-  /// Packs (a, b, c); a and b must have length n, entries < p.
+  /// \brief Packs (a, b, c); a and b must have length n, entries < p.
   Code make(const std::vector<std::uint64_t>& a,
             const std::vector<std::uint64_t>& b, std::uint64_t c) const;
 
-  /// The centre generator (0, 0, 1); the centre is its span and equals
-  /// the commutator subgroup.
+  /// \brief The centre generator (0, 0, 1); the centre is its span and
+  /// equals the commutator subgroup.
   Code central_generator() const;
 
+  /// \brief Digit a_i of x = (a, b, c).
   std::uint64_t a_digit(Code x, int i) const { return digit(x, i); }
+  /// \brief Digit b_i of x = (a, b, c).
   std::uint64_t b_digit(Code x, int i) const { return digit(x, n_ + i); }
+  /// \brief Central digit c of x = (a, b, c).
   std::uint64_t c_digit(Code x) const { return digit(x, 2 * n_); }
 
  private:

@@ -10,6 +10,10 @@
 
 #include "nahsp/groups/group.h"
 
+/// \file
+/// \brief Generalized quaternion groups Q_{2^k} — natural Theorem 11
+/// targets exercising the b^2 != 1 twist dihedral groups lack.
+
 namespace nahsp::grp {
 
 /// Q_{2^k}: element a^i b^j (0 <= i < 2^{k-1}, j in {0,1}) encoded as
@@ -28,12 +32,14 @@ class QuaternionGroup final : public Group {
   bool is_element(Code x) const override;
   std::string name() const override;
 
-  /// Encodes a^i b^j.
+  /// \brief Encodes a^i b^j.
   Code make(std::uint64_t i, bool j) const;
+  /// \brief Exponent i of x = a^i b^j.
   std::uint64_t a_exp(Code x) const { return x & amask_; }
+  /// \brief Exponent j of x = a^i b^j.
   bool b_exp(Code x) const { return (x >> abits_) & 1; }
 
-  /// The central involution a^{n/2} (= b^2).
+  /// \brief The central involution a^{n/2} (= b^2).
   Code central_involution() const { return make(n_ / 2, false); }
 
  private:

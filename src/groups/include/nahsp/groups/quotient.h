@@ -12,6 +12,10 @@
 
 #include "nahsp/groups/group.h"
 
+/// \file
+/// \brief Non-unique encodings: a view of the factor group G/N reusing
+/// G's codes, with an identity oracle deciding membership in N.
+
 namespace nahsp::grp {
 
 /// G/N with G's (unique) encoding reused as a non-unique encoding of the
@@ -32,6 +36,7 @@ class QuotientView final : public Group {
   bool is_element(Code a) const override { return g_->is_element(a); }
   std::string name() const override;
 
+  /// \brief The ambient group G whose codes this view reuses.
   const Group& ambient() const { return *g_; }
 
  private:

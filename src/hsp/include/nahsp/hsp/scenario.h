@@ -1,0 +1,83 @@
+// The scenario registry: every named HSP workload the repo knows how to
+// construct, in one place.
+//
+// A scenario family is a parameterised factory (string key -> planted
+// black-box instance + dispatcher options) plus the metadata the CLI,
+// tests, and docs render: a one-line summary, the paper theorem the
+// family exercises, and a declared parameter table with defaults,
+// ranges, and per-key documentation. Examples, benches, the `nahsp`
+// driver, and the CI smoke suite all build their instances through
+// `build_scenario`, so adding a family here makes it available
+// everywhere at once (see docs/ARCHITECTURE.md, "A new scenario").
+//
+// Construction is deterministic: a (family, parameters) pair always
+// yields the same group, the same planted subgroup, and the same
+// options — randomness enters only through the Rng handed to the
+// solver, which is what makes pinned-seed golden reports possible.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "nahsp/common/spec.h"
+#include "nahsp/hsp/solve.h"
+
+namespace nahsp::hsp {
+
+/// \brief One declared parameter of a scenario family.
+struct ScenarioParam {
+  std::string key;   ///< spec key, e.g. "n"
+  u64 def = 0;       ///< value used when the spec omits the key
+  u64 min = 0;       ///< inclusive lower bound (spec-checked)
+  u64 max = 0;       ///< inclusive upper bound (spec-checked)
+  std::string doc;   ///< one-line description rendered by `nahsp describe`
+};
+
+/// \brief A fully constructed scenario: planted instance + dispatcher
+/// options + the metadata a report needs.
+struct BuiltScenario {
+  std::string family;      ///< registry key this was built from
+  std::string group_name;  ///< e.g. "D_12"
+  u64 group_order = 0;
+  /// Resolved parameter values in declaration order (defaults filled
+  /// in), so reports show exactly what was run.
+  std::vector<std::pair<std::string, u64>> params;
+  bb::HspInstance instance;  ///< black box + hiding f + planted truth
+  AutoOptions options;       ///< dispatcher knobs tuned for the family
+};
+
+/// \brief A registered scenario family: metadata + factory.
+struct ScenarioFamily {
+  std::string name;     ///< registry key, e.g. "wreath"
+  std::string summary;  ///< one-line description for `nahsp list`
+  std::string theorem;  ///< paper result exercised, e.g. "Theorem 13"
+  std::vector<ScenarioParam> params;  ///< declared keys (defaults/ranges)
+  /// Builds the scenario, consuming its keys from the spec map.
+  std::function<BuiltScenario(SpecMap&)> build;
+};
+
+/// \brief All registered families, sorted by name. The registry is
+/// immutable and built on first use.
+const std::vector<ScenarioFamily>& scenario_registry();
+
+/// \brief Looks up a family by name; nullptr when absent.
+const ScenarioFamily* find_scenario_family(std::string_view name);
+
+/// \brief Looks up a family by name; throws std::invalid_argument
+/// listing the registered names when absent.
+const ScenarioFamily& scenario_family_or_throw(const std::string& name);
+
+/// \brief Builds a scenario from a parsed spec: resolves the family,
+/// applies parameter overrides (range-checked), applies the common
+/// solver keys (`gprime_cap`, `order_bound`), and rejects any unknown
+/// key with a diagnostic listing the accepted ones.
+BuiltScenario build_scenario(const ScenarioSpec& spec);
+
+/// \brief Convenience overload: parses `spec_text` as one spec line
+/// ("family key=value ...") and builds it.
+BuiltScenario build_scenario(const std::string& spec_text);
+
+}  // namespace nahsp::hsp

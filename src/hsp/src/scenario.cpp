@@ -1,0 +1,573 @@
+#include "nahsp/hsp/scenario.h"
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+
+#include "nahsp/common/check.h"
+#include "nahsp/groups/cyclic.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/gf2group.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/permutation.h"
+#include "nahsp/groups/quaternion.h"
+#include "nahsp/numtheory/arith.h"
+
+namespace nahsp::hsp {
+
+namespace {
+
+using grp::Code;
+
+[[noreturn]] void scenario_fail(const std::string& family,
+                                const std::string& msg) {
+  throw std::invalid_argument("scenario '" + family + "': " + msg);
+}
+
+// Fetches declared parameters from the spec (default + declared range)
+// and records the resolved values in declaration-call order, so every
+// report shows exactly what was run.
+struct ParamReader {
+  const std::vector<ScenarioParam>& declared;
+  SpecMap& spec;
+  std::vector<std::pair<std::string, u64>> resolved;
+
+  u64 operator()(std::string_view key) {
+    for (const ScenarioParam& p : declared) {
+      if (p.key == key) {
+        const u64 v = spec.get_u64(key, p.def, p.min, p.max);
+        resolved.emplace_back(p.key, v);
+        return v;
+      }
+    }
+    throw internal_error("scenario builder fetched undeclared key '" +
+                         std::string(key) + "'");
+  }
+};
+
+BuiltScenario make_built(std::shared_ptr<const grp::Group> g,
+                         std::vector<Code> hidden, AutoOptions options,
+                         ParamReader&& reader) {
+  BuiltScenario b;
+  b.group_name = g->name();
+  b.group_order = g->order();
+  b.params = std::move(reader.resolved);
+  b.options = std::move(options);
+  b.instance = bb::make_instance(std::move(g), std::move(hidden));
+  return b;
+}
+
+// Low-k-bit alternating mask 0b...0101 — deterministic "interesting"
+// planted vectors for the GF(2) families.
+u64 alt_mask(u64 bits) { return 0x5555555555555555ULL & ((u64{1} << bits) - 1); }
+
+// ---------------------------------------------------------------- dihedral
+
+ScenarioFamily dihedral_family() {
+  ScenarioFamily f;
+  f.name = "dihedral";
+  f.summary =
+      "D_n with the hidden rotation subgroup <x^k> (normal; Theorem 8 "
+      "route, no Fourier transform on G)";
+  f.theorem = "Theorem 8 (hidden normal subgroup)";
+  f.params = {
+      {"n", 12, 2, 1024, "order parameter: |D_n| = 2n"},
+      {"k", 3, 0, 1024,
+       "hidden subgroup is <x^k> (k=0 plants the trivial subgroup)"},
+  };
+  f.build = [params = f.params](SpecMap& spec) {
+    ParamReader get{params, spec, {}};
+    const u64 n = get("n");
+    const u64 k = get("k");
+    auto g = std::make_shared<grp::DihedralGroup>(n);
+    std::vector<Code> hidden;
+    if (k % n != 0) hidden.push_back(g->make(k % n, false));
+    AutoOptions o;
+    // Element orders in D_n divide n or equal 2, so n bounds them all
+    // (and keeps the Shor domain within the simulator budget at n=1024).
+    o.order_bound = n;
+    o.gprime_cap = 1;  // skip the Theorem 11 probe: exercise Theorem 8
+    return make_built(std::move(g), std::move(hidden), o, std::move(get));
+  };
+  return f;
+}
+
+// --------------------------------------------------------------- symmetric
+
+ScenarioFamily symmetric_family() {
+  ScenarioFamily f;
+  f.name = "symmetric";
+  f.summary =
+      "S_d with a planted normal subgroup (trivial, A_d, S_d, or V_4), "
+      "hidden via Schreier-Sims coset labels";
+  f.theorem = "Theorem 8 (hidden normal subgroup)";
+  f.params = {
+      {"d", 4, 3, 6, "degree of the symmetric group"},
+      {"hidden", 1, 0, 3,
+       "planted subgroup: 0 = trivial, 1 = A_d, 2 = S_d, 3 = V_4 "
+       "(d = 4 only)"},
+  };
+  f.build = [params = f.params](SpecMap& spec) {
+    ParamReader get{params, spec, {}};
+    const u64 d = get("d");
+    const u64 which = get("hidden");
+    auto g = grp::symmetric_group(static_cast<int>(d));
+    std::vector<Code> hidden;
+    switch (which) {
+      case 0:
+        break;
+      case 1:
+        for (int i = 2; i < static_cast<int>(d); ++i)
+          hidden.push_back(g->encode(
+              grp::perm_from_cycles(static_cast<int>(d), {{0, 1, i}})));
+        break;
+      case 2:
+        hidden = g->generators();
+        break;
+      case 3:
+        if (d != 4)
+          scenario_fail("symmetric", "hidden=3 (V_4) requires d=4");
+        hidden = {g->encode(grp::perm_from_cycles(4, {{0, 1}, {2, 3}})),
+                  g->encode(grp::perm_from_cycles(4, {{0, 2}, {1, 3}}))};
+        break;
+      default:
+        break;
+    }
+    AutoOptions o;
+    u64 fact = 1;
+    for (u64 i = 2; i <= d; ++i) fact *= i;
+    o.order_bound = fact;
+    o.gprime_cap = 1;  // A_d is large relative to caps anyway; be explicit
+    BuiltScenario b;
+    b.group_name = g->name();
+    b.group_order = g->order();
+    b.params = std::move(get.resolved);
+    b.options = o;
+    b.instance = bb::make_perm_instance(g, std::move(hidden));
+    return b;
+  };
+  return f;
+}
+
+// -------------------------------------------------------------- heisenberg
+
+ScenarioFamily heisenberg_family() {
+  ScenarioFamily f;
+  f.name = "heisenberg";
+  f.summary =
+      "Heisenberg group H(p, n) with the hidden centre Z(G) = G' "
+      "(order p)";
+  f.theorem = "Theorem 11 + Corollary 12 (small commutator subgroup)";
+  f.params = {
+      {"p", 5, 3, 13, "odd prime modulus"},
+      {"n", 1, 1, 2, "rank: |G| = p^(2n+1)"},
+  };
+  f.build = [params = f.params](SpecMap& spec) {
+    ParamReader get{params, spec, {}};
+    const u64 p = get("p");
+    const u64 n = get("n");
+    if (!nt::is_prime(p) || p % 2 == 0)
+      scenario_fail("heisenberg", "p must be an odd prime");
+    auto g = std::make_shared<grp::HeisenbergGroup>(p, static_cast<int>(n));
+    std::vector<Code> hidden{g->central_generator()};
+    AutoOptions o;
+    // H(p, n) has exponent p for odd p: every element order divides p.
+    o.order_bound = p;
+    return make_built(std::move(g), std::move(hidden), o, std::move(get));
+  };
+  return f;
+}
+
+// ------------------------------------------------------------ extraspecial
+
+ScenarioFamily extraspecial_family() {
+  ScenarioFamily f;
+  f.name = "extraspecial";
+  f.summary =
+      "extraspecial group Heis(p) with a planted non-normal subgroup "
+      "<(ha, hb, 0)> (optionally extended by the centre)";
+  f.theorem = "Theorem 11 + Corollary 12 (small commutator subgroup)";
+  f.params = {
+      {"p", 5, 3, 13, "odd prime: |G| = p^3"},
+      {"ha", 2, 0, 12, "a-digit of the planted generator (must be < p)"},
+      {"hb", 3, 0, 12, "b-digit of the planted generator (must be < p)"},
+      {"with_centre", 0, 0, 1,
+       "1 adds the central generator (plants a normal subgroup)"},
+  };
+  f.build = [params = f.params](SpecMap& spec) {
+    ParamReader get{params, spec, {}};
+    const u64 p = get("p");
+    const u64 ha = get("ha");
+    const u64 hb = get("hb");
+    const u64 with_centre = get("with_centre");
+    if (!nt::is_prime(p) || p % 2 == 0)
+      scenario_fail("extraspecial", "p must be an odd prime");
+    if (ha >= p || hb >= p)
+      scenario_fail("extraspecial", "ha and hb must be < p");
+    auto g = std::make_shared<grp::HeisenbergGroup>(p, 1);
+    std::vector<Code> hidden;
+    if (ha != 0 || hb != 0) hidden.push_back(g->make({ha}, {hb}, 0));
+    if (with_centre != 0) hidden.push_back(g->central_generator());
+    AutoOptions o;
+    // Heis(p) has exponent p for odd p: every element order divides p.
+    o.order_bound = p;
+    return make_built(std::move(g), std::move(hidden), o, std::move(get));
+  };
+  return f;
+}
+
+// -------------------------------------------------------------- quaternion
+
+ScenarioFamily quaternion_family() {
+  ScenarioFamily f;
+  f.name = "quaternion";
+  f.summary =
+      "generalized quaternion group Q_2^k with a planted subgroup "
+      "(<b>, the centre, or <a>) - the b^2 != 1 twist dihedral groups lack";
+  f.theorem = "Theorem 11 (small commutator subgroup)";
+  f.params = {
+      {"order", 16, 8, 512, "group order; must be a power of two >= 8"},
+      {"hidden", 0, 0, 2,
+       "planted subgroup: 0 = <b>, 1 = centre {1, a^(n/2)}, 2 = <a>"},
+  };
+  f.build = [params = f.params](SpecMap& spec) {
+    ParamReader get{params, spec, {}};
+    const u64 order = get("order");
+    const u64 which = get("hidden");
+    if ((order & (order - 1)) != 0)
+      scenario_fail("quaternion", "order must be a power of two");
+    auto g = std::make_shared<grp::QuaternionGroup>(order);
+    std::vector<Code> hidden;
+    switch (which) {
+      case 0: hidden = {g->make(0, true)}; break;
+      case 1: hidden = {g->central_involution()}; break;
+      default: hidden = {g->make(1, false)}; break;
+    }
+    AutoOptions o;
+    o.order_bound = order;
+    return make_built(std::move(g), std::move(hidden), o, std::move(get));
+  };
+  return f;
+}
+
+// ------------------------------------------------------------------ wreath
+
+// Shared Theorem 13 options for the GF(2) semidirect families: the
+// structure-aware N-membership and coset-label oracles (the DESIGN.md
+// substitution for the Watrous |N>-state machinery).
+AutoOptions gf2_semidirect_options(
+    const std::shared_ptr<const grp::GF2SemidirectCyclic>& g) {
+  AutoOptions o;
+  o.elem_abelian_2_subgroup = g->normal_subgroup_generators();
+  o.elem_abelian_2_options.assume_cyclic_factor = true;
+  o.elem_abelian_2_options.factor_order_bound = g->m();
+  o.elem_abelian_2_options.n_membership = [g](Code c) {
+    return g->rot_of(c) == 0;
+  };
+  o.elem_abelian_2_options.coset_label = [g](Code c) { return g->rot_of(c); };
+  return o;
+}
+
+ScenarioFamily wreath_family() {
+  ScenarioFamily f;
+  f.name = "wreath";
+  f.summary =
+      "Rotteler-Beth wreath product Z_2^k wr Z_2 with a planted hidden "
+      "subgroup, solved through the cyclic-factor route";
+  f.theorem = "Theorem 13 (elementary Abelian normal 2-subgroup)";
+  f.params = {
+      {"k", 3, 1, 8, "block width: |G| = 2^(2k+1)"},
+      {"hidden", 2, 0, 3,
+       "planted subgroup: 0 = inside N, 1 = the swap, 2 = shifted swap, "
+       "3 = rank-2 mixed"},
+  };
+  f.build = [params = f.params](SpecMap& spec) {
+    ParamReader get{params, spec, {}};
+    const u64 k = get("k");
+    const u64 which = get("hidden");
+    auto g = grp::wreath_z2k_z2(static_cast<int>(k));
+    const u64 ones = (u64{1} << (2 * k)) - 1;
+    const u64 alt = alt_mask(2 * k);
+    std::vector<Code> hidden;
+    switch (which) {
+      case 0: hidden = {g->make((u64{1} << k) - 1, 0)}; break;
+      case 1: hidden = {g->make(0, 1)}; break;
+      case 2: hidden = {g->make(alt, 1)}; break;
+      default: hidden = {g->make(alt, 1), g->make(ones, 0)}; break;
+    }
+    AutoOptions o = gf2_semidirect_options(g);
+    return make_built(std::move(g), std::move(hidden), o, std::move(get));
+  };
+  return f;
+}
+
+// --------------------------------------------------------------- gf2affine
+
+ScenarioFamily gf2affine_family() {
+  ScenarioFamily f;
+  f.name = "gf2affine";
+  f.summary =
+      "the paper's Section 6 GF(2) matrix-group family Z_2^k x| <M> "
+      "(M a companion matrix), cyclic-factor route";
+  f.theorem = "Theorem 13 (elementary Abelian normal 2-subgroup)";
+  f.params = {
+      {"k", 4, 2, 8, "dimension of N = Z_2^k"},
+      {"coeffs", 3, 1, 255,
+       "coefficient mask of the companion matrix M (bit 0 must be set "
+       "for invertibility; must fit in k bits)"},
+      {"hidden", 0, 0, 3,
+       "planted subgroup: 0 = inside N, 1 = full complement <(0,1)>, "
+       "2 = proper complement subgroup, 3 = rank-2 mixed"},
+  };
+  f.build = [params = f.params](SpecMap& spec) {
+    ParamReader get{params, spec, {}};
+    const u64 k = get("k");
+    const u64 coeffs = get("coeffs");
+    const u64 which = get("hidden");
+    if ((coeffs & 1) == 0)
+      scenario_fail("gf2affine", "coeffs must have bit 0 set (M invertible)");
+    if (coeffs >> k != 0)
+      scenario_fail("gf2affine", "coeffs must fit in k bits");
+    auto g = grp::paper_matrix_group(
+        grp::GF2Mat::companion(static_cast<int>(k), coeffs));
+    const u64 m = g->m();
+    const u64 ones = (u64{1} << k) - 1;
+    const u64 alt = alt_mask(k);
+    std::vector<Code> hidden;
+    switch (which) {
+      case 0: hidden = {g->make(alt, 0)}; break;
+      case 1: hidden = {g->make(0, 1 % m)}; break;
+      case 2: {
+        // <(0, m/q)> for the smallest prime factor q of m: a proper
+        // subgroup of the cyclic complement (the whole complement when
+        // m is prime).
+        const auto divs = nt::divisors(m);
+        const u64 q = divs.size() > 1 ? divs[1] : 1;
+        hidden = {g->make(0, (m / q) % m)};
+        break;
+      }
+      default: hidden = {g->make(ones, 1 % m), g->make(alt ^ ones, 0)}; break;
+    }
+    AutoOptions o = gf2_semidirect_options(g);
+    return make_built(std::move(g), std::move(hidden), o, std::move(get));
+  };
+  return f;
+}
+
+// ------------------------------------------------------------ elem_abelian2
+
+ScenarioFamily elem_abelian2_family() {
+  ScenarioFamily f;
+  f.name = "elem_abelian2";
+  f.summary =
+      "elementary Abelian G = Z_2^k with a hidden subspace, run through "
+      "the Theorem 13 machinery with N = G";
+  f.theorem = "Theorem 13 (elementary Abelian normal 2-subgroup)";
+  f.params = {
+      {"k", 6, 1, 16, "dimension: |G| = 2^k"},
+      {"hidden", 1, 0, 3,
+       "planted subspace: 0 = <all-ones>, 1 = rank 2 (all-ones + "
+       "alternating), 2 = trivial, 3 = the whole group"},
+  };
+  f.build = [params = f.params](SpecMap& spec) {
+    ParamReader get{params, spec, {}};
+    const u64 k = get("k");
+    const u64 which = get("hidden");
+    auto g = grp::elementary_abelian(2, static_cast<int>(k));
+    const Code ones = (u64{1} << k) - 1;
+    const Code alt = alt_mask(k);
+    std::vector<Code> hidden;
+    switch (which) {
+      case 0: hidden = {ones}; break;
+      case 1:
+        hidden = alt == ones ? std::vector<Code>{ones}
+                             : std::vector<Code>{ones, alt};
+        break;
+      case 2: break;
+      default: hidden = g->generators(); break;
+    }
+    AutoOptions o;
+    o.order_bound = 2;
+    o.elem_abelian_2_subgroup = g->generators();
+    o.elem_abelian_2_options.factor_order_bound = 1;
+    o.elem_abelian_2_options.n_membership = [](Code) { return true; };
+    o.elem_abelian_2_options.coset_label = [](Code) { return u64{0}; };
+    return make_built(std::move(g), std::move(hidden), o, std::move(get));
+  };
+  return f;
+}
+
+// ----------------------------------------------------------------- abelian
+
+ScenarioFamily abelian_family() {
+  ScenarioFamily f;
+  f.name = "abelian";
+  f.summary =
+      "Z_m1 x Z_m2 with the hidden cyclic subgroup <(h1, h2)> - the "
+      "Fourier-sampling substrate every other route builds on";
+  f.theorem = "Theorem 3 / Lemma 9 (Abelian HSP by Fourier sampling)";
+  // Range cap 45 keeps lcm(m1, m2) <= 1980, within the Shor-domain
+  // simulator budget (order_bound <= 2047).
+  f.params = {
+      {"m1", 12, 2, 45, "first cyclic factor"},
+      {"m2", 8, 2, 45, "second cyclic factor"},
+      {"h1", 3, 0, 44, "first coordinate of the planted generator (< m1)"},
+      {"h2", 2, 0, 44, "second coordinate of the planted generator (< m2)"},
+  };
+  f.build = [params = f.params](SpecMap& spec) {
+    ParamReader get{params, spec, {}};
+    const u64 m1 = get("m1");
+    const u64 m2 = get("m2");
+    const u64 h1 = get("h1");
+    const u64 h2 = get("h2");
+    if (h1 >= m1 || h2 >= m2)
+      scenario_fail("abelian", "planted generator must satisfy h1 < m1 and "
+                               "h2 < m2");
+    auto g = grp::product_of_cyclics({m1, m2});
+    std::vector<Code> hidden;
+    if (h1 != 0 || h2 != 0) hidden = {g->pack({h1, h2})};
+    AutoOptions o;
+    o.order_bound = nt::lcm(m1, m2);
+    return make_built(std::move(g), std::move(hidden), o, std::move(get));
+  };
+  return f;
+}
+
+// -------------------------------------------------------------------- shor
+
+ScenarioFamily shor_family() {
+  ScenarioFamily f;
+  f.name = "shor";
+  f.summary =
+      "order finding: f(x) = a^x mod N hides <ord_N(a)> in "
+      "Z_phi(N) - the oracle the paper's Theorem 4 hypotheses assume";
+  f.theorem = "Theorem 4 hypotheses (order-finding oracle, Abelian HSP)";
+  // Range cap 2048 keeps phi(N) <= 2047, within the Shor-domain
+  // simulator budget.
+  f.params = {
+      {"modulus", 33, 3, 2048, "modulus N of the power map"},
+      {"base", 5, 2, 2047,
+       "base a; must be coprime to the modulus (when omitted and 5 is "
+       "invalid for the modulus, the smallest coprime >= 2 is used)"},
+  };
+  f.build = [params = f.params](SpecMap& spec) {
+    ParamReader get{params, spec, {}};
+    const u64 modulus = get("modulus");
+    u64 base;
+    if (spec.has("base")) {
+      base = get("base");
+      if (base >= modulus)
+        scenario_fail("shor", "base must be < modulus");
+      if (nt::gcd(base, modulus) != 1)
+        scenario_fail("shor", "base must be coprime to the modulus");
+    } else {
+      // Keep the documented default of 5 whenever it is valid; small
+      // moduli fall back to the smallest coprime so every in-range
+      // modulus works out of the box.
+      base = 0;
+      for (u64 a = 2; a < modulus; ++a) {
+        if (nt::gcd(a, modulus) == 1) {
+          base = a;
+          break;
+        }
+      }
+      if (5 < modulus && nt::gcd(5, modulus) == 1) base = 5;
+      if (base == 0) scenario_fail("shor", "no base is coprime to modulus");
+      get.resolved.emplace_back("base", base);
+    }
+    const u64 phi = nt::euler_phi(modulus);
+    const u64 r = nt::multiplicative_order(base, modulus);
+    auto g = std::make_shared<grp::CyclicGroup>(phi);
+
+    BuiltScenario b;
+    b.group_name = "Z_" + std::to_string(phi) + " (exponents mod phi(" +
+                   std::to_string(modulus) + "))";
+    b.group_order = phi;
+    b.params = std::move(get.resolved);
+    b.options.order_bound = phi;
+
+    // The genuine Shor oracle: labels are modular powers, not coset
+    // minima — no subgroup enumeration anywhere in the hider.
+    bb::HspInstance inst;
+    inst.group = g;
+    inst.counter = std::make_shared<bb::QueryCounter>();
+    inst.bb = std::make_shared<bb::BlackBoxGroup>(g, inst.counter);
+    inst.f = std::make_shared<bb::LambdaHider>(
+        [base, modulus](Code x) { return nt::powmod(base, x, modulus); },
+        inst.counter);
+    if (r != phi) inst.planted_generators = {r};
+    b.instance = std::move(inst);
+    return b;
+  };
+  return f;
+}
+
+// ---------------------------------------------------------------- registry
+
+std::vector<ScenarioFamily> make_registry() {
+  std::vector<ScenarioFamily> families;
+  families.push_back(abelian_family());
+  families.push_back(dihedral_family());
+  families.push_back(elem_abelian2_family());
+  families.push_back(extraspecial_family());
+  families.push_back(gf2affine_family());
+  families.push_back(heisenberg_family());
+  families.push_back(quaternion_family());
+  families.push_back(shor_family());
+  families.push_back(symmetric_family());
+  families.push_back(wreath_family());
+  std::sort(families.begin(), families.end(),
+            [](const ScenarioFamily& a, const ScenarioFamily& b) {
+              return a.name < b.name;
+            });
+  return families;
+}
+
+}  // namespace
+
+const std::vector<ScenarioFamily>& scenario_registry() {
+  static const std::vector<ScenarioFamily> registry = make_registry();
+  return registry;
+}
+
+const ScenarioFamily* find_scenario_family(std::string_view name) {
+  for (const ScenarioFamily& f : scenario_registry())
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+const ScenarioFamily& scenario_family_or_throw(const std::string& name) {
+  if (const ScenarioFamily* f = find_scenario_family(name)) return *f;
+  std::ostringstream os;
+  os << "unknown scenario '" << name << "'; registered scenarios:";
+  for (const ScenarioFamily& f : scenario_registry()) os << " " << f.name;
+  throw std::invalid_argument(os.str());
+}
+
+BuiltScenario build_scenario(const ScenarioSpec& spec) {
+  const ScenarioFamily& fam = scenario_family_or_throw(spec.scenario);
+  SpecMap params = spec.params;  // keep the caller's spec reusable
+  BuiltScenario built = fam.build(params);
+  built.family = fam.name;
+
+  // Common solver knobs, overridable for every family.
+  built.options.gprime_cap = params.get_u64(
+      "gprime_cap", built.options.gprime_cap, 1,
+      std::numeric_limits<u64>::max());
+  built.options.order_bound =
+      params.get_u64("order_bound", built.options.order_bound, 0,
+                     std::numeric_limits<u64>::max());
+
+  std::vector<std::string> known;
+  for (const ScenarioParam& p : fam.params) known.push_back(p.key);
+  known.push_back("gprime_cap");
+  known.push_back("order_bound");
+  params.require_all_consumed("scenario '" + fam.name + "'", known);
+  return built;
+}
+
+BuiltScenario build_scenario(const std::string& spec_text) {
+  return build_scenario(parse_scenario_line(spec_text));
+}
+
+}  // namespace nahsp::hsp

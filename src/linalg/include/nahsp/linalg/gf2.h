@@ -11,6 +11,10 @@
 #include <optional>
 #include <vector>
 
+/// \file
+/// \brief Word-parallel linear algebra over GF(2) (dimension <= 64) —
+/// subgroups of Z_2^k as subspaces, for the Section 6 algorithms.
+
 namespace nahsp::la {
 
 /// A GF(2) matrix; each row is a bit-vector packed in a std::uint64_t,
@@ -21,11 +25,16 @@ class BitMatrix {
   explicit BitMatrix(int cols) : cols_(cols) {}
   BitMatrix(int cols, std::vector<std::uint64_t> rows);
 
+  /// \brief Column count (<= 64).
   int cols() const { return cols_; }
+  /// \brief Row count.
   std::size_t rows() const { return rows_.size(); }
+  /// \brief The i-th packed row (bit j = column j).
   std::uint64_t row(std::size_t i) const { return rows_[i]; }
+  /// \brief All packed rows.
   const std::vector<std::uint64_t>& raw_rows() const { return rows_; }
 
+  /// \brief Appends a packed row.
   void append_row(std::uint64_t r);
 
   /// Row-reduces in place to reduced row echelon form; returns rank.

@@ -8,6 +8,10 @@
 
 #include "nahsp/linalg/imat.h"
 
+/// \file
+/// \brief Row Hermite normal form with transformation matrix, and the
+/// integer kernel bases the Abelian-HSP post-processing derives from it.
+
 namespace nahsp::la {
 
 /// Result of row-HNF reduction: U * A == H, U unimodular, H in row

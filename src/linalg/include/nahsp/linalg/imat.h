@@ -10,6 +10,10 @@
 #include <string>
 #include <vector>
 
+/// \file
+/// \brief Dense integer matrices with 128-bit entries — small
+/// dimensions, but Hermite/Smith intermediates outgrow 64 bits.
+
 namespace nahsp::la {
 
 using i128 = __int128;
@@ -25,10 +29,14 @@ class IMat {
   static IMat identity(std::size_t n);
   static IMat from_rows(const std::vector<std::vector<i64>>& rows);
 
+  /// \brief Row count.
   std::size_t rows() const { return rows_; }
+  /// \brief Column count.
   std::size_t cols() const { return cols_; }
 
+  /// \brief Mutable entry access (row r, column c; unchecked).
   i128& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  /// \brief Entry access (row r, column c; unchecked).
   const i128& at(std::size_t r, std::size_t c) const {
     return data_[r * cols_ + c];
   }

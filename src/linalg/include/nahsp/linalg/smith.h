@@ -9,6 +9,10 @@
 
 #include "nahsp/linalg/imat.h"
 
+/// \file
+/// \brief Smith normal form over Z — reads off the cyclic invariant
+/// factors for the Cheung–Mosca decomposition (paper Theorem 1).
+
 namespace nahsp::la {
 
 /// U * A * V == D with U, V unimodular and D diagonal with

@@ -10,6 +10,10 @@
 #include <optional>
 #include <vector>
 
+/// \file
+/// \brief Exact 64-bit modular arithmetic: gcd/ext-gcd, powmod, CRT,
+/// Miller–Rabin, multiplicative order, totient, divisors.
+
 namespace nahsp::nt {
 
 using u64 = std::uint64_t;

@@ -7,6 +7,10 @@
 #include <cstdint>
 #include <vector>
 
+/// \file
+/// \brief Continued-fraction expansion and convergents — the classical
+/// post-processing of Shor's order-finding measurements.
+
 namespace nahsp::nt {
 
 using u64 = std::uint64_t;

@@ -15,6 +15,10 @@
 
 #include "nahsp/common/rng.h"
 
+/// \file
+/// \brief Integer factorisation (trial division + Brent–Pollard rho) —
+/// the classical stand-in for the paper's assumed Shor oracles.
+
 namespace nahsp::nt {
 
 using u64 = std::uint64_t;

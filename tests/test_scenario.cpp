@@ -1,0 +1,145 @@
+// Scenario registry: metadata hygiene, strict spec handling, and the
+// completeness guarantee — every registered family builds at defaults
+// and solves to its planted subgroup under a pinned seed.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/scenario.h"
+#include "test_seeds.h"
+
+namespace nahsp::hsp {
+namespace {
+
+TEST(ScenarioRegistry, HasAtLeastEightFamiliesSortedAndUnique) {
+  const auto& registry = scenario_registry();
+  EXPECT_GE(registry.size(), 8u);
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    names.insert(registry[i].name);
+    if (i > 0) {
+      EXPECT_LT(registry[i - 1].name, registry[i].name);
+    }
+  }
+  EXPECT_EQ(names.size(), registry.size());
+}
+
+TEST(ScenarioRegistry, MetadataIsComplete) {
+  for (const ScenarioFamily& fam : scenario_registry()) {
+    SCOPED_TRACE(fam.name);
+    EXPECT_FALSE(fam.summary.empty());
+    EXPECT_NE(fam.theorem.find("Theorem"), std::string::npos);
+    EXPECT_TRUE(fam.build != nullptr);
+    for (const ScenarioParam& p : fam.params) {
+      SCOPED_TRACE(p.key);
+      EXPECT_FALSE(p.doc.empty());
+      EXPECT_LE(p.min, p.max);
+      EXPECT_GE(p.def, p.min);
+      EXPECT_LE(p.def, p.max);
+    }
+  }
+}
+
+TEST(ScenarioRegistry, LookupAndSuggestions) {
+  EXPECT_NE(find_scenario_family("wreath"), nullptr);
+  EXPECT_EQ(find_scenario_family("nope"), nullptr);
+  try {
+    (void)scenario_family_or_throw("nope");
+    FAIL() << "expected unknown-scenario error";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'nope'"), std::string::npos);
+    EXPECT_NE(msg.find("wreath"), std::string::npos);  // lists the registry
+  }
+}
+
+TEST(ScenarioBuild, DefaultsRecordResolvedParams) {
+  const BuiltScenario b = build_scenario("dihedral");
+  EXPECT_EQ(b.family, "dihedral");
+  EXPECT_EQ(b.group_name, "D_12");
+  EXPECT_EQ(b.group_order, 24u);
+  ASSERT_EQ(b.params.size(), 2u);
+  EXPECT_EQ(b.params[0], (std::pair<std::string, u64>{"n", 12}));
+  EXPECT_EQ(b.params[1], (std::pair<std::string, u64>{"k", 3}));
+  ASSERT_NE(b.instance.bb, nullptr);
+  ASSERT_NE(b.instance.f, nullptr);
+}
+
+TEST(ScenarioBuild, OverridesAndCommonSolverKeys) {
+  const BuiltScenario b =
+      build_scenario("heisenberg p=7 gprime_cap=4096 order_bound=343");
+  EXPECT_EQ(b.group_order, 343u);
+  EXPECT_EQ(b.options.gprime_cap, 4096u);
+  EXPECT_EQ(b.options.order_bound, 343u);
+}
+
+TEST(ScenarioBuild, UnknownKeysListTheAcceptedOnes) {
+  try {
+    (void)build_scenario("wreath bogus=1");
+    FAIL() << "expected unknown-key error";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'bogus'"), std::string::npos);
+    EXPECT_NE(msg.find("k"), std::string::npos);
+    EXPECT_NE(msg.find("gprime_cap"), std::string::npos);
+  }
+}
+
+TEST(ScenarioBuild, CrossParamValidation) {
+  // Declared-range violations and family-specific constraints both fail
+  // with std::invalid_argument.
+  EXPECT_THROW((void)build_scenario("heisenberg p=9"),
+               std::invalid_argument);  // 9 in range but not prime
+  EXPECT_THROW((void)build_scenario("quaternion order=24"),
+               std::invalid_argument);  // not a power of two
+  EXPECT_THROW((void)build_scenario("symmetric d=5 hidden=3"),
+               std::invalid_argument);  // V_4 needs d=4
+  EXPECT_THROW((void)build_scenario("extraspecial p=3 ha=7"),
+               std::invalid_argument);  // digit must be < p
+  EXPECT_THROW((void)build_scenario("abelian m1=4 h1=9"),
+               std::invalid_argument);  // coordinate must be < modulus
+  EXPECT_THROW((void)build_scenario("gf2affine coeffs=2"),
+               std::invalid_argument);  // even mask -> singular M
+  EXPECT_THROW((void)build_scenario("shor modulus=33 base=3"),
+               std::invalid_argument);  // gcd(3, 33) != 1
+}
+
+TEST(ScenarioBuild, ConstructionIsDeterministic) {
+  const BuiltScenario a = build_scenario("wreath k=3 hidden=2");
+  const BuiltScenario b = build_scenario("wreath k=3 hidden=2");
+  EXPECT_EQ(a.group_name, b.group_name);
+  EXPECT_EQ(a.group_order, b.group_order);
+  EXPECT_EQ(a.instance.planted_generators, b.instance.planted_generators);
+}
+
+// The completeness guarantee behind `nahsp selftest` and the CI golden
+// reports: every family, built at its defaults, solves to the planted
+// subgroup under a pinned seed.
+TEST(ScenarioSolve, EveryRegisteredFamilySolvesAtDefaults) {
+  for (const ScenarioFamily& fam : scenario_registry()) {
+    SCOPED_TRACE(fam.name);
+    BuiltScenario built = build_scenario(fam.name);
+    Rng rng(test_seeds::kScenarioRegistry);
+    const HspSolution sol =
+        solve_hsp(*built.instance.bb, *built.instance.f, rng, built.options);
+    EXPECT_TRUE(verify_same_subgroup(*built.instance.group, sol.generators,
+                                     built.instance.planted_generators));
+  }
+}
+
+// The hiding promise of a few structurally distinct constructions,
+// checked on the full group (small instances only).
+TEST(ScenarioSolve, PlantedInstancesSatisfyTheHidingPromise) {
+  for (const char* spec : {"dihedral", "quaternion", "shor",
+                           "wreath k=2 hidden=2", "symmetric d=4 hidden=3"}) {
+    SCOPED_TRACE(spec);
+    const BuiltScenario built = build_scenario(spec);
+    EXPECT_TRUE(validate_hiding_promise(*built.instance.group,
+                                        *built.instance.f,
+                                        built.instance.planted_generators));
+  }
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

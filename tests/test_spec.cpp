@@ -1,0 +1,141 @@
+// Scenario-spec parser: round-trips, typed getters, and the strict
+// diagnostics (unknown keys, duplicates, malformed numbers, ranges).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nahsp/common/spec.h"
+
+namespace nahsp {
+namespace {
+
+TEST(SpecParse, TokensRoundTrip) {
+  const ScenarioSpec spec =
+      parse_scenario_spec({"wreath", "k=4", "hidden=2", "seed=7"});
+  EXPECT_EQ(spec.scenario, "wreath");
+  EXPECT_EQ(spec.params.size(), 3u);
+  EXPECT_EQ(to_string(spec), "wreath k=4 hidden=2 seed=7");
+  // parse(to_string(parse(x))) is the identity on the rendering.
+  EXPECT_EQ(to_string(parse_scenario_line(to_string(spec))),
+            to_string(spec));
+}
+
+TEST(SpecParse, BareNameIsAValidSpec) {
+  const ScenarioSpec spec = parse_scenario_line("dihedral");
+  EXPECT_EQ(spec.scenario, "dihedral");
+  EXPECT_TRUE(spec.params.empty());
+}
+
+TEST(SpecParse, CommentsAndWhitespace) {
+  const ScenarioSpec spec =
+      parse_scenario_line("  shor   modulus=33  # trailing comment");
+  EXPECT_EQ(spec.scenario, "shor");
+  EXPECT_TRUE(spec.params.has("modulus"));
+  EXPECT_FALSE(spec.params.has("comment"));
+}
+
+TEST(SpecParse, RejectsMalformedTokens) {
+  EXPECT_THROW(parse_scenario_spec({}), std::invalid_argument);
+  // First token must be a scenario name, not key=value.
+  EXPECT_THROW(parse_scenario_spec({"k=4"}), std::invalid_argument);
+  // Later tokens must be key=value.
+  EXPECT_THROW(parse_scenario_spec({"wreath", "k4"}), std::invalid_argument);
+  // Keys must be identifiers; values must be non-empty.
+  EXPECT_THROW(parse_scenario_spec({"wreath", "2k=4"}), std::invalid_argument);
+  EXPECT_THROW(parse_scenario_spec({"wreath", "=4"}), std::invalid_argument);
+  EXPECT_THROW(parse_scenario_spec({"wreath", "k="}), std::invalid_argument);
+  // Duplicate keys are rejected rather than last-wins.
+  EXPECT_THROW(parse_scenario_spec({"wreath", "k=4", "k=5"}),
+               std::invalid_argument);
+}
+
+TEST(SpecParse, U64LiteralGrammar) {
+  EXPECT_EQ(parse_spec_u64("0"), 0u);
+  EXPECT_EQ(parse_spec_u64("12345"), 12345u);
+  EXPECT_EQ(parse_spec_u64("0x10"), 16u);
+  EXPECT_EQ(parse_spec_u64("0XfF"), 255u);
+  EXPECT_EQ(parse_spec_u64("18446744073709551615"),
+            std::numeric_limits<std::uint64_t>::max());
+  EXPECT_THROW(parse_spec_u64(""), std::invalid_argument);
+  EXPECT_THROW(parse_spec_u64("-1"), std::invalid_argument);
+  EXPECT_THROW(parse_spec_u64("+1"), std::invalid_argument);
+  EXPECT_THROW(parse_spec_u64("12x"), std::invalid_argument);
+  EXPECT_THROW(parse_spec_u64("0x"), std::invalid_argument);
+  EXPECT_THROW(parse_spec_u64("18446744073709551616"),  // 2^64
+               std::invalid_argument);
+}
+
+TEST(SpecMapTyped, GetU64DefaultsAndRanges) {
+  ScenarioSpec spec = parse_scenario_line("x n=12");
+  EXPECT_EQ(spec.params.get_u64("n", 5, 2, 100), 12u);
+  EXPECT_EQ(spec.params.get_u64("absent", 5, 2, 100), 5u);
+  // Range violations name the key and the range.
+  spec = parse_scenario_line("x n=1");
+  try {
+    (void)spec.params.get_u64("n", 5, 2, 100);
+    FAIL() << "expected range error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("'n'"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("[2, 100]"), std::string::npos);
+  }
+  // Non-numeric values fail with the offending text.
+  spec = parse_scenario_line("x n=abc");
+  EXPECT_THROW((void)spec.params.get_u64("n", 5), std::invalid_argument);
+}
+
+TEST(SpecMapTyped, GetString) {
+  ScenarioSpec spec = parse_scenario_line("x mode=fast");
+  EXPECT_EQ(spec.params.get_string("mode", "slow"), "fast");
+  EXPECT_EQ(spec.params.get_string("absent", "slow"), "slow");
+}
+
+TEST(SpecMapConsumption, UnknownKeysAreReported) {
+  ScenarioSpec spec = parse_scenario_line("x n=12 typo=1");
+  (void)spec.params.get_u64("n", 0);
+  EXPECT_EQ(spec.params.unconsumed_keys(),
+            std::vector<std::string>{"typo"});
+  try {
+    spec.params.require_all_consumed("scenario 'x'", {"n", "k"});
+    FAIL() << "expected unknown-key error";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'typo'"), std::string::npos);
+    EXPECT_NE(msg.find("scenario 'x'"), std::string::npos);
+    EXPECT_NE(msg.find(" n"), std::string::npos) << msg;
+  }
+  // After consuming everything the check passes.
+  (void)spec.params.get_u64("typo", 0);
+  EXPECT_NO_THROW(spec.params.require_all_consumed("scenario 'x'", {}));
+}
+
+TEST(SpecFile, StreamParsesLinesSkipsCommentsNamesLineNumbers) {
+  std::istringstream in(
+      "# fleet\n"
+      "\n"
+      "dihedral n=24 k=4\n"
+      "   # indented comment\n"
+      "wreath k=3  # inline\n");
+  const auto specs = parse_scenario_stream(in, "fleet.scn");
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].scenario, "dihedral");
+  EXPECT_EQ(specs[1].scenario, "wreath");
+
+  std::istringstream bad(
+      "dihedral n=24\n"
+      "oops=1\n");
+  try {
+    (void)parse_scenario_stream(bad, "fleet.scn");
+    FAIL() << "expected parse error with line number";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("fleet.scn:2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SpecFile, MissingFileFails) {
+  EXPECT_THROW(parse_scenario_file("/nonexistent/specs.scn"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nahsp
