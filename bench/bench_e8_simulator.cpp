@@ -29,6 +29,112 @@ void BM_E8_QftCircuit(benchmark::State& state) {
 }
 BENCHMARK(BM_E8_QftCircuit)->DenseRange(10, 22, 2)->Unit(benchmark::kMillisecond);
 
+// Per-gate kernel microbenchmarks of the strided pair/quad kernels at
+// 2^20 amplitudes. Items processed = state amplitudes (2^20) for every
+// gate, so items/s inverts to ns per *state* amplitude per gate — a
+// like-for-like cost unit across gates even though the pair kernels
+// touch 2^(n-1) pairs and CNOT/CPhase only act on 2^(n-2) quads.
+constexpr int kGateBenchQubits = 20;
+
+void BM_E8_GateH(benchmark::State& state) {
+  qs::StateVector sv = qs::StateVector::uniform(kGateBenchQubits);
+  for (auto _ : state) {
+    sv.apply_h(static_cast<int>(state.range(0)));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (std::int64_t{1} << kGateBenchQubits));
+}
+BENCHMARK(BM_E8_GateH)->Arg(0)->Arg(19)->Unit(benchmark::kMillisecond);
+
+void BM_E8_GateX(benchmark::State& state) {
+  qs::StateVector sv = qs::StateVector::uniform(kGateBenchQubits);
+  for (auto _ : state) {
+    sv.apply_x(static_cast<int>(state.range(0)));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (std::int64_t{1} << kGateBenchQubits));
+}
+BENCHMARK(BM_E8_GateX)->Arg(0)->Arg(19)->Unit(benchmark::kMillisecond);
+
+void BM_E8_GateCnot(benchmark::State& state) {
+  qs::StateVector sv = qs::StateVector::uniform(kGateBenchQubits);
+  for (auto _ : state) {
+    sv.apply_cnot(static_cast<int>(state.range(0)),
+                  static_cast<int>(state.range(1)));
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (std::int64_t{1} << kGateBenchQubits));
+}
+BENCHMARK(BM_E8_GateCnot)
+    ->Args({0, 1})->Args({0, 19})->Unit(benchmark::kMillisecond);
+
+void BM_E8_GateCphase(benchmark::State& state) {
+  qs::StateVector sv = qs::StateVector::uniform(kGateBenchQubits);
+  for (auto _ : state) {
+    sv.apply_cphase(static_cast<int>(state.range(0)),
+                    static_cast<int>(state.range(1)), 0.123);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (std::int64_t{1} << kGateBenchQubits));
+}
+BENCHMARK(BM_E8_GateCphase)
+    ->Args({0, 1})->Args({0, 19})->Unit(benchmark::kMillisecond);
+
+// Fused engine vs the legacy gate ladder on the same register widths
+// as BM_E8_QftCircuit's acceptance window.
+void BM_E8_QftFused(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qs::StateVector sv = qs::StateVector::uniform(n);
+  for (auto _ : state) {
+    qs::apply_qft_fused(sv, 0, n);
+    benchmark::ClobberMemory();
+  }
+  state.counters["qubits"] = n;
+}
+BENCHMARK(BM_E8_QftFused)->DenseRange(16, 20, 2)->Unit(benchmark::kMillisecond);
+
+void BM_E8_QftGates(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  qs::StateVector sv = qs::StateVector::uniform(n);
+  for (auto _ : state) {
+    qs::apply_qft_gates(sv, 0, n);
+    benchmark::ClobberMemory();
+  }
+  state.counters["qubits"] = n;
+}
+BENCHMARK(BM_E8_QftGates)->DenseRange(16, 20, 2)->Unit(benchmark::kMillisecond);
+
+// Oracle dispatch cost: dense lookup table vs std::function indirect
+// call per amplitude, same 12-in/8-out XOR oracle.
+void BM_E8_OracleXorFunction(benchmark::State& state) {
+  qs::StateVector sv = qs::StateVector::uniform(kGateBenchQubits);
+  for (auto _ : state) {
+    sv.apply_xor_function(0, 12, 12, 8,
+                          [](std::uint64_t x) { return x % 251; });
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (std::int64_t{1} << kGateBenchQubits));
+}
+BENCHMARK(BM_E8_OracleXorFunction)->Unit(benchmark::kMillisecond);
+
+void BM_E8_OracleXorTable(benchmark::State& state) {
+  qs::StateVector sv = qs::StateVector::uniform(kGateBenchQubits);
+  std::vector<std::uint64_t> table(std::size_t{1} << 12);
+  for (std::uint64_t x = 0; x < table.size(); ++x) table[x] = x % 251;
+  for (auto _ : state) {
+    sv.apply_xor_function(0, 12, 12, 8, table);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (std::int64_t{1} << kGateBenchQubits));
+}
+BENCHMARK(BM_E8_OracleXorTable)->Unit(benchmark::kMillisecond);
+
 void BM_E8_QftThreadScaling(benchmark::State& state) {
   // Kernel scaling over the ThreadPool: same QFT, pool width swept.
   // Results are bit-identical at every width (fixed chunk layout); only

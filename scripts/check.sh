@@ -26,6 +26,21 @@ echo "== CLI smoke: selftest + golden solve reports + doc links =="
 ./scripts/cli_smoke.sh build
 python3 scripts/check_links.py
 
+if [[ "${NAHSP_PERF_GUARD:-0}" == "1" ]]; then
+  echo "== perf guard (opt-in: NAHSP_PERF_GUARD=1) =="
+  # Small-n bench_e8 run diffed against the committed baseline. Only
+  # meaningful on hardware comparable to the baseline machine; tune the
+  # threshold with NAHSP_PERF_MAX_REGRESSION (fractional slowdown).
+  cmake -B build-bench -S . -DNAHSP_BUILD_BENCH=ON -DNAHSP_BUILD_TESTS=OFF
+  cmake --build build-bench -j "$JOBS" --target bench_e8_simulator
+  ./build-bench/bench/bench_e8_simulator \
+    --benchmark_filter='BM_E8_QftCircuit/1[026]$' \
+    --benchmark_out=build-bench/e8_guard.json --benchmark_out_format=json \
+    --benchmark_min_time=0.05
+  python3 scripts/perf_guard.py BENCH_pr5.json build-bench/e8_guard.json \
+    --max-regression "${NAHSP_PERF_MAX_REGRESSION:-0.5}"
+fi
+
 echo "== Debug + ASan/UBSan build + ctest =="
 cmake -B build-asan -S . \
   -DCMAKE_BUILD_TYPE=Debug \

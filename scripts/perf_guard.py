@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Diff a fresh Google-Benchmark JSON against a committed baseline.
+
+Usage: perf_guard.py BASELINE.json FRESH.json [options]
+
+BASELINE may be either raw `--benchmark_out` JSON or one of the
+repo's composite BENCH_prN.json files ({"benchmarks": {suite:
+{"results": [...]}}}); FRESH is raw benchmark output. Benchmarks are
+matched by name; for each name present in both, the ratio
+fresh/baseline of --key (default real_time) is computed. Exit 1 if any
+matched benchmark regressed by more than --max-regression (fractional:
+0.30 = 30% slower), 0 otherwise. Unmatched names are reported but never
+fail the guard, so adding or renaming benchmarks doesn't break CI.
+
+Cross-machine caveat: absolute times only compare meaningfully on the
+hardware that produced the baseline. On other machines (CI smoke) run
+with a generous --max-regression; the guard then catches order-of-
+magnitude regressions, not percent-level drift.
+"""
+import argparse
+import json
+import re
+import sys
+
+
+def flatten(doc):
+    """name -> metric dict, for raw or composite benchmark JSON."""
+    out = {}
+    if "benchmarks" in doc and isinstance(doc["benchmarks"], dict):
+        for suite in doc["benchmarks"].values():
+            for res in suite.get("results", []):
+                if "name" in res:
+                    out[res["name"]] = res
+    elif "benchmarks" in doc and isinstance(doc["benchmarks"], list):
+        for res in doc["benchmarks"]:
+            if "name" in res:
+                out[res["name"]] = res
+    else:
+        raise SystemExit("perf_guard: unrecognised benchmark JSON layout")
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--max-regression", type=float, default=0.30,
+                    help="fail above this fractional slowdown "
+                         "(default 0.30 = 30%%)")
+    ap.add_argument("--filter", default=None,
+                    help="only guard benchmark names matching this regex")
+    ap.add_argument("--key", default="real_time",
+                    help="metric to compare (default real_time)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = flatten(json.load(f))
+    with open(args.fresh) as f:
+        fresh = flatten(json.load(f))
+
+    pattern = re.compile(args.filter) if args.filter else None
+    matched, regressions = 0, []
+    for name, fres in sorted(fresh.items()):
+        if pattern and not pattern.search(name):
+            continue
+        bres = base.get(name)
+        if bres is None or args.key not in bres or args.key not in fres:
+            print(f"  (no baseline) {name}")
+            continue
+        b, f_ = float(bres[args.key]), float(fres[args.key])
+        if b <= 0.0:
+            continue
+        matched += 1
+        ratio = f_ / b
+        tag = "REGRESSION" if ratio > 1.0 + args.max_regression else "ok"
+        print(f"  {tag:>10}  {name}: {b:.3f} -> {f_:.3f} "
+              f"({ratio:.2f}x baseline)")
+        if tag == "REGRESSION":
+            regressions.append((name, ratio))
+
+    if matched == 0:
+        print("perf_guard: no benchmarks matched the baseline", file=sys.stderr)
+        return 1
+    if regressions:
+        print(f"perf_guard: {len(regressions)} regression(s) beyond "
+              f"{args.max_regression:.0%}:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x baseline", file=sys.stderr)
+        return 1
+    print(f"perf_guard: {matched} benchmark(s) within "
+          f"{args.max_regression:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

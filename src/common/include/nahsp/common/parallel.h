@@ -52,6 +52,17 @@ namespace nahsp {
 /// independent.
 inline constexpr std::size_t kDefaultGrain = std::size_t{1} << 14;
 
+/// \brief Grain for pair-indexed kernels (one iteration touches the two
+/// amplitudes of a bit-split pair), sized so a chunk spans the same
+/// kDefaultGrain amplitudes of traffic as the element-indexed kernels.
+/// Keeping every qsim loop's chunk volume tied to the one constant keeps
+/// the serial-below-grain threshold uniform across kernels.
+inline constexpr std::size_t kPairGrain = kDefaultGrain / 2;
+
+/// \brief Grain for quad-indexed kernels (one iteration reconstructs an
+/// index with two distinguished bits), same chunk volume as above.
+inline constexpr std::size_t kQuadGrain = kDefaultGrain / 4;
+
 /// \brief Fixed-size fork-join worker pool with grain-controlled
 /// parallel_for and deterministic reductions.
 ///

@@ -7,7 +7,11 @@
 // dense vector over prod(s_i) mixed-radix digits; cell transforms cost
 // O(D * s_i) (O(D log s_i) on power-of-two cells) and schedule over the
 // common ThreadPool across the D / s_i independent fibres — results are
-// bitwise identical at any thread count.
+// bitwise identical at any thread count. Power-of-two cells share one
+// precomputed twiddle-table set per transform, and a cell spanning the
+// whole state (the Shor Z_{2^t} shape) parallelises across the
+// butterflies of each FFT stage instead of across fibres (see
+// docs/ARCHITECTURE.md "The kernel engine").
 #pragma once
 
 #include <complex>

@@ -5,11 +5,38 @@
 // than 2*pi / 2^(cutoff+1); the paper notes the approximate transform
 // suffices for the HSP, and experiment E8 measures how aggressive the
 // cutoff can be before period finding degrades.
+//
+// Two engines compute the same transform (docs/ARCHITECTURE.md "The
+// kernel engine"):
+//  - fused (default): one fused stage sweep per target qubit — the
+//    Hadamard and the stage's whole accumulated controlled-phase ramp
+//    in a single pass from a precomputed twiddle table — plus one
+//    bit-reversal sweep: bits + 1 sweeps total instead of the ladder's
+//    bits + bits(bits-1)/2 + bits/2.
+//  - gates: the legacy gate-by-gate ladder, kept as the test oracle for
+//    the fused engine (equal up to ~1e-15 per amplitude, locked by
+//    tests/test_kernels_fused.cpp).
+// Select with set_qft_engine() or the NAHSP_QFT_ENGINE environment
+// variable ("fused" | "gates", read at first use).
 #pragma once
 
 #include "nahsp/qsim/statevector.h"
 
 namespace nahsp::qs {
+
+/// \brief Which implementation apply_qft/apply_inverse_qft dispatch to.
+enum class QftEngine {
+  kFused,  ///< Fused per-target stage sweeps (default).
+  kGates,  ///< Legacy gate-by-gate ladder (the test oracle).
+};
+
+/// \brief Currently selected engine (NAHSP_QFT_ENGINE at first use,
+/// default fused).
+QftEngine qft_engine();
+
+/// \brief Selects the engine for subsequent apply_qft calls. Not
+/// thread-safe against concurrent QFT applications.
+void set_qft_engine(QftEngine engine);
 
 /// \brief QFT on qubits [lo, lo+bits): |x> -> (1/sqrt(2^bits)) sum_y
 /// exp(2*pi*i*x*y / 2^bits) |y>, with bit lo the least significant.
@@ -24,6 +51,25 @@ void apply_qft(StateVector& sv, int lo, int bits, int approx_cutoff = 0);
 /// \brief Inverse of apply_qft with the same cutoff.
 void apply_inverse_qft(StateVector& sv, int lo, int bits,
                        int approx_cutoff = 0);
+
+/// \brief Fused-engine QFT regardless of the selected engine: bits
+/// fused stage sweeps + one bit-reversal sweep.
+void apply_qft_fused(StateVector& sv, int lo, int bits,
+                     int approx_cutoff = 0);
+
+/// \brief Inverse of apply_qft_fused.
+void apply_inverse_qft_fused(StateVector& sv, int lo, int bits,
+                             int approx_cutoff = 0);
+
+/// \brief Legacy gate-by-gate QFT regardless of the selected engine
+/// (one std::polar per distinct rotation angle, hoisted out of the
+/// per-gate chain). The fused engine's test oracle.
+void apply_qft_gates(StateVector& sv, int lo, int bits,
+                     int approx_cutoff = 0);
+
+/// \brief Inverse of apply_qft_gates.
+void apply_inverse_qft_gates(StateVector& sv, int lo, int bits,
+                             int approx_cutoff = 0);
 
 /// \brief Dense reference DFT on the same register (O(4^bits); used
 /// by tests to validate the gate ladder and by small experiments).

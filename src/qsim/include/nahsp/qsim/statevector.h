@@ -8,6 +8,14 @@
 // experiment); results are bitwise identical at any thread count, and
 // a single StateVector must not be mutated from two threads.
 //
+// Kernel engine (docs/ARCHITECTURE.md "The kernel engine"): gate
+// kernels iterate pair representatives directly — 2^(n-1) low/high
+// bit-split indices instead of a branchy sweep over all 2^n — and the
+// fused QFT stage applies a Hadamard together with the stage's whole
+// accumulated controlled-phase ramp in one pass from a precomputed
+// twiddle table. Classical oracles take dense lookup tables so the hot
+// loop never pays a std::function indirect call.
+//
 // Qubit convention: qubit q corresponds to bit q of the basis index
 // (qubit 0 is the least significant bit).
 #pragma once
@@ -52,23 +60,59 @@ class StateVector {
   void apply_z(int q);
   /// diag(1, e^{i theta}) on qubit q.
   void apply_phase(int q, double theta);
+  /// diag(1, w) on qubit q with the phase factor precomputed by the
+  /// caller (|w| must be 1) — lets circuit drivers pay one std::polar
+  /// per distinct angle instead of one per gate application.
+  void apply_phase(int q, cplx w);
   /// Controlled phase: multiplies amplitudes with both bits set.
   void apply_cphase(int c, int t, double theta);
+  /// Controlled phase with a precomputed factor (|w| must be 1).
+  void apply_cphase(int c, int t, cplx w);
   void apply_cnot(int c, int t);
   void apply_swap(int a, int b);
+
+  /// \brief Fused QFT stage: Hadamard on qubit lo+i combined with the
+  /// stage's full controlled-phase ramp in one pair sweep.
+  ///
+  /// Equivalent to H(lo+i) followed by CP(lo+j, lo+i, ±pi/2^(i-j)) for
+  /// every j < i with i-j <= approx_cutoff (all j when the cutoff is 0)
+  /// — the exact gate ladder of one apply_qft target — but the ramp
+  /// phase exp(±i*pi*L/2^i), L the low i register bits, comes from a
+  /// precomputed two-level twiddle table instead of i-1 extra sweeps.
+  /// `inverse` conjugates the angles and applies the ramp before the
+  /// Hadamard (the inverse-QFT gate order).
+  void apply_fused_qft_stage(int lo, int i, int approx_cutoff,
+                             bool inverse);
+
+  /// \brief Reverses the qubit order of register [lo, lo+bits) in a
+  /// single sweep (the QFT's final bit-reversal, replacing bits/2
+  /// pairwise swap passes).
+  void reverse_qubit_order(int lo, int bits);
 
   /// \brief Reversible classical oracle |s> -> |pi(s)>.
   /// \param pi Must be a bijection on [0, 2^n); it is evaluated
   ///           concurrently by the kernel and must be thread-safe.
   void apply_permutation(const std::function<u64(u64)>& pi);
 
+  /// \brief Table-driven permutation oracle: `table[s]` is pi(s).
+  /// Same semantics as the function overload with no per-amplitude
+  /// indirect call; `table.size()` must equal dim().
+  void apply_permutation(const std::vector<u64>& table);
+
   /// \brief XOR oracle: |x>|y> -> |x>|y xor f(x)> where x occupies
   /// [in_lo, in_lo+in_bits) and y occupies [out_lo, out_lo+out_bits).
   /// \param f Classical function; its value is masked to out_bits. It
   ///          is evaluated concurrently by the kernel and must be
-  ///          thread-safe (the samplers pass a plain array lookup).
+  ///          thread-safe (the samplers pass their cached label table
+  ///          to the vector overload instead).
   void apply_xor_function(int in_lo, int in_bits, int out_lo, int out_bits,
                           const std::function<u64(u64)>& f);
+
+  /// \brief Table-driven XOR oracle: `table[x]` is f(x), evaluated once
+  /// by the caller (the samplers cache it across batched rounds).
+  /// `table.size()` must equal 2^in_bits.
+  void apply_xor_function(int in_lo, int in_bits, int out_lo, int out_bits,
+                          const std::vector<u64>& table);
 
   // ----- measurement -----
   /// \brief Squared norm (should stay 1 up to rounding; tested
@@ -77,11 +121,16 @@ class StateVector {
   double norm2() const;
 
   /// \brief Samples a full-basis measurement outcome without
-  /// collapsing.
+  /// collapsing. The prefix scan runs over per-chunk partial norms
+  /// (fixed chunk layout), so the outcome is thread-count independent.
   u64 sample(Rng& rng) const;
 
   /// \brief Measures qubits [lo, lo+bits), collapses the state, and
-  /// returns the outcome.
+  /// returns the outcome. The marginal histogram is built outcome-major
+  /// over the ThreadPool; each outcome sums its strided support in
+  /// ascending index order — the exact addition order of a serial
+  /// interleaved sweep — so the histogram is bitwise identical at every
+  /// thread count.
   u64 measure_range(int lo, int bits, Rng& rng);
 
   /// \brief Probability of measuring `value` on qubits [lo, lo+bits).

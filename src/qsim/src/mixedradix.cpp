@@ -7,6 +7,7 @@
 
 #include "nahsp/common/check.h"
 #include "nahsp/common/parallel.h"
+#include "sweep_detail.h"
 
 namespace nahsp::qs {
 
@@ -17,11 +18,41 @@ constexpr std::size_t kGrain = kDefaultGrain;
 
 bool is_pow2_size(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
-// Iterative radix-2 Cooley–Tukey on a power-of-two buffer, with the QFT
-// sign convention (forward = e^{+2 pi i / n}) and unitary scaling left to
-// the caller. O(n log n) versus the dense O(n^2) fallback — essential for
-// the Z_{2^t} domains of Shor order finding.
-void fft_pow2(std::vector<cplx>& buf, bool inverse) {
+// Per-stage twiddle tables shared by every fibre of one cell transform:
+// stages[s] holds the 2^s roots for butterfly length 2^(s+1). Roots are
+// anchored by a direct std::polar every kTwiddleAnchor entries with the
+// recurrence w[k] = w[k-1] * w[1] filling between anchors: a full polar
+// per root would dominate single-fibre transforms (sincos is ~20x a
+// complex multiply), while an unanchored recurrence drifts by O(n) ulps
+// — anchoring bounds the drift at kTwiddleAnchor steps and costs one
+// polar per anchor per transform, amortised over every fibre.
+constexpr std::size_t kTwiddleAnchor = 64;
+
+struct Radix2Twiddles {
+  std::vector<std::vector<cplx>> stages;
+
+  Radix2Twiddles(std::size_t n, bool inverse) {
+    const double sign = inverse ? -1.0 : 1.0;
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const double ang =
+          sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+      const cplx step = std::polar(1.0, ang);
+      std::vector<cplx> w(len / 2);
+      for (std::size_t k = 0; k < w.size(); ++k) {
+        w[k] = (k % kTwiddleAnchor == 0)
+                   ? std::polar(1.0, ang * static_cast<double>(k))
+                   : w[k - 1] * step;
+      }
+      stages.push_back(std::move(w));
+    }
+  }
+};
+
+// Iterative radix-2 Cooley–Tukey on a contiguous power-of-two buffer
+// with the QFT sign convention (forward = e^{+2 pi i / n}); unitary
+// scaling is left to the caller. O(n log n) versus the dense O(n^2)
+// fallback — essential for the Z_{2^t} domains of Shor order finding.
+void fft_pow2(std::vector<cplx>& buf, const Radix2Twiddles& tw) {
   const std::size_t n = buf.size();
   // Bit-reversal permutation.
   for (std::size_t i = 1, j = 0; i < n; ++i) {
@@ -30,21 +61,81 @@ void fft_pow2(std::vector<cplx>& buf, bool inverse) {
     j ^= bit;
     if (i < j) std::swap(buf[i], buf[j]);
   }
-  const double sign = inverse ? -1.0 : 1.0;
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const double ang =
-        sign * 2.0 * std::numbers::pi / static_cast<double>(len);
-    const cplx wlen = std::polar(1.0, ang);
+  // Raw-double butterflies (the std::complex array-access guarantee):
+  // identical arithmetic to the operator forms, which GCC compiles to
+  // ~5x slower aggregate loads/stores.
+  double* d = reinterpret_cast<double*>(buf.data());
+  std::size_t s = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1, ++s) {
+    const cplx* w = tw.stages[s].data();
     for (std::size_t i = 0; i < n; i += len) {
-      cplx w{1.0, 0.0};
       for (std::size_t k = 0; k < len / 2; ++k) {
-        const cplx u = buf[i + k];
-        const cplx v = buf[i + k + len / 2] * w;
-        buf[i + k] = u + v;
-        buf[i + k + len / 2] = u - v;
-        w *= wlen;
+        const std::size_t p = 2 * (i + k);
+        const std::size_t q = p + len;  // 2 * (i + k + len / 2)
+        const double wr = w[k].real(), wi = w[k].imag();
+        const double ur = d[p], uc = d[p + 1];
+        const double xr = d[q], xc = d[q + 1];
+        const double vr = xr * wr - xc * wi;
+        const double vc = xr * wi + xc * wr;
+        d[p] = ur + vr;
+        d[p + 1] = uc + vc;
+        d[q] = ur - vr;
+        d[q + 1] = uc - vc;
       }
     }
+  }
+}
+
+// In-place stage-parallel FFT over the whole (contiguous) state: the
+// single-fibre case, where per-fibre parallelism degenerates to one
+// serial task. Butterflies within a stage are disjoint, so each stage
+// is one parallel pair sweep; the final stage folds in the unitary
+// scale, so the arithmetic per element matches the per-fibre route
+// (raw butterfly output times scale) bitwise.
+void fft_pow2_parallel(std::vector<cplx>& amps, const Radix2Twiddles& tw,
+                       double scale) {
+  const std::size_t n = amps.size();
+  int bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  const detail::BitReverser rev(bits);
+  // Each {i, rev(i)} pair is swapped by the chunk holding its smaller
+  // member; reversal is an involution, so writes stay disjoint.
+  parallel_for(0, n, kGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const std::size_t j = rev(i);
+      if (j > i) std::swap(amps[i], amps[j]);
+    }
+  });
+  double* d = reinterpret_cast<double*>(amps.data());
+  std::size_t s = 0;
+  for (std::size_t len = 2; len <= n; len <<= 1, ++s) {
+    const cplx* w = tw.stages[s].data();
+    const std::size_t half = len / 2;
+    const bool last = (len == n);
+    parallel_for(0, n / 2, kPairGrain, [&](std::size_t blo,
+                                           std::size_t bhi) {
+      for (std::size_t b = blo; b < bhi; ++b) {
+        const std::size_t k = b & (half - 1);
+        const std::size_t p = 2 * (((b >> s) << (s + 1)) | k);
+        const std::size_t q = p + len;  // partner half elements up
+        const double wr = w[k].real(), wi = w[k].imag();
+        const double ur = d[p], uc = d[p + 1];
+        const double xr = d[q], xc = d[q + 1];
+        const double vr = xr * wr - xc * wi;
+        const double vc = xr * wi + xc * wr;
+        if (last) {
+          d[p] = (ur + vr) * scale;
+          d[p + 1] = (uc + vc) * scale;
+          d[q] = (ur - vr) * scale;
+          d[q + 1] = (uc - vc) * scale;
+        } else {
+          d[p] = ur + vr;
+          d[p + 1] = uc + vc;
+          d[q] = ur - vr;
+          d[q + 1] = uc - vc;
+        }
+      }
+    });
   }
 }
 }  // namespace
@@ -99,9 +190,21 @@ void MixedRadixState::qft_cell(std::size_t cell, bool inverse) {
   const std::size_t stride = strides_[cell];
   const double sign = inverse ? -1.0 : 1.0;
   if (is_pow2_size(n) && n >= 8) {
-    // Radix-2 fast path: O(D log n) instead of O(D n).
+    // Radix-2 fast path: O(D log n) instead of O(D n), with one shared
+    // twiddle-table set per transform (one std::polar per distinct
+    // root, not a recurrence per fibre).
+    const Radix2Twiddles tw(n, inverse);
     const double scale = 1.0 / std::sqrt(static_cast<double>(n));
     const std::size_t groups = dim() / n;
+    if (groups == 1) {
+      // One fibre spanning the whole state (the Shor Z_{2^t} shape):
+      // per-fibre parallelism would run serial, so parallelise across
+      // the butterflies of each stage instead. Values are bitwise
+      // identical to the per-fibre route — same tables, same butterfly
+      // arithmetic.
+      fft_pow2_parallel(amps_, tw, scale);
+      return;
+    }
     // Fibres are disjoint strided slices; the grain is sized so one
     // chunk covers ~kGrain amplitudes and the scratch buffer is
     // allocated once per chunk, not once per fibre.
@@ -113,7 +216,7 @@ void MixedRadixState::qft_cell(std::size_t cell, bool inverse) {
         const std::size_t above = g / stride;
         const std::size_t base = above * stride * n + below;
         for (std::size_t x = 0; x < n; ++x) buf[x] = amps_[base + x * stride];
-        fft_pow2(buf, inverse);
+        fft_pow2(buf, tw);
         for (std::size_t y = 0; y < n; ++y)
           amps_[base + y * stride] = buf[y] * scale;
       }
@@ -185,12 +288,7 @@ u64 MixedRadixState::collapse_by_label(const std::vector<u64>& labels,
 
 std::vector<u64> MixedRadixState::sample(Rng& rng) const {
   const double target = rng.uniform01() * norm2();
-  double acc = 0.0;
-  for (std::size_t i = 0; i < dim(); ++i) {
-    acc += std::norm(amps_[i]);
-    if (acc >= target) return digits_of(i);
-  }
-  return digits_of(dim() - 1);
+  return digits_of(detail::sample_flat_index(amps_, target, kGrain));
 }
 
 double MixedRadixState::norm2() const {

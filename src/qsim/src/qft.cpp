@@ -2,30 +2,95 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <numbers>
+#include <string>
+#include <string_view>
 
 #include "nahsp/common/check.h"
 #include "nahsp/common/parallel.h"
 
 namespace nahsp::qs {
 
-// Forward gate sequence: for i = bits-1 .. 0: H(i), then CP(j, i) for
-// j = i-1 .. 0 with angle pi / 2^(i-j); finally reverse the qubit order
-// with swaps. The inverse applies the swaps, then the exact reverse gate
-// order with conjugated angles (the CPs are diagonal and commute among
-// themselves, so only the CP-vs-H ordering matters).
+namespace {
 
-void apply_qft(StateVector& sv, int lo, int bits, int approx_cutoff) {
+QftEngine initial_engine() {
+  const char* e = std::getenv("NAHSP_QFT_ENGINE");
+  if (e == nullptr || std::string_view(e) == "fused") {
+    return QftEngine::kFused;
+  }
+  if (std::string_view(e) == "gates") {
+    return QftEngine::kGates;
+  }
+  // A typo here would silently benchmark the wrong engine; fail loudly
+  // like the CLI's strict unknown-key diagnostics.
+  NAHSP_REQUIRE(false,
+                std::string("NAHSP_QFT_ENGINE must be \"fused\" or "
+                            "\"gates\", got \"") +
+                    e + "\"");
+  return QftEngine::kFused;  // unreachable
+}
+
+QftEngine& engine_ref() {
+  static QftEngine engine = initial_engine();
+  return engine;
+}
+
+// One std::polar per distinct ladder angle per transform: rot[d] is the
+// controlled-phase factor for qubits d positions apart.
+std::vector<cplx> rotation_table(int bits, double sign) {
+  std::vector<cplx> rot(static_cast<std::size_t>(std::max(bits, 1)));
+  for (int d = 1; d < bits; ++d) {
+    rot[d] = std::polar(
+        1.0, sign * std::numbers::pi / static_cast<double>(1ULL << d));
+  }
+  return rot;
+}
+
+}  // namespace
+
+QftEngine qft_engine() { return engine_ref(); }
+
+void set_qft_engine(QftEngine engine) { engine_ref() = engine; }
+
+// Forward gate sequence: for i = bits-1 .. 0: H(i), then CP(j, i) for
+// j = i-1 .. 0 with angle pi / 2^(i-j); finally reverse the qubit order.
+// The inverse applies the reversal, then the exact reverse gate order
+// with conjugated angles (the CPs are diagonal and commute among
+// themselves, so only the CP-vs-H ordering matters). The fused engine
+// collapses each target's H + CP ramp into one sweep of
+// StateVector::apply_fused_qft_stage and the swap network into one
+// reverse_qubit_order pass: bits + 1 sweeps total.
+
+void apply_qft_fused(StateVector& sv, int lo, int bits, int approx_cutoff) {
   NAHSP_REQUIRE(bits >= 1 && lo >= 0 && lo + bits <= sv.qubits(),
                 "register out of range");
+  for (int i = bits - 1; i >= 0; --i) {
+    sv.apply_fused_qft_stage(lo, i, approx_cutoff, /*inverse=*/false);
+  }
+  sv.reverse_qubit_order(lo, bits);
+}
+
+void apply_inverse_qft_fused(StateVector& sv, int lo, int bits,
+                             int approx_cutoff) {
+  NAHSP_REQUIRE(bits >= 1 && lo >= 0 && lo + bits <= sv.qubits(),
+                "register out of range");
+  sv.reverse_qubit_order(lo, bits);
+  for (int i = 0; i < bits; ++i) {
+    sv.apply_fused_qft_stage(lo, i, approx_cutoff, /*inverse=*/true);
+  }
+}
+
+void apply_qft_gates(StateVector& sv, int lo, int bits, int approx_cutoff) {
+  NAHSP_REQUIRE(bits >= 1 && lo >= 0 && lo + bits <= sv.qubits(),
+                "register out of range");
+  const std::vector<cplx> rot = rotation_table(bits, 1.0);
   for (int i = bits - 1; i >= 0; --i) {
     sv.apply_h(lo + i);
     for (int j = i - 1; j >= 0; --j) {
       const int dist = i - j;
       if (approx_cutoff > 0 && dist > approx_cutoff) continue;
-      const double theta =
-          std::numbers::pi / static_cast<double>(1ULL << dist);
-      sv.apply_cphase(lo + j, lo + i, theta);
+      sv.apply_cphase(lo + j, lo + i, rot[dist]);
     }
   }
   for (int i = 0; i < bits / 2; ++i) {
@@ -33,10 +98,11 @@ void apply_qft(StateVector& sv, int lo, int bits, int approx_cutoff) {
   }
 }
 
-void apply_inverse_qft(StateVector& sv, int lo, int bits,
-                       int approx_cutoff) {
+void apply_inverse_qft_gates(StateVector& sv, int lo, int bits,
+                             int approx_cutoff) {
   NAHSP_REQUIRE(bits >= 1 && lo >= 0 && lo + bits <= sv.qubits(),
                 "register out of range");
+  const std::vector<cplx> rot = rotation_table(bits, -1.0);
   for (int i = 0; i < bits / 2; ++i) {
     sv.apply_swap(lo + i, lo + bits - 1 - i);
   }
@@ -44,11 +110,26 @@ void apply_inverse_qft(StateVector& sv, int lo, int bits,
     for (int j = 0; j < i; ++j) {
       const int dist = i - j;
       if (approx_cutoff > 0 && dist > approx_cutoff) continue;
-      const double theta =
-          -std::numbers::pi / static_cast<double>(1ULL << dist);
-      sv.apply_cphase(lo + j, lo + i, theta);
+      sv.apply_cphase(lo + j, lo + i, rot[dist]);
     }
     sv.apply_h(lo + i);
+  }
+}
+
+void apply_qft(StateVector& sv, int lo, int bits, int approx_cutoff) {
+  if (engine_ref() == QftEngine::kFused) {
+    apply_qft_fused(sv, lo, bits, approx_cutoff);
+  } else {
+    apply_qft_gates(sv, lo, bits, approx_cutoff);
+  }
+}
+
+void apply_inverse_qft(StateVector& sv, int lo, int bits,
+                       int approx_cutoff) {
+  if (engine_ref() == QftEngine::kFused) {
+    apply_inverse_qft_fused(sv, lo, bits, approx_cutoff);
+  } else {
+    apply_inverse_qft_gates(sv, lo, bits, approx_cutoff);
   }
 }
 

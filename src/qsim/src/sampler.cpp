@@ -317,8 +317,10 @@ void QubitCosetSampler::ensure_distribution() {
   ensure_labels();
   StateVector sv(in_bits_ + out_bits_);
   for (int q = 0; q < in_bits_; ++q) sv.apply_h(q);
-  sv.apply_xor_function(0, in_bits_, in_bits_, out_bits_,
-                        [this](u64 x) { return dense_labels_[x]; });
+  // Table overload: the cached label sweep doubles as the oracle's
+  // dense lookup table, so the kernel pays no indirect call per
+  // amplitude (batched rounds reuse the same cache).
+  sv.apply_xor_function(0, in_bits_, in_bits_, out_bits_, dense_labels_);
   int lo = 0;
   for (std::size_t c = 0; c < moduli_.size(); ++c) {
     apply_qft(sv, lo, cell_bits_[c], approx_cutoff_);
@@ -351,8 +353,7 @@ la::AbVec QubitCosetSampler::sample_character(Rng& rng) {
   ensure_labels();
   StateVector sv(in_bits_ + out_bits_);
   for (int q = 0; q < in_bits_; ++q) sv.apply_h(q);
-  sv.apply_xor_function(0, in_bits_, in_bits_, out_bits_,
-                        [this](u64 x) { return dense_labels_[x]; });
+  sv.apply_xor_function(0, in_bits_, in_bits_, out_bits_, dense_labels_);
   sv.measure_range(in_bits_, out_bits_, rng);
   // Gate-level QFT over each cyclic factor: cell c occupies its own
   // contiguous qubit block and carries an independent QFT over Z_{2^b}.

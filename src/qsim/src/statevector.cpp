@@ -1,17 +1,23 @@
 #include "nahsp/qsim/statevector.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
 #include "nahsp/common/check.h"
 #include "nahsp/common/parallel.h"
+#include "sweep_detail.h"
 
 namespace nahsp::qs {
+
+using detail::insert_zero;
 
 namespace {
 // Below this many amplitudes fork/join overhead dominates; the kernels
 // stay serial (one chunk). Doubles as the parallel_for grain, so the
 // chunk layout — and every reduction — is identical at any thread count.
+// Pair/quad kernels use kPairGrain/kQuadGrain, which cover the same
+// amplitude volume per chunk (see common/parallel.h).
 constexpr std::size_t kGrain = kDefaultGrain;
 }  // namespace
 
@@ -43,61 +49,86 @@ void StateVector::check_qubit(int q) const {
   NAHSP_REQUIRE(q >= 0 && q < n_, "qubit index out of range");
 }
 
-// Every pair kernel below iterates the full index range and acts only at
-// the pair representative (the index with the distinguishing bit clear),
-// so a chunk never touches an index another chunk acts on: the partner
-// index is skipped by whichever chunk contains it.
+// Every kernel below iterates pair (or quad) representatives directly:
+// k runs over 2^(n-1) (2^(n-2)) values and the acted-on indices are
+// reconstructed by re-inserting the distinguished bit(s), so there is
+// no branch per amplitude and no skipped-half traversal. Chunks own
+// disjoint representative ranges, hence disjoint amplitude pairs.
 
 void StateVector::apply_h(int q) {
   check_qubit(q);
   const u64 bit = u64{1} << q;
-  const double inv_sqrt2 = 1.0 / std::numbers::sqrt2;
-  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      if (i & bit) continue;
-      const cplx a0 = amps_[i];
-      const cplx a1 = amps_[i | bit];
-      amps_[i] = (a0 + a1) * inv_sqrt2;
-      amps_[i | bit] = (a0 - a1) * inv_sqrt2;
-    }
-  });
+  const u64 low = bit - 1;
+  const double s = 1.0 / std::numbers::sqrt2;
+  // Butterflies run on the component doubles (the std::complex
+  // array-access guarantee): identical arithmetic, but GCC compiles the
+  // aggregate complex loads/stores to ~5x slower code.
+  double* d = reinterpret_cast<double*>(amps_.data());
+  parallel_for(0, dim() / 2, kPairGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t k = lo; k < hi; ++k) {
+                   const std::size_t p0 = 2 * insert_zero(k, low);
+                   const std::size_t p1 = p0 + 2 * bit;
+                   const double r0 = d[p0], c0 = d[p0 + 1];
+                   const double r1 = d[p1], c1 = d[p1 + 1];
+                   d[p0] = (r0 + r1) * s;
+                   d[p0 + 1] = (c0 + c1) * s;
+                   d[p1] = (r0 - r1) * s;
+                   d[p1 + 1] = (c0 - c1) * s;
+                 }
+               });
 }
 
 void StateVector::apply_x(int q) {
   check_qubit(q);
   const u64 bit = u64{1} << q;
-  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      if (i & bit) continue;
-      std::swap(amps_[i], amps_[i | bit]);
-    }
-  });
+  const u64 low = bit - 1;
+  parallel_for(0, dim() / 2, kPairGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t k = lo; k < hi; ++k) {
+                   const u64 i0 = insert_zero(k, low);
+                   std::swap(amps_[i0], amps_[i0 | bit]);
+                 }
+               });
 }
 
 void StateVector::apply_z(int q) { apply_phase(q, std::numbers::pi); }
 
 void StateVector::apply_phase(int q, double theta) {
+  apply_phase(q, std::polar(1.0, theta));
+}
+
+void StateVector::apply_phase(int q, cplx w) {
   check_qubit(q);
   const u64 bit = u64{1} << q;
-  const cplx w = std::polar(1.0, theta);
-  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      if (i & bit) amps_[i] *= w;
-    }
-  });
+  const u64 low = bit - 1;
+  parallel_for(0, dim() / 2, kPairGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t k = lo; k < hi; ++k) {
+                   amps_[insert_zero(k, low) | bit] *= w;
+                 }
+               });
 }
 
 void StateVector::apply_cphase(int c, int t, double theta) {
+  apply_cphase(c, t, std::polar(1.0, theta));
+}
+
+void StateVector::apply_cphase(int c, int t, cplx w) {
   check_qubit(c);
   check_qubit(t);
   NAHSP_REQUIRE(c != t, "control equals target");
+  const int p = std::min(c, t);
+  const int q = std::max(c, t);
   const u64 mask = (u64{1} << c) | (u64{1} << t);
-  const cplx w = std::polar(1.0, theta);
-  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      if ((i & mask) == mask) amps_[i] *= w;
-    }
-  });
+  const u64 plow = (u64{1} << p) - 1;
+  const u64 qlow = (u64{1} << q) - 1;
+  parallel_for(0, dim() / 4, kQuadGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t k = lo; k < hi; ++k) {
+                   amps_[insert_zero(insert_zero(k, plow), qlow) | mask] *= w;
+                 }
+               });
 }
 
 void StateVector::apply_cnot(int c, int t) {
@@ -106,11 +137,18 @@ void StateVector::apply_cnot(int c, int t) {
   NAHSP_REQUIRE(c != t, "control equals target");
   const u64 cbit = u64{1} << c;
   const u64 tbit = u64{1} << t;
-  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      if ((i & cbit) && !(i & tbit)) std::swap(amps_[i], amps_[i | tbit]);
-    }
-  });
+  const int p = std::min(c, t);
+  const int q = std::max(c, t);
+  const u64 plow = (u64{1} << p) - 1;
+  const u64 qlow = (u64{1} << q) - 1;
+  parallel_for(0, dim() / 4, kQuadGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t k = lo; k < hi; ++k) {
+                   const u64 i0 =
+                       (insert_zero(insert_zero(k, plow), qlow)) | cbit;
+                   std::swap(amps_[i0], amps_[i0 | tbit]);
+                 }
+               });
 }
 
 void StateVector::apply_swap(int a, int b) {
@@ -119,11 +157,101 @@ void StateVector::apply_swap(int a, int b) {
   if (a == b) return;
   const u64 abit = u64{1} << a;
   const u64 bbit = u64{1} << b;
-  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
-    for (std::size_t i = lo; i < hi; ++i) {
-      // Act once per {01, 10} pair: pick the representative with a=1, b=0.
-      if ((i & abit) && !(i & bbit)) {
-        std::swap(amps_[i], amps_[(i & ~abit) | bbit]);
+  const int p = std::min(a, b);
+  const int q = std::max(a, b);
+  const u64 plow = (u64{1} << p) - 1;
+  const u64 qlow = (u64{1} << q) - 1;
+  parallel_for(0, dim() / 4, kQuadGrain,
+               [&](std::size_t lo, std::size_t hi) {
+                 for (std::size_t k = lo; k < hi; ++k) {
+                   // One iteration per {01, 10} pair.
+                   const u64 base = insert_zero(insert_zero(k, plow), qlow);
+                   std::swap(amps_[base | abit], amps_[base | bbit]);
+                 }
+               });
+}
+
+void StateVector::apply_fused_qft_stage(int lo, int i, int approx_cutoff,
+                                        bool inverse) {
+  NAHSP_REQUIRE(lo >= 0 && i >= 0 && lo + i < n_,
+                "fused stage target out of range");
+  const int target = lo + i;
+  const u64 bit = u64{1} << target;
+  const u64 low = bit - 1;
+  // Controls more than approx_cutoff positions below the target are
+  // dropped (cutoff 0 keeps them all): the ramp then depends only on
+  // register bits [drop, i), i.e. on L >> drop.
+  const int drop =
+      (approx_cutoff > 0 && i > approx_cutoff) ? i - approx_cutoff : 0;
+  const int ramp_bits = i - drop;
+  const double sign = inverse ? -1.0 : 1.0;
+  const double unit =
+      sign * std::numbers::pi / static_cast<double>(u64{1} << ramp_bits);
+  // Two-level twiddle table: w(t) = w_lo[t & split_mask] * w_hi[t >>
+  // split]. Both halves are direct std::polar evaluations (no recurrence
+  // error) and cost O(2^(ramp_bits/2)) setup instead of a full 2^ramp
+  // table — which at 26 ramp bits would outweigh the state itself.
+  const int split = ramp_bits / 2;
+  const u64 split_mask = (u64{1} << split) - 1;
+  std::vector<cplx> w_lo(std::size_t{1} << split);
+  std::vector<cplx> w_hi(std::size_t{1} << (ramp_bits - split));
+  for (std::size_t t = 0; t < w_lo.size(); ++t)
+    w_lo[t] = std::polar(1.0, unit * static_cast<double>(t));
+  for (std::size_t t = 0; t < w_hi.size(); ++t)
+    w_hi[t] = std::polar(1.0, unit * static_cast<double>(t << split));
+  const u64 ramp_mask = (u64{1} << i) - 1;
+  const double s = 1.0 / std::numbers::sqrt2;
+  // Raw-double butterflies (see apply_h); the ramp multiply expands to
+  // the same complex-product formula the operators would apply.
+  double* d = reinterpret_cast<double*>(amps_.data());
+  parallel_for(0, dim() / 2, kPairGrain,
+               [&](std::size_t plo, std::size_t phi) {
+                 for (std::size_t k = plo; k < phi; ++k) {
+                   const u64 i0 = insert_zero(k, low);
+                   const u64 t = ((i0 >> lo) & ramp_mask) >> drop;
+                   const cplx w = w_lo[t & split_mask] * w_hi[t >> split];
+                   const double wr = w.real(), wi = w.imag();
+                   const std::size_t p0 = 2 * i0;
+                   const std::size_t p1 = p0 + 2 * bit;
+                   const double r0 = d[p0], c0 = d[p0 + 1];
+                   const double r1 = d[p1], c1 = d[p1 + 1];
+                   if (inverse) {
+                     // Inverse gate order: ramp first, then Hadamard.
+                     const double br = r1 * wr - c1 * wi;
+                     const double bc = r1 * wi + c1 * wr;
+                     d[p0] = (r0 + br) * s;
+                     d[p0 + 1] = (c0 + bc) * s;
+                     d[p1] = (r0 - br) * s;
+                     d[p1 + 1] = (c0 - bc) * s;
+                   } else {
+                     const double br = (r0 - r1) * s;
+                     const double bc = (c0 - c1) * s;
+                     d[p0] = (r0 + r1) * s;
+                     d[p0 + 1] = (c0 + c1) * s;
+                     d[p1] = br * wr - bc * wi;
+                     d[p1 + 1] = br * wi + bc * wr;
+                   }
+                 }
+               });
+}
+
+void StateVector::reverse_qubit_order(int lo, int bits) {
+  NAHSP_REQUIRE(lo >= 0 && bits >= 1 && lo + bits <= n_,
+                "register out of range");
+  if (bits == 1) return;
+  const detail::BitReverser rev(bits);
+  const u64 mask = (u64{1} << bits) - 1;
+  const u64 reg_mask = mask << lo;
+  // Each {r, rev(r)} pair is swapped by the chunk holding its smaller
+  // member; reversal is an involution, so pairs never share an index
+  // and writes stay disjoint across chunks.
+  parallel_for(0, dim(), kGrain, [&](std::size_t clo, std::size_t chi) {
+    for (std::size_t idx = clo; idx < chi; ++idx) {
+      const u64 r = (idx >> lo) & mask;
+      const u64 rr = rev(r);
+      if (rr > r) {
+        const u64 partner = (idx & ~reg_mask) | (rr << lo);
+        std::swap(amps_[idx], amps_[partner]);
       }
     }
   });
@@ -140,21 +268,57 @@ void StateVector::apply_permutation(const std::function<u64(u64)>& pi) {
   amps_ = std::move(next);
 }
 
-void StateVector::apply_xor_function(int in_lo, int in_bits, int out_lo,
-                                     int out_bits,
-                                     const std::function<u64(u64)>& f) {
-  NAHSP_REQUIRE(in_lo >= 0 && in_bits >= 1 && in_lo + in_bits <= n_,
+void StateVector::apply_permutation(const std::vector<u64>& table) {
+  NAHSP_REQUIRE(table.size() == dim(), "permutation table size mismatch");
+  std::vector<cplx> next(dim(), cplx{0.0, 0.0});
+  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      next[table[i]] = amps_[i];  // bijection: writes are disjoint
+    }
+  });
+  amps_ = std::move(next);
+}
+
+namespace {
+void check_xor_registers(int n, int in_lo, int in_bits, int out_lo,
+                         int out_bits) {
+  NAHSP_REQUIRE(in_lo >= 0 && in_bits >= 1 && in_lo + in_bits <= n,
                 "input register out of range");
-  NAHSP_REQUIRE(out_lo >= 0 && out_bits >= 1 && out_lo + out_bits <= n_,
+  NAHSP_REQUIRE(out_lo >= 0 && out_bits >= 1 && out_lo + out_bits <= n,
                 "output register out of range");
   NAHSP_REQUIRE(in_lo + in_bits <= out_lo || out_lo + out_bits <= in_lo,
                 "registers overlap");
+}
+}  // namespace
+
+void StateVector::apply_xor_function(int in_lo, int in_bits, int out_lo,
+                                     int out_bits,
+                                     const std::function<u64(u64)>& f) {
+  check_xor_registers(n_, in_lo, in_bits, out_lo, out_bits);
   const u64 in_mask = (in_bits >= 64 ? ~u64{0} : (u64{1} << in_bits) - 1);
   const u64 out_mask = (out_bits >= 64 ? ~u64{0} : (u64{1} << out_bits) - 1);
   parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
     for (std::size_t i = lo; i < hi; ++i) {
       const u64 x = (i >> in_lo) & in_mask;
       const u64 fx = f(x) & out_mask;
+      const u64 j = i ^ (fx << out_lo);
+      if (i < j) std::swap(amps_[i], amps_[j]);  // involution: swap once
+    }
+  });
+}
+
+void StateVector::apply_xor_function(int in_lo, int in_bits, int out_lo,
+                                     int out_bits,
+                                     const std::vector<u64>& table) {
+  check_xor_registers(n_, in_lo, in_bits, out_lo, out_bits);
+  NAHSP_REQUIRE(table.size() == (std::size_t{1} << in_bits),
+                "oracle table size mismatch");
+  const u64 in_mask = (u64{1} << in_bits) - 1;
+  const u64 out_mask = (out_bits >= 64 ? ~u64{0} : (u64{1} << out_bits) - 1);
+  const u64* f = table.data();
+  parallel_for(0, dim(), kGrain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      const u64 fx = f[(i >> in_lo) & in_mask] & out_mask;
       const u64 j = i ^ (fx << out_lo);
       if (i < j) std::swap(amps_[i], amps_[j]);  // involution: swap once
     }
@@ -173,12 +337,7 @@ double StateVector::norm2() const {
 
 u64 StateVector::sample(Rng& rng) const {
   const double target = rng.uniform01() * norm2();
-  double acc = 0.0;
-  for (std::size_t i = 0; i < dim(); ++i) {
-    acc += std::norm(amps_[i]);
-    if (acc >= target) return i;
-  }
-  return dim() - 1;  // numeric guard
+  return detail::sample_flat_index(amps_, target, kGrain);
 }
 
 double StateVector::range_probability(int lo, int bits, u64 value) const {
@@ -202,10 +361,30 @@ u64 StateVector::measure_range(int lo, int bits, Rng& rng) {
   const u64 mask = (bits >= 64 ? ~u64{0} : (u64{1} << bits) - 1);
   // Sample an outcome from the marginal distribution of the register.
   const double target = rng.uniform01() * norm2();
-  std::vector<double> outcome_prob(std::size_t{1} << bits, 0.0);
-  for (std::size_t i = 0; i < dim(); ++i) {
-    outcome_prob[(i >> lo) & mask] += std::norm(amps_[i]);
-  }
+  const std::size_t n_out = std::size_t{1} << bits;
+  std::vector<double> outcome_prob(n_out, 0.0);
+  // Outcome-major marginal build: chunks partition the outcome space,
+  // and each outcome left-folds its strided support in ascending index
+  // order — the exact addition order of the serial interleaved sweep —
+  // so the histogram is bitwise identical at any thread count (and to
+  // the pre-parallel build). The grain keeps one chunk at ~kGrain
+  // amplitudes of traffic regardless of the support size per outcome.
+  const std::size_t lo_count = std::size_t{1} << lo;
+  const std::size_t hi_count = dim() >> (lo + bits);
+  const std::size_t per_outcome = lo_count * hi_count;
+  const std::size_t grain = std::max<std::size_t>(1, kGrain / per_outcome);
+  parallel_for(0, n_out, grain, [&](std::size_t vlo, std::size_t vhi) {
+    for (std::size_t v = vlo; v < vhi; ++v) {
+      double s = 0.0;
+      for (std::size_t h = 0; h < hi_count; ++h) {
+        const u64 base = (static_cast<u64>(h) << (lo + bits)) |
+                         (static_cast<u64>(v) << lo);
+        for (std::size_t l = 0; l < lo_count; ++l)
+          s += std::norm(amps_[base | l]);
+      }
+      outcome_prob[v] = s;
+    }
+  });
   u64 outcome = (u64{1} << bits) - 1;
   double acc = 0.0;
   for (std::size_t v = 0; v < outcome_prob.size(); ++v) {

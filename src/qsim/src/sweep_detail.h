@@ -1,0 +1,93 @@
+// Internal helpers shared by the qsim amplitude kernels (statevector
+// and mixed-radix): bit-split pair-index reconstruction, table-driven
+// bit reversal, and the chunked measurement prefix scan. Not installed;
+// include from src/qsim/src only.
+#pragma once
+
+#include <algorithm>
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "nahsp/common/parallel.h"
+
+namespace nahsp::qs::detail {
+
+// Maps k in [0, 2^(n-1)) onto the indices with one distinguished bit
+// clear, preserving order: the bits of k below the distinguished
+// position stay in place and the rest shift up by one. `low_mask` is
+// (1 << position) - 1.
+inline std::uint64_t insert_zero(std::uint64_t k, std::uint64_t low_mask) {
+  return ((k & ~low_mask) << 1) | (k & low_mask);
+}
+
+// Reverses the low `bits` bits of a value via two half-width tables (a
+// full table at 2^26 register values would be larger than the state
+// itself; the halves cost O(2^(bits/2)) to build).
+class BitReverser {
+ public:
+  explicit BitReverser(int bits)
+      : lo_bits_(bits / 2),
+        hi_bits_(bits - bits / 2),
+        lo_rev_(table(lo_bits_)),
+        hi_rev_(table(hi_bits_)) {}
+
+  std::uint64_t operator()(std::uint64_t v) const {
+    const std::uint64_t low = v & ((std::uint64_t{1} << lo_bits_) - 1);
+    const std::uint64_t high = v >> lo_bits_;
+    return (lo_rev_[low] << hi_bits_) | hi_rev_[high];
+  }
+
+ private:
+  static std::vector<std::uint64_t> table(int w) {
+    std::vector<std::uint64_t> t(std::size_t{1} << w, 0);
+    for (std::size_t v = 0; v < t.size(); ++v) {
+      std::uint64_t r = 0;
+      for (int b = 0; b < w; ++b)
+        if (v & (std::uint64_t{1} << b)) r |= std::uint64_t{1} << (w - 1 - b);
+      t[v] = r;
+    }
+    return t;
+  }
+
+  int lo_bits_, hi_bits_;
+  std::vector<std::uint64_t> lo_rev_, hi_rev_;
+};
+
+// Locates the first flat index whose cumulative |amp|^2 reaches
+// `target` (a full-basis measurement draw). Per-chunk partial norms
+// replace the serial O(dim) prefix scan; the chunk layout is fixed by
+// (dim, grain), so the outcome is identical at every thread count.
+inline std::size_t sample_flat_index(
+    const std::vector<std::complex<double>>& amps, double target,
+    std::size_t grain) {
+  const std::size_t dim = amps.size();
+  const std::size_t n_chunks = (dim + grain - 1) / grain;
+  std::vector<double> partial(n_chunks, 0.0);
+  parallel_for(0, n_chunks, 1, [&](std::size_t clo, std::size_t chi) {
+    for (std::size_t c = clo; c < chi; ++c) {
+      const std::size_t lo = c * grain;
+      const std::size_t hi = std::min(lo + grain, dim);
+      double s = 0.0;
+      for (std::size_t i = lo; i < hi; ++i) s += std::norm(amps[i]);
+      partial[c] = s;
+    }
+  });
+  double acc = 0.0;
+  std::size_t c = 0;
+  for (; c < n_chunks; ++c) {
+    if (acc + partial[c] >= target) break;
+    acc += partial[c];
+  }
+  if (c == n_chunks) return dim - 1;  // numeric guard
+  // Scan to the end from the chosen chunk: guards against the
+  // per-element fold crossing the target an ulp later than the
+  // chunk-sum test predicted.
+  for (std::size_t i = c * grain; i < dim; ++i) {
+    acc += std::norm(amps[i]);
+    if (acc >= target) return i;
+  }
+  return dim - 1;  // numeric guard
+}
+
+}  // namespace nahsp::qs::detail
