@@ -1,0 +1,87 @@
+// E12 — sparse coset-support engine vs the dense statevector backends.
+// Sweeps the domain size for a fixed hidden-subgroup structure: the
+// dense mixed-radix build is O(|A|) memory and superlinear time, the
+// sparse build is one O(|A|) label sweep plus O(|H| * |A|/|H|) DFT
+// work on O(|H| + |A|/|H|) memory — and keeps going past the dense
+// 2^26 amplitude budget (the qubit backend rejects these widths long
+// before: input + label register > 26 qubits).
+#include "bench_common.h"
+
+#include "nahsp/hsp/abelian.h"
+#include "nahsp/qsim/sparse.h"
+
+namespace {
+
+using namespace nahsp;
+
+// f(x) = x mod q hides <q> in Z_{2^k}; q = 2^(k/2) balances |H| and
+// |H^perp| so neither side of the sparse build degenerates.
+qs::LabelFn mod_label(std::uint64_t q) {
+  return [q](const la::AbVec& x) { return x[0] % q; };
+}
+
+void BM_E12_SparseDistributionBuild(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const std::uint64_t d = std::uint64_t{1} << k;
+  const std::uint64_t q = std::uint64_t{1} << (k / 2);
+  Rng rng(1);
+  std::size_t support = 0;
+  for (auto _ : state) {
+    qs::SparseCosetSampler s({d}, mod_label(q), nullptr);
+    benchmark::DoNotOptimize(s.sample_character(rng));  // forces the build
+    support = s.support_size();
+  }
+  state.counters["domain"] = static_cast<double>(d);
+  state.counters["support"] = static_cast<double>(support);
+}
+BENCHMARK(BM_E12_SparseDistributionBuild)
+    ->DenseRange(10, 20, 2)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_E12_MixedRadixDistributionBuild(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const std::uint64_t d = std::uint64_t{1} << k;
+  const std::uint64_t q = std::uint64_t{1} << (k / 2);
+  Rng rng(1);
+  for (auto _ : state) {
+    qs::MixedRadixCosetSampler s({d}, mod_label(q), nullptr);
+    // A large batch forces the adaptive cache build immediately.
+    benchmark::DoNotOptimize(s.sample_characters(rng, 64));
+  }
+  state.counters["domain"] = static_cast<double>(d);
+}
+BENCHMARK(BM_E12_MixedRadixDistributionBuild)
+    ->DenseRange(10, 18, 2)
+    ->Unit(benchmark::kMillisecond);
+
+// End-to-end Abelian-HSP solve through the sparse engine on Z_2^k with
+// |H| = 2 — the elem_abelian2-shaped instance whose k = 16 width the
+// qubit backend rejects (tests/test_sparse.cpp pins that boundary).
+void BM_E12_SparseSolveZ2k(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const std::vector<std::uint64_t> mods(static_cast<std::size_t>(k), 2);
+  const auto flat = [](const la::AbVec& x) {
+    std::uint64_t idx = 0;
+    for (const std::uint64_t xi : x) idx = idx * 2 + xi;
+    return idx;
+  };
+  qs::LabelFn coset_id = [flat](const la::AbVec& x) {
+    la::AbVec comp(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) comp[i] = 1 - x[i];
+    return std::min(flat(x), flat(comp));
+  };
+  Rng rng(1);
+  bool ok = true;
+  for (auto _ : state) {
+    qs::SparseCosetSampler s(mods, coset_id, nullptr);
+    const auto res = hsp::solve_abelian_hsp(s, rng);
+    ok &= (res.subgroup_order == 2);
+  }
+  state.counters["k"] = k;
+  state.counters["correct"] = ok ? 1 : 0;
+}
+BENCHMARK(BM_E12_SparseSolveZ2k)
+    ->DenseRange(10, 16, 2)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

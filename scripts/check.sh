@@ -26,6 +26,9 @@ echo "== CLI smoke: selftest + golden solve reports + doc links =="
 ./scripts/cli_smoke.sh build
 python3 scripts/check_links.py
 
+echo "== perf_guard exit-code contract (scripts/test_perf_guard.py) =="
+python3 scripts/test_perf_guard.py
+
 if [[ "${NAHSP_PERF_GUARD:-0}" == "1" ]]; then
   echo "== perf guard (opt-in: NAHSP_PERF_GUARD=1) =="
   # Small-n bench_e8 run diffed against the committed baseline. Only

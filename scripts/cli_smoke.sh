@@ -48,6 +48,24 @@ for scenario in $("$NAHSP" list --names); do
 done
 
 echo
+echo "== sparse-backend solve vs golden report =="
+# One scenario forced onto the sparse engine (backend=sparse spec key):
+# pins the factory wiring and the sparse report fields end to end.
+out="$OUT_DIR/solve_elem_abelian2_sparse.json"
+golden="$GOLDEN_DIR/solve_elem_abelian2_sparse.json"
+"$NAHSP" solve elem_abelian2 k=14 hidden=1 backend=sparse \
+  seed="$SEED" threads=1 --json > "$out"
+if [[ "$REGEN" == 1 ]]; then
+  cp "$out" "$golden"
+  echo "regenerated $golden"
+elif [[ ! -f "$golden" ]]; then
+  echo "MISSING golden $golden (run scripts/cli_smoke.sh --regen)" >&2
+  status=1
+else
+  python3 scripts/diff_report.py "$golden" "$out" || status=1
+fi
+
+echo
 echo "== nahsp batch over examples/fleet.scn =="
 "$NAHSP" batch examples/fleet.scn seed="$SEED" threads=1 > /dev/null
 echo "batch ok"

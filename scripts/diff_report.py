@@ -21,6 +21,7 @@ SOLVE_SCHEMA = {
     "params": dict,
     "seed": int,
     "threads": int,
+    "backend": str,
     "success": bool,
     "method": str,
     "error": str,
@@ -58,6 +59,10 @@ def check_schema(report, path):
     if report.get("command") != "solve":
         errors.append(f"{path}: command is {report.get('command')!r}, "
                       "expected 'solve'")
+    if report.get("backend") not in (
+            "auto", "mixed-radix", "qubit", "sparse", "analytic"):
+        errors.append(f"{path}: backend is {report.get('backend')!r}, "
+                      "expected a sampler-backend selector")
     queries = report.get("queries")
     if isinstance(queries, dict):
         for key, types in QUERIES_SCHEMA.items():

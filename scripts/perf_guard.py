@@ -7,10 +7,18 @@ BASELINE may be either raw `--benchmark_out` JSON or one of the
 repo's composite BENCH_prN.json files ({"benchmarks": {suite:
 {"results": [...]}}}); FRESH is raw benchmark output. Benchmarks are
 matched by name; for each name present in both, the ratio
-fresh/baseline of --key (default real_time) is computed. Exit 1 if any
-matched benchmark regressed by more than --max-regression (fractional:
-0.30 = 30% slower), 0 otherwise. Unmatched names are reported but never
-fail the guard, so adding or renaming benchmarks doesn't break CI.
+fresh/baseline of --key (default real_time) is computed.
+
+Soft-fail contract: names present on only one side, rows missing the
+metric key, and a run that matches nothing at all are the normal state
+of a freshly added benchmark or backend — each is reported as a named
+`perf_guard warning:` line and never fails the guard (pass --strict to
+turn those warnings into failures).
+
+Exit codes: 0 = no regression (including the zero-matches soft pass);
+1 = at least one matched benchmark regressed by more than
+--max-regression (fractional: 0.30 = 30% slower), or a warning under
+--strict; 2 = unusable input (unreadable file, unrecognised layout).
 
 Cross-machine caveat: absolute times only compare meaningfully on the
 hardware that produced the baseline. On other machines (CI smoke) run
@@ -22,8 +30,12 @@ import json
 import re
 import sys
 
+EXIT_OK = 0
+EXIT_REGRESSION = 1
+EXIT_USAGE = 2
 
-def flatten(doc):
+
+def flatten(doc, origin):
     """name -> metric dict, for raw or composite benchmark JSON."""
     out = {}
     if "benchmarks" in doc and isinstance(doc["benchmarks"], dict):
@@ -36,8 +48,73 @@ def flatten(doc):
             if "name" in res:
                 out[res["name"]] = res
     else:
-        raise SystemExit("perf_guard: unrecognised benchmark JSON layout")
+        raise SystemExit(
+            f"perf_guard: unrecognised benchmark JSON layout in {origin}")
     return out
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"perf_guard: cannot read {path}: {e}")
+    return flatten(doc, path)
+
+
+def run(args):
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    pattern = re.compile(args.filter) if args.filter else None
+    matched, regressions, warnings = 0, [], []
+    for name, fres in sorted(fresh.items()):
+        if pattern and not pattern.search(name):
+            continue
+        bres = base.get(name)
+        if bres is None:
+            warnings.append(f"'{name}' has no baseline row (new benchmark?)")
+            continue
+        if args.key not in bres:
+            warnings.append(
+                f"'{name}' baseline row lacks metric '{args.key}'")
+            continue
+        if args.key not in fres:
+            warnings.append(f"'{name}' fresh row lacks metric '{args.key}'")
+            continue
+        b, f_ = float(bres[args.key]), float(fres[args.key])
+        if b <= 0.0:
+            warnings.append(f"'{name}' baseline {args.key} is non-positive")
+            continue
+        matched += 1
+        ratio = f_ / b
+        tag = "REGRESSION" if ratio > 1.0 + args.max_regression else "ok"
+        print(f"  {tag:>10}  {name}: {b:.3f} -> {f_:.3f} "
+              f"({ratio:.2f}x baseline)")
+        if tag == "REGRESSION":
+            regressions.append((name, ratio))
+
+    for w in warnings:
+        print(f"perf_guard warning: {w}", file=sys.stderr)
+    if regressions:
+        print(f"perf_guard: {len(regressions)} regression(s) beyond "
+              f"{args.max_regression:.0%}:", file=sys.stderr)
+        for name, ratio in regressions:
+            print(f"  {name}: {ratio:.2f}x baseline", file=sys.stderr)
+        return EXIT_REGRESSION
+    if args.strict and warnings:
+        print(f"perf_guard: --strict escalates {len(warnings)} warning(s)",
+              file=sys.stderr)
+        return EXIT_REGRESSION
+    if matched == 0:
+        # Nothing overlapped — e.g. a fresh JSON holding only a new
+        # backend's rows. Informative, not a failure.
+        print("perf_guard: no benchmarks matched the baseline "
+              "(soft pass; see warnings)", file=sys.stderr)
+        return EXIT_OK
+    print(f"perf_guard: {matched} benchmark(s) within "
+          f"{args.max_regression:.0%} of baseline")
+    return EXIT_OK
 
 
 def main():
@@ -51,45 +128,18 @@ def main():
                     help="only guard benchmark names matching this regex")
     ap.add_argument("--key", default="real_time",
                     help="metric to compare (default real_time)")
+    ap.add_argument("--strict", action="store_true",
+                    help="escalate missing-name/missing-metric warnings "
+                         "to exit 1")
     args = ap.parse_args()
-
-    with open(args.baseline) as f:
-        base = flatten(json.load(f))
-    with open(args.fresh) as f:
-        fresh = flatten(json.load(f))
-
-    pattern = re.compile(args.filter) if args.filter else None
-    matched, regressions = 0, []
-    for name, fres in sorted(fresh.items()):
-        if pattern and not pattern.search(name):
-            continue
-        bres = base.get(name)
-        if bres is None or args.key not in bres or args.key not in fres:
-            print(f"  (no baseline) {name}")
-            continue
-        b, f_ = float(bres[args.key]), float(fres[args.key])
-        if b <= 0.0:
-            continue
-        matched += 1
-        ratio = f_ / b
-        tag = "REGRESSION" if ratio > 1.0 + args.max_regression else "ok"
-        print(f"  {tag:>10}  {name}: {b:.3f} -> {f_:.3f} "
-              f"({ratio:.2f}x baseline)")
-        if tag == "REGRESSION":
-            regressions.append((name, ratio))
-
-    if matched == 0:
-        print("perf_guard: no benchmarks matched the baseline", file=sys.stderr)
-        return 1
-    if regressions:
-        print(f"perf_guard: {len(regressions)} regression(s) beyond "
-              f"{args.max_regression:.0%}:", file=sys.stderr)
-        for name, ratio in regressions:
-            print(f"  {name}: {ratio:.2f}x baseline", file=sys.stderr)
-        return 1
-    print(f"perf_guard: {matched} benchmark(s) within "
-          f"{args.max_regression:.0%} of baseline")
-    return 0
+    try:
+        return run(args)
+    except SystemExit as e:
+        # Layout / IO failures use the distinct usage exit code.
+        if isinstance(e.code, str):
+            print(e.code, file=sys.stderr)
+            return EXIT_USAGE
+        raise
 
 
 if __name__ == "__main__":

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Unit tests for perf_guard.py's exit-code and soft-fail contract.
+
+Run directly (python3 scripts/test_perf_guard.py) or via check.sh.
+Exercises the guard as a subprocess so the contract is tested at the
+same surface CI uses: argv in, exit code + stderr out.
+"""
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+GUARD = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                     "perf_guard.py")
+
+
+def raw(rows):
+    """Raw --benchmark_out layout."""
+    return {"benchmarks": rows}
+
+
+def composite(rows):
+    """Committed BENCH_prN.json layout."""
+    return {"note": "test", "benchmarks": {"suite": {"results": rows}}}
+
+
+def row(name, t):
+    return {"name": name, "real_time": t, "time_unit": "ns"}
+
+
+class PerfGuardTest(unittest.TestCase):
+    def guard(self, base, fresh, *extra):
+        with tempfile.TemporaryDirectory() as d:
+            bp = os.path.join(d, "base.json")
+            fp = os.path.join(d, "fresh.json")
+            with open(bp, "w") as f:
+                json.dump(base, f)
+            with open(fp, "w") as f:
+                json.dump(fresh, f)
+            return subprocess.run(
+                [sys.executable, GUARD, bp, fp, *extra],
+                capture_output=True, text=True)
+
+    def test_within_budget_passes(self):
+        r = self.guard(raw([row("bm_a", 100.0)]), raw([row("bm_a", 110.0)]))
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_regression_fails(self):
+        r = self.guard(raw([row("bm_a", 100.0)]), raw([row("bm_a", 200.0)]))
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("REGRESSION", r.stdout)
+
+    def test_composite_baseline_layout(self):
+        r = self.guard(composite([row("bm_a", 100.0)]),
+                       raw([row("bm_a", 105.0)]))
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_new_backend_rows_soft_pass(self):
+        # The exact situation a new backend's bench rows create: the
+        # fresh JSON holds only names the baseline has never seen.
+        r = self.guard(raw([row("bm_old", 100.0)]),
+                       raw([row("bm_sparse/16", 50.0)]))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("no baseline row", r.stderr)
+        self.assertIn("soft pass", r.stderr)
+
+    def test_missing_metric_named_warning(self):
+        base = raw([{"name": "bm_a", "cpu_time": 90.0}])
+        r = self.guard(base, raw([row("bm_a", 100.0)]))
+        self.assertEqual(r.returncode, 0, r.stderr)
+        self.assertIn("lacks metric 'real_time'", r.stderr)
+
+    def test_strict_escalates_warnings(self):
+        r = self.guard(raw([row("bm_old", 100.0)]),
+                       raw([row("bm_new", 50.0)]), "--strict")
+        self.assertEqual(r.returncode, 1)
+
+    def test_bad_layout_is_usage_error(self):
+        r = self.guard({"not": "benchmarks"}, raw([row("bm_a", 1.0)]))
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("unrecognised benchmark JSON layout", r.stderr)
+
+    def test_unreadable_file_is_usage_error(self):
+        with tempfile.TemporaryDirectory() as d:
+            fp = os.path.join(d, "fresh.json")
+            with open(fp, "w") as f:
+                json.dump(raw([row("bm_a", 1.0)]), f)
+            r = subprocess.run(
+                [sys.executable, GUARD,
+                 os.path.join(d, "missing.json"), fp],
+                capture_output=True, text=True)
+        self.assertEqual(r.returncode, 2)
+
+    def test_filter_restricts_matches(self):
+        base = raw([row("bm_a", 100.0), row("bm_b", 100.0)])
+        fresh = raw([row("bm_a", 105.0), row("bm_b", 500.0)])
+        r = self.guard(base, fresh, "--filter", "bm_a")
+        self.assertEqual(r.returncode, 0, r.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -11,7 +11,9 @@
 // Reserved spec keys consumed by the driver itself (everything else
 // goes to the scenario registry): `seed` (default 1) pins the solver
 // Rng / batch base seed; `threads` resizes the global pool (solve,
-// selftest) or sets the batch fan-out width.
+// selftest) or sets the batch fan-out width. The registry additionally
+// reserves `gprime_cap`, `order_bound`, and `backend` (coset-sampler
+// selection: auto, mixed-radix, qubit, sparse) for every family.
 //
 // Exit codes: 0 = solved and verified; 1 = a solve failed or a result
 // did not match the planted subgroup; 2 = usage or spec error.
@@ -43,7 +45,8 @@ commands:
   batch <file.scn> [k=v..]  fan a spec file through solve_hsp_batch
   selftest [k=v..]          solve every family at defaults, verify each
 
-reserved keys: seed=<u64> (default 1), threads=<n> (0 = global pool)
+reserved keys: seed=<u64> (default 1), threads=<n> (0 = global pool),
+               backend=<auto|mixed-radix|qubit|sparse> (coset sampler)
 every other key=value is a scenario parameter (see `nahsp describe`).
 exit codes: 0 solved+verified, 1 solve/verify failure, 2 usage error
 )";
@@ -144,6 +147,8 @@ void write_solve_report(JsonWriter& w, const SolveOutcome& out,
   w.end_object();
   w.field("seed", seed);
   w.field("threads", threads);
+  w.field("backend",
+          qs::sampler_backend_name(out.scenario.options.sampler.backend));
   w.field("success", out.success);
   w.field("method", out.method);
   w.field("error", out.error);
@@ -265,6 +270,7 @@ int cmd_describe(const std::string& name, bool json) {
     w.value("threads");
     w.value("gprime_cap");
     w.value("order_bound");
+    w.value("backend");
     w.end_array();
     w.end_object();
     w.finish();
@@ -280,7 +286,9 @@ int cmd_describe(const std::string& name, bool json) {
                 static_cast<unsigned long long>(p.max), p.doc.c_str());
   std::printf(
       "\nreserved keys: seed (Rng seed, default 1), threads (pool width),\n"
-      "               gprime_cap, order_bound (dispatcher knobs)\n");
+      "               gprime_cap, order_bound (dispatcher knobs),\n"
+      "               backend (coset sampler: auto, mixed-radix, qubit, "
+      "sparse)\n");
   std::printf("example    : nahsp solve %s seed=7 --json\n", fam.name.c_str());
   return 0;
 }

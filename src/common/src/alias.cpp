@@ -14,9 +14,19 @@ AliasTable::AliasTable(const std::vector<double>& weights) {
                   "alias weights must be finite and non-negative");
     total += w;
   }
+  NAHSP_REQUIRE(std::isfinite(total),
+                "alias weights must have a finite total");
   NAHSP_REQUIRE(total > 0.0, "alias weights must not all be zero");
 
   const std::size_t n = weights.size();
+
+  // One weight: the distribution is a point mass. Handled exactly (no
+  // scaled division, no stacks) — the single column is always full.
+  if (n == 1) {
+    prob_.assign(1, 1.0);
+    alias_.assign(1, 0);
+    return;
+  }
 
   // Vose's method: split the columns into under- and over-full relative
   // to the uniform height 1/n, then pair each under-full column with an

@@ -40,6 +40,8 @@ struct ElemAbelian2Options {
   std::size_t n_enum_cap = 1u << 20;
   /// Upper bound on |G/N| for order finding mod N (0 = 2^encoding_bits).
   u64 factor_order_bound = 0;
+  /// Coset-sampler backend for the inner Abelian HSP solves.
+  qs::SamplerChoice sampler;
 };
 
 struct ElemAbelian2Result {

@@ -33,6 +33,8 @@ struct MembershipOptions {
   /// 2^encoding_bits (may be simulator-infeasible for wide encodings —
   /// prefer passing the instance's known bound).
   u64 order_bound = 0;
+  /// Coset-sampler backend for the kernel HSP solve and order finding.
+  qs::SamplerChoice sampler;
 };
 
 struct MembershipResult {

@@ -29,6 +29,8 @@ struct NormalHspOptions {
   /// Cap used by the normal-closure enumeration.
   std::size_t closure_cap = 1u << 22;
   int max_attempts = 8;
+  /// Coset-sampler backend for the quantum subroutines.
+  qs::SamplerChoice sampler;
 };
 
 struct NormalHspResult {

@@ -23,12 +23,9 @@ namespace nahsp::hsp {
 
 using u64 = std::uint64_t;
 
-/// Which circuit realises the sampling step.
-enum class Backend {
-  kMixedRadix,  // exact mixed-radix statevector
-  kQubit,       // gate-level qubit circuit (power-of-two domains only)
-  kAnalytic,    // distribution-exact shortcut (requires planted knowledge)
-};
+// Backend selection is qs::SamplerBackend (qsim/sampler.h) — the old
+// hsp-local Backend enum is gone; every routine below takes a
+// qs::SamplerChoice and builds its sampler via qs::make_coset_sampler.
 
 struct ShorOptions {
   /// Domain bits; 0 = auto from the order bound (2^t >= bound^2).
@@ -36,9 +33,13 @@ struct ShorOptions {
   /// Retry budget (each round is one circuit run).
   int max_rounds = 64;
   /// Gate-level qubit circuit instead of mixed-radix (small t only).
+  /// Shorthand for sampler.backend = kQubit; honoured only while
+  /// sampler.backend is kAuto.
   bool use_qubit_circuit = false;
   /// Approximate-QFT cutoff for the qubit circuit (0 = exact).
   int approx_cutoff = 0;
+  /// Coset-sampler backend choice for the period-finding domain.
+  qs::SamplerChoice sampler;
 };
 
 /// Order of the element whose powers are labelled by `power_label`
@@ -69,6 +70,8 @@ struct FactorOrderOptions {
   /// Optional fast coset-label oracle (label(a) == label(b) iff aN == bN);
   /// replaces the enumeration-based default.
   std::function<u64(grp::Code)> coset_label;
+  /// Coset-sampler backend for the period-finding domain.
+  qs::SamplerChoice sampler;
 };
 
 /// Theorem 10: the order of x in G/N, where the normal subgroup N is

@@ -32,6 +32,8 @@ struct AbelianFactorOptions {
   u64 order_bound = 0;
   /// Retries when a relator fails verification against the labels.
   int max_attempts = 8;
+  /// Coset-sampler backend for the relation-lattice HSP solve.
+  qs::SamplerChoice sampler;
 };
 
 /// True iff all generator pairs commute according to the labels

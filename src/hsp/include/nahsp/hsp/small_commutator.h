@@ -25,6 +25,8 @@ struct SmallCommutatorOptions {
   u64 order_bound = 0;  // order bound in G/HG' (0 = 2^encoding_bits)
   int max_attempts = 8;
   std::size_t closure_cap = 1u << 22;
+  /// Coset-sampler backend for the quantum subroutines.
+  qs::SamplerChoice sampler;
 };
 
 struct SmallCommutatorResult {

@@ -41,6 +41,9 @@ struct AutoOptions {
   /// Order bound forwarded to the quantum subroutines
   /// (0 = 2^encoding_bits).
   u64 order_bound = 0;
+  /// Coset-sampler backend choice, forwarded to every quantum
+  /// subroutine on every route (qs::make_coset_sampler).
+  qs::SamplerChoice sampler;
   /// Forwarded to the Theorem 13 options when route 1 is taken.
   ElemAbelian2Options elem_abelian_2_options;
 };

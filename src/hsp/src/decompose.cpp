@@ -55,8 +55,9 @@ AbelianDecomposition decompose_abelian(const bb::BlackBoxGroup& g, Rng& rng,
   hsp_opts.membership_check = [&](const la::AbVec& digits) {
     return g.is_id(product_of(digits));
   };
-  qs::MixedRadixCosetSampler sampler(orders, label, &g.counter());
-  const AbelianHspResult kernel = solve_abelian_hsp(sampler, rng, hsp_opts);
+  const auto sampler =
+      qs::make_coset_sampler(opts.sampler, orders, label, &g.counter());
+  const AbelianHspResult kernel = solve_abelian_hsp(*sampler, rng, hsp_opts);
 
   // G ~= Z^r / L where L is spanned by the kernel generators and
   // diag(orders); the Smith form of L's basis gives the invariant

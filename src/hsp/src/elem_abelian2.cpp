@@ -50,8 +50,9 @@ ElemAbelian2Result solve_hsp_elem_abelian2(
     hsp_opts.membership_check = [&](const la::AbVec& eps) {
       return f.eval(product_of_n(g, n_gens, eps, 0)) == id_label;
     };
-    qs::MixedRadixCosetSampler sampler(dims, label, &f.counter());
-    const AbelianHspResult r = solve_abelian_hsp(sampler, rng, hsp_opts);
+    const auto sampler =
+        qs::make_coset_sampler(opts.sampler, dims, label, &f.counter());
+    const AbelianHspResult r = solve_abelian_hsp(*sampler, rng, hsp_opts);
     for (const la::AbVec& eps : r.generators) {
       const Code x = product_of_n(g, n_gens, eps, 0);
       if (!g.is_id(x)) h_cap_n_gens.push_back(x);
@@ -70,6 +71,7 @@ ElemAbelian2Result solve_hsp_elem_abelian2(
     // Constructive membership in <n_1..n_m> (orders all <= 2).
     MembershipOptions mo;
     mo.order_bound = 2;
+    mo.sampler = opts.sampler;
     return constructive_membership(g, n_gens, x, rng, mo).representable;
   };
 
@@ -179,8 +181,9 @@ ElemAbelian2Result solve_hsp_elem_abelian2(
       if (digits[0] != 0) x = g.mul(x, z);
       return f.eval(x) == id_label;
     };
-    qs::MixedRadixCosetSampler sampler(dims, label, &f.counter());
-    const AbelianHspResult r = solve_abelian_hsp(sampler, rng, hsp_opts);
+    const auto sampler =
+        qs::make_coset_sampler(opts.sampler, dims, label, &f.counter());
+    const AbelianHspResult r = solve_abelian_hsp(*sampler, rng, hsp_opts);
     for (const la::AbVec& gen : r.generators) {
       if (gen[0] == 0) continue;
       // (1, w) in the hidden subgroup means f(w z) = f(1): w z in H.

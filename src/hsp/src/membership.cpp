@@ -88,10 +88,12 @@ MembershipResult constructive_membership(
 
   // One sampler across all attempts: its label cache and cached outcome
   // distribution are properties of the instance, so retries only redraw.
-  qs::MixedRadixCosetSampler sampler(orders, domain_label,
-                                     &g_oracle.counter());
+  const auto sampler = qs::make_coset_sampler(opts.sampler, orders,
+                                              domain_label,
+                                              &g_oracle.counter());
   for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
-    const AbelianHspResult kernel = solve_abelian_hsp(sampler, rng, hsp_opts);
+    const AbelianHspResult kernel =
+        solve_abelian_hsp(*sampler, rng, hsp_opts);
 
     // Fold the kernel generators with Bezout coefficients to reach the
     // gcd of the last coordinates.

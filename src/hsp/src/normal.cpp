@@ -28,6 +28,7 @@ NormalHspResult find_hidden_normal_subgroup(const bb::BlackBoxGroup& g,
     AbelianFactorOptions afo;
     afo.order_bound = opts.order_bound;
     afo.max_attempts = opts.max_attempts;
+    afo.sampler = opts.sampler;
     seed = abelian_factor_relators(g, label_uncounted, rng, afo);
     // Relators generate N only up to normal closure.
     res.generators = grp::normal_closure(g, seed, opts.closure_cap);

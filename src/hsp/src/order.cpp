@@ -37,15 +37,18 @@ u64 find_order_shor(const std::function<u64(u64)>& power_label,
   };
 
   // One sampler for all rounds: its label cache (the full 2^t sweep) is
-  // built once, instead of once per round.
-  std::unique_ptr<qs::CosetSampler> sampler;
-  if (opts.use_qubit_circuit) {
-    sampler = std::make_unique<qs::QubitCosetSampler>(
-        std::vector<u64>{big_q}, domain_label, counter, opts.approx_cutoff);
-  } else {
-    sampler = std::make_unique<qs::MixedRadixCosetSampler>(
-        std::vector<u64>{big_q}, domain_label, counter);
-  }
+  // built once, instead of once per round. Shor's power-label function
+  // is only approximately hiding on Z_{2^t} (the order rarely divides
+  // 2^t), so the sparse engine's exact-hiding verification would reject
+  // it — sparse/auto requests resolve to the dense mixed-radix engine.
+  qs::SamplerChoice choice = opts.sampler;
+  if (choice.backend == qs::SamplerBackend::kAuto && opts.use_qubit_circuit)
+    choice.backend = qs::SamplerBackend::kQubit;
+  if (choice.backend != qs::SamplerBackend::kQubit)
+    choice.backend = qs::SamplerBackend::kMixedRadix;
+  choice.qubit_approx_cutoff = opts.approx_cutoff;
+  const auto sampler = qs::make_coset_sampler(
+      choice, std::vector<u64>{big_q}, domain_label, counter);
 
   u64 combined = 1;  // lcm of the measured candidate denominators
   // Rounds are drawn through the batch API in geometrically growing
@@ -117,8 +120,9 @@ u64 find_order_via_multiple(u64 m, const std::function<u64(u64)>& power_label,
   qs::LabelFn domain_label = [&power_label](const la::AbVec& digits) {
     return power_label(digits[0]);
   };
-  qs::MixedRadixCosetSampler sampler({m}, domain_label, counter);
-  const AbelianHspResult res = solve_abelian_hsp(sampler, rng);
+  const auto sampler =
+      qs::make_coset_sampler({}, {m}, domain_label, counter);
+  const AbelianHspResult res = solve_abelian_hsp(*sampler, rng);
   // <r> has order m / r; equivalently r = m / |H| = gcd of the
   // generators with m.
   u64 r = m;
@@ -154,7 +158,9 @@ u64 find_factor_order(const bb::BlackBoxGroup& g,
     return coset_label(powers[k]);
   };
   auto verify = [&](u64 t) { return coset_label(g.pow(x, t)) == id_coset; };
-  return find_order_shor(power_label, verify, bound, rng, &g.counter());
+  ShorOptions so;
+  so.sampler = opts.sampler;
+  return find_order_shor(power_label, verify, bound, rng, &g.counter(), so);
 }
 
 }  // namespace nahsp::hsp

@@ -80,9 +80,11 @@ std::vector<Code> abelian_factor_relators(
 
   // One sampler across all attempts (hidden-normal-subgroup hot path):
   // the label cache and cached outcome distribution survive retries.
-  qs::MixedRadixCosetSampler sampler(orders, domain_label, &g.counter());
+  const auto sampler = qs::make_coset_sampler(opts.sampler, orders,
+                                              domain_label, &g.counter());
   for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
-    const AbelianHspResult kernel = solve_abelian_hsp(sampler, rng, hsp_opts);
+    const AbelianHspResult kernel =
+        solve_abelian_hsp(*sampler, rng, hsp_opts);
 
     std::vector<Code> relators;
     bool all_in_n = true;

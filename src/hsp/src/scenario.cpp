@@ -276,7 +276,7 @@ ScenarioFamily wreath_family() {
       "subgroup, solved through the cyclic-factor route";
   f.theorem = "Theorem 13 (elementary Abelian normal 2-subgroup)";
   f.params = {
-      {"k", 3, 1, 8, "block width: |G| = 2^(2k+1)"},
+      {"k", 3, 1, 10, "block width: |G| = 2^(2k+1)"},
       {"hidden", 2, 0, 3,
        "planted subgroup: 0 = inside N, 1 = the swap, 2 = shifted swap, "
        "3 = rank-2 mixed"},
@@ -311,8 +311,8 @@ ScenarioFamily gf2affine_family() {
       "(M a companion matrix), cyclic-factor route";
   f.theorem = "Theorem 13 (elementary Abelian normal 2-subgroup)";
   f.params = {
-      {"k", 4, 2, 8, "dimension of N = Z_2^k"},
-      {"coeffs", 3, 1, 255,
+      {"k", 4, 2, 10, "dimension of N = Z_2^k"},
+      {"coeffs", 3, 1, 1023,
        "coefficient mask of the companion matrix M (bit 0 must be set "
        "for invertibility; must fit in k bits)"},
       {"hidden", 0, 0, 3,
@@ -364,7 +364,7 @@ ScenarioFamily elem_abelian2_family() {
       "the Theorem 13 machinery with N = G";
   f.theorem = "Theorem 13 (elementary Abelian normal 2-subgroup)";
   f.params = {
-      {"k", 6, 1, 16, "dimension: |G| = 2^k"},
+      {"k", 6, 1, 20, "dimension: |G| = 2^k"},
       {"hidden", 1, 0, 3,
        "planted subspace: 0 = <all-ones>, 1 = rank 2 (all-ones + "
        "alternating), 2 = trivial, 3 = the whole group"},
@@ -557,11 +557,25 @@ BuiltScenario build_scenario(const ScenarioSpec& spec) {
   built.options.order_bound =
       params.get_u64("order_bound", built.options.order_bound, 0,
                      std::numeric_limits<u64>::max());
+  const std::string backend = params.get_string("backend", "auto");
+  const auto parsed = qs::parse_sampler_backend(backend);
+  if (!parsed.has_value()) {
+    scenario_fail(fam.name, "unknown backend '" + backend +
+                                "' (auto, mixed-radix, qubit, sparse, "
+                                "analytic)");
+  }
+  if (*parsed == qs::SamplerBackend::kAnalytic) {
+    scenario_fail(fam.name,
+                  "backend=analytic needs planted generators; it is not an "
+                  "oracle-driven sampler choice");
+  }
+  built.options.sampler.backend = *parsed;
 
   std::vector<std::string> known;
   for (const ScenarioParam& p : fam.params) known.push_back(p.key);
   known.push_back("gprime_cap");
   known.push_back("order_bound");
+  known.push_back("backend");
   params.require_all_consumed("scenario '" + fam.name + "'", known);
   return built;
 }

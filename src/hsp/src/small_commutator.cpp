@@ -62,6 +62,7 @@ SmallCommutatorResult solve_hsp_small_commutator(
   nopts.order_bound = opts.order_bound;
   nopts.max_attempts = opts.max_attempts;
   nopts.closure_cap = opts.closure_cap;
+  nopts.sampler = opts.sampler;
   const NormalHspResult hgp =
       find_hidden_normal_subgroup(g, big_hider, rng, nopts);
   NAHSP_CHECK(hgp.abelian_factor,

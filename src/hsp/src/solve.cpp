@@ -28,6 +28,8 @@ HspSolution solve_hsp(const bb::BlackBoxGroup& g,
   if (opts.elem_abelian_2_subgroup.has_value()) {
     ElemAbelian2Options ea = opts.elem_abelian_2_options;
     if (ea.factor_order_bound == 0) ea.factor_order_bound = opts.order_bound;
+    if (ea.sampler.backend == qs::SamplerBackend::kAuto)
+      ea.sampler = opts.sampler;
     const auto res = solve_hsp_elem_abelian2(
         g, *opts.elem_abelian_2_subgroup, f, rng, ea);
     return {res.generators, Method::kElemAbelian2};
@@ -44,6 +46,7 @@ HspSolution solve_hsp(const bb::BlackBoxGroup& g,
     SmallCommutatorOptions sc;
     sc.gprime_cap = opts.gprime_cap;
     sc.order_bound = opts.order_bound;
+    sc.sampler = opts.sampler;
     const auto res = solve_hsp_small_commutator(g, f, rng, sc);
     return {res.generators, Method::kSmallCommutator};
   }
@@ -52,6 +55,7 @@ HspSolution solve_hsp(const bb::BlackBoxGroup& g,
   // assumption cannot produce a wrong answer.
   NormalHspOptions no;
   no.order_bound = opts.order_bound;
+  no.sampler = opts.sampler;
   const auto res = find_hidden_normal_subgroup(g, f, rng, no);
   return {res.generators, Method::kHiddenNormal};
 }

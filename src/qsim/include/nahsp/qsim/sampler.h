@@ -3,17 +3,26 @@
 //   -measure ancilla->  uniform over one coset  -QFT->  -measure-> y
 // returns a character y uniform over H^perp (paper Lemma 9).
 //
-// Three interchangeable backends (ablation in experiments E1/E8):
+// Four interchangeable backends (ablation in experiments E1/E8):
 //  - MixedRadixCosetSampler: exact mixed-radix statevector simulation of
 //    the circuit above (exact QFT per cell). Faithful for any moduli.
 //  - QubitCosetSampler: gate-level qubit simulation with the H +
 //    controlled-phase QFT ladder (optionally the approximate QFT);
 //    requires every modulus to be a power of two.
+//  - SparseCosetSampler (sparse.h): sparse coset-support engine — hash
+//    statevector over only the |H| nonzero amplitudes, exact
+//    distribution via a sparse-support DFT on the |A|/|H| points of
+//    H^perp. Exact for genuinely hiding label functions (verified);
+//    scales past the dense amplitude budget.
 //  - AnalyticCosetSampler: samples H^perp directly using the *planted*
 //    subgroup. The circuit's outcome distribution is exactly uniform on
 //    H^perp, so this backend is distribution-identical (property-tested
 //    against the statevector backends) while scaling past simulator
 //    memory. It is the documented large-instance substitution.
+//
+// `make_coset_sampler` (factory.cpp) picks between them from a
+// `SamplerChoice` — explicit backend or the kAuto heuristic — and is
+// the construction path every hsp-layer solver uses.
 //
 // Batched sampling: `sample_characters(rng, k)` lets the statevector
 // backends compute the exact post-QFT outcome distribution once, cache
@@ -47,7 +56,7 @@ namespace nahsp::qs {
 using LabelFn = std::function<u64(const la::AbVec&)>;
 
 /// \brief One-run-of-the-circuit character source (abstract base of
-/// the three backends).
+/// the four backends).
 class CosetSampler {
  public:
   virtual ~CosetSampler() = default;
@@ -65,6 +74,12 @@ class CosetSampler {
   virtual std::vector<la::AbVec> sample_characters(Rng& rng, std::size_t k);
 
   virtual std::string backend_name() const = 0;
+
+  /// \brief Support of the cached outcome distribution, decoded to
+  /// characters, in the backend's canonical order. Empty when no
+  /// distribution is cached (or the backend never caches one) — call
+  /// after a batched draw. Diagnostics / equivalence testing only.
+  virtual std::vector<la::AbVec> cached_support() const { return {}; }
 
   const std::vector<u64>& moduli() const { return moduli_; }
 
@@ -88,6 +103,7 @@ class MixedRadixCosetSampler final : public CosetSampler {
   std::vector<la::AbVec> sample_characters(Rng& rng,
                                            std::size_t k) override;
   std::string backend_name() const override { return "mixed-radix"; }
+  std::vector<la::AbVec> cached_support() const override;
 
   /// True once the cached outcome distribution is live (diagnostics).
   bool distribution_cached() const { return dist_ != nullptr; }
@@ -124,6 +140,7 @@ class QubitCosetSampler final : public CosetSampler {
   std::vector<la::AbVec> sample_characters(Rng& rng,
                                            std::size_t k) override;
   std::string backend_name() const override { return "qubit-circuit"; }
+  std::vector<la::AbVec> cached_support() const override;
 
   bool distribution_cached() const { return dist_ != nullptr; }
 
@@ -139,6 +156,7 @@ class QubitCosetSampler final : public CosetSampler {
   int in_bits_ = 0;
   int out_bits_ = 0;
   std::vector<u64> dense_labels_;  // domain index -> dense label id
+  std::size_t n_labels_ = 0;       // distinct labels seen by the sweep
   bool labels_ready_ = false;
 
   std::vector<u64> support_;          // input-register outcomes with mass
@@ -168,5 +186,43 @@ class AnalyticCosetSampler final : public CosetSampler {
   std::vector<la::AbVec> perp_gens_;
   u64 exponent_;  // lcm of the moduli
 };
+
+/// \brief Backend selector for `make_coset_sampler`.
+enum class SamplerBackend {
+  kAuto,        ///< heuristic: see make_coset_sampler
+  kMixedRadix,  ///< MixedRadixCosetSampler
+  kQubit,       ///< QubitCosetSampler (power-of-two moduli only)
+  kSparse,      ///< SparseCosetSampler
+  kAnalytic,    ///< needs planted generators; rejected by the factory
+};
+
+/// Parses a backend spec value ("auto", "mixed-radix", "qubit",
+/// "sparse", "analytic"); std::nullopt on anything else.
+std::optional<SamplerBackend> parse_sampler_backend(const std::string& s);
+
+/// Spec-file / CLI name of a backend selector (inverse of parsing).
+std::string sampler_backend_name(SamplerBackend b);
+
+/// \brief How the hsp-layer solvers ask for a sampler. Defaults
+/// reproduce the pre-factory behaviour (mixed-radix everywhere).
+struct SamplerChoice {
+  SamplerBackend backend = SamplerBackend::kAuto;
+  /// Approximate-QFT cutoff, forwarded to QubitCosetSampler.
+  int qubit_approx_cutoff = 0;
+  /// Optional |H| lower bound known to the caller (e.g. from planted
+  /// instance parameters); steers kAuto toward the sparse engine when
+  /// the coset support is far below the dense amplitude count.
+  u64 subgroup_order_hint = 0;
+};
+
+/// \brief Constructs the chosen oracle-driven backend over the given
+/// domain. kAuto picks: sparse when the subgroup-order hint promises a
+/// small support on a budget-fitting domain, mixed-radix when the
+/// domain fits the dense budget, sparse otherwise (sole engine past
+/// 2^26 amplitudes). kAnalytic is planted-information based and cannot
+/// be built from a label function — the factory rejects it.
+std::unique_ptr<CosetSampler> make_coset_sampler(
+    const SamplerChoice& choice, std::vector<u64> moduli, LabelFn f,
+    bb::QueryCounter* counter);
 
 }  // namespace nahsp::qs

@@ -1,0 +1,164 @@
+// Sparse coset-support statevector engine.
+//
+// The standard-circuit coset state has exactly |H| nonzero amplitudes
+// (one coset of the hidden subgroup) and its post-QFT distribution is
+// supported on the |A|/|H| points of H^perp — yet the dense backends
+// allocate and sweep all prod(m_i) amplitudes. SparseCosetSampler
+// stores only what the math requires:
+//
+//  - SparseAmpMap / SparseState: open-addressing hash containers in
+//    structure-of-arrays layout (separate key / re / im arrays, one
+//    metadata byte per slot), storing only nonzero amplitudes. Oracles
+//    act as key permutations; no dense array ever exists.
+//  - One serial O(|A|) label sweep discovers the class of the identity
+//    (= H when f exactly hides a subgroup), maintaining an incremental
+//    canonical basis of H and per-label class counts. The hiding
+//    promise is verified structurally (class-of-identity closed as a
+//    subgroup, all classes the same size, #classes * |H| = |A|) and a
+//    violation raises oracle_error — the sparse engine is only exact
+//    for genuinely hiding label functions, unlike the dense backends.
+//  - The exact post-QFT distribution comes from a sparse-support DFT:
+//    H^perp is enumerated (|A|/|H| points) and the coset state's
+//    character sum is evaluated at those points only, in one
+//    ThreadPool-parallel pass whose chunk layout depends only on the
+//    support size (n=1 bit-identical to serial; the per-point inner
+//    sums iterate the coset state in ascending key order).
+//
+// The distribution feeds the same cached AliasTable path the dense
+// backends use, so every batched solver loop gets the sparse engine for
+// free. Memory is O(|H| + |A|/|H|) instead of O(|A|); the |A| cost
+// survives only as the one-time label sweep (time, not memory), so the
+// domain cap is time-bounded (2^30) rather than the dense engines'
+// 2^26 amplitude budget.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "nahsp/qsim/sampler.h"
+
+namespace nahsp::qs {
+
+/// \brief Open-addressing u64 -> u64 hash map in SoA layout (separate
+/// key / value / occupancy arrays). Power-of-two capacity, linear
+/// probing, grow at 70% load. Deterministic: layout is a pure function
+/// of the insertion sequence.
+class SparseAmpMap {
+ public:
+  explicit SparseAmpMap(std::size_t expected = 0);
+
+  /// Value slot for `key`, inserted as `init` when absent.
+  u64& at_or_insert(u64 key, u64 init);
+  /// Pointer to the value for `key`, or nullptr when absent.
+  const u64* find(u64 key) const;
+  std::size_t size() const { return size_; }
+
+  /// Visits every (key, value) pair in slot order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t s = 0; s < keys_.size(); ++s) {
+      if (used_[s]) fn(keys_[s], vals_[s]);
+    }
+  }
+
+ private:
+  std::size_t slot_of(u64 key) const;
+  void grow();
+
+  std::vector<u64> keys_;
+  std::vector<u64> vals_;
+  std::vector<unsigned char> used_;
+  std::size_t size_ = 0;
+};
+
+/// \brief Sparse statevector over the mixed-radix domain: only nonzero
+/// amplitudes are stored, as an open-addressing hash set of flat domain
+/// indices with SoA amplitude arrays (separate re / im).
+class SparseState {
+ public:
+  explicit SparseState(std::vector<u64> moduli, std::size_t expected = 0);
+
+  /// Adds (re, im) to the amplitude at `index`, creating the entry if
+  /// needed (entries are never erased; exact zeros simply keep a slot).
+  void add(u64 index, double re, double im);
+  /// Amplitude at `index` (zero when no entry exists).
+  std::complex<double> amp(u64 index) const;
+  /// Number of stored (possibly zero) amplitudes.
+  std::size_t nnz() const { return size_; }
+  /// Sum of |amplitude|^2 over the stored entries.
+  double norm() const;
+  /// Scales every stored amplitude by 1/sqrt(norm()).
+  void normalize();
+
+  /// Relabels every stored key through `perm` (an injective map on the
+  /// stored keys) — an oracle applied as a key permutation. Rebuilds
+  /// the table; amplitudes are untouched.
+  void apply_key_permutation(const std::function<u64(u64)>& perm);
+
+  /// Stored entries as (index, amplitude), sorted by index — the
+  /// canonical iteration order for deterministic reductions.
+  std::vector<std::pair<u64, std::complex<double>>> entries() const;
+
+  const std::vector<u64>& moduli() const { return moduli_; }
+
+ private:
+  std::size_t slot_of(u64 key) const;
+  void grow();
+
+  std::vector<u64> moduli_;
+  std::vector<u64> keys_;
+  std::vector<double> re_, im_;
+  std::vector<unsigned char> used_;
+  std::size_t size_ = 0;
+};
+
+/// \brief Fourth coset-sampler backend: sparse coset-support engine.
+///
+/// Requires the label function to exactly hide a subgroup H of the
+/// domain (verified during the build; violations raise oracle_error).
+/// The exact outcome distribution — uniform on H^perp — is computed by
+/// a sparse-support DFT and cached on first use; every draw (scalar or
+/// batched) is then one AliasTable draw. Degenerate hidden subgroups
+/// are handled explicitly: |H| = |A| yields the point mass at 0 and
+/// |H| = 1 yields closed-form uniform draws over the whole character
+/// group (no table, no support enumeration).
+class SparseCosetSampler final : public CosetSampler {
+ public:
+  SparseCosetSampler(std::vector<u64> moduli, LabelFn f,
+                     bb::QueryCounter* counter);
+
+  la::AbVec sample_character(Rng& rng) override;
+  std::vector<la::AbVec> sample_characters(Rng& rng,
+                                           std::size_t k) override;
+  std::string backend_name() const override { return "sparse"; }
+  std::vector<la::AbVec> cached_support() const override;
+
+  /// True once the cached outcome distribution is live (diagnostics).
+  bool distribution_cached() const {
+    return dist_ != nullptr || uniform_mode_;
+  }
+  /// |H| recovered by the label sweep (0 before the first draw).
+  u64 subgroup_order() const { return h_order_; }
+  /// Support size of the cached distribution (0 before the first draw;
+  /// |A| in uniform mode, reported without materialising it).
+  std::size_t support_size() const;
+
+ private:
+  void ensure_distribution();
+  la::AbVec draw(Rng& rng);
+
+  LabelFn f_;
+  bb::QueryCounter* counter_;
+  u64 domain_ = 0;            // |A|
+  u64 h_order_ = 0;           // |H| once built
+  bool uniform_mode_ = false; // |H| = 1: closed-form uniform draws
+  bool built_ = false;
+
+  std::vector<la::AbVec> support_points_;  // enumerated H^perp
+  std::vector<std::size_t> support_;       // indices kept by compression
+  std::unique_ptr<AliasTable> dist_;       // distribution over support_
+};
+
+}  // namespace nahsp::qs

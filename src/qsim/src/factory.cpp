@@ -1,0 +1,89 @@
+// Backend factory: the one construction path the hsp-layer solvers use
+// to obtain an oracle-driven coset sampler (sampler.h for the choice
+// contract).
+#include "nahsp/qsim/sampler.h"
+
+#include "nahsp/common/check.h"
+#include "nahsp/qsim/sparse.h"
+#include "sampler_detail.h"
+
+namespace nahsp::qs {
+
+namespace {
+
+// Domain size capped at `cap` (returns cap + 1 on overflow) — lets the
+// heuristic compare against budgets without tripping the constructors'
+// hard REQUIREs.
+std::size_t capped_domain(const std::vector<u64>& moduli, std::size_t cap) {
+  std::size_t d = 1;
+  for (const u64 m : moduli) {
+    if (m == 0) return cap + 1;
+    if (d > cap / m) return cap + 1;
+    d *= m;
+  }
+  return d;
+}
+
+// kAuto: sparse when the caller vouches for a subgroup of order >= 64
+// (support <= |A|/64, so the sparse build beats the dense sweep's
+// memory) on a sweep-budget domain; otherwise dense mixed-radix while
+// it fits, sparse beyond that.
+SamplerBackend auto_backend(const SamplerChoice& choice,
+                            const std::vector<u64>& moduli) {
+  const std::size_t dense_cap = std::size_t{1} << detail::kMaxSimQubits;
+  const std::size_t sparse_cap = std::size_t{1} << 30;
+  const std::size_t d = capped_domain(moduli, sparse_cap);
+  if (choice.subgroup_order_hint >= 64 && d <= sparse_cap) {
+    return SamplerBackend::kSparse;
+  }
+  if (d <= dense_cap) return SamplerBackend::kMixedRadix;
+  return SamplerBackend::kSparse;
+}
+
+}  // namespace
+
+std::optional<SamplerBackend> parse_sampler_backend(const std::string& s) {
+  if (s == "auto") return SamplerBackend::kAuto;
+  if (s == "mixed-radix") return SamplerBackend::kMixedRadix;
+  if (s == "qubit") return SamplerBackend::kQubit;
+  if (s == "sparse") return SamplerBackend::kSparse;
+  if (s == "analytic") return SamplerBackend::kAnalytic;
+  return std::nullopt;
+}
+
+std::string sampler_backend_name(SamplerBackend b) {
+  switch (b) {
+    case SamplerBackend::kAuto: return "auto";
+    case SamplerBackend::kMixedRadix: return "mixed-radix";
+    case SamplerBackend::kQubit: return "qubit";
+    case SamplerBackend::kSparse: return "sparse";
+    case SamplerBackend::kAnalytic: return "analytic";
+  }
+  NAHSP_REQUIRE(false, "unknown sampler backend");
+}
+
+std::unique_ptr<CosetSampler> make_coset_sampler(
+    const SamplerChoice& choice, std::vector<u64> moduli, LabelFn f,
+    bb::QueryCounter* counter) {
+  SamplerBackend b = choice.backend;
+  if (b == SamplerBackend::kAuto) b = auto_backend(choice, moduli);
+  switch (b) {
+    case SamplerBackend::kMixedRadix:
+      return std::make_unique<MixedRadixCosetSampler>(std::move(moduli),
+                                                      std::move(f), counter);
+    case SamplerBackend::kQubit:
+      return std::make_unique<QubitCosetSampler>(std::move(moduli),
+                                                 std::move(f), counter,
+                                                 choice.qubit_approx_cutoff);
+    case SamplerBackend::kSparse:
+      return std::make_unique<SparseCosetSampler>(std::move(moduli),
+                                                  std::move(f), counter);
+    default:
+      break;
+  }
+  NAHSP_REQUIRE(false,
+                "analytic backend needs planted generators and cannot be "
+                "built from a label function");
+}
+
+}  // namespace nahsp::qs

@@ -9,67 +9,20 @@
 #include "nahsp/common/parallel.h"
 #include "nahsp/numtheory/arith.h"
 #include "nahsp/qsim/qft.h"
+#include "sampler_detail.h"
 
 namespace nahsp::qs {
 
+// The dense-backend constants and the shared distribution-build helpers
+// (domain guard, index decode, support compression) live in
+// sampler_detail.h, shared with the sparse engine.
+using detail::compress_distribution;
+using detail::dense_domain_size;
+using detail::digits_of_index;
+using detail::kGrain;
+using detail::kMaxSimQubits;
+
 namespace {
-
-// Hard cap on simulated state size: at most 2^kMaxSimQubits amplitudes
-// (1 GiB of complex doubles), for both backends.
-constexpr int kMaxSimQubits = 26;
-
-// Cached-distribution entries below this total probability are dropped
-// (numerical noise from the transforms; genuine outcome probabilities on
-// a <= 2^26 domain are orders of magnitude above it).
-constexpr double kSupportEps = 1e-12;
-
-// Parallel grain for the distribution-build sweeps (the shared kernel
-// grain, so the chunk layout is thread-count independent).
-constexpr std::size_t kGrain = kDefaultGrain;
-
-std::size_t domain_size(const std::vector<u64>& moduli) {
-  std::size_t d = 1;
-  for (const u64 m : moduli) {
-    NAHSP_REQUIRE(m >= 1, "modulus must be >= 1");
-    NAHSP_REQUIRE(d <= (std::size_t{1} << kMaxSimQubits) / m,
-                  "domain exceeds simulator budget");
-    d *= m;
-  }
-  return d;
-}
-
-la::AbVec digits_of_index(std::size_t idx, const std::vector<u64>& moduli) {
-  la::AbVec digits(moduli.size());
-  for (std::size_t i = moduli.size(); i-- > 0;) {
-    digits[i] = idx % moduli[i];
-    idx /= moduli[i];
-  }
-  return digits;
-}
-
-// Shared tail of both backends' distribution builds: clamp rounding
-// noise, check normalisation, compress to the support above kSupportEps,
-// and wrap it in an alias table.
-template <typename Index>
-std::unique_ptr<AliasTable> compress_distribution(std::vector<double>& prob,
-                                                  std::vector<Index>& support) {
-  double total = 0.0;
-  for (double& p : prob) {
-    if (p < 0.0) p = 0.0;  // rounding noise from the transforms
-    total += p;
-  }
-  NAHSP_CHECK(std::abs(total - 1.0) < 1e-6,
-              "cached outcome distribution does not normalise");
-  support.clear();
-  std::vector<double> weights;
-  for (std::size_t y = 0; y < prob.size(); ++y) {
-    if (prob[y] > kSupportEps) {
-      support.push_back(static_cast<Index>(y));
-      weights.push_back(prob[y]);
-    }
-  }
-  return std::make_unique<AliasTable>(weights);
-}
 
 // Per-element cost factor of qft_all on this domain (the radix-2 fast
 // path costs ~log d_c per cell, the dense transform d_c).
@@ -99,12 +52,12 @@ MixedRadixCosetSampler::MixedRadixCosetSampler(std::vector<u64> moduli,
                                                bb::QueryCounter* counter)
     : CosetSampler(std::move(moduli)), f_(std::move(f)), counter_(counter) {
   NAHSP_REQUIRE(f_ != nullptr, "null label function");
-  (void)domain_size(moduli_);
+  (void)dense_domain_size(moduli_);
 }
 
 void MixedRadixCosetSampler::ensure_labels() {
   if (labels_ready_) return;
-  const std::size_t d = domain_size(moduli_);
+  const std::size_t d = dense_domain_size(moduli_);
   label_cache_.resize(d);
   for (std::size_t i = 0; i < d; ++i) {
     label_cache_[i] = f_(digits_of_index(i, moduli_));
@@ -151,6 +104,26 @@ void MixedRadixCosetSampler::build_distribution() {
     const auto [it, fresh] = class_of.emplace(label_cache_[i], classes.size());
     if (fresh) classes.emplace_back();
     classes[it->second].push_back(i);
+  }
+
+  // Degenerate label structures, exact in closed form. For a hiding f
+  // these are the |H| = |A| and |H| = 1 hidden subgroups; the closed
+  // forms below hold for ANY label function with this class structure
+  // (one class: the coset state is uniform over A, so the QFT collapses
+  // to the trivial character; all-singleton classes: the coset state is
+  // one basis vector, so the outcome is exactly uniform). Skipping the
+  // transforms avoids both their rounding noise and their memory.
+  if (classes.size() == 1) {
+    support_.assign(1, 0);
+    dist_ = std::make_unique<AliasTable>(std::vector<double>{1.0});
+    return;
+  }
+  if (classes.size() == d) {
+    support_.resize(d);
+    for (std::size_t y = 0; y < d; ++y) support_[y] = y;
+    dist_ = std::make_unique<AliasTable>(
+        std::vector<double>(d, 1.0 / static_cast<double>(d)));
+    return;
   }
 
   std::vector<double> prob(d, 0.0);
@@ -207,6 +180,15 @@ void MixedRadixCosetSampler::build_distribution() {
 
 la::AbVec MixedRadixCosetSampler::draw_cached(Rng& rng) {
   return digits_of_index(support_[dist_->sample(rng)], moduli_);
+}
+
+std::vector<la::AbVec> MixedRadixCosetSampler::cached_support() const {
+  std::vector<la::AbVec> out;
+  if (!dist_) return out;
+  out.reserve(support_.size());
+  for (const std::size_t s : support_)
+    out.push_back(digits_of_index(s, moduli_));
+  return out;
 }
 
 la::AbVec MixedRadixCosetSampler::sample_character(Rng& rng) {
@@ -289,6 +271,7 @@ void QubitCosetSampler::ensure_labels() {
     (void)fresh;
     NAHSP_REQUIRE(dense.size() <= max_labels, "qubit budget exceeded");
   }
+  n_labels_ = dense.size();
   out_bits_ = bits_for(dense.size());
   if (out_bits_ == 0) out_bits_ = 1;
   NAHSP_REQUIRE(in_bits_ + out_bits_ <= kMaxSimQubits,
@@ -315,6 +298,28 @@ la::AbVec QubitCosetSampler::decode_register(u64 y) const {
 void QubitCosetSampler::ensure_distribution() {
   if (dist_) return;
   ensure_labels();
+  const std::size_t din_sz = std::size_t{1} << in_bits_;
+  // Degenerate label structures, exact in closed form — but ONLY for
+  // the exact QFT ladder: with approx_cutoff > 0 the cached
+  // distribution must stay faithful to the approximate gate-level
+  // circuit, which is neither an exact point mass nor exactly uniform.
+  if (approx_cutoff_ == 0) {
+    if (n_labels_ == 1) {
+      // Constant label: the coset state is uniform over the register,
+      // so the exact QFT collapses to the trivial character.
+      support_.assign(1, 0);
+      dist_ = std::make_unique<AliasTable>(std::vector<double>{1.0});
+      return;
+    }
+    if (n_labels_ == din_sz) {
+      // Injective label: one-point coset states; exactly uniform.
+      support_.resize(din_sz);
+      for (std::size_t y = 0; y < din_sz; ++y) support_[y] = y;
+      dist_ = std::make_unique<AliasTable>(
+          std::vector<double>(din_sz, 1.0 / static_cast<double>(din_sz)));
+      return;
+    }
+  }
   StateVector sv(in_bits_ + out_bits_);
   for (int q = 0; q < in_bits_; ++q) sv.apply_h(q);
   // Table overload: the cached label sweep doubles as the oracle's
@@ -345,6 +350,14 @@ void QubitCosetSampler::ensure_distribution() {
     }
   });
   dist_ = compress_distribution(prob, support_);
+}
+
+std::vector<la::AbVec> QubitCosetSampler::cached_support() const {
+  std::vector<la::AbVec> out;
+  if (!dist_) return out;
+  out.reserve(support_.size());
+  for (const u64 s : support_) out.push_back(decode_register(s));
+  return out;
 }
 
 la::AbVec QubitCosetSampler::sample_character(Rng& rng) {

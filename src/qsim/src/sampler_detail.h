@@ -1,0 +1,79 @@
+// Internals shared by the statevector coset-sampler backends
+// (sampler.cpp, sparse.cpp). Not installed; include only from qsim
+// sources.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "nahsp/common/alias.h"
+#include "nahsp/common/check.h"
+#include "nahsp/common/parallel.h"
+#include "nahsp/linalg/congruence.h"
+
+namespace nahsp::qs::detail {
+
+// Hard cap on simulated state size for the DENSE backends: at most
+// 2^kMaxSimQubits amplitudes (1 GiB of complex doubles).
+constexpr int kMaxSimQubits = 26;
+
+// Cached-distribution entries below this total probability are dropped
+// (numerical noise from the transforms; genuine outcome probabilities on
+// supported domains are orders of magnitude above it).
+constexpr double kSupportEps = 1e-12;
+
+// Parallel grain for the distribution-build sweeps (the shared kernel
+// grain, so the chunk layout is thread-count independent).
+constexpr std::size_t kGrain = kDefaultGrain;
+
+// Product of the moduli, guarded against the dense simulator budget.
+// All arithmetic is in std::size_t; the guard fires before the multiply
+// that would exceed 2^kMaxSimQubits, so no intermediate can overflow.
+inline std::size_t dense_domain_size(const std::vector<u64>& moduli) {
+  std::size_t d = 1;
+  for (const u64 m : moduli) {
+    NAHSP_REQUIRE(m >= 1, "modulus must be >= 1");
+    NAHSP_REQUIRE(d <= (std::size_t{1} << kMaxSimQubits) / m,
+                  "domain exceeds simulator budget");
+    d *= m;
+  }
+  return d;
+}
+
+inline la::AbVec digits_of_index(std::size_t idx,
+                                 const std::vector<u64>& moduli) {
+  la::AbVec digits(moduli.size());
+  for (std::size_t i = moduli.size(); i-- > 0;) {
+    digits[i] = idx % moduli[i];
+    idx /= moduli[i];
+  }
+  return digits;
+}
+
+// Shared tail of every backend's distribution build: clamp rounding
+// noise, check normalisation, compress to the support above kSupportEps,
+// and wrap it in an alias table.
+template <typename Index>
+std::unique_ptr<AliasTable> compress_distribution(
+    std::vector<double>& prob, std::vector<Index>& support) {
+  double total = 0.0;
+  for (double& p : prob) {
+    if (p < 0.0) p = 0.0;  // rounding noise from the transforms
+    total += p;
+  }
+  NAHSP_CHECK(std::abs(total - 1.0) < 1e-6,
+              "cached outcome distribution does not normalise");
+  support.clear();
+  std::vector<double> weights;
+  for (std::size_t y = 0; y < prob.size(); ++y) {
+    if (prob[y] > kSupportEps) {
+      support.push_back(static_cast<Index>(y));
+      weights.push_back(prob[y]);
+    }
+  }
+  return std::make_unique<AliasTable>(weights);
+}
+
+}  // namespace nahsp::qs::detail

@@ -1,0 +1,396 @@
+#include "nahsp/qsim/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "nahsp/common/check.h"
+#include "nahsp/common/parallel.h"
+#include "sampler_detail.h"
+
+namespace nahsp::qs {
+
+namespace {
+
+// Time-bounded domain cap for the sparse engine: the one-time label
+// sweep is O(|A|) evaluations but allocates nothing dense, so the cap
+// is about sweep time, not memory (the dense engines stop at 2^26).
+constexpr int kMaxSparseDomainBits = 30;
+
+// Cap on every sparse container the build materialises: coset-state
+// entries (|H|), label classes (|A|/|H|), and enumerated support
+// points. 2^26 entries keeps the build within the dense engines'
+// memory envelope even in the worst case.
+constexpr std::size_t kMaxSparseEntries = std::size_t{1} << 26;
+
+std::size_t sparse_domain_size(const std::vector<u64>& moduli) {
+  std::size_t d = 1;
+  for (const u64 m : moduli) {
+    NAHSP_REQUIRE(m >= 1, "modulus must be >= 1");
+    NAHSP_REQUIRE(d <= (std::size_t{1} << kMaxSparseDomainBits) / m,
+                  "domain exceeds the sparse sweep budget");
+    d *= m;
+  }
+  return d;
+}
+
+// SplitMix64 finaliser: a full-avalanche mix so consecutive flat
+// indices (the common key pattern) spread across the table.
+std::size_t hash_u64(u64 x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<std::size_t>(x ^ (x >> 31));
+}
+
+std::size_t table_capacity_for(std::size_t expected) {
+  std::size_t cap = 16;
+  // Grow until the expected load stays under ~70%.
+  while (cap * 7 < expected * 10) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// SparseAmpMap
+// ---------------------------------------------------------------------
+
+SparseAmpMap::SparseAmpMap(std::size_t expected) {
+  const std::size_t cap = table_capacity_for(expected);
+  keys_.assign(cap, 0);
+  vals_.assign(cap, 0);
+  used_.assign(cap, 0);
+}
+
+std::size_t SparseAmpMap::slot_of(u64 key) const {
+  const std::size_t mask = keys_.size() - 1;
+  std::size_t s = hash_u64(key) & mask;
+  while (used_[s] && keys_[s] != key) s = (s + 1) & mask;
+  return s;
+}
+
+void SparseAmpMap::grow() {
+  SparseAmpMap bigger(keys_.size() * 2);  // capacity_for doubles past load
+  for (std::size_t s = 0; s < keys_.size(); ++s) {
+    if (used_[s]) bigger.at_or_insert(keys_[s], vals_[s]);
+  }
+  *this = std::move(bigger);
+}
+
+u64& SparseAmpMap::at_or_insert(u64 key, u64 init) {
+  if ((size_ + 1) * 10 > keys_.size() * 7) grow();
+  const std::size_t s = slot_of(key);
+  if (!used_[s]) {
+    used_[s] = 1;
+    keys_[s] = key;
+    vals_[s] = init;
+    ++size_;
+  }
+  return vals_[s];
+}
+
+const u64* SparseAmpMap::find(u64 key) const {
+  const std::size_t s = slot_of(key);
+  return used_[s] ? &vals_[s] : nullptr;
+}
+
+// ---------------------------------------------------------------------
+// SparseState
+// ---------------------------------------------------------------------
+
+SparseState::SparseState(std::vector<u64> moduli, std::size_t expected)
+    : moduli_(std::move(moduli)) {
+  const std::size_t cap = table_capacity_for(expected);
+  keys_.assign(cap, 0);
+  re_.assign(cap, 0.0);
+  im_.assign(cap, 0.0);
+  used_.assign(cap, 0);
+}
+
+std::size_t SparseState::slot_of(u64 key) const {
+  const std::size_t mask = keys_.size() - 1;
+  std::size_t s = hash_u64(key) & mask;
+  while (used_[s] && keys_[s] != key) s = (s + 1) & mask;
+  return s;
+}
+
+void SparseState::grow() {
+  SparseState bigger(moduli_, keys_.size() * 2);
+  for (std::size_t s = 0; s < keys_.size(); ++s) {
+    if (used_[s]) bigger.add(keys_[s], re_[s], im_[s]);
+  }
+  keys_ = std::move(bigger.keys_);
+  re_ = std::move(bigger.re_);
+  im_ = std::move(bigger.im_);
+  used_ = std::move(bigger.used_);
+  size_ = bigger.size_;
+}
+
+void SparseState::add(u64 index, double re, double im) {
+  if ((size_ + 1) * 10 > keys_.size() * 7) grow();
+  const std::size_t s = slot_of(index);
+  if (!used_[s]) {
+    used_[s] = 1;
+    keys_[s] = index;
+    re_[s] = re;
+    im_[s] = im;
+    ++size_;
+  } else {
+    re_[s] += re;
+    im_[s] += im;
+  }
+}
+
+std::complex<double> SparseState::amp(u64 index) const {
+  const std::size_t s = slot_of(index);
+  if (!used_[s]) return {0.0, 0.0};
+  return {re_[s], im_[s]};
+}
+
+double SparseState::norm() const {
+  double n = 0.0;
+  for (std::size_t s = 0; s < keys_.size(); ++s) {
+    if (used_[s]) n += re_[s] * re_[s] + im_[s] * im_[s];
+  }
+  return n;
+}
+
+void SparseState::normalize() {
+  const double n = norm();
+  NAHSP_CHECK(n > 0.0, "cannot normalize the zero sparse state");
+  const double inv = 1.0 / std::sqrt(n);
+  for (std::size_t s = 0; s < keys_.size(); ++s) {
+    if (used_[s]) {
+      re_[s] *= inv;
+      im_[s] *= inv;
+    }
+  }
+}
+
+void SparseState::apply_key_permutation(
+    const std::function<u64(u64)>& perm) {
+  SparseState mapped(moduli_, size_);
+  for (std::size_t s = 0; s < keys_.size(); ++s) {
+    if (!used_[s]) continue;
+    const u64 to = perm(keys_[s]);
+    const std::size_t before = mapped.size_;
+    mapped.add(to, re_[s], im_[s]);
+    NAHSP_REQUIRE(mapped.size_ == before + 1,
+                  "key permutation must be injective on the stored keys");
+  }
+  keys_ = std::move(mapped.keys_);
+  re_ = std::move(mapped.re_);
+  im_ = std::move(mapped.im_);
+  used_ = std::move(mapped.used_);
+  size_ = mapped.size_;
+}
+
+std::vector<std::pair<u64, std::complex<double>>> SparseState::entries()
+    const {
+  std::vector<std::pair<u64, std::complex<double>>> out;
+  out.reserve(size_);
+  for (std::size_t s = 0; s < keys_.size(); ++s) {
+    if (used_[s]) out.emplace_back(keys_[s], std::complex<double>{re_[s], im_[s]});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// SparseCosetSampler
+// ---------------------------------------------------------------------
+
+SparseCosetSampler::SparseCosetSampler(std::vector<u64> moduli, LabelFn f,
+                                       bb::QueryCounter* counter)
+    : CosetSampler(std::move(moduli)), f_(std::move(f)), counter_(counter) {
+  NAHSP_REQUIRE(f_ != nullptr, "null label function");
+  domain_ = sparse_domain_size(moduli_);
+}
+
+// One serial O(|A|) label sweep, then a sparse-support DFT.
+//
+// The sweep collects the label class of the identity while maintaining
+// an incremental generating set for it: a member outside the span of
+// the current generators is absorbed and the span re-enumerated into a
+// hash set (O(1) membership for the rest of the sweep; at most
+// log2 |H| absorptions happen). When f exactly hides a subgroup H the
+// collected class IS H; three structural checks certify this and raise
+// oracle_error otherwise:
+//   1. span == collected class (the class is closed, i.e. a subgroup);
+//   2. every label class has exactly |H| members;
+//   3. #classes * |H| == |A|.
+void SparseCosetSampler::ensure_distribution() {
+  if (built_) return;
+  const std::size_t r = moduli_.size();
+  std::vector<std::size_t> strides(r, 1);
+  for (std::size_t i = r; i-- > 1;) strides[i - 1] = strides[i] * moduli_[i];
+
+  SparseAmpMap class_counts(64);
+  std::vector<u64> h_members;       // ascending flat indices
+  std::vector<la::AbVec> h_basis;   // incremental generating set of H
+  SparseAmpMap h_span(16);          // flat indices of <h_basis>
+  h_span.at_or_insert(0, 1);
+
+  la::AbVec digits(r, 0);
+  u64 lab0 = 0;
+  for (std::size_t i = 0; i < domain_; ++i) {
+    const u64 lab = f_(digits);
+    if (i == 0) lab0 = lab;
+    ++class_counts.at_or_insert(lab, 0);
+    NAHSP_REQUIRE(class_counts.size() <= kMaxSparseEntries,
+                  "sparse label-class budget exceeded");
+    if (lab == lab0) {
+      NAHSP_REQUIRE(h_members.size() < kMaxSparseEntries,
+                    "sparse coset-state budget exceeded");
+      h_members.push_back(i);
+      if (h_span.find(i) == nullptr) {
+        h_basis.push_back(digits);
+        const auto span =
+            la::abelian_enumerate(h_basis, moduli_, kMaxSparseEntries);
+        h_span = SparseAmpMap(span.size());
+        for (const la::AbVec& v : span) {
+          std::size_t flat = 0;
+          for (std::size_t j = 0; j < r; ++j) flat += v[j] * strides[j];
+          h_span.at_or_insert(flat, 1);
+        }
+      }
+    }
+    // Odometer increment (cell r-1 fastest), no divisions per element.
+    for (std::size_t j = r; j-- > 0;) {
+      if (++digits[j] < moduli_[j]) break;
+      digits[j] = 0;
+    }
+  }
+  if (counter_ != nullptr) counter_->sim_basis_evals += domain_;
+
+  h_order_ = h_members.size();
+  NAHSP_ORACLE_CHECK(h_span.size() == h_order_,
+                     "label class of the identity is not a subgroup");
+  NAHSP_ORACLE_CHECK(class_counts.size() * h_order_ == domain_,
+                     "label classes do not partition into |A|/|H| cosets");
+  bool equal_sizes = true;
+  class_counts.for_each([&](u64 /*lab*/, u64 count) {
+    equal_sizes = equal_sizes && (count == h_order_);
+  });
+  NAHSP_ORACLE_CHECK(equal_sizes,
+                     "label classes are not all of size |H|");
+
+  // Degenerate hidden subgroups, handled in closed form.
+  if (h_order_ == domain_) {
+    // |H| = |A|: the coset state is the uniform superposition and the
+    // outcome collapses to the point mass at the trivial character.
+    support_points_.assign(1, la::AbVec(r, 0));
+    std::vector<double> prob{1.0};
+    dist_ = detail::compress_distribution(prob, support_);
+    built_ = true;
+    return;
+  }
+  if (h_order_ == 1) {
+    // |H| = 1: the coset state is a single basis vector, so the outcome
+    // is exactly uniform over the whole character group. Served in
+    // closed form — materialising |A| support points would defeat the
+    // sparse representation.
+    uniform_mode_ = true;
+    built_ = true;
+    return;
+  }
+
+  // The coset superposition, straight from the collected coset
+  // representatives: |H| entries of 1/sqrt(|H|), nothing dense.
+  SparseState coset(moduli_, h_order_);
+  const double a = 1.0 / std::sqrt(static_cast<double>(h_order_));
+  for (const u64 idx : h_members) coset.add(idx, a, 0.0);
+  const auto coset_entries = coset.entries();  // ascending key order
+
+  // Enumerate the support: H^perp has exactly |A|/|H| points.
+  const std::size_t n_support = domain_ / h_order_;
+  NAHSP_REQUIRE(n_support <= kMaxSparseEntries,
+                "sparse support budget exceeded");
+  const auto perp_gens = la::congruence_kernel(h_basis, moduli_);
+  support_points_ =
+      la::abelian_enumerate(perp_gens, moduli_, kMaxSparseEntries);
+  NAHSP_CHECK(support_points_.size() == n_support,
+              "H^perp enumeration does not match |A|/|H|");
+  std::sort(support_points_.begin(), support_points_.end());
+
+  // Sparse-support DFT: evaluate the coset state's character sum at the
+  // support points only. P(y) = |sum_x psi(x) chi_y(x)|^2 / |A|.
+  // Chunk layout depends only on (support size, grain) and each
+  // point's inner sum runs serially in ascending key order, so the
+  // distribution is bit-identical at every thread count. The grain
+  // shrinks with |H| so one chunk stays near the shared kernel grain
+  // in amplitude operations.
+  std::vector<double> prob(n_support, 0.0);
+  const std::size_t grain = std::max<std::size_t>(
+      1, detail::kGrain / std::max<std::size_t>(1, h_order_));
+  const double dd = static_cast<double>(domain_);
+  parallel_for(0, n_support, grain, [&](std::size_t lo, std::size_t hi) {
+    la::AbVec x(r);
+    for (std::size_t s = lo; s < hi; ++s) {
+      const la::AbVec& y = support_points_[s];
+      double sre = 0.0, sim = 0.0;
+      for (const auto& [key, ampl] : coset_entries) {
+        u64 rest = key;
+        double frac = 0.0;
+        for (std::size_t j = r; j-- > 0;) {
+          const u64 xj = rest % moduli_[j];
+          rest /= moduli_[j];
+          frac += static_cast<double>((xj * y[j]) % moduli_[j]) /
+                  static_cast<double>(moduli_[j]);
+        }
+        const double ang = 2.0 * std::numbers::pi * frac;
+        const double c = std::cos(ang), sn = std::sin(ang);
+        sre += ampl.real() * c - ampl.imag() * sn;
+        sim += ampl.real() * sn + ampl.imag() * c;
+      }
+      prob[s] = (sre * sre + sim * sim) / dd;
+    }
+  });
+  dist_ = detail::compress_distribution(prob, support_);
+  built_ = true;
+}
+
+la::AbVec SparseCosetSampler::draw(Rng& rng) {
+  if (uniform_mode_) {
+    la::AbVec y(moduli_.size());
+    for (std::size_t j = 0; j < moduli_.size(); ++j)
+      y[j] = rng.below(moduli_[j]);
+    return y;
+  }
+  return support_points_[support_[dist_->sample(rng)]];
+}
+
+la::AbVec SparseCosetSampler::sample_character(Rng& rng) {
+  if (counter_ != nullptr) ++counter_->quantum_queries;
+  ensure_distribution();
+  return draw(rng);
+}
+
+std::vector<la::AbVec> SparseCosetSampler::sample_characters(
+    Rng& rng, std::size_t k) {
+  std::vector<la::AbVec> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  ensure_distribution();
+  if (counter_ != nullptr) counter_->quantum_queries += k;
+  for (std::size_t i = 0; i < k; ++i) out.push_back(draw(rng));
+  return out;
+}
+
+std::vector<la::AbVec> SparseCosetSampler::cached_support() const {
+  // Empty in uniform mode (the support is all of the character group;
+  // materialising it would defeat the sparse representation).
+  std::vector<la::AbVec> out;
+  out.reserve(support_.size());
+  for (const std::size_t s : support_) out.push_back(support_points_[s]);
+  return out;
+}
+
+std::size_t SparseCosetSampler::support_size() const {
+  if (uniform_mode_) return static_cast<std::size_t>(domain_);
+  return support_.size();
+}
+
+}  // namespace nahsp::qs

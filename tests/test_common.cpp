@@ -178,6 +178,36 @@ TEST(AliasTable, RejectsBadWeights) {
                std::invalid_argument);
 }
 
+TEST(AliasTable, RejectsOverflowingTotal) {
+  // Every weight finite, but the sum overflows to infinity: must be a
+  // clean precondition failure, not NaN-poisoned columns.
+  EXPECT_THROW(AliasTable({1e308, 1e308, 1e308}), std::invalid_argument);
+}
+
+TEST(AliasTable, ZeroPaddedSingleMassIsExact) {
+  // One live column surrounded by zero padding: exact point mass, no
+  // rounding residue on the dead columns.
+  AliasTable t({0.0, 3.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(t.probability(1), 1.0);
+  EXPECT_DOUBLE_EQ(t.probability(0), 0.0);
+  EXPECT_DOUBLE_EQ(t.probability(3), 0.0);
+  Rng rng(37);
+  for (int i = 0; i < 500; ++i) EXPECT_EQ(t.sample(rng), 1u);
+}
+
+TEST(AliasTable, SingleCategoryIsExactAndKeepsTheDrawStream) {
+  // n = 1 takes the exact early path, but sample() must still consume
+  // the same two Rng values as every other draw — downstream replay
+  // sequences depend on the draw-stream width, not the table size.
+  AliasTable t({0.25});
+  EXPECT_DOUBLE_EQ(t.probability(0), 1.0);
+  Rng a(41), b(41);
+  EXPECT_EQ(t.sample(a), 0u);
+  (void)b.below(1);      // the two draws sample() makes
+  (void)b.uniform01();
+  EXPECT_EQ(a(), b());   // streams still aligned afterwards
+}
+
 TEST(Timer, MeasuresNonNegative) {
   Timer t;
   EXPECT_GE(t.seconds(), 0.0);

@@ -3,6 +3,9 @@
 // generators, 1-cells in moduli, boundary encodings).
 #include <gtest/gtest.h>
 
+#include <initializer_list>
+#include <set>
+
 #include "nahsp/bbox/hiding.h"
 #include "nahsp/common/rng.h"
 #include "nahsp/groups/algorithms.h"
@@ -13,6 +16,7 @@
 #include "nahsp/hsp/elem_abelian2.h"
 #include "nahsp/hsp/instance.h"
 #include "nahsp/linalg/congruence.h"
+#include "nahsp/qsim/sparse.h"
 
 namespace nahsp::hsp {
 namespace {
@@ -104,6 +108,85 @@ TEST(EdgeCases, SamplerOnSizeOneDomain) {
   qs::MixedRadixCosetSampler sampler({1}, label, nullptr);
   Rng rng(4);
   EXPECT_EQ(sampler.sample_character(rng), la::AbVec{0});
+}
+
+// ---- Degenerate hidden subgroups, adversarially, on every backend ----
+// |H| = |A| (constant label): the outcome law is the point mass at the
+// trivial character. |H| = 1 (injective label): exactly uniform over
+// the whole character group. Both must hold for scalar AND batched
+// draws — historically the batched cache path diverged first.
+
+TEST(EdgeCases, WholeGroupHiddenIsPointMassOnEveryBackend) {
+  const std::vector<u64> mods{8};
+  qs::LabelFn constant = [](const la::AbVec&) { return u64{42}; };
+  qs::MixedRadixCosetSampler mr(mods, constant, nullptr);
+  qs::QubitCosetSampler qb(mods, constant, nullptr);
+  qs::SparseCosetSampler sp(mods, constant, nullptr);
+  Rng rng(6);
+  for (qs::CosetSampler* s :
+       std::initializer_list<qs::CosetSampler*>{&mr, &qb, &sp}) {
+    EXPECT_EQ(s->sample_character(rng), la::AbVec{0}) << s->backend_name();
+    for (const la::AbVec& y : s->sample_characters(rng, 32)) {
+      EXPECT_EQ(y, la::AbVec{0}) << s->backend_name();
+    }
+    EXPECT_EQ(s->cached_support(), std::vector<la::AbVec>{{0}})
+        << s->backend_name();
+  }
+}
+
+TEST(EdgeCases, TrivialSubgroupIsExactlyUniformOnEveryBackend) {
+  const std::vector<u64> mods{8};
+  qs::LabelFn injective = [](const la::AbVec& x) { return x[0]; };
+  qs::MixedRadixCosetSampler mr(mods, injective, nullptr);
+  qs::QubitCosetSampler qb(mods, injective, nullptr);
+  qs::SparseCosetSampler sp(mods, injective, nullptr);
+  Rng rng(7);
+  for (qs::CosetSampler* s :
+       std::initializer_list<qs::CosetSampler*>{&mr, &qb, &sp}) {
+    std::set<u64> seen;
+    for (const la::AbVec& y : s->sample_characters(rng, 200)) {
+      ASSERT_LT(y[0], 8u) << s->backend_name();
+      seen.insert(y[0]);
+    }
+    // 200 draws from an exactly uniform law over 8 points miss one with
+    // probability < 8 * (7/8)^200 ~ 1e-11.
+    EXPECT_EQ(seen.size(), 8u) << s->backend_name();
+  }
+}
+
+// ---- Qubit-budget boundaries (shift-overflow sweep regression) -------
+// The budget guards must fire as exceptions at the declared boundary,
+// before any multi-GB allocation — and stay exact at 2^26, where a
+// 32-bit `1 << bits` expression would already have overflowed.
+
+TEST(EdgeCases, MixedRadixDomainBoundaryAt2Pow26) {
+  qs::LabelFn label = [](const la::AbVec& x) { return x[0] & 1; };
+  // Construction validates the domain without allocating it.
+  EXPECT_NO_THROW(qs::MixedRadixCosetSampler({u64{1} << 26}, label, nullptr));
+  EXPECT_THROW(qs::MixedRadixCosetSampler({u64{1} << 27}, label, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(qs::MixedRadixCosetSampler({u64{1} << 26, 2}, label, nullptr),
+               std::invalid_argument);
+}
+
+TEST(EdgeCases, QubitRegisterBoundaryAtConstruction) {
+  qs::LabelFn label = [](const la::AbVec& x) { return x[0] & 1; };
+  // in_bits + at least one ancilla qubit must fit kMaxSimQubits = 26.
+  EXPECT_NO_THROW(qs::QubitCosetSampler({u64{1} << 25}, label, nullptr));
+  EXPECT_THROW(qs::QubitCosetSampler({u64{1} << 26}, label, nullptr),
+               std::invalid_argument);
+}
+
+TEST(EdgeCases, QubitLabelBudgetFiresMidSweepNotAfterIt) {
+  // 2^16 inputs with an injective label: 2^16 distinct labels exceed
+  // the 2^(26-16) ancilla budget. The guard fires during the label
+  // sweep (after ~2^10 distinct labels), so the failure costs KBs, not
+  // the full dense map.
+  qs::QubitCosetSampler s({u64{1} << 16}, [](const la::AbVec& x) {
+    return x[0];
+  }, nullptr);
+  Rng rng(8);
+  EXPECT_THROW((void)s.sample_character(rng), std::invalid_argument);
 }
 
 TEST(EdgeCases, AbelianSolverOnSizeOneDomain) {

@@ -31,6 +31,7 @@
 #include "nahsp/hsp/solve.h"
 #include "nahsp/qsim/qft.h"
 #include "nahsp/qsim/sampler.h"
+#include "nahsp/qsim/sparse.h"
 #include "nahsp/qsim/statevector.h"
 #include "test_seeds.h"
 
@@ -103,6 +104,40 @@ TEST(SerialFidelity, QubitBatchedSampler) {
         {64}, [](const AbVec& x) { return x[0] % 8; }, nullptr);
     Rng rng(test_seeds::kParQubitBatched);
     return s.sample_characters(rng, 12);
+  });
+  EXPECT_EQ(serial, expected);
+  EXPECT_EQ(threaded, expected);
+}
+
+// The sparse backend is new in this revision, so its expectations pin
+// the initial implementation rather than a pre-threading path: the
+// values were captured at parallelism 1 and the support-DFT's chunk
+// layout depends only on (support size, grain), so parallelism 4 must
+// reproduce them bit-identically.
+TEST(SerialFidelity, SparseScalarSampler) {
+  const std::vector<AbVec> expected{{8}, {4}, {0}, {8}, {20}, {12}, {4}, {16}};
+  const auto [serial, threaded] = at_widths([] {
+    qs::SparseCosetSampler s(
+        {24}, [](const AbVec& x) { return x[0] % 6; }, nullptr);
+    Rng rng(test_seeds::kParSparseScalar);
+    std::vector<AbVec> out;
+    for (int i = 0; i < 8; ++i) out.push_back(s.sample_character(rng));
+    return out;
+  });
+  EXPECT_EQ(serial, expected);
+  EXPECT_EQ(threaded, expected);
+}
+
+TEST(SerialFidelity, SparseBatchedSampler) {
+  const std::vector<AbVec> expected{
+      {0, 2}, {3, 2}, {3, 2}, {0, 2}, {3, 0}, {0, 0}, {0, 0}, {0, 0},
+      {0, 2}, {3, 2}, {3, 0}, {0, 2}, {3, 0}, {0, 2}, {0, 2}, {3, 2}};
+  const auto [serial, threaded] = at_widths([] {
+    qs::SparseCosetSampler s(
+        {6, 4}, [](const AbVec& x) { return (x[0] % 2) * 4 + (x[1] % 2); },
+        nullptr);
+    Rng rng(test_seeds::kParSparseBatched);
+    return s.sample_characters(rng, 16);
   });
   EXPECT_EQ(serial, expected);
   EXPECT_EQ(threaded, expected);

@@ -8,7 +8,8 @@
 //  - batched draws vs the exact uniform-on-H^perp law, per backend;
 //  - batched vs scalar draws on NON-hiding label functions (where no
 //    closed form exists, the scalar circuit is the reference);
-//  - all three backends against each other on shared instances;
+//  - all four backends against each other on shared instances
+//    (identical cached supports, chi-square-equivalent draws);
 // plus the accounting regression (a batch of k counts exactly k quantum
 // queries on every backend) and the seed-determinism contract.
 //
@@ -16,13 +17,16 @@
 // a flake (scripts/check.sh pins the default).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <initializer_list>
 #include <map>
 #include <string>
 
 #include "nahsp/common/rng.h"
 #include "nahsp/linalg/congruence.h"
 #include "nahsp/qsim/sampler.h"
+#include "nahsp/qsim/sparse.h"
 #include "test_seeds.h"
 
 namespace nahsp::qs {
@@ -154,6 +158,16 @@ TEST_P(BatchedBackends, QubitBatchedUniformOnPerp) {
                                  c.label + "/qubit");
 }
 
+TEST_P(BatchedBackends, SparseBatchedUniformOnPerp) {
+  // The sparse engine has no moduli restriction — every case runs,
+  // including the degenerate Z9_trivial (|H| = 1 uniform mode).
+  const auto& c = GetParam();
+  Rng rng(case_seed(c, 6));
+  SparseCosetSampler s(c.mods, coset_label_fn(c.mods, c.h_gens), nullptr);
+  expect_batched_uniform_on_perp(s, rng, c.mods, c.h_gens, kDraws,
+                                 c.label + "/sparse");
+}
+
 // Batched vs scalar on the SAME backend, same instance: the cached
 // distribution must reproduce the simulated circuit, not just the ideal
 // uniform law (two independent samplers so the scalar one never caches).
@@ -178,18 +192,43 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.label;
     });
 
-// All three backends on one shared power-of-two instance.
-TEST(BatchedBackendEquivalence, ThreeBackendsAgreeOnSharedInstance) {
+// All four backends on one shared power-of-two instance: every one
+// draws chi-square-equivalently from the same uniform-on-H^perp law.
+TEST(BatchedBackendEquivalence, FourBackendsAgreeOnSharedInstance) {
   const std::vector<u64> mods{4, 2};
   const std::vector<la::AbVec> h{{2, 1}};
   Rng r1(test_seeds::stat_seed() + 11), r2(test_seeds::stat_seed() + 12),
-      r3(test_seeds::stat_seed() + 13);
+      r3(test_seeds::stat_seed() + 13), r4(test_seeds::stat_seed() + 14);
   MixedRadixCosetSampler mr(mods, coset_label_fn(mods, h), nullptr);
   QubitCosetSampler qb(mods, coset_label_fn(mods, h), nullptr);
   AnalyticCosetSampler an(mods, h, nullptr);
+  SparseCosetSampler sp(mods, coset_label_fn(mods, h), nullptr);
   expect_batched_uniform_on_perp(mr, r1, mods, h, kDraws, "shared/mixed");
   expect_batched_uniform_on_perp(qb, r2, mods, h, kDraws, "shared/qubit");
   expect_batched_uniform_on_perp(an, r3, mods, h, kDraws, "shared/analytic");
+  expect_batched_uniform_on_perp(sp, r4, mods, h, kDraws, "shared/sparse");
+}
+
+// The statevector backends must agree not just in law but in cached
+// support: after a batch, each exposes exactly H^perp (compared as
+// sorted sets — the backends' canonical orders differ).
+TEST(BatchedBackendEquivalence, CachedSupportsMatchAcrossBackends) {
+  const std::vector<u64> mods{4, 2, 2};
+  const std::vector<la::AbVec> h{{2, 1, 0}, {0, 0, 1}};
+  auto perp = la::abelian_enumerate(la::congruence_kernel(h, mods), mods);
+  std::sort(perp.begin(), perp.end());
+
+  MixedRadixCosetSampler mr(mods, coset_label_fn(mods, h), nullptr);
+  QubitCosetSampler qb(mods, coset_label_fn(mods, h), nullptr);
+  SparseCosetSampler sp(mods, coset_label_fn(mods, h), nullptr);
+  Rng rng(test_seeds::stat_seed() + 15);
+  for (CosetSampler* s :
+       std::initializer_list<CosetSampler*>{&mr, &qb, &sp}) {
+    (void)s->sample_characters(rng, 64);  // force the cache
+    auto support = s->cached_support();
+    std::sort(support.begin(), support.end());
+    EXPECT_EQ(support, perp) << s->backend_name();
+  }
 }
 
 // Non-hiding label functions: no closed-form law exists, so the scalar
@@ -283,6 +322,19 @@ TEST(BatchedQueryAccounting, QubitCountsKPerBatch) {
   EXPECT_EQ(counter.sim_basis_evals, 8u);
 }
 
+TEST(BatchedQueryAccounting, SparseCountsKPerBatch) {
+  bb::QueryCounter counter;
+  const std::vector<u64> mods{12};
+  SparseCosetSampler s(mods, coset_label_fn(mods, {{3}}), &counter);
+  Rng rng(test_seeds::stat_seed() + 46);
+  (void)s.sample_characters(rng, 17);
+  EXPECT_EQ(counter.quantum_queries, 17u);
+  EXPECT_EQ(counter.sim_basis_evals, 12u);  // one serial label sweep
+  (void)s.sample_characters(rng, 5);
+  EXPECT_EQ(counter.quantum_queries, 22u);
+  EXPECT_EQ(counter.sim_basis_evals, 12u);  // no re-sweep
+}
+
 TEST(BatchedQueryAccounting, AnalyticCountsKPerBatch) {
   bb::QueryCounter counter;
   AnalyticCosetSampler s({8}, {{4}}, &counter);
@@ -349,6 +401,17 @@ TEST(BatchedSeedDeterminism, AnalyticReplaysExactly) {
   AnalyticCosetSampler b({8}, {{2}}, nullptr);
   Rng ra(test_seeds::stat_seed() + 53), rb(test_seeds::stat_seed() + 53);
   EXPECT_EQ(a.sample_characters(ra, 20), b.sample_characters(rb, 20));
+}
+
+TEST(BatchedSeedDeterminism, SparseReplaysExactly) {
+  const std::vector<u64> mods{6, 4};
+  const std::vector<la::AbVec> h{{2, 0}, {0, 2}};
+  SparseCosetSampler a(mods, coset_label_fn(mods, h), nullptr);
+  SparseCosetSampler b(mods, coset_label_fn(mods, h), nullptr);
+  Rng ra(test_seeds::stat_seed() + 54), rb(test_seeds::stat_seed() + 54);
+  EXPECT_EQ(a.sample_characters(ra, 12), b.sample_characters(rb, 12));
+  EXPECT_EQ(a.sample_character(ra), b.sample_character(rb));
+  EXPECT_EQ(a.sample_characters(ra, 5), b.sample_characters(rb, 5));
 }
 
 }  // namespace

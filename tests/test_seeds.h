@@ -24,6 +24,10 @@ inline constexpr std::uint64_t kFuzzFactorOrderCosetLabel = 101;
 // backend-equivalence suite (ctest label `stat`).
 inline constexpr std::uint64_t kStatDefault = 20260730;
 
+// test_sparse.cpp — base seed for the sparse-engine unit tests (each
+// test offsets it so draw streams stay independent).
+inline constexpr std::uint64_t kSparseUnit = 0x5a125e01;
+
 // test_parallel_determinism.cpp — pinned seeds of the serial-reference
 // scenarios. The expected outputs hardcoded in that test were captured
 // from the pre-threading serial code path under exactly these seeds; a
@@ -35,6 +39,11 @@ inline constexpr std::uint64_t kParQubitScalar = 13;
 inline constexpr std::uint64_t kParQubitBatched = 14;
 inline constexpr std::uint64_t kParStateVector = 15;
 inline constexpr std::uint64_t kParSolve = 16;
+// Sparse-engine fidelity seeds (the sparse backend is PR 6; its
+// expected outputs were captured from the initial implementation at
+// parallelism 1 and lock the n=1 == n=k contract from here on).
+inline constexpr std::uint64_t kParSparseScalar = 17;
+inline constexpr std::uint64_t kParSparseBatched = 18;
 // Base seed for the solve_hsp_batch thread-count-invariance checks
 // (each instance receives SplitRng(kParBatchBase).stream(i)).
 inline constexpr std::uint64_t kParBatchBase = 0x5eed0001;

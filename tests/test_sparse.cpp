@@ -1,0 +1,338 @@
+// Sparse coset-support engine: container semantics (SparseAmpMap /
+// SparseState), the SparseCosetSampler build (support, degenerate
+// hidden subgroups, structural hiding verification, budgets, query
+// accounting), and the make_coset_sampler factory that routes the
+// hsp-layer solvers onto a backend.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <complex>
+#include <set>
+
+#include "nahsp/common/check.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/hsp/abelian.h"
+#include "nahsp/linalg/congruence.h"
+#include "nahsp/qsim/sampler.h"
+#include "nahsp/qsim/sparse.h"
+#include "test_seeds.h"
+
+namespace nahsp::qs {
+namespace {
+
+using la::AbVec;
+
+// ---- SparseAmpMap ----------------------------------------------------
+
+TEST(SparseAmpMap, InsertFindAndGrowth) {
+  SparseAmpMap m;  // starts at the minimum capacity; must grow below
+  for (u64 k = 0; k < 1000; ++k) m.at_or_insert(k * 7919, k) = k;
+  EXPECT_EQ(m.size(), 1000u);
+  for (u64 k = 0; k < 1000; ++k) {
+    const u64* v = m.find(k * 7919);
+    ASSERT_NE(v, nullptr) << k;
+    EXPECT_EQ(*v, k);
+  }
+  EXPECT_EQ(m.find(1), nullptr);
+}
+
+TEST(SparseAmpMap, AtOrInsertKeepsExistingValue) {
+  SparseAmpMap m;
+  m.at_or_insert(42, 5);
+  EXPECT_EQ(m.at_or_insert(42, 99), 5u);  // init ignored when present
+  ++m.at_or_insert(42, 0);
+  EXPECT_EQ(*m.find(42), 6u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(SparseAmpMap, ForEachVisitsEveryPairOnce) {
+  SparseAmpMap m;
+  for (u64 k = 10; k < 20; ++k) m.at_or_insert(k, k * k);
+  std::set<u64> seen;
+  m.for_each([&](u64 key, u64 val) {
+    EXPECT_EQ(val, key * key);
+    EXPECT_TRUE(seen.insert(key).second) << "key visited twice";
+  });
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+// ---- SparseState -----------------------------------------------------
+
+TEST(SparseState, AddAccumulatesAndMissingIsZero) {
+  SparseState st({4, 4});
+  st.add(3, 0.5, 0.25);
+  st.add(3, 0.5, -0.25);
+  EXPECT_EQ(st.nnz(), 1u);
+  EXPECT_EQ(st.amp(3), (std::complex<double>{1.0, 0.0}));
+  EXPECT_EQ(st.amp(7), (std::complex<double>{0.0, 0.0}));
+}
+
+TEST(SparseState, NormAndNormalize) {
+  SparseState st({8});
+  st.add(1, 3.0, 0.0);
+  st.add(5, 0.0, 4.0);
+  EXPECT_DOUBLE_EQ(st.norm(), 25.0);
+  st.normalize();
+  EXPECT_NEAR(st.norm(), 1.0, 1e-12);
+  EXPECT_NEAR(st.amp(1).real(), 0.6, 1e-12);
+  EXPECT_NEAR(st.amp(5).imag(), 0.8, 1e-12);
+}
+
+TEST(SparseState, NormalizeZeroStateIsAnInvariantFailure) {
+  SparseState st({8});
+  EXPECT_THROW(st.normalize(), internal_error);
+}
+
+TEST(SparseState, EntriesAreSortedByKey) {
+  SparseState st({64});
+  for (const u64 k : {47u, 3u, 29u, 11u}) {
+    st.add(k, static_cast<double>(k), 0.0);
+  }
+  const auto e = st.entries();
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(e.begin(), e.end(), [](auto& a, auto& b) {
+    return a.first < b.first;
+  }));
+  EXPECT_EQ(e.front().first, 3u);
+  EXPECT_EQ(e.back().first, 47u);
+}
+
+TEST(SparseState, GrowthPreservesAmplitudes) {
+  SparseState st({1u << 16});
+  for (u64 k = 0; k < 500; ++k) st.add(k * 131, 1.0, -1.0);
+  EXPECT_EQ(st.nnz(), 500u);
+  for (u64 k = 0; k < 500; ++k) {
+    EXPECT_EQ(st.amp(k * 131), (std::complex<double>{1.0, -1.0})) << k;
+  }
+}
+
+TEST(SparseState, KeyPermutationRelabelsAndKeepsAmplitudes) {
+  SparseState st({16});
+  st.add(2, 0.5, 0.0);
+  st.add(9, 0.0, 0.5);
+  st.apply_key_permutation([](u64 k) { return (k + 3) % 16; });
+  EXPECT_EQ(st.nnz(), 2u);
+  EXPECT_EQ(st.amp(5), (std::complex<double>{0.5, 0.0}));
+  EXPECT_EQ(st.amp(12), (std::complex<double>{0.0, 0.5}));
+  EXPECT_EQ(st.amp(2), (std::complex<double>{0.0, 0.0}));
+}
+
+TEST(SparseState, KeyPermutationRejectsCollision) {
+  SparseState st({16});
+  st.add(1, 0.5, 0.0);
+  st.add(2, 0.5, 0.0);
+  EXPECT_THROW(st.apply_key_permutation([](u64) { return u64{7}; }),
+               std::invalid_argument);
+}
+
+// ---- SparseCosetSampler ----------------------------------------------
+
+// f(x) = x mod q hides <q> in Z_n (q | n): the canonical hiding family.
+LabelFn mod_label(u64 q) {
+  return [q](const AbVec& x) { return x[0] % q; };
+}
+
+TEST(SparseSampler, SamplesLandOnPerpAndCacheReportsShape) {
+  // Z_24, H = <6> (order 4), H^perp = <4> (6 points).
+  SparseCosetSampler s({24}, mod_label(6), nullptr);
+  EXPECT_EQ(s.backend_name(), "sparse");
+  EXPECT_FALSE(s.distribution_cached());
+  Rng rng(test_seeds::kSparseUnit);
+  for (int i = 0; i < 50; ++i) {
+    const AbVec y = s.sample_character(rng);
+    EXPECT_EQ(y[0] % 4, 0u) << "outside H^perp";
+  }
+  EXPECT_TRUE(s.distribution_cached());
+  EXPECT_EQ(s.subgroup_order(), 4u);
+  EXPECT_EQ(s.support_size(), 6u);
+  const auto support = s.cached_support();
+  ASSERT_EQ(support.size(), 6u);
+  EXPECT_TRUE(std::is_sorted(support.begin(), support.end()));
+}
+
+TEST(SparseSampler, MultiCellSupportMatchesCongruenceKernel) {
+  const std::vector<u64> mods{6, 4};
+  const std::vector<AbVec> h{{2, 0}, {0, 2}};  // order 6 in Z6 x Z4
+  LabelFn f = [](const AbVec& x) { return (x[0] % 2) * 4 + (x[1] % 2); };
+  SparseCosetSampler s(mods, f, nullptr);
+  Rng rng(test_seeds::kSparseUnit + 1);
+  (void)s.sample_characters(rng, 32);
+  EXPECT_EQ(s.subgroup_order(), 6u);
+  auto expected =
+      la::abelian_enumerate(la::congruence_kernel(h, mods), mods);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(s.cached_support(), expected);
+}
+
+TEST(SparseSampler, WholeGroupHiddenIsAPointMassAtZero) {
+  // |H| = |A|: constant label. Every outcome is the trivial character.
+  SparseCosetSampler s({6, 4}, [](const AbVec&) { return u64{7}; }, nullptr);
+  Rng rng(test_seeds::kSparseUnit + 2);
+  for (const AbVec& y : s.sample_characters(rng, 40)) {
+    EXPECT_EQ(y, (AbVec{0, 0}));
+  }
+  EXPECT_EQ(s.subgroup_order(), 24u);
+  EXPECT_EQ(s.support_size(), 1u);
+  EXPECT_EQ(s.cached_support(), (std::vector<AbVec>{{0, 0}}));
+}
+
+TEST(SparseSampler, TrivialSubgroupServesClosedFormUniform) {
+  // |H| = 1: injective label. Closed-form uniform draws, no table.
+  const std::vector<u64> mods{5, 3};
+  LabelFn f = [](const AbVec& x) { return x[0] * 3 + x[1]; };
+  SparseCosetSampler s(mods, f, nullptr);
+  Rng rng(test_seeds::kSparseUnit + 3);
+  std::set<AbVec> seen;
+  for (const AbVec& y : s.sample_characters(rng, 300)) {
+    ASSERT_EQ(y.size(), 2u);
+    EXPECT_LT(y[0], 5u);
+    EXPECT_LT(y[1], 3u);
+    seen.insert(y);
+  }
+  EXPECT_EQ(seen.size(), 15u);  // 300 draws cover all 15 characters whp
+  EXPECT_EQ(s.subgroup_order(), 1u);
+  EXPECT_EQ(s.support_size(), 15u);      // reported, not materialised
+  EXPECT_TRUE(s.cached_support().empty());  // documented uniform-mode gap
+  EXPECT_TRUE(s.distribution_cached());
+}
+
+TEST(SparseSampler, NonSubgroupIdentityClassRaisesOracleError) {
+  // Class of 0 under x mod 3 on Z_8 is {0, 3, 6}; <3> = Z_8, not a
+  // subgroup of size 3 — the structural hiding check must fire.
+  SparseCosetSampler s({8}, mod_label(3), nullptr);
+  Rng rng(test_seeds::kSparseUnit + 4);
+  EXPECT_THROW((void)s.sample_character(rng), oracle_error);
+}
+
+TEST(SparseSampler, UnequalClassSizesRaiseOracleError) {
+  // Class of 0 is {0} (a subgroup), but the other class has 7 members.
+  SparseCosetSampler s({8}, [](const AbVec& x) { return x[0] == 0 ? 0u : 1u; },
+                       nullptr);
+  Rng rng(test_seeds::kSparseUnit + 5);
+  EXPECT_THROW((void)s.sample_character(rng), oracle_error);
+}
+
+TEST(SparseSampler, DomainBudgetIsTimeBoundedAt2Pow30) {
+  // 2^30 exactly fits; one factor of 2 more is rejected at construction.
+  EXPECT_NO_THROW(SparseCosetSampler({u64{1} << 30}, mod_label(2), nullptr));
+  EXPECT_THROW(SparseCosetSampler({2, u64{1} << 30}, mod_label(2), nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(SparseCosetSampler({u64{1} << 31}, mod_label(2), nullptr),
+               std::invalid_argument);
+}
+
+TEST(SparseSampler, CountsQueriesLikeTheDenseBackends) {
+  bb::QueryCounter counter;
+  SparseCosetSampler s({24}, mod_label(6), &counter);
+  Rng rng(test_seeds::kSparseUnit + 6);
+  (void)s.sample_characters(rng, 17);
+  EXPECT_EQ(counter.quantum_queries, 17u);
+  EXPECT_EQ(counter.sim_basis_evals, 24u);  // one label sweep
+  (void)s.sample_characters(rng, 5);
+  (void)s.sample_character(rng);
+  EXPECT_EQ(counter.quantum_queries, 23u);
+  EXPECT_EQ(counter.sim_basis_evals, 24u);  // never re-swept
+  EXPECT_TRUE(s.sample_characters(rng, 0).empty());
+  EXPECT_EQ(counter.quantum_queries, 23u);
+}
+
+TEST(SparseSampler, ReplaysExactlyFromASeed) {
+  SparseCosetSampler a({24}, mod_label(6), nullptr);
+  SparseCosetSampler b({24}, mod_label(6), nullptr);
+  Rng ra(test_seeds::kSparseUnit + 7), rb(test_seeds::kSparseUnit + 7);
+  EXPECT_EQ(a.sample_characters(ra, 12), b.sample_characters(rb, 12));
+  EXPECT_EQ(a.sample_character(ra), b.sample_character(rb));
+}
+
+// ---- make_coset_sampler factory --------------------------------------
+
+TEST(SamplerFactory, ParseAndNameRoundTrip) {
+  for (const auto b :
+       {SamplerBackend::kAuto, SamplerBackend::kMixedRadix,
+        SamplerBackend::kQubit, SamplerBackend::kSparse,
+        SamplerBackend::kAnalytic}) {
+    const auto parsed = parse_sampler_backend(sampler_backend_name(b));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(parse_sampler_backend("dense").has_value());
+  EXPECT_FALSE(parse_sampler_backend("").has_value());
+}
+
+TEST(SamplerFactory, ExplicitChoicesConstructTheNamedBackend) {
+  const std::vector<u64> mods{8};
+  SamplerChoice c;
+  c.backend = SamplerBackend::kMixedRadix;
+  EXPECT_EQ(make_coset_sampler(c, mods, mod_label(4), nullptr)->backend_name(),
+            "mixed-radix");
+  c.backend = SamplerBackend::kQubit;
+  EXPECT_EQ(make_coset_sampler(c, mods, mod_label(4), nullptr)->backend_name(),
+            "qubit-circuit");
+  c.backend = SamplerBackend::kSparse;
+  EXPECT_EQ(make_coset_sampler(c, mods, mod_label(4), nullptr)->backend_name(),
+            "sparse");
+}
+
+TEST(SamplerFactory, AutoPrefersDenseOnSmallDomains) {
+  EXPECT_EQ(make_coset_sampler({}, {24}, mod_label(6), nullptr)->backend_name(),
+            "mixed-radix");
+}
+
+TEST(SamplerFactory, AutoRoutesLargeSubgroupHintsToSparse) {
+  SamplerChoice c;
+  c.subgroup_order_hint = 64;
+  EXPECT_EQ(
+      make_coset_sampler(c, {256}, mod_label(4), nullptr)->backend_name(),
+      "sparse");
+}
+
+TEST(SamplerFactory, AutoIsSparsePastTheDenseBudget) {
+  // 2^28 exceeds the dense 2^26 amplitude budget but fits the sparse
+  // sweep budget; construction must succeed without a dense allocation.
+  const auto s =
+      make_coset_sampler({}, {u64{1} << 28}, mod_label(2), nullptr);
+  EXPECT_EQ(s->backend_name(), "sparse");
+}
+
+TEST(SamplerFactory, AnalyticIsRejected) {
+  SamplerChoice c;
+  c.backend = SamplerBackend::kAnalytic;
+  EXPECT_THROW((void)make_coset_sampler(c, {8}, mod_label(4), nullptr),
+               std::invalid_argument);
+}
+
+// ---- The acceptance boundary the sparse engine exists for ------------
+
+TEST(SparseSampler, SolvesWhereTheQubitBackendRejects) {
+  // Z_2^16 with |H| = 2 (H = <(1,...,1)>): the coset label function has
+  // 2^15 distinct values, so the qubit backend needs 16 input + 16
+  // label qubits — past kMaxSimQubits = 26, rejected at the first draw.
+  // The sparse engine holds |H| + |A|/|H| entries and solves it.
+  const std::vector<u64> mods(16, 2);
+  const auto flat = [](const AbVec& x) {
+    u64 idx = 0;
+    for (const u64 xi : x) idx = idx * 2 + xi;
+    return idx;
+  };
+  LabelFn coset_id = [flat](const AbVec& x) {
+    AbVec comp(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) comp[i] = 1 - x[i];
+    return std::min(flat(x), flat(comp));
+  };
+
+  QubitCosetSampler dense(mods, coset_id, nullptr);
+  Rng rq(test_seeds::kSparseUnit + 8);
+  EXPECT_THROW((void)dense.sample_character(rq), std::invalid_argument);
+
+  SparseCosetSampler sparse(mods, coset_id, nullptr);
+  Rng rs(test_seeds::kSparseUnit + 9);
+  const auto res = hsp::solve_abelian_hsp(sparse, rs);
+  EXPECT_EQ(res.subgroup_order, 2u);
+  EXPECT_TRUE(la::abelian_subgroup_equal(res.generators, {AbVec(16, 1)},
+                                         mods));
+  EXPECT_EQ(sparse.subgroup_order(), 2u);
+  EXPECT_EQ(sparse.support_size(), 32768u);
+}
+
+}  // namespace
+}  // namespace nahsp::qs
