@@ -26,6 +26,9 @@ echo "== CLI smoke: selftest + golden solve reports + doc links =="
 ./scripts/cli_smoke.sh build
 python3 scripts/check_links.py
 
+echo "== serve smoke: daemon protocol, cache replay, golden parity, drain =="
+python3 scripts/serve_smoke.py build
+
 echo "== perf_guard exit-code contract (scripts/test_perf_guard.py) =="
 python3 scripts/test_perf_guard.py
 

@@ -41,6 +41,19 @@ QUERIES_SCHEMA = {
 VOLATILE = {"seconds"}
 
 
+def _reject_nonfinite(token):
+    # json.loads() accepts the non-standard NaN/Infinity/-Infinity
+    # tokens by default. A report containing them is not valid JSON and
+    # means the writer emitted a non-finite double — fail loudly.
+    raise ValueError(f"non-finite JSON token {token!r} is not allowed "
+                     "in a report")
+
+
+def load_report(path):
+    with open(path) as f:
+        return json.load(f, parse_constant=_reject_nonfinite)
+
+
 def check_schema(report, path):
     errors = []
     for key, types in SOLVE_SCHEMA.items():
@@ -84,10 +97,12 @@ def main():
     if len(sys.argv) != 3:
         sys.exit(__doc__)
     golden_path, actual_path = sys.argv[1], sys.argv[2]
-    with open(golden_path) as f:
-        golden = json.load(f)
-    with open(actual_path) as f:
-        actual = json.load(f)
+    try:
+        golden = load_report(golden_path)
+        actual = load_report(actual_path)
+    except ValueError as e:
+        print(f"invalid report JSON: {e}")
+        sys.exit(1)
 
     errors = check_schema(golden, golden_path) + check_schema(
         actual, actual_path)

@@ -1,0 +1,211 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for the `nahsp serve` daemon.
+
+Usage: serve_smoke.py [build-dir]        (default: build)
+
+Starts the daemon on a throwaway Unix socket and drives it like a
+misbehaving multi-tenant client population:
+
+  1. a concurrent burst of good, malformed, and repeated requests
+     (every line must get exactly one structured response, never a
+     crash or a dropped connection),
+  2. a pinned-seed dihedral solve whose `report` payload is diffed
+     against the CLI golden (tests/golden/solve_dihedral.json) through
+     scripts/diff_report.py — the daemon and `nahsp solve --json` must
+     produce the same report,
+  3. a repeat of that request, which must replay from the cross-request
+     cache (`cached: true`, nonzero hit rate in `stats`),
+  4. SIGTERM, which must drain and exit 0.
+"""
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+GOLDEN = os.path.join(REPO, "tests", "golden", "solve_dihedral.json")
+DIFF = os.path.join(REPO, "scripts", "diff_report.py")
+
+
+def fail(msg):
+    print(f"serve smoke FAILED: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def request(sock_path, line, timeout=120):
+    """One request, one response line, over a fresh connection."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(timeout)
+        s.connect(sock_path)
+        s.sendall(line.encode() + b"\n")
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = s.recv(1 << 16)
+            if not chunk:
+                break
+            buf += chunk
+    if not buf:
+        fail(f"no response for request: {line!r}")
+    return buf.decode()
+
+
+def wait_for_socket(sock_path, proc, deadline=30.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        if proc.poll() is not None:
+            fail(f"server exited early with code {proc.returncode}")
+        try:
+            with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+                s.connect(sock_path)
+            return
+        except OSError:
+            time.sleep(0.05)
+    fail("server socket never came up")
+
+
+def check_envelope(line, context):
+    try:
+        v = json.loads(line)
+    except ValueError as e:
+        fail(f"{context}: unparseable response {line!r}: {e}")
+    if v.get("schema") != "nahsp-serve/v1":
+        fail(f"{context}: bad envelope schema in {line!r}")
+    if v.get("type") not in ("result", "error", "stats", "pong", "shutdown"):
+        fail(f"{context}: unknown envelope type in {line!r}")
+    return v
+
+
+def main():
+    build_dir = sys.argv[1] if len(sys.argv) > 1 else "build"
+    nahsp = os.path.join(REPO, build_dir, "src", "cli", "nahsp")
+    if not os.access(nahsp, os.X_OK):
+        fail(f"{nahsp} not built (configure with -DNAHSP_BUILD_CLI=ON)")
+
+    tmp = tempfile.mkdtemp(prefix="nahsp-serve-smoke-")
+    sock_path = os.path.join(tmp, "smoke.sock")
+    proc = subprocess.Popen(
+        [nahsp, "serve", "--socket", sock_path,
+         "--workers", "2", "--queue", "32", "--cache", "32"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        run_checks(sock_path, proc)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def run_checks(sock_path, proc):
+    wait_for_socket(sock_path, proc)
+
+    # --- concurrent burst: good + malformed + repeated requests -------
+    requests = [
+        '{"cmd": "solve", "id": 0, "spec": "dihedral seed=1"}',
+        '{"cmd": "solve", "id": 1, "spec": "dihedral seed=1"}',   # repeat
+        '{"cmd": "solve", "id": 2, "spec": "quaternion seed=1"}',
+        '{"cmd": "solve", "id": 3, "spec": "heisenberg seed=1"}',
+        'this is not json',
+        '{"cmd": "frobnicate", "id": 5}',
+        '{"cmd": "solve", "id": 6, "spec": "nosuchfamily n=3"}',
+        '{"cmd": "ping", "id": 7}',
+        '{"cmd": "solve", "id": 8, "spec": "dihedral seed=1"}',   # repeat
+        '{"cmd": "solve", "id": 9, "spec": "dihedral threads=4"}',
+    ]
+    responses = [None] * len(requests)
+
+    def client(i):
+        responses[i] = request(sock_path, requests[i])
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(len(requests))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    by_id = {}
+    for i, line in enumerate(responses):
+        if line is None:
+            fail(f"request {i} got no response")
+        v = check_envelope(line, f"request {i}")
+        if v.get("id") is not None:
+            by_id[v["id"]] = v
+
+    for rid in (0, 1, 2, 3, 8):
+        v = by_id.get(rid)
+        if v is None or v["type"] != "result" or not v["ok"]:
+            fail(f"solve id={rid} did not succeed: {by_id.get(rid)}")
+        if not v["report"]["verified"]:
+            fail(f"solve id={rid} report is not verified")
+    if by_id[5]["type"] != "error" or by_id[5]["error"]["code"] != "bad_request":
+        fail(f"unknown cmd not rejected as bad_request: {by_id[5]}")
+    if by_id[6]["error"]["code"] != "spec_error":
+        fail(f"unknown family not rejected as spec_error: {by_id[6]}")
+    if by_id[7]["type"] != "pong":
+        fail(f"ping not answered with pong: {by_id[7]}")
+    if by_id[9]["error"]["code"] != "spec_error":
+        fail(f"threads= spec key not rejected: {by_id[9]}")
+    bad_json = [json.loads(r) for r in responses
+                if json.loads(r).get("id") is None]
+    if not any(v.get("error", {}).get("code") == "bad_json"
+               for v in bad_json):
+        fail("malformed JSON line did not produce a bad_json error")
+
+    # --- golden parity: the daemon's report == the CLI's report -------
+    # A sequential repeat after the burst is guaranteed to be a cache
+    # hit; its report replays the original run verbatim.
+    line = request(sock_path, '{"cmd": "solve", "id": 100, '
+                              '"spec": "dihedral seed=1"}')
+    v = check_envelope(line, "golden request")
+    if v["type"] != "result":
+        fail(f"golden request failed: {line!r}")
+    if not v.get("cached"):
+        fail("sequential repeat of a solved spec was not a cache hit")
+    actual = os.path.join(os.path.dirname(sock_path), "served_report.json")
+    with open(actual, "w") as f:
+        json.dump(v["report"], f, indent=2)
+    diff = subprocess.run(
+        [sys.executable, DIFF, GOLDEN, actual], cwd=REPO,
+        capture_output=True, text=True)
+    sys.stdout.write(diff.stdout)
+    if diff.returncode != 0:
+        fail(f"served report diverges from {GOLDEN}:\n{diff.stdout}"
+             f"{diff.stderr}")
+
+    # --- stats: the cache must have observed hits ---------------------
+    v = check_envelope(request(sock_path, '{"cmd": "stats"}'), "stats")
+    stats = v["stats"]
+    cache = stats["cache"]
+    if cache["hits"] < 1 or cache["hit_rate"] <= 0.0:
+        fail(f"expected a nonzero cache hit rate, got {cache}")
+    if stats["jobs_completed"] < 5:
+        fail(f"expected >=5 completed jobs, got {stats}")
+    if stats["jobs_rejected"] < 2:
+        fail(f"expected >=2 rejected jobs, got {stats}")
+    print(f"serve smoke: {stats['jobs_completed']} completed, "
+          f"{stats['jobs_failed']} failed, {stats['jobs_rejected']} "
+          f"rejected, cache hit rate {cache['hit_rate']:.2f}")
+
+    # --- SIGTERM: drain and exit 0 ------------------------------------
+    proc.send_signal(signal.SIGTERM)
+    try:
+        out, _ = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail("server did not exit within 60s of SIGTERM")
+    if proc.returncode != 0:
+        fail(f"server exited {proc.returncode} after SIGTERM:\n{out}")
+    if "drained" not in out:
+        fail(f"server did not report a drained exit:\n{out}")
+    if os.path.exists(sock_path):
+        fail("server left its socket behind")
+    print("serve smoke passed")
+
+
+if __name__ == "__main__":
+    main()

@@ -7,6 +7,7 @@
 //   nahsp solve <scenario> [key=value ...] [--json]
 //   nahsp batch <file.scn> [key=value ...] [--json]
 //   nahsp selftest [key=value ...] [--json]
+//   nahsp serve [--socket PATH | --port N] [--workers N ...]
 //
 // Reserved spec keys consumed by the driver itself (everything else
 // goes to the scenario registry): `seed` (default 1) pins the solver
@@ -20,6 +21,7 @@
 #include <cstdio>
 #include <exception>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -28,10 +30,21 @@
 #include "nahsp/common/timer.h"
 #include "nahsp/hsp/instance.h"
 #include "nahsp/hsp/scenario.h"
+#include "nahsp/serve/outcome.h"
+#include "nahsp/serve/server.h"
 #include "report.h"
 
 namespace nahsp::cli {
 namespace {
+
+// The outcome model and report writer are shared with the daemon
+// (nahsp::serve) so CLI reports and serve responses stay
+// byte-identical.
+using serve::SolveOutcome;
+using serve::run_scenario;
+using serve::write_codes;
+using serve::write_queries;
+using serve::write_solve_report;
 
 constexpr std::uint64_t kDefaultSeed = 1;
 
@@ -44,27 +57,18 @@ commands:
   solve <scenario> [k=v..]  build + solve one scenario, verify the result
   batch <file.scn> [k=v..]  fan a spec file through solve_hsp_batch
   selftest [k=v..]          solve every family at defaults, verify each
+  serve [options]           long-running solver daemon (JSON lines over a
+                            socket; see docs/MANUAL.md, "The serve daemon")
+
+serve options: --socket PATH (default /tmp/nahsp.sock) | --port N (TCP
+  127.0.0.1, 0 = ephemeral), --workers N, --queue N, --cache N,
+  --timeout-ms N (0 = unlimited), --seed N (stream base seed)
 
 reserved keys: seed=<u64> (default 1), threads=<n> (0 = global pool),
                backend=<auto|mixed-radix|qubit|sparse> (coset sampler)
 every other key=value is a scenario parameter (see `nahsp describe`).
 exit codes: 0 solved+verified, 1 solve/verify failure, 2 usage error
 )";
-
-void write_queries(JsonWriter& w, const bb::QueryCounter& q) {
-  w.begin_object();
-  w.field("group_ops", q.group_ops);
-  w.field("classical_queries", q.classical_queries);
-  w.field("quantum_queries", q.quantum_queries);
-  w.field("sim_basis_evals", q.sim_basis_evals);
-  w.end_object();
-}
-
-void write_codes(JsonWriter& w, const std::vector<grp::Code>& codes) {
-  w.begin_array();
-  for (const grp::Code c : codes) w.value(static_cast<std::uint64_t>(c));
-  w.end_array();
-}
 
 std::string codes_to_text(const std::vector<grp::Code>& codes) {
   std::string out = "[";
@@ -97,70 +101,6 @@ ReservedOptions parse_reserved_options(const std::vector<std::string>& tokens,
   opts.threads = cli.get_u64("threads", 0, 0, 256);
   cli.require_all_consumed(context, {"seed", "threads"});
   return opts;
-}
-
-// One solved scenario, ready for reporting.
-struct SolveOutcome {
-  hsp::BuiltScenario scenario;
-  bool success = false;
-  bool verified = false;
-  std::string method;
-  std::string error;
-  std::vector<grp::Code> generators;
-  bb::QueryCounter queries;
-  double seconds = 0.0;
-};
-
-SolveOutcome run_scenario(hsp::BuiltScenario&& built, Rng& rng) {
-  SolveOutcome out;
-  out.scenario = std::move(built);
-  const Timer t;
-  try {
-    const hsp::HspSolution sol = hsp::solve_hsp(
-        *out.scenario.instance.bb, *out.scenario.instance.f, rng,
-        out.scenario.options);
-    out.success = true;
-    out.method = hsp::method_name(sol.method);
-    out.generators = sol.generators;
-    out.verified = hsp::verify_same_subgroup(
-        *out.scenario.instance.group, sol.generators,
-        out.scenario.instance.planted_generators);
-  } catch (const std::exception& e) {
-    out.error = e.what();
-  }
-  out.seconds = t.seconds();
-  out.queries = *out.scenario.instance.counter;
-  return out;
-}
-
-void write_solve_report(JsonWriter& w, const SolveOutcome& out,
-                        std::uint64_t seed, std::uint64_t threads) {
-  w.begin_object();
-  w.field("schema", "nahsp-report/v1");
-  w.field("command", "solve");
-  w.field("scenario", out.scenario.family);
-  w.field("group", out.scenario.group_name);
-  w.field("group_order", out.scenario.group_order);
-  w.key("params");
-  w.begin_object();
-  for (const auto& [key, value] : out.scenario.params) w.field(key, value);
-  w.end_object();
-  w.field("seed", seed);
-  w.field("threads", threads);
-  w.field("backend",
-          qs::sampler_backend_name(out.scenario.options.sampler.backend));
-  w.field("success", out.success);
-  w.field("method", out.method);
-  w.field("error", out.error);
-  w.key("generators");
-  write_codes(w, out.generators);
-  w.key("planted");
-  write_codes(w, out.scenario.instance.planted_generators);
-  w.field("verified", out.verified);
-  w.key("queries");
-  write_queries(w, out.queries);
-  w.field("seconds", out.seconds);
-  w.end_object();
 }
 
 void print_solve_text(const SolveOutcome& out, std::uint64_t seed) {
@@ -489,6 +429,67 @@ int cmd_selftest(const std::vector<std::string>& tokens, bool json) {
   return all_ok ? 0 : 1;
 }
 
+// ------------------------------------------------------------------ serve
+
+int cmd_serve(const std::vector<std::string>& args) {
+  serve::ServerConfig cfg;
+  cfg.socket_path = "/tmp/nahsp.sock";
+  const auto next_value = [&](std::size_t& i,
+                              const std::string& flag) -> const std::string& {
+    if (i + 1 >= args.size())
+      throw std::invalid_argument("serve: " + flag + " needs a value");
+    return args[++i];
+  };
+  const auto next_u64 = [&](std::size_t& i, const std::string& flag,
+                            std::uint64_t max) {
+    const std::string& text = next_value(i, flag);
+    std::uint64_t v = 0;
+    try {
+      v = parse_spec_u64(text);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("serve: " + flag + ": " + e.what());
+    }
+    if (v > max)
+      throw std::invalid_argument("serve: " + flag + " must be <= " +
+                                  std::to_string(max));
+    return v;
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--socket") {
+      cfg.socket_path = next_value(i, arg);
+      cfg.tcp_port = -1;
+    } else if (arg == "--port") {
+      cfg.tcp_port = static_cast<int>(next_u64(i, arg, 65535));
+    } else if (arg == "--workers") {
+      cfg.service.workers =
+          static_cast<int>(next_u64(i, arg, 256));
+      if (cfg.service.workers < 1)
+        throw std::invalid_argument("serve: --workers must be >= 1");
+    } else if (arg == "--queue") {
+      cfg.service.queue_limit =
+          static_cast<std::size_t>(next_u64(i, arg, 1u << 20));
+      if (cfg.service.queue_limit < 1)
+        throw std::invalid_argument("serve: --queue must be >= 1");
+    } else if (arg == "--cache") {
+      cfg.service.cache_capacity =
+          static_cast<std::size_t>(next_u64(i, arg, 1u << 20));
+    } else if (arg == "--timeout-ms") {
+      cfg.service.default_timeout_ms =
+          next_u64(i, arg, std::uint64_t{1} << 40);
+    } else if (arg == "--seed") {
+      cfg.service.base_seed =
+          next_u64(i, arg, std::numeric_limits<std::uint64_t>::max());
+    } else {
+      throw std::invalid_argument(
+          "serve: unknown option '" + arg +
+          "' (accepted: --socket, --port, --workers, --queue, --cache, "
+          "--timeout-ms, --seed)");
+    }
+  }
+  return serve::run_server(cfg);
+}
+
 }  // namespace
 }  // namespace nahsp::cli
 
@@ -540,6 +541,7 @@ int main(int argc, char** argv) {
                        {rest.begin() + 1, rest.end()}, json);
     }
     if (command == "selftest") return cmd_selftest(rest, json);
+    if (command == "serve") return cmd_serve(rest);
     std::fprintf(stderr, "nahsp: unknown command '%s'\n\n%s",
                  command.c_str(), kUsage);
     return 2;

@@ -1,5 +1,6 @@
 #include "report.h"
 
+#include <cmath>
 #include <cstdio>
 #include <stdexcept>
 
@@ -30,6 +31,7 @@ std::string json_escape(std::string_view s) {
 }
 
 void JsonWriter::indent(std::size_t depth) {
+  if (style_ == Style::kCompact) return;
   for (std::size_t i = 0; i < depth; ++i) os_ << "  ";
 }
 
@@ -40,8 +42,12 @@ void JsonWriter::prefix() {
   }
   if (stack_.empty()) return;
   Level& top = stack_.back();
-  os_ << (top.count > 0 ? ",\n" : "\n");
-  indent(stack_.size());
+  if (style_ == Style::kCompact) {
+    if (top.count > 0) os_ << ",";
+  } else {
+    os_ << (top.count > 0 ? ",\n" : "\n");
+    indent(stack_.size());
+  }
   ++top.count;
 }
 
@@ -56,7 +62,7 @@ void JsonWriter::end_object() {
     throw std::logic_error("JsonWriter: unbalanced end_object");
   const std::size_t count = stack_.back().count;
   stack_.pop_back();
-  if (count > 0) {
+  if (count > 0 && style_ != Style::kCompact) {
     os_ << "\n";
     indent(stack_.size());
   }
@@ -74,7 +80,7 @@ void JsonWriter::end_array() {
     throw std::logic_error("JsonWriter: unbalanced end_array");
   const std::size_t count = stack_.back().count;
   stack_.pop_back();
-  if (count > 0) {
+  if (count > 0 && style_ != Style::kCompact) {
     os_ << "\n";
     indent(stack_.size());
   }
@@ -85,7 +91,8 @@ void JsonWriter::key(std::string_view k) {
   if (stack_.empty() || stack_.back().is_array)
     throw std::logic_error("JsonWriter: key outside an object");
   prefix();
-  os_ << '"' << json_escape(k) << "\": ";
+  os_ << '"' << json_escape(k)
+      << (style_ == Style::kCompact ? "\":" : "\": ");
   pending_key_ = true;
 }
 
@@ -106,6 +113,12 @@ void JsonWriter::value(bool v) {
 
 void JsonWriter::value(double v) {
   prefix();
+  // JSON has no NaN/Infinity literals; "%.9g" would print `nan`/`inf`
+  // and yield an unparseable document. Emit null for non-finite values.
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return;
+  }
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.9g", v);
   os_ << buf;

@@ -1,10 +1,12 @@
 // Minimal streaming JSON writer for the `nahsp` driver's machine-
-// readable reports.
+// readable reports and the `nahsp serve` wire protocol.
 //
 // Keys are emitted in call order and the formatting (2-space indent,
 // "\n" line ends, %.9g doubles) is fixed, so two runs that compute the
 // same report produce byte-identical output — the property the CI
-// golden-report diff relies on. No external JSON dependency.
+// golden-report diff relies on. Style::kCompact drops all whitespace
+// for single-line output (the newline-delimited serve protocol); the
+// token stream is otherwise identical. No external JSON dependency.
 #pragma once
 
 #include <cstdint>
@@ -20,7 +22,12 @@ namespace nahsp::cli {
 /// unbalanced end) is a programming error and asserted via exceptions.
 class JsonWriter {
  public:
-  explicit JsonWriter(std::ostream& os) : os_(os) {}
+  /// \brief Output style: kPretty (2-space indent, one field per line)
+  /// or kCompact (no whitespace — single-line wire output).
+  enum class Style { kPretty, kCompact };
+
+  explicit JsonWriter(std::ostream& os, Style style = Style::kPretty)
+      : os_(os), style_(style) {}
 
   void begin_object();
   void end_object();
@@ -35,7 +42,9 @@ class JsonWriter {
   void value(std::uint64_t v);
   void value(bool v);
   /// \brief Doubles print as %.9g (shortest stable round-trip for the
-  /// report's wall-clock fields).
+  /// report's wall-clock fields). Non-finite values (NaN, ±inf) have no
+  /// JSON representation and are emitted as `null` — "%.9g" would print
+  /// `nan`/`inf` and corrupt the document.
   void value(double v);
 
   /// \brief key + value in one call.
@@ -45,7 +54,8 @@ class JsonWriter {
     value(v);
   }
 
-  /// \brief Terminates the document with a trailing newline.
+  /// \brief Terminates the document with a trailing newline (both
+  /// styles: the serve protocol is newline-delimited).
   void finish();
 
  private:
@@ -57,6 +67,7 @@ class JsonWriter {
     std::size_t count = 0;
   };
   std::ostream& os_;
+  Style style_;
   std::vector<Level> stack_;
   bool pending_key_ = false;
 };

@@ -1,0 +1,155 @@
+// Cooperative cancellation and deadlines for long-running solves.
+//
+// A CancelToken is shared between an owner (the `nahsp serve` daemon, a
+// batch driver, any caller that may want to abandon a solve) and the
+// solver running on another thread. The owner calls cancel() — or sets
+// a deadline up front — and the solver polls cancel_checkpoint() at its
+// round-loop boundaries, which throws OperationCancelled once the token
+// has fired. Cancellation is cooperative: a checkpoint is consulted
+// between solver rounds (coset-sampling top-ups, order-finding rounds,
+// Las Vegas attempts), never mid-kernel, so the latency of a cancel is
+// bounded by the longest single round, not by the whole solve.
+//
+// Plumbing is by scope, not by argument: solve_hsp installs the token
+// from AutoOptions::cancel into a thread-local slot (ScopedCancelToken)
+// for the duration of the call, and the subroutine round loops poll the
+// slot via cancel_checkpoint(). The slot is thread-local, so parallel
+// batch instances each see exactly their own token (an instance runs
+// wholly on one pool worker; its nested kernels run inline on the same
+// thread under the pool's nested-region guard).
+//
+// Thread-safety: cancel() may be called from any thread at any time
+// (first reason wins); set_deadline() must happen before the token is
+// shared with the solver.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+
+namespace nahsp {
+
+/// \brief Thrown by cancel_checkpoint() / CancelToken::check() once the
+/// token has fired. Derives from std::runtime_error, so the batch
+/// driver records it per item like any other solver failure.
+class OperationCancelled : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// \brief One-shot cancellation flag with an optional deadline.
+class CancelToken {
+ public:
+  /// Why the token fired; the first cause wins and is stable afterwards.
+  enum class Reason : int {
+    kNone = 0,      ///< not fired
+    kCancelled = 1, ///< explicit cancel() by the owner
+    kDeadline = 2,  ///< deadline passed
+    kShutdown = 3,  ///< owner is shutting down
+  };
+
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// \brief Fires the token (idempotent; the first reason wins). Safe
+  /// from any thread.
+  void cancel(Reason r = Reason::kCancelled) const {
+    int expected = 0;
+    reason_.compare_exchange_strong(expected, static_cast<int>(r),
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_acquire);
+  }
+
+  /// \brief Arms a wall-clock deadline; checkpoints past it fire the
+  /// token with Reason::kDeadline. Call before sharing the token.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// \brief Arms a deadline `timeout_ms` milliseconds from now
+  /// (convenience for per-request timeouts).
+  void set_timeout_ms(std::uint64_t timeout_ms) {
+    set_deadline(std::chrono::steady_clock::now() +
+                 std::chrono::milliseconds(timeout_ms));
+  }
+
+  /// \brief True once the token has fired (explicitly or via a
+  /// checkpoint that observed the deadline). Does not consult the
+  /// clock — only check() promotes an expired deadline into a firing.
+  bool cancelled() const {
+    return reason_.load(std::memory_order_acquire) != 0;
+  }
+
+  Reason reason() const {
+    return static_cast<Reason>(reason_.load(std::memory_order_acquire));
+  }
+
+  /// \brief Stable one-word cause ("cancelled", "deadline exceeded",
+  /// "server shutdown"); "none" before the token fires.
+  const char* reason_text() const {
+    switch (reason()) {
+      case Reason::kNone: return "none";
+      case Reason::kCancelled: return "cancelled";
+      case Reason::kDeadline: return "deadline exceeded";
+      case Reason::kShutdown: return "server shutdown";
+    }
+    return "none";
+  }
+
+  /// \brief Checkpoint: promotes an expired deadline into a firing,
+  /// then throws OperationCancelled if the token has fired.
+  void check() const {
+    if (!cancelled() && has_deadline_ &&
+        std::chrono::steady_clock::now() > deadline_) {
+      cancel(Reason::kDeadline);
+    }
+    if (cancelled()) {
+      throw OperationCancelled(std::string("cancelled: ") + reason_text());
+    }
+  }
+
+ private:
+  // mutable: cancel() is const so a shared_ptr<const CancelToken> held
+  // by options structs can still be fired by checkpoints.
+  mutable std::atomic<int> reason_{0};
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+};
+
+namespace detail {
+inline thread_local const CancelToken* t_cancel_token = nullptr;
+}  // namespace detail
+
+/// \brief Token currently installed on this thread (nullptr when none).
+inline const CancelToken* current_cancel_token() {
+  return detail::t_cancel_token;
+}
+
+/// \brief RAII installation of a token into the thread-local slot
+/// polled by cancel_checkpoint(). A nullptr token is a no-op install
+/// (the previous token, if any, stays active).
+class ScopedCancelToken {
+ public:
+  explicit ScopedCancelToken(const CancelToken* token)
+      : prev_(detail::t_cancel_token) {
+    if (token != nullptr) detail::t_cancel_token = token;
+  }
+  ~ScopedCancelToken() { detail::t_cancel_token = prev_; }
+  ScopedCancelToken(const ScopedCancelToken&) = delete;
+  ScopedCancelToken& operator=(const ScopedCancelToken&) = delete;
+
+ private:
+  const CancelToken* prev_;
+};
+
+/// \brief Polls the installed token; throws OperationCancelled once it
+/// has fired (or its deadline has passed). No-op when no token is
+/// installed — solver round loops call this unconditionally.
+inline void cancel_checkpoint() {
+  if (const CancelToken* t = detail::t_cancel_token) t->check();
+}
+
+}  // namespace nahsp

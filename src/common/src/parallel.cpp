@@ -1,8 +1,12 @@
 #include "nahsp/common/parallel.h"
 
 #include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string_view>
 
 #include "nahsp/common/check.h"
 
@@ -126,14 +130,39 @@ void ThreadPool::dispatch(
 
 namespace {
 
-int default_parallelism() {
-  if (const char* env = std::getenv("NAHSP_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && v >= 1 && v <= 256) return static_cast<int>(v);
-  }
+int hardware_parallelism() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw >= 1 ? static_cast<int>(std::min(hw, 256u)) : 1;
+}
+
+int default_parallelism() {
+  const char* env = std::getenv("NAHSP_THREADS");
+  if (env == nullptr) return hardware_parallelism();
+  // Strict parse: digits only (no sign, no whitespace, no trailing
+  // junk — "4x" must not silently run with 4 threads), value in
+  // [1, 256] like set_parallelism. Anything else warns once on stderr
+  // and falls back to the hardware default instead of being ignored.
+  const std::string_view s(env);
+  bool digits_only = !s.empty();
+  for (const char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) digits_only = false;
+  }
+  long v = 0;
+  if (digits_only) {
+    char* end = nullptr;
+    errno = 0;
+    v = std::strtol(env, &end, 10);
+    if (errno == ERANGE) v = 0;  // out of long's range -> invalid
+  }
+  if (!digits_only || v < 1 || v > 256) {
+    const int fallback = hardware_parallelism();
+    std::fprintf(stderr,
+                 "nahsp: warning: ignoring NAHSP_THREADS=\"%s\" (expected "
+                 "an integer in [1, 256]); using %d\n",
+                 env, fallback);
+    return fallback;
+  }
+  return static_cast<int>(v);
 }
 
 std::unique_ptr<ThreadPool>& global_pool_slot() {

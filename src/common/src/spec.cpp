@@ -69,9 +69,11 @@ std::uint64_t SpecMap::get_u64(std::string_view key, std::uint64_t def,
     e->consumed = true;
     try {
       value = parse_spec_u64(e->value);
-    } catch (const std::invalid_argument&) {
-      spec_fail("key '" + std::string(key) + "': '" + e->value +
-                "' is not an unsigned integer (decimal or 0x-hex)");
+    } catch (const std::invalid_argument& cause) {
+      // Keep parse_spec_u64's specific cause (sign, whitespace,
+      // overflow, trailing junk) — the generic "not an unsigned
+      // integer" hid what was actually wrong with the literal.
+      spec_fail("key '" + std::string(key) + "': " + cause.what());
     }
   }
   if (value < min || value > max) {
@@ -120,7 +122,29 @@ std::vector<std::pair<std::string, std::string>> SpecMap::entries() const {
   return out;
 }
 
+namespace {
+
+[[noreturn]] void u64_fail(std::string_view text, std::string_view why) {
+  throw std::invalid_argument("not an unsigned integer: '" +
+                              std::string(text) + "' (" + std::string(why) +
+                              ")");
+}
+
+}  // namespace
+
 std::uint64_t parse_spec_u64(std::string_view text) {
+  // Each rejection names its cause: callers surface these messages
+  // verbatim (CLI diagnostics, serve error responses), and "value out
+  // of range" reads very differently from "stray space in value".
+  if (text.empty()) u64_fail(text, "empty");
+  for (const char c : text) {
+    if (std::isspace(static_cast<unsigned char>(c)))
+      u64_fail(text, "contains whitespace");
+  }
+  // from_chars already rejects '+' and (for unsigned) '-', but the
+  // generic message would blame the "digits"; call out the sign.
+  if (text[0] == '+' || text[0] == '-')
+    u64_fail(text, "sign characters are not accepted");
   int base = 10;
   std::string_view digits = text;
   if (digits.size() > 2 && digits[0] == '0' &&
@@ -131,9 +155,13 @@ std::uint64_t parse_spec_u64(std::string_view text) {
   std::uint64_t value = 0;
   const auto* end = digits.data() + digits.size();
   const auto [ptr, ec] = std::from_chars(digits.data(), end, value, base);
-  if (ec != std::errc{} || ptr != end || digits.empty())
-    throw std::invalid_argument("not an unsigned integer: '" +
-                                std::string(text) + "'");
+  if (ec == std::errc::result_out_of_range)
+    u64_fail(text, "overflows the 64-bit unsigned range");
+  if (ec != std::errc{})
+    u64_fail(text, base == 16 ? "expected hex digits after 0x"
+                              : "expected decimal digits");
+  // A partial parse ("12x", "0x12g") must not silently truncate.
+  if (ptr != end) u64_fail(text, "trailing characters after the digits");
   return value;
 }
 

@@ -12,10 +12,12 @@
 //      surfaces as oracle_error / retry_exhausted, never a wrong answer).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "nahsp/bbox/hiding.h"
+#include "nahsp/common/cancel.h"
 #include "nahsp/hsp/elem_abelian2.h"
 #include "nahsp/hsp/normal.h"
 #include "nahsp/hsp/small_commutator.h"
@@ -46,6 +48,13 @@ struct AutoOptions {
   qs::SamplerChoice sampler;
   /// Forwarded to the Theorem 13 options when route 1 is taken.
   ElemAbelian2Options elem_abelian_2_options;
+  /// Optional cancellation/timeout hook: solve_hsp installs the token
+  /// for the duration of the call and every solver round loop polls it
+  /// (cancel.h). Firing it makes the solve throw OperationCancelled at
+  /// the next round boundary; arming a deadline on the token gives the
+  /// solve a wall-clock budget. The `nahsp serve` daemon uses this for
+  /// per-request timeouts and shutdown drains.
+  std::shared_ptr<const CancelToken> cancel;
 };
 
 /// \brief Generators of the hidden subgroup plus the route that found
@@ -81,6 +90,13 @@ struct BatchOptions {
   /// of (instances, options, base_seed) only — independent of thread
   /// count and scheduling order.
   std::uint64_t base_seed = 0x5eed0001ULL;
+  /// When non-empty (size must match the instance count), instance i
+  /// runs on a copy of per_instance_rng[i] and base_seed is ignored.
+  /// This lets a caller that manages its own streams — the `nahsp
+  /// serve` daemon derives one SplitRng stream per admitted request —
+  /// keep every instance's randomness independent of how instances
+  /// happen to be grouped into batches.
+  std::vector<Rng> per_instance_rng;
   /// Instance-level fan-out width; 0 = the global pool
   /// (NAHSP_THREADS / set_parallelism). When a dedicated width is
   /// given, a private pool of that size is used for the fan-out.
@@ -100,6 +116,12 @@ struct BatchItemReport {
   HspSolution solution{};
   /// Exception text iff !success.
   std::string error;
+  /// Failure classification iff !success: "oracle_error",
+  /// "retry_exhausted", "cancelled", "invalid_argument",
+  /// "internal_error", or "exception" (anything else). Empty on
+  /// success. Lets multi-tenant callers map failures to structured
+  /// error codes without parsing `error` text.
+  std::string error_kind;
   /// Snapshot of the instance's query counters after its run.
   bb::QueryCounter queries{};
   /// Wall-clock seconds this instance's solve took.

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "nahsp/common/bits.h"
+#include "nahsp/common/cancel.h"
 #include "nahsp/common/check.h"
 #include "nahsp/groups/algorithms.h"
 #include "nahsp/hsp/abelian.h"
@@ -170,6 +171,7 @@ ElemAbelian2Result solve_hsp_elem_abelian2(
   std::vector<Code> collected = h_cap_n_gens;
   std::vector<u64> dims(m + 1, 2);
   for (const Code z : v_reps) {
+    cancel_checkpoint();
     qs::LabelFn label = [&](const la::AbVec& digits) {
       Code x = product_of_n(g, n_gens, digits, 1);
       if (digits[0] != 0) x = g.mul(x, z);

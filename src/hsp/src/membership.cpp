@@ -1,5 +1,6 @@
 #include "nahsp/hsp/membership.h"
 
+#include "nahsp/common/cancel.h"
 #include "nahsp/common/check.h"
 #include "nahsp/hsp/abelian.h"
 #include "nahsp/hsp/order.h"
@@ -92,6 +93,7 @@ MembershipResult constructive_membership(
                                               domain_label,
                                               &g_oracle.counter());
   for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
+    cancel_checkpoint();
     const AbelianHspResult kernel =
         solve_abelian_hsp(*sampler, rng, hsp_opts);
 

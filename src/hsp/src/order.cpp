@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "nahsp/common/bits.h"
+#include "nahsp/common/cancel.h"
 #include "nahsp/groups/algorithms.h"
 #include "nahsp/common/check.h"
 #include "nahsp/hsp/abelian.h"
@@ -63,6 +64,7 @@ u64 find_order_shor(const std::function<u64(u64)>& power_label,
   bool grow = false;  // chunks 1, 1, 2, 4, 4, ...: most instances finish
                       // within two rounds, so growth starts one batch late
   while (rounds_done < opts.max_rounds) {
+    cancel_checkpoint();
     const std::size_t k = std::min<std::size_t>(
         chunk, static_cast<std::size_t>(opts.max_rounds - rounds_done));
     for (const la::AbVec& yv : sampler->sample_characters(rng, k)) {

@@ -3,6 +3,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "nahsp/common/cancel.h"
 #include "nahsp/common/check.h"
 #include "nahsp/hsp/abelian.h"
 #include "nahsp/hsp/order.h"
@@ -83,6 +84,7 @@ std::vector<Code> abelian_factor_relators(
   const auto sampler = qs::make_coset_sampler(opts.sampler, orders,
                                               domain_label, &g.counter());
   for (int attempt = 0; attempt < opts.max_attempts; ++attempt) {
+    cancel_checkpoint();
     const AbelianHspResult kernel =
         solve_abelian_hsp(*sampler, rng, hsp_opts);
 

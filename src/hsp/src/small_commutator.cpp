@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "nahsp/common/cancel.h"
 #include "nahsp/common/check.h"
 #include "nahsp/groups/algorithms.h"
 
@@ -71,6 +72,7 @@ SmallCommutatorResult solve_hsp_small_commutator(
   // 4. For each generator x of HG', pick an element of xG' ∩ H.
   std::vector<Code> collected = h_cap_gprime;
   for (const Code x : hgp.generators) {
+    cancel_checkpoint();
     bool found = false;
     for (const Code c : gprime) {
       const Code cand = g.mul(x, c);

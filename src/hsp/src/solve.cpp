@@ -24,6 +24,11 @@ const char* method_name(Method m) {
 HspSolution solve_hsp(const bb::BlackBoxGroup& g,
                       const bb::HidingFunction& f, Rng& rng,
                       const AutoOptions& opts) {
+  // Install the caller's cancel/timeout token for the whole solve; the
+  // subroutine round loops poll it via cancel_checkpoint().
+  const ScopedCancelToken cancel_scope(opts.cancel.get());
+  cancel_checkpoint();
+
   // Route 1: Theorem 13 when N = Z_2^k is known.
   if (opts.elem_abelian_2_subgroup.has_value()) {
     ElemAbelian2Options ea = opts.elem_abelian_2_options;
@@ -51,6 +56,8 @@ HspSolution solve_hsp(const bb::BlackBoxGroup& g,
     return {res.generators, Method::kSmallCommutator};
   }
 
+  cancel_checkpoint();
+
   // Route 3: assume normal (Theorem 8) — verified, so a violated
   // assumption cannot produce a wrong answer.
   NormalHspOptions no;
@@ -66,6 +73,10 @@ BatchReport solve_hsp_batch(const std::vector<bb::HspInstance>& instances,
       opts.per_instance.empty() ||
           opts.per_instance.size() == instances.size(),
       "per_instance options must be empty or match the instance count");
+  NAHSP_REQUIRE(
+      opts.per_instance_rng.empty() ||
+          opts.per_instance_rng.size() == instances.size(),
+      "per_instance_rng must be empty or match the instance count");
   const Timer batch_timer;
   BatchReport report;
   report.items.resize(instances.size());
@@ -73,12 +84,18 @@ BatchReport solve_hsp_batch(const std::vector<bb::HspInstance>& instances,
 
   // Streams are derived up front, in index order, so instance i's
   // randomness is a pure function of (base_seed, i) no matter which
-  // worker runs it or when.
-  SplitRng streams(opts.base_seed);
+  // worker runs it or when. A caller managing its own streams can
+  // override per instance (per_instance_rng), which keeps request-level
+  // determinism independent of batch composition.
   std::vector<Rng> rngs;
-  rngs.reserve(instances.size());
-  for (std::size_t i = 0; i < instances.size(); ++i)
-    rngs.push_back(streams.stream(i));
+  if (!opts.per_instance_rng.empty()) {
+    rngs = opts.per_instance_rng;
+  } else {
+    SplitRng streams(opts.base_seed);
+    rngs.reserve(instances.size());
+    for (std::size_t i = 0; i < instances.size(); ++i)
+      rngs.push_back(streams.stream(i));
+  }
 
   const auto run_range = [&](std::size_t lo, std::size_t hi) {
     // Kernels must run serially inside batch tasks at EVERY width —
@@ -99,12 +116,29 @@ BatchReport solve_hsp_batch(const std::vector<bb::HspInstance>& instances,
                       "batch instance missing black box or hiding function");
         item.solution = solve_hsp(*inst.bb, *inst.f, rngs[i], auto_opts);
         item.success = true;
+      } catch (const oracle_error& e) {
+        item.error = e.what();
+        item.error_kind = "oracle_error";
+      } catch (const retry_exhausted& e) {
+        item.error = e.what();
+        item.error_kind = "retry_exhausted";
+      } catch (const OperationCancelled& e) {
+        item.error = e.what();
+        item.error_kind = "cancelled";
+      } catch (const std::invalid_argument& e) {
+        item.error = e.what();
+        item.error_kind = "invalid_argument";
+      } catch (const internal_error& e) {
+        item.error = e.what();
+        item.error_kind = "internal_error";
       } catch (const std::exception& e) {
         item.error = e.what();
+        item.error_kind = "exception";
       } catch (...) {
         // User oracles can throw anything; per-item isolation must
         // hold even for non-std exceptions.
         item.error = "non-standard exception from solver or oracle";
+        item.error_kind = "exception";
       }
       item.seconds = t.seconds();
       if (inst.counter != nullptr) item.queries = *inst.counter;

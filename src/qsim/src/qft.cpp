@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <numbers>
 #include <string>
@@ -22,13 +23,14 @@ QftEngine initial_engine() {
   if (std::string_view(e) == "gates") {
     return QftEngine::kGates;
   }
-  // A typo here would silently benchmark the wrong engine; fail loudly
-  // like the CLI's strict unknown-key diagnostics.
-  NAHSP_REQUIRE(false,
-                std::string("NAHSP_QFT_ENGINE must be \"fused\" or "
-                            "\"gates\", got \"") +
-                    e + "\"");
-  return QftEngine::kFused;  // unreachable
+  // A typo must not abort the process from a static initializer (this
+  // runs before main in any binary that touches the QFT); warn once on
+  // stderr and run the default engine instead.
+  std::fprintf(stderr,
+               "nahsp: warning: ignoring NAHSP_QFT_ENGINE=\"%s\" (expected "
+               "\"fused\" or \"gates\"); using \"fused\"\n",
+               e);
+  return QftEngine::kFused;
 }
 
 QftEngine& engine_ref() {

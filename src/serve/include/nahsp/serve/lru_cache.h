@@ -1,0 +1,78 @@
+// Bounded least-recently-used cache used by the `nahsp serve` daemon to
+// answer repeated instances without re-running the solver.
+//
+// Classic list + hash-index layout: the list holds (key, value) pairs
+// in recency order (front = most recent), the map points each key at
+// its list node, so get/put are O(1) with one splice per touch. The
+// cache also keeps the hit/miss/eviction counters the daemon's `stats`
+// endpoint reports — they belong here because a cache whose
+// effectiveness can't be observed can't be sized.
+//
+// Not thread-safe by itself; the service serializes access under its
+// own mutex (one lock for cache + stats keeps the counters coherent
+// with the entries they describe).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+namespace nahsp::serve {
+
+/// \brief O(1) LRU map with observability counters. Capacity 0 disables
+/// the cache entirely (every get misses, put is a no-op) — the daemon's
+/// `--cache 0` switch.
+template <typename Key, typename Value>
+class LruCache {
+ public:
+  explicit LruCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// \brief Looks `key` up; a hit promotes the entry to most-recent and
+  /// returns a pointer valid until the next put(). Counts hit or miss.
+  const Value* get(const Key& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    items_.splice(items_.begin(), items_, it->second);
+    ++hits_;
+    return &it->second->second;
+  }
+
+  /// \brief Inserts or replaces `key`, making it most-recent; evicts
+  /// the least-recent entry when over capacity.
+  void put(const Key& key, Value value) {
+    if (capacity_ == 0) return;
+    if (const auto it = index_.find(key); it != index_.end()) {
+      it->second->second = std::move(value);
+      items_.splice(items_.begin(), items_, it->second);
+      return;
+    }
+    items_.emplace_front(key, std::move(value));
+    index_.emplace(key, items_.begin());
+    if (items_.size() > capacity_) {
+      index_.erase(items_.back().first);
+      items_.pop_back();
+      ++evictions_;
+    }
+  }
+
+  std::size_t size() const { return items_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  std::size_t capacity_;
+  std::list<std::pair<Key, Value>> items_;
+  std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator>
+      index_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace nahsp::serve

@@ -1,0 +1,63 @@
+// The solve-outcome model shared by the `nahsp` CLI and the `nahsp
+// serve` daemon.
+//
+// Both front ends run the same pipeline — build_scenario, solve_hsp,
+// verify against the planted truth, report — and their JSON reports
+// must be byte-identical for the same (scenario, seed): the CI golden
+// diff and the serve smoke test both compare a daemon response's
+// `report` object against the goldens produced by `nahsp solve --json`.
+// Centralising SolveOutcome and write_solve_report here is what makes
+// that guarantee structural instead of a copy-paste discipline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nahsp/hsp/scenario.h"
+#include "report.h"
+
+namespace nahsp::serve {
+
+/// \brief One solved scenario, ready for reporting: the built scenario
+/// plus everything the solve produced.
+struct SolveOutcome {
+  hsp::BuiltScenario scenario;
+  bool success = false;
+  bool verified = false;
+  std::string method;
+  std::string error;
+  /// Failure classification (solve_hsp_batch taxonomy: "oracle_error",
+  /// "retry_exhausted", "cancelled", ...); empty on success and on the
+  /// CLI's direct-solve path, which has no use for it.
+  std::string error_kind;
+  std::vector<grp::Code> generators;
+  bb::QueryCounter queries;
+  double seconds = 0.0;
+};
+
+/// \brief Runs the solver on a built scenario and verifies the result
+/// against the planted subgroup. Failures are captured in the outcome,
+/// never thrown. (The CLI's solve/selftest path.)
+SolveOutcome run_scenario(hsp::BuiltScenario&& built, Rng& rng);
+
+/// \brief Assembles an outcome from one solve_hsp_batch item — the
+/// daemon's path, where the batch driver already ran and classified the
+/// solve. Verification against the planted subgroup happens here.
+SolveOutcome outcome_from_batch_item(hsp::BuiltScenario&& built,
+                                     const hsp::BatchItemReport& item);
+
+/// \brief Writes a QueryCounter as the report's `queries` object.
+void write_queries(cli::JsonWriter& w, const bb::QueryCounter& q);
+
+/// \brief Writes a generator list as a JSON array of codes.
+void write_codes(cli::JsonWriter& w, const std::vector<grp::Code>& codes);
+
+/// \brief Writes the full nahsp-report/v1 solve report. Field order is
+/// frozen (scripts/diff_report.py rejects any deviation); both the CLI
+/// `solve --json` output and the daemon's `report` payload come from
+/// this one function.
+void write_solve_report(cli::JsonWriter& w, const SolveOutcome& out,
+                        std::uint64_t seed, std::uint64_t threads);
+
+}  // namespace nahsp::serve

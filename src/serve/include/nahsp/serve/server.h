@@ -1,0 +1,47 @@
+// The `nahsp serve` transport: a poll()-based, single-threaded I/O loop
+// in front of SolverService.
+//
+// One listener (Unix-domain socket by default, loopback TCP with
+// --port), N client connections, newline-delimited requests in,
+// newline-delimited responses out. The I/O thread never runs solver
+// work — it parses lines, hands them to the service, and flushes
+// responses; solve results come back from the dispatcher thread through
+// a completion queue plus a wake pipe that makes poll() return.
+//
+// Signals: SIGINT/SIGTERM write one byte to a self-pipe (the only
+// async-signal-safe thing the handler does). The first signal starts a
+// graceful drain — stop accepting, answer the queue, flush, exit 0.
+// A second signal cancels in-flight solves (their tokens fire with
+// Reason::kShutdown) and exits as soon as the responses are flushed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nahsp/serve/service.h"
+
+namespace nahsp::serve {
+
+/// \brief Transport configuration for run_server.
+struct ServerConfig {
+  /// Unix-domain socket path; used unless tcp_port >= 0. A stale socket
+  /// file from a dead server is detected (connect refused) and removed.
+  std::string socket_path;
+  /// When >= 0: listen on 127.0.0.1:tcp_port instead (0 picks an
+  /// ephemeral port; the chosen port is in the startup line).
+  int tcp_port = -1;
+  /// Hard per-line bound; longer requests are answered with a
+  /// request_too_large error and the connection is closed.
+  std::size_t max_line_bytes = 1 << 20;
+  /// Solver-side tuning, forwarded to SolverService.
+  ServiceConfig service;
+};
+
+/// \brief Runs the daemon until a signal or a client `shutdown`
+/// command, then drains and returns the process exit code (0 on a clean
+/// drain, 1 on a transport-level failure such as an unusable socket).
+/// Prints one startup line — "nahsp serve: listening on ..." — to
+/// stdout once the listener is ready.
+int run_server(const ServerConfig& cfg);
+
+}  // namespace nahsp::serve

@@ -1,0 +1,178 @@
+// SolverService: the transport-independent core of `nahsp serve`.
+//
+// The service owns the request lifecycle between "one line of client
+// bytes" and "one line of response bytes":
+//
+//   submit_line() — called on the transport's I/O thread. Parses the
+//     envelope (strict JSON), answers control commands (ping, stats,
+//     shutdown) synchronously, and admits solve jobs to a bounded
+//     queue — or rejects them with a structured error (bad_json,
+//     bad_request, queue_full, shutting_down). Admission is cheap; no
+//     solver work happens on the I/O thread.
+//
+//   dispatcher thread — drains the queue in micro-batches and runs
+//     each batch through hsp::solve_hsp_batch, which fans the
+//     instances across a pool of `workers` threads. Each request gets
+//     its own CancelToken (armed with the request's timeout at
+//     dispatch) and its own RNG: `seed=` in the spec reproduces the
+//     CLI run bit-for-bit; without it the request draws the next
+//     SplitRng(base_seed) stream, so concurrent jobs never share
+//     randomness. Responses are handed to the per-request Responder,
+//     which may be called from the dispatcher thread — transports must
+//     marshal back to their I/O loop themselves.
+//
+// Cross-request cache: completed outcomes are stored in an LRU keyed
+// by the instance fingerprint — family + canonicalized (resolved)
+// params + sampler backend + dispatcher budgets, seed excluded —
+// because scenario construction is deterministic: the same fingerprint
+// names the same planted instance. A hit replays the original run's
+// full report (its seed, its query counts) with `"cached": true` in
+// the envelope. Timed-out and cancelled runs are never cached; a
+// completed solver failure (e.g. oracle_error) is, since it is as
+// deterministic as a success.
+//
+// Every malformed input maps to an error response, never an exception
+// out of submit_line and never a crash.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nahsp/common/cancel.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/common/timer.h"
+#include "nahsp/serve/lru_cache.h"
+
+namespace nahsp::serve {
+
+/// \brief Tuning for a SolverService instance.
+struct ServiceConfig {
+  /// Solver fan-out width per micro-batch (hsp::BatchOptions::threads).
+  int workers = 2;
+  /// Admission-queue bound; a full queue rejects with `queue_full`.
+  std::size_t queue_limit = 64;
+  /// LRU capacity in entries; 0 disables the cache.
+  std::size_t cache_capacity = 128;
+  /// Default per-request wall-clock budget in ms; 0 = unlimited. A
+  /// request's `timeout_ms` field overrides it. The clock starts at
+  /// dispatch (queue wait does not count against the budget).
+  std::uint64_t default_timeout_ms = 0;
+  /// Base seed for the per-request SplitRng streams handed to requests
+  /// that do not pin `seed=` themselves.
+  std::uint64_t base_seed = 0x5e12e5eedULL;
+};
+
+/// \brief Counters for the `stats` endpoint. All cumulative since
+/// service start except queue_depth / in_flight (instantaneous).
+struct ServiceStats {
+  double uptime_seconds = 0.0;
+  std::uint64_t jobs_received = 0;   ///< solve jobs admitted to the queue
+  std::uint64_t jobs_completed = 0;  ///< solve ran to completion (ok)
+  std::uint64_t jobs_failed = 0;     ///< solver/timeout/spec failures
+  std::uint64_t jobs_rejected = 0;   ///< bad_json/bad_request/queue_full/...
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::size_t cache_entries = 0;
+  std::size_t queue_depth = 0;
+  std::size_t in_flight = 0;
+};
+
+/// \brief The daemon core. Construction starts the dispatcher thread;
+/// destruction drains and joins it.
+class SolverService {
+ public:
+  /// Delivers one complete response line (no trailing newline). May be
+  /// invoked from the I/O thread (synchronous rejections, control
+  /// commands, cache hits) or from the dispatcher thread (solve
+  /// results) — implementations must be safe for both.
+  using Responder = std::function<void(std::string line)>;
+
+  explicit SolverService(const ServiceConfig& cfg);
+  ~SolverService();
+  SolverService(const SolverService&) = delete;
+  SolverService& operator=(const SolverService&) = delete;
+
+  /// \brief Handles one request line end-to-end (see file comment).
+  void submit_line(const std::string& line, Responder respond);
+
+  /// \brief Stops admitting new solve jobs (they get `shutting_down`);
+  /// queued and in-flight jobs still run to completion.
+  void begin_drain();
+
+  /// \brief Fires every queued and in-flight request's CancelToken with
+  /// Reason::kShutdown — the fast path for a second SIGTERM. Queued
+  /// jobs are answered `cancelled` without running.
+  void cancel_all();
+
+  /// \brief True once the queue is empty and no batch is in flight.
+  bool idle() const;
+
+  /// \brief Blocks until idle() (drain support for transports).
+  void wait_idle();
+
+  /// \brief True once a client issued the `shutdown` command; the
+  /// transport polls this to begin its own drain.
+  bool shutdown_requested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  ServiceStats stats() const;
+
+ private:
+  struct Job {
+    std::string spec_line;   // "family key=value ..." (already non-empty)
+    std::string id_json;     // client id, serialized token ("" = absent)
+    std::uint64_t timeout_ms = 0;
+    std::uint64_t stream_index = 0;  // admission order, names the RNG stream
+    std::shared_ptr<CancelToken> token;
+    Responder respond;
+  };
+
+  /// Cached response payload: either a full report (result envelope) or
+  /// a structured solver error.
+  struct CacheEntry {
+    bool ok = false;
+    std::string report_json;  // compact, iff ok
+    std::string error_code;   // iff !ok
+    std::string error_message;
+  };
+
+  void dispatcher_main();
+  void run_batch(std::vector<Job>&& jobs);
+
+  ServiceConfig cfg_;
+  Timer uptime_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;  // dispatcher wakes on work/stop
+  std::condition_variable idle_cv_;   // wait_idle wakes on quiescence
+  std::deque<Job> queue_;
+  std::vector<std::shared_ptr<CancelToken>> in_flight_tokens_;
+  bool draining_ = false;
+  bool stop_ = false;
+  std::size_t in_flight_ = 0;
+  std::uint64_t next_stream_index_ = 0;
+  std::uint64_t jobs_received_ = 0;
+  std::uint64_t jobs_completed_ = 0;
+  std::uint64_t jobs_failed_ = 0;
+  std::uint64_t jobs_rejected_ = 0;
+  LruCache<std::string, CacheEntry> cache_;
+  std::atomic<bool> shutdown_requested_{false};
+
+  /// Per-request RNG streams for seedless requests; dispatcher-thread
+  /// only (the stream cache grows incrementally, one jump per request).
+  SplitRng streams_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace nahsp::serve

@@ -1,0 +1,94 @@
+#include "nahsp/serve/outcome.h"
+
+#include "nahsp/common/timer.h"
+#include "nahsp/hsp/instance.h"
+
+namespace nahsp::serve {
+
+SolveOutcome run_scenario(hsp::BuiltScenario&& built, Rng& rng) {
+  SolveOutcome out;
+  out.scenario = std::move(built);
+  const Timer t;
+  try {
+    const hsp::HspSolution sol = hsp::solve_hsp(
+        *out.scenario.instance.bb, *out.scenario.instance.f, rng,
+        out.scenario.options);
+    out.success = true;
+    out.method = hsp::method_name(sol.method);
+    out.generators = sol.generators;
+    out.verified = hsp::verify_same_subgroup(
+        *out.scenario.instance.group, sol.generators,
+        out.scenario.instance.planted_generators);
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  out.seconds = t.seconds();
+  out.queries = *out.scenario.instance.counter;
+  return out;
+}
+
+SolveOutcome outcome_from_batch_item(hsp::BuiltScenario&& built,
+                                     const hsp::BatchItemReport& item) {
+  SolveOutcome out;
+  out.scenario = std::move(built);
+  out.success = item.success;
+  out.error = item.error;
+  out.error_kind = item.error_kind;
+  out.queries = item.queries;
+  out.seconds = item.seconds;
+  if (item.success) {
+    out.method = hsp::method_name(item.solution.method);
+    out.generators = item.solution.generators;
+    out.verified = hsp::verify_same_subgroup(
+        *out.scenario.instance.group, out.generators,
+        out.scenario.instance.planted_generators);
+  }
+  return out;
+}
+
+void write_queries(cli::JsonWriter& w, const bb::QueryCounter& q) {
+  w.begin_object();
+  w.field("group_ops", q.group_ops);
+  w.field("classical_queries", q.classical_queries);
+  w.field("quantum_queries", q.quantum_queries);
+  w.field("sim_basis_evals", q.sim_basis_evals);
+  w.end_object();
+}
+
+void write_codes(cli::JsonWriter& w, const std::vector<grp::Code>& codes) {
+  w.begin_array();
+  for (const grp::Code c : codes) w.value(static_cast<std::uint64_t>(c));
+  w.end_array();
+}
+
+void write_solve_report(cli::JsonWriter& w, const SolveOutcome& out,
+                        std::uint64_t seed, std::uint64_t threads) {
+  w.begin_object();
+  w.field("schema", "nahsp-report/v1");
+  w.field("command", "solve");
+  w.field("scenario", out.scenario.family);
+  w.field("group", out.scenario.group_name);
+  w.field("group_order", out.scenario.group_order);
+  w.key("params");
+  w.begin_object();
+  for (const auto& [key, value] : out.scenario.params) w.field(key, value);
+  w.end_object();
+  w.field("seed", seed);
+  w.field("threads", threads);
+  w.field("backend",
+          qs::sampler_backend_name(out.scenario.options.sampler.backend));
+  w.field("success", out.success);
+  w.field("method", out.method);
+  w.field("error", out.error);
+  w.key("generators");
+  write_codes(w, out.generators);
+  w.key("planted");
+  write_codes(w, out.scenario.instance.planted_generators);
+  w.field("verified", out.verified);
+  w.key("queries");
+  write_queries(w, out.queries);
+  w.field("seconds", out.seconds);
+  w.end_object();
+}
+
+}  // namespace nahsp::serve

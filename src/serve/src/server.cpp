@@ -1,0 +1,411 @@
+#include "nahsp/serve/server.h"
+
+#include <arpa/inet.h>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace nahsp::serve {
+
+namespace {
+
+// ----------------------------------------------------------- self-pipe
+//
+// The signal handler must be async-signal-safe, so it only writes one
+// byte; the poll loop owns all actual shutdown logic. File-scope state
+// is unavoidable here (signal handlers take no context pointer).
+
+int g_signal_pipe_write = -1;
+
+void on_shutdown_signal(int /*signo*/) {
+  const char byte = 1;
+  // Best effort: if the pipe is full a previous signal is already
+  // pending, which is just as good.
+  [[maybe_unused]] const ssize_t n =
+      write(g_signal_pipe_write, &byte, 1);
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_cloexec(int fd) {
+  const int flags = fcntl(fd, F_GETFD, 0);
+  return flags >= 0 && fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0;
+}
+
+[[nodiscard]] int fail(const char* what) {
+  std::fprintf(stderr, "nahsp serve: %s: %s\n", what,
+               std::strerror(errno));
+  return 1;
+}
+
+// Creates the Unix-domain listener, replacing a stale socket file (one
+// whose connect() is refused — the previous server died without
+// unlinking).
+int listen_unix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    std::fprintf(stderr, "nahsp serve: socket path too long: %s\n",
+                 path.c_str());
+    return -1;
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+
+  // Stale-socket probe.
+  const int probe = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (probe >= 0) {
+    if (connect(probe, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) == 0) {
+      close(probe);
+      std::fprintf(stderr,
+                   "nahsp serve: %s: another server is listening\n",
+                   path.c_str());
+      return -1;
+    }
+    close(probe);
+    if (errno == ECONNREFUSED) unlink(path.c_str());
+  }
+
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::fprintf(stderr, "nahsp serve: socket: %s\n",
+                 std::strerror(errno));
+    return -1;
+  }
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      listen(fd, 64) != 0) {
+    std::fprintf(stderr, "nahsp serve: %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Loopback TCP listener; port 0 asks the kernel for an ephemeral port.
+// Returns the fd and fills `bound_port` with the actual port.
+int listen_tcp(int port, int* bound_port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      listen(fd, 64) != 0) {
+    close(fd);
+    return -1;
+  }
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+    close(fd);
+    return -1;
+  }
+  *bound_port = ntohs(actual.sin_port);
+  return fd;
+}
+
+struct Connection {
+  std::uint64_t id = 0;
+  std::string inbuf;
+  std::string outbuf;
+  /// Set once the connection must close after its outbuf drains
+  /// (protocol violation such as an oversized line).
+  bool close_after_flush = false;
+};
+
+// Responses finished on the dispatcher thread, waiting for the I/O
+// thread to pick them up after a wake-pipe byte.
+struct CompletionQueue {
+  std::mutex mu;
+  std::deque<std::pair<std::uint64_t, std::string>> lines;  // (conn id, line)
+  int wake_write_fd = -1;
+
+  void push(std::uint64_t conn_id, std::string line) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      lines.emplace_back(conn_id, std::move(line));
+    }
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = write(wake_write_fd, &byte, 1);
+  }
+};
+
+void drain_pipe(int fd) {
+  char buf[256];
+  while (read(fd, buf, sizeof buf) > 0) {
+  }
+}
+
+}  // namespace
+
+int run_server(const ServerConfig& cfg) {
+  // Listener.
+  int listener = -1;
+  std::string endpoint;
+  if (cfg.tcp_port >= 0) {
+    int port = 0;
+    listener = listen_tcp(cfg.tcp_port, &port);
+    if (listener < 0) return fail("cannot listen on 127.0.0.1");
+    endpoint = "tcp://127.0.0.1:" + std::to_string(port);
+  } else {
+    listener = listen_unix(cfg.socket_path);
+    if (listener < 0) return 1;  // listen_unix printed the cause
+    endpoint = "unix:" + cfg.socket_path;
+  }
+  set_nonblocking(listener);
+  set_cloexec(listener);
+
+  // Self-pipe for signals, wake pipe for completions.
+  int sig_pipe[2] = {-1, -1};
+  int wake_pipe[2] = {-1, -1};
+  if (pipe(sig_pipe) != 0 || pipe(wake_pipe) != 0)
+    return fail("cannot create pipes");
+  for (const int fd : {sig_pipe[0], sig_pipe[1], wake_pipe[0],
+                       wake_pipe[1]}) {
+    set_nonblocking(fd);
+    set_cloexec(fd);
+  }
+  g_signal_pipe_write = sig_pipe[1];
+
+  struct sigaction sa{};
+  sa.sa_handler = on_shutdown_signal;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // a dying client must not kill the daemon
+
+  CompletionQueue completions;
+  completions.wake_write_fd = wake_pipe[1];
+
+  SolverService service(cfg.service);
+
+  std::map<int, Connection> conns;          // fd -> connection
+  std::map<std::uint64_t, int> conn_fds;    // conn id -> fd
+  std::uint64_t next_conn_id = 1;
+  bool draining = false;
+  int signals_seen = 0;
+
+  std::printf("nahsp serve: listening on %s (workers=%d queue=%zu "
+              "cache=%zu)\n",
+              endpoint.c_str(), cfg.service.workers,
+              cfg.service.queue_limit, cfg.service.cache_capacity);
+  std::fflush(stdout);
+
+  const auto close_conn = [&](int fd) {
+    const auto it = conns.find(fd);
+    if (it == conns.end()) return;
+    conn_fds.erase(it->second.id);
+    conns.erase(it);
+    close(fd);
+  };
+
+  const auto begin_drain = [&] {
+    if (draining) return;
+    draining = true;
+    service.begin_drain();
+    if (listener >= 0) {
+      close(listener);
+      listener = -1;
+    }
+  };
+
+  for (;;) {
+    // Exit test: draining, solver idle, no pending completions, every
+    // response flushed.
+    if (draining && service.idle()) {
+      bool pending = false;
+      {
+        std::lock_guard<std::mutex> lk(completions.mu);
+        pending = !completions.lines.empty();
+      }
+      for (const auto& [fd, conn] : conns)
+        pending = pending || !conn.outbuf.empty();
+      if (!pending) break;
+    }
+
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{sig_pipe[0], POLLIN, 0});
+    fds.push_back(pollfd{wake_pipe[0], POLLIN, 0});
+    if (listener >= 0) fds.push_back(pollfd{listener, POLLIN, 0});
+    for (const auto& [fd, conn] : conns) {
+      short events = POLLIN;
+      if (!conn.outbuf.empty()) events |= POLLOUT;
+      fds.push_back(pollfd{fd, events, 0});
+    }
+
+    if (poll(fds.data(), fds.size(), -1) < 0) {
+      if (errno == EINTR) continue;
+      return fail("poll");
+    }
+
+    std::size_t idx = 0;
+    // Signal pipe.
+    if (fds[idx].revents & POLLIN) {
+      drain_pipe(sig_pipe[0]);
+      ++signals_seen;
+      begin_drain();
+      if (signals_seen >= 2) service.cancel_all();
+    }
+    ++idx;
+
+    // Completion wake pipe: move finished responses into out-buffers.
+    if (fds[idx].revents & POLLIN) drain_pipe(wake_pipe[0]);
+    ++idx;
+    {
+      std::deque<std::pair<std::uint64_t, std::string>> ready;
+      {
+        std::lock_guard<std::mutex> lk(completions.mu);
+        ready.swap(completions.lines);
+      }
+      for (auto& [conn_id, line] : ready) {
+        const auto it = conn_fds.find(conn_id);
+        if (it == conn_fds.end()) continue;  // client already left
+        Connection& conn = conns[it->second];
+        conn.outbuf += line;
+        conn.outbuf += '\n';
+      }
+    }
+
+    // Listener.
+    if (listener >= 0) {
+      if (fds[idx].revents & POLLIN) {
+        for (;;) {
+          const int cfd = accept(listener, nullptr, nullptr);
+          if (cfd < 0) break;
+          set_nonblocking(cfd);
+          set_cloexec(cfd);
+          Connection conn;
+          conn.id = next_conn_id++;
+          conn_fds[conn.id] = cfd;
+          conns[cfd] = std::move(conn);
+        }
+      }
+      ++idx;
+    }
+
+    // Clients.
+    std::vector<int> dead;
+    for (; idx < fds.size(); ++idx) {
+      const int fd = fds[idx].fd;
+      const auto it = conns.find(fd);
+      if (it == conns.end()) continue;
+      Connection& conn = it->second;
+
+      if (fds[idx].revents & (POLLERR | POLLHUP | POLLNVAL)) {
+        // POLLHUP with unread data still delivers POLLIN first on
+        // Linux; by the time only HUP remains the peer is gone.
+        if ((fds[idx].revents & POLLIN) == 0) {
+          dead.push_back(fd);
+          continue;
+        }
+      }
+
+      if (fds[idx].revents & POLLIN) {
+        char buf[4096];
+        for (;;) {
+          const ssize_t n = read(fd, buf, sizeof buf);
+          if (n > 0) {
+            conn.inbuf.append(buf, static_cast<std::size_t>(n));
+            continue;
+          }
+          if (n == 0) {
+            dead.push_back(fd);
+          }
+          break;  // n < 0: EAGAIN (done) or error (caught on next poll)
+        }
+        // Process complete lines.
+        std::size_t start = 0;
+        for (;;) {
+          const std::size_t nl = conn.inbuf.find('\n', start);
+          if (nl == std::string::npos) break;
+          std::string line = conn.inbuf.substr(start, nl - start);
+          start = nl + 1;
+          if (!line.empty() && line.back() == '\r') line.pop_back();
+          if (line.empty()) continue;
+          if (line.size() > cfg.max_line_bytes) {
+            conn.outbuf +=
+                "{\"schema\":\"nahsp-serve/v1\",\"type\":\"error\","
+                "\"id\":null,\"ok\":false,\"cached\":false,\"error\":"
+                "{\"code\":\"request_too_large\",\"message\":\"request "
+                "line exceeds the size limit\"}}\n";
+            conn.close_after_flush = true;
+            break;
+          }
+          const std::uint64_t conn_id = conn.id;
+          service.submit_line(
+              line, [&completions, conn_id](std::string response) {
+                completions.push(conn_id, std::move(response));
+              });
+        }
+        conn.inbuf.erase(0, start);
+        // A line fragment beyond the limit can never complete.
+        if (conn.inbuf.size() > cfg.max_line_bytes) {
+          conn.outbuf +=
+              "{\"schema\":\"nahsp-serve/v1\",\"type\":\"error\","
+              "\"id\":null,\"ok\":false,\"cached\":false,\"error\":"
+              "{\"code\":\"request_too_large\",\"message\":\"request "
+              "line exceeds the size limit\"}}\n";
+          conn.close_after_flush = true;
+          conn.inbuf.clear();
+        }
+      }
+
+      if ((fds[idx].revents & POLLOUT) && !conn.outbuf.empty()) {
+        const ssize_t n =
+            write(fd, conn.outbuf.data(), conn.outbuf.size());
+        if (n > 0) {
+          conn.outbuf.erase(0, static_cast<std::size_t>(n));
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          dead.push_back(fd);
+          continue;
+        }
+      }
+      if (conn.close_after_flush && conn.outbuf.empty())
+        dead.push_back(fd);
+    }
+    for (const int fd : dead) close_conn(fd);
+
+    // Completion lines may have landed for connections that were
+    // polled before the lines arrived; also a client `shutdown`
+    // command flips this flag from the I/O thread itself.
+    if (service.shutdown_requested()) begin_drain();
+  }
+
+  // Flush wave is done; tear down.
+  for (const auto& [fd, conn] : conns) close(fd);
+  if (listener >= 0) close(listener);
+  close(sig_pipe[0]);
+  close(sig_pipe[1]);
+  close(wake_pipe[0]);
+  close(wake_pipe[1]);
+  g_signal_pipe_write = -1;
+  if (cfg.tcp_port < 0) unlink(cfg.socket_path.c_str());
+  std::printf("nahsp serve: drained, exiting\n");
+  std::fflush(stdout);
+  return 0;
+}
+
+}  // namespace nahsp::serve

@@ -1,0 +1,476 @@
+#include "nahsp/serve/service.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "nahsp/common/spec.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/scenario.h"
+#include "nahsp/serve/json_value.h"
+#include "nahsp/serve/outcome.h"
+#include "report.h"
+
+namespace nahsp::serve {
+
+namespace {
+
+// ------------------------------------------------------------ envelopes
+//
+// Envelopes are assembled by hand (json_escape on every interpolated
+// string) rather than through JsonWriter because two payloads — the
+// echoed client `id` and a cached report — are pre-serialized JSON that
+// must be spliced in verbatim. Field order is fixed: schema, type, id,
+// ok, then the type-specific payload.
+
+std::string envelope_prefix(const char* type, const std::string& id_json,
+                            bool ok) {
+  std::string s = "{\"schema\":\"nahsp-serve/v1\",\"type\":\"";
+  s += type;
+  s += "\",\"id\":";
+  s += id_json.empty() ? "null" : id_json;
+  s += ",\"ok\":";
+  s += ok ? "true" : "false";
+  return s;
+}
+
+std::string error_line(const std::string& id_json, const std::string& code,
+                       const std::string& message, bool cached = false) {
+  std::string s = envelope_prefix("error", id_json, false);
+  s += ",\"cached\":";
+  s += cached ? "true" : "false";
+  s += ",\"error\":{\"code\":\"";
+  s += cli::json_escape(code);
+  s += "\",\"message\":\"";
+  s += cli::json_escape(message);
+  s += "\"}}";
+  return s;
+}
+
+std::string result_line(const std::string& id_json,
+                        const std::string& report_json, bool cached) {
+  std::string s = envelope_prefix("result", id_json, true);
+  s += ",\"cached\":";
+  s += cached ? "true" : "false";
+  s += ",\"report\":";
+  s += report_json;
+  s += "}";
+  return s;
+}
+
+// The solve report, serialized compact for the single-line wire format.
+// Identical token stream to `nahsp solve --json` — the smoke test
+// re-indents it and diffs against the CLI goldens.
+std::string report_json_for(const SolveOutcome& out, std::uint64_t seed,
+                            std::uint64_t threads) {
+  std::ostringstream os;
+  cli::JsonWriter w(os, cli::JsonWriter::Style::kCompact);
+  write_solve_report(w, out, seed, threads);
+  return os.str();
+}
+
+// Maps the batch driver's failure taxonomy onto wire error codes; the
+// token's reason distinguishes a per-request timeout from a shutdown
+// cancellation.
+std::string error_code_for(const std::string& error_kind,
+                           const CancelToken& token) {
+  if (error_kind == "oracle_error") return "oracle_error";
+  if (error_kind == "retry_exhausted") return "retry_exhausted";
+  if (error_kind == "invalid_argument") return "spec_error";
+  if (error_kind == "cancelled") {
+    return token.reason() == CancelToken::Reason::kDeadline ? "timeout"
+                                                            : "cancelled";
+  }
+  return "solver_error";
+}
+
+}  // namespace
+
+SolverService::SolverService(const ServiceConfig& cfg)
+    : cfg_(cfg),
+      cache_(cfg.cache_capacity),
+      streams_(cfg.base_seed),
+      dispatcher_([this] { dispatcher_main(); }) {}
+
+SolverService::~SolverService() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    draining_ = true;
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  dispatcher_.join();
+}
+
+void SolverService::begin_drain() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    draining_ = true;
+  }
+  queue_cv_.notify_all();
+}
+
+void SolverService::cancel_all() {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const Job& job : queue_) job.token->cancel(CancelToken::Reason::kShutdown);
+  for (const auto& token : in_flight_tokens_)
+    token->cancel(CancelToken::Reason::kShutdown);
+}
+
+bool SolverService::idle() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return queue_.empty() && in_flight_ == 0;
+}
+
+void SolverService::wait_idle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return queue_.empty() && in_flight_ == 0; });
+}
+
+ServiceStats SolverService::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  ServiceStats s;
+  s.uptime_seconds = uptime_.seconds();
+  s.jobs_received = jobs_received_;
+  s.jobs_completed = jobs_completed_;
+  s.jobs_failed = jobs_failed_;
+  s.jobs_rejected = jobs_rejected_;
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_evictions = cache_.evictions();
+  s.cache_entries = cache_.size();
+  s.queue_depth = queue_.size();
+  s.in_flight = in_flight_;
+  return s;
+}
+
+void SolverService::submit_line(const std::string& line, Responder respond) {
+  std::string id_json;  // best-effort echo, filled once the id parses
+  const auto reject = [&](const std::string& code, const std::string& msg) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++jobs_rejected_;
+    }
+    // `respond` may have been moved into the job already (late failures
+    // only); a responder must never be invoked twice anyway.
+    if (respond) respond(error_line(id_json, code, msg));
+  };
+
+  try {
+    const JsonValue req = parse_json(line);
+    if (!req.is_object())
+      return reject("bad_request", "request must be a JSON object");
+    if (const JsonValue* id = req.find("id")) {
+      if (id->is_string()) {
+        id_json = '"' + cli::json_escape(id->string_value) + '"';
+      } else if (id->is_number()) {
+        id_json = id->number_raw;
+      } else {
+        return reject("bad_request", "field 'id' must be a string or number");
+      }
+    }
+    for (const auto& [key, value] : req.object_members) {
+      if (key != "cmd" && key != "id" && key != "spec" &&
+          key != "timeout_ms")
+        return reject("bad_request", "unknown field '" + key +
+                                         "' (accepted: cmd, id, spec, "
+                                         "timeout_ms)");
+    }
+    const JsonValue* cmd = req.find("cmd");
+    if (cmd == nullptr || !cmd->is_string())
+      return reject("bad_request", "field 'cmd' (string) is required");
+
+    if (cmd->string_value == "ping") {
+      respond(envelope_prefix("pong", id_json, true) + "}");
+      return;
+    }
+    if (cmd->string_value == "stats") {
+      const ServiceStats s = stats();
+      std::ostringstream os;
+      cli::JsonWriter w(os, cli::JsonWriter::Style::kCompact);
+      w.begin_object();
+      w.field("uptime_seconds", s.uptime_seconds);
+      w.field("jobs_received", s.jobs_received);
+      w.field("jobs_completed", s.jobs_completed);
+      w.field("jobs_failed", s.jobs_failed);
+      w.field("jobs_rejected", s.jobs_rejected);
+      w.field("queue_depth", static_cast<std::uint64_t>(s.queue_depth));
+      w.field("in_flight", static_cast<std::uint64_t>(s.in_flight));
+      w.field("workers", static_cast<std::uint64_t>(cfg_.workers));
+      w.field("queue_limit", static_cast<std::uint64_t>(cfg_.queue_limit));
+      w.key("cache");
+      w.begin_object();
+      w.field("hits", s.cache_hits);
+      w.field("misses", s.cache_misses);
+      w.field("evictions", s.cache_evictions);
+      w.field("entries", static_cast<std::uint64_t>(s.cache_entries));
+      w.field("capacity", static_cast<std::uint64_t>(cfg_.cache_capacity));
+      const std::uint64_t lookups = s.cache_hits + s.cache_misses;
+      w.field("hit_rate",
+              lookups == 0
+                  ? 0.0
+                  : static_cast<double>(s.cache_hits) /
+                        static_cast<double>(lookups));
+      w.end_object();
+      w.end_object();
+      respond(envelope_prefix("stats", id_json, true) + ",\"stats\":" +
+              os.str() + "}");
+      return;
+    }
+    if (cmd->string_value == "shutdown") {
+      shutdown_requested_.store(true, std::memory_order_release);
+      begin_drain();
+      respond(envelope_prefix("shutdown", id_json, true) + "}");
+      return;
+    }
+    if (cmd->string_value != "solve")
+      return reject("bad_request", "unknown cmd '" + cmd->string_value +
+                                       "' (accepted: solve, ping, stats, "
+                                       "shutdown)");
+
+    const JsonValue* spec = req.find("spec");
+    if (spec == nullptr || !spec->is_string() || spec->string_value.empty())
+      return reject("bad_request",
+                    "solve requires a non-empty 'spec' string "
+                    "(\"family key=value ...\")");
+    std::uint64_t timeout_ms = cfg_.default_timeout_ms;
+    if (const JsonValue* t = req.find("timeout_ms")) {
+      try {
+        timeout_ms = t->as_u64();
+      } catch (const JsonParseError& e) {
+        return reject("bad_request",
+                      std::string("field 'timeout_ms': ") + e.what());
+      }
+    }
+    // Admission-time spec sanity: tokenization and key-grammar errors
+    // are cheap to catch here; family resolution and construction run
+    // on the dispatcher. The spec text travels with the job.
+    try {
+      (void)parse_scenario_line(spec->string_value);
+    } catch (const std::invalid_argument& e) {
+      return reject("spec_error", e.what());
+    }
+
+    Job job;
+    job.spec_line = spec->string_value;
+    job.id_json = id_json;
+    job.timeout_ms = timeout_ms;
+    job.token = std::make_shared<CancelToken>();
+    job.respond = std::move(respond);
+    bool queue_full = false;
+    bool shutting_down = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (draining_) {
+        ++jobs_rejected_;
+        shutting_down = true;
+      } else if (queue_.size() >= cfg_.queue_limit) {
+        ++jobs_rejected_;
+        queue_full = true;
+      } else {
+        job.stream_index = next_stream_index_++;
+        ++jobs_received_;
+        queue_.push_back(std::move(job));
+      }
+    }
+    // On rejection the job was not moved into the queue, so its
+    // responder is still ours to call.
+    if (shutting_down) {
+      job.respond(error_line(id_json, "shutting_down",
+                             "server is draining; not accepting jobs"));
+      return;
+    }
+    if (queue_full) {
+      job.respond(error_line(id_json, "queue_full",
+                             "admission queue is full (" +
+                                 std::to_string(cfg_.queue_limit) +
+                                 " jobs); retry later"));
+      return;
+    }
+    queue_cv_.notify_one();
+  } catch (const JsonParseError& e) {
+    reject("bad_json", e.what());
+  } catch (const std::exception& e) {
+    // Nothing a client sends may crash the daemon.
+    reject("internal_error", std::string("unexpected error: ") + e.what());
+  }
+}
+
+void SolverService::dispatcher_main() {
+  for (;;) {
+    std::vector<Job> batch;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      queue_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      // Micro-batch: up to `workers` jobs, so the batch fan-out is
+      // fully used without making any response wait on more co-batched
+      // work than necessary.
+      const std::size_t take = std::min(
+          queue_.size(),
+          static_cast<std::size_t>(std::max(cfg_.workers, 1)));
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+        in_flight_tokens_.push_back(batch.back().token);
+      }
+      in_flight_ = batch.size();
+    }
+    run_batch(std::move(batch));
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      in_flight_ = 0;
+      in_flight_tokens_.clear();
+      if (queue_.empty()) idle_cv_.notify_all();
+    }
+  }
+}
+
+void SolverService::run_batch(std::vector<Job>&& jobs) {
+  // Per-job dispatch-time state for the jobs that reach the solver.
+  struct Prepared {
+    std::size_t job_index;
+    hsp::BuiltScenario built;
+    std::uint64_t report_seed;
+    std::string fingerprint;
+  };
+  std::vector<Prepared> ready;
+  std::vector<Rng> rngs;
+
+  const auto fail = [&](const Job& job, const std::string& code,
+                        const std::string& msg, bool cached = false) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++jobs_failed_;
+    }
+    job.respond(error_line(job.id_json, code, msg, cached));
+  };
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    Job& job = jobs[j];
+    if (job.token->cancelled()) {
+      // cancel_all() fired while the job sat in the queue.
+      fail(job, "cancelled", "cancelled before dispatch: server shutdown");
+      continue;
+    }
+    hsp::BuiltScenario built;
+    bool explicit_seed = false;
+    std::uint64_t seed = 0;
+    try {
+      ScenarioSpec spec = parse_scenario_line(job.spec_line);
+      if (spec.params.has("threads"))
+        throw std::invalid_argument(
+            "spec error: key 'threads' is not accepted by serve (the "
+            "server fixes its own solver width)");
+      explicit_seed = spec.params.has("seed");
+      seed = spec.params.get_u64("seed", 0);
+      built = hsp::build_scenario(spec);
+    } catch (const std::invalid_argument& e) {
+      fail(job, "spec_error", e.what());
+      continue;
+    } catch (const std::exception& e) {
+      fail(job, "solver_error", e.what());
+      continue;
+    }
+
+    // Instance fingerprint: everything that determines the constructed
+    // instance and the solve configuration except the seed — scenario
+    // construction is deterministic, so equal fingerprints name equal
+    // planted instances.
+    std::string fp = built.family;
+    for (const auto& [key, value] : built.params)
+      fp += "|" + key + "=" + std::to_string(value);
+    fp += "|backend=";
+    fp += qs::sampler_backend_name(built.options.sampler.backend);
+    fp += "|gprime_cap=" + std::to_string(built.options.gprime_cap);
+    fp += "|order_bound=" + std::to_string(built.options.order_bound);
+
+    bool cache_hit = false;
+    CacheEntry entry;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (const CacheEntry* hit = cache_.get(fp)) {
+        cache_hit = true;
+        entry = *hit;
+        if (entry.ok) ++jobs_completed_; else ++jobs_failed_;
+      }
+    }
+    if (cache_hit) {
+      // Replay the original run's response, marked cached.
+      if (entry.ok) {
+        job.respond(result_line(job.id_json, entry.report_json,
+                                /*cached=*/true));
+      } else {
+        job.respond(error_line(job.id_json, entry.error_code,
+                               entry.error_message, /*cached=*/true));
+      }
+      continue;
+    }
+
+    ready.push_back(Prepared{j, std::move(built), 0, std::move(fp)});
+    Prepared& prep = ready.back();
+    if (explicit_seed) {
+      prep.report_seed = seed;
+      rngs.push_back(Rng(seed));
+    } else {
+      prep.report_seed = cfg_.base_seed;
+      rngs.push_back(streams_.stream(
+          static_cast<std::size_t>(job.stream_index)));
+    }
+    // The request's wall-clock budget starts now, not at admission.
+    if (job.timeout_ms > 0) job.token->set_timeout_ms(job.timeout_ms);
+  }
+  if (ready.empty()) return;
+
+  std::vector<bb::HspInstance> instances;
+  hsp::BatchOptions bopts;
+  bopts.threads = std::max(cfg_.workers, 1);
+  bopts.per_instance_rng = std::move(rngs);
+  instances.reserve(ready.size());
+  for (const Prepared& prep : ready) {
+    instances.push_back(prep.built.instance);
+    hsp::AutoOptions auto_opts = prep.built.options;
+    auto_opts.cancel = jobs[prep.job_index].token;
+    bopts.per_instance.push_back(std::move(auto_opts));
+  }
+
+  const hsp::BatchReport report = hsp::solve_hsp_batch(instances, bopts);
+
+  for (std::size_t k = 0; k < ready.size(); ++k) {
+    Prepared& prep = ready[k];
+    const Job& job = jobs[prep.job_index];
+    const hsp::BatchItemReport& item = report.items[k];
+    SolveOutcome out =
+        outcome_from_batch_item(std::move(prep.built), item);
+    if (out.success) {
+      // Kernels run serially inside batch tasks (the pool's nested-
+      // region guard), so every request's solve is a width-1 run — the
+      // report says so regardless of the batch fan-out.
+      const std::string report_json =
+          report_json_for(out, prep.report_seed, /*threads=*/1);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++jobs_completed_;
+        cache_.put(prep.fingerprint,
+                   CacheEntry{true, report_json, "", ""});
+      }
+      job.respond(result_line(job.id_json, report_json, /*cached=*/false));
+    } else {
+      const std::string code = error_code_for(out.error_kind, *job.token);
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++jobs_failed_;
+        // Completed failures are as deterministic as successes; timed
+        // out or cancelled runs are circumstantial and never cached.
+        if (out.error_kind != "cancelled")
+          cache_.put(prep.fingerprint,
+                     CacheEntry{false, "", code, out.error});
+      }
+      job.respond(error_line(job.id_json, code, out.error));
+    }
+  }
+}
+
+}  // namespace nahsp::serve

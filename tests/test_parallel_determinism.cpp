@@ -25,6 +25,7 @@
 #include "nahsp/common/parallel.h"
 #include "nahsp/common/rng.h"
 #include "nahsp/groups/cyclic.h"
+#include "nahsp/groups/dihedral.h"
 #include "nahsp/groups/heisenberg.h"
 #include "nahsp/groups/quaternion.h"
 #include "nahsp/hsp/instance.h"
@@ -216,6 +217,7 @@ struct ComparableItem {
   hsp::Method method;
   std::vector<grp::Code> generators;
   std::string error;
+  std::string error_kind;
   std::uint64_t group_ops, classical_queries, quantum_queries,
       sim_basis_evals;
   bool operator==(const ComparableItem&) const = default;
@@ -225,7 +227,7 @@ std::vector<ComparableItem> comparable(const hsp::BatchReport& r) {
   std::vector<ComparableItem> out;
   for (const auto& item : r.items) {
     out.push_back({item.success, item.solution.method,
-                   item.solution.generators, item.error,
+                   item.solution.generators, item.error, item.error_kind,
                    item.queries.group_ops, item.queries.classical_queries,
                    item.queries.quantum_queries,
                    item.queries.sim_basis_evals});
@@ -283,6 +285,68 @@ TEST(BatchSolve, FailureIsolatesToTheBadInstance) {
       EXPECT_TRUE(report.items[i].success) << i;
     }
   }
+}
+
+// A batch mixing healthy, promise-breaking, and misconfigured
+// instances: the full reports — including the failure texts and the
+// error_kind taxonomy — must be bit-identical at widths 1 and 4. This
+// is the contract the `nahsp serve` daemon leans on: a request's
+// response may not depend on which requests it was co-batched with.
+BatchFixture make_mixed_batch() {
+  BatchFixture fx = make_batch();
+  {
+    // A black box that reports its own hiding-promise violation after
+    // five queries (the oracle_error aggregation path). The instance
+    // runs serially on one worker, so the failing query — and with it
+    // the error text and counter snapshot — is width-invariant.
+    bb::HspInstance inst;
+    auto d = std::make_shared<grp::DihedralGroup>(6);
+    inst.group = d;
+    inst.counter = std::make_shared<bb::QueryCounter>();
+    inst.bb = std::make_shared<bb::BlackBoxGroup>(d, inst.counter);
+    auto calls = std::make_shared<int>(0);
+    inst.f = std::make_shared<bb::LambdaHider>(
+        [calls](grp::Code) -> std::uint64_t {
+          if (++*calls > 5)
+            throw oracle_error("labels are not constant on cosets");
+          return 0;
+        },
+        inst.counter);
+    fx.instances.insert(fx.instances.begin() + 1, std::move(inst));
+    fx.opts.per_instance.insert(fx.opts.per_instance.begin() + 1,
+                                hsp::AutoOptions{});
+  }
+  {
+    // Backend the group cannot satisfy: qubit needs power-of-two
+    // moduli, Heisenberg's are 3s -> invalid_argument.
+    auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+    fx.instances.insert(fx.instances.begin() + 4,
+                        bb::make_instance(h, {h->make({1}, {1}, 0)}));
+    hsp::AutoOptions o;
+    o.order_bound = 27;
+    o.sampler.backend = qs::SamplerBackend::kQubit;
+    fx.opts.per_instance.insert(fx.opts.per_instance.begin() + 4, o);
+  }
+  return fx;
+}
+
+TEST(BatchSolve, MixedFailureReportsAreWidthInvariant) {
+  std::vector<std::vector<ComparableItem>> runs;
+  for (const int width : {1, 4}) {
+    BatchFixture fx = make_mixed_batch();
+    fx.opts.threads = width;
+    const auto report = hsp::solve_hsp_batch(fx.instances, fx.opts);
+    ASSERT_EQ(report.items.size(), fx.instances.size());
+    EXPECT_EQ(report.solved, fx.instances.size() - 2) << "width " << width;
+    EXPECT_FALSE(report.items[1].success) << "width " << width;
+    EXPECT_EQ(report.items[1].error_kind, "oracle_error")
+        << "width " << width;
+    EXPECT_FALSE(report.items[4].success) << "width " << width;
+    EXPECT_EQ(report.items[4].error_kind, "invalid_argument")
+        << "width " << width;
+    runs.push_back(comparable(report));
+  }
+  EXPECT_EQ(runs[0], runs[1]);
 }
 
 TEST(BatchSolve, KernelsStayInsideTheTaskAtEveryWidth) {

@@ -1,0 +1,573 @@
+// The `nahsp serve` core, tested in-process (no sockets): the strict
+// wire-JSON reader, the compact JsonWriter style, the LRU cache, and
+// the transport-independent SolverService end to end — admission,
+// structured errors, cache replay, drain, and CLI report parity.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <iterator>
+#include <limits>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nahsp/common/rng.h"
+#include "nahsp/common/spec.h"
+#include "nahsp/hsp/scenario.h"
+#include "nahsp/serve/json_value.h"
+#include "nahsp/serve/lru_cache.h"
+#include "nahsp/serve/outcome.h"
+#include "nahsp/serve/service.h"
+#include "report.h"
+
+namespace nahsp::serve {
+namespace {
+
+// ------------------------------------------------------------ wire JSON
+
+TEST(WireJson, ParsesScalarsAndStructure) {
+  const JsonValue v = parse_json(
+      "{\"a\": 1, \"b\": [true, false, null], \"c\": {\"d\": \"x\"}}");
+  ASSERT_TRUE(v.is_object());
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_EQ(v.find("a")->as_u64(), 1u);
+  ASSERT_NE(v.find("b"), nullptr);
+  ASSERT_TRUE(v.find("b")->is_array());
+  ASSERT_EQ(v.find("b")->array_items.size(), 3u);
+  EXPECT_TRUE(v.find("b")->array_items[0].bool_value);
+  EXPECT_TRUE(v.find("b")->array_items[2].is_null());
+  ASSERT_NE(v.find("c"), nullptr);
+  ASSERT_NE(v.find("c")->find("d"), nullptr);
+  EXPECT_EQ(v.find("c")->find("d")->string_value, "x");
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(WireJson, KeepsMemberOrderAndRawNumberTokens) {
+  const JsonValue v = parse_json("{\"z\": 2.5e1, \"a\": 7}");
+  ASSERT_EQ(v.object_members.size(), 2u);
+  EXPECT_EQ(v.object_members[0].first, "z");
+  EXPECT_EQ(v.object_members[1].first, "a");
+  EXPECT_EQ(v.object_members[0].second.number_raw, "2.5e1");
+  EXPECT_DOUBLE_EQ(v.object_members[0].second.number_value, 25.0);
+}
+
+TEST(WireJson, StringEscapesAndUnicode) {
+  const JsonValue v = parse_json(
+      "{\"s\": \"a\\\"b\\\\c\\n\\t\\u0041\", \"e\": \"\\uD83D\\uDE00\"}");
+  EXPECT_EQ(v.find("s")->string_value, "a\"b\\c\n\tA");
+  // Surrogate pair -> one UTF-8 code point (U+1F600).
+  EXPECT_EQ(v.find("e")->string_value, "\xF0\x9F\x98\x80");
+}
+
+TEST(WireJson, U64RoundTripsExactly) {
+  const JsonValue v = parse_json("{\"n\": 18446744073709551615}");
+  EXPECT_EQ(v.find("n")->as_u64(), 18446744073709551615ull);
+}
+
+TEST(WireJson, U64RejectsNonIntegers) {
+  EXPECT_THROW(parse_json("-1").as_u64(), JsonParseError);
+  EXPECT_THROW(parse_json("1.5").as_u64(), JsonParseError);
+  EXPECT_THROW(parse_json("1e3").as_u64(), JsonParseError);
+  EXPECT_THROW(parse_json("18446744073709551616").as_u64(), JsonParseError);
+  EXPECT_THROW(parse_json("\"7\"").as_u64(), JsonParseError);
+}
+
+TEST(WireJson, RejectsMalformedDocuments) {
+  EXPECT_THROW(parse_json(""), JsonParseError);
+  EXPECT_THROW(parse_json("   "), JsonParseError);
+  EXPECT_THROW(parse_json("{"), JsonParseError);
+  EXPECT_THROW(parse_json("{\"a\":}"), JsonParseError);
+  EXPECT_THROW(parse_json("[1,]"), JsonParseError);
+  EXPECT_THROW(parse_json("{\"a\":1,}"), JsonParseError);
+  EXPECT_THROW(parse_json("tru"), JsonParseError);
+  EXPECT_THROW(parse_json("\"unterminated"), JsonParseError);
+}
+
+TEST(WireJson, StrictWhereTheStandardAllowsLatitude) {
+  // Trailing bytes after the document (a second request on the same
+  // line) are a client bug, not a second request.
+  EXPECT_THROW(parse_json("{} {}"), JsonParseError);
+  EXPECT_NO_THROW(parse_json("{}  \t "));
+  // Duplicate keys make the request ambiguous.
+  EXPECT_THROW(parse_json("{\"a\":1,\"a\":2}"), JsonParseError);
+  // Non-standard number spellings.
+  EXPECT_THROW(parse_json("NaN"), JsonParseError);
+  EXPECT_THROW(parse_json("Infinity"), JsonParseError);
+  EXPECT_THROW(parse_json("01"), JsonParseError);
+  // Raw control characters inside strings.
+  EXPECT_THROW(parse_json(std::string("\"a\x01") + "b\""), JsonParseError);
+  // A lone surrogate is not a code point.
+  EXPECT_THROW(parse_json("\"\\uD83D\""), JsonParseError);
+}
+
+TEST(WireJson, DepthIsCapped) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  EXPECT_THROW(parse_json(deep), JsonParseError);
+  std::string ok = "1";
+  for (int i = 0; i < 16; ++i) ok = "[" + ok + "]";
+  EXPECT_NO_THROW(parse_json(ok));
+}
+
+TEST(WireJson, ErrorsCarryAByteOffset) {
+  try {
+    parse_json("{\"a\": nope}");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("byte"), std::string::npos);
+  }
+}
+
+// --------------------------------------------------------- JSON writer
+
+std::string sample_doc(cli::JsonWriter::Style style) {
+  std::ostringstream os;
+  cli::JsonWriter w(os, style);
+  w.begin_object();
+  w.field("name", "x\"y");
+  w.field("n", std::uint64_t{7});
+  w.key("xs");
+  w.begin_array();
+  w.value(std::uint64_t{1});
+  w.value(std::uint64_t{2});
+  w.end_array();
+  w.field("ok", true);
+  w.field("t", 0.5);
+  w.end_object();
+  w.finish();
+  return os.str();
+}
+
+TEST(JsonWriterStyle, CompactIsSingleLine) {
+  EXPECT_EQ(sample_doc(cli::JsonWriter::Style::kCompact),
+            "{\"name\":\"x\\\"y\",\"n\":7,\"xs\":[1,2],\"ok\":true,"
+            "\"t\":0.5}\n");
+}
+
+TEST(JsonWriterStyle, CompactIsPrettyMinusWhitespace) {
+  // Same token stream: stripping the pretty style's whitespace (none of
+  // the sample's strings contain any) must yield the compact bytes.
+  std::string pretty = sample_doc(cli::JsonWriter::Style::kPretty);
+  std::string stripped;
+  for (const char c : pretty) {
+    if (c != ' ' && c != '\n') stripped += c;
+  }
+  EXPECT_EQ(stripped + "\n", sample_doc(cli::JsonWriter::Style::kCompact));
+}
+
+TEST(JsonWriterStyle, NonFiniteDoublesBecomeNull) {
+  for (const auto style : {cli::JsonWriter::Style::kPretty,
+                           cli::JsonWriter::Style::kCompact}) {
+    std::ostringstream os;
+    cli::JsonWriter w(os, style);
+    w.begin_array();
+    w.value(std::numeric_limits<double>::quiet_NaN());
+    w.value(std::numeric_limits<double>::infinity());
+    w.value(-std::numeric_limits<double>::infinity());
+    w.value(1.5);
+    w.end_array();
+    const std::string out = os.str();
+    EXPECT_EQ(out.find("nan"), std::string::npos) << out;
+    EXPECT_EQ(out.find("inf"), std::string::npos) << out;
+    // All three non-finite slots emitted as null; the document stays
+    // machine-parseable.
+    std::size_t nulls = 0, pos = 0;
+    while ((pos = out.find("null", pos)) != std::string::npos) {
+      ++nulls;
+      pos += 4;
+    }
+    EXPECT_EQ(nulls, 3u) << out;
+    EXPECT_NO_THROW(parse_json(out));
+  }
+}
+
+// ------------------------------------------------------------ LRU cache
+
+TEST(Lru, HitMissAndCounters) {
+  LruCache<std::string, int> c(2);
+  EXPECT_EQ(c.get("a"), nullptr);
+  c.put("a", 1);
+  const int* hit = c.get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 1);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(Lru, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  c.put(3, 30);  // evicts 1
+  EXPECT_EQ(c.get(1), nullptr);
+  ASSERT_NE(c.get(2), nullptr);
+  ASSERT_NE(c.get(3), nullptr);
+  EXPECT_EQ(c.evictions(), 1u);
+  EXPECT_EQ(c.size(), 2u);
+}
+
+TEST(Lru, GetPromotesAgainstEviction) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(2, 20);
+  ASSERT_NE(c.get(1), nullptr);  // 1 is now most recent
+  c.put(3, 30);                  // evicts 2, not 1
+  ASSERT_NE(c.get(1), nullptr);
+  EXPECT_EQ(c.get(2), nullptr);
+  ASSERT_NE(c.get(3), nullptr);
+}
+
+TEST(Lru, PutReplacesInPlace) {
+  LruCache<int, int> c(2);
+  c.put(1, 10);
+  c.put(1, 11);
+  EXPECT_EQ(c.size(), 1u);
+  ASSERT_NE(c.get(1), nullptr);
+  EXPECT_EQ(*c.get(1), 11);
+  EXPECT_EQ(c.evictions(), 0u);
+}
+
+TEST(Lru, CapacityZeroDisables) {
+  LruCache<int, int> c(0);
+  c.put(1, 10);
+  EXPECT_EQ(c.get(1), nullptr);
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+// --------------------------------------------------------- SolverService
+
+// Thread-safe response sink: submit_line may answer synchronously on
+// this thread or later from the dispatcher thread.
+class Collector {
+ public:
+  SolverService::Responder responder() {
+    return [this](std::string line) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        lines_.push_back(std::move(line));
+      }
+      cv_.notify_all();
+    };
+  }
+
+  // Blocks until response `index` exists; empty string on timeout
+  // (which also fails the test).
+  std::string wait_line(std::size_t index) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!cv_.wait_for(lk, std::chrono::seconds(60),
+                      [&] { return lines_.size() > index; })) {
+      ADD_FAILURE() << "timed out waiting for response " << index;
+      return "";
+    }
+    return lines_[index];
+  }
+
+  std::size_t count() {
+    std::lock_guard<std::mutex> lk(mu_);
+    return lines_.size();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::string> lines_;
+};
+
+ServiceConfig small_config() {
+  ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_limit = 16;
+  cfg.cache_capacity = 16;
+  return cfg;
+}
+
+std::string str_field(const JsonValue& v, const char* key) {
+  const JsonValue* f = v.find(key);
+  if (f == nullptr || !f->is_string()) {
+    ADD_FAILURE() << "missing string field '" << key << "'";
+    return "";
+  }
+  return f->string_value;
+}
+
+std::string error_code(const JsonValue& v) {
+  const JsonValue* e = v.find("error");
+  if (e == nullptr) {
+    ADD_FAILURE() << "missing 'error' object";
+    return "";
+  }
+  return str_field(*e, "code");
+}
+
+TEST(Service, PingEchoesTheClientId) {
+  SolverService svc(small_config());
+  Collector col;
+  svc.submit_line("{\"cmd\": \"ping\", \"id\": 17}", col.responder());
+  const JsonValue v = parse_json(col.wait_line(0));
+  EXPECT_EQ(str_field(v, "schema"), "nahsp-serve/v1");
+  EXPECT_EQ(str_field(v, "type"), "pong");
+  EXPECT_TRUE(v.find("ok")->bool_value);
+  EXPECT_EQ(v.find("id")->as_u64(), 17u);
+
+  svc.submit_line("{\"cmd\": \"ping\", \"id\": \"a\\\"b\"}",
+                  col.responder());
+  const JsonValue w = parse_json(col.wait_line(1));
+  EXPECT_EQ(w.find("id")->string_value, "a\"b");
+}
+
+TEST(Service, MalformedInputGetsStructuredErrors) {
+  SolverService svc(small_config());
+  Collector col;
+  svc.submit_line("this is not json", col.responder());
+  svc.submit_line("[1, 2]", col.responder());
+  svc.submit_line("{\"cmd\": \"ping\", \"extra\": 1}", col.responder());
+  svc.submit_line("{\"cmd\": \"frobnicate\"}", col.responder());
+  svc.submit_line("{\"cmd\": \"solve\"}", col.responder());
+  svc.submit_line("{\"cmd\": \"solve\", \"spec\": \"dihedral n=\"}",
+                  col.responder());
+  svc.submit_line("{\"cmd\": \"solve\", \"spec\": \"dihedral\", "
+                  "\"timeout_ms\": -5}",
+                  col.responder());
+
+  const char* expected[] = {"bad_json",   "bad_request", "bad_request",
+                            "bad_request", "bad_request", "spec_error",
+                            "bad_request"};
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    const JsonValue v = parse_json(col.wait_line(i));
+    EXPECT_EQ(str_field(v, "type"), "error") << i;
+    EXPECT_FALSE(v.find("ok")->bool_value) << i;
+    EXPECT_TRUE(v.find("id")->is_null()) << i;
+    EXPECT_EQ(error_code(v), expected[i]) << i;
+  }
+  EXPECT_EQ(svc.stats().jobs_rejected, std::size(expected));
+}
+
+TEST(Service, SpecErrorsFromDispatchAreStructuredToo) {
+  SolverService svc(small_config());
+  Collector col;
+  // Unknown family and the reserved `threads` key both resolve on the
+  // dispatcher, after admission.
+  svc.submit_line("{\"cmd\": \"solve\", \"spec\": \"nosuchfamily\"}",
+                  col.responder());
+  svc.submit_line("{\"cmd\": \"solve\", \"spec\": \"dihedral threads=2\"}",
+                  col.responder());
+  for (std::size_t i = 0; i < 2; ++i) {
+    const JsonValue v = parse_json(col.wait_line(i));
+    EXPECT_EQ(str_field(v, "type"), "error") << i;
+    EXPECT_EQ(error_code(v), "spec_error") << i;
+  }
+  const JsonValue v = parse_json(col.wait_line(1));
+  EXPECT_NE(str_field(*v.find("error"), "message").find("threads"),
+            std::string::npos);
+}
+
+// The serve report must be byte-identical to a direct CLI-style run of
+// the same (spec, seed) — everything up to the wall-clock `seconds`
+// field, which is legitimately nondeterministic.
+TEST(Service, ExplicitSeedReportMatchesDirectRun) {
+  const std::string spec_text = "dihedral seed=1";
+  ScenarioSpec spec = parse_scenario_line(spec_text);
+  const std::uint64_t seed = spec.params.get_u64("seed", 0);
+  hsp::BuiltScenario built = hsp::build_scenario(spec);
+  Rng rng(seed);
+  const SolveOutcome out = run_scenario(std::move(built), rng);
+  ASSERT_TRUE(out.success);
+  ASSERT_TRUE(out.verified);
+  std::ostringstream os;
+  cli::JsonWriter w(os, cli::JsonWriter::Style::kCompact);
+  write_solve_report(w, out, seed, /*threads=*/1);
+  const std::string direct = os.str();
+
+  SolverService svc(small_config());
+  Collector col;
+  svc.submit_line(
+      "{\"cmd\": \"solve\", \"id\": 1, \"spec\": \"" + spec_text + "\"}",
+      col.responder());
+  const std::string line = col.wait_line(0);
+  const JsonValue v = parse_json(line);
+  EXPECT_EQ(str_field(v, "type"), "result");
+  EXPECT_TRUE(v.find("ok")->bool_value);
+  EXPECT_FALSE(v.find("cached")->bool_value);
+
+  const std::size_t at = line.find(",\"report\":");
+  ASSERT_NE(at, std::string::npos);
+  // ...,"report":{...}}  ->  {...}
+  const std::string served =
+      line.substr(at + 10, line.size() - (at + 10) - 1);
+  const std::size_t cut = direct.find("\"seconds\":");
+  ASSERT_NE(cut, std::string::npos);
+  EXPECT_EQ(served.substr(0, cut), direct.substr(0, cut));
+}
+
+TEST(Service, RepeatedRequestReplaysFromTheCache) {
+  SolverService svc(small_config());
+  Collector col;
+  const std::string req =
+      "{\"cmd\": \"solve\", \"spec\": \"dihedral seed=1\"}";
+  svc.submit_line(req, col.responder());
+  const std::string first = col.wait_line(0);
+  svc.submit_line(req, col.responder());
+  const std::string second = col.wait_line(1);
+
+  const JsonValue v1 = parse_json(first);
+  const JsonValue v2 = parse_json(second);
+  EXPECT_FALSE(v1.find("cached")->bool_value);
+  EXPECT_TRUE(v2.find("cached")->bool_value);
+  // The replay is the original run's report, byte for byte (including
+  // its seconds and its seed).
+  EXPECT_EQ(first.substr(first.find(",\"report\":")),
+            second.substr(second.find(",\"report\":")));
+
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.jobs_received, 2u);
+  EXPECT_EQ(s.jobs_completed, 2u);
+  EXPECT_EQ(s.cache_hits, 1u);
+  EXPECT_EQ(s.cache_misses, 1u);
+  EXPECT_EQ(s.cache_entries, 1u);
+}
+
+TEST(Service, SeedlessRequestsReportTheBaseSeedAndShareTheCache) {
+  ServiceConfig cfg = small_config();
+  cfg.base_seed = 424242;
+  SolverService svc(cfg);
+  Collector col;
+  const std::string req = "{\"cmd\": \"solve\", \"spec\": \"dihedral\"}";
+  svc.submit_line(req, col.responder());
+  const JsonValue v1 = parse_json(col.wait_line(0));
+  ASSERT_EQ(str_field(v1, "type"), "result");
+  EXPECT_EQ(v1.find("report")->find("seed")->as_u64(), 424242u);
+  // The fingerprint excludes the seed, so the repeat is a hit even
+  // though each seedless admission draws a fresh RNG stream.
+  svc.submit_line(req, col.responder());
+  const JsonValue v2 = parse_json(col.wait_line(1));
+  EXPECT_TRUE(v2.find("cached")->bool_value);
+  EXPECT_EQ(svc.stats().cache_hits, 1u);
+}
+
+TEST(Service, CompletedSolverFailuresAreCached) {
+  SolverService svc(small_config());
+  Collector col;
+  // The qubit backend needs power-of-two moduli; Heisenberg's are 3s.
+  // A completed failure is deterministic, so it is cached like a
+  // success and replayed with cached:true.
+  const std::string req =
+      "{\"cmd\": \"solve\", \"spec\": \"heisenberg backend=qubit\"}";
+  svc.submit_line(req, col.responder());
+  const JsonValue v1 = parse_json(col.wait_line(0));
+  EXPECT_EQ(str_field(v1, "type"), "error");
+  EXPECT_EQ(error_code(v1), "spec_error");
+  EXPECT_FALSE(v1.find("cached")->bool_value);
+
+  svc.submit_line(req, col.responder());
+  const JsonValue v2 = parse_json(col.wait_line(1));
+  EXPECT_EQ(error_code(v2), "spec_error");
+  EXPECT_TRUE(v2.find("cached")->bool_value);
+  EXPECT_EQ(svc.stats().jobs_failed, 2u);
+  EXPECT_EQ(svc.stats().cache_hits, 1u);
+}
+
+TEST(Service, QueueLimitRejectsWithQueueFull) {
+  ServiceConfig cfg = small_config();
+  cfg.queue_limit = 0;  // every admission check sees a "full" queue
+  SolverService svc(cfg);
+  Collector col;
+  svc.submit_line("{\"cmd\": \"solve\", \"spec\": \"dihedral\"}",
+                  col.responder());
+  const JsonValue v = parse_json(col.wait_line(0));
+  EXPECT_EQ(error_code(v), "queue_full");
+  EXPECT_EQ(svc.stats().jobs_rejected, 1u);
+  EXPECT_EQ(svc.stats().jobs_received, 0u);
+}
+
+TEST(Service, DrainRejectsSolvesButAnswersControl) {
+  SolverService svc(small_config());
+  Collector col;
+  svc.begin_drain();
+  svc.wait_idle();
+  svc.submit_line("{\"cmd\": \"solve\", \"spec\": \"dihedral\"}",
+                  col.responder());
+  EXPECT_EQ(error_code(parse_json(col.wait_line(0))), "shutting_down");
+  svc.submit_line("{\"cmd\": \"ping\"}", col.responder());
+  EXPECT_EQ(str_field(parse_json(col.wait_line(1)), "type"), "pong");
+}
+
+TEST(Service, ShutdownCommandFlagsTheTransportAndDrains) {
+  SolverService svc(small_config());
+  Collector col;
+  EXPECT_FALSE(svc.shutdown_requested());
+  svc.submit_line("{\"cmd\": \"shutdown\", \"id\": 9}", col.responder());
+  const JsonValue v = parse_json(col.wait_line(0));
+  EXPECT_EQ(str_field(v, "type"), "shutdown");
+  EXPECT_TRUE(v.find("ok")->bool_value);
+  EXPECT_TRUE(svc.shutdown_requested());
+  svc.submit_line("{\"cmd\": \"solve\", \"spec\": \"dihedral\"}",
+                  col.responder());
+  EXPECT_EQ(error_code(parse_json(col.wait_line(1))), "shutting_down");
+}
+
+TEST(Service, StatsEndpointReportsTheDocumentedShape) {
+  SolverService svc(small_config());
+  Collector col;
+  svc.submit_line("{\"cmd\": \"stats\"}", col.responder());
+  const JsonValue v = parse_json(col.wait_line(0));
+  EXPECT_EQ(str_field(v, "type"), "stats");
+  const JsonValue* s = v.find("stats");
+  ASSERT_NE(s, nullptr);
+  for (const char* key :
+       {"uptime_seconds", "jobs_received", "jobs_completed", "jobs_failed",
+        "jobs_rejected", "queue_depth", "in_flight", "workers",
+        "queue_limit", "cache"}) {
+    EXPECT_NE(s->find(key), nullptr) << key;
+  }
+  const JsonValue* cache = s->find("cache");
+  ASSERT_NE(cache, nullptr);
+  for (const char* key :
+       {"hits", "misses", "evictions", "entries", "capacity", "hit_rate"}) {
+    EXPECT_NE(cache->find(key), nullptr) << key;
+  }
+  EXPECT_EQ(cache->find("capacity")->as_u64(), 16u);
+}
+
+TEST(Service, ConcurrentMixedClientsAllGetAnswers) {
+  SolverService svc(small_config());
+  Collector col;
+  const std::vector<std::string> requests = {
+      "{\"cmd\": \"solve\", \"id\": 0, \"spec\": \"dihedral seed=1\"}",
+      "{\"cmd\": \"ping\", \"id\": 1}",
+      "{\"cmd\": \"solve\", \"id\": 2, \"spec\": \"dihedral seed=1\"}",
+      "garbage",
+      "{\"cmd\": \"solve\", \"id\": 4, \"spec\": \"quaternion seed=2\"}",
+      "{\"cmd\": \"stats\", \"id\": 5}",
+      "{\"cmd\": \"nope\", \"id\": 6}",
+      "{\"cmd\": \"solve\", \"id\": 7, \"spec\": \"dihedral seed=3\"}",
+  };
+  std::vector<std::thread> clients;
+  for (const std::string& req : requests) {
+    clients.emplace_back(
+        [&svc, &col, req] { svc.submit_line(req, col.responder()); });
+  }
+  for (std::thread& t : clients) t.join();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const std::string line = col.wait_line(i);
+    if (line.empty()) continue;
+    const JsonValue v = parse_json(line);
+    EXPECT_EQ(str_field(v, "schema"), "nahsp-serve/v1") << line;
+  }
+  svc.wait_idle();
+  EXPECT_EQ(col.count(), requests.size());
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.jobs_received, 4u);
+  EXPECT_EQ(s.jobs_completed + s.jobs_failed, 4u);
+  EXPECT_EQ(s.jobs_rejected, 2u);  // garbage + unknown cmd
+  EXPECT_EQ(s.queue_depth, 0u);
+  EXPECT_EQ(s.in_flight, 0u);
+}
+
+}  // namespace
+}  // namespace nahsp::serve

@@ -1,14 +1,22 @@
-// Tests for the automatic method dispatcher.
+// Tests for the automatic method dispatcher and the batch driver's
+// failure taxonomy.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
+
 #include "nahsp/bbox/hiding.h"
+#include "nahsp/common/cancel.h"
+#include "nahsp/common/check.h"
 #include "nahsp/common/rng.h"
+#include "nahsp/groups/dihedral.h"
 #include "nahsp/groups/gf2group.h"
 #include "nahsp/groups/heisenberg.h"
 #include "nahsp/groups/permutation.h"
 #include "nahsp/groups/quaternion.h"
 #include "nahsp/hsp/instance.h"
 #include "nahsp/hsp/solve.h"
+#include "nahsp/qsim/sampler.h"
 
 namespace nahsp::hsp {
 namespace {
@@ -72,6 +80,38 @@ TEST(AutoSolve, QuaternionGoesThroughTheorem11) {
                                    inst.planted_generators));
 }
 
+TEST(AutoSolve, PreCancelledTokenAbortsBeforeAnyRound) {
+  Rng rng(5);
+  auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+  const auto inst = bb::make_instance(h, {h->make({1}, {1}, 0)});
+  AutoOptions opts;
+  opts.order_bound = 27;
+  auto token = std::make_shared<CancelToken>();
+  token->cancel();
+  opts.cancel = token;
+  EXPECT_THROW(solve_hsp(*inst.bb, *inst.f, rng, opts),
+               OperationCancelled);
+}
+
+TEST(AutoSolve, ExpiredDeadlineCancelsTheSolve) {
+  Rng rng(6);
+  auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+  const auto inst = bb::make_instance(h, {h->make({1}, {1}, 0)});
+  AutoOptions opts;
+  opts.order_bound = 27;
+  auto token = std::make_shared<CancelToken>();
+  token->set_deadline(std::chrono::steady_clock::now() -
+                      std::chrono::milliseconds(1));
+  opts.cancel = token;
+  try {
+    solve_hsp(*inst.bb, *inst.f, rng, opts);
+    FAIL() << "expected OperationCancelled";
+  } catch (const OperationCancelled& e) {
+    EXPECT_NE(std::string(e.what()).find("deadline"), std::string::npos);
+    EXPECT_EQ(token->reason(), CancelToken::Reason::kDeadline);
+  }
+}
+
 TEST(AutoSolve, MethodNamesAreStable) {
   EXPECT_NE(std::string(method_name(Method::kElemAbelian2)).find("13"),
             std::string::npos);
@@ -79,6 +119,146 @@ TEST(AutoSolve, MethodNamesAreStable) {
             std::string::npos);
   EXPECT_NE(std::string(method_name(Method::kHiddenNormal)).find("8"),
             std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Batch driver: failure taxonomy and per-instance RNG override.
+// ---------------------------------------------------------------------
+
+bb::HspInstance healthy_heisenberg() {
+  auto h = std::make_shared<grp::HeisenbergGroup>(3, 1);
+  return bb::make_instance(h, {h->make({1}, {1}, 0)});
+}
+
+AutoOptions heisenberg_options() {
+  AutoOptions o;
+  o.order_bound = 27;
+  return o;
+}
+
+// A black box that detects its own hiding-promise violation after a
+// few warm-up queries and reports it with the same oracle_error type
+// the solver-side NAHSP_ORACLE_CHECK guards use. Deterministic: the
+// instance runs serially on one worker, so the failing query is always
+// the same one.
+bb::HspInstance promise_reporting_dihedral() {
+  bb::HspInstance inst;
+  auto d = std::make_shared<grp::DihedralGroup>(6);
+  inst.group = d;
+  inst.counter = std::make_shared<bb::QueryCounter>();
+  inst.bb = std::make_shared<bb::BlackBoxGroup>(d, inst.counter);
+  auto calls = std::make_shared<int>(0);
+  inst.f = std::make_shared<bb::LambdaHider>(
+      [calls](Code) -> u64 {
+        if (++*calls > 5)
+          throw oracle_error("labels are not constant on cosets");
+        return 0;
+      },
+      inst.counter);
+  return inst;
+}
+
+TEST(BatchSolve, MixedFailureAggregation) {
+  // One batch holding every outcome class at once: healthy instances,
+  // a promise-breaking oracle, a backend the group cannot satisfy
+  // (qubit needs power-of-two moduli, Heisenberg's are 3s), and a
+  // pre-cancelled request. Each failure stays typed and in its slot;
+  // the healthy siblings are untouched.
+  std::vector<bb::HspInstance> instances;
+  BatchOptions opts;
+  opts.base_seed = 0xfeedbeefULL;
+
+  instances.push_back(healthy_heisenberg());          // 0: ok
+  opts.per_instance.push_back(heisenberg_options());
+
+  instances.push_back(promise_reporting_dihedral());  // 1: bad oracle
+  opts.per_instance.push_back(AutoOptions{});
+
+  instances.push_back(healthy_heisenberg());          // 2: bad backend
+  {
+    AutoOptions o = heisenberg_options();
+    o.sampler.backend = qs::SamplerBackend::kQubit;
+    opts.per_instance.push_back(o);
+  }
+
+  instances.push_back(healthy_heisenberg());          // 3: cancelled
+  {
+    AutoOptions o = heisenberg_options();
+    auto token = std::make_shared<CancelToken>();
+    token->cancel(CancelToken::Reason::kShutdown);
+    o.cancel = token;
+    opts.per_instance.push_back(o);
+  }
+
+  instances.push_back(healthy_heisenberg());          // 4: ok
+  opts.per_instance.push_back(heisenberg_options());
+
+  opts.threads = 4;
+  const auto report = solve_hsp_batch(instances, opts);
+  ASSERT_EQ(report.items.size(), 5u);
+  EXPECT_EQ(report.solved, 2u);
+
+  EXPECT_TRUE(report.items[0].success);
+  EXPECT_TRUE(report.items[0].error_kind.empty());
+  EXPECT_TRUE(verify_same_subgroup(*instances[0].group,
+                                   report.items[0].solution.generators,
+                                   instances[0].planted_generators));
+
+  EXPECT_FALSE(report.items[1].success);
+  EXPECT_EQ(report.items[1].error_kind, "oracle_error")
+      << report.items[1].error;
+  EXPECT_NE(report.items[1].error.find("cosets"), std::string::npos);
+
+  EXPECT_FALSE(report.items[2].success);
+  EXPECT_EQ(report.items[2].error_kind, "invalid_argument");
+  EXPECT_NE(report.items[2].error.find("power-of-two"),
+            std::string::npos);
+
+  EXPECT_FALSE(report.items[3].success);
+  EXPECT_EQ(report.items[3].error_kind, "cancelled");
+  EXPECT_NE(report.items[3].error.find("shutdown"), std::string::npos);
+
+  EXPECT_TRUE(report.items[4].success);
+  EXPECT_TRUE(verify_same_subgroup(*instances[4].group,
+                                   report.items[4].solution.generators,
+                                   instances[4].planted_generators));
+}
+
+TEST(BatchSolve, PerInstanceRngReproducesADirectSolve) {
+  // The per_instance_rng override is the `nahsp serve` seed contract:
+  // a batch instance handed Rng(seed) must reproduce the direct
+  // solve_hsp(..., Rng(seed)) run bit for bit, regardless of how the
+  // request was grouped into a batch.
+  const std::uint64_t seed = 99;
+  const auto direct_inst = healthy_heisenberg();
+  Rng direct_rng(seed);
+  const auto direct = solve_hsp(*direct_inst.bb, *direct_inst.f,
+                                direct_rng, heisenberg_options());
+
+  std::vector<bb::HspInstance> instances;
+  instances.push_back(healthy_heisenberg());
+  BatchOptions opts;
+  opts.solver = heisenberg_options();
+  opts.base_seed = 0xdeadULL;  // must be ignored
+  opts.per_instance_rng.push_back(Rng(seed));
+  opts.threads = 2;
+  const auto report = solve_hsp_batch(instances, opts);
+  ASSERT_EQ(report.items.size(), 1u);
+  ASSERT_TRUE(report.items[0].success);
+  EXPECT_EQ(report.items[0].solution.generators, direct.generators);
+  EXPECT_EQ(report.items[0].solution.method, direct.method);
+  EXPECT_EQ(report.items[0].queries.quantum_queries,
+            direct_inst.counter->quantum_queries);
+}
+
+TEST(BatchSolve, PerInstanceRngSizeMismatchThrows) {
+  std::vector<bb::HspInstance> instances;
+  instances.push_back(healthy_heisenberg());
+  instances.push_back(healthy_heisenberg());
+  BatchOptions opts;
+  opts.solver = heisenberg_options();
+  opts.per_instance_rng.push_back(Rng(1));
+  EXPECT_THROW(solve_hsp_batch(instances, opts), std::invalid_argument);
 }
 
 }  // namespace

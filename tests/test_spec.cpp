@@ -65,6 +65,61 @@ TEST(SpecParse, U64LiteralGrammar) {
                std::invalid_argument);
 }
 
+TEST(SpecParse, U64RejectionsNameTheirCause) {
+  // Every rejection carries a distinct diagnostic: these messages reach
+  // users verbatim (CLI errors, serve spec_error responses), so "what
+  // exactly was wrong with the literal" is part of the contract.
+  struct Case {
+    const char* text;
+    const char* why;
+  };
+  const Case cases[] = {
+      {"", "empty"},
+      {" 1", "contains whitespace"},
+      {"1 ", "contains whitespace"},
+      {"1\t2", "contains whitespace"},
+      {"+1", "sign characters are not accepted"},
+      {"-1", "sign characters are not accepted"},
+      {"+0x10", "sign characters are not accepted"},
+      {"18446744073709551616", "overflows the 64-bit unsigned range"},
+      {"0x10000000000000000", "overflows the 64-bit unsigned range"},
+      {"99999999999999999999999", "overflows the 64-bit unsigned range"},
+      {"abc", "expected decimal digits"},
+      {"0xg1", "expected hex digits after 0x"},
+      {"12x", "trailing characters after the digits"},
+      {"0x12g", "trailing characters after the digits"},
+      {"1.5", "trailing characters after the digits"},
+  };
+  for (const Case& c : cases) {
+    try {
+      (void)parse_spec_u64(c.text);
+      FAIL() << "accepted '" << c.text << "'";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("not an unsigned integer"), std::string::npos)
+          << "'" << c.text << "' -> " << msg;
+      EXPECT_NE(msg.find(c.why), std::string::npos)
+          << "'" << c.text << "' -> " << msg;
+    }
+  }
+}
+
+TEST(SpecMapTyped, GetU64KeepsTheLiteralCause) {
+  // get_u64 wraps parse_spec_u64 failures with the key name but must
+  // not flatten the specific cause.
+  ScenarioSpec spec = parse_scenario_line("x n=+7");
+  try {
+    (void)spec.params.get_u64("n", 0);
+    FAIL() << "expected invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'n'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("sign characters are not accepted"),
+              std::string::npos)
+        << msg;
+  }
+}
+
 TEST(SpecMapTyped, GetU64DefaultsAndRanges) {
   ScenarioSpec spec = parse_scenario_line("x n=12");
   EXPECT_EQ(spec.params.get_u64("n", 5, 2, 100), 12u);
