@@ -14,6 +14,13 @@ cmake -B build -S .
 cmake --build build -j "$JOBS"
 (cd build && ctest --output-on-failure -j "$JOBS")
 
+echo "== property suite (ctest -L property) over generator-drawn instances =="
+# Group-axiom / instance-invariant checks swept over the planted-instance
+# generator's families. NAHSP_STRESS_SEEDS widens the per-family gen_seed
+# sweep (default 50); the CI stress job runs the same label raised.
+echo "NAHSP_STRESS_SEEDS=${NAHSP_STRESS_SEEDS:-50 (default)}"
+(cd build && ctest -L property --output-on-failure -j "$JOBS")
+
 echo "== statistical suite (ctest -L stat) under the pinned seed =="
 # The chi-square backend-equivalence tests rerun with an explicit seed so
 # any flake is reproducible: export the printed NAHSP_STAT_SEED to replay.

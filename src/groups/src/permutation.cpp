@@ -329,4 +329,23 @@ std::shared_ptr<const PermutationGroup> alternating_group(int degree) {
   return std::make_shared<PermutationGroup>(degree, gens, os.str());
 }
 
+std::shared_ptr<const PermutationGroup> iterated_wreath_z2(int depth) {
+  NAHSP_REQUIRE(depth >= 1 && depth <= 4,
+                "iterated wreath depth must be in [1, 4] (degree <= 16)");
+  const int degree = 1 << depth;
+  // Level-l generator: XOR bit l-1 on the first 2^l points, i.e. swap
+  // the two half-blocks of the leading 2^l-point block. These d
+  // permutations generate the Sylow 2-subgroup of S_{2^d}, the iterated
+  // wreath product Z_2 wr ... wr Z_2 of order 2^(2^d - 1).
+  std::vector<Perm> gens;
+  for (int l = 1; l <= depth; ++l) {
+    Perm p(degree);
+    for (int i = 0; i < degree; ++i) p[i] = i < (1 << l) ? i ^ (1 << (l - 1)) : i;
+    gens.push_back(std::move(p));
+  }
+  std::ostringstream os;
+  os << "W_2^(" << depth << ")";
+  return std::make_shared<PermutationGroup>(degree, gens, os.str());
+}
+
 }  // namespace nahsp::grp

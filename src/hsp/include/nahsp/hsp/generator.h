@@ -1,0 +1,96 @@
+// Random planted-instance generator fleet: deterministic draws of HSP
+// scenarios from a single u64 seed.
+//
+// Each draw function maps (gen_seed, shape parameters) to a concrete
+// group, a planted hidden subgroup, and tuned dispatcher options —
+// nothing else feeds the construction, so a failing instance reproduces
+// from the one seed printed in its report. The draws are exposed through
+// the scenario registry as the spec-driven families `random_abelian`,
+// `random_normal`, `tower`, and `adversarial`, which makes them
+// reachable from `nahsp solve/batch`, the golden reports, the fuzz
+// suite, and the property-based test framework alike.
+//
+// Determinism contract (same as the hand-built families): the solver's
+// Rng is the only randomness at solve time; the generator's internal Rng
+// is seeded purely from `gen_seed` and consumed in a fixed draw order,
+// so (family, params) -> instance is a pure function.
+#pragma once
+
+#include "nahsp/hsp/scenario.h"
+
+namespace nahsp::hsp {
+
+/// \brief One generator draw: group + planted subgroup + solver options.
+///
+/// `perm_group` is non-null when the draw wants a PermCosetHider
+/// (Schreier–Sims coset labels) instead of an EnumerationHider; it then
+/// aliases `group`.
+struct GeneratedScenario {
+  std::shared_ptr<const grp::Group> group;
+  std::shared_ptr<const grp::PermutationGroup> perm_group;
+  std::vector<grp::Code> hidden;  ///< planted subgroup generators
+  AutoOptions options;            ///< dispatcher knobs tuned to the draw
+};
+
+/// \brief Random Abelian group by invariant factors d_1 | d_2 | ... with
+/// product <= max_order, plus `hidden` random planted generators.
+/// \param gen_seed   Sole randomness source of the construction.
+/// \param max_order  Cap on |G| (and hence on the group exponent).
+/// \param factors    Maximum number of invariant factors (>= 1).
+/// \param hidden     Number of random planted-generator draws.
+GeneratedScenario draw_random_abelian(u64 gen_seed, u64 max_order,
+                                      u64 factors, u64 hidden);
+
+/// \brief Random normal subgroup of a built non-Abelian family, solved
+/// through the Theorem 8 route (gprime_cap = 1).
+/// \param gen_seed Sole randomness source of the construction.
+/// \param base     0 = dihedral, 1 = quaternion, 2 = Heisenberg,
+///                 3 = symmetric (Schreier–Sims coset labels).
+/// \param size     Scale knob for the drawn group order.
+/// \param picks    Number of random elements whose normal closure is
+///                 planted (0 plants the trivial subgroup).
+GeneratedScenario draw_random_normal(u64 gen_seed, u64 base, u64 size,
+                                     u64 picks);
+
+/// \brief Composite towers: iterated wreath products (shape 0, Theorem 8
+/// on the Sylow 2-subgroup of S_{2^depth}) or random GF(2) semidirect
+/// products Z_2^k x| Z_m with a random invertible action (shape 1,
+/// Theorem 13 cyclic-factor route).
+/// \param gen_seed Sole randomness source of the construction.
+/// \param depth    Wreath iteration depth (shape 0; |G| = 2^(2^depth-1)).
+/// \param shape    0 = iterated wreath, 1 = random GF(2) semidirect.
+/// \param k        Dimension of N = Z_2^k (shape 1).
+/// \param picks    Random planted-generator draws (shape 0 takes the
+///                 normal closure; shape 1 plants them as-is).
+GeneratedScenario draw_tower(u64 gen_seed, u64 depth, u64 shape, u64 k,
+                             u64 picks);
+
+/// \brief Adversarial near-miss modes for the `adversarial` family.
+enum class AdversaryMode : u64 {
+  kTrivial = 0,      ///< degenerate |H| = 1, honest oracle (solvable)
+  kFull = 1,         ///< degenerate |H| = |G|, honest oracle (solvable)
+  kNonHiding = 2,    ///< pseudo-random small-range labels: f hides nothing
+  kAlmostHidden = 3  ///< honest hider corrupted at `corrupt` points
+};
+
+/// \brief Builds an adversarial instance plus its dispatcher options.
+///
+/// Modes 0/1 are the degenerate-but-honest endpoints and must solve;
+/// modes 2/3 break the hiding promise so the solver's oracle checks
+/// (Schreier coset-constancy, sparse structural hiding checks, final
+/// generator label verification) surface `oracle_error` instead of a
+/// wrong answer. `abelian` = 1 swaps the dihedral substrate for Z_n,
+/// which drives the corrupted labels through the Fourier-sampling
+/// pipeline (the sparse backend then rejects at sampler build).
+struct AdversarialScenario {
+  bb::HspInstance instance;
+  AutoOptions options;
+};
+AdversarialScenario make_adversarial(AdversaryMode mode, u64 n, u64 corrupt,
+                                     u64 gen_seed, bool abelian);
+
+/// \brief The generator-backed scenario families (`random_abelian`,
+/// `random_normal`, `tower`, `adversarial`), ready for registration.
+std::vector<ScenarioFamily> generator_scenario_families();
+
+}  // namespace nahsp::hsp

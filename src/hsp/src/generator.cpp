@@ -1,0 +1,476 @@
+#include "nahsp/hsp/generator.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "nahsp/common/check.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/cyclic.h"
+#include "nahsp/groups/dihedral.h"
+#include "nahsp/groups/gf2group.h"
+#include "nahsp/groups/heisenberg.h"
+#include "nahsp/groups/permutation.h"
+#include "nahsp/groups/quaternion.h"
+#include "scenario_detail.h"
+
+namespace nahsp::hsp {
+
+namespace {
+
+using detail::ParamReader;
+using detail::scenario_fail;
+using grp::Code;
+
+// Construction Rng: one fixed stream per (family tag, gen_seed) so the
+// families draw independently even under equal seeds, and a draw is a
+// pure function of its arguments.
+Rng construction_rng(u64 tag, u64 gen_seed) {
+  return Rng(tag ^ (gen_seed * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL));
+}
+
+u64 splitmix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+constexpr u64 kTagAbelian = 0x61626c6eU;      // "abln"
+constexpr u64 kTagNormal = 0x6e6f726dU;       // "norm"
+constexpr u64 kTagTower = 0x74777287U;        // "twr"
+constexpr u64 kTagAdversary = 0x61647665U;    // "adve"
+
+}  // namespace
+
+GeneratedScenario draw_random_abelian(u64 gen_seed, u64 max_order,
+                                      u64 factors, u64 hidden) {
+  NAHSP_REQUIRE(max_order >= 4, "max_order must be >= 4");
+  NAHSP_REQUIRE(factors >= 1, "factors must be >= 1");
+  Rng rng = construction_rng(kTagAbelian, gen_seed);
+
+  // Invariant-factor chain d_1 | d_2 | ... | d_r with product <= max_order
+  // (each step multiplies the previous factor by a small multiplier), so
+  // any finite Abelian group shape within the budget is reachable.
+  const u64 want = 1 + rng.below(factors);
+  std::vector<u64> orders{2 + rng.below(7)};  // d_1 in [2, 8]
+  u64 product = orders[0];
+  while (orders.size() < want) {
+    const u64 next = orders.back() * (1 + rng.below(4));
+    if (product > max_order / next) break;
+    orders.push_back(next);
+    product *= next;
+  }
+  while (product > max_order) {  // d_1 alone can overshoot a tiny budget
+    product /= orders.back();
+    orders.pop_back();
+  }
+
+  GeneratedScenario gs;
+  auto g = grp::product_of_cyclics(orders);
+  for (u64 t = 0; t < hidden; ++t) {
+    std::vector<Code> coords(orders.size());
+    for (std::size_t i = 0; i < orders.size(); ++i)
+      coords[i] = rng.below(orders[i]);
+    const Code h = g->pack(coords);
+    if (!g->is_id(h)) gs.hidden.push_back(h);
+  }
+  // The largest invariant factor is the group exponent, the tight Shor
+  // domain bound (max_order <= 1920 keeps it within the simulator budget).
+  gs.options.order_bound = orders.back();
+  gs.group = std::move(g);
+  return gs;
+}
+
+GeneratedScenario draw_random_normal(u64 gen_seed, u64 base, u64 size,
+                                     u64 picks) {
+  NAHSP_REQUIRE(base <= 3, "base must be in [0, 3]");
+  NAHSP_REQUIRE(size >= 1 && size <= 4, "size must be in [1, 4]");
+  Rng rng = construction_rng(kTagNormal, gen_seed);
+
+  GeneratedScenario gs;
+  switch (base) {
+    case 0: {  // dihedral D_n, n in [4, 7 + 8*size]
+      const u64 n = 4 + rng.below(4 + 8 * size);
+      gs.group = std::make_shared<grp::DihedralGroup>(n);
+      gs.options.order_bound = n;
+      break;
+    }
+    case 1: {  // quaternion Q_8 .. Q_64
+      const u64 order = u64{8} << rng.below(size);
+      gs.group = std::make_shared<grp::QuaternionGroup>(order);
+      gs.options.order_bound = order;
+      break;
+    }
+    case 2: {  // Heisenberg Heis(p), p in {3, 5, 7} by size
+      static constexpr u64 primes[3] = {3, 5, 7};
+      const u64 p = primes[rng.below(std::min<u64>(size, 3))];
+      gs.group = std::make_shared<grp::HeisenbergGroup>(p, 1);
+      gs.options.order_bound = p;
+      break;
+    }
+    default: {  // symmetric S_3 / S_4 with Schreier-Sims coset labels
+      const u64 d = 3 + rng.below(size >= 2 ? 2 : 1);
+      gs.perm_group = grp::symmetric_group(static_cast<int>(d));
+      gs.group = gs.perm_group;
+      u64 fact = 1;
+      for (u64 i = 2; i <= d; ++i) fact *= i;
+      gs.options.order_bound = fact;
+      break;
+    }
+  }
+
+  // Planted subgroup: the normal closure of `picks` random elements —
+  // normal by construction, which is exactly what Theorem 8 assumes.
+  std::vector<Code> seed;
+  for (u64 t = 0; t < picks; ++t) {
+    const Code e =
+        grp::random_word_element(*gs.group, gs.group->generators(), rng);
+    if (!gs.group->is_id(e)) seed.push_back(e);
+  }
+  if (!seed.empty()) gs.hidden = grp::normal_closure(*gs.group, seed);
+  gs.options.gprime_cap = 1;  // skip the Theorem 11 probe: exercise Theorem 8
+  return gs;
+}
+
+GeneratedScenario draw_tower(u64 gen_seed, u64 depth, u64 shape, u64 k,
+                             u64 picks) {
+  NAHSP_REQUIRE(depth >= 1 && depth <= 4, "depth must be in [1, 4]");
+  NAHSP_REQUIRE(k >= 2 && k <= 8, "k must be in [2, 8]");
+  Rng rng = construction_rng(kTagTower, gen_seed);
+
+  GeneratedScenario gs;
+  if (shape == 0) {
+    // Iterated wreath Z_2 wr ... wr Z_2: Sylow 2-subgroup of S_{2^depth}.
+    gs.perm_group = grp::iterated_wreath_z2(static_cast<int>(depth));
+    gs.group = gs.perm_group;
+    std::vector<Code> seed;
+    for (u64 t = 0; t < picks; ++t) {
+      const Code e =
+          grp::random_word_element(*gs.group, gs.group->generators(), rng);
+      if (!gs.group->is_id(e)) seed.push_back(e);
+    }
+    gs.hidden = seed.empty() ? std::vector<Code>{}
+                             : grp::normal_closure(*gs.group, seed);
+    // The Theorem 8 Schreier walk enumerates |G/H| cosets; at depth 4
+    // (|G| = 2^15) a small planted subgroup would blow the coset cap, so
+    // grow the closure until the index fits (deterministic from rng).
+    const u64 order = gs.group->order();
+    for (int guard = 0; guard < 24; ++guard) {
+      const u64 h_order =
+          gs.hidden.empty()
+              ? 1
+              : grp::enumerate_subgroup(*gs.group, gs.hidden).size();
+      if (order / h_order <= 8192) break;
+      const Code e =
+          grp::random_word_element(*gs.group, gs.group->generators(), rng);
+      std::vector<Code> grown = gs.hidden;
+      grown.push_back(e);
+      gs.hidden = grp::normal_closure(*gs.group, grown);
+    }
+    gs.options.gprime_cap = 1;
+    gs.options.order_bound = u64{1} << depth;  // the exponent of W_2^(d)
+  } else {
+    // Random GF(2) semidirect product Z_2^k x| Z_m: a random invertible
+    // action T (product of elementary row operations), m = ord(T).
+    grp::GF2Mat t = grp::GF2Mat::identity(static_cast<int>(k));
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      for (u64 op = 0; op < 4 * k; ++op) {
+        const int r = static_cast<int>(rng.below(k));
+        int s = static_cast<int>(rng.below(k - 1));
+        if (s >= r) ++s;
+        // row_r += row_s: an elementary (invertible) transformation.
+        grp::GF2Mat e = grp::GF2Mat::identity(static_cast<int>(k));
+        e.set(r, s, true);
+        t = e.mul(t);
+      }
+      if (t.mat_order() >= 2) break;
+    }
+    if (t.mat_order() < 2)
+      t = grp::GF2Mat::companion(static_cast<int>(k), 3);  // x^k + x + 1
+    auto g = std::make_shared<grp::GF2SemidirectCyclic>(
+        static_cast<int>(k), t, t.mat_order());
+    for (u64 p = 0; p < picks; ++p) {
+      const Code h = g->make(rng.below(u64{1} << k), rng.below(g->m()));
+      if (!g->is_id(h)) gs.hidden.push_back(h);
+    }
+    gs.options = detail::gf2_semidirect_options(g);
+    gs.group = std::move(g);
+  }
+  return gs;
+}
+
+AdversarialScenario make_adversarial(AdversaryMode mode, u64 n, u64 corrupt,
+                                     u64 gen_seed, bool abelian) {
+  NAHSP_REQUIRE(n >= 4, "n must be >= 4");
+  Rng rng = construction_rng(kTagAdversary, gen_seed);
+
+  std::shared_ptr<const grp::Group> g;
+  std::shared_ptr<const grp::DihedralGroup> dg;
+  if (abelian) {
+    g = std::make_shared<grp::CyclicGroup>(n);
+  } else {
+    dg = std::make_shared<grp::DihedralGroup>(n);
+    g = dg;
+  }
+
+  AdversarialScenario adv;
+  adv.options.order_bound = n;
+  switch (mode) {
+    case AdversaryMode::kTrivial:
+      adv.instance = bb::make_instance(g, {});
+      break;
+    case AdversaryMode::kFull:
+      adv.instance = bb::make_instance(g, g->generators());
+      break;
+    case AdversaryMode::kNonHiding: {
+      // Non-hiding labels with a pinned head and a pseudo-random tail:
+      // the identity keeps a reserved label, the codes 1 and 2 (the
+      // rotations x and x^2) share a class that is provably not a coset,
+      // and everything else scatters over eight values. The pinned head
+      // makes the failure deterministic for every gen_seed: on the
+      // dihedral substrate [x, y] = x^2 has a non-identity label, so the
+      // Theorem 8 route runs its Schreier walk, where x and x^2 sharing
+      // a label derives the Schreier element x with a lying label — the
+      // coset-constancy oracle check fires. On Z_n the class {1, 2} has
+      // the wrong size, so the sparse backend rejects at sampler build,
+      // while the dense pipelines can only ever accept identity-labelled
+      // kernel vectors (code 0) and so never report a wrong subgroup.
+      const u64 salt = splitmix64(gen_seed ^ 0xbadf00dULL);
+      bb::HspInstance inst;
+      inst.group = g;
+      inst.counter = std::make_shared<bb::QueryCounter>();
+      inst.bb = std::make_shared<bb::BlackBoxGroup>(g, inst.counter);
+      inst.f = std::make_shared<bb::LambdaHider>(
+          [salt](Code c) -> u64 {
+            if (c == 0) return 0x100;  // reserved identity label
+            if (c <= 2) return 0x101;  // {x, x^2}: a non-coset class
+            return 0x102 +
+                   (splitmix64(c * 0x2545f4914f6cdd1dULL + salt) & 7);
+          },
+          inst.counter);
+      adv.instance = std::move(inst);
+      adv.options.gprime_cap = 1;  // Theorem 8: the route with oracle checks
+      break;
+    }
+    case AdversaryMode::kAlmostHidden: {
+      // Honest hider for H = <x^4> (resp. <4> in Z_n), corrupted at
+      // `corrupt` points whose labels lie: point 1 is the generator x
+      // claiming y's coset label — the first Schreier element the
+      // Theorem 8 walk derives from that lie lands outside H with an
+      // honest non-identity label, so the coset-constancy oracle check
+      // fires deterministically. Remaining points are random lies.
+      NAHSP_REQUIRE(n % 4 == 0, "mode=3 requires n to be a multiple of 4");
+      const Code h_gen = abelian ? Code{4 % n} : dg->make(4 % n, false);
+      std::vector<Code> planted;
+      if (!g->is_id(h_gen)) planted.push_back(h_gen);
+      bb::HspInstance base = bb::make_instance(g, planted);
+      auto base_f = base.f;
+
+      auto overrides = std::make_shared<std::unordered_map<Code, u64>>();
+      const Code first = abelian ? Code{1} : dg->make(1, false);
+      const Code other = abelian ? Code{2} : dg->make(0, true);
+      overrides->emplace(first, base_f->eval_uncounted(other));
+      // Extra lies carry fresh labels (outside every honest class) and
+      // are rejection-sampled away from H (so the identity's level set
+      // stays intact: no fake kernel elements for the dense pipelines to
+      // accept), away from the generators, and away from `other` (so
+      // the primary lie above keeps its honest collision partner — the
+      // failure stays deterministic at every corruption count).
+      const u64 id_label = base_f->eval_uncounted(g->id());
+      const std::vector<Code> gens = g->generators();
+      const u64 order = g->order();
+      for (u64 extra = 1; extra < corrupt; ++extra) {
+        for (int tries = 0; tries < 64; ++tries) {
+          const Code c = 1 + rng.below(order - 1);  // non-identity codes
+          if (!g->is_element(c) || c == other) continue;
+          if (std::find(gens.begin(), gens.end(), c) != gens.end()) continue;
+          if (base_f->eval_uncounted(c) == id_label) continue;  // inside H
+          overrides->emplace(c, (u64{1} << 60) + extra);
+          break;
+        }
+      }
+
+      bb::HspInstance inst;
+      inst.group = g;
+      inst.counter = std::make_shared<bb::QueryCounter>();
+      inst.bb = std::make_shared<bb::BlackBoxGroup>(g, inst.counter);
+      inst.f = std::make_shared<bb::LambdaHider>(
+          [base_f, overrides](Code c) {
+            const auto it = overrides->find(c);
+            return it != overrides->end() ? it->second
+                                          : base_f->eval_uncounted(c);
+          },
+          inst.counter);
+      inst.planted_generators = std::move(planted);
+      adv.instance = std::move(inst);
+      adv.options.gprime_cap = 1;
+      break;
+    }
+  }
+  return adv;
+}
+
+// ------------------------------------------------------------ families
+
+namespace {
+
+constexpr u64 kU64Max = std::numeric_limits<u64>::max();
+
+BuiltScenario from_generated(GeneratedScenario&& gs, ParamReader&& get) {
+  BuiltScenario b;
+  b.group_name = gs.group->name();
+  b.group_order = gs.group->order();
+  b.params = std::move(get.resolved);
+  b.options = std::move(gs.options);
+  b.instance = gs.perm_group != nullptr
+                   ? bb::make_perm_instance(gs.perm_group, std::move(gs.hidden))
+                   : bb::make_instance(gs.group, std::move(gs.hidden));
+  return b;
+}
+
+ScenarioFamily random_abelian_family() {
+  ScenarioFamily f;
+  f.name = "random_abelian";
+  f.summary =
+      "random Abelian group by invariant factors d_1 | d_2 | ... with "
+      "random planted generators, drawn deterministically from gen_seed";
+  f.theorem = "Theorem 3 / Lemma 9 (Abelian HSP by Fourier sampling)";
+  f.params = {
+      {"gen_seed", 1, 0, kU64Max,
+       "construction seed: the whole instance is a function of it"},
+      {"max_order", 96, 4, 1920,
+       "cap on |G| (and the group exponent; 1920 fits the Shor budget)"},
+      {"factors", 2, 1, 4, "maximum number of invariant factors"},
+      {"hidden", 1, 0, 4, "number of random planted-generator draws"},
+  };
+  f.build = [params = f.params](SpecMap& spec) {
+    ParamReader get{params, spec, {}};
+    const u64 gen_seed = get("gen_seed");
+    const u64 max_order = get("max_order");
+    const u64 factors = get("factors");
+    const u64 hidden = get("hidden");
+    return from_generated(
+        draw_random_abelian(gen_seed, max_order, factors, hidden),
+        std::move(get));
+  };
+  return f;
+}
+
+ScenarioFamily random_normal_family() {
+  ScenarioFamily f;
+  f.name = "random_normal";
+  f.summary =
+      "random normal subgroup (closure of random elements) of a drawn "
+      "dihedral/quaternion/Heisenberg/symmetric group, Theorem 8 route";
+  f.theorem = "Theorem 8 (hidden normal subgroup)";
+  f.params = {
+      {"gen_seed", 1, 0, kU64Max,
+       "construction seed: the whole instance is a function of it"},
+      {"base", 0, 0, 3,
+       "group zoo pick: 0 = dihedral, 1 = quaternion, 2 = Heisenberg, "
+       "3 = symmetric (Schreier-Sims coset labels)"},
+      {"size", 2, 1, 4, "scale knob for the drawn group order"},
+      {"picks", 1, 0, 3,
+       "random elements whose normal closure is planted (0 = trivial)"},
+  };
+  f.build = [params = f.params](SpecMap& spec) {
+    ParamReader get{params, spec, {}};
+    const u64 gen_seed = get("gen_seed");
+    const u64 base = get("base");
+    const u64 size = get("size");
+    const u64 picks = get("picks");
+    return from_generated(draw_random_normal(gen_seed, base, size, picks),
+                          std::move(get));
+  };
+  return f;
+}
+
+ScenarioFamily tower_family() {
+  ScenarioFamily f;
+  f.name = "tower";
+  f.summary =
+      "composite towers: iterated wreath Z_2 wr ... wr Z_2 (shape 0) or "
+      "a random GF(2) semidirect product Z_2^k x| Z_m (shape 1)";
+  f.theorem =
+      "Theorem 8 (iterated wreath) / Theorem 13 (GF(2) semidirect)";
+  f.params = {
+      {"gen_seed", 1, 0, kU64Max,
+       "construction seed: the whole instance is a function of it"},
+      {"depth", 3, 1, 4,
+       "wreath iteration depth (shape 0): |G| = 2^(2^depth - 1)"},
+      {"shape", 0, 0, 1,
+       "0 = iterated wreath tower, 1 = random GF(2) semidirect product"},
+      {"k", 4, 2, 8, "dimension of N = Z_2^k (shape 1)"},
+      {"picks", 1, 0, 3, "random planted-generator draws (0 = trivial)"},
+  };
+  f.build = [params = f.params](SpecMap& spec) {
+    ParamReader get{params, spec, {}};
+    const u64 gen_seed = get("gen_seed");
+    const u64 depth = get("depth");
+    const u64 shape = get("shape");
+    const u64 k = get("k");
+    const u64 picks = get("picks");
+    return from_generated(draw_tower(gen_seed, depth, shape, k, picks),
+                          std::move(get));
+  };
+  return f;
+}
+
+ScenarioFamily adversarial_family() {
+  ScenarioFamily f;
+  f.name = "adversarial";
+  f.summary =
+      "near-miss instances: degenerate |H| in {1, |G|} (honest, solvable) "
+      "or broken hiding promises that must raise oracle_error";
+  f.theorem =
+      "Theorem 8 failure contract (oracle checks reject broken promises)";
+  f.params = {
+      {"mode", 0, 0, 3,
+       "0 = trivial H, 1 = H = G, 2 = non-hiding pseudo-random labels, "
+       "3 = honest hider corrupted at `corrupt` points"},
+      {"n", 8, 4, 512,
+       "substrate size: D_n (default) or Z_n (abelian=1); mode=3 needs "
+       "a multiple of 4"},
+      {"corrupt", 2, 1, 8, "number of lying points in mode 3"},
+      {"gen_seed", 1, 0, kU64Max,
+       "construction seed for the corruption draws"},
+      {"abelian", 0, 0, 1,
+       "1 swaps D_n for Z_n: corrupt labels reach the Fourier-sampling "
+       "pipeline (the sparse backend rejects at sampler build)"},
+  };
+  f.build = [params = f.params](SpecMap& spec) {
+    ParamReader get{params, spec, {}};
+    const u64 mode = get("mode");
+    const u64 n = get("n");
+    const u64 corrupt = get("corrupt");
+    const u64 gen_seed = get("gen_seed");
+    const u64 abelian = get("abelian");
+    if (mode == 3 && n % 4 != 0)
+      scenario_fail("adversarial", "mode=3 requires n to be a multiple of 4");
+    AdversarialScenario adv = make_adversarial(
+        static_cast<AdversaryMode>(mode), n, corrupt, gen_seed, abelian != 0);
+    BuiltScenario b;
+    b.group_name = adv.instance.group->name();
+    b.group_order = adv.instance.group->order();
+    b.params = std::move(get.resolved);
+    b.options = std::move(adv.options);
+    b.instance = std::move(adv.instance);
+    return b;
+  };
+  return f;
+}
+
+}  // namespace
+
+std::vector<ScenarioFamily> generator_scenario_families() {
+  std::vector<ScenarioFamily> families;
+  families.push_back(random_abelian_family());
+  families.push_back(random_normal_family());
+  families.push_back(tower_family());
+  families.push_back(adversarial_family());
+  return families;
+}
+
+}  // namespace nahsp::hsp

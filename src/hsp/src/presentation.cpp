@@ -54,6 +54,19 @@ std::vector<Code> abelian_factor_relators(
         find_order_shor(power_label, verify, order_bound, rng, &g.counter());
   }
 
+  // Degenerate quotient: every generator has order 1 in G/N (verified
+  // above: label(g_i) == id_label), so N = G and the sampling domain is
+  // a single point — too small for the qubit backend to even encode.
+  // Skip the quantum stage and return the generators themselves.
+  bool trivial_quotient = true;
+  for (const u64 o : orders) trivial_quotient = trivial_quotient && (o == 1);
+  if (trivial_quotient) {
+    std::vector<Code> relators;
+    for (const Code x : gens)
+      if (!g.is_id(x)) relators.push_back(x);
+    return relators;
+  }
+
   // Power tables for fast evaluation of phi over the domain.
   std::vector<std::vector<Code>> tables(r);
   for (std::size_t i = 0; i < r; ++i) {

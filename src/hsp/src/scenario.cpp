@@ -11,7 +11,9 @@
 #include "nahsp/groups/heisenberg.h"
 #include "nahsp/groups/permutation.h"
 #include "nahsp/groups/quaternion.h"
+#include "nahsp/hsp/generator.h"
 #include "nahsp/numtheory/arith.h"
+#include "scenario_detail.h"
 
 namespace nahsp::hsp {
 
@@ -19,47 +21,13 @@ namespace {
 
 using grp::Code;
 
-[[noreturn]] void scenario_fail(const std::string& family,
-                                const std::string& msg) {
-  throw std::invalid_argument("scenario '" + family + "': " + msg);
-}
-
-// Fetches declared parameters from the spec (default + declared range)
-// and records the resolved values in declaration-call order, so every
-// report shows exactly what was run.
-struct ParamReader {
-  const std::vector<ScenarioParam>& declared;
-  SpecMap& spec;
-  std::vector<std::pair<std::string, u64>> resolved;
-
-  u64 operator()(std::string_view key) {
-    for (const ScenarioParam& p : declared) {
-      if (p.key == key) {
-        const u64 v = spec.get_u64(key, p.def, p.min, p.max);
-        resolved.emplace_back(p.key, v);
-        return v;
-      }
-    }
-    throw internal_error("scenario builder fetched undeclared key '" +
-                         std::string(key) + "'");
-  }
-};
-
-BuiltScenario make_built(std::shared_ptr<const grp::Group> g,
-                         std::vector<Code> hidden, AutoOptions options,
-                         ParamReader&& reader) {
-  BuiltScenario b;
-  b.group_name = g->name();
-  b.group_order = g->order();
-  b.params = std::move(reader.resolved);
-  b.options = std::move(options);
-  b.instance = bb::make_instance(std::move(g), std::move(hidden));
-  return b;
-}
-
-// Low-k-bit alternating mask 0b...0101 — deterministic "interesting"
-// planted vectors for the GF(2) families.
-u64 alt_mask(u64 bits) { return 0x5555555555555555ULL & ((u64{1} << bits) - 1); }
+// Shared with generator.cpp (the random-instance families) through
+// src/hsp/src/scenario_detail.h.
+using detail::alt_mask;
+using detail::gf2_semidirect_options;
+using detail::make_built;
+using detail::ParamReader;
+using detail::scenario_fail;
 
 // ---------------------------------------------------------------- dihedral
 
@@ -251,22 +219,6 @@ ScenarioFamily quaternion_family() {
 }
 
 // ------------------------------------------------------------------ wreath
-
-// Shared Theorem 13 options for the GF(2) semidirect families: the
-// structure-aware N-membership and coset-label oracles (the DESIGN.md
-// substitution for the Watrous |N>-state machinery).
-AutoOptions gf2_semidirect_options(
-    const std::shared_ptr<const grp::GF2SemidirectCyclic>& g) {
-  AutoOptions o;
-  o.elem_abelian_2_subgroup = g->normal_subgroup_generators();
-  o.elem_abelian_2_options.assume_cyclic_factor = true;
-  o.elem_abelian_2_options.factor_order_bound = g->m();
-  o.elem_abelian_2_options.n_membership = [g](Code c) {
-    return g->rot_of(c) == 0;
-  };
-  o.elem_abelian_2_options.coset_label = [g](Code c) { return g->rot_of(c); };
-  return o;
-}
 
 ScenarioFamily wreath_family() {
   ScenarioFamily f;
@@ -516,6 +468,8 @@ std::vector<ScenarioFamily> make_registry() {
   families.push_back(shor_family());
   families.push_back(symmetric_family());
   families.push_back(wreath_family());
+  for (ScenarioFamily& f : generator_scenario_families())
+    families.push_back(std::move(f));
   std::sort(families.begin(), families.end(),
             [](const ScenarioFamily& a, const ScenarioFamily& b) {
               return a.name < b.name;
@@ -536,11 +490,47 @@ const ScenarioFamily* find_scenario_family(std::string_view name) {
   return nullptr;
 }
 
+namespace {
+
+// Levenshtein edit distance, for "did you mean" suggestions on unknown
+// scenario names. Registry names are short, so the O(|a|*|b|) DP is fine.
+std::size_t edit_distance(std::string_view a, std::string_view b) {
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
 const ScenarioFamily& scenario_family_or_throw(const std::string& name) {
   if (const ScenarioFamily* f = find_scenario_family(name)) return *f;
   std::ostringstream os;
   os << "unknown scenario '" << name << "'; registered scenarios:";
   for (const ScenarioFamily& f : scenario_registry()) os << " " << f.name;
+  // Suggest the nearest registered name when the typo is plausibly one:
+  // within 2 edits, or a third of the typed length for longer names.
+  const ScenarioFamily* best = nullptr;
+  std::size_t best_dist = 0;
+  for (const ScenarioFamily& f : scenario_registry()) {
+    const std::size_t d = edit_distance(name, f.name);
+    if (best == nullptr || d < best_dist) {
+      best = &f;
+      best_dist = d;
+    }
+  }
+  if (best != nullptr &&
+      best_dist <= std::max<std::size_t>(2, name.size() / 3)) {
+    os << "; did you mean '" << best->name << "'?";
+  }
   throw std::invalid_argument(os.str());
 }
 

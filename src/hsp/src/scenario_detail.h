@@ -1,0 +1,80 @@
+// Internal plumbing shared by the scenario registry (scenario.cpp) and
+// the random-instance generator fleet (generator.cpp): declared-param
+// fetching, BuiltScenario assembly, and the Theorem 13 option block for
+// the GF(2) semidirect families. Not installed; include from src/ only.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nahsp/common/check.h"
+#include "nahsp/groups/gf2group.h"
+#include "nahsp/hsp/scenario.h"
+
+namespace nahsp::hsp::detail {
+
+using grp::Code;
+
+[[noreturn]] inline void scenario_fail(const std::string& family,
+                                       const std::string& msg) {
+  throw std::invalid_argument("scenario '" + family + "': " + msg);
+}
+
+// Fetches declared parameters from the spec (default + declared range)
+// and records the resolved values in declaration-call order, so every
+// report shows exactly what was run.
+struct ParamReader {
+  const std::vector<ScenarioParam>& declared;
+  SpecMap& spec;
+  std::vector<std::pair<std::string, u64>> resolved;
+
+  u64 operator()(std::string_view key) {
+    for (const ScenarioParam& p : declared) {
+      if (p.key == key) {
+        const u64 v = spec.get_u64(key, p.def, p.min, p.max);
+        resolved.emplace_back(p.key, v);
+        return v;
+      }
+    }
+    throw internal_error("scenario builder fetched undeclared key '" +
+                         std::string(key) + "'");
+  }
+};
+
+inline BuiltScenario make_built(std::shared_ptr<const grp::Group> g,
+                                std::vector<Code> hidden, AutoOptions options,
+                                ParamReader&& reader) {
+  BuiltScenario b;
+  b.group_name = g->name();
+  b.group_order = g->order();
+  b.params = std::move(reader.resolved);
+  b.options = std::move(options);
+  b.instance = bb::make_instance(std::move(g), std::move(hidden));
+  return b;
+}
+
+// Low-k-bit alternating mask 0b...0101 — deterministic "interesting"
+// planted vectors for the GF(2) families.
+inline u64 alt_mask(u64 bits) {
+  return 0x5555555555555555ULL & ((u64{1} << bits) - 1);
+}
+
+// Shared Theorem 13 options for the GF(2) semidirect families: the
+// structure-aware N-membership and coset-label oracles (the DESIGN.md
+// substitution for the Watrous |N>-state machinery).
+inline AutoOptions gf2_semidirect_options(
+    const std::shared_ptr<const grp::GF2SemidirectCyclic>& g) {
+  AutoOptions o;
+  o.elem_abelian_2_subgroup = g->normal_subgroup_generators();
+  o.elem_abelian_2_options.assume_cyclic_factor = true;
+  o.elem_abelian_2_options.factor_order_bound = g->m();
+  o.elem_abelian_2_options.n_membership = [g](Code c) {
+    return g->rot_of(c) == 0;
+  };
+  o.elem_abelian_2_options.coset_label = [g](Code c) { return g->rot_of(c); };
+  return o;
+}
+
+}  // namespace nahsp::hsp::detail

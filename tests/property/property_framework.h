@@ -1,0 +1,102 @@
+// Property-based checks shared by the tests/property/ suite: group
+// axioms, subgroup invariants, and hiding-function well-definedness,
+// phrased against the abstract Group interface so they run unchanged
+// over every implementation (including generator-drawn groups).
+//
+// Equality discipline: some Group implementations (QuotientView) have
+// non-unique element encodings, so properties never compare codes with
+// ==; they ask the group itself via is_id(inv(a) * b).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "nahsp/common/rng.h"
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/groups/group.h"
+
+namespace nahsp::property {
+
+/// Group-level equality: a == b iff a^-1 b is the identity.
+inline bool group_eq(const grp::Group& g, grp::Code a, grp::Code b) {
+  return g.is_id(g.mul(g.inv(a), b));
+}
+
+/// Draws a pool of sample elements: the generators, their inverses, the
+/// identity, and `extra` random words — enough variety to exercise the
+/// axioms without enumerating the group.
+inline std::vector<grp::Code> sample_elements(const grp::Group& g, Rng& rng,
+                                              int extra) {
+  std::vector<grp::Code> pool{g.id()};
+  for (grp::Code c : g.generators()) {
+    pool.push_back(c);
+    pool.push_back(g.inv(c));
+  }
+  for (int i = 0; i < extra; ++i)
+    pool.push_back(grp::random_word_element(g, g.generators(), rng));
+  return pool;
+}
+
+/// Closure, associativity, identity, inverses, pow consistency, and the
+/// commutator identity, over random triples from the sample pool.
+inline void check_group_axioms(const grp::Group& g, Rng& rng,
+                               int trials = 48) {
+  const auto pool = sample_elements(g, rng, 12);
+  ASSERT_FALSE(pool.empty());
+  const grp::Code e = g.id();
+  ASSERT_TRUE(g.is_id(e)) << g.name();
+  for (int t = 0; t < trials; ++t) {
+    const grp::Code a = pool[rng.below(pool.size())];
+    const grp::Code b = pool[rng.below(pool.size())];
+    const grp::Code c = pool[rng.below(pool.size())];
+    // Closure.
+    ASSERT_TRUE(g.is_element(g.mul(a, b))) << g.name();
+    ASSERT_TRUE(g.is_element(g.inv(a))) << g.name();
+    // Associativity: (ab)c = a(bc).
+    ASSERT_TRUE(group_eq(g, g.mul(g.mul(a, b), c), g.mul(a, g.mul(b, c))))
+        << g.name();
+    // Two-sided identity.
+    ASSERT_TRUE(group_eq(g, g.mul(a, e), a)) << g.name();
+    ASSERT_TRUE(group_eq(g, g.mul(e, a), a)) << g.name();
+    // Two-sided inverse, and involution of inversion.
+    ASSERT_TRUE(g.is_id(g.mul(a, g.inv(a)))) << g.name();
+    ASSERT_TRUE(g.is_id(g.mul(g.inv(a), a))) << g.name();
+    ASSERT_TRUE(group_eq(g, g.inv(g.inv(a)), a)) << g.name();
+    // pow agrees with repeated multiplication.
+    ASSERT_TRUE(group_eq(g, g.pow(a, 3), g.mul(a, g.mul(a, a)))) << g.name();
+    ASSERT_TRUE(g.is_id(g.pow(a, 0))) << g.name();
+    // [a, b] = a b a^-1 b^-1 (the repo's convention), and it vanishes
+    // exactly when a and b commute.
+    ASSERT_TRUE(group_eq(g, g.commutator(a, b),
+                         g.mul(g.mul(a, b), g.mul(g.inv(a), g.inv(b)))))
+        << g.name();
+    ASSERT_EQ(g.is_id(g.commutator(a, b)),
+              group_eq(g, g.mul(a, b), g.mul(b, a)))
+        << g.name();
+  }
+}
+
+/// Subgroup invariants of the planted generators: the generated set is
+/// closed under products and inverses, contains the identity, and obeys
+/// Lagrange (|H| divides |G|). Enumeration-bounded; callers gate on
+/// group order.
+inline void check_subgroup_invariants(const grp::Group& g,
+                                      const std::vector<grp::Code>& gens,
+                                      std::size_t cap = 1u << 16) {
+  const std::vector<grp::Code> elems = grp::enumerate_subgroup(g, gens, cap);
+  ASSERT_FALSE(elems.empty()) << g.name();
+  std::unordered_set<grp::Code> in(elems.begin(), elems.end());
+  EXPECT_TRUE(in.count(g.id()) == 1) << g.name();
+  const std::uint64_t order = g.order();
+  EXPECT_EQ(order % elems.size(), 0u)
+      << g.name() << ": |H| = " << elems.size() << " must divide |G|";
+  for (grp::Code a : elems) {
+    EXPECT_TRUE(in.count(g.inv(a)) == 1) << g.name();
+    for (grp::Code b : elems)
+      EXPECT_TRUE(in.count(g.mul(a, b)) == 1) << g.name();
+  }
+}
+
+}  // namespace nahsp::property

@@ -1,0 +1,208 @@
+// Property suite, part 3: the adversarial near-miss scenarios. Broken
+// hiding promises must surface as typed `oracle_error` failures — never
+// as wrong answers — on every sampler backend and at thread widths 1
+// and 4; the degenerate-but-honest endpoints (|H| = 1, |H| = |G|) must
+// keep solving everywhere.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/hsp/generator.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/scenario.h"
+#include "nahsp/hsp/solve.h"
+#include "property_framework.h"
+#include "test_seeds.h"
+
+namespace nahsp::hsp {
+namespace {
+
+constexpr const char* kBackends[] = {"qubit", "mixed-radix", "sparse"};
+constexpr int kWidths[] = {1, 4};
+
+BatchReport run_specs(const std::vector<std::string>& specs, int threads) {
+  std::vector<bb::HspInstance> instances;
+  std::vector<AutoOptions> options;
+  for (const std::string& spec : specs) {
+    BuiltScenario built = build_scenario(spec);
+    instances.push_back(std::move(built.instance));
+    options.push_back(std::move(built.options));
+  }
+  BatchOptions opts;
+  opts.per_instance = std::move(options);
+  opts.base_seed = test_seeds::kGenAdversarial;
+  opts.threads = threads;
+  return solve_hsp_batch(instances, opts);
+}
+
+// Mode 3 (almost-hidden): a single lying label on the generator x makes
+// the Theorem 8 Schreier walk derive a coset element whose honest label
+// contradicts the lie, so the coset-constancy oracle check fires — on
+// every backend (the walk is classical) and at every width.
+TEST(PropertyAdversarial, AlmostHiddenRaisesOracleErrorOnAllBackends) {
+  for (const char* backend : kBackends) {
+    for (int width : kWidths) {
+      SCOPED_TRACE(std::string(backend) + " width=" + std::to_string(width));
+      std::vector<std::string> specs;
+      for (int s = 1; s <= 4; ++s) {
+        specs.push_back("adversarial mode=3 n=8 gen_seed=" +
+                        std::to_string(s) + " backend=" + backend);
+        specs.push_back("adversarial mode=3 n=12 corrupt=4 gen_seed=" +
+                        std::to_string(s) + " backend=" + backend);
+      }
+      const BatchReport r = run_specs(specs, width);
+      for (std::size_t i = 0; i < r.items.size(); ++i) {
+        SCOPED_TRACE(specs[i]);
+        ASSERT_FALSE(r.items[i].success);
+        EXPECT_EQ(r.items[i].error_kind, "oracle_error")
+            << r.items[i].error;
+      }
+    }
+  }
+}
+
+// Mode 2 (non-hiding): pseudo-random labels hide no subgroup at all.
+// The Schreier walk's pigeonhole collisions trip the same oracle check.
+TEST(PropertyAdversarial, NonHidingRaisesOracleErrorOnAllBackends) {
+  for (const char* backend : kBackends) {
+    for (int width : kWidths) {
+      SCOPED_TRACE(std::string(backend) + " width=" + std::to_string(width));
+      std::vector<std::string> specs;
+      for (int s = 1; s <= 6; ++s)
+        specs.push_back("adversarial mode=2 n=8 gen_seed=" +
+                        std::to_string(s) + " backend=" + backend);
+      const BatchReport r = run_specs(specs, width);
+      for (std::size_t i = 0; i < r.items.size(); ++i) {
+        SCOPED_TRACE(specs[i]);
+        ASSERT_FALSE(r.items[i].success);
+        EXPECT_EQ(r.items[i].error_kind, "oracle_error")
+            << r.items[i].error;
+      }
+    }
+  }
+}
+
+// The Z_n variant drives corrupted labels through the Fourier-sampling
+// pipeline: the sparse backend's structural hiding checks reject the
+// label classes at sampler build, with a diagnostic naming the broken
+// promise.
+TEST(PropertyAdversarial, CyclicVariantTripsSparseStructuralChecks) {
+  for (int mode : {2, 3}) {
+    for (int width : kWidths) {
+      SCOPED_TRACE("mode=" + std::to_string(mode) +
+                   " width=" + std::to_string(width));
+      std::vector<std::string> specs;
+      for (int s = 1; s <= 4; ++s)
+        specs.push_back("adversarial mode=" + std::to_string(mode) +
+                        " n=8 abelian=1 gen_seed=" + std::to_string(s) +
+                        " backend=sparse");
+      const BatchReport r = run_specs(specs, width);
+      for (std::size_t i = 0; i < r.items.size(); ++i) {
+        SCOPED_TRACE(specs[i]);
+        ASSERT_FALSE(r.items[i].success);
+        EXPECT_EQ(r.items[i].error_kind, "oracle_error")
+            << r.items[i].error;
+        EXPECT_NE(r.items[i].error.find("label class"), std::string::npos)
+            << r.items[i].error;
+      }
+    }
+  }
+}
+
+// Degenerate honest endpoints: |H| = 1 and |H| = |G| keep solving and
+// verifying on every backend at both widths (the point-mass and
+// injective-label extremes of each sampler).
+TEST(PropertyAdversarial, DegenerateEndpointsSolveOnAllBackends) {
+  for (const char* backend : kBackends) {
+    for (int width : kWidths) {
+      SCOPED_TRACE(std::string(backend) + " width=" + std::to_string(width));
+      std::vector<std::string> specs;
+      std::vector<std::vector<grp::Code>> planted;
+      for (int mode : {0, 1}) {
+        for (int abelian : {0, 1}) {
+          std::string spec = "adversarial mode=" + std::to_string(mode) +
+                             " n=8 abelian=" + std::to_string(abelian) +
+                             " backend=" + backend;
+          planted.push_back(
+              build_scenario(spec).instance.planted_generators);
+          specs.push_back(std::move(spec));
+        }
+      }
+      const BatchReport r = run_specs(specs, width);
+      for (std::size_t i = 0; i < r.items.size(); ++i) {
+        SCOPED_TRACE(specs[i]);
+        ASSERT_TRUE(r.items[i].success) << r.items[i].error;
+        BuiltScenario rebuilt = build_scenario(specs[i]);
+        EXPECT_TRUE(verify_same_subgroup(*rebuilt.instance.group,
+                                         r.items[i].solution.generators,
+                                         planted[i]));
+      }
+    }
+  }
+}
+
+// Chi-square sanity of the non-hiding label draw: past the pinned head
+// (codes 0-2, which make the failure deterministic), the mode-2 labels
+// must be close to uniform over their 8-value range — scattered level
+// sets are exactly what makes the instance non-hiding, and a biased
+// draw would quietly weaken the adversary.
+TEST(PropertyAdversarial, NonHidingLabelsAreNearUniform) {
+  for (u64 s = 1; s <= 3; ++s) {
+    const auto adv =
+        make_adversarial(AdversaryMode::kNonHiding, 256, 1, s, true);
+    EXPECT_EQ(adv.instance.f->eval_uncounted(0), 0x100u);
+    EXPECT_EQ(adv.instance.f->eval_uncounted(1), 0x101u);
+    EXPECT_EQ(adv.instance.f->eval_uncounted(2), 0x101u);
+    double counts[8] = {0};
+    for (grp::Code c = 3; c < 256; ++c) {
+      const u64 label = adv.instance.f->eval_uncounted(c);
+      ASSERT_GE(label, 0x102u);
+      ASSERT_LT(label, 0x10au);
+      counts[label - 0x102] += 1.0;
+    }
+    const double expected = 253.0 / 8.0;
+    double chi2 = 0;
+    for (double c : counts)
+      chi2 += (c - expected) * (c - expected) / expected;
+    // 7 degrees of freedom: p = 0.001 cutoff is 24.32.
+    EXPECT_LT(chi2, 24.32) << "gen_seed=" << s;
+  }
+}
+
+// The never-wrong contract, swept over gen_seeds on the auto backend:
+// a broken promise may fail (typed) or — when the corruption is
+// invisible to the route taken — still solve, but a success must always
+// be the planted truth. No third outcome exists.
+TEST(PropertyAdversarial, BrokenPromisesNeverYieldWrongAnswers) {
+  std::vector<std::string> specs;
+  for (int mode : {2, 3}) {
+    for (int abelian : {0, 1}) {
+      for (int s = 1; s <= 6; ++s) {
+        specs.push_back("adversarial mode=" + std::to_string(mode) +
+                        " n=8 abelian=" + std::to_string(abelian) +
+                        " corrupt=" + std::to_string(1 + s % 4) +
+                        " gen_seed=" + std::to_string(s));
+      }
+    }
+  }
+  const BatchReport r = run_specs(specs, 4);
+  for (std::size_t i = 0; i < r.items.size(); ++i) {
+    SCOPED_TRACE(specs[i]);
+    if (r.items[i].success) {
+      BuiltScenario rebuilt = build_scenario(specs[i]);
+      EXPECT_TRUE(verify_same_subgroup(
+          *rebuilt.instance.group, r.items[i].solution.generators,
+          rebuilt.instance.planted_generators))
+          << "solver accepted a wrong subgroup";
+    } else {
+      EXPECT_TRUE(r.items[i].error_kind == "oracle_error" ||
+                  r.items[i].error_kind == "retry_exhausted")
+          << r.items[i].error_kind << ": " << r.items[i].error;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

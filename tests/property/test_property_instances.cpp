@@ -1,0 +1,124 @@
+// Property suite, part 2: planted-truth recovery over generator-drawn
+// instance populations. Each generated family is swept over
+// stress_seed_count() gen_seeds (>= 50 by default; the CI stress job
+// raises it via NAHSP_STRESS_SEEDS), solved through the batch driver at
+// thread widths 1 and 4, and every instance must recover exactly the
+// planted subgroup with bit-identical generators at both widths.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "nahsp/groups/algorithms.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/scenario.h"
+#include "nahsp/hsp/solve.h"
+#include "property_framework.h"
+#include "test_seeds.h"
+
+namespace nahsp::hsp {
+namespace {
+
+// Builds one instance per gen_seed from a spec pattern ("<family> ...
+// gen_seed=%" with % substituted), returning instances + per-instance
+// options + the spec strings for diagnostics.
+struct Population {
+  std::vector<bb::HspInstance> instances;
+  std::vector<AutoOptions> options;
+  std::vector<std::string> specs;
+  std::vector<std::vector<grp::Code>> planted;
+};
+
+Population build_population(const std::string& family,
+                            const std::string& extra, std::size_t count) {
+  Population pop;
+  for (std::size_t s = 1; s <= count; ++s) {
+    std::string spec =
+        family + " gen_seed=" + std::to_string(s) +
+        (extra.empty() ? "" : " " + extra);
+    BuiltScenario built = build_scenario(spec);
+    pop.planted.push_back(built.instance.planted_generators);
+    pop.instances.push_back(std::move(built.instance));
+    pop.options.push_back(std::move(built.options));
+    pop.specs.push_back(std::move(spec));
+  }
+  return pop;
+}
+
+void solve_and_check(const std::string& family, const std::string& extra) {
+  const std::size_t count = test_seeds::stress_seed_count();
+  Population pop = build_population(family, extra, count);
+
+  BatchOptions w1;
+  w1.per_instance = pop.options;
+  w1.base_seed = test_seeds::kGenPropertyBase;
+  w1.threads = 1;
+  BatchOptions w4 = w1;
+  w4.threads = 4;
+
+  const BatchReport r1 = solve_hsp_batch(pop.instances, w1);
+  // The batch mutates per-instance counters only; rebuilding gives the
+  // width-4 run an identical, untouched population.
+  Population pop4 = build_population(family, extra, count);
+  const BatchReport r4 = solve_hsp_batch(pop4.instances, w4);
+
+  ASSERT_EQ(r1.items.size(), count);
+  ASSERT_EQ(r4.items.size(), count);
+  for (std::size_t i = 0; i < count; ++i) {
+    SCOPED_TRACE(pop.specs[i]);
+    ASSERT_TRUE(r1.items[i].success) << r1.items[i].error;
+    ASSERT_TRUE(r4.items[i].success) << r4.items[i].error;
+    // Planted-truth recovery at width 1...
+    EXPECT_TRUE(verify_same_subgroup(*pop.instances[i].group,
+                                     r1.items[i].solution.generators,
+                                     pop.planted[i]));
+    // ...and bit-identical output across widths (not merely the same
+    // subgroup: the same generator codes in the same order).
+    EXPECT_EQ(r1.items[i].solution.generators,
+              r4.items[i].solution.generators);
+    EXPECT_EQ(static_cast<int>(r1.items[i].solution.method),
+              static_cast<int>(r4.items[i].solution.method));
+  }
+}
+
+TEST(PropertyInstances, RandomAbelianPopulationSolvesAtBothWidths) {
+  solve_and_check("random_abelian", "");
+}
+
+TEST(PropertyInstances, RandomNormalDihedralPopulationSolvesAtBothWidths) {
+  solve_and_check("random_normal", "base=0");
+}
+
+TEST(PropertyInstances, RandomNormalZooPopulationSolvesAtBothWidths) {
+  // Rotate through the quaternion / Heisenberg / symmetric bases so the
+  // sweep covers the whole zoo even at the default seed count.
+  const std::size_t count = test_seeds::stress_seed_count();
+  for (u64 base = 1; base <= 3; ++base) {
+    SCOPED_TRACE("base=" + std::to_string(base));
+    Population pop = build_population(
+        "random_normal", "base=" + std::to_string(base), (count + 2) / 3);
+    BatchOptions opts;
+    opts.per_instance = pop.options;
+    opts.base_seed = test_seeds::kGenPropertyBase + base;
+    opts.threads = 4;
+    const BatchReport r = solve_hsp_batch(pop.instances, opts);
+    for (std::size_t i = 0; i < r.items.size(); ++i) {
+      SCOPED_TRACE(pop.specs[i]);
+      ASSERT_TRUE(r.items[i].success) << r.items[i].error;
+      EXPECT_TRUE(verify_same_subgroup(*pop.instances[i].group,
+                                       r.items[i].solution.generators,
+                                       pop.planted[i]));
+    }
+  }
+}
+
+TEST(PropertyInstances, TowerWreathPopulationSolvesAtBothWidths) {
+  solve_and_check("tower", "shape=0");
+}
+
+TEST(PropertyInstances, TowerGf2PopulationSolvesAtBothWidths) {
+  solve_and_check("tower", "shape=1 k=5");
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

@@ -14,6 +14,7 @@
 #include "nahsp/groups/quotient.h"
 #include "nahsp/hsp/baseline.h"
 #include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/scenario.h"
 #include "nahsp/hsp/solve.h"
 #include "test_seeds.h"
 
@@ -129,6 +130,43 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<FuzzCase>& info) {
       return info.param.label;
     });
+
+// Spec-string fuzz over the generator-backed scenario families: draw
+// every declared parameter uniformly from its declared range, render the
+// spec exactly as a user would type it, and require the built instance
+// to (a) rebuild identically (construction determinism) and (b) solve to
+// its planted subgroup. The adversarial family is exercised separately
+// (its modes 2/3 break the hiding promise on purpose); here we fuzz the
+// honest generator families.
+TEST(FuzzGeneratorSpecs, RandomInRangeSpecsBuildDeterministicallyAndSolve) {
+  Rng rng(test_seeds::kGenFuzzSpec);
+  const char* families[] = {"random_abelian", "random_normal", "tower"};
+  for (const char* name : families) {
+    const ScenarioFamily& fam = scenario_family_or_throw(name);
+    for (int trial = 0; trial < 4; ++trial) {
+      std::string spec = fam.name;
+      for (const ScenarioParam& p : fam.params) {
+        const u64 span = p.max - p.min + 1;  // 0 means the full u64 range
+        const u64 v = span == 0 ? rng() : p.min + rng.below(span);
+        spec += " " + p.key + "=" + std::to_string(v);
+      }
+      SCOPED_TRACE(spec);
+      BuiltScenario built = build_scenario(spec);
+      BuiltScenario again = build_scenario(spec);
+      ASSERT_EQ(built.group_order, again.group_order);
+      ASSERT_EQ(built.instance.planted_generators,
+                again.instance.planted_generators);
+      Rng solver(test_seeds::kGenFuzzSpec + 1 + trial);
+      const auto result =
+          solve_hsp(*built.instance.bb, *built.instance.f, solver,
+                    built.options);
+      EXPECT_TRUE(verify_same_subgroup(*built.instance.group,
+                                       result.generators,
+                                       built.instance.planted_generators))
+          << "via " << method_name(result.method);
+    }
+  }
+}
 
 TEST(FuzzFactorOrder, MatchesQuotientBruteForce) {
   // Theorem 10 order finding vs direct factor-group iteration, across

@@ -54,6 +54,46 @@ TEST(ScenarioRegistry, LookupAndSuggestions) {
   }
 }
 
+TEST(ScenarioRegistry, UnknownNamesGetNearestMatchSuggestions) {
+  // Table of typo -> expected "did you mean" target. A near miss (small
+  // edit distance) must name the intended family; garbage gets the
+  // plain listing with no suggestion.
+  struct Case {
+    const char* typo;
+    const char* suggested;  // nullptr = no suggestion expected
+  } cases[] = {
+      {"dihedrall", "dihedral"},        // insertion
+      {"wreathe", "wreath"},            // insertion
+      {"sheor", "shor"},                // insertion mid-word
+      {"quaterion", "quaternion"},      // deletion
+      {"random_abelain", "random_abelian"},  // transposition (2 edits)
+      {"towers", "tower"},              // plural
+      {"adverserial", "adversarial"},   // common misspelling
+      {"random_norma", "random_normal"},
+      {"zzzzzzzzzz", nullptr},          // nothing close
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.typo);
+    try {
+      (void)scenario_family_or_throw(c.typo);
+      FAIL() << "expected unknown-scenario error";
+    } catch (const std::invalid_argument& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("unknown scenario '" + std::string(c.typo) + "'"),
+                std::string::npos)
+          << msg;
+      if (c.suggested != nullptr) {
+        EXPECT_NE(
+            msg.find("did you mean '" + std::string(c.suggested) + "'?"),
+            std::string::npos)
+            << msg;
+      } else {
+        EXPECT_EQ(msg.find("did you mean"), std::string::npos) << msg;
+      }
+    }
+  }
+}
+
 TEST(ScenarioBuild, DefaultsRecordResolvedParams) {
   const BuiltScenario b = build_scenario("dihedral");
   EXPECT_EQ(b.family, "dihedral");

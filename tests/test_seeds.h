@@ -7,6 +7,7 @@
 // it, and a reported flake is reproduced by exporting the same value.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <cstdlib>
 
@@ -53,6 +54,31 @@ inline constexpr std::uint64_t kParBatchBase = 0x5eed0001;
 // selftest` and the CI golden reports rely on; the CLI's default seed
 // is 1, pinned independently in tests/golden/).
 inline constexpr std::uint64_t kScenarioRegistry = 0x5ce9a201;
+
+// Generator fleet (src/hsp/generator.h). A generated instance is a pure
+// function of its gen_seed, so these constants pin entire instance
+// populations, not just solver draws:
+//  - kGenFuzzSpec seeds the spec-string fuzzer in test_fuzz.cpp (random
+//    in-range parameter draws for the generator-backed families);
+//  - kGenPropertyBase seeds the property-suite solver Rng streams
+//    (tests/property/), with gen_seeds swept 1..stress_seed_count();
+//  - kGenAdversarial seeds the adversarial oracle-error matrix.
+inline constexpr std::uint64_t kGenFuzzSpec = 0xf0023;
+inline constexpr std::uint64_t kGenPropertyBase = 0x9e900001;
+inline constexpr std::uint64_t kGenAdversarial = 0xad7e0001;
+
+/// Number of generator seeds each property-suite sweep covers per
+/// family: NAHSP_STRESS_SEEDS when set (decimal), otherwise `def`.
+/// The CI stress job raises it; the default keeps the acceptance floor
+/// of 50 planted instances per generated family.
+inline std::size_t stress_seed_count(std::size_t def = 50) {
+  if (const char* env = std::getenv("NAHSP_STRESS_SEEDS")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  return def;
+}
 
 /// Seed for the statistical tests: NAHSP_STAT_SEED when set (decimal),
 /// otherwise kStatDefault.
