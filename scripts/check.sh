@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full local verification: the exact tier-1 command, the CLI smoke
+# Full local verification: the tier-1 build + ctest (with the slow
+# `property` label split into its own stage so it runs once), the CLI smoke
 # suite (nahsp selftest + golden solve reports + markdown link check),
 # then a Debug + Address/UB-sanitizer build of the same suite, then a
 # TSan build of the threading-relevant tests (unit + parallel labels)
@@ -9,10 +10,10 @@ cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== tier-1: Release build + ctest =="
+echo "== tier-1: Release build + ctest (property label runs in its own stage) =="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
-(cd build && ctest --output-on-failure -j "$JOBS")
+(cd build && ctest -LE property --output-on-failure -j "$JOBS")
 
 echo "== property suite (ctest -L property) over generator-drawn instances =="
 # Group-axiom / instance-invariant checks swept over the planted-instance

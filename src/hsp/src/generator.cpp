@@ -39,7 +39,7 @@ u64 splitmix64(u64 x) {
 
 constexpr u64 kTagAbelian = 0x61626c6eU;      // "abln"
 constexpr u64 kTagNormal = 0x6e6f726dU;       // "norm"
-constexpr u64 kTagTower = 0x74777287U;        // "twr"
+constexpr u64 kTagTower = 0x00747772U;        // "twr"
 constexpr u64 kTagAdversary = 0x61647665U;    // "adve"
 
 }  // namespace
@@ -54,17 +54,16 @@ GeneratedScenario draw_random_abelian(u64 gen_seed, u64 max_order,
   // (each step multiplies the previous factor by a small multiplier), so
   // any finite Abelian group shape within the budget is reachable.
   const u64 want = 1 + rng.below(factors);
-  std::vector<u64> orders{2 + rng.below(7)};  // d_1 in [2, 8]
+  // d_1 in [2, 8], clamped so it fits even the smallest budget (max_order
+  // can be as low as 4): the chain below never needs to pop its last —
+  // and possibly only — factor.
+  std::vector<u64> orders{2 + rng.below(std::min<u64>(7, max_order - 1))};
   u64 product = orders[0];
   while (orders.size() < want) {
     const u64 next = orders.back() * (1 + rng.below(4));
     if (product > max_order / next) break;
     orders.push_back(next);
     product *= next;
-  }
-  while (product > max_order) {  // d_1 alone can overshoot a tiny budget
-    product /= orders.back();
-    orders.pop_back();
   }
 
   GeneratedScenario gs;
@@ -284,7 +283,8 @@ AdversarialScenario make_adversarial(AdversaryMode mode, u64 n, u64 corrupt,
       for (u64 extra = 1; extra < corrupt; ++extra) {
         for (int tries = 0; tries < 64; ++tries) {
           const Code c = 1 + rng.below(order - 1);  // non-identity codes
-          if (!g->is_element(c) || c == other) continue;
+          if (!g->is_element(c) || c == other || c == first) continue;
+          if (overrides->count(c) != 0) continue;  // distinct fresh points
           if (std::find(gens.begin(), gens.end(), c) != gens.end()) continue;
           if (base_f->eval_uncounted(c) == id_label) continue;  // inside H
           overrides->emplace(c, (u64{1} << 60) + extra);

@@ -306,8 +306,8 @@ std::string error_code(const JsonValue& v) {
 }
 
 TEST(Service, PingEchoesTheClientId) {
+  Collector col;  // outlives svc: the dispatcher joins before col dies
   SolverService svc(small_config());
-  Collector col;
   svc.submit_line("{\"cmd\": \"ping\", \"id\": 17}", col.responder());
   const JsonValue v = parse_json(col.wait_line(0));
   EXPECT_EQ(str_field(v, "schema"), "nahsp-serve/v1");
@@ -322,8 +322,8 @@ TEST(Service, PingEchoesTheClientId) {
 }
 
 TEST(Service, MalformedInputGetsStructuredErrors) {
+  Collector col;  // outlives svc: the dispatcher joins before col dies
   SolverService svc(small_config());
-  Collector col;
   svc.submit_line("this is not json", col.responder());
   svc.submit_line("[1, 2]", col.responder());
   svc.submit_line("{\"cmd\": \"ping\", \"extra\": 1}", col.responder());
@@ -349,8 +349,8 @@ TEST(Service, MalformedInputGetsStructuredErrors) {
 }
 
 TEST(Service, SpecErrorsFromDispatchAreStructuredToo) {
+  Collector col;  // outlives svc: the dispatcher joins before col dies
   SolverService svc(small_config());
-  Collector col;
   // Unknown family and the reserved `threads` key both resolve on the
   // dispatcher, after admission.
   svc.submit_line("{\"cmd\": \"solve\", \"spec\": \"nosuchfamily\"}",
@@ -384,8 +384,8 @@ TEST(Service, ExplicitSeedReportMatchesDirectRun) {
   write_solve_report(w, out, seed, /*threads=*/1);
   const std::string direct = os.str();
 
+  Collector col;  // outlives svc: the dispatcher joins before col dies
   SolverService svc(small_config());
-  Collector col;
   svc.submit_line(
       "{\"cmd\": \"solve\", \"id\": 1, \"spec\": \"" + spec_text + "\"}",
       col.responder());
@@ -406,8 +406,8 @@ TEST(Service, ExplicitSeedReportMatchesDirectRun) {
 }
 
 TEST(Service, RepeatedRequestReplaysFromTheCache) {
+  Collector col;  // outlives svc: the dispatcher joins before col dies
   SolverService svc(small_config());
-  Collector col;
   const std::string req =
       "{\"cmd\": \"solve\", \"spec\": \"dihedral seed=1\"}";
   svc.submit_line(req, col.responder());
@@ -435,8 +435,8 @@ TEST(Service, RepeatedRequestReplaysFromTheCache) {
 TEST(Service, SeedlessRequestsReportTheBaseSeedAndShareTheCache) {
   ServiceConfig cfg = small_config();
   cfg.base_seed = 424242;
+  Collector col;  // outlives svc: the dispatcher joins before col dies
   SolverService svc(cfg);
-  Collector col;
   const std::string req = "{\"cmd\": \"solve\", \"spec\": \"dihedral\"}";
   svc.submit_line(req, col.responder());
   const JsonValue v1 = parse_json(col.wait_line(0));
@@ -451,8 +451,8 @@ TEST(Service, SeedlessRequestsReportTheBaseSeedAndShareTheCache) {
 }
 
 TEST(Service, CompletedSolverFailuresAreCached) {
+  Collector col;  // outlives svc: the dispatcher joins before col dies
   SolverService svc(small_config());
-  Collector col;
   // The qubit backend needs power-of-two moduli; Heisenberg's are 3s.
   // A completed failure is deterministic, so it is cached like a
   // success and replayed with cached:true.
@@ -475,8 +475,8 @@ TEST(Service, CompletedSolverFailuresAreCached) {
 TEST(Service, QueueLimitRejectsWithQueueFull) {
   ServiceConfig cfg = small_config();
   cfg.queue_limit = 0;  // every admission check sees a "full" queue
+  Collector col;  // outlives svc: the dispatcher joins before col dies
   SolverService svc(cfg);
-  Collector col;
   svc.submit_line("{\"cmd\": \"solve\", \"spec\": \"dihedral\"}",
                   col.responder());
   const JsonValue v = parse_json(col.wait_line(0));
@@ -486,8 +486,8 @@ TEST(Service, QueueLimitRejectsWithQueueFull) {
 }
 
 TEST(Service, DrainRejectsSolvesButAnswersControl) {
+  Collector col;  // outlives svc: the dispatcher joins before col dies
   SolverService svc(small_config());
-  Collector col;
   svc.begin_drain();
   svc.wait_idle();
   svc.submit_line("{\"cmd\": \"solve\", \"spec\": \"dihedral\"}",
@@ -498,8 +498,8 @@ TEST(Service, DrainRejectsSolvesButAnswersControl) {
 }
 
 TEST(Service, ShutdownCommandFlagsTheTransportAndDrains) {
+  Collector col;  // outlives svc: the dispatcher joins before col dies
   SolverService svc(small_config());
-  Collector col;
   EXPECT_FALSE(svc.shutdown_requested());
   svc.submit_line("{\"cmd\": \"shutdown\", \"id\": 9}", col.responder());
   const JsonValue v = parse_json(col.wait_line(0));
@@ -512,8 +512,8 @@ TEST(Service, ShutdownCommandFlagsTheTransportAndDrains) {
 }
 
 TEST(Service, StatsEndpointReportsTheDocumentedShape) {
+  Collector col;  // outlives svc: the dispatcher joins before col dies
   SolverService svc(small_config());
-  Collector col;
   svc.submit_line("{\"cmd\": \"stats\"}", col.responder());
   const JsonValue v = parse_json(col.wait_line(0));
   EXPECT_EQ(str_field(v, "type"), "stats");
@@ -535,8 +535,8 @@ TEST(Service, StatsEndpointReportsTheDocumentedShape) {
 }
 
 TEST(Service, ConcurrentMixedClientsAllGetAnswers) {
+  Collector col;  // outlives svc: the dispatcher joins before col dies
   SolverService svc(small_config());
-  Collector col;
   const std::vector<std::string> requests = {
       "{\"cmd\": \"solve\", \"id\": 0, \"spec\": \"dihedral seed=1\"}",
       "{\"cmd\": \"ping\", \"id\": 1}",
