@@ -1,19 +1,20 @@
 #!/usr/bin/env bash
 # Full local verification: the tier-1 build + ctest (with the slow
-# `property` label split into its own stage so it runs once), the CLI smoke
-# suite (nahsp selftest + golden solve reports + markdown link check),
-# then a Debug + Address/UB-sanitizer build of the same suite, then a
-# TSan build of the threading-relevant tests (unit + parallel labels)
-# with the pool pinned wide.
+# `property` and `shard` labels split into their own stages so each runs
+# once), the CLI smoke suite (nahsp selftest + golden solve reports +
+# markdown link check), the shard smoke (sharded batch vs unsharded,
+# crash + resume), then a Debug + Address/UB-sanitizer build of the same
+# suite, then a TSan build of the threading-relevant tests (unit +
+# parallel labels) with the pool pinned wide.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="${JOBS:-$(nproc)}"
 
-echo "== tier-1: Release build + ctest (property label runs in its own stage) =="
+echo "== tier-1: Release build + ctest (property/shard labels run in their own stages) =="
 cmake -B build -S .
 cmake --build build -j "$JOBS"
-(cd build && ctest -LE property --output-on-failure -j "$JOBS")
+(cd build && ctest -LE 'property|shard' --output-on-failure -j "$JOBS")
 
 echo "== property suite (ctest -L property) over generator-drawn instances =="
 # Group-axiom / instance-invariant checks swept over the planted-instance
@@ -36,6 +37,12 @@ python3 scripts/check_links.py
 
 echo "== serve smoke: daemon protocol, cache replay, golden parity, drain =="
 python3 scripts/serve_smoke.py build
+
+echo "== shard smoke: sharded batch vs unsharded, SIGKILL + resume (ctest -L shard) =="
+# scripts/shard_smoke.sh through ctest: --shards {2,4} merged reports
+# byte-identical to the unsharded run, crash fault injection + --resume,
+# torn-checkpoint recovery. Excluded from tier-1 so the label runs once.
+(cd build && ctest -L shard --output-on-failure -j "$JOBS")
 
 echo "== perf_guard exit-code contract (scripts/test_perf_guard.py) =="
 python3 scripts/test_perf_guard.py

@@ -1,12 +1,13 @@
 #!/usr/bin/env python3
-"""Schema-check and diff a `nahsp solve --json` report against a golden.
+"""Schema-check and diff a `nahsp solve`/`batch --json` report.
 
 Usage: diff_report.py GOLDEN.json ACTUAL.json
 
-Both files must satisfy the nahsp-report/v1 solve schema; then they are
-compared field by field with the volatile fields (wall-clock `seconds`)
-stripped. Exit 0 on match, 1 on schema violation or mismatch, printing
-what differs.
+Both files must satisfy the nahsp-report/v1 schema for their `command`
+(solve or batch — the two documents must agree); then they are
+compared field by field with the volatile fields (wall-clock `seconds`,
+including each batch item's) stripped. Exit 0 on match, 1 on schema
+violation or mismatch, printing what differs.
 """
 import json
 import sys
@@ -37,6 +38,33 @@ QUERIES_SCHEMA = {
     "quantum_queries": int,
     "sim_basis_evals": int,
 }
+# `nahsp batch --json` (sharded or not — the merged report is the same
+# document) and its per-item objects.
+BATCH_SCHEMA = {
+    "schema": str,
+    "command": str,
+    "file": str,
+    "seed": int,
+    "threads": int,
+    "count": int,
+    "solved": int,
+    "verified": int,
+    "items": list,
+    "total_queries": dict,
+    "seconds": (int, float),
+}
+BATCH_ITEM_SCHEMA = {
+    "index": int,
+    "scenario": str,
+    "group": str,
+    "success": bool,
+    "method": str,
+    "error": str,
+    "verified": bool,
+    "generators": list,
+    "queries": dict,
+    "seconds": (int, float),
+}
 # Fields legitimately different between two runs of the same scenario.
 VOLATILE = {"seconds"}
 
@@ -54,43 +82,97 @@ def load_report(path):
         return json.load(f, parse_constant=_reject_nonfinite)
 
 
-def check_schema(report, path):
+def _check_fields(obj, schema, where):
     errors = []
-    for key, types in SOLVE_SCHEMA.items():
-        if key not in report:
-            errors.append(f"{path}: missing required field '{key}'")
-        elif not isinstance(report[key], types):
+    for key, types in schema.items():
+        if key not in obj:
+            errors.append(f"{where}: missing required field '{key}'")
+        elif not isinstance(obj[key], types):
             errors.append(
-                f"{path}: field '{key}' has type "
-                f"{type(report[key]).__name__}, expected {types}")
-    for key in report:
-        if key not in SOLVE_SCHEMA:
-            errors.append(f"{path}: unexpected field '{key}'")
-    if report.get("schema") != "nahsp-report/v1":
-        errors.append(f"{path}: schema tag is {report.get('schema')!r}, "
-                      "expected 'nahsp-report/v1'")
-    if report.get("command") != "solve":
-        errors.append(f"{path}: command is {report.get('command')!r}, "
-                      "expected 'solve'")
+                f"{where}: field '{key}' has type "
+                f"{type(obj[key]).__name__}, expected {types}")
+    for key in obj:
+        if key not in schema:
+            errors.append(f"{where}: unexpected field '{key}'")
+    return errors
+
+
+def _check_queries(obj, where):
+    errors = []
+    if isinstance(obj, dict):
+        for key, types in QUERIES_SCHEMA.items():
+            if not isinstance(obj.get(key), types):
+                errors.append(f"{where}.{key} missing or non-integer")
+    return errors
+
+
+def _check_codes(obj, key, where):
+    if isinstance(obj.get(key), list):
+        bad = [v for v in obj[key] if not isinstance(v, int)]
+        if bad:
+            return [f"{where}: {key} contains non-integers: {bad}"]
+    return []
+
+
+def check_solve_schema(report, path):
+    errors = _check_fields(report, SOLVE_SCHEMA, path)
     if report.get("backend") not in (
             "auto", "mixed-radix", "qubit", "sparse", "analytic"):
         errors.append(f"{path}: backend is {report.get('backend')!r}, "
                       "expected a sampler-backend selector")
-    queries = report.get("queries")
-    if isinstance(queries, dict):
-        for key, types in QUERIES_SCHEMA.items():
-            if not isinstance(queries.get(key), types):
-                errors.append(f"{path}: queries.{key} missing or non-integer")
+    errors += _check_queries(report.get("queries"), f"{path}: queries")
     for key in ("generators", "planted"):
-        if isinstance(report.get(key), list):
-            bad = [v for v in report[key] if not isinstance(v, int)]
-            if bad:
-                errors.append(f"{path}: {key} contains non-integers: {bad}")
+        errors += _check_codes(report, key, path)
+    return errors
+
+
+def check_batch_schema(report, path):
+    errors = _check_fields(report, BATCH_SCHEMA, path)
+    errors += _check_queries(report.get("total_queries"),
+                             f"{path}: total_queries")
+    items = report.get("items")
+    if not isinstance(items, list):
+        return errors
+    if isinstance(report.get("count"), int) and \
+            report["count"] != len(items):
+        errors.append(f"{path}: count is {report['count']}, but items "
+                      f"holds {len(items)} entries")
+    for i, item in enumerate(items):
+        where = f"{path}: items[{i}]"
+        if not isinstance(item, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        errors += _check_fields(item, BATCH_ITEM_SCHEMA, where)
+        errors += _check_queries(item.get("queries"), f"{where}: queries")
+        errors += _check_codes(item, "generators", where)
+        if item.get("index") != i:
+            errors.append(f"{where}: index is {item.get('index')!r}, "
+                          f"expected {i} (fleet order)")
+    return errors
+
+
+def check_schema(report, path):
+    errors = []
+    if report.get("schema") != "nahsp-report/v1":
+        errors.append(f"{path}: schema tag is {report.get('schema')!r}, "
+                      "expected 'nahsp-report/v1'")
+    command = report.get("command")
+    if command == "solve":
+        errors += check_solve_schema(report, path)
+    elif command == "batch":
+        errors += check_batch_schema(report, path)
+    else:
+        errors.append(f"{path}: command is {command!r}, "
+                      "expected 'solve' or 'batch'")
     return errors
 
 
 def strip_volatile(report):
-    return {k: v for k, v in report.items() if k not in VOLATILE}
+    out = {k: v for k, v in report.items() if k not in VOLATILE}
+    if isinstance(out.get("items"), list):  # batch: per-item seconds too
+        out["items"] = [strip_volatile(i) if isinstance(i, dict) else i
+                        for i in out["items"]]
+    return out
 
 
 def main():

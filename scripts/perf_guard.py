@@ -2,12 +2,19 @@
 """Diff a fresh Google-Benchmark JSON against a committed baseline.
 
 Usage: perf_guard.py BASELINE.json FRESH.json [options]
+       perf_guard.py --validate FILE.json [FILE2.json]
 
 BASELINE may be either raw `--benchmark_out` JSON or one of the
 repo's composite BENCH_prN.json files ({"benchmarks": {suite:
 {"results": [...]}}}); FRESH is raw benchmark output. Benchmarks are
 matched by name; for each name present in both, the ratio
 fresh/baseline of --key (default real_time) is computed.
+
+--validate runs no comparison: it schema-checks each given file
+against the BENCH_*.json contract (`nahsp bench` emits it directly) —
+every row needs a name, a positive iteration count, finite
+real_time/cpu_time, and a time_unit; composite suites need a results
+list. Exit 0 when every file validates, 2 on any violation.
 
 Soft-fail contract: names present on only one side, rows missing the
 metric key, and a run that matches nothing at all are the normal state
@@ -60,6 +67,90 @@ def load(path):
     except (OSError, json.JSONDecodeError) as e:
         raise SystemExit(f"perf_guard: cannot read {path}: {e}")
     return flatten(doc, path)
+
+
+# Required per-row fields of the BENCH_*.json schema and the predicate
+# each must satisfy. Table-driven so scripts/test_perf_guard.py and new
+# fields stay one line each.
+ROW_FIELDS = {
+    "name": lambda v: isinstance(v, str) and v != "",
+    "iterations": lambda v: isinstance(v, int) and not isinstance(v, bool)
+                  and v > 0,
+    "real_time": lambda v: isinstance(v, (int, float))
+                 and not isinstance(v, bool),
+    "cpu_time": lambda v: isinstance(v, (int, float))
+                and not isinstance(v, bool),
+    "time_unit": lambda v: isinstance(v, str) and v != "",
+}
+
+
+def _reject_nonfinite(token):
+    raise SystemExit(f"non-finite JSON token {token!r}")
+
+
+def validate_file(path):
+    """BENCH_*.json schema check; returns a list of violation strings."""
+    try:
+        with open(path) as f:
+            doc = json.load(f, parse_constant=_reject_nonfinite)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: cannot read: {e}"]
+    except SystemExit as e:
+        return [f"{path}: {e.code}"]
+    errors = []
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+    for key in ("note", "hardware_caveat"):
+        if key in doc and not isinstance(doc[key], str):
+            errors.append(f"{path}: '{key}' must be a string")
+    bench = doc.get("benchmarks")
+    if isinstance(bench, dict):
+        suites = []
+        for suite_name, suite in bench.items():
+            if not isinstance(suite, dict) or \
+                    not isinstance(suite.get("results"), list):
+                errors.append(f"{path}: suite '{suite_name}' lacks a "
+                              "results list")
+                continue
+            if "context" in suite and not isinstance(suite["context"], dict):
+                errors.append(f"{path}: suite '{suite_name}' context is "
+                              "not an object")
+            suites.append((suite_name, suite["results"]))
+    elif isinstance(bench, list):
+        suites = [("<raw>", bench)]
+    else:
+        return errors + [f"{path}: no 'benchmarks' object or list"]
+    rows = 0
+    for suite_name, results in suites:
+        for i, row in enumerate(results):
+            where = f"{path}: suite '{suite_name}' row {i}"
+            if not isinstance(row, dict):
+                errors.append(f"{where}: not an object")
+                continue
+            rows += 1
+            for key, ok in ROW_FIELDS.items():
+                if key not in row:
+                    errors.append(f"{where}: missing field '{key}'")
+                elif not ok(row[key]):
+                    errors.append(
+                        f"{where}: field '{key}' = {row[key]!r} invalid")
+    if rows == 0:
+        errors.append(f"{path}: no benchmark rows at all")
+    return errors
+
+
+def run_validate(paths):
+    status = EXIT_OK
+    for path in paths:
+        errors = validate_file(path)
+        if errors:
+            for e in errors:
+                print(f"perf_guard validate: {e}", file=sys.stderr)
+            status = EXIT_USAGE
+        else:
+            print(f"perf_guard: {path} validates against the "
+                  "BENCH_*.json schema")
+    return status
 
 
 def run(args):
@@ -120,7 +211,10 @@ def run(args):
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("baseline")
-    ap.add_argument("fresh")
+    ap.add_argument("fresh", nargs="?")
+    ap.add_argument("--validate", action="store_true",
+                    help="schema-check the given file(s) against the "
+                         "BENCH_*.json contract instead of comparing")
     ap.add_argument("--max-regression", type=float, default=0.30,
                     help="fail above this fractional slowdown "
                          "(default 0.30 = 30%%)")
@@ -132,6 +226,11 @@ def main():
                     help="escalate missing-name/missing-metric warnings "
                          "to exit 1")
     args = ap.parse_args()
+    if args.validate:
+        return run_validate(
+            [args.baseline] + ([args.fresh] if args.fresh else []))
+    if args.fresh is None:
+        ap.error("FRESH.json is required unless --validate is given")
     try:
         return run(args)
     except SystemExit as e:

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Shard smoke suite: the sharded batch driver end to end, through real
+# child processes.
+#
+#   1. `nahsp batch --shards {2,4}` over examples/fleet.scn must produce
+#      a merged --stable JSON report byte-identical to the unsharded run.
+#   2. A shard SIGKILL'd after its 2nd checkpoint record (NAHSP_CRASH_AFTER
+#      fault injection) must leave exactly 2 durable records; `--resume`
+#      must reuse them without rewriting a byte and still converge to the
+#      byte-identical report.
+#   3. A checkpoint file with a torn final line (truncated mid-append)
+#      must resume with a warning, re-running only the torn item.
+#
+# Usage: scripts/shard_smoke.sh [build-dir]        (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+NAHSP="$BUILD_DIR/src/cli/nahsp"
+FLEET=examples/fleet.scn
+SEED=1
+THREADS=2
+
+if [[ ! -x "$NAHSP" ]]; then
+  echo "error: $NAHSP not built (configure with -DNAHSP_BUILD_CLI=ON)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+run_batch() {  # run_batch OUT.json [extra args...]
+  local out="$1"; shift
+  "$NAHSP" batch "$FLEET" seed="$SEED" threads="$THREADS" \
+    --stable --json "$@" > "$out"
+}
+
+run_resume() {  # run_resume OUT.json DIR  (seed comes from the manifest)
+  local out="$1" dir="$2"
+  "$NAHSP" batch --resume "$dir" threads="$THREADS" \
+    --stable --json > "$out"
+}
+
+echo "== unsharded reference run =="
+run_batch "$WORK/unsharded.json"
+
+echo "== --shards 2 and --shards 4 merge byte-identically =="
+for n in 2 4; do
+  run_batch "$WORK/sharded$n.json" --shards "$n" \
+    --checkpoint-dir "$WORK/ck$n" 2> "$WORK/sharded$n.err"
+  cmp "$WORK/unsharded.json" "$WORK/sharded$n.json" \
+    || { echo "FAIL: --shards $n report differs from unsharded" >&2; exit 1; }
+  echo "  --shards $n: byte-identical"
+done
+
+echo "== SIGKILL a shard after 2 durable records =="
+CRASH_DIR="$WORK/ckcrash"
+crash_status=0
+NAHSP_CRASH_AFTER=2 NAHSP_CRASH_SHARD=1 \
+  run_batch "$WORK/crashed.json" --shards 2 --checkpoint-dir "$CRASH_DIR" \
+  2> "$WORK/crash.err" || crash_status=$?
+if [[ "$crash_status" != 1 ]]; then
+  echo "FAIL: crashed run exited $crash_status, expected 1" >&2
+  cat "$WORK/crash.err" >&2
+  exit 1
+fi
+grep -q "killed by signal" "$WORK/crash.err" \
+  || { echo "FAIL: parent did not report the killed child" >&2; exit 1; }
+grep -q -- "--resume" "$WORK/crash.err" \
+  || { echo "FAIL: crash diagnostics do not advise --resume" >&2; exit 1; }
+
+CKPT="$CRASH_DIR/shard-1-of-2.jsonl"
+durable=$(wc -l < "$CKPT")
+if [[ "$durable" != 2 ]]; then
+  echo "FAIL: expected 2 durable records in $CKPT, found $durable" >&2
+  exit 1
+fi
+cp "$CKPT" "$WORK/durable_before_resume"
+
+echo "== --resume finishes the fleet without re-running durable items =="
+run_resume "$WORK/resumed.json" "$CRASH_DIR" 2> "$WORK/resume.err"
+cmp "$WORK/unsharded.json" "$WORK/resumed.json" \
+  || { echo "FAIL: resumed report differs from unsharded" >&2; exit 1; }
+# The records that survived the crash must be byte-unchanged in place —
+# resume appends the missing items, it never rewrites durable ones.
+head -n 2 "$CKPT" > "$WORK/durable_after_resume"
+cmp "$WORK/durable_before_resume" "$WORK/durable_after_resume" \
+  || { echo "FAIL: resume rewrote pre-crash checkpoint records" >&2; exit 1; }
+grep -q "2 reused" "$WORK/resume.err" \
+  || { echo "FAIL: resume did not report the 2 reused records" >&2; exit 1; }
+
+echo "== a second --resume reuses everything =="
+run_resume "$WORK/resumed2.json" "$CRASH_DIR" 2> "$WORK/resume2.err"
+cmp "$WORK/unsharded.json" "$WORK/resumed2.json" \
+  || { echo "FAIL: second resume report differs" >&2; exit 1; }
+if grep -Eq "[1-9][0-9]* item\(s\) run" "$WORK/resume2.err"; then
+  echo "FAIL: second resume re-ran checkpointed items:" >&2
+  cat "$WORK/resume2.err" >&2
+  exit 1
+fi
+
+echo "== a torn final checkpoint line is skipped with a warning =="
+TORN_DIR="$WORK/cktorn"
+cp -r "$CRASH_DIR" "$TORN_DIR"
+TORN_CKPT="$TORN_DIR/shard-0-of-2.jsonl"
+# Chop the trailing newline plus a few bytes off the last record: the
+# torn tail a SIGKILL mid-append leaves behind.
+size=$(stat -c %s "$TORN_CKPT")
+truncate -s $((size - 10)) "$TORN_CKPT"
+run_resume "$WORK/torn.json" "$TORN_DIR" 2> "$WORK/torn.err"
+grep -qi "torn final line" "$WORK/torn.err" \
+  || { echo "FAIL: torn checkpoint line produced no warning" >&2; exit 1; }
+cmp "$WORK/unsharded.json" "$WORK/torn.json" \
+  || { echo "FAIL: report after torn-line recovery differs" >&2; exit 1; }
+
+echo
+echo "== shard smoke passed =="

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Unit tests for perf_guard.py's exit-code and soft-fail contract.
+"""Unit tests for perf_guard.py's exit-code and soft-fail contract,
+its --validate schema mode, and diff_report.py's batch-report schema.
 
 Run directly (python3 scripts/test_perf_guard.py) or via check.sh.
-Exercises the guard as a subprocess so the contract is tested at the
-same surface CI uses: argv in, exit code + stderr out.
+Exercises the guards as subprocesses so the contracts are tested at
+the same surface CI uses: argv in, exit code + stderr out.
 """
 import json
 import os
@@ -12,8 +13,9 @@ import sys
 import tempfile
 import unittest
 
-GUARD = os.path.join(os.path.dirname(os.path.abspath(__file__)),
-                     "perf_guard.py")
+SCRIPTS = os.path.dirname(os.path.abspath(__file__))
+GUARD = os.path.join(SCRIPTS, "perf_guard.py")
+DIFF = os.path.join(SCRIPTS, "diff_report.py")
 
 
 def raw(rows):
@@ -98,6 +100,202 @@ class PerfGuardTest(unittest.TestCase):
         fresh = raw([row("bm_a", 105.0), row("bm_b", 500.0)])
         r = self.guard(base, fresh, "--filter", "bm_a")
         self.assertEqual(r.returncode, 0, r.stderr)
+
+    def test_missing_fresh_without_validate_is_usage_error(self):
+        with tempfile.TemporaryDirectory() as d:
+            bp = os.path.join(d, "base.json")
+            with open(bp, "w") as f:
+                json.dump(raw([row("bm_a", 1.0)]), f)
+            r = subprocess.run([sys.executable, GUARD, bp],
+                               capture_output=True, text=True)
+        self.assertEqual(r.returncode, 2)
+
+
+def bench_row(name="BM_Solve_dihedral", **overrides):
+    """One well-formed BENCH_*.json result row."""
+    base = {"name": name, "threads": 1, "iterations": 3,
+            "real_time": 12.5, "cpu_time": 12.4, "time_unit": "ms"}
+    base.update(overrides)
+    return {k: v for k, v in base.items() if v is not None}
+
+
+def bench_doc(rows=None):
+    """The composite document `nahsp bench --out` emits."""
+    return {
+        "schema": "nahsp-bench/v1",
+        "note": "test fixture",
+        "benchmarks": {
+            "bench_cli_normal": {
+                "context": {"num_cpus": 1, "mode": "quick"},
+                "results": rows if rows is not None else [bench_row()],
+            },
+        },
+    }
+
+
+class ValidateTest(unittest.TestCase):
+    """perf_guard.py --validate: one subprocess per table case."""
+
+    # (case name, document, expected exit code)
+    CASES = [
+        ("well_formed", bench_doc(), 0),
+        ("raw_list_layout", {"benchmarks": [bench_row()]}, 0),
+        ("missing_name", bench_doc([bench_row(name=None)]), 2),
+        ("empty_name", bench_doc([bench_row(name="")]), 2),
+        ("missing_cpu_time", bench_doc([bench_row(cpu_time=None)]), 2),
+        ("zero_iterations", bench_doc([bench_row(iterations=0)]), 2),
+        ("bool_iterations", bench_doc([bench_row(iterations=True)]), 2),
+        ("string_real_time", bench_doc([bench_row(real_time="fast")]), 2),
+        ("missing_time_unit", bench_doc([bench_row(time_unit=None)]), 2),
+        ("no_rows_at_all", bench_doc([]), 2),
+        ("no_benchmarks_key", {"note": "empty"}, 2),
+        ("suite_without_results",
+         {"benchmarks": {"suite": {"context": {}}}}, 2),
+        ("non_string_note",
+         {"note": 7, "benchmarks": [bench_row()]}, 2),
+    ]
+
+    def validate(self, doc):
+        with tempfile.TemporaryDirectory() as d:
+            p = os.path.join(d, "bench.json")
+            with open(p, "w") as f:
+                json.dump(doc, f)
+            return subprocess.run(
+                [sys.executable, GUARD, "--validate", p],
+                capture_output=True, text=True)
+
+    def test_table(self):
+        for name, doc, expected in self.CASES:
+            with self.subTest(case=name):
+                r = self.validate(doc)
+                self.assertEqual(r.returncode, expected,
+                                 f"{name}: {r.stdout}{r.stderr}")
+
+    def test_nonfinite_time_is_rejected(self):
+        # json.dump would refuse Infinity with allow_nan=False; write the
+        # non-standard token by hand, as a buggy C++ writer would.
+        text = json.dumps(bench_doc()).replace("12.5", "Infinity")
+        with tempfile.TemporaryDirectory() as d:
+            p = os.path.join(d, "bench.json")
+            with open(p, "w") as f:
+                f.write(text)
+            r = subprocess.run(
+                [sys.executable, GUARD, "--validate", p],
+                capture_output=True, text=True)
+        self.assertEqual(r.returncode, 2, r.stdout + r.stderr)
+        self.assertIn("Infinity", r.stderr)
+
+    def test_two_files_both_validated(self):
+        with tempfile.TemporaryDirectory() as d:
+            good = os.path.join(d, "good.json")
+            bad = os.path.join(d, "bad.json")
+            with open(good, "w") as f:
+                json.dump(bench_doc(), f)
+            with open(bad, "w") as f:
+                json.dump(bench_doc([bench_row(time_unit=None)]), f)
+            r = subprocess.run(
+                [sys.executable, GUARD, "--validate", good, bad],
+                capture_output=True, text=True)
+        self.assertEqual(r.returncode, 2)
+        self.assertIn("good.json validates", r.stdout)
+        self.assertIn("bad.json", r.stderr)
+
+
+def batch_report():
+    """A minimal well-formed `nahsp batch --json` document."""
+    queries = {"group_ops": 10, "classical_queries": 2,
+               "quantum_queries": 3, "sim_basis_evals": 40}
+    return {
+        "schema": "nahsp-report/v1",
+        "command": "batch",
+        "file": "examples/fleet.scn",
+        "seed": 1,
+        "threads": 1,
+        "count": 2,
+        "solved": 2,
+        "verified": 2,
+        "items": [
+            {"index": i, "scenario": "dihedral", "group": "D_12",
+             "success": True, "method": "theorem-8", "error": "",
+             "verified": True, "generators": [3], "queries": dict(queries),
+             "seconds": 0.5 * i}
+            for i in range(2)
+        ],
+        "total_queries": {k: 2 * v for k, v in queries.items()},
+        "seconds": 1.25,
+    }
+
+
+class DiffReportBatchTest(unittest.TestCase):
+    """diff_report.py on `command: batch` documents."""
+
+    def diff(self, golden, actual):
+        with tempfile.TemporaryDirectory() as d:
+            gp = os.path.join(d, "golden.json")
+            ap = os.path.join(d, "actual.json")
+            with open(gp, "w") as f:
+                json.dump(golden, f)
+            with open(ap, "w") as f:
+                json.dump(actual, f)
+            return subprocess.run(
+                [sys.executable, DIFF, gp, ap],
+                capture_output=True, text=True)
+
+    def test_identical_reports_match(self):
+        r = self.diff(batch_report(), batch_report())
+        self.assertEqual(r.returncode, 0, r.stdout)
+
+    def test_seconds_volatile_at_both_levels(self):
+        other = batch_report()
+        other["seconds"] = 99.0
+        other["items"][1]["seconds"] = 42.0
+        r = self.diff(batch_report(), other)
+        self.assertEqual(r.returncode, 0, r.stdout)
+
+    def test_query_count_drift_fails(self):
+        other = batch_report()
+        other["items"][0]["queries"]["group_ops"] += 1
+        r = self.diff(batch_report(), other)
+        self.assertEqual(r.returncode, 1)
+        self.assertIn("items", r.stdout)
+
+    # (case name, mutation applied to a well-formed report, expected
+    # schema-error substring)
+    SCHEMA_CASES = [
+        ("missing_total_queries",
+         lambda d: d.pop("total_queries"), "total_queries"),
+        ("count_items_mismatch",
+         lambda d: d.update(count=5), "count"),
+        ("item_missing_field",
+         lambda d: d["items"][0].pop("scenario"), "scenario"),
+        ("item_index_out_of_order",
+         lambda d: d["items"][0].update(index=7), "fleet order"),
+        ("item_generators_non_integer",
+         lambda d: d["items"][0].update(generators=["x"]),
+         "non-integers"),
+        ("unknown_command",
+         lambda d: d.update(command="shard"), "command"),
+        ("unexpected_field",
+         lambda d: d.update(shards=4), "unexpected field"),
+    ]
+
+    def test_schema_table(self):
+        for name, mutate, needle in self.SCHEMA_CASES:
+            with self.subTest(case=name):
+                bad = batch_report()
+                mutate(bad)
+                r = self.diff(batch_report(), bad)
+                self.assertEqual(r.returncode, 1, f"{name}: {r.stdout}")
+                self.assertIn(needle, r.stdout, name)
+
+    def test_solve_golden_still_validates(self):
+        # The solve path must be untouched by the batch-schema split:
+        # a committed golden diffed against itself stays green.
+        golden = os.path.join(os.path.dirname(SCRIPTS), "tests", "golden",
+                              "solve_dihedral.json")
+        r = subprocess.run([sys.executable, DIFF, golden, golden],
+                           capture_output=True, text=True)
+        self.assertEqual(r.returncode, 0, r.stdout + r.stderr)
 
 
 if __name__ == "__main__":

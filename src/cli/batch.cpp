@@ -1,0 +1,469 @@
+#include "batch.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "nahsp/common/spec.h"
+#include "nahsp/common/timer.h"
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/scenario.h"
+#include "nahsp/hsp/shard.h"
+#include "nahsp/serve/outcome.h"
+#include "report.h"
+
+namespace nahsp::cli {
+namespace {
+
+using serve::write_codes;
+using serve::write_queries;
+
+// ------------------------------------------------------------- arguments
+
+// Everything `nahsp batch` accepts beyond the spec file. The three
+// sharding flags select a mode:
+//   (none)            single-process solve_hsp_batch (the classic path)
+//   --shards N        parent: partition, spawn N children, merge
+//   --shard i/N       child: run one slice, write checkpoints, no report
+//   --resume DIR      parent again, fleet rebuilt from DIR/manifest.json
+struct BatchArgs {
+  std::string file;            // .scn path ("" in child/resume modes)
+  std::uint64_t seed = 1;
+  std::uint64_t threads = 0;
+  bool seed_given = false;
+  std::size_t shards = 0;      // --shards N (parent)
+  bool child = false;          // --shard i/N
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 0;
+  std::string checkpoint_dir;  // --checkpoint-dir
+  std::string resume_dir;      // --resume
+  // Zero every wall-clock field in the report. Sharded and unsharded
+  // runs of the same fleet are then byte-identical — the property the
+  // shard-merge pin in ctest compares with cmp(1).
+  bool stable = false;
+};
+
+std::size_t parse_count(const std::string& text, const std::string& flag) {
+  std::uint64_t v = 0;
+  try {
+    v = parse_spec_u64(text);
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("batch: " + flag + ": " + e.what());
+  }
+  if (v < 1 || v > 4096)
+    throw std::invalid_argument("batch: " + flag +
+                                " must be between 1 and 4096");
+  return static_cast<std::size_t>(v);
+}
+
+BatchArgs parse_batch_args(const std::vector<std::string>& args) {
+  BatchArgs out;
+  SpecMap cli;
+  const auto next_value = [&](std::size_t& i,
+                              const std::string& flag) -> const std::string& {
+    if (i + 1 >= args.size())
+      throw std::invalid_argument("batch: " + flag + " needs a value");
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--shards") {
+      out.shards = parse_count(next_value(i, arg), arg);
+    } else if (arg == "--shard") {
+      const std::string& spec = next_value(i, arg);
+      const auto slash = spec.find('/');
+      if (slash == std::string::npos)
+        throw std::invalid_argument(
+            "batch: --shard takes i/N (e.g. --shard 0/4)");
+      out.child = true;
+      out.shard_count = parse_count(spec.substr(slash + 1), "--shard N");
+      std::uint64_t idx = 0;
+      try {
+        idx = parse_spec_u64(spec.substr(0, slash));
+      } catch (const std::invalid_argument& e) {
+        throw std::invalid_argument(std::string("batch: --shard i: ") +
+                                    e.what());
+      }
+      if (idx >= out.shard_count)
+        throw std::invalid_argument("batch: --shard index must be < N");
+      out.shard_index = static_cast<std::size_t>(idx);
+    } else if (arg == "--checkpoint-dir") {
+      out.checkpoint_dir = next_value(i, arg);
+    } else if (arg == "--resume") {
+      out.resume_dir = next_value(i, arg);
+    } else if (arg == "--stable") {
+      out.stable = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      throw std::invalid_argument(
+          "batch: unknown option '" + arg +
+          "' (accepted: --shards, --shard, --checkpoint-dir, --resume, "
+          "--stable)");
+    } else if (arg.find('=') != std::string::npos) {
+      const auto eq = arg.find('=');
+      cli.set(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (out.file.empty()) {
+      out.file = arg;
+    } else {
+      throw std::invalid_argument("batch: unexpected argument '" + arg +
+                                  "' (spec file already given: '" +
+                                  out.file + "')");
+    }
+  }
+  out.seed_given = cli.has("seed");
+  out.seed = cli.get_u64("seed", 1);
+  out.threads = cli.get_u64("threads", 0, 0, 256);
+  cli.require_all_consumed("nahsp batch", {"seed", "threads"});
+
+  if (out.shards > 0 && out.child)
+    throw std::invalid_argument("batch: --shards and --shard are exclusive");
+  if (!out.resume_dir.empty() &&
+      (out.shards > 0 || out.child || !out.file.empty()))
+    throw std::invalid_argument(
+        "batch: --resume takes only the checkpoint directory (fleet, "
+        "seed, and shard count come from its manifest)");
+  if (!out.resume_dir.empty() && out.seed_given)
+    throw std::invalid_argument(
+        "batch: --resume reuses the manifest seed; drop seed=");
+  if (out.child && out.checkpoint_dir.empty())
+    throw std::invalid_argument("batch: --shard needs --checkpoint-dir");
+  if (out.child && !out.file.empty())
+    throw std::invalid_argument(
+        "batch: --shard rebuilds the fleet from the checkpoint "
+        "manifest; drop the spec file");
+  if (out.file.empty() && out.shards > 0)
+    throw std::invalid_argument("batch: --shards needs a .scn spec file");
+  if (out.file.empty() && !out.child && out.resume_dir.empty())
+    throw std::invalid_argument("batch needs a .scn spec file");
+  return out;
+}
+
+// ----------------------------------------------------------------- fleet
+
+// A fleet plus the canonical spec lines that rebuild it. Canonical
+// lines (to_string of the parsed spec) go into the shard manifest:
+// scenario construction is deterministic, so a resume rebuilds the
+// exact same instances from them.
+struct Fleet {
+  std::vector<std::string> spec_lines;
+  std::vector<hsp::BuiltScenario> built;
+};
+
+Fleet build_fleet(const std::vector<ScenarioSpec>& specs) {
+  Fleet fleet;
+  for (const ScenarioSpec& spec : specs) {
+    fleet.spec_lines.push_back(to_string(spec));
+    fleet.built.push_back(hsp::build_scenario(spec));
+  }
+  return fleet;
+}
+
+Fleet fleet_from_file(const std::string& path) {
+  const std::vector<ScenarioSpec> specs = parse_scenario_file(path);
+  if (specs.empty())
+    throw std::invalid_argument("spec error: '" + path +
+                                "' contains no scenario specs");
+  return build_fleet(specs);
+}
+
+Fleet fleet_from_manifest(const hsp::ShardManifest& manifest) {
+  std::vector<ScenarioSpec> specs;
+  for (const std::string& line : manifest.spec_lines)
+    specs.push_back(parse_scenario_line(line));
+  if (specs.empty())
+    throw std::invalid_argument(
+        "batch: checkpoint manifest lists an empty fleet");
+  return build_fleet(specs);
+}
+
+// ---------------------------------------------------------------- report
+
+// One assembled batch result, however it was produced — directly by
+// solve_hsp_batch or merged back out of shard checkpoints. Both paths
+// feed the same two emitters below, which is what makes the sharded
+// JSON byte-identical to the unsharded JSON (under --stable).
+struct BatchResult {
+  std::string file;
+  std::uint64_t seed = 0;
+  std::uint64_t threads = 0;
+  hsp::BatchReport report;
+  std::vector<hsp::BuiltScenario>* built = nullptr;
+  std::vector<bool> verified;
+  std::size_t verified_count = 0;
+  bool stable = false;
+};
+
+void write_batch_json(std::ostream& os, const BatchResult& r) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "nahsp-report/v1");
+  w.field("command", "batch");
+  w.field("file", r.file);
+  w.field("seed", r.seed);
+  w.field("threads", r.threads);
+  w.field("count", static_cast<std::uint64_t>(r.report.items.size()));
+  w.field("solved", static_cast<std::uint64_t>(r.report.solved));
+  w.field("verified", static_cast<std::uint64_t>(r.verified_count));
+  w.key("items");
+  w.begin_array();
+  for (std::size_t i = 0; i < r.report.items.size(); ++i) {
+    const hsp::BatchItemReport& item = r.report.items[i];
+    const hsp::BuiltScenario& built = (*r.built)[i];
+    w.begin_object();
+    w.field("index", static_cast<std::uint64_t>(i));
+    w.field("scenario", built.family);
+    w.field("group", built.group_name);
+    w.field("success", item.success);
+    w.field("method",
+            item.success ? hsp::method_name(item.solution.method) : "");
+    w.field("error", item.error);
+    w.field("verified", static_cast<bool>(r.verified[i]));
+    w.key("generators");
+    write_codes(w, item.success ? item.solution.generators
+                                : std::vector<grp::Code>{});
+    w.key("queries");
+    write_queries(w, item.queries);
+    w.field("seconds", r.stable ? 0.0 : item.seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("total_queries");
+  write_queries(w, r.report.total_queries);
+  w.field("seconds", r.stable ? 0.0 : r.report.seconds);
+  w.end_object();
+  w.finish();
+}
+
+void print_batch_text(const BatchResult& r) {
+  std::printf("batch %s: %zu instances, %zu solved, %zu verified (%s)\n\n",
+              r.file.c_str(), r.report.items.size(), r.report.solved,
+              r.verified_count,
+              format_duration(r.stable ? 0.0 : r.report.seconds).c_str());
+  for (std::size_t i = 0; i < r.report.items.size(); ++i) {
+    const hsp::BatchItemReport& item = r.report.items[i];
+    const hsp::BuiltScenario& built = (*r.built)[i];
+    if (item.success) {
+      std::printf("  [%zu] %-5s %-13s %-48s %llu quantum queries\n", i,
+                  r.verified[i] ? "ok" : "WRONG", built.family.c_str(),
+                  hsp::method_name(item.solution.method),
+                  static_cast<unsigned long long>(
+                      item.queries.quantum_queries));
+    } else {
+      std::printf("  [%zu] FAIL  %-13s %s\n", i, built.family.c_str(),
+                  item.error.c_str());
+    }
+  }
+  const bb::QueryCounter& q = r.report.total_queries;
+  std::printf(
+      "\naggregate: %llu quantum / %llu classical queries, %llu group "
+      "ops\n",
+      static_cast<unsigned long long>(q.quantum_queries),
+      static_cast<unsigned long long>(q.classical_queries),
+      static_cast<unsigned long long>(q.group_ops));
+}
+
+int emit_batch_result(const BatchResult& r, bool json) {
+  if (json)
+    write_batch_json(std::cout, r);
+  else
+    print_batch_text(r);
+  return r.verified_count == r.report.items.size() ? 0 : 1;
+}
+
+// ------------------------------------------------------ unsharded batch
+
+int run_unsharded(const BatchArgs& a, bool json) {
+  Fleet fleet = fleet_from_file(a.file);
+
+  std::vector<bb::HspInstance> instances;
+  hsp::BatchOptions opts;
+  opts.base_seed = a.seed;
+  opts.threads = static_cast<int>(a.threads);
+  for (const hsp::BuiltScenario& b : fleet.built) {
+    instances.push_back(b.instance);
+    opts.per_instance.push_back(b.options);
+  }
+
+  BatchResult r;
+  r.file = a.file;
+  r.seed = a.seed;
+  r.threads = a.threads;
+  r.stable = a.stable;
+  r.report = hsp::solve_hsp_batch(instances, opts);
+  r.built = &fleet.built;
+  r.verified.assign(r.report.items.size(), false);
+  for (std::size_t i = 0; i < r.report.items.size(); ++i) {
+    if (!r.report.items[i].success) continue;
+    r.verified[i] = hsp::verify_same_subgroup(
+        *fleet.built[i].instance.group,
+        r.report.items[i].solution.generators,
+        fleet.built[i].instance.planted_generators);
+    if (r.verified[i]) ++r.verified_count;
+  }
+  return emit_batch_result(r, json);
+}
+
+// ----------------------------------------------------------- child mode
+
+int run_child(const BatchArgs& a) {
+  const hsp::ShardManifest manifest =
+      hsp::load_shard_manifest(a.checkpoint_dir);
+  if (manifest.num_shards != a.shard_count)
+    throw std::invalid_argument(
+        "batch: --shard N (" + std::to_string(a.shard_count) +
+        ") does not match the manifest (" +
+        std::to_string(manifest.num_shards) + " shards)");
+  Fleet fleet = fleet_from_manifest(manifest);
+
+  hsp::ShardRunOptions opts;
+  opts.shard = a.shard_index;
+  opts.num_shards = a.shard_count;
+  opts.base_seed = manifest.base_seed;
+  opts.threads = static_cast<int>(a.threads);
+  opts.checkpoint_dir = a.checkpoint_dir;
+  opts.log = &std::cerr;
+  const hsp::ShardRunResult res = hsp::run_shard(fleet.built, opts);
+  std::fprintf(stderr, "shard %zu/%zu: %zu item(s) run, %zu reused\n",
+               a.shard_index, a.shard_count, res.ran, res.reused);
+  return 0;
+}
+
+// ---------------------------------------------------------- parent mode
+
+void spawn_and_wait_children(const std::string& dir, std::size_t num_shards,
+                             std::uint64_t threads) {
+  const std::string threads_kv = "threads=" + std::to_string(threads);
+  std::vector<pid_t> pids;
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    const std::string shard_spec =
+        std::to_string(s) + "/" + std::to_string(num_shards);
+    // argv[0] is cosmetic; /proc/self/exe re-runs this very binary, so
+    // parent and children are always the same build.
+    std::vector<std::string> argv_s = {"nahsp",    "batch",
+                                       "--shard",  shard_spec,
+                                       "--checkpoint-dir", dir,
+                                       threads_kv};
+    std::vector<char*> argv;
+    for (std::string& arg : argv_s) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    const pid_t pid = fork();
+    if (pid < 0)
+      throw std::runtime_error(std::string("batch: fork failed: ") +
+                               std::strerror(errno));
+    if (pid == 0) {
+      execv("/proc/self/exe", argv.data());
+      // Only reached when exec itself failed; _exit, not exit — this
+      // child shares the parent's stdio buffers.
+      std::fprintf(stderr, "batch: exec failed: %s\n", std::strerror(errno));
+      _exit(127);
+    }
+    pids.push_back(pid);
+  }
+  for (std::size_t s = 0; s < pids.size(); ++s) {
+    int status = 0;
+    if (waitpid(pids[s], &status, 0) < 0)
+      throw std::runtime_error(std::string("batch: waitpid failed: ") +
+                               std::strerror(errno));
+    if (WIFSIGNALED(status)) {
+      std::fprintf(stderr,
+                   "batch: shard %zu (pid %ld) killed by signal %d; its "
+                   "checkpointed items are durable\n",
+                   s, static_cast<long>(pids[s]), WTERMSIG(status));
+    } else if (WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "batch: shard %zu (pid %ld) exited with %d\n", s,
+                   static_cast<long>(pids[s]), WEXITSTATUS(status));
+    }
+  }
+}
+
+// Shared by --shards (fresh or idempotent re-run) and --resume: the
+// manifest already exists and matches, children run, checkpoints merge.
+int run_sharded(Fleet& fleet, const hsp::ShardManifest& manifest,
+                const std::string& dir, std::uint64_t threads, bool stable,
+                bool json) {
+  const Timer total;
+  spawn_and_wait_children(dir, manifest.num_shards, threads);
+
+  const hsp::ShardPlan plan =
+      hsp::plan_shards(fleet.built, manifest.num_shards);
+  hsp::MergedBatch merged =
+      hsp::merge_checkpoints(fleet.built, plan, dir, &std::cerr);
+  if (!merged.complete()) {
+    std::fprintf(stderr,
+                 "batch: incomplete fleet: %zu of %zu item(s) have no "
+                 "checkpoint record (first missing index %zu); re-run "
+                 "`nahsp batch --resume %s` to finish\n",
+                 merged.missing.size(), fleet.built.size(),
+                 merged.missing.front(), dir.c_str());
+    return 1;
+  }
+
+  BatchResult r;
+  r.file = manifest.source;
+  r.seed = manifest.base_seed;
+  r.threads = threads;
+  r.stable = stable;
+  r.report = std::move(merged.report);
+  r.report.seconds = total.seconds();
+  r.built = &fleet.built;
+  r.verified = std::move(merged.verified);
+  r.verified_count = merged.verified_count;
+  return emit_batch_result(r, json);
+}
+
+int run_parent(const BatchArgs& a, bool json) {
+  const std::string dir =
+      a.checkpoint_dir.empty() ? a.file + ".ckpt" : a.checkpoint_dir;
+  Fleet fleet = fleet_from_file(a.file);
+
+  std::filesystem::create_directories(dir);
+  hsp::ShardManifest manifest;
+  if (std::filesystem::exists(dir + "/manifest.json")) {
+    // Idempotent re-run over an existing checkpoint directory: children
+    // skip recorded successes, so this IS a resume — but only for the
+    // identical fleet/seed/partition; anything else would silently mix
+    // two different runs' records.
+    manifest = hsp::load_shard_manifest(dir);
+    if (manifest.num_shards != a.shards || manifest.base_seed != a.seed ||
+        manifest.spec_lines != fleet.spec_lines)
+      throw std::invalid_argument(
+          "batch: checkpoint directory '" + dir +
+          "' belongs to a different run (fleet, seed, or shard count "
+          "changed); use a fresh --checkpoint-dir or `nahsp batch "
+          "--resume " + dir + "`");
+  } else {
+    manifest.num_shards = a.shards;
+    manifest.base_seed = a.seed;
+    manifest.source = a.file;
+    manifest.spec_lines = fleet.spec_lines;
+    hsp::write_shard_manifest(dir, manifest);
+  }
+  return run_sharded(fleet, manifest, dir, a.threads, a.stable, json);
+}
+
+int run_resume(const BatchArgs& a, bool json) {
+  const hsp::ShardManifest manifest =
+      hsp::load_shard_manifest(a.resume_dir);
+  Fleet fleet = fleet_from_manifest(manifest);
+  return run_sharded(fleet, manifest, a.resume_dir, a.threads, a.stable,
+                     json);
+}
+
+}  // namespace
+
+int cmd_batch(const std::vector<std::string>& args, bool json) {
+  const BatchArgs a = parse_batch_args(args);
+  if (a.child) return run_child(a);
+  if (!a.resume_dir.empty()) return run_resume(a, json);
+  if (a.shards > 0) return run_parent(a, json);
+  return run_unsharded(a, json);
+}
+
+}  // namespace nahsp::cli

@@ -1,0 +1,17 @@
+// `nahsp batch`: the fleet front end — single-process fan-out plus the
+// sharded, checkpointed multi-process mode (--shards/--shard/--resume).
+// See docs/MANUAL.md ("Batch runs" and "Sharded fleets") for the
+// command surface; the partition/checkpoint/merge machinery lives in
+// nahsp::hsp (hsp/shard.h).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nahsp::cli {
+
+/// \brief `nahsp batch` entry point. `args` is everything after the
+/// command word (--json already stripped by main).
+int cmd_batch(const std::vector<std::string>& args, bool json);
+
+}  // namespace nahsp::cli

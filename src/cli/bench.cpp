@@ -1,0 +1,242 @@
+#include "bench.h"
+
+#include <ctime>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "nahsp/common/timer.h"
+#include "nahsp/hsp/scenario.h"
+#include "nahsp/hsp/solve.h"
+#include "report.h"
+
+namespace nahsp::cli {
+namespace {
+
+// ------------------------------------------------------------ the table
+
+// One benchmark: a pinned scenario spec solved end to end (build is
+// setup, only the solve is timed). Names are globally unique —
+// perf_guard.py flattens every suite into one name -> row map.
+struct BenchCase {
+  const char* name;  ///< row name, e.g. "BM_Solve_dihedral"
+  const char* spec;  ///< scenario spec line, seed pinned separately
+};
+
+struct BenchSuite {
+  const char* name;  ///< suite key in the composite JSON
+  const char* doc;   ///< one-line description (suite context)
+  std::vector<BenchCase> cases;
+};
+
+// The four suites mirror the standalone bench_e* binaries' coverage
+// tiers: abelian structure (e1), hidden-normal (e4), qubit simulator
+// (e8), sparse backend (e12) — but drive the full dispatcher through
+// the scenario registry, so they track what `nahsp solve` users see.
+const std::vector<BenchSuite>& bench_suites() {
+  static const std::vector<BenchSuite> suites = {
+      {"bench_cli_abelian",
+       "abelian-structure solves (Theorem 11 ladder, e1 tier)",
+       {
+           {"BM_Solve_abelian", "abelian"},
+           {"BM_Solve_random_abelian", "random_abelian"},
+           {"BM_Solve_shor", "shor"},
+       }},
+      {"bench_cli_normal",
+       "hidden-normal-subgroup solves (Theorem 8 route, e4 tier)",
+       {
+           {"BM_Solve_dihedral", "dihedral"},
+           {"BM_Solve_random_normal", "random_normal"},
+       }},
+      {"bench_cli_qft",
+       "Theorem 13 solves on the qubit simulator backend (e8 tier)",
+       {
+           {"BM_Solve_elem_abelian2_qubit", "elem_abelian2 backend=qubit"},
+           {"BM_Solve_wreath", "wreath"},
+       }},
+      {"bench_cli_sparse",
+       "solves pinned to the sparse coset-support backend (e12 tier)",
+       {
+           {"BM_Solve_elem_abelian2_sparse",
+            "elem_abelian2 backend=sparse"},
+           {"BM_Solve_gf2affine_sparse", "gf2affine backend=sparse"},
+       }},
+  };
+  return suites;
+}
+
+// ------------------------------------------------------------ the runner
+
+double process_cpu_seconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+struct BenchRow {
+  std::string name;
+  std::uint64_t iterations = 0;
+  double real_time_ms = 0.0;  ///< mean per iteration
+  double cpu_time_ms = 0.0;   ///< mean per iteration
+};
+
+constexpr std::uint64_t kBenchSeed = 1;
+
+BenchRow run_case(const BenchCase& bc, bool quick) {
+  // Build outside the timed region; construction is deterministic and
+  // the interesting cost is the solve. One untimed warm-up iteration
+  // absorbs first-touch effects (lazy registries, allocator warm-up).
+  {
+    hsp::BuiltScenario built = hsp::build_scenario(bc.spec);
+    Rng rng(kBenchSeed);
+    (void)hsp::solve_hsp(*built.instance.bb, *built.instance.f, rng,
+                         built.options);
+  }
+  // Quick mode is the CI smoke budget: one timed iteration, enough for
+  // schema validation and order-of-magnitude regression catching. Full
+  // mode accumulates iterations until the case has at least min_time
+  // on the clock, like --benchmark_min_time.
+  const double min_seconds = quick ? 0.0 : 0.25;
+  const std::uint64_t max_iterations = quick ? 1 : 200;
+  double real_total = 0.0;
+  double cpu_total = 0.0;
+  std::uint64_t iterations = 0;
+  while (iterations < 1 ||
+         (iterations < max_iterations && real_total < min_seconds)) {
+    hsp::BuiltScenario built = hsp::build_scenario(bc.spec);
+    Rng rng(kBenchSeed);
+    const double cpu0 = process_cpu_seconds();
+    const Timer t;
+    (void)hsp::solve_hsp(*built.instance.bb, *built.instance.f, rng,
+                         built.options);
+    real_total += t.seconds();
+    cpu_total += process_cpu_seconds() - cpu0;
+    ++iterations;
+  }
+  BenchRow row;
+  row.name = bc.name;
+  row.iterations = iterations;
+  row.real_time_ms = real_total * 1e3 / static_cast<double>(iterations);
+  row.cpu_time_ms = cpu_total * 1e3 / static_cast<double>(iterations);
+  return row;
+}
+
+// ----------------------------------------------------------- the report
+
+void write_bench_json(std::ostream& os, const std::string& note,
+                      const std::string& caveat, bool quick,
+                      const std::vector<const BenchSuite*>& suites,
+                      const std::vector<std::vector<BenchRow>>& rows) {
+  JsonWriter w(os);
+  w.begin_object();
+  w.field("schema", "nahsp-bench/v1");
+  w.field("note", note);
+  if (!caveat.empty()) w.field("hardware_caveat", caveat);
+  w.key("benchmarks");
+  w.begin_object();
+  for (std::size_t s = 0; s < suites.size(); ++s) {
+    w.key(suites[s]->name);
+    w.begin_object();
+    w.key("context");
+    w.begin_object();
+    w.field("num_cpus", static_cast<std::uint64_t>(
+                            std::thread::hardware_concurrency()));
+    w.field("mode", quick ? "quick" : "full");
+    w.field("doc", suites[s]->doc);
+    w.end_object();
+    w.key("results");
+    w.begin_array();
+    for (const BenchRow& row : rows[s]) {
+      w.begin_object();
+      w.field("name", row.name);
+      w.field("threads", std::uint64_t{1});
+      w.field("iterations", row.iterations);
+      w.field("real_time", row.real_time_ms);
+      w.field("cpu_time", row.cpu_time_ms);
+      w.field("time_unit", "ms");
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+  w.finish();
+}
+
+}  // namespace
+
+int cmd_bench(const std::vector<std::string>& args) {
+  bool quick = false;
+  std::string suite_filter;
+  std::string out_path;
+  std::string note;
+  std::string caveat;
+  const auto next_value = [&](std::size_t& i,
+                              const std::string& flag) -> const std::string& {
+    if (i + 1 >= args.size())
+      throw std::invalid_argument("bench: " + flag + " needs a value");
+    return args[++i];
+  };
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--suite") {
+      suite_filter = next_value(i, arg);
+    } else if (arg == "--out") {
+      out_path = next_value(i, arg);
+    } else if (arg == "--note") {
+      note = next_value(i, arg);
+    } else if (arg == "--caveat") {
+      caveat = next_value(i, arg);
+    } else {
+      throw std::invalid_argument(
+          "bench: unknown option '" + arg +
+          "' (accepted: --quick, --suite NAME, --out PATH, --note TEXT, "
+          "--caveat TEXT)");
+    }
+  }
+
+  std::vector<const BenchSuite*> selected;
+  for (const BenchSuite& suite : bench_suites())
+    if (suite_filter.empty() || suite_filter == suite.name)
+      selected.push_back(&suite);
+  if (selected.empty()) {
+    std::string names;
+    for (const BenchSuite& suite : bench_suites())
+      names += std::string(names.empty() ? "" : ", ") + suite.name;
+    throw std::invalid_argument("bench: unknown suite '" + suite_filter +
+                                "' (suites: " + names + ")");
+  }
+  if (note.empty())
+    note = std::string("generated by `nahsp bench") +
+           (quick ? " --quick" : "") +
+           "`: end-to-end scenario solves, dispatcher included";
+
+  std::vector<std::vector<BenchRow>> rows;
+  for (const BenchSuite* suite : selected) {
+    std::fprintf(stderr, "bench: %s (%zu case(s))\n", suite->name,
+                 suite->cases.size());
+    rows.emplace_back();
+    for (const BenchCase& bc : suite->cases) rows.back().push_back(
+        run_case(bc, quick));
+  }
+
+  if (out_path.empty()) {
+    write_bench_json(std::cout, note, caveat, quick, selected, rows);
+  } else {
+    std::ofstream out(out_path);
+    if (!out)
+      throw std::invalid_argument("bench: cannot write '" + out_path + "'");
+    write_bench_json(out, note, caveat, quick, selected, rows);
+  }
+  return 0;
+}
+
+}  // namespace nahsp::cli

@@ -1,0 +1,17 @@
+// `nahsp bench`: named end-to-end benchmark suites emitting the repo's
+// composite BENCH_*.json schema directly — no Google-Benchmark binary
+// or jq assembly step in the loop. scripts/perf_guard.py consumes the
+// output both as a baseline and as the fresh side of a comparison (and
+// schema-checks it via --validate).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nahsp::cli {
+
+/// \brief `nahsp bench` entry point. `args` is everything after the
+/// command word.
+int cmd_bench(const std::vector<std::string>& args);
+
+}  // namespace nahsp::cli

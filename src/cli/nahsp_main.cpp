@@ -5,8 +5,10 @@
 //   nahsp list [--json | --names]        scenario catalogue
 //   nahsp describe <scenario> [--json]   parameters, ranges, theorem
 //   nahsp solve <scenario> [key=value ...] [--json]
-//   nahsp batch <file.scn> [key=value ...] [--json]
+//   nahsp batch <file.scn> [key=value ...] [--json]  (see batch.h for
+//       the sharded mode: --shards/--shard/--resume/--stable)
 //   nahsp selftest [key=value ...] [--json]
+//   nahsp bench [--quick --suite NAME --out PATH ...]  (see bench.h)
 //   nahsp serve [--socket PATH | --port N] [--workers N ...]
 //
 // Reserved spec keys consumed by the driver itself (everything else
@@ -32,6 +34,8 @@
 #include "nahsp/hsp/scenario.h"
 #include "nahsp/serve/outcome.h"
 #include "nahsp/serve/server.h"
+#include "batch.h"
+#include "bench.h"
 #include "report.h"
 
 namespace nahsp::cli {
@@ -42,7 +46,6 @@ namespace {
 // byte-identical.
 using serve::SolveOutcome;
 using serve::run_scenario;
-using serve::write_codes;
 using serve::write_queries;
 using serve::write_solve_report;
 
@@ -57,9 +60,17 @@ commands:
   solve <scenario> [k=v..]  build + solve one scenario, verify the result
   batch <file.scn> [k=v..]  fan a spec file through solve_hsp_batch
   selftest [k=v..]          solve every family at defaults, verify each
+  bench [options]           named benchmark suites -> BENCH_*.json schema
   serve [options]           long-running solver daemon (JSON lines over a
                             socket; see docs/MANUAL.md, "The serve daemon")
 
+batch options: --shards N (partition by instance fingerprint, run N
+  checkpointed child processes, merge), --checkpoint-dir DIR (default
+  <file>.ckpt), --resume DIR (finish an interrupted sharded run),
+  --stable (zero wall-clock fields -> byte-reproducible reports),
+  --shard i/N (internal: run one shard slice in-process)
+bench options: --quick (1 iteration per case, CI smoke budget),
+  --suite NAME, --out PATH, --note TEXT, --caveat TEXT
 serve options: --socket PATH (default /tmp/nahsp.sock) | --port N (TCP
   127.0.0.1, 0 = ephemeral), --workers N, --queue N, --cache N,
   --timeout-ms N (0 = unlimited), --seed N (stream base seed)
@@ -258,108 +269,6 @@ int cmd_solve(const std::vector<std::string>& tokens, bool json) {
   return out.success && out.verified ? 0 : 1;
 }
 
-// ------------------------------------------------------------------ batch
-
-int cmd_batch(const std::string& path,
-              const std::vector<std::string>& extra_tokens, bool json) {
-  const auto [seed, threads] =
-      parse_reserved_options(extra_tokens, "nahsp batch");
-
-  const std::vector<ScenarioSpec> specs = parse_scenario_file(path);
-  if (specs.empty())
-    throw std::invalid_argument("spec error: '" + path +
-                                "' contains no scenario specs");
-
-  std::vector<hsp::BuiltScenario> built;
-  std::vector<bb::HspInstance> instances;
-  hsp::BatchOptions opts;
-  opts.base_seed = seed;
-  opts.threads = static_cast<int>(threads);
-  for (const ScenarioSpec& spec : specs) {
-    built.push_back(hsp::build_scenario(spec));
-    instances.push_back(built.back().instance);
-    opts.per_instance.push_back(built.back().options);
-  }
-
-  const hsp::BatchReport report = hsp::solve_hsp_batch(instances, opts);
-
-  std::size_t verified_count = 0;
-  std::vector<bool> verified(report.items.size(), false);
-  for (std::size_t i = 0; i < report.items.size(); ++i) {
-    if (!report.items[i].success) continue;
-    verified[i] = hsp::verify_same_subgroup(
-        *built[i].instance.group, report.items[i].solution.generators,
-        built[i].instance.planted_generators);
-    if (verified[i]) ++verified_count;
-  }
-
-  if (json) {
-    JsonWriter w(std::cout);
-    w.begin_object();
-    w.field("schema", "nahsp-report/v1");
-    w.field("command", "batch");
-    w.field("file", path);
-    w.field("seed", seed);
-    w.field("threads", threads);
-    w.field("count", static_cast<std::uint64_t>(report.items.size()));
-    w.field("solved", static_cast<std::uint64_t>(report.solved));
-    w.field("verified", static_cast<std::uint64_t>(verified_count));
-    w.key("items");
-    w.begin_array();
-    for (std::size_t i = 0; i < report.items.size(); ++i) {
-      const hsp::BatchItemReport& item = report.items[i];
-      w.begin_object();
-      w.field("index", static_cast<std::uint64_t>(i));
-      w.field("scenario", built[i].family);
-      w.field("group", built[i].group_name);
-      w.field("success", item.success);
-      w.field("method", item.success
-                            ? hsp::method_name(item.solution.method)
-                            : "");
-      w.field("error", item.error);
-      w.field("verified", static_cast<bool>(verified[i]));
-      w.key("generators");
-      write_codes(w, item.success ? item.solution.generators
-                                  : std::vector<grp::Code>{});
-      w.key("queries");
-      write_queries(w, item.queries);
-      w.field("seconds", item.seconds);
-      w.end_object();
-    }
-    w.end_array();
-    w.key("total_queries");
-    write_queries(w, report.total_queries);
-    w.field("seconds", report.seconds);
-    w.end_object();
-    w.finish();
-  } else {
-    std::printf("batch %s: %zu instances, %zu solved, %zu verified (%s)\n\n",
-                path.c_str(), report.items.size(), report.solved,
-                verified_count, format_duration(report.seconds).c_str());
-    for (std::size_t i = 0; i < report.items.size(); ++i) {
-      const hsp::BatchItemReport& item = report.items[i];
-      if (item.success) {
-        std::printf("  [%zu] %-5s %-13s %-48s %llu quantum queries\n", i,
-                    verified[i] ? "ok" : "WRONG", built[i].family.c_str(),
-                    hsp::method_name(item.solution.method),
-                    static_cast<unsigned long long>(
-                        item.queries.quantum_queries));
-      } else {
-        std::printf("  [%zu] FAIL  %-13s %s\n", i, built[i].family.c_str(),
-                    item.error.c_str());
-      }
-    }
-    const bb::QueryCounter& q = report.total_queries;
-    std::printf(
-        "\naggregate: %llu quantum / %llu classical queries, %llu group "
-        "ops\n",
-        static_cast<unsigned long long>(q.quantum_queries),
-        static_cast<unsigned long long>(q.classical_queries),
-        static_cast<unsigned long long>(q.group_ops));
-  }
-  return verified_count == report.items.size() ? 0 : 1;
-}
-
 // --------------------------------------------------------------- selftest
 
 int cmd_selftest(const std::vector<std::string>& tokens, bool json) {
@@ -534,13 +443,9 @@ int main(int argc, char** argv) {
             "solve needs a scenario name (see `nahsp list`)");
       return cmd_solve(rest, json);
     }
-    if (command == "batch") {
-      if (rest.empty())
-        throw std::invalid_argument("batch needs a .scn spec file");
-      return cmd_batch(rest.front(),
-                       {rest.begin() + 1, rest.end()}, json);
-    }
+    if (command == "batch") return cmd_batch(rest, json);
     if (command == "selftest") return cmd_selftest(rest, json);
+    if (command == "bench") return cmd_bench(rest);
     if (command == "serve") return cmd_serve(rest);
     std::fprintf(stderr, "nahsp: unknown command '%s'\n\n%s",
                  command.c_str(), kUsage);

@@ -1,78 +1,14 @@
-// Minimal streaming JSON writer for the `nahsp` driver's machine-
-// readable reports and the `nahsp serve` wire protocol.
-//
-// Keys are emitted in call order and the formatting (2-space indent,
-// "\n" line ends, %.9g doubles) is fixed, so two runs that compute the
-// same report produce byte-identical output — the property the CI
-// golden-report diff relies on. Style::kCompact drops all whitespace
-// for single-line output (the newline-delimited serve protocol); the
-// token stream is otherwise identical. No external JSON dependency.
+// Forwarder: the streaming JSON writer moved to nahsp/common/json.h so
+// the hsp layer's batch checkpoints can use it (see that header for
+// the formatting contract). This header keeps the historical
+// nahsp::cli spellings working for the CLI and serve layers.
 #pragma once
 
-#include <cstdint>
-#include <ostream>
-#include <string>
-#include <string_view>
-#include <vector>
+#include "nahsp/common/json.h"
 
 namespace nahsp::cli {
 
-/// \brief Streaming JSON writer with explicit begin/end nesting and
-/// full string escaping. Misuse (value without key inside an object,
-/// unbalanced end) is a programming error and asserted via exceptions.
-class JsonWriter {
- public:
-  /// \brief Output style: kPretty (2-space indent, one field per line)
-  /// or kCompact (no whitespace — single-line wire output).
-  enum class Style { kPretty, kCompact };
-
-  explicit JsonWriter(std::ostream& os, Style style = Style::kPretty)
-      : os_(os), style_(style) {}
-
-  void begin_object();
-  void end_object();
-  void begin_array();
-  void end_array();
-
-  /// \brief Emits the key of the next value inside an object.
-  void key(std::string_view k);
-
-  void value(std::string_view v);
-  void value(const char* v) { value(std::string_view(v)); }
-  void value(std::uint64_t v);
-  void value(bool v);
-  /// \brief Doubles print as %.9g (shortest stable round-trip for the
-  /// report's wall-clock fields). Non-finite values (NaN, ±inf) have no
-  /// JSON representation and are emitted as `null` — "%.9g" would print
-  /// `nan`/`inf` and corrupt the document.
-  void value(double v);
-
-  /// \brief key + value in one call.
-  template <typename T>
-  void field(std::string_view k, const T& v) {
-    key(k);
-    value(v);
-  }
-
-  /// \brief Terminates the document with a trailing newline (both
-  /// styles: the serve protocol is newline-delimited).
-  void finish();
-
- private:
-  void prefix();
-  void indent(std::size_t depth);
-
-  struct Level {
-    bool is_array = false;
-    std::size_t count = 0;
-  };
-  std::ostream& os_;
-  Style style_;
-  std::vector<Level> stack_;
-  bool pending_key_ = false;
-};
-
-/// \brief JSON string escaping (quotes, backslash, control characters).
-std::string json_escape(std::string_view s);
+using JsonWriter = ::nahsp::JsonWriter;
+using ::nahsp::json_escape;
 
 }  // namespace nahsp::cli

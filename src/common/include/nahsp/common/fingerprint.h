@@ -1,0 +1,55 @@
+// Canonical instance fingerprints and the stable shard hash.
+//
+// A fingerprint is a deterministic one-line rendering of everything
+// that identifies a piece of work: "head|k1=v1|k2=v2|...". Two layers
+// key off it — the `nahsp serve` cross-request LRU cache (equal
+// fingerprints name equal planted instances, so a cached report can be
+// replayed) and the sharded batch driver (a fleet item's shard is a
+// pure function of its fingerprint, so adding or removing unrelated
+// fleet lines never reshuffles where existing work runs or which
+// checkpoint records still apply).
+//
+// The shard hash is FNV-1a over the fingerprint bytes. It is part of
+// the checkpoint compatibility surface: changing it strands existing
+// checkpoint directories (records would be looked up under the wrong
+// shard), so treat it as frozen.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace nahsp {
+
+/// \brief Builds a canonical "head|k=v|k=v" fingerprint string.
+/// Append order is significant and must be deterministic at the call
+/// site (e.g. declaration order of scenario parameters).
+class Fingerprint {
+ public:
+  explicit Fingerprint(std::string_view head) : text_(head) {}
+
+  void add(std::string_view key, std::string_view value) {
+    text_ += '|';
+    text_ += key;
+    text_ += '=';
+    text_ += value;
+  }
+  void add(std::string_view key, std::uint64_t value) {
+    add(key, std::to_string(value));
+  }
+
+  const std::string& str() const { return text_; }
+
+ private:
+  std::string text_;
+};
+
+/// \brief 64-bit FNV-1a over `s` (offset basis 14695981039346656037,
+/// prime 1099511628211).
+std::uint64_t fnv1a64(std::string_view s);
+
+/// \brief Stable shard assignment: fnv1a64(fingerprint) % num_shards.
+/// Requires num_shards >= 1.
+std::size_t shard_of(std::string_view fingerprint, std::size_t num_shards);
+
+}  // namespace nahsp

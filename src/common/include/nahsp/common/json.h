@@ -1,0 +1,140 @@
+// The repo's one JSON layer: a streaming writer and a strict reader.
+//
+// Both halves started life higher up the stack — the writer in the
+// `nahsp` CLI (report.h), the reader in the serve daemon's wire
+// protocol (json_value.h) — and moved here so the hsp layer's batch
+// checkpoints can serialize and reload records through exactly the
+// code paths the CLI reports and the daemon wire format use. The
+// original headers remain as thin forwarders.
+//
+// Writer: keys are emitted in call order and the formatting (2-space
+// indent, "\n" line ends, %.9g doubles) is fixed, so two runs that
+// compute the same report produce byte-identical output — the property
+// the CI golden-report diff and the shard-merge byte-identity test
+// rely on. Style::kCompact drops all whitespace for single-line output
+// (the newline-delimited serve protocol and the checkpoint JSONL
+// records); the token stream is otherwise identical.
+//
+// Reader: deliberately strict where the standard allows latitude and
+// where leniency would hide bugs — duplicate object keys rejected,
+// non-standard NaN/Infinity tokens rejected, nesting depth capped,
+// trailing bytes after the document an error. Numbers keep their raw
+// source text so integer fields read back exactly (no double
+// round-trip for u64 seeds).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace nahsp {
+
+/// \brief Streaming JSON writer with explicit begin/end nesting and
+/// full string escaping. Misuse (value without key inside an object,
+/// unbalanced end) is a programming error and asserted via exceptions.
+class JsonWriter {
+ public:
+  /// \brief Output style: kPretty (2-space indent, one field per line)
+  /// or kCompact (no whitespace — single-line wire output).
+  enum class Style { kPretty, kCompact };
+
+  explicit JsonWriter(std::ostream& os, Style style = Style::kPretty)
+      : os_(os), style_(style) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// \brief Emits the key of the next value inside an object.
+  void key(std::string_view k);
+
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void value(std::uint64_t v);
+  void value(bool v);
+  /// \brief Doubles print as %.9g (shortest stable round-trip for the
+  /// report's wall-clock fields). Non-finite values (NaN, ±inf) have no
+  /// JSON representation and are emitted as `null` — "%.9g" would print
+  /// `nan`/`inf` and corrupt the document.
+  void value(double v);
+
+  /// \brief key + value in one call.
+  template <typename T>
+  void field(std::string_view k, const T& v) {
+    key(k);
+    value(v);
+  }
+
+  /// \brief Terminates the document with a trailing newline (both
+  /// styles: the serve protocol and the checkpoint files are
+  /// newline-delimited).
+  void finish();
+
+ private:
+  void prefix();
+  void indent(std::size_t depth);
+
+  struct Level {
+    bool is_array = false;
+    std::size_t count = 0;
+  };
+  std::ostream& os_;
+  Style style_;
+  std::vector<Level> stack_;
+  bool pending_key_ = false;
+};
+
+/// \brief JSON string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// \brief Thrown on malformed input; the message carries a byte offset
+/// ("at byte N") so callers can locate the defect in the document.
+class JsonParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// \brief One parsed JSON value (tree-owning, no sharing).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  /// Numbers: both the parsed double and the raw token ("17", "-2.5e3")
+  /// — as_u64() re-parses the token so 64-bit integers survive exactly.
+  double number_value = 0.0;
+  std::string number_raw;
+  std::string string_value;
+  std::vector<JsonValue> array_items;
+  /// Object members in document order (duplicates rejected at parse).
+  std::vector<std::pair<std::string, JsonValue>> object_members;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// \brief Member lookup on an object; nullptr when absent (or when
+  /// this value is not an object).
+  const JsonValue* find(std::string_view key) const;
+
+  /// \brief The value as an exact u64. Throws JsonParseError unless
+  /// this is a number whose raw token is a plain non-negative decimal
+  /// integer in range (rejects "-1", "1.5", "1e3", 2^64).
+  std::uint64_t as_u64() const;
+};
+
+/// \brief Parses exactly one JSON document from `text` (trailing
+/// whitespace allowed, anything else is an error). Throws
+/// JsonParseError on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace nahsp

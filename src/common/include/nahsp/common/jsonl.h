@@ -1,0 +1,67 @@
+// Append-only, crash-durable JSONL files — the checkpoint substrate of
+// the sharded batch driver.
+//
+// Durability contract (see docs/ARCHITECTURE.md, "The shard layer"):
+//   - append() writes one complete line (payload + '\n') with a single
+//     write(2) loop and then fdatasync()s the file, so a record that
+//     append() returned for survives a crash of the writing process.
+//   - The directory entry is fsync'd once at file creation, so a
+//     freshly created checkpoint file itself survives a crash.
+//   - A process killed mid-write leaves at most one torn final line
+//     (no trailing newline). read_jsonl() returns only complete lines
+//     and reports the torn tail separately — reloading a checkpoint
+//     after a SIGKILL skips the tail with a warning instead of
+//     aborting — and reopening the file for appending truncates the
+//     torn tail away, so a resumed run's appends never concatenate
+//     onto torn bytes.
+//
+// The payload must not contain '\n' (compact JSON from JsonWriter
+// satisfies this by construction).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace nahsp {
+
+/// \brief Append-only line writer with per-line fsync. All failures
+/// (open, write, sync) throw std::runtime_error naming the path.
+class JsonlWriter {
+ public:
+  /// \brief Opens `path` for appending, creating it (and syncing its
+  /// directory entry) if absent. A torn final line left by a crashed
+  /// writer (no trailing newline) is truncated away so the next
+  /// append starts a fresh record rather than extending the torn one.
+  explicit JsonlWriter(const std::string& path);
+  ~JsonlWriter();
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+
+  /// \brief Appends `line` + '\n' and fdatasync()s. `line` must not
+  /// contain a newline.
+  void append(std::string_view line);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void discard_torn_tail();
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// \brief One loaded JSONL file: every newline-terminated line, plus
+/// whether a torn (unterminated) tail was present and skipped.
+struct JsonlFile {
+  std::vector<std::string> lines;
+  bool torn_tail = false;
+  std::string torn_text;  ///< the skipped partial tail, for diagnostics
+};
+
+/// \brief Reads `path`, splitting on '\n'. A missing file yields an
+/// empty JsonlFile (not an error — a shard that never started has no
+/// checkpoint). Unterminated trailing bytes become the torn tail.
+JsonlFile read_jsonl(const std::string& path);
+
+}  // namespace nahsp

@@ -1,0 +1,22 @@
+#include "nahsp/common/fingerprint.h"
+
+#include <stdexcept>
+
+namespace nahsp {
+
+std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::size_t shard_of(std::string_view fingerprint, std::size_t num_shards) {
+  if (num_shards == 0)
+    throw std::invalid_argument("shard_of: num_shards must be >= 1");
+  return static_cast<std::size_t>(fnv1a64(fingerprint) % num_shards);
+}
+
+}  // namespace nahsp

@@ -1,11 +1,137 @@
-#include "nahsp/serve/json_value.h"
+#include "nahsp/common/json.h"
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
-namespace nahsp::serve {
+namespace nahsp {
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
+void JsonWriter::indent(std::size_t depth) {
+  if (style_ == Style::kCompact) return;
+  for (std::size_t i = 0; i < depth; ++i) os_ << "  ";
+}
+
+void JsonWriter::prefix() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (stack_.empty()) return;
+  Level& top = stack_.back();
+  if (style_ == Style::kCompact) {
+    if (top.count > 0) os_ << ",";
+  } else {
+    os_ << (top.count > 0 ? ",\n" : "\n");
+    indent(stack_.size());
+  }
+  ++top.count;
+}
+
+void JsonWriter::begin_object() {
+  prefix();
+  os_ << "{";
+  stack_.push_back(Level{false, 0});
+}
+
+void JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back().is_array)
+    throw std::logic_error("JsonWriter: unbalanced end_object");
+  const std::size_t count = stack_.back().count;
+  stack_.pop_back();
+  if (count > 0 && style_ != Style::kCompact) {
+    os_ << "\n";
+    indent(stack_.size());
+  }
+  os_ << "}";
+}
+
+void JsonWriter::begin_array() {
+  prefix();
+  os_ << "[";
+  stack_.push_back(Level{true, 0});
+}
+
+void JsonWriter::end_array() {
+  if (stack_.empty() || !stack_.back().is_array)
+    throw std::logic_error("JsonWriter: unbalanced end_array");
+  const std::size_t count = stack_.back().count;
+  stack_.pop_back();
+  if (count > 0 && style_ != Style::kCompact) {
+    os_ << "\n";
+    indent(stack_.size());
+  }
+  os_ << "]";
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (stack_.empty() || stack_.back().is_array)
+    throw std::logic_error("JsonWriter: key outside an object");
+  prefix();
+  os_ << '"' << json_escape(k)
+      << (style_ == Style::kCompact ? "\":" : "\": ");
+  pending_key_ = true;
+}
+
+void JsonWriter::value(std::string_view v) {
+  prefix();
+  os_ << '"' << json_escape(v) << '"';
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  prefix();
+  os_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  prefix();
+  os_ << (v ? "true" : "false");
+}
+
+void JsonWriter::value(double v) {
+  prefix();
+  // JSON has no NaN/Infinity literals; "%.9g" would print `nan`/`inf`
+  // and yield an unparseable document. Emit null for non-finite values.
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os_ << buf;
+}
+
+void JsonWriter::finish() {
+  if (!stack_.empty())
+    throw std::logic_error("JsonWriter: finish with open containers");
+  os_ << "\n";
+}
+
+// ------------------------------------------------------------- reader
 namespace {
 
 // Recursive-descent parser over a string_view with explicit position
@@ -272,4 +398,4 @@ JsonValue parse_json(std::string_view text) {
   return Parser(text).parse_document();
 }
 
-}  // namespace nahsp::serve
+}  // namespace nahsp

@@ -1,0 +1,123 @@
+#include "nahsp/common/jsonl.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace nahsp {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw std::runtime_error("jsonl: " + std::string(what) + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+// Sync the directory entry so a freshly created file survives a crash.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return;  // best effort: not all filesystems allow it
+  (void)::fsync(dfd);
+  ::close(dfd);
+}
+
+}  // namespace
+
+JsonlWriter::JsonlWriter(const std::string& path) : path_(path) {
+  const bool existed = ::access(path.c_str(), F_OK) == 0;
+  // O_RDWR (not O_WRONLY): opening must be able to read the tail back
+  // to detect and discard a torn final line before the first append.
+  fd_ = ::open(path.c_str(), O_RDWR | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) fail(path_, "cannot open");
+  if (!existed) fsync_parent_dir(path_);
+  discard_torn_tail();
+}
+
+// If the file does not end in '\n', a previous writer died mid-append.
+// Truncate back to the last complete line so the next append starts a
+// fresh record instead of concatenating onto the torn bytes (which
+// would corrupt an otherwise-parseable line). Readers already skip the
+// torn tail, so discarding it loses nothing durable.
+void JsonlWriter::discard_torn_tail() {
+  off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size < 0) fail(path_, "cannot seek in");
+  if (size == 0) return;
+  char last = '\0';
+  if (::pread(fd_, &last, 1, size - 1) != 1) fail(path_, "cannot read");
+  if (last == '\n') return;
+  // Scan backwards in chunks for the last newline; torn tails are at
+  // most one record long, so this terminates almost immediately.
+  off_t keep = 0;  // bytes to keep: position just past the last '\n'
+  char buf[4096];
+  for (off_t end = size; end > 0 && keep == 0;) {
+    const off_t start =
+        end > static_cast<off_t>(sizeof(buf)) ? end - sizeof(buf) : 0;
+    const ssize_t n = ::pread(fd_, buf, end - start, start);
+    if (n < 0) fail(path_, "cannot read");
+    for (ssize_t i = n - 1; i >= 0; --i) {
+      if (buf[i] == '\n') {
+        keep = start + i + 1;
+        break;
+      }
+    }
+    end = start;
+  }
+  if (::ftruncate(fd_, keep) != 0) fail(path_, "cannot truncate");
+  if (::fdatasync(fd_) != 0) fail(path_, "fdatasync failed on");
+}
+
+JsonlWriter::~JsonlWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JsonlWriter::append(std::string_view line) {
+  if (line.find('\n') != std::string_view::npos)
+    throw std::invalid_argument("jsonl: record must not contain a newline");
+  std::string buf(line);
+  buf += '\n';
+  // O_APPEND makes each write land at the current end of file; loop for
+  // short writes and EINTR so the record is complete before the sync.
+  std::size_t done = 0;
+  while (done < buf.size()) {
+    const ssize_t n = ::write(fd_, buf.data() + done, buf.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(path_, "write failed on");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fdatasync(fd_) != 0) fail(path_, "fdatasync failed on");
+}
+
+JsonlFile read_jsonl(const std::string& path) {
+  JsonlFile out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return out;  // absent file == no records
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      out.torn_tail = true;
+      out.torn_text = text.substr(pos);
+      break;
+    }
+    out.lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return out;
+}
+
+}  // namespace nahsp

@@ -1,0 +1,73 @@
+// Per-item batch checkpoints: the durable record stream behind
+// `nahsp batch --shards` and `--resume`.
+//
+// Every completed fleet item (success or completed failure) becomes
+// one compact-JSON line in an append-only per-shard file
+// (common/jsonl.h provides the fsync-per-record durability contract).
+// A record carries everything needed to rebuild its BatchItemReport
+// byte-identically in a merged report — outcome, method, error
+// taxonomy, generators, query counters, wall-clock seconds — plus the
+// item's fleet index and instance fingerprint, so a reload can prove
+// the record still describes the fleet it is matched against.
+//
+// Reload tolerance: a process killed mid-append leaves at most one
+// torn final line; the loader skips it with a warning (the item just
+// re-runs). A record for the same index appearing twice (a re-run
+// after a crash landed mid-fleet) resolves to the LAST occurrence.
+// A malformed line anywhere *before* the tail is real corruption and
+// aborts the reload with a diagnostic naming the line.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nahsp/hsp/solve.h"
+
+namespace nahsp::hsp {
+
+/// \brief One checkpointed fleet item (schema nahsp-checkpoint/v1).
+struct CheckpointRecord {
+  std::uint64_t index = 0;   ///< item's index into the full fleet
+  std::string fingerprint;   ///< hsp::scenario_fingerprint of the item
+  bool success = false;
+  /// Valid iff success (Method enum value); stored numerically so the
+  /// record round-trips without string matching.
+  std::uint64_t method = 0;
+  std::string error;       ///< exception text iff !success
+  std::string error_kind;  ///< batch failure taxonomy iff !success
+  bool verified = false;   ///< solution matches the planted subgroup
+  std::vector<grp::Code> generators;  ///< iff success
+  bb::QueryCounter queries{};
+  double seconds = 0.0;
+};
+
+/// \brief Serializes a record as one compact JSON line (no newline).
+std::string checkpoint_line(const CheckpointRecord& rec);
+
+/// \brief Parses one checkpoint line. Throws std::invalid_argument on
+/// anything malformed (bad JSON, wrong schema tag, missing fields).
+CheckpointRecord parse_checkpoint_line(std::string_view line);
+
+/// \brief One loaded shard checkpoint file.
+struct ShardCheckpoint {
+  std::vector<CheckpointRecord> records;  ///< file order, duplicates kept
+  bool skipped_torn_tail = false;
+};
+
+/// \brief Loads a shard checkpoint file (absent file = no records).
+/// A torn final line is skipped with a warning on `warnings` (when
+/// non-null); a malformed non-final line throws std::invalid_argument.
+ShardCheckpoint load_checkpoint_file(const std::string& path,
+                                     std::ostream* warnings);
+
+/// \brief Canonical per-shard checkpoint filename within a checkpoint
+/// directory: "shard-<shard>-of-<num_shards>.jsonl".
+std::string shard_checkpoint_filename(std::size_t shard,
+                                      std::size_t num_shards);
+
+/// \brief Rebuilds the batch item a record checkpointed.
+BatchItemReport batch_item_from_record(const CheckpointRecord& rec);
+
+}  // namespace nahsp::hsp

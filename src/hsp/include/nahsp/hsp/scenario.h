@@ -80,4 +80,13 @@ BuiltScenario build_scenario(const ScenarioSpec& spec);
 /// ("family key=value ...") and builds it.
 BuiltScenario build_scenario(const std::string& spec_text);
 
+/// \brief Canonical instance fingerprint: family + resolved params (in
+/// declaration order) + sampler backend + dispatcher budgets — the
+/// seed excluded. Construction is deterministic, so equal fingerprints
+/// name equal planted instances. Keys both the `nahsp serve` LRU cache
+/// and the shard layer's stable work partition (common/fingerprint.h);
+/// checkpoint records carry it so a reload can prove a record still
+/// describes the fleet item it is matched to.
+std::string scenario_fingerprint(const BuiltScenario& built);
+
 }  // namespace nahsp::hsp

@@ -1,0 +1,127 @@
+// The shard layer over solve_hsp_batch: deterministic fleet
+// partitioning, checkpointed shard execution, and checkpoint merging.
+//
+// A fleet (list of built scenarios) is partitioned by instance
+// fingerprint — shard_of(scenario_fingerprint(item), N) — so the
+// assignment is a pure function of each item, never of list order:
+// adding or removing fleet lines does not reshuffle where existing
+// work runs, which is what lets a checkpoint directory survive fleet
+// edits. Each shard process runs only its slice, streaming every
+// completed item to an append-only fsync'd checkpoint file
+// (hsp/checkpoint.h), and a merge pass rebuilds the full BatchReport
+// from the records — byte-identical to a single-process
+// solve_hsp_batch run over the same fleet, because per-item results
+// are a pure function of (instance, options, SplitRng(base_seed)
+// stream(global index)) at any width.
+//
+// Resume semantics: a shard reuses checkpoint records for items that
+// completed successfully (matching index AND fingerprint); missing and
+// failed items re-run. A completed failure re-runs to the same result
+// — generated failures are deterministic — so a resumed fleet's merged
+// report equals the uninterrupted run's.
+//
+// The CLI (`nahsp batch --shards/--shard/--resume`) drives this layer;
+// tests drive it in-process. Process spawning lives in the CLI, not
+// here.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nahsp/hsp/checkpoint.h"
+#include "nahsp/hsp/scenario.h"
+
+namespace nahsp::hsp {
+
+/// \brief Deterministic fleet partition (see file comment).
+struct ShardPlan {
+  std::size_t num_shards = 1;
+  std::vector<std::string> fingerprints;   ///< per fleet item
+  std::vector<std::size_t> shard_of_item;  ///< per fleet item
+  /// Global item indices per shard, ascending (possibly empty).
+  std::vector<std::vector<std::size_t>> items_of_shard;
+};
+
+/// \brief Plans a fleet over `num_shards` shards (>= 1).
+ShardPlan plan_shards(const std::vector<BuiltScenario>& fleet,
+                      std::size_t num_shards);
+
+/// \brief Options for run_shard.
+struct ShardRunOptions {
+  std::size_t shard = 0;       ///< this process's shard index
+  std::size_t num_shards = 1;  ///< total shards (names the file)
+  /// Batch base seed: item i always draws SplitRng(base_seed).stream(i)
+  /// with i its GLOBAL fleet index, so shard runs are bit-identical to
+  /// the corresponding items of an unsharded run.
+  std::uint64_t base_seed = 0;
+  /// Fan-out width within this shard (BatchOptions::threads).
+  int threads = 0;
+  std::string checkpoint_dir;  ///< must exist
+  /// Test hook: run at most this many new items, then return (0 =
+  /// unlimited). Lets tests exercise resume without killing a process.
+  std::size_t stop_after = 0;
+  /// Fault-injection hook (NAHSP_CRASH_AFTER): after this many new
+  /// items have been checkpointed, SIGKILL the current process —
+  /// records written so far are durable, nothing else is. 0 = off.
+  std::size_t crash_after = 0;
+  /// Warnings (stale/torn checkpoint diagnostics); nullptr = silent.
+  std::ostream* log = nullptr;
+};
+
+/// \brief Outcome of one run_shard call.
+struct ShardRunResult {
+  std::size_t ran = 0;     ///< items newly executed this call
+  std::size_t reused = 0;  ///< items skipped: checkpointed successes
+};
+
+/// \brief Runs this shard's slice of the fleet, streaming each
+/// completed item to the shard's checkpoint file. Items with an
+/// existing successful record (index + fingerprint match) are not
+/// re-executed.
+ShardRunResult run_shard(const std::vector<BuiltScenario>& fleet,
+                         const ShardRunOptions& opts);
+
+/// \brief A merged view over every shard's checkpoint records.
+struct MergedBatch {
+  /// Reconstructed report, items in fleet order; `seconds` of the
+  /// report itself is left 0 (the caller owns wall-clock framing).
+  BatchReport report;
+  std::vector<bool> verified;       ///< per item, from the records
+  std::size_t verified_count = 0;
+  std::vector<std::size_t> missing; ///< fleet indices with no record
+  bool complete() const { return missing.empty(); }
+};
+
+/// \brief Loads every shard checkpoint file under `checkpoint_dir` and
+/// rebuilds the merged batch. Records whose fingerprint does not match
+/// the fleet item at their index are stale (edited fleet) — ignored
+/// with a warning. Duplicate records for an index resolve to the last
+/// occurrence. Torn final lines are skipped with a warning.
+MergedBatch merge_checkpoints(const std::vector<BuiltScenario>& fleet,
+                              const ShardPlan& plan,
+                              const std::string& checkpoint_dir,
+                              std::ostream* warnings);
+
+/// \brief The checkpoint directory's manifest (manifest.json): enough
+/// to resume a fleet without the original .scn file and to refuse a
+/// resume under a different seed or shard count.
+struct ShardManifest {
+  std::size_t num_shards = 1;
+  std::uint64_t base_seed = 0;
+  std::string source;  ///< original fleet path, for report framing
+  /// Canonical spec lines (to_string(spec)), one per fleet item, in
+  /// fleet order — scenario construction is deterministic, so these
+  /// rebuild the exact fleet.
+  std::vector<std::string> spec_lines;
+};
+
+/// \brief Writes `manifest.json` into `dir` (which must exist).
+void write_shard_manifest(const std::string& dir, const ShardManifest& m);
+
+/// \brief Loads `dir`/manifest.json; throws std::invalid_argument when
+/// absent or malformed.
+ShardManifest load_shard_manifest(const std::string& dir);
+
+}  // namespace nahsp::hsp

@@ -12,6 +12,7 @@
 //      surfaces as oracle_error / retry_exhausted, never a wrong answer).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -78,6 +79,8 @@ HspSolution solve_hsp(const bb::BlackBoxGroup& g,
 // Batch driver: many independent instances, one call.
 // ---------------------------------------------------------------------
 
+struct BatchItemReport;
+
 /// \brief Options for solve_hsp_batch.
 struct BatchOptions {
   /// Dispatcher options applied to every instance...
@@ -104,6 +107,16 @@ struct BatchOptions {
   /// pool task runs serially within that task (the width-1 path), so
   /// nested batches never oversubscribe the machine.
   int threads = 0;
+  /// Optional streaming hook: called once per instance, immediately
+  /// after its BatchItemReport is final (outcome, queries, seconds all
+  /// set), with the instance's index into `instances`. Invoked from
+  /// the worker thread that ran the instance — concurrent invocations
+  /// are possible at width > 1, so the callback must synchronize its
+  /// own state. It must not throw. The shard layer uses this to append
+  /// each completed item to the fsync'd checkpoint file the moment it
+  /// finishes, so a killed fleet loses at most the items in flight.
+  std::function<void(std::size_t index, const BatchItemReport& item)>
+      on_item;
 };
 
 /// \brief Outcome of one instance within a batch.

@@ -1,0 +1,168 @@
+#include "nahsp/hsp/checkpoint.h"
+
+#include <ostream>
+#include <sstream>
+
+#include "nahsp/common/json.h"
+#include "nahsp/common/jsonl.h"
+
+namespace nahsp::hsp {
+
+namespace {
+
+constexpr const char* kSchema = "nahsp-checkpoint/v1";
+
+[[noreturn]] void bad_record(const std::string& what) {
+  throw std::invalid_argument("checkpoint record: " + what);
+}
+
+const JsonValue& member_or_throw(const JsonValue& obj, const char* key) {
+  const JsonValue* v = obj.find(key);
+  if (v == nullptr) bad_record(std::string("missing field '") + key + "'");
+  return *v;
+}
+
+std::uint64_t u64_field(const JsonValue& obj, const char* key) {
+  try {
+    return member_or_throw(obj, key).as_u64();
+  } catch (const JsonParseError& e) {
+    bad_record(std::string("field '") + key + "': " + e.what());
+  }
+}
+
+std::string string_field(const JsonValue& obj, const char* key) {
+  const JsonValue& v = member_or_throw(obj, key);
+  if (!v.is_string())
+    bad_record(std::string("field '") + key + "' must be a string");
+  return v.string_value;
+}
+
+bool bool_field(const JsonValue& obj, const char* key) {
+  const JsonValue& v = member_or_throw(obj, key);
+  if (!v.is_bool())
+    bad_record(std::string("field '") + key + "' must be a boolean");
+  return v.bool_value;
+}
+
+double double_field(const JsonValue& obj, const char* key) {
+  const JsonValue& v = member_or_throw(obj, key);
+  if (!v.is_number())
+    bad_record(std::string("field '") + key + "' must be a number");
+  return v.number_value;
+}
+
+}  // namespace
+
+std::string checkpoint_line(const CheckpointRecord& rec) {
+  std::ostringstream os;
+  JsonWriter w(os, JsonWriter::Style::kCompact);
+  w.begin_object();
+  w.field("schema", kSchema);
+  w.field("index", rec.index);
+  w.field("fingerprint", rec.fingerprint);
+  w.field("success", rec.success);
+  w.field("method", rec.method);
+  w.field("error", rec.error);
+  w.field("error_kind", rec.error_kind);
+  w.field("verified", rec.verified);
+  w.key("generators");
+  w.begin_array();
+  for (const grp::Code c : rec.generators)
+    w.value(static_cast<std::uint64_t>(c));
+  w.end_array();
+  w.key("queries");
+  w.begin_object();
+  w.field("group_ops", rec.queries.group_ops);
+  w.field("classical_queries", rec.queries.classical_queries);
+  w.field("quantum_queries", rec.queries.quantum_queries);
+  w.field("sim_basis_evals", rec.queries.sim_basis_evals);
+  w.end_object();
+  w.field("seconds", rec.seconds);
+  w.end_object();
+  return os.str();
+}
+
+CheckpointRecord parse_checkpoint_line(std::string_view line) {
+  JsonValue doc;
+  try {
+    doc = parse_json(line);
+  } catch (const JsonParseError& e) {
+    bad_record(std::string("not valid JSON: ") + e.what());
+  }
+  if (!doc.is_object()) bad_record("not a JSON object");
+  if (string_field(doc, "schema") != kSchema)
+    bad_record("schema tag is not '" + std::string(kSchema) + "'");
+
+  CheckpointRecord rec;
+  rec.index = u64_field(doc, "index");
+  rec.fingerprint = string_field(doc, "fingerprint");
+  rec.success = bool_field(doc, "success");
+  rec.method = u64_field(doc, "method");
+  rec.error = string_field(doc, "error");
+  rec.error_kind = string_field(doc, "error_kind");
+  rec.verified = bool_field(doc, "verified");
+
+  const JsonValue& gens = member_or_throw(doc, "generators");
+  if (!gens.is_array()) bad_record("field 'generators' must be an array");
+  for (const JsonValue& g : gens.array_items) {
+    if (!g.is_number()) bad_record("generator codes must be numbers");
+    rec.generators.push_back(static_cast<grp::Code>(g.as_u64()));
+  }
+
+  const JsonValue& q = member_or_throw(doc, "queries");
+  if (!q.is_object()) bad_record("field 'queries' must be an object");
+  rec.queries.group_ops = u64_field(q, "group_ops");
+  rec.queries.classical_queries = u64_field(q, "classical_queries");
+  rec.queries.quantum_queries = u64_field(q, "quantum_queries");
+  rec.queries.sim_basis_evals = u64_field(q, "sim_basis_evals");
+
+  rec.seconds = double_field(doc, "seconds");
+  return rec;
+}
+
+ShardCheckpoint load_checkpoint_file(const std::string& path,
+                                     std::ostream* warnings) {
+  const JsonlFile file = read_jsonl(path);
+  ShardCheckpoint out;
+  for (std::size_t i = 0; i < file.lines.size(); ++i) {
+    try {
+      out.records.push_back(parse_checkpoint_line(file.lines[i]));
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("checkpoint " + path + ":" +
+                                  std::to_string(i + 1) + ": " + e.what());
+    }
+  }
+  if (file.torn_tail) {
+    // The signature of a writer killed mid-append; the record was never
+    // durable, so the item simply re-runs.
+    out.skipped_torn_tail = true;
+    if (warnings != nullptr)
+      *warnings << "warning: checkpoint " << path
+                << ": skipping torn final line (" << file.torn_text.size()
+                << " bytes, no trailing newline); the interrupted item "
+                   "will re-run\n";
+  }
+  return out;
+}
+
+std::string shard_checkpoint_filename(std::size_t shard,
+                                      std::size_t num_shards) {
+  return "shard-" + std::to_string(shard) + "-of-" +
+         std::to_string(num_shards) + ".jsonl";
+}
+
+BatchItemReport batch_item_from_record(const CheckpointRecord& rec) {
+  BatchItemReport item;
+  item.success = rec.success;
+  if (rec.success) {
+    item.solution.generators = rec.generators;
+    item.solution.method = static_cast<Method>(rec.method);
+  }
+  item.error = rec.error;
+  item.error_kind = rec.error_kind;
+  item.queries = rec.queries;
+  item.seconds = rec.seconds;
+  return item;
+}
+
+}  // namespace nahsp::hsp

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "nahsp/common/check.h"
+#include "nahsp/common/fingerprint.h"
 #include "nahsp/groups/cyclic.h"
 #include "nahsp/groups/dihedral.h"
 #include "nahsp/groups/gf2group.h"
@@ -572,6 +573,15 @@ BuiltScenario build_scenario(const ScenarioSpec& spec) {
 
 BuiltScenario build_scenario(const std::string& spec_text) {
   return build_scenario(parse_scenario_line(spec_text));
+}
+
+std::string scenario_fingerprint(const BuiltScenario& built) {
+  Fingerprint fp(built.family);
+  for (const auto& [key, value] : built.params) fp.add(key, value);
+  fp.add("backend", qs::sampler_backend_name(built.options.sampler.backend));
+  fp.add("gprime_cap", built.options.gprime_cap);
+  fp.add("order_bound", built.options.order_bound);
+  return fp.str();
 }
 
 }  // namespace nahsp::hsp

@@ -1,0 +1,266 @@
+#include "nahsp/hsp/shard.h"
+
+#include <csignal>
+#include <cstdlib>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <unordered_map>
+
+#include "nahsp/common/check.h"
+#include "nahsp/common/fingerprint.h"
+#include "nahsp/common/json.h"
+#include "nahsp/common/jsonl.h"
+#include "nahsp/common/rng.h"
+#include "nahsp/hsp/instance.h"
+
+namespace nahsp::hsp {
+
+namespace {
+
+constexpr const char* kManifestSchema = "nahsp-shards/v1";
+
+std::string join_path(const std::string& dir, const std::string& name) {
+  if (dir.empty() || dir.back() == '/') return dir + name;
+  return dir + "/" + name;
+}
+
+/// Last usable record per fleet index from one shard file. Stale
+/// records (fingerprint no longer matching the fleet item at that
+/// index, or an index past the fleet) are dropped with a warning —
+/// they describe a fleet this directory was built for, not this one.
+void fold_records(const ShardCheckpoint& ckpt,
+                  const std::vector<std::string>& fingerprints,
+                  const std::string& path, std::ostream* warnings,
+                  std::unordered_map<std::size_t, CheckpointRecord>* out) {
+  for (const CheckpointRecord& rec : ckpt.records) {
+    const auto index = static_cast<std::size_t>(rec.index);
+    if (index >= fingerprints.size() ||
+        rec.fingerprint != fingerprints[index]) {
+      if (warnings != nullptr)
+        *warnings << "warning: checkpoint " << path << ": ignoring stale "
+                  << "record for index " << rec.index
+                  << " (fingerprint does not match the current fleet)\n";
+      continue;
+    }
+    (*out)[index] = rec;  // duplicates: last occurrence wins
+  }
+}
+
+}  // namespace
+
+ShardPlan plan_shards(const std::vector<BuiltScenario>& fleet,
+                      std::size_t num_shards) {
+  NAHSP_REQUIRE(num_shards >= 1, "num_shards must be >= 1");
+  ShardPlan plan;
+  plan.num_shards = num_shards;
+  plan.fingerprints.reserve(fleet.size());
+  plan.shard_of_item.reserve(fleet.size());
+  plan.items_of_shard.resize(num_shards);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    plan.fingerprints.push_back(scenario_fingerprint(fleet[i]));
+    const std::size_t s = shard_of(plan.fingerprints.back(), num_shards);
+    plan.shard_of_item.push_back(s);
+    plan.items_of_shard[s].push_back(i);
+  }
+  return plan;
+}
+
+ShardRunResult run_shard(const std::vector<BuiltScenario>& fleet,
+                         const ShardRunOptions& opts) {
+  NAHSP_REQUIRE(opts.num_shards >= 1, "num_shards must be >= 1");
+  NAHSP_REQUIRE(opts.shard < opts.num_shards,
+                "shard index out of range for num_shards");
+  NAHSP_REQUIRE(!opts.checkpoint_dir.empty(),
+                "run_shard needs a checkpoint directory");
+  const ShardPlan plan = plan_shards(fleet, opts.num_shards);
+  const std::string path = join_path(
+      opts.checkpoint_dir,
+      shard_checkpoint_filename(opts.shard, opts.num_shards));
+
+  // Reload before running: successful records are reused, everything
+  // else (missing, failed, torn) re-runs.
+  std::unordered_map<std::size_t, CheckpointRecord> have;
+  fold_records(load_checkpoint_file(path, opts.log), plan.fingerprints,
+               path, opts.log, &have);
+
+  ShardRunResult result;
+  std::vector<std::size_t> to_run;  // global fleet indices, ascending
+  for (const std::size_t g : plan.items_of_shard[opts.shard]) {
+    const auto it = have.find(g);
+    if (it != have.end() && it->second.success) {
+      ++result.reused;
+      continue;
+    }
+    if (opts.stop_after > 0 && to_run.size() >= opts.stop_after) continue;
+    to_run.push_back(g);
+  }
+  if (to_run.empty()) return result;
+
+  // The sub-batch: shard-local list, but every item keeps its GLOBAL
+  // stream so results match the unsharded run bit for bit.
+  BatchOptions bopts;
+  bopts.threads = opts.threads;
+  SplitRng streams(opts.base_seed);
+  std::vector<bb::HspInstance> instances;
+  instances.reserve(to_run.size());
+  for (const std::size_t g : to_run) {
+    instances.push_back(fleet[g].instance);
+    bopts.per_instance.push_back(fleet[g].options);
+    bopts.per_instance_rng.push_back(streams.stream(g));
+  }
+
+  JsonlWriter writer(path);
+  std::mutex writer_mu;
+  std::size_t crashes_armed = opts.crash_after;
+  if (const char* env = std::getenv("NAHSP_CRASH_AFTER");
+      env != nullptr && crashes_armed == 0) {
+    const char* which = std::getenv("NAHSP_CRASH_SHARD");
+    if (which == nullptr ||
+        static_cast<std::size_t>(std::strtoull(which, nullptr, 10)) ==
+            opts.shard)
+      crashes_armed = std::strtoull(env, nullptr, 10);
+  }
+  std::size_t appended = 0;
+  bopts.on_item = [&](std::size_t local, const BatchItemReport& item) {
+    const std::size_t g = to_run[local];
+    CheckpointRecord rec;
+    rec.index = g;
+    rec.fingerprint = plan.fingerprints[g];
+    rec.success = item.success;
+    if (item.success) {
+      rec.method = static_cast<std::uint64_t>(item.solution.method);
+      rec.generators = item.solution.generators;
+      rec.verified = verify_same_subgroup(
+          *fleet[g].instance.group, item.solution.generators,
+          fleet[g].instance.planted_generators);
+    }
+    rec.error = item.error;
+    rec.error_kind = item.error_kind;
+    rec.queries = item.queries;
+    rec.seconds = item.seconds;
+    const std::string line = checkpoint_line(rec);
+    std::lock_guard<std::mutex> lock(writer_mu);
+    writer.append(line);
+    ++appended;
+    // Fault-injection hook: die the instant the k-th record is durable.
+    // SIGKILL, not exit(): nothing may flush, unwind, or tidy up —
+    // resume must cope with exactly what fsync made durable.
+    if (crashes_armed > 0 && appended >= crashes_armed)
+      (void)raise(SIGKILL);
+  };
+
+  const BatchReport sub = solve_hsp_batch(instances, bopts);
+  result.ran = sub.items.size();
+  return result;
+}
+
+MergedBatch merge_checkpoints(const std::vector<BuiltScenario>& fleet,
+                              const ShardPlan& plan,
+                              const std::string& checkpoint_dir,
+                              std::ostream* warnings) {
+  NAHSP_REQUIRE(plan.fingerprints.size() == fleet.size(),
+                "shard plan does not cover the fleet");
+  std::unordered_map<std::size_t, CheckpointRecord> have;
+  for (std::size_t s = 0; s < plan.num_shards; ++s) {
+    const std::string path = join_path(
+        checkpoint_dir, shard_checkpoint_filename(s, plan.num_shards));
+    fold_records(load_checkpoint_file(path, warnings), plan.fingerprints,
+                 path, warnings, &have);
+  }
+
+  MergedBatch merged;
+  merged.report.items.resize(fleet.size());
+  merged.verified.assign(fleet.size(), false);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    const auto it = have.find(i);
+    if (it == have.end()) {
+      merged.missing.push_back(i);
+      continue;
+    }
+    const CheckpointRecord& rec = it->second;
+    merged.report.items[i] = batch_item_from_record(rec);
+    merged.verified[i] = rec.verified;
+    if (rec.verified) ++merged.verified_count;
+    if (rec.success) ++merged.report.solved;
+    merged.report.total_queries.group_ops += rec.queries.group_ops;
+    merged.report.total_queries.classical_queries +=
+        rec.queries.classical_queries;
+    merged.report.total_queries.quantum_queries +=
+        rec.queries.quantum_queries;
+    merged.report.total_queries.sim_basis_evals +=
+        rec.queries.sim_basis_evals;
+  }
+  return merged;
+}
+
+void write_shard_manifest(const std::string& dir, const ShardManifest& m) {
+  // Compact (single-line) so the JSONL writer's durable-append/fsync
+  // discipline can be reused; the manifest is written once, at
+  // directory creation.
+  std::ostringstream os;
+  JsonWriter w(os, JsonWriter::Style::kCompact);
+  w.begin_object();
+  w.field("schema", kManifestSchema);
+  w.field("num_shards", static_cast<std::uint64_t>(m.num_shards));
+  w.field("seed", m.base_seed);
+  w.field("source", m.source);
+  w.key("fleet");
+  w.begin_array();
+  for (const std::string& line : m.spec_lines) w.value(line);
+  w.end_array();
+  w.end_object();
+  JsonlWriter writer(join_path(dir, "manifest.json"));
+  writer.append(os.str());
+}
+
+ShardManifest load_shard_manifest(const std::string& dir) {
+  const std::string path = join_path(dir, "manifest.json");
+  const JsonlFile file = read_jsonl(path);
+  std::string text;
+  for (const std::string& line : file.lines) text += line + "\n";
+  if (file.torn_tail) text += file.torn_text;
+  if (text.empty())
+    throw std::invalid_argument("shard manifest not found: " + path);
+  JsonValue doc;
+  try {
+    doc = parse_json(text);
+  } catch (const JsonParseError& e) {
+    throw std::invalid_argument("shard manifest " + path + ": " + e.what());
+  }
+  const auto field = [&](const char* key) -> const JsonValue& {
+    const JsonValue* v = doc.find(key);
+    if (v == nullptr)
+      throw std::invalid_argument("shard manifest " + path +
+                                  ": missing field '" + key + "'");
+    return *v;
+  };
+  if (!doc.is_object() || !field("schema").is_string() ||
+      field("schema").string_value != kManifestSchema)
+    throw std::invalid_argument("shard manifest " + path +
+                                ": schema tag is not '" +
+                                std::string(kManifestSchema) + "'");
+  ShardManifest m;
+  m.num_shards = static_cast<std::size_t>(field("num_shards").as_u64());
+  m.base_seed = field("seed").as_u64();
+  if (!field("source").is_string())
+    throw std::invalid_argument("shard manifest " + path +
+                                ": 'source' must be a string");
+  m.source = field("source").string_value;
+  const JsonValue& fleet = field("fleet");
+  if (!fleet.is_array())
+    throw std::invalid_argument("shard manifest " + path +
+                                ": 'fleet' must be an array");
+  for (const JsonValue& line : fleet.array_items) {
+    if (!line.is_string())
+      throw std::invalid_argument("shard manifest " + path +
+                                  ": fleet entries must be strings");
+    m.spec_lines.push_back(line.string_value);
+  }
+  if (m.num_shards == 0)
+    throw std::invalid_argument("shard manifest " + path +
+                                ": num_shards must be >= 1");
+  return m;
+}
+
+}  // namespace nahsp::hsp

@@ -142,6 +142,9 @@ BatchReport solve_hsp_batch(const std::vector<bb::HspInstance>& instances,
       }
       item.seconds = t.seconds();
       if (inst.counter != nullptr) item.queries = *inst.counter;
+      // Streaming hook: the item is final from here on; the callback
+      // runs on this worker thread (see BatchOptions::on_item).
+      if (opts.on_item) opts.on_item(i, item);
     }
   };
 

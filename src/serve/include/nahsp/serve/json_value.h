@@ -1,69 +1,15 @@
-// Strict, minimal JSON reader for the `nahsp serve` wire protocol.
-//
-// The daemon accepts one JSON object per line from untrusted clients,
-// so the parser is deliberately strict where the standard allows
-// latitude and where leniency would hide client bugs: duplicate object
-// keys are rejected (a request meaning is ambiguous otherwise), the
-// non-standard NaN/Infinity tokens are rejected, nesting depth is
-// capped, and trailing bytes after the document are an error. Numbers
-// keep their raw source text so integer fields can be read back exactly
-// (no double round-trip for u64 seeds).
-//
-// This is a reader only — responses are produced by cli::JsonWriter.
+// Forwarder: the strict wire-JSON reader moved to nahsp/common/json.h
+// so the hsp layer's checkpoint reload can parse records through the
+// same code path (see that header for the strictness contract). This
+// header keeps the historical nahsp::serve spellings working.
 #pragma once
 
-#include <cstdint>
-#include <stdexcept>
-#include <string>
-#include <string_view>
-#include <utility>
-#include <vector>
+#include "nahsp/common/json.h"
 
 namespace nahsp::serve {
 
-/// \brief Thrown on malformed input; the message carries a byte offset
-/// ("at byte N") so clients can locate the defect in their request.
-class JsonParseError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
-
-/// \brief One parsed JSON value (tree-owning, no sharing).
-class JsonValue {
- public:
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-
-  Kind kind = Kind::kNull;
-  bool bool_value = false;
-  /// Numbers: both the parsed double and the raw token ("17", "-2.5e3")
-  /// — as_u64() re-parses the token so 64-bit integers survive exactly.
-  double number_value = 0.0;
-  std::string number_raw;
-  std::string string_value;
-  std::vector<JsonValue> array_items;
-  /// Object members in document order (duplicates rejected at parse).
-  std::vector<std::pair<std::string, JsonValue>> object_members;
-
-  bool is_null() const { return kind == Kind::kNull; }
-  bool is_bool() const { return kind == Kind::kBool; }
-  bool is_number() const { return kind == Kind::kNumber; }
-  bool is_string() const { return kind == Kind::kString; }
-  bool is_array() const { return kind == Kind::kArray; }
-  bool is_object() const { return kind == Kind::kObject; }
-
-  /// \brief Member lookup on an object; nullptr when absent (or when
-  /// this value is not an object).
-  const JsonValue* find(std::string_view key) const;
-
-  /// \brief The value as an exact u64. Throws JsonParseError unless
-  /// this is a number whose raw token is a plain non-negative decimal
-  /// integer in range (rejects "-1", "1.5", "1e3", 2^64).
-  std::uint64_t as_u64() const;
-};
-
-/// \brief Parses exactly one JSON document from `text` (trailing
-/// whitespace allowed, anything else is an error). Throws
-/// JsonParseError on malformed input.
-JsonValue parse_json(std::string_view text);
+using JsonParseError = ::nahsp::JsonParseError;
+using JsonValue = ::nahsp::JsonValue;
+using ::nahsp::parse_json;
 
 }  // namespace nahsp::serve

@@ -375,17 +375,12 @@ void SolverService::run_batch(std::vector<Job>&& jobs) {
       continue;
     }
 
-    // Instance fingerprint: everything that determines the constructed
-    // instance and the solve configuration except the seed — scenario
-    // construction is deterministic, so equal fingerprints name equal
-    // planted instances.
-    std::string fp = built.family;
-    for (const auto& [key, value] : built.params)
-      fp += "|" + key + "=" + std::to_string(value);
-    fp += "|backend=";
-    fp += qs::sampler_backend_name(built.options.sampler.backend);
-    fp += "|gprime_cap=" + std::to_string(built.options.gprime_cap);
-    fp += "|order_bound=" + std::to_string(built.options.order_bound);
+    // Instance fingerprint (hsp::scenario_fingerprint): everything that
+    // determines the constructed instance and the solve configuration
+    // except the seed — scenario construction is deterministic, so
+    // equal fingerprints name equal planted instances. The same key
+    // partitions fleets in the shard layer.
+    std::string fp = hsp::scenario_fingerprint(built);
 
     bool cache_hit = false;
     CacheEntry entry;

@@ -1,0 +1,188 @@
+// Dispatch-ladder coverage: one sweep that proves every branch of the
+// solver dispatch (Theorem 8 / 11 / 13 routes) is exercised under every
+// coset-sampler backend (auto, mixed-radix, qubit, sparse), through the
+// scenario registry exactly as `nahsp solve` drives it. Each sweep
+// entry must solve AND verify; the suite then asserts the 12-cell
+// route × backend matrix is fully covered and prints the matrix with
+// the missing cells marked when it is not — so a dispatch or backend
+// regression reads as a coverage table, not a bare assertion failure.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/scenario.h"
+#include "nahsp/hsp/solve.h"
+#include "nahsp/qsim/sampler.h"
+
+namespace nahsp::hsp {
+namespace {
+
+// The sweep: every (route, backend) cell gets at least one scenario,
+// several get two so backend coverage is not hostage to a single
+// family. "auto" rows use the family's default backend selection.
+// Known-impossible combinations are deliberately absent — e.g. the
+// qubit backend rejects groups with non-power-of-two factor dimensions
+// (abelian 3^k, heisenberg), which is covered as a rejection elsewhere
+// (tests/test_sampler.cpp); coverage here is about the cells that must
+// work.
+struct SweepEntry {
+  const char* spec;     ///< scenario spec, without the backend key
+  const char* backend;  ///< "auto" | "mixed-radix" | "qubit" | "sparse"
+};
+
+const std::vector<SweepEntry>& sweep() {
+  static const std::vector<SweepEntry> entries = {
+      // Theorem 8 (hidden normal subgroup) row.
+      {"dihedral n=8", "auto"},
+      {"dihedral n=8", "mixed-radix"},
+      {"dihedral n=8", "qubit"},
+      {"dihedral n=8", "sparse"},
+      {"symmetric", "auto"},
+      {"tower", "sparse"},
+      // Theorem 11 (small commutator subgroup) row.
+      {"quaternion", "auto"},
+      {"quaternion", "mixed-radix"},
+      {"quaternion", "qubit"},
+      {"quaternion", "sparse"},
+      {"abelian", "mixed-radix"},
+      {"extraspecial", "sparse"},
+      // Theorem 13 (elementary Abelian normal 2-subgroup) row.
+      {"elem_abelian2", "auto"},
+      {"elem_abelian2", "mixed-radix"},
+      {"elem_abelian2", "qubit"},
+      {"elem_abelian2", "sparse"},
+      {"gf2affine", "qubit"},
+      {"wreath", "sparse"},
+  };
+  return entries;
+}
+
+const std::vector<const char*>& backend_columns() {
+  static const std::vector<const char*> cols = {"auto", "mixed-radix",
+                                                "qubit", "sparse"};
+  return cols;
+}
+
+const std::vector<Method>& route_rows() {
+  static const std::vector<Method> rows = {
+      Method::kHiddenNormal, Method::kSmallCommutator,
+      Method::kElemAbelian2};
+  return rows;
+}
+
+const char* route_label(Method m) {
+  switch (m) {
+    case Method::kHiddenNormal:
+      return "theorem-8 ";
+    case Method::kSmallCommutator:
+      return "theorem-11";
+    case Method::kElemAbelian2:
+      return "theorem-13";
+  }
+  return "?";
+}
+
+std::string render_coverage_table(
+    const std::map<std::pair<Method, std::string>, std::vector<std::string>>&
+        covered) {
+  std::string out = "dispatch coverage (route x backend):\n";
+  out += "             ";
+  for (const char* col : backend_columns())
+    out += std::string(" | ") + col;
+  out += "\n";
+  for (const Method row : route_rows()) {
+    out += "  " + std::string(route_label(row));
+    for (const char* col : backend_columns()) {
+      const auto it = covered.find({row, col});
+      out += " | ";
+      out += (it == covered.end())
+                 ? "MISSING"
+                 : std::to_string(it->second.size()) + " spec(s)";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(DispatchCoverage, EveryRouteTimesEveryBackendIsExercised) {
+  std::map<std::pair<Method, std::string>, std::vector<std::string>> covered;
+  std::set<std::string> families_seen;
+
+  for (const SweepEntry& entry : sweep()) {
+    const std::string spec =
+        std::string(entry.spec) +
+        (std::string(entry.backend) == "auto"
+             ? ""
+             : std::string(" backend=") + entry.backend);
+    SCOPED_TRACE(spec);
+    BuiltScenario built = build_scenario(spec);
+    families_seen.insert(built.family);
+
+    Rng rng(3);
+    HspSolution solution;
+    ASSERT_NO_THROW(solution = solve_hsp(*built.instance.bb,
+                                         *built.instance.f, rng,
+                                         built.options))
+        << "sweep entry failed to solve";
+    EXPECT_TRUE(verify_same_subgroup(*built.instance.group,
+                                     solution.generators,
+                                     built.instance.planted_generators))
+        << "sweep entry solved to the wrong subgroup";
+    covered[{solution.method, entry.backend}].push_back(spec);
+
+    // Non-auto entries must actually pin the backend they claim to
+    // cover — a registry default silently overriding the spec key would
+    // hollow out the whole matrix.
+    if (std::string(entry.backend) != "auto") {
+      EXPECT_EQ(qs::sampler_backend_name(built.options.sampler.backend),
+                std::string(entry.backend));
+    }
+  }
+
+  // The matrix must be full; on failure, print it whole.
+  bool complete = true;
+  for (const Method row : route_rows())
+    for (const char* col : backend_columns())
+      complete = complete && covered.count({row, col}) > 0;
+  EXPECT_TRUE(complete) << render_coverage_table(covered);
+
+  // Route diversity sanity: all three routes distinct in the sweep.
+  std::set<Method> routes;
+  for (const auto& [key, specs] : covered) routes.insert(key.first);
+  EXPECT_EQ(routes.size(), route_rows().size())
+      << render_coverage_table(covered);
+}
+
+// The dispatcher's route choice must be a function of the group's
+// structure alone — never of the backend. Locks the ladder itself:
+// same scenario, all four backends, one route.
+TEST(DispatchCoverage, RouteChoiceIsBackendInvariant) {
+  const std::vector<std::pair<const char*, Method>> expectations = {
+      {"dihedral n=8", Method::kHiddenNormal},
+      {"quaternion", Method::kSmallCommutator},
+      {"elem_abelian2", Method::kElemAbelian2},
+  };
+  for (const auto& [family_spec, expected] : expectations) {
+    for (const char* backend : backend_columns()) {
+      const std::string spec =
+          std::string(family_spec) +
+          (std::string(backend) == "auto"
+               ? ""
+               : std::string(" backend=") + backend);
+      SCOPED_TRACE(spec);
+      BuiltScenario built = build_scenario(spec);
+      Rng rng(3);
+      const HspSolution solution = solve_hsp(
+          *built.instance.bb, *built.instance.f, rng, built.options);
+      EXPECT_EQ(solution.method, expected)
+          << "route flipped under backend " << backend;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

@@ -1,0 +1,344 @@
+// The checkpoint substrate of the sharded batch driver: JSONL
+// durability semantics (torn-tail tolerance, append-only reload),
+// the nahsp-checkpoint/v1 record codec, the fingerprint partition
+// primitives, the shard manifest round-trip, and in-process resume
+// through run_shard's stop_after hook.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nahsp/common/fingerprint.h"
+#include "nahsp/common/jsonl.h"
+#include "nahsp/hsp/checkpoint.h"
+#include "nahsp/hsp/scenario.h"
+#include "nahsp/hsp/shard.h"
+
+namespace nahsp::hsp {
+namespace {
+
+// Fresh empty directory per test, under the gtest-provided temp root.
+std::string temp_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "nahsp_ckpt_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+CheckpointRecord sample_success() {
+  CheckpointRecord rec;
+  rec.index = 7;
+  rec.fingerprint = "dihedral|n=12|backend=auto";
+  rec.success = true;
+  rec.method = static_cast<std::uint64_t>(Method::kHiddenNormal);
+  rec.verified = true;
+  rec.generators = {3, 19, 4};
+  rec.queries.group_ops = 1234;
+  rec.queries.classical_queries = 56;
+  rec.queries.quantum_queries = 78;
+  rec.queries.sim_basis_evals = 90;
+  rec.seconds = 0.125;
+  return rec;
+}
+
+CheckpointRecord sample_failure() {
+  CheckpointRecord rec;
+  rec.index = 2;
+  rec.fingerprint = "abelian|k=3|backend=qubit";
+  rec.error = "precondition failed: (is_pow2(m)) somewhere";
+  rec.error_kind = "invalid_argument";
+  rec.seconds = 0.5;
+  return rec;
+}
+
+// ------------------------------------------------------------- the codec
+
+TEST(CheckpointCodec, SuccessRecordRoundTrips) {
+  const CheckpointRecord rec = sample_success();
+  const std::string line = checkpoint_line(rec);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const CheckpointRecord back = parse_checkpoint_line(line);
+  EXPECT_EQ(back.index, rec.index);
+  EXPECT_EQ(back.fingerprint, rec.fingerprint);
+  EXPECT_EQ(back.success, rec.success);
+  EXPECT_EQ(back.method, rec.method);
+  EXPECT_EQ(back.error, rec.error);
+  EXPECT_EQ(back.error_kind, rec.error_kind);
+  EXPECT_EQ(back.verified, rec.verified);
+  EXPECT_EQ(back.generators, rec.generators);
+  EXPECT_EQ(back.queries.group_ops, rec.queries.group_ops);
+  EXPECT_EQ(back.queries.classical_queries, rec.queries.classical_queries);
+  EXPECT_EQ(back.queries.quantum_queries, rec.queries.quantum_queries);
+  EXPECT_EQ(back.queries.sim_basis_evals, rec.queries.sim_basis_evals);
+  EXPECT_DOUBLE_EQ(back.seconds, rec.seconds);
+}
+
+TEST(CheckpointCodec, FailureRecordRoundTrips) {
+  const CheckpointRecord rec = sample_failure();
+  const CheckpointRecord back = parse_checkpoint_line(checkpoint_line(rec));
+  EXPECT_FALSE(back.success);
+  EXPECT_FALSE(back.verified);
+  EXPECT_EQ(back.error, rec.error);
+  EXPECT_EQ(back.error_kind, rec.error_kind);
+  EXPECT_TRUE(back.generators.empty());
+}
+
+TEST(CheckpointCodec, BatchItemReconstruction) {
+  const BatchItemReport ok = batch_item_from_record(sample_success());
+  EXPECT_TRUE(ok.success);
+  EXPECT_EQ(ok.solution.method, Method::kHiddenNormal);
+  EXPECT_EQ(ok.solution.generators, (std::vector<grp::Code>{3, 19, 4}));
+  EXPECT_EQ(ok.queries.group_ops, 1234u);
+
+  const BatchItemReport fail = batch_item_from_record(sample_failure());
+  EXPECT_FALSE(fail.success);
+  EXPECT_EQ(fail.error_kind, "invalid_argument");
+  EXPECT_TRUE(fail.solution.generators.empty());
+}
+
+TEST(CheckpointCodec, ParseRejectsMalformedLines) {
+  EXPECT_THROW(parse_checkpoint_line("not json"), std::invalid_argument);
+  EXPECT_THROW(parse_checkpoint_line("[1,2]"), std::invalid_argument);
+  EXPECT_THROW(parse_checkpoint_line(R"({"schema":"bogus/v9"})"),
+               std::invalid_argument);
+  // Drop one required field from a valid line: must be rejected, and
+  // the diagnostic must name it.
+  std::string line = checkpoint_line(sample_success());
+  const auto pos = line.find("\"verified\"");
+  ASSERT_NE(pos, std::string::npos);
+  line.erase(pos, line.find("\"generators\"") - pos);
+  try {
+    parse_checkpoint_line(line);
+    FAIL() << "missing field accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("verified"), std::string::npos);
+  }
+}
+
+// ----------------------------------------------------- the JSONL substrate
+
+TEST(Jsonl, AppendReloadAndMissingFile) {
+  const std::string dir = temp_dir("jsonl");
+  const std::string path = dir + "/a.jsonl";
+  EXPECT_TRUE(read_jsonl(path).lines.empty());  // absent = no records
+  {
+    JsonlWriter w(path);
+    w.append("{\"x\":1}");
+    w.append("{\"x\":2}");
+    EXPECT_THROW(w.append("evil\nline"), std::invalid_argument);
+  }
+  {
+    JsonlWriter again(path);  // reopen appends; complete lines survive
+    again.append("{\"x\":3}");
+  }
+  const JsonlFile file = read_jsonl(path);
+  EXPECT_EQ(file.lines.size(), 3u);
+  EXPECT_EQ(file.lines[2], "{\"x\":3}");
+  EXPECT_FALSE(file.torn_tail);
+}
+
+TEST(Jsonl, TornTailIsReportedSeparately) {
+  const std::string dir = temp_dir("torn");
+  const std::string path = dir + "/t.jsonl";
+  std::ofstream(path) << "{\"x\":1}\n{\"x\":2}\n{\"half";  // no newline
+  const JsonlFile file = read_jsonl(path);
+  EXPECT_EQ(file.lines.size(), 2u);
+  EXPECT_TRUE(file.torn_tail);
+  EXPECT_EQ(file.torn_text, "{\"half");
+}
+
+TEST(Jsonl, ReopenDiscardsTornTailBeforeAppending) {
+  const std::string dir = temp_dir("torn_reopen");
+  const std::string path = dir + "/t.jsonl";
+  std::ofstream(path) << "{\"x\":1}\n{\"half";  // killed mid-append
+  {
+    // Opening for append must seal the file at the last complete line;
+    // otherwise the next record would concatenate onto the torn bytes
+    // and turn one skippable tail into an unparseable mid-file line.
+    JsonlWriter w(path);
+    w.append("{\"x\":2}");
+  }
+  const JsonlFile file = read_jsonl(path);
+  ASSERT_EQ(file.lines.size(), 2u);
+  EXPECT_EQ(file.lines[0], "{\"x\":1}");
+  EXPECT_EQ(file.lines[1], "{\"x\":2}");
+  EXPECT_FALSE(file.torn_tail);
+}
+
+TEST(Jsonl, ReopenOfAllTornFileStartsEmpty) {
+  const std::string dir = temp_dir("torn_only");
+  const std::string path = dir + "/t.jsonl";
+  std::ofstream(path) << "{\"never-finished";  // no newline anywhere
+  {
+    JsonlWriter w(path);
+    w.append("{\"x\":1}");
+  }
+  const JsonlFile file = read_jsonl(path);
+  ASSERT_EQ(file.lines.size(), 1u);
+  EXPECT_EQ(file.lines[0], "{\"x\":1}");
+  EXPECT_FALSE(file.torn_tail);
+}
+
+TEST(CheckpointLoad, TornFinalLineSkippedWithWarning) {
+  const std::string dir = temp_dir("load_torn");
+  const std::string path = dir + "/s.jsonl";
+  const std::string good = checkpoint_line(sample_success());
+  std::ofstream(path) << good << "\n" << good.substr(0, good.size() / 2);
+  std::ostringstream warnings;
+  const ShardCheckpoint ckpt = load_checkpoint_file(path, &warnings);
+  EXPECT_EQ(ckpt.records.size(), 1u);
+  EXPECT_TRUE(ckpt.skipped_torn_tail);
+  EXPECT_NE(warnings.str().find("torn final line"), std::string::npos);
+}
+
+TEST(CheckpointLoad, MalformedMidFileLineIsCorruptionNotTolerated) {
+  const std::string dir = temp_dir("load_corrupt");
+  const std::string path = dir + "/s.jsonl";
+  std::ofstream(path) << "garbage\n"
+                      << checkpoint_line(sample_success()) << "\n";
+  try {
+    load_checkpoint_file(path, nullptr);
+    FAIL() << "corrupt line accepted";
+  } catch (const std::invalid_argument& e) {
+    // Diagnostic names the file and the 1-based line.
+    EXPECT_NE(std::string(e.what()).find(path + ":1"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------- fingerprints
+
+TEST(Fingerprint, BuilderRendersHeadAndKeyValuePairs) {
+  Fingerprint fp("dihedral");
+  fp.add("n", std::uint64_t{12});
+  fp.add("backend", "auto");
+  EXPECT_EQ(fp.str(), "dihedral|n=12|backend=auto");
+}
+
+TEST(Fingerprint, Fnv1a64IsFrozen) {
+  // The partition hash is part of the checkpoint compatibility surface:
+  // these values changing would reshuffle every existing checkpoint
+  // directory. Pinned against the FNV-1a reference values.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ULL);
+  EXPECT_EQ(fnv1a64("a"), 12638187200555641996ULL);
+  const std::uint64_t h = fnv1a64("dihedral|n=12");
+  EXPECT_EQ(fnv1a64("dihedral|n=12"), h);  // stable across calls
+  EXPECT_NE(fnv1a64("dihedral|n=13"), h);
+}
+
+TEST(Fingerprint, ShardOfPartitionsAndRejectsZero) {
+  EXPECT_THROW(shard_of("x", 0), std::invalid_argument);
+  for (const char* name : {"a", "b", "c", "dihedral|n=12"}) {
+    const std::size_t s = shard_of(name, 4);
+    EXPECT_LT(s, 4u);
+    EXPECT_EQ(shard_of(name, 4), s);
+    EXPECT_EQ(shard_of(name, 1), 0u);
+  }
+}
+
+TEST(Fingerprint, ScenarioFingerprintExcludesSeedIncludesBackend) {
+  const std::string base = scenario_fingerprint(build_scenario("dihedral"));
+  EXPECT_EQ(base, scenario_fingerprint(build_scenario("dihedral")));
+  EXPECT_NE(base, scenario_fingerprint(build_scenario("dihedral n=16")));
+  EXPECT_NE(base, scenario_fingerprint(
+                      build_scenario("dihedral backend=sparse")));
+  EXPECT_NE(base, scenario_fingerprint(build_scenario("symmetric")));
+}
+
+// ------------------------------------------------------------- manifests
+
+TEST(ShardManifest, RoundTripsAndRejectsAbsence) {
+  const std::string dir = temp_dir("manifest");
+  ShardManifest m;
+  m.num_shards = 4;
+  m.base_seed = 0xfeedbeef;
+  m.source = "examples/fleet.scn";
+  m.spec_lines = {"dihedral n=12", "elem_abelian2"};
+  write_shard_manifest(dir, m);
+  const ShardManifest back = load_shard_manifest(dir);
+  EXPECT_EQ(back.num_shards, m.num_shards);
+  EXPECT_EQ(back.base_seed, m.base_seed);
+  EXPECT_EQ(back.source, m.source);
+  EXPECT_EQ(back.spec_lines, m.spec_lines);
+
+  const std::string empty = temp_dir("manifest_none");
+  EXPECT_THROW(load_shard_manifest(empty), std::invalid_argument);
+}
+
+// -------------------------------------------------- in-process resume
+
+std::vector<BuiltScenario> small_fleet() {
+  std::vector<BuiltScenario> fleet;
+  fleet.push_back(build_scenario("dihedral n=8"));
+  fleet.push_back(build_scenario("elem_abelian2"));
+  fleet.push_back(build_scenario("quaternion"));
+  fleet.push_back(build_scenario("gf2affine"));
+  return fleet;
+}
+
+TEST(ShardResume, StopAfterCheckpointsPrefixThenResumeSkipsIt) {
+  const std::vector<BuiltScenario> fleet = small_fleet();
+  const std::string dir = temp_dir("resume");
+  ShardRunOptions opts;
+  opts.shard = 0;
+  opts.num_shards = 1;  // the whole fleet in one shard
+  opts.base_seed = 5;
+  opts.checkpoint_dir = dir;
+
+  opts.stop_after = 2;
+  const ShardRunResult first = run_shard(fleet, opts);
+  EXPECT_EQ(first.ran, 2u);
+  EXPECT_EQ(first.reused, 0u);
+  const std::string path = dir + "/" + shard_checkpoint_filename(0, 1);
+  EXPECT_EQ(load_checkpoint_file(path, nullptr).records.size(), 2u);
+  // Snapshot the first two durable lines: the resume run must append,
+  // never rewrite.
+  const std::vector<std::string> before = read_jsonl(path).lines;
+
+  opts.stop_after = 0;
+  const ShardRunResult second = run_shard(fleet, opts);
+  EXPECT_EQ(second.ran, 2u);
+  EXPECT_EQ(second.reused, 2u);
+  const std::vector<std::string> after = read_jsonl(path).lines;
+  ASSERT_EQ(after.size(), 4u);
+  EXPECT_EQ(after[0], before[0]);
+  EXPECT_EQ(after[1], before[1]);
+
+  // Fully checkpointed: a third run executes nothing.
+  const ShardRunResult third = run_shard(fleet, opts);
+  EXPECT_EQ(third.ran, 0u);
+  EXPECT_EQ(third.reused, 4u);
+  EXPECT_EQ(read_jsonl(path).lines.size(), 4u);
+
+  // And the merged view is complete, fully solved, fully verified.
+  const ShardPlan plan = plan_shards(fleet, 1);
+  const MergedBatch merged = merge_checkpoints(fleet, plan, dir, nullptr);
+  EXPECT_TRUE(merged.complete());
+  EXPECT_EQ(merged.report.solved, fleet.size());
+  EXPECT_EQ(merged.verified_count, fleet.size());
+}
+
+TEST(ShardResume, StaleFingerprintRecordsAreIgnoredWithWarning) {
+  const std::vector<BuiltScenario> fleet = small_fleet();
+  const std::string dir = temp_dir("stale");
+  // Forge a record at index 0 whose fingerprint names a different
+  // instance — as if the fleet file was edited after a partial run.
+  CheckpointRecord rec = sample_success();
+  rec.index = 0;
+  rec.fingerprint = "not|the|same|instance";
+  {
+    JsonlWriter w(dir + "/" + shard_checkpoint_filename(0, 1));
+    w.append(checkpoint_line(rec));
+  }
+  std::ostringstream warnings;
+  const ShardPlan plan = plan_shards(fleet, 1);
+  const MergedBatch merged = merge_checkpoints(fleet, plan, dir, &warnings);
+  EXPECT_EQ(merged.missing.size(), fleet.size());  // nothing usable
+  EXPECT_NE(warnings.str().find("stale"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nahsp::hsp

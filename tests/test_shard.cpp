@@ -1,0 +1,270 @@
+// Shard-merge determinism: a fleet partitioned over any shard count and
+// run at any fan-out width must merge back to exactly the report a
+// single-process solve_hsp_batch produces — per-item generators, query
+// counters, error taxonomy, and verified flags all bit-identical. Also
+// locks the fingerprint partition's stability properties, the
+// BatchOptions::on_item streaming hook, and SIGKILL fault injection
+// (crash_after) with checkpoint-preserving resume, exercised through a
+// forked child so the kill never touches the test runner.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "nahsp/hsp/instance.h"
+#include "nahsp/hsp/scenario.h"
+#include "nahsp/hsp/shard.h"
+#include "nahsp/hsp/solve.h"
+
+namespace nahsp::hsp {
+namespace {
+
+std::string temp_dir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "nahsp_shard_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// A fleet covering all three dispatch routes plus one deterministic
+// failure (the qubit backend rejects the non-power-of-two |G| = 3^k
+// abelian group), so merge equality is tested for the error fields too.
+const std::vector<std::string>& fleet_specs() {
+  static const std::vector<std::string> specs = {
+      "dihedral n=8",  "elem_abelian2",          "quaternion",
+      "gf2affine",     "abelian backend=qubit",  "symmetric",
+      "dihedral n=12", "elem_abelian2",  // duplicate of index 1
+  };
+  return specs;
+}
+
+std::vector<BuiltScenario> build_fleet() {
+  std::vector<BuiltScenario> fleet;
+  for (const std::string& spec : fleet_specs())
+    fleet.push_back(build_scenario(spec));
+  return fleet;
+}
+
+constexpr std::uint64_t kSeed = 11;
+
+// The single-process reference: plain solve_hsp_batch plus the CLI's
+// verification pass. Builds its own fleet — instances carry shared
+// QueryCounters, so a fleet that already ran would double every count.
+struct Reference {
+  BatchReport report;
+  std::vector<bool> verified;
+};
+
+Reference reference_run(int threads) {
+  const std::vector<BuiltScenario> fleet = build_fleet();
+  std::vector<bb::HspInstance> instances;
+  BatchOptions opts;
+  opts.base_seed = kSeed;
+  opts.threads = threads;
+  for (const BuiltScenario& b : fleet) {
+    instances.push_back(b.instance);
+    opts.per_instance.push_back(b.options);
+  }
+  Reference ref;
+  ref.report = solve_hsp_batch(instances, opts);
+  ref.verified.assign(fleet.size(), false);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    if (!ref.report.items[i].success) continue;
+    ref.verified[i] = verify_same_subgroup(
+        *fleet[i].instance.group, ref.report.items[i].solution.generators,
+        fleet[i].instance.planted_generators);
+  }
+  return ref;
+}
+
+void expect_items_identical(const BatchItemReport& a,
+                            const BatchItemReport& b) {
+  EXPECT_EQ(a.success, b.success);
+  if (a.success && b.success) {
+    EXPECT_EQ(a.solution.method, b.solution.method);
+    EXPECT_EQ(a.solution.generators, b.solution.generators);
+  }
+  EXPECT_EQ(a.error, b.error);
+  EXPECT_EQ(a.error_kind, b.error_kind);
+  EXPECT_EQ(a.queries.group_ops, b.queries.group_ops);
+  EXPECT_EQ(a.queries.classical_queries, b.queries.classical_queries);
+  EXPECT_EQ(a.queries.quantum_queries, b.queries.quantum_queries);
+  EXPECT_EQ(a.queries.sim_basis_evals, b.queries.sim_basis_evals);
+}
+
+// ------------------------------------------------- merge determinism
+
+class ShardMerge : public ::testing::TestWithParam<
+                       std::tuple<std::size_t, int>> {};
+
+TEST_P(ShardMerge, MergedReportMatchesSingleProcessRun) {
+  const auto [num_shards, width] = GetParam();
+  const std::vector<BuiltScenario> fleet = build_fleet();
+  const Reference ref = reference_run(width);
+
+  const std::string dir =
+      temp_dir("merge_" + std::to_string(num_shards) + "_" +
+               std::to_string(width));
+  for (std::size_t s = 0; s < num_shards; ++s) {
+    ShardRunOptions opts;
+    opts.shard = s;
+    opts.num_shards = num_shards;
+    opts.base_seed = kSeed;
+    opts.threads = width;
+    opts.checkpoint_dir = dir;
+    (void)run_shard(fleet, opts);
+  }
+
+  const ShardPlan plan = plan_shards(fleet, num_shards);
+  const MergedBatch merged = merge_checkpoints(fleet, plan, dir, nullptr);
+  ASSERT_TRUE(merged.complete());
+  ASSERT_EQ(merged.report.items.size(), ref.report.items.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    SCOPED_TRACE("item " + std::to_string(i) + " (" + fleet_specs()[i] +
+                 ")");
+    expect_items_identical(merged.report.items[i], ref.report.items[i]);
+    EXPECT_EQ(merged.verified[i], ref.verified[i]);
+  }
+  EXPECT_EQ(merged.report.solved, ref.report.solved);
+  EXPECT_EQ(merged.report.total_queries.group_ops,
+            ref.report.total_queries.group_ops);
+  EXPECT_EQ(merged.report.total_queries.quantum_queries,
+            ref.report.total_queries.quantum_queries);
+  // The failing item must have merged as a failure, not been dropped.
+  EXPECT_FALSE(merged.report.items[4].success);
+  EXPECT_EQ(merged.report.items[4].error_kind, "invalid_argument");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardsByWidth, ShardMerge,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{2},
+                                         std::size_t{4}),
+                       ::testing::Values(1, 4)),
+    [](const auto& info) {
+      return "shards" + std::to_string(std::get<0>(info.param)) + "_width" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --------------------------------------------------- partition contract
+
+TEST(ShardPlan, PartitionIsAFunctionOfFingerprintNotListOrder) {
+  const std::vector<BuiltScenario> fleet = build_fleet();
+  const ShardPlan plan = plan_shards(fleet, 4);
+  ASSERT_EQ(plan.shard_of_item.size(), fleet.size());
+
+  // Reversing the fleet must assign every instance the same shard.
+  std::vector<BuiltScenario> reversed;
+  for (auto it = fleet_specs().rbegin(); it != fleet_specs().rend(); ++it)
+    reversed.push_back(build_scenario(*it));
+  const ShardPlan rplan = plan_shards(reversed, 4);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(plan.shard_of_item[i],
+              rplan.shard_of_item[fleet.size() - 1 - i])
+        << "spec " << fleet_specs()[i];
+  }
+
+  // Duplicate instances (equal fingerprints) always co-locate.
+  EXPECT_EQ(plan.fingerprints[1], plan.fingerprints[7]);
+  EXPECT_EQ(plan.shard_of_item[1], plan.shard_of_item[7]);
+
+  // items_of_shard is the inverse mapping, ascending and exhaustive.
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < plan.num_shards; ++s) {
+    for (std::size_t k = 0; k < plan.items_of_shard[s].size(); ++k) {
+      const std::size_t g = plan.items_of_shard[s][k];
+      EXPECT_EQ(plan.shard_of_item[g], s);
+      if (k > 0) {
+        EXPECT_LT(plan.items_of_shard[s][k - 1], g);
+      }
+    }
+    total += plan.items_of_shard[s].size();
+  }
+  EXPECT_EQ(total, fleet.size());
+}
+
+// ------------------------------------------------------ streaming hook
+
+TEST(BatchOnItem, FiresOncePerInstanceWithFinalReports) {
+  const std::vector<BuiltScenario> fleet = build_fleet();
+  std::vector<bb::HspInstance> instances;
+  BatchOptions opts;
+  opts.base_seed = kSeed;
+  opts.threads = 4;
+  for (const BuiltScenario& b : fleet) {
+    instances.push_back(b.instance);
+    opts.per_instance.push_back(b.options);
+  }
+  std::mutex mu;
+  std::map<std::size_t, BatchItemReport> streamed;
+  opts.on_item = [&](std::size_t index, const BatchItemReport& item) {
+    const std::lock_guard<std::mutex> lock(mu);
+    EXPECT_EQ(streamed.count(index), 0u);  // exactly once per instance
+    streamed[index] = item;
+  };
+  const BatchReport report = solve_hsp_batch(instances, opts);
+  ASSERT_EQ(streamed.size(), fleet.size());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    SCOPED_TRACE("item " + std::to_string(i));
+    expect_items_identical(streamed.at(i), report.items[i]);
+  }
+}
+
+// ------------------------------------------------------ fault injection
+
+TEST(ShardCrash, SigkillAfterKItemsLeavesKDurableRecordsThenResumes) {
+  const std::vector<BuiltScenario> fleet = build_fleet();
+  const std::string dir = temp_dir("crash");
+  ShardRunOptions opts;
+  opts.shard = 0;
+  opts.num_shards = 1;
+  opts.base_seed = kSeed;
+  // Width 1 gives the batch a private, freshly spawned pool: the forked
+  // child must not touch the global pool, whose worker threads do not
+  // survive fork().
+  opts.threads = 1;
+  opts.checkpoint_dir = dir;
+
+  // The kill happens in a forked child: run_shard raises SIGKILL on the
+  // worker the instant the second record's fdatasync returns.
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    opts.crash_after = 2;
+    (void)run_shard(fleet, opts);
+    _exit(0);  // unreachable: the hook kills the process first
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+
+  const std::string path = dir + "/" + shard_checkpoint_filename(0, 1);
+  const ShardCheckpoint durable = load_checkpoint_file(path, nullptr);
+  EXPECT_EQ(durable.records.size(), 2u);
+
+  // Resume in-process: the two durable items are reused, the rest run,
+  // and the merged result equals the uninterrupted reference.
+  const ShardRunResult resumed = run_shard(fleet, opts);
+  EXPECT_EQ(resumed.reused, 2u);
+  EXPECT_EQ(resumed.ran, fleet.size() - 2u);
+
+  const Reference ref = reference_run(1);
+  const ShardPlan plan = plan_shards(fleet, 1);
+  const MergedBatch merged = merge_checkpoints(fleet, plan, dir, nullptr);
+  ASSERT_TRUE(merged.complete());
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    SCOPED_TRACE("item " + std::to_string(i));
+    expect_items_identical(merged.report.items[i], ref.report.items[i]);
+    EXPECT_EQ(merged.verified[i], ref.verified[i]);
+  }
+}
+
+}  // namespace
+}  // namespace nahsp::hsp
