@@ -2,7 +2,8 @@
 # Full local verification: the tier-1 build + ctest (with the slow
 # `property` and `shard` labels split into their own stages so each runs
 # once), the CLI smoke suite (nahsp selftest + golden solve reports +
-# markdown link check), the shard smoke (sharded batch vs unsharded,
+# markdown link check), the fault-injection smoke (NAHSP_FAULT sweep +
+# snapshot restart), the shard smoke (sharded batch vs unsharded,
 # crash + resume), then a Debug + Address/UB-sanitizer build of the same
 # suite, then a TSan build of the threading-relevant tests (unit +
 # parallel labels) with the pool pinned wide.
@@ -37,6 +38,13 @@ python3 scripts/check_links.py
 
 echo "== serve smoke: daemon protocol, cache replay, golden parity, drain =="
 python3 scripts/serve_smoke.py build
+
+echo "== fault smoke: NAHSP_FAULT sweep + snapshot restart =="
+# Every registered fault point armed against the real binaries: typed
+# solver failure, gappy checkpoint + --resume convergence, snapshot
+# rollback, structured serve rejects, dropped connections, and a cache
+# reload across a daemon restart. CI reruns this sweep under ASan.
+./scripts/fault_smoke.sh build
 
 echo "== shard smoke: sharded batch vs unsharded, SIGKILL + resume (ctest -L shard) =="
 # scripts/shard_smoke.sh through ctest: --shards {2,4} merged reports

@@ -1,0 +1,217 @@
+#!/usr/bin/env bash
+# Fault-injection smoke sweep: arm every registered NAHSP_FAULT point
+# (common/faultpoint.h) against the real binaries and prove each firing
+# resolves to a typed error or a clean shed — never a crash, a wrong
+# answer, or a torn file.
+#
+#   1. alloc.sampler   — `nahsp solve` exits nonzero with a typed
+#                        FAILED line, not a crash.
+#   2. ckpt.append     — a sharded batch completes with non-durable
+#                        items shed (warning), its report byte-identical
+#                        to the unfaulted run, and --resume from the
+#                        gappy checkpoint converges to the same bytes.
+#   3. cache.snapshot  — a faulted serve shutdown keeps the previous
+#                        cache snapshot byte-identical and still exits 0.
+#   4. serve.submit    — the armed request gets a structured
+#                        internal_error; the daemon answers the next one.
+#   5. transport.write — the armed response drops the connection; the
+#                        daemon survives and answers a fresh connection.
+#   6. restart         — (no fault) a daemon restarted on its snapshot
+#                        reports cache.loaded > 0 and replays from cache.
+#
+# Usage: scripts/fault_smoke.sh [build-dir]        (default: build)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+NAHSP="$BUILD_DIR/src/cli/nahsp"
+FLEET=examples/fleet.scn
+
+if [[ ! -x "$NAHSP" ]]; then
+  echo "error: $NAHSP not built (configure with -DNAHSP_BUILD_CLI=ON)" >&2
+  exit 1
+fi
+
+WORK="$(mktemp -d)"
+SERVE_PID=""
+cleanup() {
+  [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# req SOCKET LINE — one request, one response line on stdout.
+req() {
+  python3 - "$1" "$2" <<'EOF'
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.settimeout(120)
+s.connect(sys.argv[1])
+s.sendall(sys.argv[2].encode() + b"\n")
+buf = b""
+while not buf.endswith(b"\n"):
+    chunk = s.recv(1 << 16)
+    if not chunk:
+        break
+    buf += chunk
+sys.stdout.write(buf.decode())
+EOF
+}
+
+wait_socket() {  # wait_socket SOCKET PID
+  for _ in $(seq 1 300); do
+    kill -0 "$2" 2>/dev/null || { echo "FAIL: daemon died on startup" >&2; exit 1; }
+    [[ -S "$1" ]] && python3 -c "
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+try:
+    s.connect(sys.argv[1])
+except OSError:
+    sys.exit(1)
+" "$1" && return 0
+    sleep 0.1
+  done
+  echo "FAIL: daemon socket never came up" >&2
+  exit 1
+}
+
+stop_serve() {  # stop_serve PID LOG — SIGTERM, expect a drained exit 0
+  kill -TERM "$1"
+  wait "$1" || { echo "FAIL: daemon exited nonzero (see $2)" >&2; cat "$2" >&2; exit 1; }
+  SERVE_PID=""
+}
+
+field() {  # field JSON_LINE PYEXPR — e.g. field "$line" "v['error']['code']"
+  python3 -c "
+import json, sys
+v = json.loads(sys.argv[1])
+print(eval(sys.argv[2]))
+" "$1" "$2"
+}
+
+echo "== 1. alloc.sampler: typed solver failure, clean nonzero exit =="
+set +e
+NAHSP_FAULT=alloc.sampler:1:1000000 "$NAHSP" solve elem_abelian2 \
+  > "$WORK/alloc.out" 2>&1
+status=$?
+set -e
+[[ $status -eq 1 ]] \
+  || { echo "FAIL: expected exit 1, got $status"; cat "$WORK/alloc.out"; exit 1; }
+grep -q "injected fault (alloc.sampler)" "$WORK/alloc.out" \
+  || { echo "FAIL: failure line does not name the fault"; cat "$WORK/alloc.out"; exit 1; }
+echo "  typed failure, exit 1"
+
+echo "== 2. ckpt.append: sharded batch sheds the append, resume converges =="
+"$NAHSP" batch "$FLEET" seed=1 threads=2 --stable --json \
+  > "$WORK/ref.json"
+# The shed appends leave gaps in the checkpoint; the merge refuses to
+# fabricate the missing records and directs the caller to --resume.
+set +e
+NAHSP_FAULT=ckpt.append:2 "$NAHSP" batch "$FLEET" seed=1 threads=2 \
+  --stable --json --shards 2 --checkpoint-dir "$WORK/ck" \
+  > "$WORK/faulted.json" 2> "$WORK/faulted.err"
+status=$?
+set -e
+[[ $status -ne 0 ]] \
+  || { echo "FAIL: gappy checkpoint merged without complaint"; exit 1; }
+grep -q "not durable" "$WORK/faulted.err" \
+  || { echo "FAIL: shed append was not reported"; cat "$WORK/faulted.err"; exit 1; }
+grep -q -- "--resume" "$WORK/faulted.err" \
+  || { echo "FAIL: incomplete fleet did not direct to --resume"; cat "$WORK/faulted.err"; exit 1; }
+"$NAHSP" batch --resume "$WORK/ck" threads=2 --stable --json \
+  > "$WORK/resumed.json" 2> "$WORK/resumed.err"
+cmp "$WORK/ref.json" "$WORK/resumed.json" \
+  || { echo "FAIL: resumed report differs from the reference"; exit 1; }
+echo "  shed appends reported, resume converged byte-identically"
+
+echo "== 3. cache.snapshot: faulted snapshot keeps the previous file =="
+CACHE="$WORK/cache.jsonl"
+"$NAHSP" serve --socket "$WORK/s3.sock" --workers 1 \
+  --cache-file "$CACHE" > "$WORK/s3.log" 2>&1 &
+SERVE_PID=$!
+wait_socket "$WORK/s3.sock" "$SERVE_PID"
+line=$(req "$WORK/s3.sock" '{"cmd": "solve", "id": 1, "spec": "dihedral seed=1"}')
+[[ "$(field "$line" "v['type']")" == "result" ]] \
+  || { echo "FAIL: seed solve failed: $line"; exit 1; }
+stop_serve "$SERVE_PID" "$WORK/s3.log"
+cp "$CACHE" "$WORK/cache.good"
+NAHSP_FAULT=cache.snapshot:1:1000000 "$NAHSP" serve \
+  --socket "$WORK/s3b.sock" --workers 1 --cache-file "$CACHE" \
+  > "$WORK/s3b.log" 2>&1 &
+SERVE_PID=$!
+wait_socket "$WORK/s3b.sock" "$SERVE_PID"
+line=$(req "$WORK/s3b.sock" '{"cmd": "solve", "id": 2, "spec": "quaternion seed=1"}')
+[[ "$(field "$line" "v['type']")" == "result" ]] \
+  || { echo "FAIL: solve under armed snapshot fault failed: $line"; exit 1; }
+stop_serve "$SERVE_PID" "$WORK/s3b.log"
+grep -q "keeping the previous snapshot" "$WORK/s3b.log" \
+  || { echo "FAIL: faulted snapshot was not reported"; cat "$WORK/s3b.log"; exit 1; }
+cmp "$CACHE" "$WORK/cache.good" \
+  || { echo "FAIL: faulted snapshot clobbered the previous file"; exit 1; }
+echo "  previous snapshot intact, daemon exited 0"
+
+echo "== 4. serve.submit: structured internal_error, daemon survives =="
+NAHSP_FAULT=serve.submit:1 "$NAHSP" serve --socket "$WORK/s4.sock" \
+  --workers 1 > "$WORK/s4.log" 2>&1 &
+SERVE_PID=$!
+wait_socket "$WORK/s4.sock" "$SERVE_PID"
+line=$(req "$WORK/s4.sock" '{"cmd": "ping", "id": 1}')
+[[ "$(field "$line" "v['error']['code']")" == "internal_error" ]] \
+  || { echo "FAIL: armed submit did not reject internal_error: $line"; exit 1; }
+line=$(req "$WORK/s4.sock" '{"cmd": "ping", "id": 2}')
+[[ "$(field "$line" "v['type']")" == "pong" ]] \
+  || { echo "FAIL: daemon did not answer after the fault: $line"; exit 1; }
+stop_serve "$SERVE_PID" "$WORK/s4.log"
+echo "  one structured reject, next request answered"
+
+echo "== 5. transport.write: dropped connection, daemon survives =="
+NAHSP_FAULT=transport.write:1 "$NAHSP" serve --socket "$WORK/s5.sock" \
+  --workers 1 > "$WORK/s5.log" 2>&1 &
+SERVE_PID=$!
+wait_socket "$WORK/s5.sock" "$SERVE_PID"
+line=$(req "$WORK/s5.sock" '{"cmd": "ping", "id": 1}' || true)
+[[ -z "$line" ]] \
+  || { echo "FAIL: armed write should drop the connection, got: $line"; exit 1; }
+line=$(req "$WORK/s5.sock" '{"cmd": "ping", "id": 2}')
+[[ "$(field "$line" "v['type']")" == "pong" ]] \
+  || { echo "FAIL: daemon did not answer a fresh connection: $line"; exit 1; }
+stop_serve "$SERVE_PID" "$WORK/s5.log"
+echo "  connection dropped cleanly, daemon survived"
+
+echo "== 6. snapshot restart: reload reported, repeat request replays =="
+CACHE6="$WORK/cache6.jsonl"
+"$NAHSP" serve --socket "$WORK/s6.sock" --workers 1 \
+  --cache-file "$CACHE6" > "$WORK/s6.log" 2>&1 &
+SERVE_PID=$!
+wait_socket "$WORK/s6.sock" "$SERVE_PID"
+first=$(req "$WORK/s6.sock" '{"cmd": "solve", "id": 1, "spec": "dihedral seed=9"}')
+[[ "$(field "$first" "v['type']")" == "result" ]] \
+  || { echo "FAIL: warm-up solve failed: $first"; exit 1; }
+stop_serve "$SERVE_PID" "$WORK/s6.log"
+"$NAHSP" serve --socket "$WORK/s6b.sock" --workers 1 \
+  --cache-file "$CACHE6" > "$WORK/s6b.log" 2>&1 &
+SERVE_PID=$!
+wait_socket "$WORK/s6b.sock" "$SERVE_PID"
+stats=$(req "$WORK/s6b.sock" '{"cmd": "stats"}')
+loaded=$(field "$stats" "v['stats']['cache']['loaded']")
+[[ "$loaded" -ge 1 ]] \
+  || { echo "FAIL: restarted daemon loaded no cache entries: $stats"; exit 1; }
+replay=$(req "$WORK/s6b.sock" '{"cmd": "solve", "id": 1, "spec": "dihedral seed=9"}')
+[[ "$(field "$replay" "v['cached']")" == "True" ]] \
+  || { echo "FAIL: repeat request was not a cache hit: $replay"; exit 1; }
+stats=$(req "$WORK/s6b.sock" '{"cmd": "stats"}')
+rate=$(field "$stats" "v['stats']['cache']['hit_rate']")
+python3 -c "import sys; sys.exit(0 if float(sys.argv[1]) > 0 else 1)" "$rate" \
+  || { echo "FAIL: hit rate is zero after a snapshot replay: $stats"; exit 1; }
+# The replay must be byte-identical to the original response modulo the
+# cached flag.
+python3 -c "
+import sys
+first, replay = sys.argv[1], sys.argv[2]
+if replay.replace('\"cached\":true', '\"cached\":false', 1) != first:
+    sys.exit('FAIL: snapshot replay diverges from the original response')
+" "$first" "$replay"
+stop_serve "$SERVE_PID" "$WORK/s6b.log"
+echo "  cache.loaded=$loaded, replay hit, hit_rate=$rate"
+
+echo "fault smoke passed"

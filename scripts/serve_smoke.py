@@ -15,10 +15,19 @@ misbehaving multi-tenant client population:
      produce the same report,
   3. a repeat of that request, which must replay from the cross-request
      cache (`cached: true`, nonzero hit rate in `stats`),
-  4. SIGTERM, which must drain and exit 0.
+  4. an oversized (>1 MiB) line pipelined with a valid request on the
+     same connection — one request_too_large error, then the valid
+     request's answer (the reader drains the oversized line instead of
+     desyncing or dropping the connection),
+  5. SIGTERM, which must drain and exit 0,
+  6. an over-budget burst against a --max-mem daemon: permanent sheds
+     carry the structured sizes, the auto backend degrades and solves,
+     the admitted subset's responses are byte-identical to an
+     unconstrained daemon's, and the daemon never restarts.
 """
 import json
 import os
+import re
 import signal
 import socket
 import subprocess
@@ -52,6 +61,21 @@ def request(sock_path, line, timeout=120):
     if not buf:
         fail(f"no response for request: {line!r}")
     return buf.decode()
+
+
+def pipelined(sock_path, payload, expect, timeout=120):
+    """Send raw bytes on one connection, read `expect` response lines."""
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as s:
+        s.settimeout(timeout)
+        s.connect(sock_path)
+        s.sendall(payload)
+        buf = b""
+        while buf.count(b"\n") < expect:
+            chunk = s.recv(1 << 16)
+            if not chunk:
+                break
+            buf += chunk
+    return buf.decode().splitlines()
 
 
 def wait_for_socket(sock_path, proc, deadline=30.0):
@@ -98,6 +122,124 @@ def main():
         if proc.poll() is None:
             proc.kill()
             proc.wait()
+    run_budget_checks(nahsp, tmp)
+
+
+def drain_and_check_exit(proc, name):
+    proc.send_signal(signal.SIGTERM)
+    try:
+        out, _ = proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        fail(f"{name} did not exit within 60s of SIGTERM")
+    if proc.returncode != 0:
+        fail(f"{name} exited {proc.returncode} after SIGTERM:\n{out}")
+
+
+def run_budget_checks(nahsp, tmp):
+    """Over-budget burst against a --max-mem daemon (plus an
+    unconstrained reference daemon for byte-parity of the admitted
+    subset).
+
+    elem_abelian2 k=12 prices at 48 * 2^12 = 196608 bytes dense, 12288
+    bytes sparse: under --max-mem 100000 the explicit mixed-radix
+    requests can never be admitted (permanent structured shed) while the
+    auto backend degrades to sparse and still solves.
+    """
+    sock_b = os.path.join(tmp, "budget.sock")
+    sock_r = os.path.join(tmp, "ref.sock")
+    base = ["--workers", "2", "--queue", "32", "--cache", "32"]
+    proc_b = subprocess.Popen(
+        [nahsp, "serve", "--socket", sock_b] + base
+        + ["--max-mem", "100000"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    proc_r = subprocess.Popen(
+        [nahsp, "serve", "--socket", sock_r] + base,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        wait_for_socket(sock_b, proc_b)
+        wait_for_socket(sock_r, proc_r)
+        # Explicit seeds keep every report a pure function of its spec,
+        # so burst scheduling cannot perturb the bytes.
+        admitted = [
+            '{"cmd": "solve", "id": 0, "spec": "dihedral seed=21"}',
+            '{"cmd": "solve", "id": 1, "spec": "quaternion seed=22"}',
+            '{"cmd": "solve", "id": 2, "spec": "heisenberg seed=23"}',
+        ]
+        degraded = '{"cmd": "solve", "id": 3, "spec": "elem_abelian2 k=12 seed=24"}'
+        shed = [
+            '{"cmd": "solve", "id": 4, '
+            '"spec": "elem_abelian2 k=12 backend=mixed-radix seed=25"}',
+            '{"cmd": "solve", "id": 5, '
+            '"spec": "elem_abelian2 k=12 backend=mixed-radix seed=26"}',
+        ]
+        burst = admitted + [degraded] + shed
+        responses = [None] * len(burst)
+
+        def client(i):
+            responses[i] = request(sock_b, burst[i])
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(len(burst))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        by_id = {}
+        for i, line in enumerate(responses):
+            if line is None:
+                fail(f"budget burst request {i} got no response")
+            by_id[check_envelope(line, f"budget burst {i}")["id"]] = (
+                line, json.loads(line))
+
+        # Permanent sheds: structured over_budget with the sizes.
+        for rid in (4, 5):
+            _, v = by_id[rid]
+            err = v.get("error", {})
+            if err.get("code") != "over_budget":
+                fail(f"id={rid} was not shed over_budget: {v}")
+            if err.get("estimated_bytes") != 196608:
+                fail(f"id={rid} shed without the estimate: {v}")
+            if err.get("limit_bytes") != 100000:
+                fail(f"id={rid} shed without the limit: {v}")
+        # The auto backend degrades to sparse and still succeeds.
+        _, v = by_id[3]
+        if v["type"] != "result" or not v["ok"]:
+            fail(f"auto backend did not degrade and solve: {v}")
+        # Admitted subset: byte-identical to the unconstrained daemon.
+        for req_line in admitted:
+            rid = json.loads(req_line)["id"]
+            line_b, v = by_id[rid]
+            if v["type"] != "result" or not v["ok"]:
+                fail(f"admitted id={rid} did not succeed under budget: {v}")
+            line_r = request(sock_r, req_line)
+            # Byte-identical modulo the report's wall-clock field.
+            strip = lambda s: re.sub(r'"seconds":[0-9.e-]+', '"seconds":0', s)
+            if strip(line_b) != strip(line_r):
+                fail(f"admitted id={rid} diverges from the unconstrained "
+                     f"daemon:\n  budget: {line_b!r}\n  ref:    {line_r!r}")
+
+        stats = json.loads(request(sock_b, '{"cmd": "stats"}'))["stats"]
+        if stats["jobs_shed"] != 2:
+            fail(f"expected exactly 2 shed jobs, got {stats}")
+        if stats["jobs_completed"] != 4:
+            fail(f"expected 4 completed jobs, got {stats}")
+        if stats["max_mem_bytes"] != 100000:
+            fail(f"stats do not report the budget: {stats}")
+        # Zero restarts: both daemons are the original processes and
+        # drain cleanly.
+        if proc_b.poll() is not None or proc_r.poll() is not None:
+            fail("a daemon restarted or died during the budget burst")
+        print(f"budget burst: {stats['jobs_completed']} completed, "
+              f"{stats['jobs_shed']} shed, admitted subset byte-identical")
+        drain_and_check_exit(proc_b, "budget daemon")
+        drain_and_check_exit(proc_r, "reference daemon")
+    finally:
+        for p in (proc_b, proc_r):
+            if p.poll() is None:
+                p.kill()
+                p.wait()
 
 
 def run_checks(sock_path, proc):
@@ -190,6 +332,20 @@ def run_checks(sock_path, proc):
     print(f"serve smoke: {stats['jobs_completed']} completed, "
           f"{stats['jobs_failed']} failed, {stats['jobs_rejected']} "
           f"rejected, cache hit rate {cache['hit_rate']:.2f}")
+
+    # --- oversized line: drained, answered, connection keeps working --
+    big = (b'{"cmd": "ping", "id": 200, "pad": "' + b"x" * (2 << 20)
+           + b'"}\n')
+    lines = pipelined(sock_path, big + b'{"cmd": "ping", "id": 201}\n',
+                      expect=2)
+    if len(lines) != 2:
+        fail(f"oversized+valid pipeline got {len(lines)} responses: {lines}")
+    v = check_envelope(lines[0], "oversized line")
+    if v.get("error", {}).get("code") != "request_too_large":
+        fail(f"oversized line not rejected as request_too_large: {lines[0]}")
+    v = check_envelope(lines[1], "request after oversized line")
+    if v.get("type") != "pong" or v.get("id") != 201:
+        fail(f"valid request after an oversized line desynced: {lines[1]}")
 
     # --- SIGTERM: drain and exit 0 ------------------------------------
     proc.send_signal(signal.SIGTERM)

@@ -338,10 +338,11 @@ int run_child(const BatchArgs& a) {
 // ---------------------------------------------------------- parent mode
 
 void spawn_and_wait_children(const std::string& dir, std::size_t num_shards,
+                             const std::vector<std::size_t>& shards_to_run,
                              std::uint64_t threads) {
   const std::string threads_kv = "threads=" + std::to_string(threads);
   std::vector<pid_t> pids;
-  for (std::size_t s = 0; s < num_shards; ++s) {
+  for (const std::size_t s : shards_to_run) {
     const std::string shard_spec =
         std::to_string(s) + "/" + std::to_string(num_shards);
     // argv[0] is cosmetic; /proc/self/exe re-runs this very binary, so
@@ -366,19 +367,26 @@ void spawn_and_wait_children(const std::string& dir, std::size_t num_shards,
     }
     pids.push_back(pid);
   }
-  for (std::size_t s = 0; s < pids.size(); ++s) {
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    const std::size_t s = shards_to_run[i];
     int status = 0;
-    if (waitpid(pids[s], &status, 0) < 0)
+    // EINTR-safe: a signal delivered to the parent (e.g. a forwarded
+    // SIGTERM a child already handled) must not abandon live children.
+    pid_t r = -1;
+    do {
+      r = waitpid(pids[i], &status, 0);
+    } while (r < 0 && errno == EINTR);
+    if (r < 0)
       throw std::runtime_error(std::string("batch: waitpid failed: ") +
                                std::strerror(errno));
     if (WIFSIGNALED(status)) {
       std::fprintf(stderr,
                    "batch: shard %zu (pid %ld) killed by signal %d; its "
                    "checkpointed items are durable\n",
-                   s, static_cast<long>(pids[s]), WTERMSIG(status));
+                   s, static_cast<long>(pids[i]), WTERMSIG(status));
     } else if (WEXITSTATUS(status) != 0) {
       std::fprintf(stderr, "batch: shard %zu (pid %ld) exited with %d\n", s,
-                   static_cast<long>(pids[s]), WEXITSTATUS(status));
+                   static_cast<long>(pids[i]), WEXITSTATUS(status));
     }
   }
 }
@@ -389,10 +397,26 @@ int run_sharded(Fleet& fleet, const hsp::ShardManifest& manifest,
                 const std::string& dir, std::uint64_t threads, bool stable,
                 bool json) {
   const Timer total;
-  spawn_and_wait_children(dir, manifest.num_shards, threads);
-
+  // Plan BEFORE spawning: with more shards than instances the
+  // fingerprint partition leaves some shards empty, and forking a child
+  // per empty shard is pure overhead — warn and skip those children
+  // (merge_checkpoints tolerates their absent checkpoint files).
   const hsp::ShardPlan plan =
       hsp::plan_shards(fleet.built, manifest.num_shards);
+  std::vector<std::size_t> shards_to_run;
+  for (std::size_t s = 0; s < plan.num_shards; ++s) {
+    if (!plan.items_of_shard[s].empty()) shards_to_run.push_back(s);
+  }
+  if (shards_to_run.size() < plan.num_shards) {
+    std::fprintf(stderr,
+                 "batch: --shards %zu over a fleet of %zu instance(s) "
+                 "leaves %zu shard(s) empty; skipping their child "
+                 "processes (consider fewer shards)\n",
+                 plan.num_shards, fleet.built.size(),
+                 plan.num_shards - shards_to_run.size());
+  }
+  spawn_and_wait_children(dir, manifest.num_shards, shards_to_run, threads);
+
   hsp::MergedBatch merged =
       hsp::merge_checkpoints(fleet.built, plan, dir, &std::cerr);
   if (!merged.complete()) {

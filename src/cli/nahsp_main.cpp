@@ -73,7 +73,10 @@ bench options: --quick (1 iteration per case, CI smoke budget),
   --suite NAME, --out PATH, --note TEXT, --caveat TEXT
 serve options: --socket PATH (default /tmp/nahsp.sock) | --port N (TCP
   127.0.0.1, 0 = ephemeral), --workers N, --queue N, --cache N,
-  --timeout-ms N (0 = unlimited), --seed N (stream base seed)
+  --timeout-ms N (0 = unlimited), --seed N (stream base seed),
+  --max-mem BYTES[K|M|G] (priced admission budget, 0 = off),
+  --retries N / --retry-base-ms N (transient-shed backoff),
+  --cache-file PATH (crash-safe cache snapshot), --snapshot-every N
 
 reserved keys: seed=<u64> (default 1), threads=<n> (0 = global pool),
                backend=<auto|mixed-radix|qubit|sparse> (coset sampler)
@@ -363,6 +366,27 @@ int cmd_serve(const std::vector<std::string>& args) {
                                   std::to_string(max));
     return v;
   };
+  // Byte count with an optional K/M/G suffix (powers of 1024).
+  const auto next_bytes = [&](std::size_t& i, const std::string& flag) {
+    std::string text = next_value(i, flag);
+    std::uint64_t scale = 1;
+    if (!text.empty()) {
+      const char suffix = text.back();
+      if (suffix == 'K' || suffix == 'k') scale = std::uint64_t{1} << 10;
+      if (suffix == 'M' || suffix == 'm') scale = std::uint64_t{1} << 20;
+      if (suffix == 'G' || suffix == 'g') scale = std::uint64_t{1} << 30;
+      if (scale != 1) text.pop_back();
+    }
+    std::uint64_t v = 0;
+    try {
+      v = parse_spec_u64(text);
+    } catch (const std::invalid_argument& e) {
+      throw std::invalid_argument("serve: " + flag + ": " + e.what());
+    }
+    if (v > std::numeric_limits<std::uint64_t>::max() / scale)
+      throw std::invalid_argument("serve: " + flag + " overflows");
+    return v * scale;
+  };
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg == "--socket") {
@@ -389,11 +413,22 @@ int cmd_serve(const std::vector<std::string>& args) {
     } else if (arg == "--seed") {
       cfg.service.base_seed =
           next_u64(i, arg, std::numeric_limits<std::uint64_t>::max());
+    } else if (arg == "--max-mem") {
+      cfg.service.max_mem_bytes = next_bytes(i, arg);
+    } else if (arg == "--retries") {
+      cfg.service.retry_attempts = static_cast<int>(next_u64(i, arg, 16));
+    } else if (arg == "--retry-base-ms") {
+      cfg.service.retry_base_ms = next_u64(i, arg, std::uint64_t{1} << 20);
+    } else if (arg == "--cache-file") {
+      cfg.service.cache_file = next_value(i, arg);
+    } else if (arg == "--snapshot-every") {
+      cfg.service.snapshot_every = next_u64(i, arg, std::uint64_t{1} << 32);
     } else {
       throw std::invalid_argument(
           "serve: unknown option '" + arg +
           "' (accepted: --socket, --port, --workers, --queue, --cache, "
-          "--timeout-ms, --seed)");
+          "--timeout-ms, --seed, --max-mem, --retries, --retry-base-ms, "
+          "--cache-file, --snapshot-every)");
     }
   }
   return serve::run_server(cfg);

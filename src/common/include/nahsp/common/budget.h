@@ -1,0 +1,180 @@
+// Process-wide resource budget: a byte ledger the allocation-heavy
+// subsystems consult BEFORE allocating, so an over-budget request is a
+// typed error (or a backend degrade) instead of an OOM kill.
+//
+// Design contract (docs/ARCHITECTURE.md, "The budget ledger"):
+//  - One global ledger (`ResourceBudget::global()`), limit 0 = unlimited
+//    (the default — nothing changes for callers that never set it).
+//  - `reserve(bytes, what)` either returns an RAII Reservation or throws
+//    `resource_error`. The error distinguishes PERMANENT (the request
+//    can never fit: bytes > limit) from TRANSIENT (bytes <= limit but
+//    concurrent reservations hold the headroom right now) so callers
+//    can retry the latter and fail fast on the former.
+//  - Determinism: admission decisions that must be reproducible (e.g.
+//    the sampler factory's dense->sparse degrade) depend only on the
+//    static `limit()`, never on the instantaneous `available()` — two
+//    runs with the same limit make the same choices regardless of what
+//    else is in flight. Only reserve() observes concurrency, and its
+//    failure is typed transient so the serve dispatcher can retry it.
+//  - Thread-safe; a Reservation may be released from any thread.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace nahsp {
+
+/// \brief Typed failure of a resource-budget preflight or reservation.
+/// Carries the numbers a structured reject needs on the wire.
+class resource_error : public std::runtime_error {
+ public:
+  resource_error(const std::string& what, std::uint64_t requested,
+                 std::uint64_t limit, std::uint64_t available,
+                 bool transient)
+      : std::runtime_error(what),
+        requested_(requested),
+        limit_(limit),
+        available_(available),
+        transient_(transient) {}
+
+  std::uint64_t requested_bytes() const { return requested_; }
+  std::uint64_t limit_bytes() const { return limit_; }
+  std::uint64_t available_bytes() const { return available_; }
+  /// True when the request fits the limit but not the current headroom
+  /// (concurrent reservations) — retrying later can succeed. False
+  /// means the request can never fit this limit.
+  bool transient() const { return transient_; }
+
+ private:
+  std::uint64_t requested_ = 0;
+  std::uint64_t limit_ = 0;
+  std::uint64_t available_ = 0;
+  bool transient_ = false;
+};
+
+class ResourceBudget;
+
+/// \brief RAII hold on budget bytes. Movable, not copyable; releasing
+/// (destruction or release()) returns the bytes to the ledger. A
+/// default-constructed Reservation holds nothing.
+class Reservation {
+ public:
+  Reservation() = default;
+  Reservation(Reservation&& other) noexcept
+      : budget_(other.budget_), bytes_(other.bytes_) {
+    other.budget_ = nullptr;
+    other.bytes_ = 0;
+  }
+  Reservation& operator=(Reservation&& other) noexcept {
+    if (this != &other) {
+      release();
+      budget_ = other.budget_;
+      bytes_ = other.bytes_;
+      other.budget_ = nullptr;
+      other.bytes_ = 0;
+    }
+    return *this;
+  }
+  Reservation(const Reservation&) = delete;
+  Reservation& operator=(const Reservation&) = delete;
+  ~Reservation() { release(); }
+
+  void release();
+  std::uint64_t bytes() const { return bytes_; }
+  bool holds() const { return budget_ != nullptr; }
+
+ private:
+  friend class ResourceBudget;
+  Reservation(ResourceBudget* budget, std::uint64_t bytes)
+      : budget_(budget), bytes_(bytes) {}
+
+  ResourceBudget* budget_ = nullptr;
+  std::uint64_t bytes_ = 0;
+};
+
+/// \brief Thread-safe byte ledger (see file comment for the contract).
+class ResourceBudget {
+ public:
+  ResourceBudget() = default;
+  ResourceBudget(const ResourceBudget&) = delete;
+  ResourceBudget& operator=(const ResourceBudget&) = delete;
+
+  /// The process-wide ledger every subsystem shares.
+  static ResourceBudget& global();
+
+  /// Sets the byte limit; 0 = unlimited. Existing reservations are
+  /// unaffected (they release against the ledger normally).
+  void set_limit(std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lk(mu_);
+    limit_ = bytes;
+  }
+
+  std::uint64_t limit() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return limit_;
+  }
+
+  std::uint64_t reserved() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return reserved_;
+  }
+
+  /// Headroom right now: limit - reserved (saturating). Unlimited
+  /// ledgers report UINT64_MAX.
+  std::uint64_t available() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return available_locked();
+  }
+
+  /// \brief Reserves `bytes` or throws resource_error (transient iff
+  /// bytes <= limit). `what` names the allocation in the error text.
+  /// On an unlimited ledger the reservation always succeeds (and is
+  /// still tracked, so `reserved()` stays observable).
+  Reservation reserve(std::uint64_t bytes, const std::string& what);
+
+  /// \brief Non-throwing variant: an empty Reservation on failure.
+  Reservation try_reserve(std::uint64_t bytes);
+
+ private:
+  friend class Reservation;
+  std::uint64_t available_locked() const {
+    if (limit_ == 0) return UINT64_MAX;
+    return limit_ > reserved_ ? limit_ - reserved_ : 0;
+  }
+  void release_bytes(std::uint64_t bytes) {
+    std::lock_guard<std::mutex> lk(mu_);
+    reserved_ = reserved_ > bytes ? reserved_ - bytes : 0;
+  }
+
+  mutable std::mutex mu_;
+  std::uint64_t limit_ = 0;     // 0 = unlimited
+  std::uint64_t reserved_ = 0;  // sum of live reservations
+};
+
+inline void Reservation::release() {
+  if (budget_ != nullptr) {
+    budget_->release_bytes(bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+}
+
+/// \brief Test / scope helper: sets the global limit on construction,
+/// restores the previous limit on destruction.
+class ScopedBudgetLimit {
+ public:
+  explicit ScopedBudgetLimit(std::uint64_t bytes)
+      : previous_(ResourceBudget::global().limit()) {
+    ResourceBudget::global().set_limit(bytes);
+  }
+  ~ScopedBudgetLimit() { ResourceBudget::global().set_limit(previous_); }
+  ScopedBudgetLimit(const ScopedBudgetLimit&) = delete;
+  ScopedBudgetLimit& operator=(const ScopedBudgetLimit&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
+}  // namespace nahsp

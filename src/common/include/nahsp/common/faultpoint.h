@@ -1,0 +1,68 @@
+// Deterministic fault injection: named fault points planted at the
+// boundaries where real systems fail (allocation, checkpoint writes,
+// cache snapshots, transport I/O), armed from the environment so a
+// smoke sweep can prove every failure path yields a typed error or a
+// clean shed — never a crash, a wrong answer, or a torn file.
+//
+// Grammar (NAHSP_FAULT):
+//   point:nth[:count][,point:nth[:count]...]
+// The named point fires on its `nth` hit (1-based) and for `count`
+// consecutive hits after that (default 1); all other hits pass. Example:
+//   NAHSP_FAULT=ckpt.append:3        # third checkpoint append fails
+//   NAHSP_FAULT=alloc.sampler:1:2    # first two sampler builds fail
+//
+// Zero cost when unarmed: call sites guard on one relaxed atomic load
+// (`faultpoints_armed()`), so production binaries with no NAHSP_FAULT
+// pay a single predictable branch per point.
+//
+// What a firing point DOES is the call site's choice — each site raises
+// the same typed error its real failure mode would (resource_error at
+// allocation, std::runtime_error at a checkpoint write), so the
+// downstream handling exercised is exactly the production path.
+//
+// Registered points (scripts/fault_smoke.sh sweeps them all):
+//   alloc.sampler   — make_coset_sampler, before backend construction
+//   ckpt.append     — JsonlWriter::append, before the write
+//   cache.snapshot  — serve report-cache snapshot, before the tmp write
+//   serve.submit    — SolverService::submit_line entry
+//   transport.write — serve poll-loop response write
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace nahsp {
+
+namespace detail {
+extern std::atomic<bool> g_faultpoints_armed;
+bool faultpoint_check(const char* name);
+}  // namespace detail
+
+/// \brief True when any fault point is armed (relaxed load; the fast
+/// guard every call site checks first).
+inline bool faultpoints_armed() {
+  return detail::g_faultpoints_armed.load(std::memory_order_relaxed);
+}
+
+/// \brief Counts one hit of `name` and reports whether the armed rule
+/// says this hit fails. Always false when nothing is armed. The hit is
+/// counted even when the point does not fire, so `nth` addresses the
+/// n-th traversal of the call site.
+inline bool faultpoint_should_fail(const char* name) {
+  if (!faultpoints_armed()) return false;
+  return detail::faultpoint_check(name);
+}
+
+/// \brief Re-arms the harness from `spec` (the NAHSP_FAULT grammar),
+/// discarding previous rules and hit counts. An empty spec disarms.
+/// Throws std::invalid_argument on a malformed spec. Tests use this to
+/// arm points without touching the environment; the environment
+/// variable is read once, lazily, on the first hit check.
+void faultpoint_reset(const std::string& spec);
+
+/// \brief Total hits recorded for `name` since the last reset (0 when
+/// the point is not armed — unarmed hits are not counted).
+std::uint64_t faultpoint_hits(const std::string& name);
+
+}  // namespace nahsp

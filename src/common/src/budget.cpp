@@ -1,0 +1,43 @@
+#include "nahsp/common/budget.h"
+
+#include <sstream>
+
+namespace nahsp {
+
+ResourceBudget& ResourceBudget::global() {
+  static ResourceBudget ledger;
+  return ledger;
+}
+
+Reservation ResourceBudget::reserve(std::uint64_t bytes,
+                                    const std::string& what) {
+  std::uint64_t limit = 0;
+  std::uint64_t available = 0;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (limit_ == 0 || bytes <= available_locked()) {
+      reserved_ += bytes;
+      return Reservation(this, bytes);
+    }
+    limit = limit_;
+    available = available_locked();
+  }
+  const bool transient = bytes <= limit;
+  std::ostringstream os;
+  os << "resource budget exceeded for " << what << ": " << bytes
+     << " bytes requested, " << available << " available of a " << limit
+     << "-byte limit"
+     << (transient ? " (transient: concurrent reservations hold the "
+                     "headroom; retry later)"
+                   : " (permanent: the request can never fit this limit)");
+  throw resource_error(os.str(), bytes, limit, available, transient);
+}
+
+Reservation ResourceBudget::try_reserve(std::uint64_t bytes) {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (limit_ != 0 && bytes > available_locked()) return Reservation();
+  reserved_ += bytes;
+  return Reservation(this, bytes);
+}
+
+}  // namespace nahsp

@@ -1,0 +1,111 @@
+#include "nahsp/common/faultpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace nahsp {
+
+namespace detail {
+std::atomic<bool> g_faultpoints_armed{false};
+}  // namespace detail
+
+namespace {
+
+struct FaultRule {
+  std::uint64_t nth = 1;    // 1-based hit index of the first failure
+  std::uint64_t count = 1;  // consecutive failing hits from `nth`
+  std::uint64_t hits = 0;   // traversals recorded since arming
+};
+
+std::mutex g_mu;
+std::unordered_map<std::string, FaultRule> g_rules;
+
+std::uint64_t parse_count(const std::string& text, const std::string& spec) {
+  if (text.empty() || text.find_first_not_of("0123456789") != std::string::npos)
+    throw std::invalid_argument("NAHSP_FAULT: malformed count in '" + spec +
+                                "' (grammar: point:nth[:count],...)");
+  const std::uint64_t v = std::strtoull(text.c_str(), nullptr, 10);
+  if (v == 0)
+    throw std::invalid_argument("NAHSP_FAULT: counts must be >= 1 in '" +
+                                spec + "'");
+  return v;
+}
+
+// Parses the spec into g_rules (caller holds g_mu).
+void load_spec_locked(const std::string& spec) {
+  g_rules.clear();
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const std::size_t c1 = item.find(':');
+    if (c1 == std::string::npos || c1 == 0)
+      throw std::invalid_argument("NAHSP_FAULT: malformed rule '" + item +
+                                  "' (grammar: point:nth[:count],...)");
+    FaultRule rule;
+    const std::size_t c2 = item.find(':', c1 + 1);
+    if (c2 == std::string::npos) {
+      rule.nth = parse_count(item.substr(c1 + 1), item);
+    } else {
+      rule.nth = parse_count(item.substr(c1 + 1, c2 - c1 - 1), item);
+      rule.count = parse_count(item.substr(c2 + 1), item);
+    }
+    g_rules[item.substr(0, c1)] = rule;
+  }
+  detail::g_faultpoints_armed.store(!g_rules.empty(),
+                                    std::memory_order_relaxed);
+}
+
+// Arms from NAHSP_FAULT at program start — the armed flag must be set
+// before the first call-site guard runs, and guards only reach the
+// parser once the flag is up. A malformed value cannot throw from a
+// static initializer, so it disarms with a diagnostic instead.
+struct EnvArm {
+  EnvArm() {
+    const char* env = std::getenv("NAHSP_FAULT");
+    if (env == nullptr || env[0] == '\0') return;
+    std::lock_guard<std::mutex> lk(g_mu);
+    try {
+      load_spec_locked(env);
+    } catch (const std::invalid_argument& e) {
+      std::fprintf(stderr, "warning: %s; fault injection disarmed\n",
+                   e.what());
+      g_rules.clear();
+      detail::g_faultpoints_armed.store(false, std::memory_order_relaxed);
+    }
+  }
+} g_env_arm;
+
+}  // namespace
+
+namespace detail {
+
+bool faultpoint_check(const char* name) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  const auto it = g_rules.find(name);
+  if (it == g_rules.end()) return false;
+  FaultRule& rule = it->second;
+  ++rule.hits;
+  return rule.hits >= rule.nth && rule.hits < rule.nth + rule.count;
+}
+
+}  // namespace detail
+
+void faultpoint_reset(const std::string& spec) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  load_spec_locked(spec);
+}
+
+std::uint64_t faultpoint_hits(const std::string& name) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  const auto it = g_rules.find(name);
+  return it == g_rules.end() ? 0 : it->second.hits;
+}
+
+}  // namespace nahsp

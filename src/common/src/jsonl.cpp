@@ -1,5 +1,7 @@
 #include "nahsp/common/jsonl.h"
 
+#include "nahsp/common/faultpoint.h"
+
 #include <fcntl.h>
 #include <unistd.h>
 
@@ -83,6 +85,12 @@ JsonlWriter::~JsonlWriter() {
 void JsonlWriter::append(std::string_view line) {
   if (line.find('\n') != std::string_view::npos)
     throw std::invalid_argument("jsonl: record must not contain a newline");
+  // Fault point BEFORE the write: the record is either fully durable or
+  // entirely absent, exactly like a crash between appends. Callers see
+  // the same std::runtime_error a real write failure raises.
+  if (faultpoint_should_fail("ckpt.append"))
+    throw std::runtime_error("jsonl: injected fault (ckpt.append) on '" +
+                             path_ + "'");
   std::string buf(line);
   buf += '\n';
   // O_APPEND makes each write land at the current end of file; loop for

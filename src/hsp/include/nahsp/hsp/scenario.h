@@ -89,4 +89,13 @@ BuiltScenario build_scenario(const std::string& spec_text);
 /// describes the fleet item it is matched to.
 std::string scenario_fingerprint(const BuiltScenario& built);
 
+/// \brief Prices the peak coset-sampler footprint of a built scenario
+/// against the global ResourceBudget LIMIT (qs::plan_sampler), taking
+/// the full group order as the sampler domain — an upper bound, since
+/// the solver routes sample over subgroups and quotients of it. The
+/// returned plan is what admission control acts on: shed when
+/// `over_budget`, otherwise `estimated_bytes` is the price to ledger.
+/// Deterministic: depends only on the scenario and the budget limit.
+qs::SamplerPlan estimate_scenario_bytes(const BuiltScenario& built);
+
 }  // namespace nahsp::hsp

@@ -584,4 +584,8 @@ std::string scenario_fingerprint(const BuiltScenario& built) {
   return fp.str();
 }
 
+qs::SamplerPlan estimate_scenario_bytes(const BuiltScenario& built) {
+  return qs::plan_sampler(built.options.sampler, {built.group_order});
+}
+
 }  // namespace nahsp::hsp

@@ -141,7 +141,19 @@ ShardRunResult run_shard(const std::vector<BuiltScenario>& fleet,
     rec.seconds = item.seconds;
     const std::string line = checkpoint_line(rec);
     std::lock_guard<std::mutex> lock(writer_mu);
-    writer.append(line);
+    // A failed append (disk full, injected ckpt.append fault) is a
+    // clean shed, not a crash: the item simply is not durable and
+    // re-runs on resume. BatchOptions::on_item must never throw into
+    // the solver's worker threads.
+    try {
+      writer.append(line);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "shard %zu: checkpoint append failed (%s); item %zu "
+                   "not durable (will re-run on resume)\n",
+                   opts.shard, e.what(), g);
+      return;
+    }
     ++appended;
     // Fault-injection hook: die the instant the k-th record is durable.
     // SIGKILL, not exit(): nothing may flush, unwind, or tidy up —

@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "nahsp/common/budget.h"
 #include "nahsp/common/check.h"
 #include "nahsp/common/parallel.h"
 #include "nahsp/common/timer.h"
@@ -125,6 +126,9 @@ BatchReport solve_hsp_batch(const std::vector<bb::HspInstance>& instances,
       } catch (const OperationCancelled& e) {
         item.error = e.what();
         item.error_kind = "cancelled";
+      } catch (const resource_error& e) {
+        item.error = e.what();
+        item.error_kind = "resource_error";
       } catch (const std::invalid_argument& e) {
         item.error = e.what();
         item.error_kind = "invalid_argument";

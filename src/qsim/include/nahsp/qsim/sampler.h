@@ -46,6 +46,7 @@
 
 #include "nahsp/bbox/blackbox.h"
 #include "nahsp/common/alias.h"
+#include "nahsp/common/budget.h"
 #include "nahsp/linalg/congruence.h"
 #include "nahsp/qsim/mixedradix.h"
 #include "nahsp/qsim/statevector.h"
@@ -83,10 +84,16 @@ class CosetSampler {
 
   const std::vector<u64>& moduli() const { return moduli_; }
 
+  /// \brief Attaches the budget reservation that covers this sampler's
+  /// peak footprint; released when the sampler is destroyed. Set by
+  /// make_coset_sampler — direct constructions carry no reservation.
+  void adopt_reservation(Reservation r) { reservation_ = std::move(r); }
+
  protected:
   explicit CosetSampler(std::vector<u64> moduli)
       : moduli_(std::move(moduli)) {}
   std::vector<u64> moduli_;
+  Reservation reservation_;
 };
 
 /// \brief Exact mixed-radix statevector backend (any moduli).
@@ -98,6 +105,12 @@ class MixedRadixCosetSampler final : public CosetSampler {
  public:
   MixedRadixCosetSampler(std::vector<u64> moduli, LabelFn f,
                          bb::QueryCounter* counter);
+
+  /// \brief Peak-footprint preflight, in bytes, for this backend over
+  /// the given domain: label cache + outcome-probability vector + the
+  /// two mixed-radix states the distribution build holds live at once.
+  /// Saturates to UINT64_MAX when the domain product overflows.
+  static u64 estimate_bytes(const std::vector<u64>& moduli);
 
   la::AbVec sample_character(Rng& rng) override;
   std::vector<la::AbVec> sample_characters(Rng& rng,
@@ -136,6 +149,12 @@ class QubitCosetSampler final : public CosetSampler {
   QubitCosetSampler(std::vector<u64> moduli, LabelFn f,
                     bb::QueryCounter* counter, int approx_cutoff = 0);
 
+  /// \brief Peak-footprint preflight, in bytes: dense label table plus
+  /// the (in + out)-qubit statevector at the minimum one ancilla bit —
+  /// a lower bound (out_bits is only known after the label sweep), but
+  /// already the right order for admission decisions. Saturates.
+  static u64 estimate_bytes(const std::vector<u64>& moduli);
+
   la::AbVec sample_character(Rng& rng) override;
   std::vector<la::AbVec> sample_characters(Rng& rng,
                                            std::size_t k) override;
@@ -173,6 +192,10 @@ class AnalyticCosetSampler final : public CosetSampler {
   AnalyticCosetSampler(std::vector<u64> moduli,
                        std::vector<la::AbVec> hidden_generators,
                        bb::QueryCounter* counter);
+
+  /// \brief Peak-footprint preflight, in bytes: only the H^perp basis
+  /// (at most rank(moduli) generators) — no statevector ever exists.
+  static u64 estimate_bytes(const std::vector<u64>& moduli);
 
   la::AbVec sample_character(Rng& rng) override;
   std::string backend_name() const override { return "analytic"; }
@@ -215,12 +238,41 @@ struct SamplerChoice {
   u64 subgroup_order_hint = 0;
 };
 
+/// \brief What the factory will build for a choice, after the kAuto
+/// heuristic AND the resource-budget preflight have both spoken.
+struct SamplerPlan {
+  SamplerBackend backend = SamplerBackend::kMixedRadix;  ///< concrete
+  u64 estimated_bytes = 0;  ///< the backend's estimate_bytes preflight
+  /// True when the budget limit pushed an auto-chosen dense backend to
+  /// the sparse engine (the estimate above is then the sparse one).
+  bool degraded = false;
+  /// True when even the planned backend's estimate exceeds the global
+  /// budget LIMIT — make_coset_sampler would throw a permanent
+  /// resource_error. Admission layers use this to shed before queueing.
+  bool over_budget = false;
+};
+
+/// \brief Resolves a choice against the kAuto heuristic and the global
+/// ResourceBudget LIMIT (never the instantaneous headroom, so the plan
+/// is deterministic under concurrency). An auto-chosen dense backend
+/// whose estimate exceeds the limit degrades to sparse when the sparse
+/// estimate fits and the domain is within the sparse sweep budget;
+/// explicit backend requests never degrade. Never throws.
+SamplerPlan plan_sampler(const SamplerChoice& choice,
+                         const std::vector<u64>& moduli);
+
 /// \brief Constructs the chosen oracle-driven backend over the given
 /// domain. kAuto picks: sparse when the subgroup-order hint promises a
 /// small support on a budget-fitting domain, mixed-radix when the
 /// domain fits the dense budget, sparse otherwise (sole engine past
 /// 2^26 amplitudes). kAnalytic is planted-information based and cannot
 /// be built from a label function — the factory rejects it.
+///
+/// Resource budget: the plan's estimate is reserved against
+/// ResourceBudget::global() BEFORE any allocation; the reservation
+/// lives as long as the sampler. An over-limit plan throws a permanent
+/// resource_error, a reservation race (estimate fits the limit but
+/// concurrent holders own the headroom) a transient one.
 std::unique_ptr<CosetSampler> make_coset_sampler(
     const SamplerChoice& choice, std::vector<u64> moduli, LabelFn f,
     bb::QueryCounter* counter);

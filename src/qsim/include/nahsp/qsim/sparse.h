@@ -129,6 +129,14 @@ class SparseCosetSampler final : public CosetSampler {
   SparseCosetSampler(std::vector<u64> moduli, LabelFn f,
                      bb::QueryCounter* counter);
 
+  /// \brief Peak-footprint preflight, in bytes: O(|H| + |A|/|H|)
+  /// entries. With a caller-vouched |H| lower bound the two terms are
+  /// evaluated exactly; without one the balanced worst case 2*sqrt(|A|)
+  /// is assumed (the entry count any |H| splits into at most). The |A|
+  /// label sweep costs time, not memory, so it does not appear here.
+  static u64 estimate_bytes(const std::vector<u64>& moduli,
+                            u64 subgroup_order_hint = 0);
+
   la::AbVec sample_character(Rng& rng) override;
   std::vector<la::AbVec> sample_characters(Rng& rng,
                                            std::size_t k) override;

@@ -3,7 +3,9 @@
 // contract).
 #include "nahsp/qsim/sampler.h"
 
+#include "nahsp/common/budget.h"
 #include "nahsp/common/check.h"
+#include "nahsp/common/faultpoint.h"
 #include "nahsp/qsim/sparse.h"
 #include "sampler_detail.h"
 
@@ -62,28 +64,101 @@ std::string sampler_backend_name(SamplerBackend b) {
   NAHSP_REQUIRE(false, "unknown sampler backend");
 }
 
+SamplerPlan plan_sampler(const SamplerChoice& choice,
+                         const std::vector<u64>& moduli) {
+  SamplerPlan plan;
+  plan.backend = choice.backend == SamplerBackend::kAuto
+                     ? auto_backend(choice, moduli)
+                     : choice.backend;
+  switch (plan.backend) {
+    case SamplerBackend::kMixedRadix:
+      plan.estimated_bytes = MixedRadixCosetSampler::estimate_bytes(moduli);
+      break;
+    case SamplerBackend::kQubit:
+      plan.estimated_bytes = QubitCosetSampler::estimate_bytes(moduli);
+      break;
+    case SamplerBackend::kSparse:
+      plan.estimated_bytes = SparseCosetSampler::estimate_bytes(
+          moduli, choice.subgroup_order_hint);
+      break;
+    default:
+      plan.estimated_bytes = AnalyticCosetSampler::estimate_bytes(moduli);
+      break;
+  }
+  // Budget preflight against the LIMIT only — never the instantaneous
+  // headroom, so the backend choice (and with it the scenario
+  // fingerprint and every golden report) is a pure function of
+  // (choice, moduli, limit) no matter what else is in flight.
+  const u64 limit = ResourceBudget::global().limit();
+  if (limit == 0 || plan.estimated_bytes <= limit) return plan;
+  const bool auto_dense = choice.backend == SamplerBackend::kAuto &&
+                          plan.backend == SamplerBackend::kMixedRadix;
+  if (auto_dense) {
+    const std::size_t sparse_cap = std::size_t{1} << 30;
+    const u64 sparse_bytes = SparseCosetSampler::estimate_bytes(
+        moduli, choice.subgroup_order_hint);
+    if (capped_domain(moduli, sparse_cap) <= sparse_cap &&
+        sparse_bytes <= limit) {
+      plan.backend = SamplerBackend::kSparse;
+      plan.estimated_bytes = sparse_bytes;
+      plan.degraded = true;
+      return plan;
+    }
+  }
+  plan.over_budget = true;
+  return plan;
+}
+
 std::unique_ptr<CosetSampler> make_coset_sampler(
     const SamplerChoice& choice, std::vector<u64> moduli, LabelFn f,
     bb::QueryCounter* counter) {
-  SamplerBackend b = choice.backend;
-  if (b == SamplerBackend::kAuto) b = auto_backend(choice, moduli);
-  switch (b) {
-    case SamplerBackend::kMixedRadix:
-      return std::make_unique<MixedRadixCosetSampler>(std::move(moduli),
-                                                      std::move(f), counter);
-    case SamplerBackend::kQubit:
-      return std::make_unique<QubitCosetSampler>(std::move(moduli),
-                                                 std::move(f), counter,
-                                                 choice.qubit_approx_cutoff);
-    case SamplerBackend::kSparse:
-      return std::make_unique<SparseCosetSampler>(std::move(moduli),
-                                                  std::move(f), counter);
-    default:
-      break;
+  const SamplerPlan plan = plan_sampler(choice, moduli);
+  ResourceBudget& budget = ResourceBudget::global();
+  if (plan.over_budget) {
+    throw resource_error(
+        "coset sampler (" + sampler_backend_name(plan.backend) +
+            ") needs ~" + std::to_string(plan.estimated_bytes) +
+            " bytes, over the " + std::to_string(budget.limit()) +
+            "-byte budget limit",
+        plan.estimated_bytes, budget.limit(), budget.available(),
+        /*transient=*/false);
   }
-  NAHSP_REQUIRE(false,
-                "analytic backend needs planted generators and cannot be "
-                "built from a label function");
+  // Fault point at the allocation boundary: a firing point raises the
+  // same transient resource_error a reservation race would, before any
+  // backend state exists.
+  if (faultpoint_should_fail("alloc.sampler")) {
+    throw resource_error("injected fault (alloc.sampler) building a " +
+                             sampler_backend_name(plan.backend) + " sampler",
+                         plan.estimated_bytes, budget.limit(),
+                         budget.available(), /*transient=*/true);
+  }
+  // Reserve the estimate BEFORE construction; the sampler carries the
+  // reservation for its lifetime. Throws transient resource_error when
+  // concurrent reservations hold the headroom right now.
+  Reservation reservation =
+      budget.reserve(plan.estimated_bytes, "coset sampler");
+  std::unique_ptr<CosetSampler> sampler;
+  switch (plan.backend) {
+    case SamplerBackend::kMixedRadix:
+      sampler = std::make_unique<MixedRadixCosetSampler>(
+          std::move(moduli), std::move(f), counter);
+      break;
+    case SamplerBackend::kQubit:
+      sampler = std::make_unique<QubitCosetSampler>(
+          std::move(moduli), std::move(f), counter,
+          choice.qubit_approx_cutoff);
+      break;
+    case SamplerBackend::kSparse:
+      sampler = std::make_unique<SparseCosetSampler>(std::move(moduli),
+                                                     std::move(f), counter);
+      break;
+    default:
+      NAHSP_REQUIRE(false,
+                    "analytic backend needs planted generators and cannot "
+                    "be built from a label function");
+  }
+  sampler->adopt_reservation(std::move(reservation));
+  return sampler;
 }
 
 }  // namespace nahsp::qs

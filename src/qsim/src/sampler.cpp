@@ -47,6 +47,27 @@ std::vector<la::AbVec> CosetSampler::sample_characters(Rng& rng,
   return out;
 }
 
+// Per-element dense footprint: label cache (8) + probability vector (8)
+// + two complex-double mixed-radix states live at once during the
+// distribution build (2 x 16) = 48 bytes per domain element.
+u64 MixedRadixCosetSampler::estimate_bytes(const std::vector<u64>& moduli) {
+  return detail::saturating_mul(detail::saturating_domain(moduli), 48);
+}
+
+// Dense label table (8) + the (in + out)-qubit statevector at the
+// one-ancilla minimum (16 x 2) = 40 bytes per domain element. A lower
+// bound: out_bits can exceed 1, but never past the qubit budget the
+// constructor enforces anyway.
+u64 QubitCosetSampler::estimate_bytes(const std::vector<u64>& moduli) {
+  return detail::saturating_mul(detail::saturating_domain(moduli), 40);
+}
+
+u64 AnalyticCosetSampler::estimate_bytes(const std::vector<u64>& moduli) {
+  // At most rank(moduli) perp generators of rank(moduli) digits each.
+  const u64 r = static_cast<u64>(moduli.size());
+  return 4096 + detail::saturating_mul(detail::saturating_mul(r, r), 8);
+}
+
 MixedRadixCosetSampler::MixedRadixCosetSampler(std::vector<u64> moduli,
                                                LabelFn f,
                                                bb::QueryCounter* counter)

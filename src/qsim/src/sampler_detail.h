@@ -42,6 +42,28 @@ inline std::size_t dense_domain_size(const std::vector<u64>& moduli) {
   return d;
 }
 
+// Saturating domain product / scale for the estimate_bytes preflights:
+// over-limit domains must price as "infinite", never wrap to a small
+// number that slips past the budget.
+inline u64 saturating_domain(const std::vector<u64>& moduli) {
+  u64 d = 1;
+  for (const u64 m : moduli) {
+    if (m == 0) return UINT64_MAX;
+    if (d > UINT64_MAX / m) return UINT64_MAX;
+    d *= m;
+  }
+  return d;
+}
+
+inline u64 saturating_mul(u64 a, u64 b) {
+  if (a != 0 && b > UINT64_MAX / a) return UINT64_MAX;
+  return a * b;
+}
+
+inline u64 saturating_add(u64 a, u64 b) {
+  return a > UINT64_MAX - b ? UINT64_MAX : a + b;
+}
+
 inline la::AbVec digits_of_index(std::size_t idx,
                                  const std::vector<u64>& moduli) {
   la::AbVec digits(moduli.size());

@@ -202,6 +202,30 @@ std::vector<std::pair<u64, std::complex<double>>> SparseState::entries()
 // SparseCosetSampler
 // ---------------------------------------------------------------------
 
+// O(|H| + |A|/|H|) entries across the coset-state map, class counts,
+// and the enumerated support points. 64 bytes per entry covers the SoA
+// hash slots (key + re + im + metadata at the 70% load target) and the
+// AbVec support points. The |A| label sweep is time, not memory.
+u64 SparseCosetSampler::estimate_bytes(const std::vector<u64>& moduli,
+                                       u64 subgroup_order_hint) {
+  const u64 d = detail::saturating_domain(moduli);
+  u64 entries = 0;
+  if (subgroup_order_hint > 0) {
+    entries =
+        detail::saturating_add(subgroup_order_hint, d / subgroup_order_hint);
+  } else if (d == UINT64_MAX) {
+    entries = UINT64_MAX;
+  } else {
+    // Unknown |H|: price the balanced split (|H| = sqrt(|A|), the
+    // minimum of |H| + |A|/|H|). A heuristic, not a bound — a skewed
+    // split costs more, which the reserve() at build time still tracks
+    // via this same figure; kMaxSparseEntries hard-caps the true cost.
+    entries = 2 * static_cast<u64>(
+                      std::ceil(std::sqrt(static_cast<double>(d))));
+  }
+  return detail::saturating_add(4096, detail::saturating_mul(entries, 64));
+}
+
 SparseCosetSampler::SparseCosetSampler(std::vector<u64> moduli, LabelFn f,
                                        bb::QueryCounter* counter)
     : CosetSampler(std::move(moduli)), f_(std::move(f)), counter_(counter) {

@@ -59,6 +59,15 @@ class LruCache {
     }
   }
 
+  /// \brief Visits every entry oldest-first (reverse recency). This is
+  /// the order a persistence layer writes a snapshot in, so replaying
+  /// it through put() rebuilds both the entries and their recency.
+  template <typename Fn>
+  void for_each_oldest_first(Fn&& fn) const {
+    for (auto it = items_.rbegin(); it != items_.rend(); ++it)
+      fn(it->first, it->second);
+  }
+
   std::size_t size() const { return items_.size(); }
   std::size_t capacity() const { return capacity_; }
   std::uint64_t hits() const { return hits_; }

@@ -46,6 +46,7 @@
 #include <thread>
 #include <vector>
 
+#include "nahsp/common/budget.h"
 #include "nahsp/common/cancel.h"
 #include "nahsp/common/rng.h"
 #include "nahsp/common/timer.h"
@@ -68,6 +69,29 @@ struct ServiceConfig {
   /// Base seed for the per-request SplitRng streams handed to requests
   /// that do not pin `seed=` themselves.
   std::uint64_t base_seed = 0x5e12e5eedULL;
+  /// Byte budget for priced admission (`nahsp serve --max-mem`). When
+  /// nonzero the service installs it as the global ResourceBudget limit
+  /// for its lifetime (restoring the prior limit on destruction — run
+  /// one budgeted service per process), prices every solve request at
+  /// submit time via hsp::estimate_scenario_bytes, and sheds with a
+  /// structured `over_budget` error when the priced ledger of queued +
+  /// in-flight work would exceed it. 0 (the default) disables pricing
+  /// entirely; admission behaves exactly as before.
+  std::uint64_t max_mem_bytes = 0;
+  /// Dispatcher-side retry budget for solves that fail with a TRANSIENT
+  /// resource_error (a reservation race); 0 disables retries.
+  int retry_attempts = 3;
+  /// First backoff delay; retry k sleeps retry_base_ms << (k-1).
+  std::uint64_t retry_base_ms = 10;
+  /// Path for the crash-safe cache snapshot (JSONL, schema
+  /// "nahsp-serve-cache/v1"); "" disables persistence. Loaded on
+  /// construction (a stale schema or torn tail degrades to an empty or
+  /// truncated cache, never a failed start), rewritten atomically
+  /// (tmp + rename) on destruction and periodically while serving.
+  std::string cache_file;
+  /// Snapshot the cache after every N dispatched jobs (when cache_file
+  /// is set); the drain snapshot always runs regardless.
+  std::uint64_t snapshot_every = 32;
 };
 
 /// \brief Counters for the `stats` endpoint. All cumulative since
@@ -84,6 +108,11 @@ struct ServiceStats {
   std::size_t cache_entries = 0;
   std::size_t queue_depth = 0;
   std::size_t in_flight = 0;
+  std::uint64_t jobs_shed = 0;     ///< over_budget admission rejects
+  std::uint64_t retries = 0;       ///< dispatcher backoff retries run
+  std::uint64_t priced_pending_bytes = 0;  ///< ledgered queued+in-flight
+  std::uint64_t cache_loaded = 0;  ///< entries reloaded from a snapshot
+  std::uint64_t cache_snapshots = 0;  ///< snapshots written successfully
 };
 
 /// \brief The daemon core. Construction starts the dispatcher thread;
@@ -133,6 +162,7 @@ class SolverService {
     std::string id_json;     // client id, serialized token ("" = absent)
     std::uint64_t timeout_ms = 0;
     std::uint64_t stream_index = 0;  // admission order, names the RNG stream
+    std::uint64_t priced_bytes = 0;  // admission price held in the ledger
     std::shared_ptr<CancelToken> token;
     Responder respond;
   };
@@ -148,9 +178,17 @@ class SolverService {
 
   void dispatcher_main();
   void run_batch(std::vector<Job>&& jobs);
+  /// Rewrites the cache snapshot (tmp + rename); failures (including an
+  /// armed `cache.snapshot` fault point) keep the previous snapshot.
+  void snapshot_cache();
+  /// Loads cfg_.cache_file under mu_; returns entries restored.
+  std::size_t load_cache_snapshot_locked();
 
   ServiceConfig cfg_;
   Timer uptime_;
+  /// Installs cfg_.max_mem_bytes as the global budget limit for the
+  /// service's lifetime (nullptr when pricing is off).
+  std::unique_ptr<ScopedBudgetLimit> budget_limit_;
 
   mutable std::mutex mu_;
   std::condition_variable queue_cv_;  // dispatcher wakes on work/stop
@@ -165,6 +203,12 @@ class SolverService {
   std::uint64_t jobs_completed_ = 0;
   std::uint64_t jobs_failed_ = 0;
   std::uint64_t jobs_rejected_ = 0;
+  std::uint64_t jobs_shed_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t priced_pending_ = 0;  // bytes ledgered (queued + in flight)
+  std::uint64_t cache_loaded_ = 0;
+  std::uint64_t cache_snapshots_ = 0;
+  std::uint64_t jobs_since_snapshot_ = 0;  // dispatcher-thread only
   LruCache<std::string, CacheEntry> cache_;
   std::atomic<bool> shutdown_requested_{false};
 

@@ -18,6 +18,8 @@
 #include <utility>
 #include <vector>
 
+#include "nahsp/common/faultpoint.h"
+
 namespace nahsp::serve {
 
 namespace {
@@ -130,10 +132,21 @@ struct Connection {
   std::uint64_t id = 0;
   std::string inbuf;
   std::string outbuf;
-  /// Set once the connection must close after its outbuf drains
-  /// (protocol violation such as an oversized line).
+  /// Set once the connection must close after its outbuf drains.
   bool close_after_flush = false;
+  /// Swallowing an oversized line: bytes are discarded through its
+  /// terminating newline, then ONE request_too_large error is sent and
+  /// normal parsing resumes — later pipelined requests stay in sync.
+  bool discarding = false;
 };
+
+// Structured reject for a line beyond max_line_bytes (newline included:
+// it goes straight onto the wire).
+constexpr const char kTooLargeLine[] =
+    "{\"schema\":\"nahsp-serve/v1\",\"type\":\"error\","
+    "\"id\":null,\"ok\":false,\"cached\":false,\"error\":"
+    "{\"code\":\"request_too_large\",\"message\":\"request "
+    "line exceeds the size limit\"}}\n";
 
 // Responses finished on the dispatcher thread, waiting for the I/O
 // thread to pick them up after a wake-pipe byte.
@@ -255,7 +268,12 @@ int run_server(const ServerConfig& cfg) {
       fds.push_back(pollfd{fd, events, 0});
     }
 
-    if (poll(fds.data(), fds.size(), -1) < 0) {
+    // Bounded wait while draining: the dispatcher's last completion
+    // wake can land between the exit test above and this poll (the
+    // service goes idle moments after pushing its final response), and
+    // with no connections left nothing else would ever wake us — so
+    // re-run the exit test on a short tick instead of blocking forever.
+    if (poll(fds.data(), fds.size(), draining ? 50 : -1) < 0) {
       if (errno == EINTR) continue;
       return fail("poll");
     }
@@ -335,44 +353,58 @@ int run_server(const ServerConfig& cfg) {
           }
           break;  // n < 0: EAGAIN (done) or error (caught on next poll)
         }
-        // Process complete lines.
+        // Process complete lines. Oversized lines are DRAINED, never
+        // fatal: the whole line (however it arrives) is consumed
+        // through its newline before the one request_too_large error is
+        // queued, so pipelined requests behind it stay in sync.
         std::size_t start = 0;
-        for (;;) {
-          const std::size_t nl = conn.inbuf.find('\n', start);
-          if (nl == std::string::npos) break;
-          std::string line = conn.inbuf.substr(start, nl - start);
-          start = nl + 1;
-          if (!line.empty() && line.back() == '\r') line.pop_back();
-          if (line.empty()) continue;
-          if (line.size() > cfg.max_line_bytes) {
-            conn.outbuf +=
-                "{\"schema\":\"nahsp-serve/v1\",\"type\":\"error\","
-                "\"id\":null,\"ok\":false,\"cached\":false,\"error\":"
-                "{\"code\":\"request_too_large\",\"message\":\"request "
-                "line exceeds the size limit\"}}\n";
-            conn.close_after_flush = true;
-            break;
+        if (conn.discarding) {
+          const std::size_t nl = conn.inbuf.find('\n');
+          if (nl == std::string::npos) {
+            conn.inbuf.clear();  // still mid-line; keep swallowing
+          } else {
+            conn.outbuf += kTooLargeLine;
+            conn.discarding = false;
+            start = nl + 1;
           }
-          const std::uint64_t conn_id = conn.id;
-          service.submit_line(
-              line, [&completions, conn_id](std::string response) {
-                completions.push(conn_id, std::move(response));
-              });
         }
-        conn.inbuf.erase(0, start);
-        // A line fragment beyond the limit can never complete.
-        if (conn.inbuf.size() > cfg.max_line_bytes) {
-          conn.outbuf +=
-              "{\"schema\":\"nahsp-serve/v1\",\"type\":\"error\","
-              "\"id\":null,\"ok\":false,\"cached\":false,\"error\":"
-              "{\"code\":\"request_too_large\",\"message\":\"request "
-              "line exceeds the size limit\"}}\n";
-          conn.close_after_flush = true;
-          conn.inbuf.clear();
+        if (!conn.discarding) {
+          for (;;) {
+            const std::size_t nl = conn.inbuf.find('\n', start);
+            if (nl == std::string::npos) break;
+            std::string line = conn.inbuf.substr(start, nl - start);
+            start = nl + 1;
+            if (!line.empty() && line.back() == '\r') line.pop_back();
+            if (line.empty()) continue;
+            if (line.size() > cfg.max_line_bytes) {
+              // Fully received and consumed; reject it and move on.
+              conn.outbuf += kTooLargeLine;
+              continue;
+            }
+            const std::uint64_t conn_id = conn.id;
+            service.submit_line(
+                line, [&completions, conn_id](std::string response) {
+                  completions.push(conn_id, std::move(response));
+                });
+          }
+          conn.inbuf.erase(0, start);
+          // A fragment beyond the limit can never be a valid line;
+          // switch to discard mode until its newline shows up.
+          if (conn.inbuf.size() > cfg.max_line_bytes) {
+            conn.discarding = true;
+            conn.inbuf.clear();
+          }
         }
       }
 
       if ((fds[idx].revents & POLLOUT) && !conn.outbuf.empty()) {
+        // Fault point at the transport boundary: an armed fault is a
+        // dead peer — the connection closes cleanly, the daemon and
+        // every other connection keep serving.
+        if (faultpoint_should_fail("transport.write")) {
+          dead.push_back(fd);
+          continue;
+        }
         const ssize_t n =
             write(fd, conn.outbuf.data(), conn.outbuf.size());
         if (n > 0) {

@@ -1,8 +1,13 @@
 #include "nahsp/serve/service.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 #include <sstream>
+#include <thread>
 
+#include "nahsp/common/faultpoint.h"
+#include "nahsp/common/jsonl.h"
 #include "nahsp/common/spec.h"
 #include "nahsp/hsp/instance.h"
 #include "nahsp/hsp/scenario.h"
@@ -33,8 +38,12 @@ std::string envelope_prefix(const char* type, const std::string& id_json,
   return s;
 }
 
+// `extra_fields` is spliced verbatim into the error object (leading
+// comma included) — the over_budget rejects use it for their
+// estimated/available byte counts and retry hint.
 std::string error_line(const std::string& id_json, const std::string& code,
-                       const std::string& message, bool cached = false) {
+                       const std::string& message, bool cached = false,
+                       const std::string& extra_fields = "") {
   std::string s = envelope_prefix("error", id_json, false);
   s += ",\"cached\":";
   s += cached ? "true" : "false";
@@ -42,7 +51,9 @@ std::string error_line(const std::string& id_json, const std::string& code,
   s += cli::json_escape(code);
   s += "\",\"message\":\"";
   s += cli::json_escape(message);
-  s += "\"}}";
+  s += "\"";
+  s += extra_fields;
+  s += "}}";
   return s;
 }
 
@@ -76,11 +87,42 @@ std::string error_code_for(const std::string& error_kind,
   if (error_kind == "oracle_error") return "oracle_error";
   if (error_kind == "retry_exhausted") return "retry_exhausted";
   if (error_kind == "invalid_argument") return "spec_error";
+  if (error_kind == "resource_error") return "over_budget";
   if (error_kind == "cancelled") {
     return token.reason() == CancelToken::Reason::kDeadline ? "timeout"
                                                             : "cancelled";
   }
   return "solver_error";
+}
+
+// ------------------------------------------------- cache persistence
+//
+// Snapshot file: JSONL (common/jsonl.h torn-tail semantics), line 0 a
+// schema header, then one line per entry oldest-first, so replaying
+// through put() rebuilds both the entries and their recency. Reports
+// are stored as escaped JSON strings and replayed byte-identically.
+
+constexpr const char* kCacheSchema = "nahsp-serve-cache/v1";
+
+std::string cache_header_json() {
+  return std::string("{\"schema\":\"") + kCacheSchema + "\"}";
+}
+
+std::string cache_entry_json(const std::string& fingerprint, bool ok,
+                             const std::string& report_json,
+                             const std::string& error_code,
+                             const std::string& error_message) {
+  std::string s = "{\"fp\":\"" + cli::json_escape(fingerprint) +
+                  "\",\"ok\":";
+  s += ok ? "true" : "false";
+  if (ok) {
+    s += ",\"report\":\"" + cli::json_escape(report_json) + "\"";
+  } else {
+    s += ",\"code\":\"" + cli::json_escape(error_code) +
+         "\",\"message\":\"" + cli::json_escape(error_message) + "\"";
+  }
+  s += "}";
+  return s;
 }
 
 }  // namespace
@@ -89,7 +131,15 @@ SolverService::SolverService(const ServiceConfig& cfg)
     : cfg_(cfg),
       cache_(cfg.cache_capacity),
       streams_(cfg.base_seed),
-      dispatcher_([this] { dispatcher_main(); }) {}
+      dispatcher_([this] { dispatcher_main(); }) {
+  if (cfg_.max_mem_bytes > 0) {
+    budget_limit_ = std::make_unique<ScopedBudgetLimit>(cfg_.max_mem_bytes);
+  }
+  if (!cfg_.cache_file.empty()) {
+    std::lock_guard<std::mutex> lk(mu_);
+    cache_loaded_ = load_cache_snapshot_locked();
+  }
+}
 
 SolverService::~SolverService() {
   {
@@ -99,6 +149,118 @@ SolverService::~SolverService() {
   }
   queue_cv_.notify_all();
   dispatcher_.join();
+  // Drain snapshot: the dispatcher has retired every job by now, so
+  // this persists the final cache (the SIGTERM drain path destroys the
+  // service before the process exits).
+  if (!cfg_.cache_file.empty()) snapshot_cache();
+  // budget_limit_ (destroyed after this body) restores the prior
+  // global limit only once no solver work can reserve against it.
+}
+
+std::size_t SolverService::load_cache_snapshot_locked() {
+  const JsonlFile file = read_jsonl(cfg_.cache_file);
+  if (file.torn_tail) {
+    std::fprintf(stderr,
+                 "nahsp serve: cache snapshot '%s' has a torn final line "
+                 "(crashed writer?); skipping it\n",
+                 cfg_.cache_file.c_str());
+  }
+  if (file.lines.empty()) return 0;
+  try {
+    const JsonValue header = parse_json(file.lines[0]);
+    const JsonValue* schema =
+        header.is_object() ? header.find("schema") : nullptr;
+    if (schema == nullptr || !schema->is_string() ||
+        schema->string_value != kCacheSchema) {
+      std::fprintf(stderr,
+                   "nahsp serve: cache snapshot '%s' has an unknown "
+                   "schema; starting with an empty cache\n",
+                   cfg_.cache_file.c_str());
+      return 0;
+    }
+  } catch (const std::exception&) {
+    std::fprintf(stderr,
+                 "nahsp serve: cache snapshot '%s' header is not JSON; "
+                 "starting with an empty cache\n",
+                 cfg_.cache_file.c_str());
+    return 0;
+  }
+  std::size_t loaded = 0;
+  for (std::size_t i = 1; i < file.lines.size(); ++i) {
+    try {
+      const JsonValue v = parse_json(file.lines[i]);
+      const JsonValue* fp = v.is_object() ? v.find("fp") : nullptr;
+      const JsonValue* ok = v.is_object() ? v.find("ok") : nullptr;
+      if (fp == nullptr || !fp->is_string() || ok == nullptr ||
+          !ok->is_bool())
+        throw JsonParseError("cache entry missing fp/ok");
+      CacheEntry entry;
+      entry.ok = ok->bool_value;
+      if (entry.ok) {
+        const JsonValue* report = v.find("report");
+        if (report == nullptr || !report->is_string() ||
+            report->string_value.empty())
+          throw JsonParseError("cache entry missing report");
+        entry.report_json = report->string_value;
+      } else {
+        const JsonValue* code = v.find("code");
+        const JsonValue* message = v.find("message");
+        if (code == nullptr || !code->is_string() || message == nullptr ||
+            !message->is_string())
+          throw JsonParseError("cache entry missing code/message");
+        entry.error_code = code->string_value;
+        entry.error_message = message->string_value;
+      }
+      cache_.put(fp->string_value, std::move(entry));
+      ++loaded;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "nahsp serve: cache snapshot '%s' line %zu is "
+                   "malformed (%s); skipping it\n",
+                   cfg_.cache_file.c_str(), i + 1, e.what());
+    }
+  }
+  return loaded;
+}
+
+void SolverService::snapshot_cache() {
+  // Collect under the lock, write outside it — the I/O thread must not
+  // stall on fsync while we persist.
+  std::vector<std::string> lines;
+  lines.push_back(cache_header_json());
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    cache_.for_each_oldest_first(
+        [&](const std::string& fp, const CacheEntry& e) {
+          lines.push_back(cache_entry_json(fp, e.ok, e.report_json,
+                                           e.error_code, e.error_message));
+        });
+  }
+  const std::string tmp = cfg_.cache_file + ".tmp";
+  try {
+    std::remove(tmp.c_str());  // a previous failed snapshot's leftovers
+    {
+      JsonlWriter writer(tmp);
+      for (const std::string& line : lines) writer.append(line);
+      // Fault point at the snapshot boundary: firing after the writes
+      // but before the rename proves an interrupted snapshot never
+      // replaces (or tears) the previous good file.
+      if (faultpoint_should_fail("cache.snapshot"))
+        throw std::runtime_error("injected fault (cache.snapshot) on '" +
+                                 tmp + "'");
+    }
+    if (std::rename(tmp.c_str(), cfg_.cache_file.c_str()) != 0)
+      throw std::runtime_error("rename to '" + cfg_.cache_file +
+                               "' failed");
+    std::lock_guard<std::mutex> lk(mu_);
+    ++cache_snapshots_;
+  } catch (const std::exception& e) {
+    std::remove(tmp.c_str());
+    std::fprintf(stderr,
+                 "nahsp serve: cache snapshot failed (%s); keeping the "
+                 "previous snapshot\n",
+                 e.what());
+  }
 }
 
 void SolverService::begin_drain() {
@@ -140,6 +302,11 @@ ServiceStats SolverService::stats() const {
   s.cache_entries = cache_.size();
   s.queue_depth = queue_.size();
   s.in_flight = in_flight_;
+  s.jobs_shed = jobs_shed_;
+  s.retries = retries_;
+  s.priced_pending_bytes = priced_pending_;
+  s.cache_loaded = cache_loaded_;
+  s.cache_snapshots = cache_snapshots_;
   return s;
 }
 
@@ -156,6 +323,11 @@ void SolverService::submit_line(const std::string& line, Responder respond) {
   };
 
   try {
+    // Fault point at the admission boundary: an armed fault resolves to
+    // a structured internal_error reject through the catch below — the
+    // connection and the daemon survive.
+    if (faultpoint_should_fail("serve.submit"))
+      throw std::runtime_error("injected fault (serve.submit)");
     const JsonValue req = parse_json(line);
     if (!req.is_object())
       return reject("bad_request", "request must be a JSON object");
@@ -193,10 +365,14 @@ void SolverService::submit_line(const std::string& line, Responder respond) {
       w.field("jobs_completed", s.jobs_completed);
       w.field("jobs_failed", s.jobs_failed);
       w.field("jobs_rejected", s.jobs_rejected);
+      w.field("jobs_shed", s.jobs_shed);
+      w.field("retries", s.retries);
       w.field("queue_depth", static_cast<std::uint64_t>(s.queue_depth));
       w.field("in_flight", static_cast<std::uint64_t>(s.in_flight));
       w.field("workers", static_cast<std::uint64_t>(cfg_.workers));
       w.field("queue_limit", static_cast<std::uint64_t>(cfg_.queue_limit));
+      w.field("max_mem_bytes", cfg_.max_mem_bytes);
+      w.field("priced_pending_bytes", s.priced_pending_bytes);
       w.key("cache");
       w.begin_object();
       w.field("hits", s.cache_hits);
@@ -204,6 +380,8 @@ void SolverService::submit_line(const std::string& line, Responder respond) {
       w.field("evictions", s.cache_evictions);
       w.field("entries", static_cast<std::uint64_t>(s.cache_entries));
       w.field("capacity", static_cast<std::uint64_t>(cfg_.cache_capacity));
+      w.field("loaded", s.cache_loaded);
+      w.field("snapshots", s.cache_snapshots);
       const std::uint64_t lookups = s.cache_hits + s.cache_misses;
       w.field("hit_rate",
               lookups == 0
@@ -250,14 +428,60 @@ void SolverService::submit_line(const std::string& line, Responder respond) {
       return reject("spec_error", e.what());
     }
 
+    // Priced admission (--max-mem): estimate the request's peak sampler
+    // footprint by building the scenario here and discarding it — the
+    // dispatcher rebuilds, so a request whose CONSTRUCTION fails is
+    // still admitted and fails at dispatch with the usual accounting.
+    // A request whose ESTIMATE can never fit the budget is shed now,
+    // before any solver work, with the numbers on the wire.
+    std::uint64_t priced_bytes = 0;
+    if (cfg_.max_mem_bytes > 0) {
+      bool priced = false;
+      qs::SamplerPlan plan;
+      try {
+        // Parse and consume the serve-level seed key first, exactly as
+        // the dispatcher's prepare stage does — build_scenario rejects
+        // keys it does not own.
+        ScenarioSpec sspec = parse_scenario_line(spec->string_value);
+        (void)sspec.params.get_u64("seed", 0);
+        plan = hsp::estimate_scenario_bytes(hsp::build_scenario(sspec));
+        priced = true;
+      } catch (const std::exception&) {
+      }
+      if (priced && plan.over_budget) {
+        std::uint64_t available = 0;
+        {
+          std::lock_guard<std::mutex> lk(mu_);
+          ++jobs_rejected_;
+          ++jobs_shed_;
+          available = cfg_.max_mem_bytes -
+                      std::min(priced_pending_, cfg_.max_mem_bytes);
+        }
+        respond(error_line(
+            id_json, "over_budget",
+            "request needs ~" + std::to_string(plan.estimated_bytes) +
+                " bytes, over the " + std::to_string(cfg_.max_mem_bytes) +
+                "-byte --max-mem budget; it can never be admitted",
+            /*cached=*/false,
+            ",\"estimated_bytes\":" + std::to_string(plan.estimated_bytes) +
+                ",\"available_bytes\":" + std::to_string(available) +
+                ",\"limit_bytes\":" + std::to_string(cfg_.max_mem_bytes)));
+        return;
+      }
+      if (priced) priced_bytes = plan.estimated_bytes;
+    }
+
     Job job;
     job.spec_line = spec->string_value;
     job.id_json = id_json;
     job.timeout_ms = timeout_ms;
+    job.priced_bytes = priced_bytes;
     job.token = std::make_shared<CancelToken>();
     job.respond = std::move(respond);
     bool queue_full = false;
     bool shutting_down = false;
+    bool over_budget = false;
+    std::uint64_t available = 0;
     {
       std::lock_guard<std::mutex> lk(mu_);
       if (draining_) {
@@ -266,8 +490,18 @@ void SolverService::submit_line(const std::string& line, Responder respond) {
       } else if (queue_.size() >= cfg_.queue_limit) {
         ++jobs_rejected_;
         queue_full = true;
+      } else if (job.priced_bytes > 0 &&
+                 priced_pending_ + job.priced_bytes > cfg_.max_mem_bytes) {
+        // Transient shed: the request fits the budget alone, but the
+        // ledger of queued + in-flight work doesn't have the headroom.
+        ++jobs_rejected_;
+        ++jobs_shed_;
+        available = cfg_.max_mem_bytes -
+                    std::min(priced_pending_, cfg_.max_mem_bytes);
+        over_budget = true;
       } else {
         job.stream_index = next_stream_index_++;
+        priced_pending_ += job.priced_bytes;
         ++jobs_received_;
         queue_.push_back(std::move(job));
       }
@@ -286,6 +520,20 @@ void SolverService::submit_line(const std::string& line, Responder respond) {
                                  " jobs); retry later"));
       return;
     }
+    if (over_budget) {
+      const std::uint64_t retry_after_ms =
+          cfg_.retry_base_ms << std::max(cfg_.retry_attempts, 1);
+      job.respond(error_line(
+          id_json, "over_budget",
+          "priced admission ledger is full (" +
+              std::to_string(job.priced_bytes) + " bytes requested, " +
+              std::to_string(available) + " available); retry later",
+          /*cached=*/false,
+          ",\"estimated_bytes\":" + std::to_string(job.priced_bytes) +
+              ",\"available_bytes\":" + std::to_string(available) +
+              ",\"retry_after_ms\":" + std::to_string(retry_after_ms)));
+      return;
+    }
     queue_cv_.notify_one();
   } catch (const JsonParseError& e) {
     reject("bad_json", e.what());
@@ -298,6 +546,7 @@ void SolverService::submit_line(const std::string& line, Responder respond) {
 void SolverService::dispatcher_main() {
   for (;;) {
     std::vector<Job> batch;
+    std::uint64_t batch_priced = 0;
     {
       std::unique_lock<std::mutex> lk(mu_);
       queue_cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
@@ -315,16 +564,30 @@ void SolverService::dispatcher_main() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
         in_flight_tokens_.push_back(batch.back().token);
+        batch_priced += batch.back().priced_bytes;
       }
       in_flight_ = batch.size();
     }
+    const std::size_t batch_size = batch.size();
     run_batch(std::move(batch));
+    bool do_snapshot = false;
     {
       std::lock_guard<std::mutex> lk(mu_);
       in_flight_ = 0;
       in_flight_tokens_.clear();
+      // Every job in the batch has been answered; return its admission
+      // price to the ledger so new submissions can be admitted.
+      priced_pending_ -= std::min(batch_priced, priced_pending_);
       if (queue_.empty()) idle_cv_.notify_all();
     }
+    if (!cfg_.cache_file.empty() && cfg_.snapshot_every > 0) {
+      jobs_since_snapshot_ += batch_size;
+      if (jobs_since_snapshot_ >= cfg_.snapshot_every) {
+        jobs_since_snapshot_ = 0;
+        do_snapshot = true;
+      }
+    }
+    if (do_snapshot) snapshot_cache();
   }
 }
 
@@ -335,6 +598,8 @@ void SolverService::run_batch(std::vector<Job>&& jobs) {
     hsp::BuiltScenario built;
     std::uint64_t report_seed;
     std::string fingerprint;
+    bool explicit_seed = false;
+    std::uint64_t seed = 0;
   };
   std::vector<Prepared> ready;
   std::vector<Rng> rngs;
@@ -404,7 +669,8 @@ void SolverService::run_batch(std::vector<Job>&& jobs) {
       continue;
     }
 
-    ready.push_back(Prepared{j, std::move(built), 0, std::move(fp)});
+    ready.push_back(Prepared{j, std::move(built), 0, std::move(fp),
+                             explicit_seed, seed});
     Prepared& prep = ready.back();
     if (explicit_seed) {
       prep.report_seed = seed;
@@ -433,23 +699,18 @@ void SolverService::run_batch(std::vector<Job>&& jobs) {
 
   const hsp::BatchReport report = hsp::solve_hsp_batch(instances, bopts);
 
-  for (std::size_t k = 0; k < ready.size(); ++k) {
-    Prepared& prep = ready[k];
-    const Job& job = jobs[prep.job_index];
-    const hsp::BatchItemReport& item = report.items[k];
-    SolveOutcome out =
-        outcome_from_batch_item(std::move(prep.built), item);
+  const auto deliver = [&](const Job& job, const std::string& fingerprint,
+                           SolveOutcome&& out, std::uint64_t report_seed) {
     if (out.success) {
       // Kernels run serially inside batch tasks (the pool's nested-
       // region guard), so every request's solve is a width-1 run — the
       // report says so regardless of the batch fan-out.
       const std::string report_json =
-          report_json_for(out, prep.report_seed, /*threads=*/1);
+          report_json_for(out, report_seed, /*threads=*/1);
       {
         std::lock_guard<std::mutex> lk(mu_);
         ++jobs_completed_;
-        cache_.put(prep.fingerprint,
-                   CacheEntry{true, report_json, "", ""});
+        cache_.put(fingerprint, CacheEntry{true, report_json, "", ""});
       }
       job.respond(result_line(job.id_json, report_json, /*cached=*/false));
     } else {
@@ -458,12 +719,118 @@ void SolverService::run_batch(std::vector<Job>&& jobs) {
         std::lock_guard<std::mutex> lk(mu_);
         ++jobs_failed_;
         // Completed failures are as deterministic as successes; timed
-        // out or cancelled runs are circumstantial and never cached.
-        if (out.error_kind != "cancelled")
-          cache_.put(prep.fingerprint,
-                     CacheEntry{false, "", code, out.error});
+        // out, cancelled, or budget-starved runs are circumstantial
+        // and never cached.
+        if (out.error_kind != "cancelled" &&
+            out.error_kind != "resource_error")
+          cache_.put(fingerprint, CacheEntry{false, "", code, out.error});
       }
       job.respond(error_line(job.id_json, code, out.error));
+    }
+  };
+
+  // Jobs whose solve raised a resource_error (a budget reservation
+  // race or an injected allocation fault) are held back for the
+  // backoff-retry pass below instead of bouncing the failure.
+  struct RetryItem {
+    std::size_t job_index;
+    bool explicit_seed;
+    std::uint64_t seed;
+    std::uint64_t report_seed;
+    std::string fingerprint;
+    std::string last_error;
+  };
+  std::vector<RetryItem> retry_items;
+
+  for (std::size_t k = 0; k < ready.size(); ++k) {
+    Prepared& prep = ready[k];
+    const Job& job = jobs[prep.job_index];
+    const hsp::BatchItemReport& item = report.items[k];
+    if (!item.success && item.error_kind == "resource_error" &&
+        cfg_.retry_attempts > 0) {
+      retry_items.push_back(RetryItem{prep.job_index, prep.explicit_seed,
+                                      prep.seed, prep.report_seed,
+                                      std::move(prep.fingerprint),
+                                      item.error});
+      continue;
+    }
+    deliver(job, prep.fingerprint,
+            outcome_from_batch_item(std::move(prep.built), item),
+            prep.report_seed);
+  }
+
+  // Bounded exponential-backoff retry: attempt k sleeps
+  // retry_base_ms << (k-1), re-runs the solve as a width-1 batch with
+  // a freshly derived RNG (stream(i) is a pure function of (base_seed,
+  // i), so the retry draws exactly the randomness the first attempt
+  // did), and stops on any non-resource outcome. Cancellation always
+  // wins: a token fired during backoff reports `cancelled` (or
+  // `timeout`), never `over_budget`.
+  for (RetryItem& r : retry_items) {
+    const Job& job = jobs[r.job_index];
+    bool resolved = false;
+    bool cancelled = job.token->cancelled();
+    for (int attempt = 1;
+         attempt <= cfg_.retry_attempts && !resolved && !cancelled;
+         ++attempt) {
+      {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++retries_;
+      }
+      // Sliced sleep so a cancellation mid-backoff is seen promptly.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(cfg_.retry_base_ms << (attempt - 1));
+      while (std::chrono::steady_clock::now() < deadline) {
+        if (job.token->cancelled()) {
+          cancelled = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (cancelled) break;
+      try {
+        // Same route as the prepare stage: parse, consume the serve-
+        // level seed key, then build — so scenario construction sees
+        // exactly the keys it saw at dispatch.
+        ScenarioSpec spec = parse_scenario_line(job.spec_line);
+        (void)spec.params.get_u64("seed", 0);
+        hsp::BuiltScenario built = hsp::build_scenario(spec);
+        std::vector<bb::HspInstance> retry_instances{built.instance};
+        hsp::BatchOptions ropts;
+        ropts.threads = 1;
+        ropts.per_instance_rng.push_back(
+            r.explicit_seed
+                ? Rng(r.seed)
+                : streams_.stream(
+                      static_cast<std::size_t>(job.stream_index)));
+        hsp::AutoOptions auto_opts = built.options;
+        auto_opts.cancel = job.token;
+        ropts.per_instance.push_back(std::move(auto_opts));
+        const hsp::BatchReport retry_report =
+            hsp::solve_hsp_batch(retry_instances, ropts);
+        const hsp::BatchItemReport& item = retry_report.items[0];
+        if (!item.success && item.error_kind == "resource_error") {
+          r.last_error = item.error;
+          continue;
+        }
+        deliver(job, r.fingerprint,
+                outcome_from_batch_item(std::move(built), item),
+                r.report_seed);
+        resolved = true;
+      } catch (const std::exception& e) {
+        // The scenario built at dispatch; a rebuild failure here is
+        // unexpected — surface it instead of spinning.
+        fail(job, "solver_error", e.what());
+        resolved = true;
+      }
+    }
+    if (resolved) continue;
+    if (cancelled || job.token->cancelled()) {
+      fail(job, error_code_for("cancelled", *job.token),
+           "cancelled during budget retry");
+    } else {
+      fail(job, "over_budget", r.last_error);
     }
   }
 }

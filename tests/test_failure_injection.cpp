@@ -3,8 +3,14 @@
 // never as silently wrong answers.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+
 #include "nahsp/bbox/hiding.h"
+#include "nahsp/common/budget.h"
 #include "nahsp/common/check.h"
+#include "nahsp/common/faultpoint.h"
+#include "nahsp/common/jsonl.h"
 #include "nahsp/common/rng.h"
 #include "nahsp/groups/dihedral.h"
 #include "nahsp/groups/heisenberg.h"
@@ -107,6 +113,66 @@ TEST(FailureInjection, SimulatorGuardsStateBudget) {
   EXPECT_THROW(
       qs::MixedRadixCosetSampler({1u << 20, 1u << 20}, label, nullptr),
       std::invalid_argument);
+}
+
+// ------------------------------------------------ injected fault points
+
+// Scoped disarm so a failing assertion cannot leak an armed harness
+// into later tests.
+struct FaultGuard {
+  explicit FaultGuard(const std::string& spec) { faultpoint_reset(spec); }
+  ~FaultGuard() { faultpoint_reset(""); }
+};
+
+TEST(FailureInjection, ArmedSamplerFaultIsTransientAndClears) {
+  FaultGuard guard("alloc.sampler:1:1");
+  const std::vector<u64> mods{3, 3};
+  qs::LabelFn label = [](const la::AbVec& x) { return x[0]; };
+  try {
+    (void)qs::make_coset_sampler({}, mods, label, nullptr);
+    FAIL() << "armed fault did not fire";
+  } catch (const resource_error& e) {
+    EXPECT_TRUE(e.transient());  // a shed allocation, not a hard reject
+  }
+  // The rule is spent: the same construction now succeeds, and the
+  // sampler it returns works.
+  const auto sampler = qs::make_coset_sampler({}, mods, label, nullptr);
+  Rng rng(7);
+  (void)sampler->sample_character(rng);
+  EXPECT_EQ(faultpoint_hits("alloc.sampler"), 2u);
+}
+
+TEST(FailureInjection, CheckpointAppendFaultLeavesTheFileIntact) {
+  const std::string path =
+      ::testing::TempDir() + "nahsp_fault_ckpt.jsonl";
+  std::remove(path.c_str());
+  {
+    JsonlWriter w(path);
+    w.append("{\"g\":0}");
+    FaultGuard guard("ckpt.append:1");
+    EXPECT_THROW(w.append("{\"g\":1}"), std::runtime_error);
+    // The armed rule is spent; the writer keeps working.
+    w.append("{\"g\":2}");
+  }
+  const JsonlFile r = read_jsonl(path);
+  ASSERT_EQ(r.lines.size(), 2u);  // the faulted line was never written
+  EXPECT_EQ(r.lines[0], "{\"g\":0}");
+  EXPECT_EQ(r.lines[1], "{\"g\":2}");
+  EXPECT_FALSE(r.torn_tail);
+  std::remove(path.c_str());
+}
+
+TEST(FailureInjection, FaultPointsAreDisarmedByAnEmptySpec) {
+  faultpoint_reset("ckpt.append:1");
+  EXPECT_TRUE(faultpoints_armed());
+  faultpoint_reset("");
+  EXPECT_FALSE(faultpoints_armed());
+  const std::string path =
+      ::testing::TempDir() + "nahsp_fault_disarmed.jsonl";
+  std::remove(path.c_str());
+  JsonlWriter w(path);
+  w.append("{\"g\":0}");  // would throw if the rule had leaked
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -6,6 +6,9 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iterator>
 #include <limits>
 #include <mutex>
@@ -14,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "nahsp/common/faultpoint.h"
 #include "nahsp/common/rng.h"
 #include "nahsp/common/spec.h"
 #include "nahsp/hsp/scenario.h"
@@ -567,6 +571,306 @@ TEST(Service, ConcurrentMixedClientsAllGetAnswers) {
   EXPECT_EQ(s.jobs_rejected, 2u);  // garbage + unknown cmd
   EXPECT_EQ(s.queue_depth, 0u);
   EXPECT_EQ(s.in_flight, 0u);
+}
+
+// ------------------------------------------- budgeted admission + retry
+
+// elem_abelian2 k=12 prices at 48 * 2^12 = 196608 bytes dense; the
+// sparse fallback (no subgroup hint) at 4096 + 64 * 2 * 64 = 12288
+// bytes. A 100000-byte --max-mem therefore forces the auto backend to
+// degrade and permanently sheds an explicit mixed-radix request.
+constexpr std::uint64_t kDenseK12 = 196608;
+constexpr std::uint64_t kSparseK12 = 12288;
+
+std::uint64_t u64_field(const JsonValue& v, const char* key) {
+  const JsonValue* f = v.find(key);
+  if (f == nullptr || !f->is_number()) {
+    ADD_FAILURE() << "missing numeric field '" << key << "'";
+    return 0;
+  }
+  return f->as_u64();
+}
+
+TEST(Service, OverBudgetRequestIsShedWithTheNumbers) {
+  Collector col;  // outlives svc: the dispatcher joins before col dies
+  ServiceConfig cfg = small_config();
+  cfg.max_mem_bytes = 100000;
+  SolverService svc(cfg);
+  svc.submit_line(
+      "{\"cmd\": \"solve\", \"id\": 1,"
+      " \"spec\": \"elem_abelian2 k=12 backend=mixed-radix\"}",
+      col.responder());
+  const JsonValue v = parse_json(col.wait_line(0));
+  EXPECT_EQ(str_field(v, "type"), "error");
+  EXPECT_EQ(error_code(v), "over_budget");
+  const JsonValue* e = v.find("error");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(u64_field(*e, "estimated_bytes"), kDenseK12);
+  EXPECT_EQ(u64_field(*e, "limit_bytes"), 100000u);
+  EXPECT_EQ(u64_field(*e, "available_bytes"), 100000u);
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.jobs_shed, 1u);
+  EXPECT_EQ(s.jobs_rejected, 1u);
+  EXPECT_EQ(s.jobs_received, 0u);  // shed before admission
+}
+
+TEST(Service, AutoBackendDegradesUnderBudgetAndSolves) {
+  Collector col;  // outlives svc: the dispatcher joins before col dies
+  ServiceConfig cfg = small_config();
+  cfg.max_mem_bytes = 100000;
+  SolverService svc(cfg);
+  svc.submit_line(
+      "{\"cmd\": \"solve\", \"id\": 2, \"spec\": \"elem_abelian2 k=12\"}",
+      col.responder());
+  const JsonValue v = parse_json(col.wait_line(0));
+  EXPECT_EQ(str_field(v, "type"), "result") << col.wait_line(0);
+  EXPECT_TRUE(v.find("ok")->bool_value);
+  const ServiceStats s = svc.stats();
+  EXPECT_EQ(s.jobs_shed, 0u);
+  EXPECT_EQ(s.jobs_completed, 1u);
+}
+
+TEST(Service, LedgerFullShedsTransientlyWithRetryHint) {
+  // Park job 1 in the budget-retry backoff (every sampler construction
+  // sheds) so it holds its priced bytes while job 2 arrives: the ledger
+  // is deterministically full, no race against the solver.
+  faultpoint_reset("alloc.sampler:1:1000000");
+  {
+    Collector col;  // outlives svc: the dispatcher joins before col dies
+    ServiceConfig cfg = small_config();
+    cfg.workers = 1;
+    cfg.retry_attempts = 4;
+    cfg.retry_base_ms = 400;
+    // Room for exactly one sparse-degraded k=12 job.
+    cfg.max_mem_bytes = kSparseK12 + 100;
+    SolverService svc(cfg);
+    svc.submit_line(
+        "{\"cmd\": \"solve\", \"id\": 1,"
+        " \"spec\": \"elem_abelian2 k=12 seed=1\"}",
+        col.responder());
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (svc.stats().retries == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GE(svc.stats().retries, 1u);
+    svc.submit_line(
+        "{\"cmd\": \"solve\", \"id\": 2,"
+        " \"spec\": \"elem_abelian2 k=12 seed=2\"}",
+        col.responder());
+    // Job 1 is still mid-backoff, so job 2's shed answers first.
+    const JsonValue shed = parse_json(col.wait_line(0));
+    EXPECT_EQ(shed.find("id")->as_u64(), 2u);
+    EXPECT_EQ(error_code(shed), "over_budget");
+    const JsonValue* e = shed.find("error");
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(u64_field(*e, "estimated_bytes"), kSparseK12);
+    EXPECT_GT(u64_field(*e, "retry_after_ms"), 0u);
+    EXPECT_LT(u64_field(*e, "available_bytes"), kSparseK12);
+    EXPECT_EQ(svc.stats().jobs_shed, 1u);
+    EXPECT_EQ(svc.stats().priced_pending_bytes, kSparseK12);
+    svc.cancel_all();
+    const JsonValue v = parse_json(col.wait_line(1));
+    EXPECT_EQ(v.find("id")->as_u64(), 1u);
+    EXPECT_EQ(error_code(v), "cancelled");
+  }
+  faultpoint_reset("");
+}
+
+TEST(Service, TransientResourceErrorRetriesAndSucceeds) {
+  faultpoint_reset("alloc.sampler:1:1");  // first construction only
+  {
+    Collector col;  // outlives svc: the dispatcher joins before col dies
+    ServiceConfig cfg = small_config();
+    cfg.retry_attempts = 3;
+    cfg.retry_base_ms = 1;
+    SolverService svc(cfg);
+    svc.submit_line(
+        "{\"cmd\": \"solve\", \"id\": 3, \"spec\": \"elem_abelian2 seed=3\"}",
+        col.responder());
+    const JsonValue v = parse_json(col.wait_line(0));
+    EXPECT_EQ(str_field(v, "type"), "result") << col.wait_line(0);
+    EXPECT_TRUE(v.find("ok")->bool_value);
+    EXPECT_GE(svc.stats().retries, 1u);
+  }
+  faultpoint_reset("");
+}
+
+TEST(Service, ExhaustedRetriesReportOverBudget) {
+  faultpoint_reset("alloc.sampler:1:1000000");  // every construction
+  {
+    Collector col;  // outlives svc: the dispatcher joins before col dies
+    ServiceConfig cfg = small_config();
+    cfg.retry_attempts = 2;
+    cfg.retry_base_ms = 1;
+    SolverService svc(cfg);
+    svc.submit_line(
+        "{\"cmd\": \"solve\", \"id\": 4, \"spec\": \"elem_abelian2 seed=4\"}",
+        col.responder());
+    const JsonValue v = parse_json(col.wait_line(0));
+    EXPECT_EQ(error_code(v), "over_budget") << col.wait_line(0);
+    EXPECT_EQ(svc.stats().retries, 2u);
+    EXPECT_EQ(svc.stats().jobs_failed, 1u);
+  }
+  faultpoint_reset("");
+}
+
+// The ISSUE's cancellation race: a token fired while the dispatcher is
+// in its budget-retry backoff must report `cancelled`, never
+// `over_budget` — and the response line must be bit-identical whether
+// the service runs 1 worker or 4.
+std::string cancel_during_retry_response(int workers) {
+  faultpoint_reset("alloc.sampler:1:1000000");  // every attempt sheds
+  std::string line;
+  {
+    Collector col;  // outlives svc: the dispatcher joins before col dies
+    ServiceConfig cfg = small_config();
+    cfg.workers = workers;
+    cfg.retry_attempts = 4;
+    cfg.retry_base_ms = 400;  // backoff dwarfs the failed solve attempt
+    SolverService svc(cfg);
+    svc.submit_line(
+        "{\"cmd\": \"solve\", \"id\": 42, \"spec\": \"elem_abelian2 seed=9\"}",
+        col.responder());
+    // Wait for the first backoff to begin, then cancel into it. The
+    // retry loop polls the token in 1 ms slices of a 400 ms sleep, so
+    // the cancellation is observed mid-backoff.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (svc.stats().retries == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_GE(svc.stats().retries, 1u);
+    svc.cancel_all();
+    line = col.wait_line(0);
+  }
+  faultpoint_reset("");
+  return line;
+}
+
+TEST(Service, CancelDuringBudgetRetryReportsCancelledBitIdentically) {
+  const std::string w1 = cancel_during_retry_response(1);
+  const JsonValue v = parse_json(w1);
+  EXPECT_EQ(error_code(v), "cancelled");
+  EXPECT_EQ(str_field(*v.find("error"), "message"),
+            "cancelled during budget retry");
+  const std::string w4 = cancel_during_retry_response(4);
+  EXPECT_EQ(w1, w4);  // bit-identical at widths 1 and 4
+}
+
+// ------------------------------------------------- cache persistence
+
+TEST(Service, CacheSnapshotRoundTripReplaysAcrossRestart) {
+  const std::string path =
+      ::testing::TempDir() + "nahsp_serve_cache_roundtrip.jsonl";
+  std::remove(path.c_str());
+  ServiceConfig cfg = small_config();
+  cfg.cache_file = path;
+  const std::string req =
+      "{\"cmd\": \"solve\", \"id\": 1, \"spec\": \"dihedral seed=5\"}";
+  std::string first;
+  {
+    Collector col;
+    SolverService svc(cfg);
+    svc.submit_line(req, col.responder());
+    first = col.wait_line(0);
+    EXPECT_EQ(str_field(parse_json(first), "type"), "result");
+  }  // dtor drains and snapshots
+  {
+    Collector col;
+    SolverService svc(cfg);
+    EXPECT_GE(svc.stats().cache_loaded, 1u);
+    svc.submit_line(req, col.responder());
+    std::string replay = col.wait_line(0);
+    const JsonValue v = parse_json(replay);
+    ASSERT_NE(v.find("cached"), nullptr);
+    EXPECT_TRUE(v.find("cached")->bool_value);
+    // Byte-identical to the original response modulo the cached flag.
+    const std::string::size_type at = replay.find("\"cached\":true");
+    ASSERT_NE(at, std::string::npos);
+    replay.replace(at, 13, "\"cached\":false");
+    EXPECT_EQ(replay, first);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Service, CacheSnapshotWithStaleSchemaIsIgnored) {
+  const std::string path =
+      ::testing::TempDir() + "nahsp_serve_cache_stale.jsonl";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "{\"schema\":\"nahsp-serve-cache/v0\"}\n"
+        << "{\"fp\":\"x\",\"ok\":true,\"report\":\"{}\"}\n";
+  }
+  ServiceConfig cfg = small_config();
+  cfg.cache_file = path;
+  Collector col;
+  SolverService svc(cfg);
+  EXPECT_EQ(svc.stats().cache_loaded, 0u);
+  svc.submit_line(
+      "{\"cmd\": \"solve\", \"id\": 1, \"spec\": \"dihedral seed=6\"}",
+      col.responder());
+  EXPECT_EQ(str_field(parse_json(col.wait_line(0)), "type"), "result");
+  std::remove(path.c_str());
+}
+
+TEST(Service, CacheSnapshotSkipsTornTail) {
+  const std::string path =
+      ::testing::TempDir() + "nahsp_serve_cache_torn.jsonl";
+  std::remove(path.c_str());
+  ServiceConfig cfg = small_config();
+  cfg.cache_file = path;
+  {
+    Collector col;
+    SolverService svc(cfg);
+    svc.submit_line(
+        "{\"cmd\": \"solve\", \"id\": 1, \"spec\": \"dihedral seed=7\"}",
+        col.responder());
+    EXPECT_EQ(str_field(parse_json(col.wait_line(0)), "type"), "result");
+  }
+  {  // a crash mid-append leaves a partial trailing line
+    std::ofstream out(path, std::ios::app);
+    out << "{\"fp\":\"torn-entry-with-no-newl";
+  }
+  Collector col;
+  SolverService svc(cfg);
+  EXPECT_EQ(svc.stats().cache_loaded, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Service, FaultedSnapshotKeepsThePreviousFile) {
+  const std::string path =
+      ::testing::TempDir() + "nahsp_serve_cache_fault.jsonl";
+  std::remove(path.c_str());
+  ServiceConfig cfg = small_config();
+  cfg.cache_file = path;
+  {  // seed a good snapshot with one entry
+    Collector col;
+    SolverService svc(cfg);
+    svc.submit_line(
+        "{\"cmd\": \"solve\", \"id\": 1, \"spec\": \"dihedral seed=8\"}",
+        col.responder());
+    EXPECT_EQ(str_field(parse_json(col.wait_line(0)), "type"), "result");
+  }
+  faultpoint_reset("cache.snapshot:1:1000000");
+  {  // this service's shutdown snapshot fails; the old file survives
+    Collector col;
+    SolverService svc(cfg);
+    EXPECT_EQ(svc.stats().cache_loaded, 1u);
+    svc.submit_line(
+        "{\"cmd\": \"solve\", \"id\": 2, \"spec\": \"quaternion seed=8\"}",
+        col.responder());
+    EXPECT_EQ(str_field(parse_json(col.wait_line(0)), "type"), "result");
+    svc.wait_idle();
+  }
+  faultpoint_reset("");
+  Collector col;
+  SolverService svc(cfg);
+  EXPECT_EQ(svc.stats().cache_loaded, 1u);  // old snapshot, not two
+  EXPECT_EQ(svc.stats().cache_snapshots, 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace
